@@ -1,0 +1,56 @@
+//! BioConsert consensus ranking over 15 expert rankings of 10 candidates —
+//! the aggregation step of the gold-standard construction (Section 4.2).
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use wf_gold::{
+    bioconsert_consensus, generalized_kendall_distance, BioConsertConfig, KendallConfig, Ranking,
+};
+
+fn expert_rankings() -> Vec<Ranking> {
+    // 15 noisy permutations of 10 items with occasional omissions, generated
+    // deterministically without the rand crate.
+    let items: Vec<String> = (0..10).map(|i| format!("wf{i}")).collect();
+    let mut rankings = Vec::new();
+    let mut state = 0xabcdefu64;
+    let mut next = |n: usize| {
+        state = state
+            .wrapping_mul(6364136223846793005)
+            .wrapping_add(1442695040888963407);
+        (state >> 33) as usize % n
+    };
+    for expert in 0..15 {
+        let mut order = items.clone();
+        // A few random swaps relative to the canonical order.
+        for _ in 0..(expert % 5) + 1 {
+            let i = next(order.len());
+            let j = next(order.len());
+            order.swap(i, j);
+        }
+        // Occasionally drop an item (an "unsure" rating).
+        if expert % 4 == 0 {
+            let victim = next(order.len());
+            order.remove(victim);
+        }
+        rankings.push(Ranking::from_buckets(order.into_iter().map(|i| vec![i])));
+    }
+    rankings
+}
+
+fn bench_bioconsert(c: &mut Criterion) {
+    let rankings = expert_rankings();
+    c.bench_function("bioconsert_consensus/15_experts_10_items", |b| {
+        b.iter(|| bioconsert_consensus(black_box(&rankings), &BioConsertConfig::default()))
+    });
+    c.bench_function("generalized_kendall_distance/10_items", |b| {
+        b.iter(|| {
+            generalized_kendall_distance(
+                black_box(&rankings[0]),
+                black_box(&rankings[1]),
+                &KendallConfig::default(),
+            )
+        })
+    });
+}
+
+criterion_group!(benches, bench_bioconsert);
+criterion_main!(benches);

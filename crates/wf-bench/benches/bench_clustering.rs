@@ -1,0 +1,59 @@
+//! Cost of the clustering pipeline: building the pairwise similarity matrix
+//! (sequentially and in parallel) and running the three clustering
+//! algorithms on it.  The matrix construction is the O(n²) part and is what
+//! the paper's complexity remarks about module-set vs substructure
+//! comparison translate into at repository scale.
+
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+use wf_cluster::{
+    hierarchical_clustering, kmedoids, threshold_clustering, Linkage, PairwiseSimilarities,
+};
+use wf_corpus::{generate_taverna_corpus, TavernaCorpusConfig};
+use wf_model::Workflow;
+use wf_sim::{LabelVectorSimilarity, SimilarityConfig, WorkflowSimilarity};
+
+fn corpus(size: usize) -> Vec<Workflow> {
+    let (workflows, _) = generate_taverna_corpus(&TavernaCorpusConfig::small(size, 7));
+    workflows
+}
+
+fn bench_matrix_construction(c: &mut Criterion) {
+    let workflows = corpus(40);
+    let ms = WorkflowSimilarity::new(SimilarityConfig::best_module_sets());
+    let mut group = c.benchmark_group("similarity_matrix");
+    group.sample_size(10);
+    group.bench_function("sequential_MS_40", |bencher| {
+        bencher.iter(|| PairwiseSimilarities::compute(black_box(&workflows), &ms))
+    });
+    for threads in [2, 4] {
+        group.bench_with_input(
+            BenchmarkId::new("parallel_MS_40", threads),
+            &threads,
+            |bencher, &threads| {
+                bencher.iter(|| {
+                    PairwiseSimilarities::compute_parallel(black_box(&workflows), &ms, threads)
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
+fn bench_clustering_algorithms(c: &mut Criterion) {
+    let workflows = corpus(60);
+    let matrix = PairwiseSimilarities::compute(&workflows, &LabelVectorSimilarity::new());
+    let mut group = c.benchmark_group("clustering_algorithms");
+    group.bench_function("hierarchical_average_60", |bencher| {
+        bencher.iter(|| hierarchical_clustering(black_box(&matrix), Linkage::Average))
+    });
+    group.bench_function("threshold_0.8_60", |bencher| {
+        bencher.iter(|| threshold_clustering(black_box(&matrix), 0.8))
+    });
+    group.bench_function("kmedoids_k8_60", |bencher| {
+        bencher.iter(|| kmedoids(black_box(&matrix), 8, 30))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_matrix_construction, bench_clustering_algorithms);
+criterion_main!(benches);

@@ -1,0 +1,72 @@
+//! Per-pair cost of the extended Table-1 measures (label vectors, MCS, WL
+//! graph kernel, frequent module / tag sets) next to the framework's Module
+//! Sets measure, plus the one-off cost of the repository-level frequent
+//! itemset mining the frequent-set measures depend on.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use wf_corpus::{generate_taverna_corpus, TavernaCorpusConfig};
+use wf_model::Workflow;
+use wf_repo::{mine_repository, ItemSource, MiningConfig, Repository};
+use wf_sim::{
+    FrequentSetSimilarity, LabelVectorSimilarity, McsSimilarity, SimilarityConfig,
+    WlKernelSimilarity, WorkflowSimilarity,
+};
+
+fn corpus() -> Vec<Workflow> {
+    let (workflows, _) = generate_taverna_corpus(&TavernaCorpusConfig::small(60, 7));
+    workflows
+}
+
+fn bench_per_pair(c: &mut Criterion) {
+    let workflows = corpus();
+    let repo = Repository::from_workflows(workflows.clone());
+    let a = &workflows[0];
+    let b = &workflows[1];
+    let ms = WorkflowSimilarity::new(SimilarityConfig::best_module_sets());
+    let lv = LabelVectorSimilarity::new();
+    let mcs = McsSimilarity::default();
+    let wl = WlKernelSimilarity::label_based();
+    let fms = FrequentSetSimilarity::frequent_module_sets(&repo);
+
+    let mut group = c.benchmark_group("extended_per_pair");
+    group.bench_function("MS_ip_te_pll", |bencher| {
+        bencher.iter(|| ms.similarity(black_box(a), black_box(b)))
+    });
+    group.bench_function("LV", |bencher| {
+        bencher.iter(|| lv.similarity(black_box(a), black_box(b)))
+    });
+    group.bench_function("MCS_pll", |bencher| {
+        bencher.iter(|| mcs.similarity(black_box(a), black_box(b)))
+    });
+    group.bench_function("WL_label", |bencher| {
+        bencher.iter(|| wl.similarity(black_box(a), black_box(b)))
+    });
+    group.bench_function("FMS", |bencher| {
+        bencher.iter(|| fms.similarity(black_box(a), black_box(b)))
+    });
+    group.finish();
+}
+
+fn bench_mining(c: &mut Criterion) {
+    let repo = Repository::from_workflows(corpus());
+    let mut group = c.benchmark_group("frequent_itemset_mining");
+    group.sample_size(10);
+    group.bench_function("module_labels_60wf", |bencher| {
+        bencher.iter(|| {
+            mine_repository(
+                black_box(&repo),
+                ItemSource::ModuleLabels,
+                &MiningConfig::default(),
+            )
+        })
+    });
+    group.bench_function("tags_60wf", |bencher| {
+        bencher.iter(|| {
+            mine_repository(black_box(&repo), ItemSource::Tags, &MiningConfig::default())
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_per_pair, bench_mining);
+criterion_main!(benches);

@@ -1,0 +1,44 @@
+//! Graph edit distance: exact A* vs beam-search approximation on workflow
+//! sized graphs — the trade-off behind the paper's per-pair time budget
+//! (Section 5.1.1/5.1.4: 23 of 240 pairs were not computable in 5 minutes
+//! without Importance Projection).
+
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+use wf_ged::{astar_ged, beam_ged, GedBudget, GedCosts, LabeledGraph};
+
+/// A chain graph pair sharing `shared` node labels.
+fn chain_pair(n: usize, shared: usize) -> (LabeledGraph, LabeledGraph) {
+    let labels_a: Vec<u32> = (0..n as u32).collect();
+    let labels_b: Vec<u32> = (0..n as u32)
+        .map(|i| if (i as usize) < shared { i } else { i + 100 })
+        .collect();
+    let edges: Vec<(usize, usize)> = (0..n - 1).map(|i| (i, i + 1)).collect();
+    (
+        LabeledGraph::new(labels_a, edges.clone()),
+        LabeledGraph::new(labels_b, edges),
+    )
+}
+
+fn bench_ged(c: &mut Criterion) {
+    let costs = GedCosts::uniform();
+    let mut group = c.benchmark_group("graph_edit_distance");
+    group.sample_size(10);
+    for &n in &[5usize, 8, 11] {
+        let (a, b) = chain_pair(n, n / 2);
+        group.bench_with_input(BenchmarkId::new("astar_exact", n), &n, |bencher, _| {
+            let budget = GedBudget {
+                max_expansions: 2_000_000,
+                time_limit: None,
+                ..GedBudget::default()
+            };
+            bencher.iter(|| astar_ged(black_box(&a), black_box(&b), &costs, &budget))
+        });
+        group.bench_with_input(BenchmarkId::new("beam_32", n), &n, |bencher, _| {
+            bencher.iter(|| beam_ged(black_box(&a), black_box(&b), &costs, 32))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_ged);
+criterion_main!(benches);

@@ -1,0 +1,39 @@
+//! The runtime side of the Importance Projection claim (Section 5.1.4): the
+//! projection itself, and the per-pair comparison cost with and without it
+//! (the paper reports "a significant increase in computational performance
+//! of all structural algorithms").
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use wf_corpus::{generate_taverna_corpus, TavernaCorpusConfig};
+use wf_repo::{importance_projection, ImportanceConfig, ImportanceScorer};
+use wf_sim::{Preprocessing, SimilarityConfig, WorkflowSimilarity};
+
+fn bench_projection(c: &mut Criterion) {
+    let (corpus, _) = generate_taverna_corpus(&TavernaCorpusConfig::small(20, 5));
+    let scorer = ImportanceScorer::new(ImportanceConfig::type_based());
+    c.bench_function("importance_projection/per_workflow", |b| {
+        b.iter(|| {
+            for wf in &corpus {
+                black_box(importance_projection(black_box(wf), &scorer));
+            }
+        })
+    });
+
+    let a = corpus[0].clone();
+    let b_wf = corpus[1].clone();
+    let np = WorkflowSimilarity::new(SimilarityConfig::path_sets_default());
+    let ip = WorkflowSimilarity::new(
+        SimilarityConfig::path_sets_default().with_preprocessing(Preprocessing::ImportanceProjection),
+    );
+    let mut group = c.benchmark_group("path_sets_with_and_without_ip");
+    group.bench_function("PS_np", |bencher| {
+        bencher.iter(|| np.similarity(black_box(&a), black_box(&b_wf)))
+    });
+    group.bench_function("PS_ip", |bencher| {
+        bencher.iter(|| ip.similarity(black_box(&a), black_box(&b_wf)))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_projection);
+criterion_main!(benches);

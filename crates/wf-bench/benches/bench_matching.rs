@@ -1,0 +1,40 @@
+//! Micro-benchmarks for the module mapping algorithms: greedy vs
+//! maximum-weight (Hungarian) vs maximum-weight non-crossing matching.
+//! This is the ablation behind Fig. 7 (mapping strategy) on the runtime
+//! side: greedy is cheaper, the paper found it equally good in quality.
+
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+use wf_matching::{
+    greedy_mapping, maximum_weight_mapping, maximum_weight_noncrossing_mapping, SimilarityMatrix,
+};
+
+fn random_matrix(n: usize, m: usize, seed: u64) -> SimilarityMatrix {
+    // Small deterministic LCG; no need for the rand crate here.
+    let mut state = seed;
+    SimilarityMatrix::from_fn(n, m, |_, _| {
+        state = state
+            .wrapping_mul(6364136223846793005)
+            .wrapping_add(1442695040888963407);
+        ((state >> 33) as f64) / (u32::MAX as f64)
+    })
+}
+
+fn bench_matching(c: &mut Criterion) {
+    let mut group = c.benchmark_group("module_mapping");
+    for &size in &[5usize, 11, 25] {
+        let matrix = random_matrix(size, size, 0xfeed + size as u64);
+        group.bench_with_input(BenchmarkId::new("greedy", size), &matrix, |b, m| {
+            b.iter(|| greedy_mapping(black_box(m)))
+        });
+        group.bench_with_input(BenchmarkId::new("maximum_weight", size), &matrix, |b, m| {
+            b.iter(|| maximum_weight_mapping(black_box(m)))
+        });
+        group.bench_with_input(BenchmarkId::new("noncrossing", size), &matrix, |b, m| {
+            b.iter(|| maximum_weight_noncrossing_mapping(black_box(m)))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_matching);
+criterion_main!(benches);

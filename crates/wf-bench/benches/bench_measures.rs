@@ -1,0 +1,40 @@
+//! Per-pair cost of the five workflow similarity measures (the runtime side
+//! of Fig. 5): MS, PS, GE (beam-backed), BW and BT on a typical pair of
+//! corpus workflows.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use wf_corpus::{generate_taverna_corpus, TavernaCorpusConfig};
+use wf_ged::GedBudget;
+use wf_model::Workflow;
+use wf_sim::{SimilarityConfig, WorkflowSimilarity};
+
+fn workflow_pair() -> (Workflow, Workflow) {
+    let (corpus, _) = generate_taverna_corpus(&TavernaCorpusConfig::small(10, 7));
+    // The first two workflows of a family: a seed and one of its variants.
+    (corpus[0].clone(), corpus[1].clone())
+}
+
+fn bench_measures(c: &mut Criterion) {
+    let (a, b) = workflow_pair();
+    let mut group = c.benchmark_group("per_pair_similarity");
+    let measures = vec![
+        WorkflowSimilarity::new(SimilarityConfig::module_sets_default()),
+        WorkflowSimilarity::new(SimilarityConfig::best_module_sets()),
+        WorkflowSimilarity::new(SimilarityConfig::path_sets_default()),
+        WorkflowSimilarity::new(SimilarityConfig::best_path_sets()),
+        WorkflowSimilarity::new(
+            SimilarityConfig::graph_edit_default().with_ged_budget(GedBudget::small()),
+        ),
+        WorkflowSimilarity::new(SimilarityConfig::bag_of_words()),
+        WorkflowSimilarity::new(SimilarityConfig::bag_of_tags()),
+    ];
+    for measure in measures {
+        group.bench_function(measure.name(), |bencher| {
+            bencher.iter(|| measure.similarity(black_box(&a), black_box(&b)))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_measures);
+criterion_main!(benches);

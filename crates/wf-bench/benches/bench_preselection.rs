@@ -1,0 +1,44 @@
+//! The runtime side of the `te` preselection claim (Section 5.1.4): the
+//! pairwise module comparison step with all pairs vs strict type matching vs
+//! type-equivalence classes.  The paper reports a 2.3× reduction in pairs;
+//! this bench shows the corresponding reduction in comparison time.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use wf_corpus::{generate_taverna_corpus, TavernaCorpusConfig};
+use wf_model::Workflow;
+use wf_repo::PreselectionStrategy;
+use wf_sim::{module_similarity_matrix, ModuleComparisonScheme};
+
+fn pairs() -> Vec<(Workflow, Workflow)> {
+    let (corpus, _) = generate_taverna_corpus(&TavernaCorpusConfig::small(20, 3));
+    (0..10)
+        .map(|i| (corpus[i].clone(), corpus[i + 10].clone()))
+        .collect()
+}
+
+fn bench_preselection(c: &mut Criterion) {
+    let pairs = pairs();
+    let scheme = ModuleComparisonScheme::pw0();
+    let mut group = c.benchmark_group("module_pair_comparison");
+    for (name, strategy) in [
+        ("ta_all_pairs", PreselectionStrategy::AllPairs),
+        ("tt_strict_type", PreselectionStrategy::StrictType),
+        ("te_type_equivalence", PreselectionStrategy::TypeEquivalence),
+    ] {
+        group.bench_function(name, |b| {
+            b.iter(|| {
+                let mut total = 0usize;
+                for (x, y) in &pairs {
+                    let (_, compared) =
+                        module_similarity_matrix(black_box(x), black_box(y), &scheme, strategy);
+                    total += compared;
+                }
+                total
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_preselection);
+criterion_main!(benches);

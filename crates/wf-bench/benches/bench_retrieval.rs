@@ -1,0 +1,31 @@
+//! Top-k retrieval over a repository (the operation behind Figures 10/11):
+//! sequential vs parallel scoring with the best Module Sets configuration.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use wf_corpus::{generate_taverna_corpus, TavernaCorpusConfig};
+use wf_repo::{Repository, SearchEngine};
+use wf_sim::{SimilarityConfig, WorkflowSimilarity};
+
+fn bench_retrieval(c: &mut Criterion) {
+    let (corpus, _) = generate_taverna_corpus(&TavernaCorpusConfig::small(150, 9));
+    let repository = Repository::from_workflows(corpus);
+    let query = repository.iter().next().expect("non-empty corpus").clone();
+    let measure = WorkflowSimilarity::new(SimilarityConfig::best_module_sets());
+    let engine = SearchEngine::new(&repository, |a: &wf_model::Workflow, b: &wf_model::Workflow| {
+        measure.similarity(a, b)
+    })
+    .with_threads(8);
+
+    let mut group = c.benchmark_group("top10_retrieval_150_workflows");
+    group.sample_size(10);
+    group.bench_function("sequential", |b| {
+        b.iter(|| engine.top_k(black_box(&query), 10))
+    });
+    group.bench_function("parallel_8_threads", |b| {
+        b.iter(|| engine.top_k_parallel(black_box(&query), 10))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_retrieval);
+criterion_main!(benches);

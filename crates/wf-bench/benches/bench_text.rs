@@ -1,0 +1,43 @@
+//! Micro-benchmarks for the text substrate: Levenshtein similarity on module
+//! labels and the Bag-of-Words tokenization pipeline.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use wf_text::levenshtein::levenshtein_similarity;
+use wf_text::tokenize::tokenize_filtered;
+use wf_text::TokenBag;
+
+fn bench_levenshtein(c: &mut Criterion) {
+    let pairs = [
+        ("get_pathway_by_gene", "get_pathways_by_genes"),
+        ("run_ncbi_blast", "run_wu_blast"),
+        ("fetch_fasta_sequence", "fetchFastaSequence"),
+        ("normalise_expression_matrix", "plot_heatmap"),
+    ];
+    c.bench_function("levenshtein_similarity/module_labels", |b| {
+        b.iter(|| {
+            let mut acc = 0.0;
+            for (x, y) in &pairs {
+                acc += levenshtein_similarity(black_box(x), black_box(y));
+            }
+            acc
+        })
+    });
+}
+
+fn bench_tokenize(c: &mut Criterion) {
+    let description = "This workflow retrieves a KEGG pathway for a given Entrez gene id, \
+                       extracts the gene identifiers contained in the pathway and maps them \
+                       onto UniProt accessions using the BioMart service before rendering a \
+                       coloured pathway diagram.";
+    c.bench_function("tokenize_filtered/description", |b| {
+        b.iter(|| tokenize_filtered(black_box(description)))
+    });
+    c.bench_function("token_bag/set_similarity", |b| {
+        let bag_a = TokenBag::from_text(description);
+        let bag_b = TokenBag::from_text("Maps Entrez genes onto KEGG pathways and colours the diagram");
+        b.iter(|| bag_a.set_similarity(black_box(&bag_b)))
+    });
+}
+
+criterion_group!(benches, bench_levenshtein, bench_tokenize);
+criterion_main!(benches);

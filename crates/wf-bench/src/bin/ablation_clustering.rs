@@ -1,0 +1,105 @@
+//! Ablation: clustering quality of the similarity measures.
+//!
+//! The paper motivates similarity measures with repository management tasks
+//! such as "grouping of workflows into functional clusters" and "detection
+//! of functionally equivalent workflows" (Section 1) and several of the
+//! catalogued prior studies evaluate through clustering.  This experiment
+//! clusters a synthetic corpus with each measure (agglomerative clustering
+//! with average linkage, cut at the latent family count) and scores the
+//! result against the latent family structure with purity, adjusted Rand
+//! index and NMI.  A near-duplicate report at a high threshold exercises the
+//! duplicate-detection use case.
+//!
+//! Environment: `WFSIM_CORPUS_SIZE` (default 120), `WFSIM_SEED` (default
+//! 42), `WFSIM_THREADS` (default 4).
+
+use wf_bench::table::{fmt3, TextTable};
+use wf_bench::env_param;
+use wf_cluster::{
+    adjusted_rand_index, duplicate_pairs, hierarchical_clustering, normalized_mutual_information,
+    purity, threshold_clustering, Linkage, PairwiseSimilarities,
+};
+use wf_corpus::{generate_taverna_corpus, TavernaCorpusConfig};
+use wf_sim::{
+    LabelVectorSimilarity, McsSimilarity, Measure, SimilarityConfig, WlKernelSimilarity,
+    WorkflowSimilarity,
+};
+
+fn main() {
+    let corpus_size = env_param("WFSIM_CORPUS_SIZE", 120);
+    let seed = env_param("WFSIM_SEED", 42) as u64;
+    let threads = env_param("WFSIM_THREADS", 4);
+    println!("Ablation: clustering quality by similarity measure");
+    let (workflows, meta) = generate_taverna_corpus(&TavernaCorpusConfig::small(corpus_size, seed));
+    let truth: Vec<usize> = workflows
+        .iter()
+        .map(|wf| meta.get(&wf.id).map(|m| m.family).unwrap_or(usize::MAX))
+        .collect();
+    let family_count = {
+        let mut families: Vec<usize> = truth.clone();
+        families.sort_unstable();
+        families.dedup();
+        families.len()
+    };
+    println!(
+        "setup: {} workflows in {} latent families, average-linkage cut at k = {}",
+        workflows.len(),
+        family_count,
+        family_count
+    );
+    println!();
+
+    let measures: Vec<(String, Box<dyn Measure + Sync>)> = vec![
+        (
+            "BW".to_string(),
+            Box::new(WorkflowSimilarity::new(SimilarityConfig::bag_of_words())),
+        ),
+        (
+            "MS_ip_te_pll".to_string(),
+            Box::new(WorkflowSimilarity::new(SimilarityConfig::best_module_sets())),
+        ),
+        (
+            "LV".to_string(),
+            Box::new(LabelVectorSimilarity::new()),
+        ),
+        (
+            "MCS_pll".to_string(),
+            Box::new(McsSimilarity::default()),
+        ),
+        (
+            "WL_label".to_string(),
+            Box::new(WlKernelSimilarity::label_based()),
+        ),
+    ];
+
+    let mut table = TextTable::new(vec![
+        "measure",
+        "purity",
+        "ARI",
+        "NMI",
+        "clusters@0.8",
+        "duplicate pairs@0.95",
+    ]);
+    for (name, measure) in &measures {
+        let matrix = PairwiseSimilarities::compute_parallel(&workflows, measure.as_ref(), threads);
+        let dendrogram = hierarchical_clustering(&matrix, Linkage::Average);
+        let clusters = dendrogram.cut_k(family_count);
+        let threshold_clusters = threshold_clustering(&matrix, 0.8);
+        let duplicates = duplicate_pairs(&matrix, 0.95);
+        table.row(vec![
+            name.clone(),
+            fmt3(purity(&clusters, &truth)),
+            fmt3(adjusted_rand_index(&clusters, &truth)),
+            fmt3(normalized_mutual_information(&clusters, &truth)),
+            threshold_clusters.cluster_count().to_string(),
+            duplicates.len().to_string(),
+        ]);
+    }
+    println!("{}", table.render());
+    println!("expected shape: structural measures with repository knowledge (MS_ip_te_pll)");
+    println!("group workflows by function at least as well as the annotation measure.");
+    println!("Thresholded common-subgraph comparison (MCS) separates mutation-derived");
+    println!("families sharply, whereas the purely exact-label measures (LV, WL_label)");
+    println!("suffer most from label noise — the clustering view of the paper's");
+    println!("finding that edit-distance module comparison beats strict label matching.");
+}

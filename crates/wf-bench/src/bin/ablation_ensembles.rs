@@ -1,0 +1,145 @@
+//! Ablation (paper Section 6, finding 5): beyond plain score averaging.
+//!
+//! The paper combines algorithms by averaging their scores and names
+//! "advanced methods such as boosting or stacking" as future work.  This
+//! ablation compares, on held-out queries:
+//!
+//! * the single best members (BW and MS_ip_te_pll),
+//! * the paper's plain-average ensemble of the two,
+//! * a weighted ensemble whose weights are grid-searched on training
+//!   queries (`wf_sim::stacking::learn_weights`),
+//! * a Borda rank-aggregation ensemble (`wf_sim::RankEnsemble`).
+//!
+//! Environment: `WFSIM_CORPUS_SIZE` (default 300), `WFSIM_QUERIES` (default
+//! 20, split half/half into training and evaluation), `WFSIM_SEED`
+//! (default 42).
+
+use wf_bench::table::{fmt3, TextTable};
+use wf_bench::{env_param, NamedAlgorithm, RankingExperiment, RankingExperimentConfig};
+use wf_gold::{ranking_correctness_completeness, Ranking};
+use wf_model::{Workflow, WorkflowId};
+use wf_sim::{
+    learn_weights, Ensemble, RankEnsemble, SimilarityConfig, WorkflowSimilarity,
+};
+
+fn mean(values: &[f64]) -> f64 {
+    if values.is_empty() {
+        0.0
+    } else {
+        values.iter().sum::<f64>() / values.len() as f64
+    }
+}
+
+/// Mean ranking correctness of a scoring function over a set of queries.
+fn mean_correctness(
+    experiment: &RankingExperiment,
+    queries: &[WorkflowId],
+    score: &(dyn Fn(&Workflow, &Workflow) -> Option<f64> + Sync),
+) -> f64 {
+    let values: Vec<f64> = queries
+        .iter()
+        .map(|q| {
+            let ranking = experiment.algorithm_ranking(q, score);
+            if ranking.is_empty() {
+                return 0.0;
+            }
+            let consensus = experiment.consensus(q).expect("consensus exists");
+            ranking_correctness_completeness(&ranking, consensus).correctness
+        })
+        .collect();
+    mean(&values)
+}
+
+/// Mean ranking correctness of a Borda rank ensemble over a set of queries.
+fn borda_correctness(
+    experiment: &RankingExperiment,
+    queries: &[WorkflowId],
+    ensemble: &RankEnsemble,
+) -> f64 {
+    let repo = experiment.repository();
+    let values: Vec<f64> = queries
+        .iter()
+        .map(|q| {
+            let Some(query_wf) = repo.get(q) else { return 0.0 };
+            let candidates: Vec<&Workflow> = experiment
+                .candidates(q)
+                .iter()
+                .filter_map(|id| repo.get(id))
+                .collect();
+            if candidates.is_empty() {
+                return 0.0;
+            }
+            let scored = ensemble.rank(query_wf, &candidates);
+            let ranking = Ranking::from_scores(scored, 1e-9);
+            let consensus = experiment.consensus(q).expect("consensus exists");
+            ranking_correctness_completeness(&ranking, consensus).correctness
+        })
+        .collect();
+    mean(&values)
+}
+
+fn main() {
+    let config = RankingExperimentConfig {
+        corpus_size: env_param("WFSIM_CORPUS_SIZE", 300),
+        queries: env_param("WFSIM_QUERIES", 20),
+        candidates_per_query: 10,
+        seed: env_param("WFSIM_SEED", 42) as u64,
+    };
+    println!("Ablation: plain-average vs learned-weight vs rank-aggregation ensembles");
+    println!(
+        "setup: {} workflows, {} queries x {} candidates (half train, half eval)",
+        config.corpus_size, config.queries, config.candidates_per_query
+    );
+    println!();
+    let experiment = RankingExperiment::prepare(&config);
+    let queries = experiment.queries().to_vec();
+    let split = queries.len() / 2;
+    let (train, eval) = queries.split_at(split.max(1).min(queries.len().saturating_sub(1)));
+
+    let bw = WorkflowSimilarity::new(SimilarityConfig::bag_of_words());
+    let ms = WorkflowSimilarity::new(SimilarityConfig::best_module_sets());
+    let members = vec![bw.clone(), ms.clone()];
+
+    // Learn ensemble weights on the training queries.
+    let learned = learn_weights(&members, 10, |candidate: &Ensemble| {
+        mean_correctness(&experiment, train, &|a, b| candidate.similarity_opt(a, b))
+    });
+    let learned_ensemble = Ensemble::weighted(members.clone(), learned.weights.clone());
+    let mean_ensemble = Ensemble::new(members.clone());
+    let borda = RankEnsemble::from_similarities(members.clone());
+
+    println!(
+        "learned weights on training queries: BW = {:.2}, MS_ip_te_pll = {:.2} (training correctness {:.3})",
+        learned.weights[0], learned.weights[1], learned.objective
+    );
+    println!();
+
+    let single_algorithms = vec![
+        NamedAlgorithm::from_measure(bw),
+        NamedAlgorithm::from_measure(ms),
+    ];
+    let mut table = TextTable::new(vec!["combiner", "mean correctness (eval queries)"]);
+    for algorithm in &single_algorithms {
+        let value = mean_correctness(&experiment, eval, &algorithm.score);
+        table.row(vec![algorithm.name.clone(), fmt3(value)]);
+    }
+    table.row(vec![
+        format!("{} (plain average)", mean_ensemble.name()),
+        fmt3(mean_correctness(&experiment, eval, &|a, b| {
+            mean_ensemble.similarity_opt(a, b)
+        })),
+    ]);
+    table.row(vec![
+        format!("{} (learned weights)", learned_ensemble.name()),
+        fmt3(mean_correctness(&experiment, eval, &|a, b| {
+            learned_ensemble.similarity_opt(a, b)
+        })),
+    ]);
+    table.row(vec![
+        borda.name(),
+        fmt3(borda_correctness(&experiment, eval, &borda)),
+    ]);
+    println!("{}", table.render());
+    println!("paper shape: every combiner beats the single algorithms; the advanced");
+    println!("combiners are expected to be at least as good as the plain average.");
+}

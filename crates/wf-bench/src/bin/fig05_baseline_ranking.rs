@@ -1,0 +1,65 @@
+//! Figure 5: baseline ranking evaluation.
+//!
+//! Mean ranking correctness (with standard deviation) and completeness of
+//! the five measures in their basic, normalized configurations with uniform
+//! attribute weights (`pw0`, no preselection, no projection): MS, PS, GE,
+//! BW, BT.  The paper's findings to reproduce: BW is best, BT and PS almost
+//! tie, then MS, and GE is clearly worst; the annotation measures tie
+//! workflows (lower completeness) and BT cannot rank some queries.
+//!
+//! Environment: `WFSIM_CORPUS_SIZE` (default 400), `WFSIM_QUERIES` (default
+//! 24), `WFSIM_SEED` (default 42).
+
+use wf_bench::table::{fmt3, TextTable};
+use wf_bench::{env_param, NamedAlgorithm, RankingExperiment, RankingExperimentConfig};
+use wf_ged::GedBudget;
+use wf_sim::{SimilarityConfig, WorkflowSimilarity};
+
+fn main() {
+    let config = RankingExperimentConfig {
+        corpus_size: env_param("WFSIM_CORPUS_SIZE", 400),
+        queries: env_param("WFSIM_QUERIES", 24),
+        candidates_per_query: 10,
+        seed: env_param("WFSIM_SEED", 42) as u64,
+    };
+    println!("Figure 5: baseline ranking correctness/completeness (pw0, np, ta, normalized)");
+    println!(
+        "setup: {} workflows, {} queries x {} candidates",
+        config.corpus_size, config.queries, config.candidates_per_query
+    );
+    println!();
+
+    let experiment = RankingExperiment::prepare(&config);
+    let algorithms = vec![
+        NamedAlgorithm::from_measure(WorkflowSimilarity::new(
+            SimilarityConfig::module_sets_default(),
+        )),
+        NamedAlgorithm::from_measure(WorkflowSimilarity::new(
+            SimilarityConfig::path_sets_default(),
+        )),
+        NamedAlgorithm::from_measure(WorkflowSimilarity::new(
+            SimilarityConfig::graph_edit_default().with_ged_budget(GedBudget::small()),
+        )),
+        NamedAlgorithm::from_measure(WorkflowSimilarity::new(SimilarityConfig::bag_of_words())),
+        NamedAlgorithm::from_measure(WorkflowSimilarity::new(SimilarityConfig::bag_of_tags())),
+    ];
+
+    let mut table = TextTable::new(vec![
+        "algorithm",
+        "mean correctness",
+        "stddev",
+        "mean completeness",
+        "unrankable queries",
+    ]);
+    for score in experiment.evaluate_all(&algorithms) {
+        table.row(vec![
+            score.name,
+            fmt3(score.summary.mean_correctness),
+            fmt3(score.summary.stddev_correctness),
+            fmt3(score.summary.mean_completeness),
+            score.unrankable_queries.to_string(),
+        ]);
+    }
+    println!("{}", table.render());
+    println!("paper shape: BW best, BT ~ PS, then MS, GE clearly worst; BT/BW tie candidates (completeness < 1); BT cannot rank some queries");
+}

@@ -1,0 +1,152 @@
+//! `wfsim_cluster` — a small command-line workflow clustering tool.
+//!
+//! Usage:
+//! ```text
+//! wfsim_cluster <corpus.json | --demo> [k] [algorithm] [duplicate-threshold]
+//! ```
+//!
+//! * `corpus.json` — a JSON array of workflows (the format written by
+//!   `wf_model::json::corpus_to_json`); pass `--demo` to cluster a freshly
+//!   generated synthetic corpus instead.
+//! * `k` — number of clusters to cut the dendrogram into (default 10).
+//! * `algorithm` — one of `ms`, `ps`, `bw`, `lv`, `mcs`, `ensemble`
+//!   (default `ms` = MS_ip_te_pll, the paper's best structural setup).
+//! * `duplicate-threshold` — similarity above which a pair is reported as a
+//!   near duplicate (default 0.95).
+//!
+//! The tool prints every cluster with its medoid (representative workflow)
+//! and members, followed by the near-duplicate report — the two repository
+//! management tasks the paper's introduction motivates.
+
+use std::process::ExitCode;
+
+use wf_bench::table::TextTable;
+use wf_cluster::{duplicate_pairs, hierarchical_clustering, kmedoids, Linkage, PairwiseSimilarities};
+use wf_corpus::{generate_taverna_corpus, TavernaCorpusConfig};
+use wf_model::{json, Workflow};
+use wf_sim::{
+    Ensemble, LabelVectorSimilarity, McsSimilarity, Measure, SimilarityConfig, WorkflowSimilarity,
+};
+
+fn load_corpus(source: &str) -> Result<Vec<Workflow>, String> {
+    if source == "--demo" {
+        let (corpus, _) = generate_taverna_corpus(&TavernaCorpusConfig::small(120, 7));
+        return Ok(corpus);
+    }
+    let text = std::fs::read_to_string(source)
+        .map_err(|e| format!("cannot read corpus file '{source}': {e}"))?;
+    json::corpus_from_json(&text).map_err(|e| format!("cannot parse corpus '{source}': {e}"))
+}
+
+fn measure(algorithm: &str) -> Result<Box<dyn Measure + Sync>, String> {
+    match algorithm {
+        "ms" => Ok(Box::new(WorkflowSimilarity::new(
+            SimilarityConfig::best_module_sets(),
+        ))),
+        "ps" => Ok(Box::new(WorkflowSimilarity::new(
+            SimilarityConfig::best_path_sets(),
+        ))),
+        "bw" => Ok(Box::new(WorkflowSimilarity::new(
+            SimilarityConfig::bag_of_words(),
+        ))),
+        "lv" => Ok(Box::new(LabelVectorSimilarity::new())),
+        "mcs" => Ok(Box::new(McsSimilarity::default())),
+        "ensemble" => Ok(Box::new(Ensemble::bw_plus_module_sets())),
+        other => Err(format!(
+            "unknown algorithm '{other}' (expected ms, ps, bw, lv, mcs or ensemble)"
+        )),
+    }
+}
+
+fn run() -> Result<(), String> {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    if args.is_empty() {
+        return Err(
+            "usage: wfsim_cluster <corpus.json | --demo> [k] [algorithm] [duplicate-threshold]"
+                .to_string(),
+        );
+    }
+    let workflows = load_corpus(&args[0])?;
+    if workflows.is_empty() {
+        return Err("the corpus contains no workflows".to_string());
+    }
+    let k: usize = args
+        .get(1)
+        .map(|v| v.parse().map_err(|_| format!("invalid k '{v}'")))
+        .transpose()?
+        .unwrap_or(10);
+    let algorithm = args.get(2).map(String::as_str).unwrap_or("ms");
+    let threshold: f64 = args
+        .get(3)
+        .map(|v| v.parse().map_err(|_| format!("invalid threshold '{v}'")))
+        .transpose()?
+        .unwrap_or(0.95);
+    let measure = measure(algorithm)?;
+
+    println!(
+        "clustering {} workflows with {algorithm} into {k} clusters (average linkage)",
+        workflows.len()
+    );
+    let matrix = PairwiseSimilarities::compute_parallel(&workflows, measure.as_ref(), 8);
+    let clusters = hierarchical_clustering(&matrix, Linkage::Average).cut_k(k);
+    let pam = kmedoids(&matrix, k, 30);
+
+    let mut table = TextTable::new(vec!["cluster", "size", "medoid", "members (first 6)"]);
+    for (cluster, members) in clusters.groups().iter().enumerate() {
+        // Representative: the k-medoids medoid of the cluster containing
+        // this group's first member (clusters of the two algorithms need
+        // not coincide, so fall back to the group's own most central item).
+        let medoid = members
+            .iter()
+            .copied()
+            .min_by(|&a, &b| {
+                let da: f64 = members.iter().map(|&m| matrix.distance(a, m)).sum();
+                let db: f64 = members.iter().map(|&m| matrix.distance(b, m)).sum();
+                da.partial_cmp(&db).expect("distances are finite")
+            })
+            .expect("clusters are never empty");
+        let member_names: Vec<String> = members
+            .iter()
+            .take(6)
+            .map(|&m| matrix.id(m).as_str().to_string())
+            .collect();
+        table.row(vec![
+            cluster.to_string(),
+            members.len().to_string(),
+            matrix.id(medoid).as_str().to_string(),
+            member_names.join(", "),
+        ]);
+    }
+    println!("{}", table.render());
+    println!(
+        "k-medoids cross-check: {} clusters, total within-cluster dissimilarity {:.2}",
+        pam.clustering.cluster_count(),
+        pam.cost
+    );
+    println!();
+
+    let duplicates = duplicate_pairs(&matrix, threshold);
+    println!(
+        "near-duplicate pairs (similarity >= {threshold}): {}",
+        duplicates.len()
+    );
+    for pair in duplicates.iter().take(15) {
+        println!(
+            "  {} ~ {} ({:.3})",
+            matrix.id(pair.first).as_str(),
+            matrix.id(pair.second).as_str(),
+            pair.similarity
+        );
+    }
+    Ok(())
+}
+
+fn main() -> ExitCode {
+    match run() {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(message) => {
+            eprintln!("error: {message}");
+            ExitCode::FAILURE
+        }
+    }
+}

@@ -1,0 +1,118 @@
+//! `wfsim_search` — a small command-line similarity search tool.
+//!
+//! Usage:
+//! ```text
+//! wfsim_search <corpus.json> <query-workflow-id> [k] [algorithm]
+//! ```
+//!
+//! * `corpus.json` — a JSON array of workflows (the format written by
+//!   `wf_model::json::corpus_to_json`); pass `--demo` instead to search a
+//!   freshly generated synthetic corpus.
+//! * `query-workflow-id` — the id of the query workflow inside the corpus.
+//! * `k` — number of results (default 10).
+//! * `algorithm` — one of `ms`, `ps`, `bw`, `bt`, `ensemble`
+//!   (default `ensemble` = BW + MS_ip_te_pll).
+
+use std::process::ExitCode;
+
+use wf_bench::table::TextTable;
+use wf_corpus::{generate_taverna_corpus, TavernaCorpusConfig};
+use wf_model::{json, Workflow, WorkflowId};
+use wf_repo::{Repository, SearchEngine};
+use wf_sim::{Ensemble, SimilarityConfig, WorkflowSimilarity};
+
+fn load_corpus(source: &str) -> Result<Vec<Workflow>, String> {
+    if source == "--demo" {
+        let (corpus, _) = generate_taverna_corpus(&TavernaCorpusConfig::small(200, 7));
+        return Ok(corpus);
+    }
+    let text = std::fs::read_to_string(source)
+        .map_err(|e| format!("cannot read corpus file '{source}': {e}"))?;
+    json::corpus_from_json(&text).map_err(|e| format!("cannot parse corpus '{source}': {e}"))
+}
+
+fn scorer(algorithm: &str) -> Result<Box<dyn Fn(&Workflow, &Workflow) -> f64 + Sync>, String> {
+    match algorithm {
+        "ms" => {
+            let m = WorkflowSimilarity::new(SimilarityConfig::best_module_sets());
+            Ok(Box::new(move |a, b| m.similarity(a, b)))
+        }
+        "ps" => {
+            let m = WorkflowSimilarity::new(SimilarityConfig::best_path_sets());
+            Ok(Box::new(move |a, b| m.similarity(a, b)))
+        }
+        "bw" => {
+            let m = WorkflowSimilarity::new(SimilarityConfig::bag_of_words());
+            Ok(Box::new(move |a, b| m.similarity(a, b)))
+        }
+        "bt" => {
+            let m = WorkflowSimilarity::new(SimilarityConfig::bag_of_tags());
+            Ok(Box::new(move |a, b| m.similarity(a, b)))
+        }
+        "ensemble" => {
+            let e = Ensemble::bw_plus_module_sets();
+            Ok(Box::new(move |a, b| e.similarity(a, b)))
+        }
+        other => Err(format!(
+            "unknown algorithm '{other}' (expected ms, ps, bw, bt or ensemble)"
+        )),
+    }
+}
+
+fn run() -> Result<(), String> {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    if args.len() < 2 {
+        return Err(
+            "usage: wfsim_search <corpus.json | --demo> <query-workflow-id> [k] [algorithm]"
+                .to_string(),
+        );
+    }
+    let corpus = load_corpus(&args[0])?;
+    let repository = Repository::from_workflows(corpus);
+    let query_id = WorkflowId::new(args[1].clone());
+    let query = repository
+        .get(&query_id)
+        .ok_or_else(|| format!("query workflow '{query_id}' not found in the corpus"))?
+        .clone();
+    let k: usize = args
+        .get(2)
+        .map(|v| v.parse().map_err(|_| format!("invalid k '{v}'")))
+        .transpose()?
+        .unwrap_or(10);
+    let algorithm = args.get(3).map(String::as_str).unwrap_or("ensemble");
+    let score = scorer(algorithm)?;
+
+    let engine = SearchEngine::new(&repository, score).with_threads(8);
+    let hits = engine.top_k_parallel(&query, k);
+
+    println!(
+        "top-{k} workflows similar to {} (\"{}\") by {algorithm}:",
+        query.id,
+        query.annotations.title.as_deref().unwrap_or("untitled")
+    );
+    let mut table = TextTable::new(vec!["rank", "id", "score", "title"]);
+    for (rank, hit) in hits.iter().enumerate() {
+        let title = repository
+            .get(&hit.id)
+            .and_then(|wf| wf.annotations.title.clone())
+            .unwrap_or_default();
+        table.row(vec![
+            (rank + 1).to_string(),
+            hit.id.as_str().to_string(),
+            format!("{:.3}", hit.score),
+            title,
+        ]);
+    }
+    println!("{}", table.render());
+    Ok(())
+}
+
+fn main() -> ExitCode {
+    match run() {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(message) => {
+            eprintln!("error: {message}");
+            ExitCode::FAILURE
+        }
+    }
+}

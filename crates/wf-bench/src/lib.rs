@@ -1,0 +1,111 @@
+//! # wf-bench — the experiment harness
+//!
+//! This crate regenerates every table and figure of the paper's evaluation
+//! (Section 5) on the synthetic corpora.  Each figure has a dedicated binary
+//! in `src/bin/` (`fig04_annotator_agreement` … `fig12_galaxy_ranking`,
+//! plus `corpus_stats`), the ablation/extension experiments have their own
+//! binaries (`ablation_importance`, `ablation_ensembles`,
+//! `ablation_clustering`, `extended_measures_ranking`,
+//! `significance_report`), and two small CLIs (`wfsim_search`,
+//! `wfsim_cluster`) expose search and clustering over a JSON corpus.  The
+//! Criterion micro-benchmarks in `benches/` cover the runtime claims
+//! (pair-count reduction, Importance Projection speedup, GED budgets,
+//! clustering and mining costs).  EXPERIMENTS.md records paper-vs-measured
+//! for every experiment.
+//!
+//! The shared machinery lives here:
+//!
+//! * [`RankingExperiment`] — the paper's first experiment: query workflows
+//!   with stratified candidate lists, a simulated expert panel, BioConsert
+//!   consensus rankings, and ranking-correctness/completeness evaluation of
+//!   arbitrary similarity algorithms.
+//! * [`RetrievalExperiment`] — the paper's second experiment: top-10
+//!   retrieval over the whole repository, expert ratings of the pooled
+//!   result lists, and precision@k curves.
+//! * [`table`] — plain-text table formatting for the binaries.
+
+pub mod retrieval;
+pub mod ranking;
+pub mod table;
+
+pub use ranking::{AlgorithmScore, RankingExperiment, RankingExperimentConfig};
+pub use retrieval::{RetrievalExperiment, RetrievalExperimentConfig};
+
+use wf_model::Workflow;
+
+/// A similarity algorithm under evaluation: a name plus a scoring function
+/// that may abstain (`None`) on pairs it cannot compare.
+pub struct NamedAlgorithm<'a> {
+    /// Display name (paper notation, e.g. `MS_ip_te_pll`).
+    pub name: String,
+    /// The scoring function.
+    pub score: Box<dyn Fn(&Workflow, &Workflow) -> Option<f64> + Sync + 'a>,
+}
+
+impl<'a> NamedAlgorithm<'a> {
+    /// Wraps a configured [`wf_sim::WorkflowSimilarity`] measure.
+    pub fn from_measure(measure: wf_sim::WorkflowSimilarity) -> Self {
+        NamedAlgorithm {
+            name: measure.name(),
+            score: Box::new(move |a, b| measure.similarity_opt(a, b)),
+        }
+    }
+
+    /// Wraps a configured ensemble.
+    pub fn from_ensemble(ensemble: wf_sim::Ensemble) -> Self {
+        NamedAlgorithm {
+            name: ensemble.name(),
+            score: Box::new(move |a, b| ensemble.similarity_opt(a, b)),
+        }
+    }
+
+    /// Wraps an arbitrary closure.
+    pub fn from_fn(
+        name: impl Into<String>,
+        score: impl Fn(&Workflow, &Workflow) -> Option<f64> + Sync + 'a,
+    ) -> Self {
+        NamedAlgorithm {
+            name: name.into(),
+            score: Box::new(score),
+        }
+    }
+}
+
+/// Reads a `usize` experiment parameter from the environment, falling back
+/// to a default.  The figure binaries use this for `WFSIM_CORPUS_SIZE`,
+/// `WFSIM_QUERIES` and `WFSIM_SEED` so that experiments can be scaled up to
+/// the paper's full corpus (1483 workflows) or down for a smoke run without
+/// recompiling.
+pub fn env_param(name: &str, default: usize) -> usize {
+    std::env::var(name)
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(default)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use wf_sim::{SimilarityConfig, WorkflowSimilarity};
+
+    #[test]
+    fn env_param_falls_back_to_default() {
+        assert_eq!(env_param("WFSIM_DOES_NOT_EXIST", 7), 7);
+        std::env::set_var("WFSIM_TEST_PARAM", "42");
+        assert_eq!(env_param("WFSIM_TEST_PARAM", 7), 42);
+        std::env::set_var("WFSIM_TEST_PARAM", "not-a-number");
+        assert_eq!(env_param("WFSIM_TEST_PARAM", 7), 7);
+    }
+
+    #[test]
+    fn named_algorithm_wrappers_expose_names() {
+        let a = NamedAlgorithm::from_measure(WorkflowSimilarity::new(
+            SimilarityConfig::best_module_sets(),
+        ));
+        assert_eq!(a.name, "MS_ip_te_pll");
+        let e = NamedAlgorithm::from_ensemble(wf_sim::Ensemble::bw_plus_path_sets());
+        assert_eq!(e.name, "BW+PS_ip_te_pll");
+        let f = NamedAlgorithm::from_fn("constant", |_, _| Some(0.5));
+        assert_eq!(f.name, "constant");
+    }
+}

@@ -1,0 +1,379 @@
+//! The workflow *ranking* experiment (paper Section 4.2, experiment 1, and
+//! Section 5.1).
+//!
+//! A set of query workflows is selected from the corpus; each query comes
+//! with a stratified list of 10 candidate workflows.  The simulated expert
+//! panel rates every (query, candidate) pair; per-expert rankings are
+//! aggregated into a BioConsert consensus.  A similarity algorithm is then
+//! evaluated by ranking the same candidates and comparing its ranking to the
+//! consensus with the ranking-correctness / completeness measures.
+
+use std::collections::BTreeMap;
+
+use wf_corpus::{
+    generate_taverna_corpus, select_candidates, select_queries, CorpusMeta, ExpertPanel,
+    ExpertPanelConfig, TavernaCorpusConfig,
+};
+use wf_gold::metrics::QualitySummary;
+use wf_gold::{
+    bioconsert_consensus, ranking_correctness_completeness, BioConsertConfig, Ranking,
+    RatingCorpus,
+};
+use wf_model::{Workflow, WorkflowId};
+use wf_repo::Repository;
+
+use crate::NamedAlgorithm;
+
+/// Configuration of the ranking experiment.
+#[derive(Debug, Clone)]
+pub struct RankingExperimentConfig {
+    /// Size of the generated Taverna-like corpus.
+    pub corpus_size: usize,
+    /// Number of query workflows (the paper uses 24).
+    pub queries: usize,
+    /// Number of candidates per query (the paper uses 10).
+    pub candidates_per_query: usize,
+    /// Master RNG seed.
+    pub seed: u64,
+}
+
+impl Default for RankingExperimentConfig {
+    fn default() -> Self {
+        RankingExperimentConfig {
+            corpus_size: 1483,
+            queries: 24,
+            candidates_per_query: 10,
+            seed: 42,
+        }
+    }
+}
+
+impl RankingExperimentConfig {
+    /// A reduced setting for unit tests and quick runs.
+    pub fn quick() -> Self {
+        RankingExperimentConfig {
+            corpus_size: 120,
+            queries: 6,
+            candidates_per_query: 8,
+            seed: 42,
+        }
+    }
+}
+
+/// The per-algorithm outcome of the ranking experiment.
+#[derive(Debug, Clone)]
+pub struct AlgorithmScore {
+    /// Algorithm name.
+    pub name: String,
+    /// Aggregated ranking quality over all rankable queries.
+    pub summary: QualitySummary,
+    /// Number of queries the algorithm could not rank at all (e.g. Bag of
+    /// Tags on an untagged query workflow).
+    pub unrankable_queries: usize,
+}
+
+/// The fully prepared ranking experiment: corpus, queries, candidates,
+/// expert ratings and consensus rankings.
+pub struct RankingExperiment {
+    repository: Repository,
+    meta: CorpusMeta,
+    queries: Vec<WorkflowId>,
+    candidates: BTreeMap<WorkflowId, Vec<WorkflowId>>,
+    ratings: RatingCorpus,
+    consensus: BTreeMap<WorkflowId, Ranking>,
+}
+
+impl RankingExperiment {
+    /// Generates the Taverna-like corpus, selects queries/candidates,
+    /// simulates the expert study and computes the consensus rankings.
+    pub fn prepare(config: &RankingExperimentConfig) -> Self {
+        let (corpus, meta) = generate_taverna_corpus(&TavernaCorpusConfig::small(
+            config.corpus_size,
+            config.seed,
+        ));
+        Self::prepare_from_corpus(corpus, meta, config)
+    }
+
+    /// Builds the experiment from an existing corpus (used by the Galaxy
+    /// transferability experiment of Fig. 12, which supplies the Galaxy
+    /// corpus instead of the default Taverna one).
+    pub fn prepare_from_corpus(
+        corpus: Vec<Workflow>,
+        meta: CorpusMeta,
+        config: &RankingExperimentConfig,
+    ) -> Self {
+        let repository = Repository::from_workflows(corpus);
+        let queries = select_queries(&meta, config.queries, 3, config.seed + 1);
+
+        let mut candidates = BTreeMap::new();
+        let mut pairs = Vec::new();
+        for (i, q) in queries.iter().enumerate() {
+            let list = select_candidates(
+                &meta,
+                q,
+                config.candidates_per_query,
+                config.seed + 100 + i as u64,
+            );
+            for c in &list {
+                pairs.push((q.clone(), c.clone()));
+            }
+            candidates.insert(q.clone(), list);
+        }
+
+        let panel = ExpertPanel::new(ExpertPanelConfig {
+            seed: config.seed + 1000,
+            ..ExpertPanelConfig::default()
+        });
+        let ratings = panel.rate_pairs(&meta, &pairs);
+
+        let mut consensus = BTreeMap::new();
+        for q in &queries {
+            let expert_rankings: Vec<Ranking> = ratings
+                .expert_rankings(q.as_str())
+                .into_iter()
+                .map(|(_, r)| r)
+                .collect();
+            consensus.insert(
+                q.clone(),
+                bioconsert_consensus(&expert_rankings, &BioConsertConfig::default()),
+            );
+        }
+
+        RankingExperiment {
+            repository,
+            meta,
+            queries,
+            candidates,
+            ratings,
+            consensus,
+        }
+    }
+
+    /// The underlying repository.
+    pub fn repository(&self) -> &Repository {
+        &self.repository
+    }
+
+    /// The latent corpus metadata.
+    pub fn meta(&self) -> &CorpusMeta {
+        &self.meta
+    }
+
+    /// The selected query workflow ids.
+    pub fn queries(&self) -> &[WorkflowId] {
+        &self.queries
+    }
+
+    /// The candidate list of a query.
+    pub fn candidates(&self, query: &WorkflowId) -> &[WorkflowId] {
+        self.candidates
+            .get(query)
+            .map(Vec::as_slice)
+            .unwrap_or(&[])
+    }
+
+    /// The collected expert ratings.
+    pub fn ratings(&self) -> &RatingCorpus {
+        &self.ratings
+    }
+
+    /// The BioConsert consensus ranking of a query's candidates.
+    pub fn consensus(&self, query: &WorkflowId) -> Option<&Ranking> {
+        self.consensus.get(query)
+    }
+
+    /// Total number of (query, candidate) pairs in the experiment (the
+    /// paper's "240 pairs").
+    pub fn pair_count(&self) -> usize {
+        self.candidates.values().map(Vec::len).sum()
+    }
+
+    /// Ranks one query's candidates with a scoring function; candidates the
+    /// function abstains on are left unranked (as the paper does for BT).
+    pub fn algorithm_ranking(
+        &self,
+        query: &WorkflowId,
+        score: &(dyn Fn(&Workflow, &Workflow) -> Option<f64> + Sync),
+    ) -> Ranking {
+        let Some(query_wf) = self.repository.get(query) else {
+            return Ranking::new();
+        };
+        let mut scored: Vec<(String, f64)> = Vec::new();
+        for candidate in self.candidates(query) {
+            let Some(candidate_wf) = self.repository.get(candidate) else {
+                continue;
+            };
+            if let Some(s) = score(query_wf, candidate_wf) {
+                scored.push((candidate.as_str().to_string(), s));
+            }
+        }
+        Ranking::from_scores(scored, 1e-9)
+    }
+
+    /// Evaluates one algorithm over all queries.
+    pub fn evaluate(&self, algorithm: &NamedAlgorithm<'_>) -> AlgorithmScore {
+        let mut qualities = Vec::new();
+        let mut unrankable = 0usize;
+        for q in &self.queries {
+            let algorithmic = self.algorithm_ranking(q, &algorithm.score);
+            if algorithmic.is_empty() {
+                unrankable += 1;
+                continue;
+            }
+            let consensus = self.consensus(q).expect("consensus exists for every query");
+            qualities.push(ranking_correctness_completeness(&algorithmic, consensus));
+        }
+        let summary = QualitySummary::of(&qualities).unwrap_or(QualitySummary {
+            queries: 0,
+            mean_correctness: 0.0,
+            stddev_correctness: 0.0,
+            mean_completeness: 0.0,
+        });
+        AlgorithmScore {
+            name: algorithm.name.clone(),
+            summary,
+            unrankable_queries: unrankable,
+        }
+    }
+
+    /// Evaluates several algorithms.
+    pub fn evaluate_all(&self, algorithms: &[NamedAlgorithm<'_>]) -> Vec<AlgorithmScore> {
+        algorithms.iter().map(|a| self.evaluate(a)).collect()
+    }
+
+    /// Per-query ranking correctness of one algorithm, in query order.
+    ///
+    /// Queries the algorithm cannot rank at all contribute a correctness of
+    /// 0 (no correlation), so the vectors of different algorithms stay
+    /// aligned — the form needed by the paired significance tests that back
+    /// the paper's "p < 0.05, paired ttest" statements.
+    pub fn per_query_correctness(&self, algorithm: &NamedAlgorithm<'_>) -> Vec<f64> {
+        self.queries
+            .iter()
+            .map(|q| {
+                let algorithmic = self.algorithm_ranking(q, &algorithm.score);
+                if algorithmic.is_empty() {
+                    return 0.0;
+                }
+                let consensus = self.consensus(q).expect("consensus exists for every query");
+                ranking_correctness_completeness(&algorithmic, consensus).correctness
+            })
+            .collect()
+    }
+
+    /// Per-expert agreement with the consensus (Fig. 4): the ranking quality
+    /// of each individual expert's ranking measured against the BioConsert
+    /// consensus, averaged over the queries the expert rated.
+    pub fn expert_agreement(&self) -> Vec<(String, QualitySummary)> {
+        let experts: Vec<String> = self
+            .ratings
+            .experts()
+            .into_iter()
+            .map(str::to_string)
+            .collect();
+        experts
+            .into_iter()
+            .map(|expert| {
+                let mut qualities = Vec::new();
+                for q in &self.queries {
+                    let expert_ranking = self.ratings.expert_ranking(&expert, q.as_str());
+                    if expert_ranking.is_empty() {
+                        continue;
+                    }
+                    let consensus = self.consensus(q).expect("consensus exists");
+                    qualities.push(ranking_correctness_completeness(&expert_ranking, consensus));
+                }
+                let summary = QualitySummary::of(&qualities).unwrap_or(QualitySummary {
+                    queries: 0,
+                    mean_correctness: 0.0,
+                    stddev_correctness: 0.0,
+                    mean_completeness: 0.0,
+                });
+                (expert, summary)
+            })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use wf_sim::{SimilarityConfig, WorkflowSimilarity};
+
+    fn experiment() -> RankingExperiment {
+        RankingExperiment::prepare(&RankingExperimentConfig::quick())
+    }
+
+    #[test]
+    fn preparation_builds_a_complete_experiment() {
+        let exp = experiment();
+        assert_eq!(exp.queries().len(), 6);
+        assert_eq!(exp.pair_count(), 6 * 8);
+        assert_eq!(exp.repository().len(), 120);
+        assert!(exp.ratings().len() > 0);
+        for q in exp.queries() {
+            assert_eq!(exp.candidates(q).len(), 8);
+            let consensus = exp.consensus(q).unwrap();
+            assert!(!consensus.is_empty(), "consensus ranks the candidates of {q}");
+        }
+    }
+
+    #[test]
+    fn good_algorithms_beat_the_inverted_oracle() {
+        let exp = experiment();
+        // Latent-similarity oracle: the best possible algorithm.
+        let meta = exp.meta().clone();
+        let oracle = NamedAlgorithm::from_fn("oracle", move |a, b| meta.latent(&a.id, &b.id));
+        let meta2 = exp.meta().clone();
+        let inverted =
+            NamedAlgorithm::from_fn("inverted", move |a, b| meta2.latent(&a.id, &b.id).map(|s| -s));
+        let oracle_score = exp.evaluate(&oracle);
+        let inverted_score = exp.evaluate(&inverted);
+        assert!(oracle_score.summary.mean_correctness > 0.6);
+        assert!(inverted_score.summary.mean_correctness < -0.3);
+        assert!(
+            oracle_score.summary.mean_correctness > inverted_score.summary.mean_correctness
+        );
+    }
+
+    #[test]
+    fn real_measures_correlate_with_the_consensus() {
+        let exp = experiment();
+        let ms = NamedAlgorithm::from_measure(WorkflowSimilarity::new(
+            SimilarityConfig::best_module_sets(),
+        ));
+        let score = exp.evaluate(&ms);
+        assert!(
+            score.summary.mean_correctness > 0.2,
+            "MS_ip_te_pll correctness {} should clearly exceed chance",
+            score.summary.mean_correctness
+        );
+        assert!(score.summary.mean_completeness > 0.5);
+    }
+
+    #[test]
+    fn expert_agreement_is_high_on_average() {
+        let exp = experiment();
+        let agreement = exp.expert_agreement();
+        assert_eq!(agreement.len(), 15);
+        let mean: f64 = agreement
+            .iter()
+            .map(|(_, s)| s.mean_correctness)
+            .sum::<f64>()
+            / agreement.len() as f64;
+        assert!(mean > 0.5, "experts should mostly agree with their consensus (got {mean})");
+    }
+
+    #[test]
+    fn evaluate_all_preserves_order_and_names() {
+        let exp = experiment();
+        let algorithms = vec![
+            NamedAlgorithm::from_measure(WorkflowSimilarity::new(SimilarityConfig::bag_of_words())),
+            NamedAlgorithm::from_measure(WorkflowSimilarity::new(SimilarityConfig::bag_of_tags())),
+        ];
+        let scores = exp.evaluate_all(&algorithms);
+        assert_eq!(scores.len(), 2);
+        assert_eq!(scores[0].name, "BW");
+        assert_eq!(scores[1].name, "BT");
+    }
+}

@@ -1,0 +1,127 @@
+//! Plain-text table formatting for the experiment binaries.
+//!
+//! The figure binaries print their data as aligned text tables (one row per
+//! algorithm or per k) so that the numbers can be diffed against
+//! EXPERIMENTS.md and re-plotted externally if desired.
+
+/// A simple left-aligned text table.
+#[derive(Debug, Clone, Default)]
+pub struct TextTable {
+    header: Vec<String>,
+    rows: Vec<Vec<String>>,
+}
+
+impl TextTable {
+    /// Creates a table with the given column headers.
+    pub fn new<S: Into<String>>(header: Vec<S>) -> Self {
+        TextTable {
+            header: header.into_iter().map(Into::into).collect(),
+            rows: Vec::new(),
+        }
+    }
+
+    /// Appends a row; missing cells are filled with empty strings, extra
+    /// cells are kept (the column count grows).
+    pub fn row<S: Into<String>>(&mut self, cells: Vec<S>) -> &mut Self {
+        self.rows.push(cells.into_iter().map(Into::into).collect());
+        self
+    }
+
+    /// Number of data rows.
+    pub fn len(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// True if the table has no data rows.
+    pub fn is_empty(&self) -> bool {
+        self.rows.is_empty()
+    }
+
+    /// Renders the table with aligned columns.
+    pub fn render(&self) -> String {
+        let columns = self
+            .rows
+            .iter()
+            .map(Vec::len)
+            .chain(std::iter::once(self.header.len()))
+            .max()
+            .unwrap_or(0);
+        let mut widths = vec![0usize; columns];
+        let all_rows = std::iter::once(&self.header).chain(self.rows.iter());
+        for row in all_rows {
+            for (i, cell) in row.iter().enumerate() {
+                widths[i] = widths[i].max(cell.chars().count());
+            }
+        }
+        let mut out = String::new();
+        let render_row = |row: &[String], widths: &[usize]| -> String {
+            let mut line = String::new();
+            for (i, width) in widths.iter().enumerate() {
+                let cell = row.get(i).map(String::as_str).unwrap_or("");
+                line.push_str(&format!("{cell:<width$}"));
+                if i + 1 < widths.len() {
+                    line.push_str("  ");
+                }
+            }
+            line.trim_end().to_string()
+        };
+        out.push_str(&render_row(&self.header, &widths));
+        out.push('\n');
+        out.push_str(&"-".repeat(widths.iter().sum::<usize>() + 2 * (widths.len().saturating_sub(1))));
+        out.push('\n');
+        for row in &self.rows {
+            out.push_str(&render_row(row, &widths));
+            out.push('\n');
+        }
+        out
+    }
+}
+
+/// Formats a float with three decimals (the precision the paper reports).
+pub fn fmt3(value: f64) -> String {
+    format!("{value:.3}")
+}
+
+/// Formats a precision curve as `k=1 .. k=n` cells.
+pub fn curve_cells(curve: &[f64]) -> Vec<String> {
+    curve.iter().map(|p| fmt3(*p)).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn renders_aligned_columns() {
+        let mut t = TextTable::new(vec!["algorithm", "correctness"]);
+        t.row(vec!["BW", "0.513"]);
+        t.row(vec!["MS_ip_te_pll", "0.622"]);
+        let rendered = t.render();
+        let lines: Vec<&str> = rendered.lines().collect();
+        assert_eq!(lines.len(), 4);
+        assert!(lines[0].starts_with("algorithm"));
+        assert!(lines[2].starts_with("BW"));
+        assert!(lines[3].starts_with("MS_ip_te_pll"));
+        // Columns align: "0.513" and "0.622" start at the same offset.
+        let off2 = lines[2].find("0.513").unwrap();
+        let off3 = lines[3].find("0.622").unwrap();
+        assert_eq!(off2, off3);
+        assert_eq!(t.len(), 2);
+        assert!(!t.is_empty());
+    }
+
+    #[test]
+    fn handles_ragged_rows() {
+        let mut t = TextTable::new(vec!["a"]);
+        t.row(vec!["1", "2", "3"]);
+        t.row(Vec::<String>::new());
+        let rendered = t.render();
+        assert!(rendered.contains('3'));
+    }
+
+    #[test]
+    fn formatting_helpers() {
+        assert_eq!(fmt3(0.51349), "0.513");
+        assert_eq!(curve_cells(&[1.0, 0.5]), vec!["1.000", "0.500"]);
+    }
+}

@@ -1,0 +1,163 @@
+//! The [`Clustering`] type: an assignment of items to clusters.
+
+use std::collections::BTreeMap;
+
+/// A clustering of `n` items, stored as one cluster id per item.
+///
+/// Cluster ids are dense (`0..cluster_count()`) but carry no meaning beyond
+/// identity; two clusterings are compared with the metrics in
+/// [`crate::quality`], not by id equality.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Clustering {
+    assignments: Vec<usize>,
+    cluster_count: usize,
+}
+
+impl Clustering {
+    /// Builds a clustering from an assignment vector.  Cluster ids are
+    /// re-labelled densely in order of first appearance.
+    pub fn from_assignments(raw: &[usize]) -> Self {
+        let mut relabel: BTreeMap<usize, usize> = BTreeMap::new();
+        let mut assignments = Vec::with_capacity(raw.len());
+        for &label in raw {
+            let next = relabel.len();
+            let dense = *relabel.entry(label).or_insert(next);
+            assignments.push(dense);
+        }
+        Clustering {
+            assignments,
+            cluster_count: relabel.len(),
+        }
+    }
+
+    /// Builds a clustering from explicit item groups.
+    ///
+    /// # Panics
+    /// Panics if the groups do not form a partition of `0..n` (an item is
+    /// missing or listed twice).
+    pub fn from_groups(groups: &[Vec<usize>], n: usize) -> Self {
+        let mut assignments = vec![usize::MAX; n];
+        for (cluster, members) in groups.iter().enumerate() {
+            for &item in members {
+                assert!(item < n, "item {item} out of range for {n} items");
+                assert_eq!(
+                    assignments[item],
+                    usize::MAX,
+                    "item {item} assigned to more than one cluster"
+                );
+                assignments[item] = cluster;
+            }
+        }
+        assert!(
+            assignments.iter().all(|&a| a != usize::MAX),
+            "every item must belong to exactly one cluster"
+        );
+        Clustering::from_assignments(&assignments)
+    }
+
+    /// The trivial clustering that puts every item in its own cluster.
+    pub fn singletons(n: usize) -> Self {
+        Clustering::from_assignments(&(0..n).collect::<Vec<_>>())
+    }
+
+    /// The trivial clustering that puts every item in one cluster.
+    pub fn single_cluster(n: usize) -> Self {
+        Clustering::from_assignments(&vec![0; n])
+    }
+
+    /// Number of items.
+    pub fn len(&self) -> usize {
+        self.assignments.len()
+    }
+
+    /// True when the clustering covers no items.
+    pub fn is_empty(&self) -> bool {
+        self.assignments.is_empty()
+    }
+
+    /// Number of clusters.
+    pub fn cluster_count(&self) -> usize {
+        self.cluster_count
+    }
+
+    /// The cluster id of one item.
+    pub fn cluster_of(&self, item: usize) -> usize {
+        self.assignments[item]
+    }
+
+    /// The dense assignment vector.
+    pub fn assignments(&self) -> &[usize] {
+        &self.assignments
+    }
+
+    /// The clusters as lists of item indices, ordered by cluster id.
+    pub fn groups(&self) -> Vec<Vec<usize>> {
+        let mut groups = vec![Vec::new(); self.cluster_count];
+        for (item, &cluster) in self.assignments.iter().enumerate() {
+            groups[cluster].push(item);
+        }
+        groups
+    }
+
+    /// True when the two items share a cluster.
+    pub fn same_cluster(&self, a: usize, b: usize) -> bool {
+        self.assignments[a] == self.assignments[b]
+    }
+
+    /// The size of the largest cluster (0 for an empty clustering).
+    pub fn largest_cluster_size(&self) -> usize {
+        self.groups().iter().map(Vec::len).max().unwrap_or(0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn from_assignments_relabels_densely() {
+        let c = Clustering::from_assignments(&[7, 7, 3, 9, 3]);
+        assert_eq!(c.assignments(), &[0, 0, 1, 2, 1]);
+        assert_eq!(c.cluster_count(), 3);
+        assert_eq!(c.len(), 5);
+    }
+
+    #[test]
+    fn from_groups_round_trips_through_groups() {
+        let groups = vec![vec![0, 2], vec![1, 3, 4]];
+        let c = Clustering::from_groups(&groups, 5);
+        assert_eq!(c.groups(), groups);
+        assert!(c.same_cluster(0, 2));
+        assert!(!c.same_cluster(0, 1));
+    }
+
+    #[test]
+    #[should_panic(expected = "more than one cluster")]
+    fn from_groups_rejects_overlapping_groups() {
+        let _ = Clustering::from_groups(&[vec![0, 1], vec![1, 2]], 3);
+    }
+
+    #[test]
+    #[should_panic(expected = "exactly one cluster")]
+    fn from_groups_rejects_missing_items() {
+        let _ = Clustering::from_groups(&[vec![0], vec![2]], 3);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn from_groups_rejects_out_of_range_items() {
+        let _ = Clustering::from_groups(&[vec![0, 5]], 3);
+    }
+
+    #[test]
+    fn trivial_clusterings() {
+        let singles = Clustering::singletons(4);
+        assert_eq!(singles.cluster_count(), 4);
+        assert_eq!(singles.largest_cluster_size(), 1);
+        let one = Clustering::single_cluster(4);
+        assert_eq!(one.cluster_count(), 1);
+        assert_eq!(one.largest_cluster_size(), 4);
+        assert!(Clustering::singletons(0).is_empty());
+        assert_eq!(Clustering::singletons(0).largest_cluster_size(), 0);
+    }
+}

@@ -1,0 +1,304 @@
+//! Agglomerative hierarchical clustering.
+//!
+//! The classic bottom-up procedure: start from singleton clusters and
+//! repeatedly merge the two most similar clusters, where cluster-to-cluster
+//! similarity is defined by the linkage (single = most similar pair,
+//! complete = least similar pair, average = mean pairwise similarity).  The
+//! full merge history is kept as a [`Dendrogram`] so one clustering run can
+//! be cut at any similarity threshold or cluster count afterwards — exactly
+//! how clustering-based evaluations of workflow similarity measures (e.g.
+//! Santos et al. \[33\], Jung et al. \[21\]) sweep their granularity
+//! parameter.
+
+use crate::clustering::Clustering;
+use crate::matrix::PairwiseSimilarities;
+
+/// The cluster-to-cluster similarity definition.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum Linkage {
+    /// Similarity of the most similar cross-cluster pair.
+    Single,
+    /// Similarity of the least similar cross-cluster pair.
+    Complete,
+    /// Mean similarity over all cross-cluster pairs (UPGMA).
+    #[default]
+    Average,
+}
+
+impl Linkage {
+    /// A short name for experiment output.
+    pub fn name(self) -> &'static str {
+        match self {
+            Linkage::Single => "single",
+            Linkage::Complete => "complete",
+            Linkage::Average => "average",
+        }
+    }
+}
+
+/// One merge performed by the agglomerative procedure.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct MergeStep {
+    /// Dendrogram node id of the first merged cluster.
+    pub first: usize,
+    /// Dendrogram node id of the second merged cluster.
+    pub second: usize,
+    /// The linkage similarity at which the merge happened.
+    pub similarity: f64,
+    /// The dendrogram node id of the merged cluster (`n + step index`).
+    pub merged: usize,
+}
+
+/// The full merge history of one agglomerative clustering run.
+///
+/// Leaves `0..n` are the workflows (in matrix order); internal nodes are
+/// numbered `n..2n-1` in merge order.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Dendrogram {
+    item_count: usize,
+    linkage: Linkage,
+    merges: Vec<MergeStep>,
+}
+
+impl Dendrogram {
+    /// Number of clustered items.
+    pub fn item_count(&self) -> usize {
+        self.item_count
+    }
+
+    /// The linkage the dendrogram was built with.
+    pub fn linkage(&self) -> Linkage {
+        self.linkage
+    }
+
+    /// The merge steps in the order they were performed (monotonically
+    /// non-increasing similarity for complete and average linkage; single
+    /// linkage is monotone as well because similarity only grows by taking
+    /// maxima).
+    pub fn merges(&self) -> &[MergeStep] {
+        &self.merges
+    }
+
+    /// Cuts the dendrogram so that only merges with similarity ≥ `threshold`
+    /// are applied.
+    pub fn cut_at(&self, threshold: f64) -> Clustering {
+        self.cut(|step| step.similarity >= threshold, usize::MAX)
+    }
+
+    /// Cuts the dendrogram into (at most) `k` clusters by undoing the last
+    /// merges.  Asking for more clusters than items yields singletons.
+    pub fn cut_k(&self, k: usize) -> Clustering {
+        if k == 0 || self.item_count == 0 {
+            return Clustering::singletons(self.item_count);
+        }
+        let merges_to_apply = self.item_count.saturating_sub(k);
+        self.cut(|_| true, merges_to_apply)
+    }
+
+    fn cut(&self, accept: impl Fn(&MergeStep) -> bool, max_merges: usize) -> Clustering {
+        let n = self.item_count;
+        // Union-find over leaves; internal node ids map onto their leaf set
+        // through the union operations.
+        let mut parent: Vec<usize> = (0..2 * n).collect();
+        fn find(parent: &mut Vec<usize>, x: usize) -> usize {
+            if parent[x] != x {
+                let root = find(parent, parent[x]);
+                parent[x] = root;
+            }
+            parent[x]
+        }
+        let mut applied = 0usize;
+        for step in &self.merges {
+            if applied >= max_merges {
+                break;
+            }
+            if !accept(step) {
+                continue;
+            }
+            let a = find(&mut parent, step.first);
+            let b = find(&mut parent, step.second);
+            parent[a] = step.merged;
+            parent[b] = step.merged;
+            applied += 1;
+        }
+        let assignments: Vec<usize> = (0..n).map(|i| find(&mut parent, i)).collect();
+        Clustering::from_assignments(&assignments)
+    }
+}
+
+/// Runs agglomerative clustering over a similarity matrix.
+pub fn hierarchical_clustering(matrix: &PairwiseSimilarities, linkage: Linkage) -> Dendrogram {
+    let n = matrix.len();
+    let mut merges = Vec::with_capacity(n.saturating_sub(1));
+    // Active clusters: dendrogram node id plus member leaf indices.
+    let mut clusters: Vec<(usize, Vec<usize>)> = (0..n).map(|i| (i, vec![i])).collect();
+    let mut next_node = n;
+    while clusters.len() > 1 {
+        // Find the pair of active clusters with the highest linkage
+        // similarity.  O(k²·|a|·|b|) per round is fine for corpus sizes in
+        // the low thousands; the similarity matrix lookups dominate anyway.
+        let mut best: Option<(usize, usize, f64)> = None;
+        for i in 0..clusters.len() {
+            for j in (i + 1)..clusters.len() {
+                let s = linkage_similarity(matrix, &clusters[i].1, &clusters[j].1, linkage);
+                let better = match best {
+                    None => true,
+                    Some((_, _, bs)) => s > bs,
+                };
+                if better {
+                    best = Some((i, j, s));
+                }
+            }
+        }
+        let (i, j, similarity) = best.expect("at least two clusters remain");
+        let (node_j, members_j) = clusters.swap_remove(j);
+        let (node_i, members_i) = clusters.swap_remove(i.min(clusters.len()));
+        let mut merged_members = members_i;
+        merged_members.extend(members_j);
+        merges.push(MergeStep {
+            first: node_i,
+            second: node_j,
+            similarity,
+            merged: next_node,
+        });
+        clusters.push((next_node, merged_members));
+        next_node += 1;
+    }
+    Dendrogram {
+        item_count: n,
+        linkage,
+        merges,
+    }
+}
+
+fn linkage_similarity(
+    matrix: &PairwiseSimilarities,
+    a: &[usize],
+    b: &[usize],
+    linkage: Linkage,
+) -> f64 {
+    let mut min = f64::INFINITY;
+    let mut max = f64::NEG_INFINITY;
+    let mut sum = 0.0;
+    let mut count = 0usize;
+    for &x in a {
+        for &y in b {
+            let s = matrix.similarity(x, y);
+            min = min.min(s);
+            max = max.max(s);
+            sum += s;
+            count += 1;
+        }
+    }
+    match linkage {
+        Linkage::Single => max,
+        Linkage::Complete => min,
+        Linkage::Average => sum / count as f64,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use wf_model::WorkflowId;
+
+    /// A block-structured toy matrix: items 0-2 are one tight group, items
+    /// 3-4 another, cross-group similarity is low.
+    fn block_matrix() -> PairwiseSimilarities {
+        let ids: Vec<WorkflowId> = (0..5).map(|i| WorkflowId::new(format!("w{i}"))).collect();
+        let s = vec![
+            1.0, 0.9, 0.8, 0.1, 0.2, //
+            0.9, 1.0, 0.85, 0.15, 0.1, //
+            0.8, 0.85, 1.0, 0.1, 0.1, //
+            0.1, 0.15, 0.1, 1.0, 0.7, //
+            0.2, 0.1, 0.1, 0.7, 1.0,
+        ];
+        PairwiseSimilarities::from_values(ids, s)
+    }
+
+    #[test]
+    fn two_block_matrix_recovers_two_clusters() {
+        let matrix = block_matrix();
+        for linkage in [Linkage::Single, Linkage::Complete, Linkage::Average] {
+            let dendrogram = hierarchical_clustering(&matrix, linkage);
+            let clusters = dendrogram.cut_k(2);
+            assert_eq!(clusters.cluster_count(), 2, "{}", linkage.name());
+            assert!(clusters.same_cluster(0, 1));
+            assert!(clusters.same_cluster(0, 2));
+            assert!(clusters.same_cluster(3, 4));
+            assert!(!clusters.same_cluster(0, 3));
+        }
+    }
+
+    #[test]
+    fn cut_at_threshold_controls_granularity() {
+        let matrix = block_matrix();
+        let dendrogram = hierarchical_clustering(&matrix, Linkage::Average);
+        let strict = dendrogram.cut_at(0.95);
+        assert_eq!(strict.cluster_count(), 5, "nothing reaches 0.95");
+        let loose = dendrogram.cut_at(0.0);
+        assert_eq!(loose.cluster_count(), 1, "everything merges at threshold 0");
+        let medium = dendrogram.cut_at(0.6);
+        assert_eq!(medium.cluster_count(), 2);
+    }
+
+    #[test]
+    fn merge_count_is_items_minus_one() {
+        let matrix = block_matrix();
+        let dendrogram = hierarchical_clustering(&matrix, Linkage::Complete);
+        assert_eq!(dendrogram.item_count(), 5);
+        assert_eq!(dendrogram.merges().len(), 4);
+        assert_eq!(dendrogram.linkage(), Linkage::Complete);
+    }
+
+    #[test]
+    fn merge_similarities_are_monotone_for_average_linkage() {
+        let matrix = block_matrix();
+        let dendrogram = hierarchical_clustering(&matrix, Linkage::Average);
+        let sims: Vec<f64> = dendrogram.merges().iter().map(|m| m.similarity).collect();
+        for pair in sims.windows(2) {
+            assert!(pair[0] >= pair[1] - 1e-12, "merges happen at non-increasing similarity");
+        }
+    }
+
+    #[test]
+    fn cut_k_edge_cases() {
+        let matrix = block_matrix();
+        let dendrogram = hierarchical_clustering(&matrix, Linkage::Average);
+        assert_eq!(dendrogram.cut_k(10).cluster_count(), 5, "more clusters than items");
+        assert_eq!(dendrogram.cut_k(1).cluster_count(), 1);
+        assert_eq!(dendrogram.cut_k(0).cluster_count(), 5, "k = 0 falls back to singletons");
+        assert_eq!(dendrogram.cut_k(5).cluster_count(), 5);
+    }
+
+    #[test]
+    fn single_item_and_empty_matrices() {
+        let empty = PairwiseSimilarities::from_values(vec![], vec![]);
+        let dendrogram = hierarchical_clustering(&empty, Linkage::Single);
+        assert_eq!(dendrogram.merges().len(), 0);
+        assert!(dendrogram.cut_k(3).is_empty());
+
+        let one = PairwiseSimilarities::from_values(vec![WorkflowId::new("x")], vec![1.0]);
+        let dendrogram = hierarchical_clustering(&one, Linkage::Single);
+        assert_eq!(dendrogram.merges().len(), 0);
+        assert_eq!(dendrogram.cut_at(0.5).cluster_count(), 1);
+    }
+
+    #[test]
+    fn single_and_complete_linkage_differ_on_a_chain() {
+        // A "chain" of similarities: 0-1 high, 1-2 high, 0-2 low.  Single
+        // linkage chains all three together at a high threshold; complete
+        // linkage requires the weak 0-2 similarity.
+        let ids: Vec<WorkflowId> = (0..3).map(|i| WorkflowId::new(format!("w{i}"))).collect();
+        let s = vec![
+            1.0, 0.9, 0.1, //
+            0.9, 1.0, 0.9, //
+            0.1, 0.9, 1.0,
+        ];
+        let matrix = PairwiseSimilarities::from_values(ids, s);
+        let single = hierarchical_clustering(&matrix, Linkage::Single).cut_at(0.8);
+        let complete = hierarchical_clustering(&matrix, Linkage::Complete).cut_at(0.8);
+        assert_eq!(single.cluster_count(), 1);
+        assert!(complete.cluster_count() > 1);
+    }
+}

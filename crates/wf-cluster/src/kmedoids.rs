@@ -1,0 +1,238 @@
+//! K-medoids partitioning (PAM-style).
+//!
+//! Unlike k-means, k-medoids only needs pairwise dissimilarities — exactly
+//! what a workflow similarity measure provides — and its cluster centres are
+//! actual workflows (the *medoids*), which makes clusters easy to present to
+//! a repository user ("this group of workflows is represented by workflow
+//! X").  Initialization is deterministic (farthest-point seeding from the
+//! item with the highest total similarity), followed by alternating
+//! assignment and medoid-update steps until convergence.
+
+use crate::clustering::Clustering;
+use crate::matrix::PairwiseSimilarities;
+
+/// The result of a k-medoids run.
+#[derive(Debug, Clone, PartialEq)]
+pub struct KMedoidsResult {
+    /// The clustering (cluster ids are positions in [`KMedoidsResult::medoids`]).
+    pub clustering: Clustering,
+    /// The medoid item index of every cluster.
+    pub medoids: Vec<usize>,
+    /// The total within-cluster dissimilarity (sum of 1 − similarity to the
+    /// assigned medoid) — lower is better.
+    pub cost: f64,
+    /// Number of assignment/update rounds until convergence.
+    pub iterations: usize,
+}
+
+/// Runs k-medoids clustering for `k` clusters.
+///
+/// `k` is clamped to the number of items; `k = 0` yields an empty
+/// clustering over zero clusters if there are no items, otherwise it is
+/// treated as 1.  The algorithm is deterministic.
+pub fn kmedoids(matrix: &PairwiseSimilarities, k: usize, max_iterations: usize) -> KMedoidsResult {
+    let n = matrix.len();
+    if n == 0 {
+        return KMedoidsResult {
+            clustering: Clustering::from_assignments(&[]),
+            medoids: Vec::new(),
+            cost: 0.0,
+            iterations: 0,
+        };
+    }
+    let k = k.clamp(1, n);
+
+    // Deterministic farthest-point initialization: start from the item with
+    // the highest total similarity (the most "central" workflow), then
+    // repeatedly add the item least similar to the already chosen medoids.
+    let mut medoids: Vec<usize> = Vec::with_capacity(k);
+    let first = (0..n)
+        .max_by(|&a, &b| {
+            total_similarity(matrix, a)
+                .partial_cmp(&total_similarity(matrix, b))
+                .expect("similarities are finite")
+                .then_with(|| b.cmp(&a))
+        })
+        .expect("n > 0");
+    medoids.push(first);
+    while medoids.len() < k {
+        let next = (0..n)
+            .filter(|i| !medoids.contains(i))
+            .min_by(|&a, &b| {
+                let sa = medoids.iter().map(|&m| matrix.similarity(a, m)).fold(f64::NEG_INFINITY, f64::max);
+                let sb = medoids.iter().map(|&m| matrix.similarity(b, m)).fold(f64::NEG_INFINITY, f64::max);
+                sa.partial_cmp(&sb).expect("similarities are finite").then_with(|| a.cmp(&b))
+            })
+            .expect("fewer medoids than items");
+        medoids.push(next);
+    }
+
+    let mut assignments = assign(matrix, &medoids);
+    let mut iterations = 0usize;
+    while iterations < max_iterations {
+        iterations += 1;
+        // Update step: for each cluster pick the member minimizing the total
+        // dissimilarity to the other members.
+        let mut new_medoids = medoids.clone();
+        for (cluster, medoid) in new_medoids.iter_mut().enumerate() {
+            let members: Vec<usize> = (0..n).filter(|&i| assignments[i] == cluster).collect();
+            if members.is_empty() {
+                continue;
+            }
+            *medoid = *members
+                .iter()
+                .min_by(|&&a, &&b| {
+                    let ca: f64 = members.iter().map(|&m| matrix.distance(a, m)).sum();
+                    let cb: f64 = members.iter().map(|&m| matrix.distance(b, m)).sum();
+                    ca.partial_cmp(&cb).expect("distances are finite").then_with(|| a.cmp(&b))
+                })
+                .expect("cluster has members");
+        }
+        let new_assignments = assign(matrix, &new_medoids);
+        if new_medoids == medoids && new_assignments == assignments {
+            break;
+        }
+        medoids = new_medoids;
+        assignments = new_assignments;
+    }
+
+    // Re-derive the medoid list aligned with the dense cluster ids of the
+    // final clustering (empty clusters, if any, disappear here).
+    let clustering = Clustering::from_assignments(&assignments);
+    let medoids: Vec<usize> = clustering
+        .groups()
+        .iter()
+        .map(|members| {
+            *members
+                .iter()
+                .min_by(|&&a, &&b| {
+                    let ca: f64 = members.iter().map(|&m| matrix.distance(a, m)).sum();
+                    let cb: f64 = members.iter().map(|&m| matrix.distance(b, m)).sum();
+                    ca.partial_cmp(&cb)
+                        .expect("distances are finite")
+                        .then_with(|| a.cmp(&b))
+                })
+                .expect("groups are never empty")
+        })
+        .collect();
+    let cost = (0..n)
+        .map(|i| matrix.distance(i, medoids[clustering.cluster_of(i)]))
+        .sum();
+    KMedoidsResult {
+        clustering,
+        medoids,
+        cost,
+        iterations,
+    }
+}
+
+fn total_similarity(matrix: &PairwiseSimilarities, item: usize) -> f64 {
+    (0..matrix.len()).map(|j| matrix.similarity(item, j)).sum()
+}
+
+fn assign(matrix: &PairwiseSimilarities, medoids: &[usize]) -> Vec<usize> {
+    (0..matrix.len())
+        .map(|i| {
+            medoids
+                .iter()
+                .enumerate()
+                .max_by(|(_, &a), (_, &b)| {
+                    matrix
+                        .similarity(i, a)
+                        .partial_cmp(&matrix.similarity(i, b))
+                        .expect("similarities are finite")
+                })
+                .map(|(cluster, _)| cluster)
+                .expect("at least one medoid")
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use wf_model::WorkflowId;
+
+    fn block_matrix() -> PairwiseSimilarities {
+        let ids: Vec<WorkflowId> = (0..6).map(|i| WorkflowId::new(format!("w{i}"))).collect();
+        // Two tight blocks: {0,1,2} and {3,4,5}.
+        let mut s = vec![0.1; 36];
+        for i in 0..6 {
+            s[i * 6 + i] = 1.0;
+        }
+        for &(i, j, v) in &[
+            (0usize, 1usize, 0.9),
+            (0, 2, 0.85),
+            (1, 2, 0.88),
+            (3, 4, 0.92),
+            (3, 5, 0.8),
+            (4, 5, 0.86),
+        ] {
+            s[i * 6 + j] = v;
+            s[j * 6 + i] = v;
+        }
+        PairwiseSimilarities::from_values(ids, s)
+    }
+
+    #[test]
+    fn two_blocks_are_recovered_with_k2() {
+        let matrix = block_matrix();
+        let result = kmedoids(&matrix, 2, 20);
+        assert_eq!(result.clustering.cluster_count(), 2);
+        assert!(result.clustering.same_cluster(0, 1));
+        assert!(result.clustering.same_cluster(0, 2));
+        assert!(result.clustering.same_cluster(3, 4));
+        assert!(!result.clustering.same_cluster(0, 3));
+        assert_eq!(result.medoids.len(), 2);
+        // Medoids belong to their own clusters.
+        for (cluster, &medoid) in result.medoids.iter().enumerate() {
+            assert_eq!(result.clustering.cluster_of(medoid), cluster);
+        }
+    }
+
+    #[test]
+    fn cost_decreases_with_more_clusters() {
+        let matrix = block_matrix();
+        let k1 = kmedoids(&matrix, 1, 20);
+        let k2 = kmedoids(&matrix, 2, 20);
+        let k6 = kmedoids(&matrix, 6, 20);
+        assert!(k2.cost <= k1.cost);
+        assert!(k6.cost <= k2.cost);
+        assert!(k6.cost.abs() < 1e-12, "k = n puts every item on its own medoid");
+    }
+
+    #[test]
+    fn k_is_clamped_to_the_item_count() {
+        let matrix = block_matrix();
+        let result = kmedoids(&matrix, 100, 20);
+        assert_eq!(result.clustering.cluster_count(), 6);
+        let result = kmedoids(&matrix, 0, 20);
+        assert_eq!(result.clustering.cluster_count(), 1);
+    }
+
+    #[test]
+    fn empty_matrix_yields_an_empty_result() {
+        let empty = PairwiseSimilarities::from_values(vec![], vec![]);
+        let result = kmedoids(&empty, 3, 10);
+        assert!(result.clustering.is_empty());
+        assert!(result.medoids.is_empty());
+        assert_eq!(result.cost, 0.0);
+    }
+
+    #[test]
+    fn algorithm_is_deterministic() {
+        let matrix = block_matrix();
+        let a = kmedoids(&matrix, 2, 20);
+        let b = kmedoids(&matrix, 2, 20);
+        assert_eq!(a.clustering, b.clustering);
+        assert_eq!(a.medoids, b.medoids);
+        assert_eq!(a.cost, b.cost);
+    }
+
+    #[test]
+    fn converges_within_the_iteration_budget() {
+        let matrix = block_matrix();
+        let result = kmedoids(&matrix, 2, 50);
+        assert!(result.iterations < 50, "terminates well before the budget");
+    }
+}

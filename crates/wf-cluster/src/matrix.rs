@@ -1,0 +1,250 @@
+//! Pairwise similarity matrices over a workflow collection.
+//!
+//! Every clustering algorithm in this crate consumes a
+//! [`PairwiseSimilarities`] matrix: the symmetric matrix of workflow-level
+//! similarities under one measure.  Computing it is the expensive part of
+//! clustering (O(n²) workflow comparisons), so a crossbeam-based parallel
+//! builder is provided alongside the sequential one.
+
+use parking_lot::Mutex;
+use wf_model::{Workflow, WorkflowId};
+use wf_sim::Measure;
+
+/// A symmetric matrix of pairwise workflow similarities.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PairwiseSimilarities {
+    ids: Vec<WorkflowId>,
+    /// Row-major full matrix; kept dense for simplicity (corpus sizes are in
+    /// the low thousands, so the matrix is at most a few tens of MB).
+    values: Vec<f64>,
+}
+
+impl PairwiseSimilarities {
+    /// Computes the matrix sequentially.
+    pub fn compute<M: Measure + ?Sized>(workflows: &[Workflow], measure: &M) -> Self {
+        let n = workflows.len();
+        let mut values = vec![0.0; n * n];
+        for i in 0..n {
+            values[i * n + i] = 1.0;
+            for j in (i + 1)..n {
+                let s = measure.measure(&workflows[i], &workflows[j]);
+                values[i * n + j] = s;
+                values[j * n + i] = s;
+            }
+        }
+        PairwiseSimilarities {
+            ids: workflows.iter().map(|wf| wf.id.clone()).collect(),
+            values,
+        }
+    }
+
+    /// Computes the matrix on `threads` crossbeam scoped threads, splitting
+    /// the upper triangle by rows.
+    pub fn compute_parallel<M: Measure + Sync + ?Sized>(
+        workflows: &[Workflow],
+        measure: &M,
+        threads: usize,
+    ) -> Self {
+        let n = workflows.len();
+        if n == 0 || threads <= 1 {
+            return PairwiseSimilarities::compute(workflows, measure);
+        }
+        let threads = threads.min(n);
+        let results: Mutex<Vec<(usize, usize, f64)>> = Mutex::new(Vec::with_capacity(n * n / 2));
+        crossbeam::scope(|scope| {
+            for worker in 0..threads {
+                let results = &results;
+                scope.spawn(move |_| {
+                    let mut local = Vec::new();
+                    // Static row interleaving balances the triangular load.
+                    let mut i = worker;
+                    while i < n {
+                        for j in (i + 1)..n {
+                            local.push((i, j, measure.measure(&workflows[i], &workflows[j])));
+                        }
+                        i += threads;
+                    }
+                    results.lock().extend(local);
+                });
+            }
+        })
+        .expect("similarity matrix worker thread panicked");
+        let mut values = vec![0.0; n * n];
+        for i in 0..n {
+            values[i * n + i] = 1.0;
+        }
+        for (i, j, s) in results.into_inner() {
+            values[i * n + j] = s;
+            values[j * n + i] = s;
+        }
+        PairwiseSimilarities {
+            ids: workflows.iter().map(|wf| wf.id.clone()).collect(),
+            values,
+        }
+    }
+
+    /// Builds a matrix directly from precomputed values (row-major, n×n).
+    ///
+    /// # Panics
+    /// Panics when `values.len() != ids.len()²`.
+    pub fn from_values(ids: Vec<WorkflowId>, values: Vec<f64>) -> Self {
+        assert_eq!(values.len(), ids.len() * ids.len(), "matrix must be n×n");
+        PairwiseSimilarities { ids, values }
+    }
+
+    /// Number of workflows.
+    pub fn len(&self) -> usize {
+        self.ids.len()
+    }
+
+    /// True when the matrix covers no workflows.
+    pub fn is_empty(&self) -> bool {
+        self.ids.is_empty()
+    }
+
+    /// The workflow ids, in matrix order.
+    pub fn ids(&self) -> &[WorkflowId] {
+        &self.ids
+    }
+
+    /// The id of the workflow at matrix index `i`.
+    pub fn id(&self, i: usize) -> &WorkflowId {
+        &self.ids[i]
+    }
+
+    /// The matrix index of a workflow id.
+    pub fn index_of(&self, id: &WorkflowId) -> Option<usize> {
+        self.ids.iter().position(|x| x == id)
+    }
+
+    /// The similarity of the workflows at indices `i` and `j`.
+    pub fn similarity(&self, i: usize, j: usize) -> f64 {
+        self.values[i * self.ids.len() + j]
+    }
+
+    /// The dissimilarity `1 − similarity` of the workflows at `i` and `j`.
+    pub fn distance(&self, i: usize, j: usize) -> f64 {
+        1.0 - self.similarity(i, j)
+    }
+
+    /// The mean off-diagonal similarity (0 for matrices of fewer than two
+    /// workflows) — a useful corpus-level statistic for picking clustering
+    /// thresholds.
+    pub fn mean_similarity(&self) -> f64 {
+        let n = self.len();
+        if n < 2 {
+            return 0.0;
+        }
+        let mut sum = 0.0;
+        for i in 0..n {
+            for j in (i + 1)..n {
+                sum += self.similarity(i, j);
+            }
+        }
+        sum / (n * (n - 1) / 2) as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use wf_model::{builder::WorkflowBuilder, ModuleType};
+    use wf_sim::{LabelVectorSimilarity, SimilarityConfig, WorkflowSimilarity};
+
+    fn chain(id: &str, labels: &[&str]) -> Workflow {
+        let mut b = WorkflowBuilder::new(id);
+        for l in labels {
+            b = b.module(*l, ModuleType::WsdlService, |m| m);
+        }
+        for w in labels.windows(2) {
+            b = b.link(w[0], w[1]);
+        }
+        b.build().unwrap()
+    }
+
+    fn corpus() -> Vec<Workflow> {
+        vec![
+            chain("a", &["fetch", "blast", "render"]),
+            chain("b", &["fetch", "blast", "plot"]),
+            chain("c", &["parse", "cluster"]),
+            chain("d", &["parse", "cluster", "plot"]),
+        ]
+    }
+
+    #[test]
+    fn diagonal_is_one_and_matrix_is_symmetric() {
+        let wfs = corpus();
+        let measure = LabelVectorSimilarity::new();
+        let matrix = PairwiseSimilarities::compute(&wfs, &measure);
+        assert_eq!(matrix.len(), 4);
+        for i in 0..4 {
+            assert_eq!(matrix.similarity(i, i), 1.0);
+            for j in 0..4 {
+                assert!((matrix.similarity(i, j) - matrix.similarity(j, i)).abs() < 1e-12);
+            }
+        }
+    }
+
+    #[test]
+    fn related_workflows_score_higher_than_unrelated_ones() {
+        let wfs = corpus();
+        let measure = WorkflowSimilarity::new(SimilarityConfig::module_sets_default());
+        let matrix = PairwiseSimilarities::compute(&wfs, &measure);
+        let a = matrix.index_of(&WorkflowId::new("a")).unwrap();
+        let b = matrix.index_of(&WorkflowId::new("b")).unwrap();
+        let c = matrix.index_of(&WorkflowId::new("c")).unwrap();
+        assert!(matrix.similarity(a, b) > matrix.similarity(a, c));
+        assert!((matrix.distance(a, b) - (1.0 - matrix.similarity(a, b))).abs() < 1e-12);
+    }
+
+    #[test]
+    fn parallel_and_sequential_results_agree() {
+        let wfs = corpus();
+        let measure = WorkflowSimilarity::new(SimilarityConfig::module_sets_default());
+        let sequential = PairwiseSimilarities::compute(&wfs, &measure);
+        for threads in [2, 3, 8] {
+            let parallel = PairwiseSimilarities::compute_parallel(&wfs, &measure, threads);
+            assert_eq!(parallel.ids(), sequential.ids());
+            for i in 0..wfs.len() {
+                for j in 0..wfs.len() {
+                    assert!(
+                        (parallel.similarity(i, j) - sequential.similarity(i, j)).abs() < 1e-12,
+                        "threads={threads}, cell ({i},{j})"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn empty_collection_produces_an_empty_matrix() {
+        let measure = LabelVectorSimilarity::new();
+        let matrix = PairwiseSimilarities::compute(&[], &measure);
+        assert!(matrix.is_empty());
+        assert_eq!(matrix.mean_similarity(), 0.0);
+        let parallel = PairwiseSimilarities::compute_parallel(&[], &measure, 4);
+        assert!(parallel.is_empty());
+    }
+
+    #[test]
+    fn mean_similarity_averages_the_off_diagonal() {
+        let ids = vec![WorkflowId::new("x"), WorkflowId::new("y")];
+        let matrix = PairwiseSimilarities::from_values(ids, vec![1.0, 0.4, 0.4, 1.0]);
+        assert!((matrix.mean_similarity() - 0.4).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "n×n")]
+    fn from_values_rejects_non_square_input() {
+        let _ = PairwiseSimilarities::from_values(vec![WorkflowId::new("x")], vec![1.0, 0.5]);
+    }
+
+    #[test]
+    fn index_lookup_by_id() {
+        let wfs = corpus();
+        let matrix = PairwiseSimilarities::compute(&wfs, &LabelVectorSimilarity::new());
+        assert_eq!(matrix.index_of(&WorkflowId::new("c")), Some(2));
+        assert_eq!(matrix.id(2), &WorkflowId::new("c"));
+        assert_eq!(matrix.index_of(&WorkflowId::new("zzz")), None);
+    }
+}

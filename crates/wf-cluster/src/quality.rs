@@ -1,0 +1,261 @@
+//! External cluster quality metrics.
+//!
+//! The synthetic corpus of `wf-corpus` carries latent ground truth (every
+//! workflow belongs to a functional family within a topic), so a clustering
+//! produced from a similarity measure can be scored against that truth.
+//! This module implements the standard external metrics: purity, the Rand
+//! index, the adjusted Rand index (chance-corrected) and normalized mutual
+//! information.  They are the usual way clustering-based evaluations of
+//! workflow similarity (e.g. \[33\], \[34\], \[21\]) report quality.
+
+use std::collections::BTreeMap;
+
+use crate::clustering::Clustering;
+
+/// Purity: the fraction of items that belong to the majority truth class of
+/// their cluster.  1.0 means every cluster is "pure"; the metric does not
+/// penalize splitting a class over many clusters.
+///
+/// # Panics
+/// Panics when `truth.len() != clusters.len()`.
+pub fn purity(clusters: &Clustering, truth: &[usize]) -> f64 {
+    assert_eq!(clusters.len(), truth.len(), "one truth label per item");
+    if clusters.is_empty() {
+        return 1.0;
+    }
+    let mut correct = 0usize;
+    for group in clusters.groups() {
+        let mut counts: BTreeMap<usize, usize> = BTreeMap::new();
+        for &item in &group {
+            *counts.entry(truth[item]).or_insert(0) += 1;
+        }
+        correct += counts.values().copied().max().unwrap_or(0);
+    }
+    correct as f64 / clusters.len() as f64
+}
+
+/// The Rand index: the fraction of item pairs on which the clustering and
+/// the truth agree (both together or both apart).
+///
+/// # Panics
+/// Panics when `truth.len() != clusters.len()`.
+pub fn rand_index(clusters: &Clustering, truth: &[usize]) -> f64 {
+    assert_eq!(clusters.len(), truth.len(), "one truth label per item");
+    let n = clusters.len();
+    if n < 2 {
+        return 1.0;
+    }
+    let mut agreements = 0usize;
+    let mut pairs = 0usize;
+    for i in 0..n {
+        for j in (i + 1)..n {
+            let same_cluster = clusters.same_cluster(i, j);
+            let same_class = truth[i] == truth[j];
+            if same_cluster == same_class {
+                agreements += 1;
+            }
+            pairs += 1;
+        }
+    }
+    agreements as f64 / pairs as f64
+}
+
+/// The adjusted Rand index (Hubert & Arabie): the Rand index corrected for
+/// chance agreement.  1.0 for a perfect match, around 0 for a random
+/// clustering, negative for worse-than-random ones.
+///
+/// # Panics
+/// Panics when `truth.len() != clusters.len()`.
+pub fn adjusted_rand_index(clusters: &Clustering, truth: &[usize]) -> f64 {
+    assert_eq!(clusters.len(), truth.len(), "one truth label per item");
+    let n = clusters.len();
+    if n < 2 {
+        return 1.0;
+    }
+    // Contingency table.
+    let mut table: BTreeMap<(usize, usize), usize> = BTreeMap::new();
+    let mut cluster_sizes: BTreeMap<usize, usize> = BTreeMap::new();
+    let mut class_sizes: BTreeMap<usize, usize> = BTreeMap::new();
+    for (item, &t) in truth.iter().enumerate() {
+        let c = clusters.cluster_of(item);
+        *table.entry((c, t)).or_insert(0) += 1;
+        *cluster_sizes.entry(c).or_insert(0) += 1;
+        *class_sizes.entry(t).or_insert(0) += 1;
+    }
+    let choose2 = |x: usize| (x * x.saturating_sub(1)) as f64 / 2.0;
+    let sum_cells: f64 = table.values().map(|&v| choose2(v)).sum();
+    let sum_clusters: f64 = cluster_sizes.values().map(|&v| choose2(v)).sum();
+    let sum_classes: f64 = class_sizes.values().map(|&v| choose2(v)).sum();
+    let total_pairs = choose2(n);
+    let expected = sum_clusters * sum_classes / total_pairs;
+    let max_index = 0.5 * (sum_clusters + sum_classes);
+    if (max_index - expected).abs() < 1e-12 {
+        // Degenerate: both partitions are trivial (all-in-one or all
+        // singletons); they agree perfectly iff the observed index equals
+        // the maximum.
+        return if (sum_cells - max_index).abs() < 1e-12 { 1.0 } else { 0.0 };
+    }
+    (sum_cells - expected) / (max_index - expected)
+}
+
+/// Normalized mutual information (arithmetic-mean normalization): how much
+/// knowing the cluster tells about the truth class, scaled to \[0, 1\].
+///
+/// # Panics
+/// Panics when `truth.len() != clusters.len()`.
+pub fn normalized_mutual_information(clusters: &Clustering, truth: &[usize]) -> f64 {
+    assert_eq!(clusters.len(), truth.len(), "one truth label per item");
+    let n = clusters.len();
+    if n == 0 {
+        return 1.0;
+    }
+    let nf = n as f64;
+    let mut joint: BTreeMap<(usize, usize), usize> = BTreeMap::new();
+    let mut cluster_sizes: BTreeMap<usize, usize> = BTreeMap::new();
+    let mut class_sizes: BTreeMap<usize, usize> = BTreeMap::new();
+    for (item, &t) in truth.iter().enumerate() {
+        let c = clusters.cluster_of(item);
+        *joint.entry((c, t)).or_insert(0) += 1;
+        *cluster_sizes.entry(c).or_insert(0) += 1;
+        *class_sizes.entry(t).or_insert(0) += 1;
+    }
+    let entropy = |sizes: &BTreeMap<usize, usize>| -> f64 {
+        sizes
+            .values()
+            .map(|&v| {
+                let p = v as f64 / nf;
+                -p * p.ln()
+            })
+            .sum()
+    };
+    let h_clusters = entropy(&cluster_sizes);
+    let h_classes = entropy(&class_sizes);
+    let mut mutual = 0.0;
+    for (&(c, t), &count) in &joint {
+        let p_joint = count as f64 / nf;
+        let p_c = cluster_sizes[&c] as f64 / nf;
+        let p_t = class_sizes[&t] as f64 / nf;
+        mutual += p_joint * (p_joint / (p_c * p_t)).ln();
+    }
+    let denom = 0.5 * (h_clusters + h_classes);
+    if denom < 1e-12 {
+        // Both partitions are trivial: identical by definition.
+        return 1.0;
+    }
+    (mutual / denom).clamp(0.0, 1.0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn truth() -> Vec<usize> {
+        vec![0, 0, 0, 1, 1, 1]
+    }
+
+    #[test]
+    fn perfect_clustering_scores_one_on_every_metric() {
+        let clusters = Clustering::from_assignments(&[5, 5, 5, 9, 9, 9]);
+        let truth = truth();
+        assert_eq!(purity(&clusters, &truth), 1.0);
+        assert_eq!(rand_index(&clusters, &truth), 1.0);
+        assert!((adjusted_rand_index(&clusters, &truth) - 1.0).abs() < 1e-12);
+        assert!((normalized_mutual_information(&clusters, &truth) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn single_cluster_has_low_ari_but_decent_purity() {
+        let clusters = Clustering::single_cluster(6);
+        let truth = truth();
+        assert!((purity(&clusters, &truth) - 0.5).abs() < 1e-12);
+        assert!(adjusted_rand_index(&clusters, &truth).abs() < 1e-12);
+        assert!(normalized_mutual_information(&clusters, &truth) < 1e-12);
+    }
+
+    #[test]
+    fn singletons_have_perfect_purity_but_no_mutual_structure_reward() {
+        let clusters = Clustering::singletons(6);
+        let truth = truth();
+        assert_eq!(purity(&clusters, &truth), 1.0);
+        // ARI of all-singletons against a 2-class truth is 0 (chance level).
+        assert!(adjusted_rand_index(&clusters, &truth).abs() < 1e-12);
+        assert!(rand_index(&clusters, &truth) < 1.0);
+    }
+
+    #[test]
+    fn one_misplaced_item_lowers_every_metric_without_reaching_zero() {
+        let clusters = Clustering::from_assignments(&[0, 0, 1, 1, 1, 1]);
+        let truth = truth();
+        let p = purity(&clusters, &truth);
+        let ri = rand_index(&clusters, &truth);
+        let ari = adjusted_rand_index(&clusters, &truth);
+        let nmi = normalized_mutual_information(&clusters, &truth);
+        for (name, value) in [("purity", p), ("rand", ri), ("ari", ari), ("nmi", nmi)] {
+            assert!(value > 0.0 && value < 1.0, "{name} = {value}");
+        }
+        // Hand computation for purity: clusters {0,1} pure, {2,3,4,5} has
+        // majority 3 of 4 -> (2 + 3) / 6.
+        assert!((p - 5.0 / 6.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn rand_index_matches_hand_computation() {
+        // clusters: {0,1},{2,3}; truth: {0,1,2},{3}.
+        let clusters = Clustering::from_assignments(&[0, 0, 1, 1]);
+        let truth = vec![0, 0, 0, 1];
+        // Pairs: (0,1) both same/same -> agree; (0,2) apart/same -> disagree;
+        // (0,3) apart/apart -> agree; (1,2) apart/same -> disagree;
+        // (1,3) apart/apart -> agree; (2,3) same/apart -> disagree.
+        assert!((rand_index(&clusters, &truth) - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn ari_is_invariant_to_label_permutation() {
+        let truth = truth();
+        let a = Clustering::from_assignments(&[0, 0, 1, 1, 1, 1]);
+        let b = Clustering::from_assignments(&[7, 7, 3, 3, 3, 3]);
+        assert!(
+            (adjusted_rand_index(&a, &truth) - adjusted_rand_index(&b, &truth)).abs() < 1e-12
+        );
+    }
+
+    #[test]
+    fn worse_than_random_clusterings_get_negative_ari() {
+        // Perfectly anti-correlated: split every truth class across both
+        // clusters as evenly as possible.
+        let clusters = Clustering::from_assignments(&[0, 1, 0, 1, 0, 1]);
+        let truth = vec![0, 0, 1, 1, 2, 2];
+        assert!(adjusted_rand_index(&clusters, &truth) < 0.0);
+    }
+
+    #[test]
+    fn degenerate_inputs_are_handled() {
+        let empty = Clustering::from_assignments(&[]);
+        assert_eq!(purity(&empty, &[]), 1.0);
+        assert_eq!(rand_index(&empty, &[]), 1.0);
+        assert_eq!(adjusted_rand_index(&empty, &[]), 1.0);
+        assert_eq!(normalized_mutual_information(&empty, &[]), 1.0);
+
+        let one = Clustering::from_assignments(&[0]);
+        assert_eq!(rand_index(&one, &[3]), 1.0);
+        assert_eq!(adjusted_rand_index(&one, &[3]), 1.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "one truth label per item")]
+    fn mismatched_lengths_panic() {
+        let clusters = Clustering::from_assignments(&[0, 1]);
+        let _ = purity(&clusters, &[0]);
+    }
+
+    #[test]
+    fn nmi_rewards_informative_splits_more_than_uninformative_ones() {
+        let truth = truth();
+        let informative = Clustering::from_assignments(&[0, 0, 0, 1, 1, 1]);
+        let uninformative = Clustering::from_assignments(&[0, 1, 0, 1, 0, 1]);
+        assert!(
+            normalized_mutual_information(&informative, &truth)
+                > normalized_mutual_information(&uninformative, &truth)
+        );
+    }
+}

@@ -1,0 +1,144 @@
+//! Threshold clustering and near-duplicate detection.
+//!
+//! The simplest clustering the paper's use cases call for: treat every pair
+//! of workflows whose similarity reaches a threshold as connected, and take
+//! the connected components as clusters.  With a high threshold this is the
+//! paper's "detection of functionally equivalent workflows" (Section 1) —
+//! near-duplicate groups; with a lower threshold it yields coarse functional
+//! groups comparable to a dendrogram cut.
+
+use crate::clustering::Clustering;
+use crate::matrix::PairwiseSimilarities;
+
+/// A pair of workflows whose similarity reaches the duplicate threshold.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DuplicatePair {
+    /// Matrix index of the first workflow.
+    pub first: usize,
+    /// Matrix index of the second workflow (always greater than `first`).
+    pub second: usize,
+    /// Their similarity.
+    pub similarity: f64,
+}
+
+/// Clusters workflows into the connected components of the graph that links
+/// every pair with similarity ≥ `threshold`.
+pub fn threshold_clustering(matrix: &PairwiseSimilarities, threshold: f64) -> Clustering {
+    let n = matrix.len();
+    let mut parent: Vec<usize> = (0..n).collect();
+    fn find(parent: &mut Vec<usize>, x: usize) -> usize {
+        if parent[x] != x {
+            let root = find(parent, parent[x]);
+            parent[x] = root;
+        }
+        parent[x]
+    }
+    for i in 0..n {
+        for j in (i + 1)..n {
+            if matrix.similarity(i, j) >= threshold {
+                let a = find(&mut parent, i);
+                let b = find(&mut parent, j);
+                if a != b {
+                    parent[a] = b;
+                }
+            }
+        }
+    }
+    let assignments: Vec<usize> = (0..n).map(|i| find(&mut parent, i)).collect();
+    Clustering::from_assignments(&assignments)
+}
+
+/// All workflow pairs with similarity ≥ `threshold`, sorted by descending
+/// similarity — the near-duplicate report for a repository.
+pub fn duplicate_pairs(matrix: &PairwiseSimilarities, threshold: f64) -> Vec<DuplicatePair> {
+    let n = matrix.len();
+    let mut pairs = Vec::new();
+    for i in 0..n {
+        for j in (i + 1)..n {
+            let similarity = matrix.similarity(i, j);
+            if similarity >= threshold {
+                pairs.push(DuplicatePair {
+                    first: i,
+                    second: j,
+                    similarity,
+                });
+            }
+        }
+    }
+    pairs.sort_by(|a, b| {
+        b.similarity
+            .partial_cmp(&a.similarity)
+            .expect("similarities are finite")
+            .then_with(|| (a.first, a.second).cmp(&(b.first, b.second)))
+    });
+    pairs
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use wf_model::WorkflowId;
+
+    fn toy_matrix() -> PairwiseSimilarities {
+        let ids: Vec<WorkflowId> = (0..4).map(|i| WorkflowId::new(format!("w{i}"))).collect();
+        // 0 and 1 are near duplicates; 2 is loosely related to 1; 3 is
+        // isolated.
+        let s = vec![
+            1.0, 0.97, 0.30, 0.05, //
+            0.97, 1.0, 0.55, 0.10, //
+            0.30, 0.55, 1.0, 0.12, //
+            0.05, 0.10, 0.12, 1.0,
+        ];
+        PairwiseSimilarities::from_values(ids, s)
+    }
+
+    #[test]
+    fn high_threshold_finds_only_the_duplicate_pair() {
+        let matrix = toy_matrix();
+        let clusters = threshold_clustering(&matrix, 0.9);
+        assert_eq!(clusters.cluster_count(), 3);
+        assert!(clusters.same_cluster(0, 1));
+        assert!(!clusters.same_cluster(1, 2));
+        assert!(!clusters.same_cluster(2, 3));
+    }
+
+    #[test]
+    fn lower_threshold_chains_components_together() {
+        let matrix = toy_matrix();
+        let clusters = threshold_clustering(&matrix, 0.5);
+        // 0-1 (0.97) and 1-2 (0.55) connect; 3 stays alone.
+        assert_eq!(clusters.cluster_count(), 2);
+        assert!(clusters.same_cluster(0, 2));
+        assert!(!clusters.same_cluster(0, 3));
+    }
+
+    #[test]
+    fn zero_threshold_merges_everything_and_impossible_threshold_nothing() {
+        let matrix = toy_matrix();
+        assert_eq!(threshold_clustering(&matrix, 0.0).cluster_count(), 1);
+        assert_eq!(threshold_clustering(&matrix, 1.1).cluster_count(), 4);
+    }
+
+    #[test]
+    fn duplicate_pairs_are_sorted_by_similarity() {
+        let matrix = toy_matrix();
+        let pairs = duplicate_pairs(&matrix, 0.5);
+        assert_eq!(pairs.len(), 2);
+        assert_eq!((pairs[0].first, pairs[0].second), (0, 1));
+        assert!((pairs[0].similarity - 0.97).abs() < 1e-12);
+        assert_eq!((pairs[1].first, pairs[1].second), (1, 2));
+    }
+
+    #[test]
+    fn duplicate_pairs_with_impossible_threshold_is_empty() {
+        let matrix = toy_matrix();
+        assert!(duplicate_pairs(&matrix, 0.999).is_empty());
+    }
+
+    #[test]
+    fn empty_matrix_is_handled() {
+        let empty = PairwiseSimilarities::from_values(vec![], vec![]);
+        assert!(threshold_clustering(&empty, 0.5).is_empty());
+        assert!(duplicate_pairs(&empty, 0.5).is_empty());
+    }
+}

@@ -1,0 +1,151 @@
+//! Property-based tests for the clustering substrate.
+//!
+//! Random symmetric similarity matrices and random ground-truth labelings
+//! exercise the invariants that must hold for *any* input, independent of
+//! the concrete similarity measure.
+
+use proptest::prelude::*;
+use wf_cluster::{
+    adjusted_rand_index, duplicate_pairs, hierarchical_clustering, kmedoids,
+    normalized_mutual_information, purity, rand_index, threshold_clustering, Clustering, Linkage,
+    PairwiseSimilarities,
+};
+use wf_model::WorkflowId;
+
+/// Builds a valid symmetric similarity matrix (diagonal 1.0) from a flat
+/// vector of upper-triangle values in [0, 1].
+fn matrix_from_triangle(n: usize, triangle: &[f64]) -> PairwiseSimilarities {
+    let ids: Vec<WorkflowId> = (0..n).map(|i| WorkflowId::new(format!("w{i}"))).collect();
+    let mut values = vec![0.0; n * n];
+    let mut idx = 0;
+    for i in 0..n {
+        values[i * n + i] = 1.0;
+        for j in (i + 1)..n {
+            let s = triangle[idx];
+            idx += 1;
+            values[i * n + j] = s;
+            values[j * n + i] = s;
+        }
+    }
+    PairwiseSimilarities::from_values(ids, values)
+}
+
+fn arb_matrix(max_items: usize) -> impl Strategy<Value = PairwiseSimilarities> {
+    (2usize..=max_items).prop_flat_map(|n| {
+        let pairs = n * (n - 1) / 2;
+        proptest::collection::vec(0.0f64..=1.0, pairs)
+            .prop_map(move |triangle| matrix_from_triangle(n, &triangle))
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn threshold_zero_merges_everything(matrix in arb_matrix(8)) {
+        let clusters = threshold_clustering(&matrix, 0.0);
+        prop_assert_eq!(clusters.cluster_count(), 1);
+    }
+
+    #[test]
+    fn impossible_threshold_yields_singletons(matrix in arb_matrix(8)) {
+        let clusters = threshold_clustering(&matrix, 1.0 + 1e-9);
+        prop_assert_eq!(clusters.cluster_count(), matrix.len());
+    }
+
+    #[test]
+    fn raising_the_threshold_never_merges_more(matrix in arb_matrix(8), low in 0.0f64..1.0, delta in 0.0f64..1.0) {
+        let high = (low + delta).min(1.0);
+        let coarse = threshold_clustering(&matrix, low);
+        let fine = threshold_clustering(&matrix, high);
+        // Every cluster of the stricter threshold is contained in one
+        // cluster of the looser threshold (refinement).
+        for i in 0..matrix.len() {
+            for j in 0..matrix.len() {
+                if fine.same_cluster(i, j) {
+                    prop_assert!(coarse.same_cluster(i, j));
+                }
+            }
+        }
+        prop_assert!(fine.cluster_count() >= coarse.cluster_count());
+    }
+
+    #[test]
+    fn duplicate_pairs_respect_the_threshold(matrix in arb_matrix(8), threshold in 0.0f64..=1.0) {
+        for pair in duplicate_pairs(&matrix, threshold) {
+            prop_assert!(pair.similarity >= threshold);
+            prop_assert!(pair.first < pair.second);
+        }
+    }
+
+    #[test]
+    fn dendrogram_cuts_produce_the_requested_granularity(matrix in arb_matrix(8), k in 1usize..=8) {
+        let dendrogram = hierarchical_clustering(&matrix, Linkage::Average);
+        let clusters = dendrogram.cut_k(k);
+        prop_assert_eq!(clusters.len(), matrix.len());
+        prop_assert!(clusters.cluster_count() <= matrix.len());
+        prop_assert!(clusters.cluster_count() >= 1);
+        if k <= matrix.len() {
+            prop_assert_eq!(clusters.cluster_count(), k.max(1));
+        }
+        prop_assert_eq!(dendrogram.cut_k(1).cluster_count(), 1);
+    }
+
+    #[test]
+    fn dendrogram_merge_count_is_items_minus_one(matrix in arb_matrix(8)) {
+        for linkage in [Linkage::Single, Linkage::Complete, Linkage::Average] {
+            let dendrogram = hierarchical_clustering(&matrix, linkage);
+            prop_assert_eq!(dendrogram.merges().len(), matrix.len() - 1);
+        }
+    }
+
+    #[test]
+    fn kmedoids_invariants(matrix in arb_matrix(8), k in 1usize..=8) {
+        let result = kmedoids(&matrix, k, 30);
+        prop_assert_eq!(result.clustering.len(), matrix.len());
+        prop_assert!(result.cost >= 0.0);
+        prop_assert_eq!(result.medoids.len(), result.clustering.cluster_count());
+        // Every medoid belongs to the cluster it represents.
+        for (cluster, &medoid) in result.medoids.iter().enumerate() {
+            prop_assert_eq!(result.clustering.cluster_of(medoid), cluster);
+        }
+        // The clustering never has more clusters than requested (after
+        // clamping k to the item count).
+        prop_assert!(result.clustering.cluster_count() <= k.clamp(1, matrix.len()));
+    }
+
+    #[test]
+    fn quality_metrics_are_bounded_and_reward_the_truth(
+        labels in proptest::collection::vec(0usize..4, 2..12),
+        assignments in proptest::collection::vec(0usize..4, 2..12),
+    ) {
+        let n = labels.len().min(assignments.len());
+        let labels = &labels[..n];
+        let clusters = Clustering::from_assignments(&assignments[..n]);
+        let p = purity(&clusters, labels);
+        let ri = rand_index(&clusters, labels);
+        let ari = adjusted_rand_index(&clusters, labels);
+        let nmi = normalized_mutual_information(&clusters, labels);
+        prop_assert!((0.0..=1.0).contains(&p));
+        prop_assert!((0.0..=1.0).contains(&ri));
+        prop_assert!(ari <= 1.0 + 1e-9);
+        prop_assert!((0.0..=1.0 + 1e-9).contains(&nmi));
+
+        // The truth clustered by itself is perfect under every metric.
+        let perfect = Clustering::from_assignments(labels);
+        prop_assert!((purity(&perfect, labels) - 1.0).abs() < 1e-12);
+        prop_assert!((rand_index(&perfect, labels) - 1.0).abs() < 1e-12);
+        prop_assert!((adjusted_rand_index(&perfect, labels) - 1.0).abs() < 1e-9);
+        prop_assert!((normalized_mutual_information(&perfect, labels) - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn clustering_round_trips_between_groups_and_assignments(
+        assignments in proptest::collection::vec(0usize..5, 1..16),
+    ) {
+        let clusters = Clustering::from_assignments(&assignments);
+        let groups = clusters.groups();
+        let rebuilt = Clustering::from_groups(&groups, assignments.len());
+        prop_assert_eq!(rebuilt, clusters);
+    }
+}

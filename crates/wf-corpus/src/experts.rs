@@ -1,0 +1,248 @@
+//! The simulated expert panel.
+//!
+//! The paper collected 2424 Likert ratings from 15 experts (Section 4.2).
+//! The simulated panel substitutes for that study: each synthetic expert
+//! derives a rating for a workflow pair from the pair's *latent* similarity
+//! (see [`crate::families`]) plus a per-expert bias, per-rating noise and an
+//! occasional *unsure* abstention.  Figure 4 of the paper shows that real
+//! experts mostly agree with the consensus with a few outliers; the panel's
+//! bias/noise parameters produce the same profile, which the
+//! `fig04_annotator_agreement` experiment verifies.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use wf_gold::{ExpertRating, LikertRating, RatingCorpus};
+use wf_model::WorkflowId;
+
+use crate::families::CorpusMeta;
+
+/// Configuration of the simulated expert panel.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ExpertPanelConfig {
+    /// Number of experts (the paper has 15).
+    pub experts: usize,
+    /// RNG seed.
+    pub seed: u64,
+    /// Probability that an expert abstains ("unsure") on a pair.
+    pub unsure_probability: f64,
+    /// Half-width of the uniform per-rating noise added to the latent
+    /// similarity before thresholding.
+    pub noise: f64,
+    /// Half-width of the per-expert systematic bias.
+    pub bias: f64,
+}
+
+impl Default for ExpertPanelConfig {
+    fn default() -> Self {
+        ExpertPanelConfig {
+            experts: 15,
+            seed: 77,
+            unsure_probability: 0.04,
+            noise: 0.10,
+            bias: 0.06,
+        }
+    }
+}
+
+/// A panel of simulated experts.
+#[derive(Debug, Clone)]
+pub struct ExpertPanel {
+    config: ExpertPanelConfig,
+    /// Per-expert systematic bias on the latent scale.
+    biases: Vec<f64>,
+    /// One RNG per expert so that adding experts does not reshuffle the
+    /// ratings of existing ones.
+    rng_seeds: Vec<u64>,
+}
+
+impl ExpertPanel {
+    /// Creates a panel from a configuration.
+    pub fn new(config: ExpertPanelConfig) -> Self {
+        let mut rng = StdRng::seed_from_u64(config.seed);
+        let biases = (0..config.experts)
+            .map(|_| rng.gen_range(-config.bias..=config.bias))
+            .collect();
+        let rng_seeds = (0..config.experts).map(|_| rng.gen()).collect();
+        ExpertPanel {
+            config,
+            biases,
+            rng_seeds,
+        }
+    }
+
+    /// The expert identifiers (`expert-01` …).
+    pub fn expert_names(&self) -> Vec<String> {
+        (0..self.config.experts)
+            .map(|i| format!("expert-{:02}", i + 1))
+            .collect()
+    }
+
+    /// Maps a (noisy) latent similarity to a Likert level.
+    fn threshold(latent: f64) -> LikertRating {
+        if latent >= 0.78 {
+            LikertRating::VerySimilar
+        } else if latent >= 0.52 {
+            LikertRating::Similar
+        } else if latent >= 0.27 {
+            LikertRating::Related
+        } else {
+            LikertRating::Dissimilar
+        }
+    }
+
+    /// One expert's rating of a pair with the given latent similarity.
+    pub fn rate(&self, expert: usize, latent: f64, rng: &mut impl Rng) -> LikertRating {
+        if rng.gen_bool(self.config.unsure_probability) {
+            return LikertRating::Unsure;
+        }
+        let noise = rng.gen_range(-self.config.noise..=self.config.noise);
+        let perceived = (latent + self.biases[expert % self.biases.len()] + noise).clamp(0.0, 1.0);
+        ExpertPanel::threshold(perceived)
+    }
+
+    /// Rates every (query, candidate) pair with every expert, producing the
+    /// rating corpus the evaluation machinery consumes.  Pairs for which no
+    /// latent similarity is known (unknown ids) are skipped.
+    pub fn rate_pairs(
+        &self,
+        meta: &CorpusMeta,
+        pairs: &[(WorkflowId, WorkflowId)],
+    ) -> RatingCorpus {
+        let mut corpus = RatingCorpus::new();
+        for (expert_idx, name) in self.expert_names().into_iter().enumerate() {
+            let mut rng = StdRng::seed_from_u64(self.rng_seeds[expert_idx]);
+            for (query, candidate) in pairs {
+                let Some(latent) = meta.latent(query, candidate) else {
+                    continue;
+                };
+                let rating = self.rate(expert_idx, latent, &mut rng);
+                corpus.add(ExpertRating::new(
+                    name.clone(),
+                    query.as_str(),
+                    candidate.as_str(),
+                    rating,
+                ));
+            }
+        }
+        corpus
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::families::WorkflowMeta;
+
+    fn panel() -> ExpertPanel {
+        ExpertPanel::new(ExpertPanelConfig::default())
+    }
+
+    fn meta_with_three() -> CorpusMeta {
+        let mut meta = CorpusMeta::new();
+        for (id, topic, family, depth) in [
+            ("q", 0, 0, 0),
+            ("sibling", 0, 0, 1),
+            ("cousin", 0, 1, 0),
+            ("stranger", 1, 2, 0),
+        ] {
+            meta.insert(WorkflowMeta {
+                id: WorkflowId::new(id),
+                topic,
+                family,
+                depth,
+            });
+        }
+        meta
+    }
+
+    #[test]
+    fn thresholds_cover_the_whole_scale() {
+        assert_eq!(ExpertPanel::threshold(0.95), LikertRating::VerySimilar);
+        assert_eq!(ExpertPanel::threshold(0.6), LikertRating::Similar);
+        assert_eq!(ExpertPanel::threshold(0.35), LikertRating::Related);
+        assert_eq!(ExpertPanel::threshold(0.05), LikertRating::Dissimilar);
+    }
+
+    #[test]
+    fn panel_has_the_requested_number_of_experts() {
+        let p = panel();
+        assert_eq!(p.expert_names().len(), 15);
+        assert_eq!(p.expert_names()[0], "expert-01");
+        assert_eq!(p.expert_names()[14], "expert-15");
+    }
+
+    #[test]
+    fn high_latent_similarity_mostly_yields_high_ratings() {
+        let p = panel();
+        let mut rng = StdRng::seed_from_u64(5);
+        let mut high = 0;
+        for expert in 0..15 {
+            for _ in 0..20 {
+                let rating = p.rate(expert, 0.9, &mut rng);
+                if matches!(rating, LikertRating::VerySimilar | LikertRating::Similar) {
+                    high += 1;
+                }
+            }
+        }
+        assert!(high > 270, "got {high}/300 high ratings for latent 0.9");
+    }
+
+    #[test]
+    fn low_latent_similarity_mostly_yields_dissimilar() {
+        let p = panel();
+        let mut rng = StdRng::seed_from_u64(6);
+        let mut low = 0;
+        for expert in 0..15 {
+            for _ in 0..20 {
+                if p.rate(expert, 0.05, &mut rng) == LikertRating::Dissimilar {
+                    low += 1;
+                }
+            }
+        }
+        assert!(low > 250, "got {low}/300 dissimilar ratings for latent 0.05");
+    }
+
+    #[test]
+    fn unsure_ratings_occur_at_roughly_the_configured_rate() {
+        let p = ExpertPanel::new(ExpertPanelConfig {
+            unsure_probability: 0.2,
+            ..ExpertPanelConfig::default()
+        });
+        let mut rng = StdRng::seed_from_u64(7);
+        let unsure = (0..1000)
+            .filter(|_| p.rate(0, 0.5, &mut rng) == LikertRating::Unsure)
+            .count();
+        assert!(unsure > 130 && unsure < 280, "got {unsure}/1000");
+    }
+
+    #[test]
+    fn rate_pairs_builds_a_complete_rating_corpus() {
+        let p = panel();
+        let meta = meta_with_three();
+        let pairs = vec![
+            (WorkflowId::new("q"), WorkflowId::new("sibling")),
+            (WorkflowId::new("q"), WorkflowId::new("cousin")),
+            (WorkflowId::new("q"), WorkflowId::new("stranger")),
+            (WorkflowId::new("q"), WorkflowId::new("unknown-id")),
+        ];
+        let ratings = p.rate_pairs(&meta, &pairs);
+        // 15 experts × 3 known pairs.
+        assert_eq!(ratings.len(), 45);
+        assert_eq!(ratings.pair_count(), 3);
+        // The consensus ordering reflects the latent structure.
+        let sibling = ratings.median("q", "sibling").unwrap().value().unwrap();
+        let cousin = ratings.median("q", "cousin").unwrap().value().unwrap();
+        let stranger = ratings.median("q", "stranger").unwrap().value().unwrap();
+        assert!(sibling > cousin, "sibling {sibling} vs cousin {cousin}");
+        assert!(cousin > stranger, "cousin {cousin} vs stranger {stranger}");
+    }
+
+    #[test]
+    fn ratings_are_deterministic_per_panel() {
+        let meta = meta_with_three();
+        let pairs = vec![(WorkflowId::new("q"), WorkflowId::new("sibling"))];
+        let a = panel().rate_pairs(&meta, &pairs);
+        let b = panel().rate_pairs(&meta, &pairs);
+        assert_eq!(a, b);
+    }
+}

@@ -1,0 +1,171 @@
+//! Latent ground truth: topics, families and latent similarity.
+//!
+//! The corpus generators organise workflows into *families*: a family is a
+//! seed workflow plus variants derived from it by mutation.  Families belong
+//! to *topics* (functional domains such as pathway analysis or sequence
+//! alignment).  This latent structure plays the role of the "functional
+//! similarity" that the paper's human experts judged: two variants of the
+//! same seed are (very) similar, two workflows about the same topic are
+//! related, workflows from different topics are dissimilar.  The simulated
+//! expert panel derives its ratings from [`latent_similarity`].
+
+use std::collections::BTreeMap;
+
+use wf_model::WorkflowId;
+
+/// The latent coordinates of one generated workflow.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct WorkflowMeta {
+    /// The workflow id.
+    pub id: WorkflowId,
+    /// Index of the topic the workflow belongs to.
+    pub topic: usize,
+    /// Index of the family within the corpus.
+    pub family: usize,
+    /// How many mutation rounds separate the workflow from its family seed
+    /// (0 for the seed itself).
+    pub depth: usize,
+}
+
+/// The latent metadata of a whole corpus.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct CorpusMeta {
+    entries: BTreeMap<WorkflowId, WorkflowMeta>,
+}
+
+impl CorpusMeta {
+    /// Creates empty metadata.
+    pub fn new() -> Self {
+        CorpusMeta::default()
+    }
+
+    /// Records one workflow's coordinates.
+    pub fn insert(&mut self, meta: WorkflowMeta) {
+        self.entries.insert(meta.id.clone(), meta);
+    }
+
+    /// Looks up a workflow's coordinates.
+    pub fn get(&self, id: &WorkflowId) -> Option<&WorkflowMeta> {
+        self.entries.get(id)
+    }
+
+    /// Number of described workflows.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// True if no workflow is described.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Iterates over all entries.
+    pub fn iter(&self) -> impl Iterator<Item = &WorkflowMeta> {
+        self.entries.values()
+    }
+
+    /// The latent similarity of two workflows, or `None` if either is
+    /// unknown.
+    pub fn latent(&self, a: &WorkflowId, b: &WorkflowId) -> Option<f64> {
+        Some(latent_similarity(self.get(a)?, self.get(b)?))
+    }
+
+    /// All ids belonging to a family.
+    pub fn family_members(&self, family: usize) -> Vec<&WorkflowId> {
+        self.entries
+            .values()
+            .filter(|m| m.family == family)
+            .map(|m| &m.id)
+            .collect()
+    }
+}
+
+/// The latent functional similarity of two workflows, in `[0, 1]`.
+///
+/// * identical workflow: 1.0;
+/// * same family: high, decaying with the combined mutation depth (a deep
+///   variant differs more from the seed and from its siblings);
+/// * same topic, different family: moderate ("related" territory);
+/// * different topics: low but non-zero (real experts occasionally see weak
+///   connections between domains).
+pub fn latent_similarity(a: &WorkflowMeta, b: &WorkflowMeta) -> f64 {
+    if a.id == b.id {
+        return 1.0;
+    }
+    if a.family == b.family {
+        let decay = 0.05 * (a.depth + b.depth) as f64;
+        (0.92 - decay).max(0.58)
+    } else if a.topic == b.topic {
+        0.40
+    } else {
+        0.08
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn meta(id: &str, topic: usize, family: usize, depth: usize) -> WorkflowMeta {
+        WorkflowMeta {
+            id: WorkflowId::new(id),
+            topic,
+            family,
+            depth,
+        }
+    }
+
+    #[test]
+    fn identical_ids_have_similarity_one() {
+        let a = meta("w1", 0, 0, 3);
+        assert_eq!(latent_similarity(&a, &a.clone()), 1.0);
+    }
+
+    #[test]
+    fn similarity_strata_are_ordered() {
+        let seed = meta("seed", 0, 0, 0);
+        let sibling = meta("sib", 0, 0, 1);
+        let deep_sibling = meta("deep", 0, 0, 4);
+        let same_topic = meta("topic", 0, 1, 0);
+        let other_topic = meta("other", 1, 2, 0);
+        let s_sib = latent_similarity(&seed, &sibling);
+        let s_deep = latent_similarity(&seed, &deep_sibling);
+        let s_topic = latent_similarity(&seed, &same_topic);
+        let s_other = latent_similarity(&seed, &other_topic);
+        assert!(s_sib > s_deep, "shallow variants are closer than deep ones");
+        assert!(s_deep > s_topic, "family beats topic");
+        assert!(s_topic > s_other, "topic beats nothing");
+        assert!(s_other > 0.0);
+        assert!(s_sib < 1.0);
+    }
+
+    #[test]
+    fn family_similarity_never_drops_below_related_level() {
+        let a = meta("a", 0, 0, 10);
+        let b = meta("b", 0, 0, 10);
+        assert!(latent_similarity(&a, &b) >= 0.58);
+    }
+
+    #[test]
+    fn corpus_meta_lookup_and_latent() {
+        let mut meta_store = CorpusMeta::new();
+        meta_store.insert(meta("a", 0, 0, 0));
+        meta_store.insert(meta("b", 0, 0, 2));
+        meta_store.insert(meta("c", 1, 3, 0));
+        assert_eq!(meta_store.len(), 3);
+        assert!(!meta_store.is_empty());
+        assert_eq!(meta_store.get(&WorkflowId::new("b")).unwrap().depth, 2);
+        assert!(meta_store.get(&WorkflowId::new("zzz")).is_none());
+        let ab = meta_store
+            .latent(&WorkflowId::new("a"), &WorkflowId::new("b"))
+            .unwrap();
+        let ac = meta_store
+            .latent(&WorkflowId::new("a"), &WorkflowId::new("c"))
+            .unwrap();
+        assert!(ab > ac);
+        assert!(meta_store
+            .latent(&WorkflowId::new("a"), &WorkflowId::new("zzz"))
+            .is_none());
+        assert_eq!(meta_store.family_members(0).len(), 2);
+    }
+}

@@ -1,0 +1,221 @@
+//! The Galaxy-like corpus generator.
+//!
+//! The paper's secondary corpus contains 139 Galaxy workflows (Section 4.1)
+//! and drives the transferability experiment of Section 5.3 / Fig. 12.  Its
+//! relevant properties, which the generator reproduces: workflows invoke
+//! locally installed *tools* (not web services) identified by tool ids,
+//! labels are terse and tool-like, free-text annotations are sparse (so the
+//! Bag of Words measure degrades), and tags are mostly absent.
+
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::{Rng, SeedableRng};
+use wf_model::{Annotations, Datalink, Module, ModuleId, Workflow, WorkflowId};
+
+use crate::families::{CorpusMeta, WorkflowMeta};
+use crate::mutate::{mutate_round, rename_labels};
+use crate::vocab::{ModuleSpec, Topic, GALAXY_TOPICS};
+
+/// Configuration of the Galaxy-like corpus generator.
+#[derive(Debug, Clone, PartialEq)]
+pub struct GalaxyCorpusConfig {
+    /// Number of workflows (the paper's Galaxy set has 139).
+    pub workflows: usize,
+    /// RNG seed.
+    pub seed: u64,
+    /// Probability that a workflow carries a description (low for Galaxy).
+    pub description_probability: f64,
+    /// Probability that a workflow carries tags (low for Galaxy).
+    pub tagged_probability: f64,
+}
+
+impl Default for GalaxyCorpusConfig {
+    fn default() -> Self {
+        GalaxyCorpusConfig {
+            workflows: 139,
+            seed: 2014,
+            description_probability: 0.35,
+            tagged_probability: 0.30,
+        }
+    }
+}
+
+impl GalaxyCorpusConfig {
+    /// A small corpus for unit tests.
+    pub fn small(workflows: usize, seed: u64) -> Self {
+        GalaxyCorpusConfig {
+            workflows,
+            seed,
+            ..GalaxyCorpusConfig::default()
+        }
+    }
+}
+
+/// Generates the Galaxy-like corpus and its latent metadata.
+///
+/// Family indices continue in their own space (they are only compared within
+/// this corpus, never against the Taverna corpus).
+pub fn generate_galaxy_corpus(config: &GalaxyCorpusConfig) -> (Vec<Workflow>, CorpusMeta) {
+    let mut rng = StdRng::seed_from_u64(config.seed);
+    let mut corpus = Vec::with_capacity(config.workflows);
+    let mut meta = CorpusMeta::new();
+    let mut family = 0usize;
+
+    while corpus.len() < config.workflows {
+        let topic_idx = family % GALAXY_TOPICS.len();
+        let topic = &GALAXY_TOPICS[topic_idx];
+        let family_size = rng.gen_range(2..=5usize).min(config.workflows - corpus.len());
+
+        let seed_id = WorkflowId::new(format!("g{}", corpus.len() + 1));
+        let seed_wf = build_galaxy_workflow(&seed_id, topic, config, &mut rng);
+        meta.insert(WorkflowMeta {
+            id: seed_id,
+            topic: topic_idx,
+            family,
+            depth: 0,
+        });
+        corpus.push(seed_wf.clone());
+
+        for _ in 1..family_size {
+            let id = WorkflowId::new(format!("g{}", corpus.len() + 1));
+            let depth = rng.gen_range(1..=2usize);
+            let mut wf = seed_wf.clone();
+            wf.id = id.clone();
+            for _ in 0..depth {
+                // Galaxy workflows have no shims to insert; label noise and
+                // structural edits still apply.
+                mutate_round(&mut wf, &mut rng);
+            }
+            rename_labels(&mut wf, 0.2, &mut rng);
+            meta.insert(WorkflowMeta { id, topic: topic_idx, family, depth });
+            corpus.push(wf);
+        }
+        family += 1;
+    }
+    (corpus, meta)
+}
+
+fn build_galaxy_workflow(
+    id: &WorkflowId,
+    topic: &Topic,
+    config: &GalaxyCorpusConfig,
+    rng: &mut StdRng,
+) -> Workflow {
+    let count = rng.gen_range(4..=topic.modules.len());
+    let mut specs: Vec<&ModuleSpec> = topic.modules.iter().collect();
+    specs.shuffle(rng);
+    specs.truncate(count);
+
+    let mut modules = Vec::new();
+    let mut links = Vec::new();
+    for (i, spec) in specs.iter().enumerate() {
+        let mut module = Module::new(ModuleId(i as u32), spec.label, spec.module_type.clone());
+        if let Some((authority, name, uri)) = spec.service {
+            module.service_authority = Some(authority.to_string());
+            module.service_name = Some(name.to_string());
+            module.service_uri = Some(uri.to_string());
+        }
+        modules.push(module);
+        if i > 0 {
+            let parent = if rng.gen_bool(0.8) {
+                i - 1
+            } else {
+                rng.gen_range(0..i)
+            };
+            links.push(Datalink::new(ModuleId(parent as u32), ModuleId(i as u32)));
+        }
+    }
+
+    let title = {
+        let mut words: Vec<&str> = topic.title_words.to_vec();
+        words.shuffle(rng);
+        words.truncate(rng.gen_range(2..=3));
+        words.join(" ")
+    };
+    let description = if rng.gen_bool(config.description_probability) {
+        let mut words: Vec<&str> = topic.description_words.to_vec();
+        words.shuffle(rng);
+        words.truncate(rng.gen_range(3..=words.len()));
+        Some(words.join(" "))
+    } else {
+        None
+    };
+    let tags = if rng.gen_bool(config.tagged_probability) {
+        topic.tags.iter().map(|t| t.to_string()).collect()
+    } else {
+        Vec::new()
+    };
+
+    Workflow {
+        id: id.clone(),
+        annotations: Annotations {
+            title: Some(title),
+            description,
+            tags,
+            author: None,
+        },
+        modules,
+        links,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use wf_model::{validate, CorpusStats, ModuleType};
+
+    #[test]
+    fn corpus_size_and_validity() {
+        let (corpus, meta) = generate_galaxy_corpus(&GalaxyCorpusConfig::small(50, 3));
+        assert_eq!(corpus.len(), 50);
+        assert_eq!(meta.len(), 50);
+        for wf in &corpus {
+            validate(wf).unwrap_or_else(|e| panic!("{}: {e}", wf.id));
+        }
+    }
+
+    #[test]
+    fn generation_is_deterministic() {
+        let a = generate_galaxy_corpus(&GalaxyCorpusConfig::small(25, 8));
+        let b = generate_galaxy_corpus(&GalaxyCorpusConfig::small(25, 8));
+        assert_eq!(a.0, b.0);
+    }
+
+    #[test]
+    fn annotations_are_sparse_compared_to_taverna() {
+        let (corpus, _) = generate_galaxy_corpus(&GalaxyCorpusConfig::small(120, 4));
+        let stats = CorpusStats::of(&corpus).unwrap();
+        assert!(
+            stats.untagged_fraction > 0.5,
+            "most Galaxy workflows carry no tags (got {})",
+            stats.untagged_fraction
+        );
+        assert!(
+            stats.undescribed_fraction > 0.4,
+            "many Galaxy workflows carry no description (got {})",
+            stats.undescribed_fraction
+        );
+    }
+
+    #[test]
+    fn workflows_are_built_from_galaxy_tools() {
+        let (corpus, _) = generate_galaxy_corpus(&GalaxyCorpusConfig::small(20, 5));
+        // Seeds contain only Galaxy tools; mutated variants may add shims
+        // through mutate_round, but tools must dominate.
+        let total: usize = corpus.iter().map(|w| w.module_count()).sum();
+        let tools: usize = corpus
+            .iter()
+            .flat_map(|w| &w.modules)
+            .filter(|m| m.module_type == ModuleType::GalaxyTool)
+            .count();
+        assert!(tools * 2 > total, "tools {tools} should dominate {total} modules");
+    }
+
+    #[test]
+    fn corpus_is_smaller_scale_than_taverna() {
+        let (corpus, _) = generate_galaxy_corpus(&GalaxyCorpusConfig::default());
+        assert_eq!(corpus.len(), 139);
+        let stats = CorpusStats::of(&corpus).unwrap();
+        assert!(stats.mean_modules < 9.0);
+    }
+}

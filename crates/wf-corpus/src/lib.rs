@@ -1,0 +1,40 @@
+//! # wf-corpus — synthetic workflow corpora and a simulated expert panel
+//!
+//! The paper evaluates on two corpora that are not redistributable in this
+//! reproduction: a myExperiment dump of 1483 Taverna workflows and 139
+//! Galaxy workflows, plus 2424 similarity ratings contributed by 15 human
+//! experts.  This crate substitutes synthetic equivalents that preserve the
+//! properties the algorithms are sensitive to (see DESIGN.md §3):
+//!
+//! * [`vocab`] — a bioinformatics-flavoured vocabulary of topics, services,
+//!   module specifications, title/description templates and tags.
+//! * [`families`] — the latent ground truth: workflows are organised into
+//!   functional *families* within *topics*; the latent similarity of two
+//!   workflows depends on whether they share a family, a topic, or nothing.
+//! * [`mutate`] — the mutation operators that derive corpus workflows from
+//!   family seeds (label noise, shim insertion, module deletion, branch
+//!   addition, annotation rewording, tag dropping).
+//! * [`taverna`] — the myExperiment-like corpus generator (1483 Taverna
+//!   workflows, ≈15% untagged, ≈11 modules per workflow).
+//! * [`galaxy`] — the Galaxy-like corpus generator (139 workflows, sparse
+//!   annotations, tool-id labels).
+//! * [`experts`] — the simulated 15-expert panel producing Likert ratings
+//!   from the latent similarity with per-expert bias, noise and "unsure"
+//!   abstentions.
+//! * [`queries`] — query and candidate selection for the ranking experiment
+//!   (24 queries × 10 candidates drawn from top / middle / bottom strata,
+//!   as in Section 4.2 of the paper).
+
+pub mod experts;
+pub mod families;
+pub mod galaxy;
+pub mod mutate;
+pub mod queries;
+pub mod taverna;
+pub mod vocab;
+
+pub use experts::{ExpertPanel, ExpertPanelConfig};
+pub use families::{latent_similarity, CorpusMeta, WorkflowMeta};
+pub use galaxy::{generate_galaxy_corpus, GalaxyCorpusConfig};
+pub use queries::{select_candidates, select_queries};
+pub use taverna::{generate_taverna_corpus, TavernaCorpusConfig};

@@ -1,0 +1,364 @@
+//! Mutation operators deriving corpus workflows from family seeds.
+//!
+//! Real repositories contain many workflows that are variants of one
+//! another: re-uploads with renamed modules, added "shim" plumbing, removed
+//! steps, or reworded annotations (the paper's earlier corpus study \[35\]
+//! quantifies this reuse).  The generators apply the operators below to a
+//! family seed to produce such variants; the number of applied rounds is the
+//! variant's *mutation depth*, which in turn drives the latent similarity.
+
+use rand::seq::SliceRandom;
+use rand::Rng;
+use wf_model::{Datalink, Module, ModuleId, Workflow};
+
+use crate::vocab::SHIM_MODULES;
+
+/// Perturbs a module label the way different authors name the same step:
+/// suffixes, prefixes, camel-casing or a small typo.
+pub fn perturb_label(label: &str, rng: &mut impl Rng) -> String {
+    match rng.gen_range(0..5) {
+        0 => format!("{label}_2"),
+        1 => format!("my_{label}"),
+        2 => format!("{label}_new"),
+        3 => {
+            // camelCase instead of snake_case
+            let mut out = String::with_capacity(label.len());
+            let mut upper_next = false;
+            for c in label.chars() {
+                if c == '_' {
+                    upper_next = true;
+                } else if upper_next {
+                    out.extend(c.to_uppercase());
+                    upper_next = false;
+                } else {
+                    out.push(c);
+                }
+            }
+            out
+        }
+        _ => {
+            // drop one interior character (a typo)
+            let chars: Vec<char> = label.chars().collect();
+            if chars.len() > 3 {
+                let drop = rng.gen_range(1..chars.len() - 1);
+                chars
+                    .iter()
+                    .enumerate()
+                    .filter(|(i, _)| *i != drop)
+                    .map(|(_, c)| c)
+                    .collect()
+            } else {
+                format!("{label}_x")
+            }
+        }
+    }
+}
+
+/// Renames each module label with the given probability.
+pub fn rename_labels(wf: &mut Workflow, probability: f64, rng: &mut impl Rng) {
+    let existing: Vec<String> = wf.modules.iter().map(|m| m.label.clone()).collect();
+    for (idx, module) in wf.modules.iter_mut().enumerate() {
+        if rng.gen_bool(probability) {
+            let mut candidate = perturb_label(&module.label, rng);
+            // Keep labels unique within the workflow.
+            let mut attempt = 0;
+            while existing
+                .iter()
+                .enumerate()
+                .any(|(i, l)| i != idx && *l == candidate)
+            {
+                candidate = format!("{candidate}_{attempt}");
+                attempt += 1;
+            }
+            module.label = candidate;
+        }
+    }
+}
+
+/// Inserts a trivial shim module on a random datalink (`a → b` becomes
+/// `a → shim → b`).  No-op on workflows without links.
+pub fn insert_shim(wf: &mut Workflow, rng: &mut impl Rng) {
+    if wf.links.is_empty() {
+        return;
+    }
+    let spec = SHIM_MODULES.choose(rng).expect("shim catalogue is not empty");
+    let new_id = ModuleId(wf.modules.len() as u32);
+    let mut label = format!("{}_{}", spec.label, new_id.0);
+    while wf.modules.iter().any(|m| m.label == label) {
+        label.push('x');
+    }
+    let mut module = Module::new(new_id, label, spec.module_type.clone());
+    if let Some(body) = spec.script {
+        module.script = Some(body.to_string());
+    }
+    wf.modules.push(module);
+
+    let idx = rng.gen_range(0..wf.links.len());
+    let link = wf.links.remove(idx);
+    wf.links.push(Datalink::new(link.from, new_id));
+    wf.links.push(Datalink::new(new_id, link.to));
+}
+
+/// Deletes one randomly chosen module (never the last one), reconnecting its
+/// predecessors to its successors so the workflow stays connected.
+pub fn delete_module(wf: &mut Workflow, rng: &mut impl Rng) {
+    if wf.module_count() <= 2 {
+        return;
+    }
+    let victim = ModuleId(rng.gen_range(0..wf.module_count()) as u32);
+    let graph = wf.graph();
+    let preds = graph.predecessors(victim).to_vec();
+    let succs = graph.successors(victim).to_vec();
+    let keep: Vec<ModuleId> = wf.module_ids().filter(|id| *id != victim).collect();
+
+    // Bridge predecessors to successors, expressed in the *new* id space
+    // (ids above the victim shift down by one).
+    let remap = |id: ModuleId| -> ModuleId {
+        if id.0 > victim.0 {
+            ModuleId(id.0 - 1)
+        } else {
+            id
+        }
+    };
+    let bridges: Vec<(ModuleId, ModuleId)> = preds
+        .iter()
+        .flat_map(|p| succs.iter().map(move |s| (remap(*p), remap(*s))))
+        .collect();
+    *wf = wf.restrict_to(&keep, &bridges);
+}
+
+/// Adds a parallel branch: a randomly chosen domain-module clone that taps
+/// off an existing module and rejoins at a sink (or dangles as a new sink).
+pub fn add_branch(wf: &mut Workflow, rng: &mut impl Rng) {
+    if wf.module_count() == 0 {
+        return;
+    }
+    let source = ModuleId(rng.gen_range(0..wf.module_count()) as u32);
+    let template = wf.modules[rng.gen_range(0..wf.module_count())].clone();
+    let new_id = ModuleId(wf.modules.len() as u32);
+    let mut clone = template;
+    clone.id = new_id;
+    clone.label = format!("{}_branch{}", clone.label, new_id.0);
+    wf.modules.push(clone);
+    wf.links.push(Datalink::new(source, new_id));
+}
+
+/// Rewords the title and description: shuffles word order, drops some words
+/// and occasionally appends a qualifier — the kind of paraphrase different
+/// uploaders produce for functionally equivalent workflows.
+pub fn reword_annotations(wf: &mut Workflow, rng: &mut impl Rng) {
+    let qualifiers = ["updated", "v2", "simplified", "extended", "demo"];
+    if let Some(title) = &wf.annotations.title {
+        let mut words: Vec<&str> = title.split_whitespace().collect();
+        words.shuffle(rng);
+        if words.len() > 3 && rng.gen_bool(0.5) {
+            words.pop();
+        }
+        let mut new_title = words.join(" ");
+        if rng.gen_bool(0.3) {
+            new_title.push(' ');
+            new_title.push_str(qualifiers.choose(rng).expect("non-empty"));
+        }
+        wf.annotations.title = Some(new_title);
+    }
+    if let Some(description) = &wf.annotations.description {
+        let mut words: Vec<&str> = description.split_whitespace().collect();
+        if words.len() > 4 {
+            let keep = rng.gen_range(words.len() * 2 / 3..=words.len());
+            words.truncate(keep);
+        }
+        wf.annotations.description = Some(words.join(" "));
+    }
+}
+
+/// Drops all tags with the given probability, otherwise removes a random
+/// subset — mirroring the ≈15% of untagged workflows in the paper's corpus.
+pub fn degrade_tags(wf: &mut Workflow, drop_all_probability: f64, rng: &mut impl Rng) {
+    if wf.annotations.tags.is_empty() {
+        return;
+    }
+    if rng.gen_bool(drop_all_probability) {
+        wf.annotations.tags.clear();
+    } else if wf.annotations.tags.len() > 1 && rng.gen_bool(0.4) {
+        let drop = rng.gen_range(0..wf.annotations.tags.len());
+        wf.annotations.tags.remove(drop);
+    }
+}
+
+/// Applies one full mutation round (a random subset of the operators) to a
+/// workflow.
+pub fn mutate_round(wf: &mut Workflow, rng: &mut impl Rng) {
+    rename_labels(wf, 0.35, rng);
+    if rng.gen_bool(0.7) {
+        insert_shim(wf, rng);
+    }
+    if rng.gen_bool(0.35) {
+        delete_module(wf, rng);
+    }
+    if rng.gen_bool(0.25) {
+        add_branch(wf, rng);
+    }
+    if rng.gen_bool(0.8) {
+        reword_annotations(wf, rng);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+    use wf_model::{builder::WorkflowBuilder, validate, ModuleType};
+
+    fn seed_workflow() -> Workflow {
+        WorkflowBuilder::new("seed")
+            .title("KEGG pathway analysis workflow")
+            .description("retrieves a pathway and maps genes onto it")
+            .tag("kegg")
+            .tag("pathway")
+            .module("get_pathway", ModuleType::WsdlService, |m| {
+                m.service("kegg.jp", "get_pathway", "http://kegg.jp/ws")
+            })
+            .module("extract_genes", ModuleType::BeanshellScript, |m| m.script("x"))
+            .module("colour_pathway", ModuleType::WsdlService, |m| {
+                m.service("kegg.jp", "color_pathway", "http://kegg.jp/ws")
+            })
+            .link("get_pathway", "extract_genes")
+            .link("extract_genes", "colour_pathway")
+            .build()
+            .unwrap()
+    }
+
+    fn rng() -> StdRng {
+        StdRng::seed_from_u64(42)
+    }
+
+    #[test]
+    fn perturbed_labels_differ_but_stay_related() {
+        let mut r = rng();
+        for _ in 0..20 {
+            let p = perturb_label("get_pathway", &mut r);
+            assert_ne!(p, "");
+            // The perturbation never produces something completely unrelated:
+            // it keeps at least half of the original characters.
+            let common = p.chars().filter(|c| "get_pathway".contains(*c)).count();
+            assert!(common * 2 >= p.chars().count(), "{p}");
+        }
+    }
+
+    #[test]
+    fn rename_keeps_labels_unique_and_workflow_valid() {
+        let mut wf = seed_workflow();
+        rename_labels(&mut wf, 1.0, &mut rng());
+        let mut labels: Vec<&str> = wf.modules.iter().map(|m| m.label.as_str()).collect();
+        labels.sort_unstable();
+        labels.dedup();
+        assert_eq!(labels.len(), wf.module_count());
+        validate(&wf).unwrap();
+    }
+
+    #[test]
+    fn insert_shim_grows_the_workflow_and_stays_valid() {
+        let mut wf = seed_workflow();
+        let before_modules = wf.module_count();
+        let before_links = wf.link_count();
+        insert_shim(&mut wf, &mut rng());
+        assert_eq!(wf.module_count(), before_modules + 1);
+        assert_eq!(wf.link_count(), before_links + 1);
+        validate(&wf).unwrap();
+        assert!(wf.modules.last().unwrap().is_trivial());
+    }
+
+    #[test]
+    fn delete_module_shrinks_but_keeps_validity() {
+        let mut wf = seed_workflow();
+        delete_module(&mut wf, &mut rng());
+        assert_eq!(wf.module_count(), 2);
+        validate(&wf).unwrap();
+    }
+
+    #[test]
+    fn delete_module_preserves_connectivity_through_the_victim() {
+        // Deleting the middle module of a chain must bridge its neighbours.
+        let mut wf = seed_workflow();
+        // Force deletion of "extract_genes" (id 1) by trying seeds until it
+        // happens; determinism is fine, we just need one such case.
+        let mut found = false;
+        for seed in 0..50 {
+            let mut candidate = wf.clone();
+            let mut r = StdRng::seed_from_u64(seed);
+            delete_module(&mut candidate, &mut r);
+            if candidate.module_by_label("extract_genes").is_none() {
+                let g = candidate.graph();
+                assert_eq!(g.edges().len(), 1, "bridge edge present");
+                assert!(candidate.module_by_label("get_pathway").is_some());
+                assert!(candidate.module_by_label("colour_pathway").is_some());
+                found = true;
+                break;
+            }
+        }
+        assert!(found, "middle module was never selected in 50 seeds");
+        // Original untouched.
+        assert_eq!(wf.module_count(), 3);
+        wf.links.clear();
+    }
+
+    #[test]
+    fn small_workflows_are_not_deleted_into_oblivion() {
+        let mut wf = WorkflowBuilder::new("tiny")
+            .module("a", ModuleType::WsdlService, |m| m)
+            .module("b", ModuleType::WsdlService, |m| m)
+            .link("a", "b")
+            .build()
+            .unwrap();
+        delete_module(&mut wf, &mut rng());
+        assert_eq!(wf.module_count(), 2);
+    }
+
+    #[test]
+    fn add_branch_keeps_the_dag_valid() {
+        let mut wf = seed_workflow();
+        add_branch(&mut wf, &mut rng());
+        assert_eq!(wf.module_count(), 4);
+        validate(&wf).unwrap();
+    }
+
+    #[test]
+    fn reword_annotations_changes_but_keeps_topic_words() {
+        let mut wf = seed_workflow();
+        let original = wf.annotations.title.clone().unwrap();
+        reword_annotations(&mut wf, &mut rng());
+        let new = wf.annotations.title.clone().unwrap();
+        // Some overlap in vocabulary must remain (it is a paraphrase).
+        let overlap = new
+            .split_whitespace()
+            .filter(|w| original.split_whitespace().any(|o| o == *w))
+            .count();
+        assert!(overlap >= 2, "{original} vs {new}");
+    }
+
+    #[test]
+    fn degrade_tags_can_remove_everything_or_a_subset() {
+        let mut all_dropped = 0;
+        for seed in 0..100 {
+            let mut wf = seed_workflow();
+            let mut r = StdRng::seed_from_u64(seed);
+            degrade_tags(&mut wf, 0.3, &mut r);
+            if wf.annotations.tags.is_empty() {
+                all_dropped += 1;
+            } else {
+                assert!(wf.annotations.tags.len() <= 2);
+            }
+        }
+        assert!(all_dropped > 10 && all_dropped < 60, "got {all_dropped}");
+    }
+
+    #[test]
+    fn mutate_round_produces_a_valid_distinct_variant() {
+        let seed = seed_workflow();
+        let mut variant = seed.clone();
+        mutate_round(&mut variant, &mut rng());
+        validate(&variant).unwrap();
+        assert_ne!(variant, seed);
+    }
+}

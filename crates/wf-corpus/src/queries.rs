@@ -1,0 +1,164 @@
+//! Query and candidate selection for the ranking experiment.
+//!
+//! In the paper's first experiment, "24 life science workflows, randomly
+//! selected from our dataset (called query workflows) were presented to the
+//! users, each accompanied by a list of 10 other workflows to compare it
+//! to.  To obtain these 10 workflows, we ranked all workflows in the
+//! repository wrt a given query workflow using a naive annotation based
+//! similarity measure and drew workflows at random from the top-10, the
+//! middle, and the lower 30" (Section 4.2) — i.e. the candidate lists mix
+//! clearly similar, middling and clearly dissimilar workflows.  With a
+//! synthetic corpus the same stratification is obtained directly from the
+//! latent structure: candidates are drawn from the query's family, from its
+//! topic, and from other topics.
+
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::SeedableRng;
+use wf_model::WorkflowId;
+
+use crate::families::CorpusMeta;
+
+/// Selects `count` query workflows.  Queries are chosen among workflows
+/// whose family has at least `min_family_size` members so that genuinely
+/// similar candidates exist (mirroring the paper's life-science selection).
+pub fn select_queries(
+    meta: &CorpusMeta,
+    count: usize,
+    min_family_size: usize,
+    seed: u64,
+) -> Vec<WorkflowId> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut eligible: Vec<WorkflowId> = meta
+        .iter()
+        .filter(|m| meta.family_members(m.family).len() >= min_family_size)
+        .map(|m| m.id.clone())
+        .collect();
+    eligible.sort();
+    eligible.shuffle(&mut rng);
+    eligible.truncate(count);
+    eligible
+}
+
+/// Selects a stratified candidate list for one query: roughly 40% family
+/// members, 30% same-topic workflows and 30% workflows from other topics,
+/// topped up from whatever stratum still has members if one runs dry.
+pub fn select_candidates(
+    meta: &CorpusMeta,
+    query: &WorkflowId,
+    count: usize,
+    seed: u64,
+) -> Vec<WorkflowId> {
+    let Some(query_meta) = meta.get(query) else {
+        return Vec::new();
+    };
+    let mut rng = StdRng::seed_from_u64(seed ^ 0x9e3779b97f4a7c15);
+
+    let mut family: Vec<WorkflowId> = Vec::new();
+    let mut topic: Vec<WorkflowId> = Vec::new();
+    let mut other: Vec<WorkflowId> = Vec::new();
+    for m in meta.iter() {
+        if m.id == *query {
+            continue;
+        }
+        if m.family == query_meta.family {
+            family.push(m.id.clone());
+        } else if m.topic == query_meta.topic {
+            topic.push(m.id.clone());
+        } else {
+            other.push(m.id.clone());
+        }
+    }
+    for bucket in [&mut family, &mut topic, &mut other] {
+        bucket.sort();
+        bucket.shuffle(&mut rng);
+    }
+
+    let want_family = (count * 4).div_ceil(10);
+    let want_topic = (count * 3).div_ceil(10);
+
+    let mut selected: Vec<WorkflowId> = Vec::with_capacity(count);
+    selected.extend(family.iter().take(want_family).cloned());
+    selected.extend(topic.iter().take(want_topic).cloned());
+    for pool in [&other, &topic, &family] {
+        for id in pool {
+            if selected.len() >= count {
+                break;
+            }
+            if !selected.contains(id) {
+                selected.push(id.clone());
+            }
+        }
+    }
+    selected.truncate(count);
+    selected
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::taverna::{generate_taverna_corpus, TavernaCorpusConfig};
+
+    fn meta() -> CorpusMeta {
+        generate_taverna_corpus(&TavernaCorpusConfig::small(80, 13)).1
+    }
+
+    #[test]
+    fn queries_are_distinct_and_from_populated_families() {
+        let meta = meta();
+        let queries = select_queries(&meta, 10, 3, 1);
+        assert_eq!(queries.len(), 10);
+        let mut unique = queries.clone();
+        unique.sort();
+        unique.dedup();
+        assert_eq!(unique.len(), queries.len());
+        for q in &queries {
+            let m = meta.get(q).unwrap();
+            assert!(meta.family_members(m.family).len() >= 3);
+        }
+    }
+
+    #[test]
+    fn query_selection_is_deterministic_per_seed() {
+        let meta = meta();
+        assert_eq!(select_queries(&meta, 5, 2, 9), select_queries(&meta, 5, 2, 9));
+        assert_ne!(select_queries(&meta, 5, 2, 9), select_queries(&meta, 5, 2, 10));
+    }
+
+    #[test]
+    fn candidates_are_stratified_and_exclude_the_query() {
+        let meta = meta();
+        let query = select_queries(&meta, 1, 3, 2)[0].clone();
+        let candidates = select_candidates(&meta, &query, 10, 3);
+        assert_eq!(candidates.len(), 10);
+        assert!(!candidates.contains(&query));
+        let qm = meta.get(&query).unwrap();
+        let family_members = candidates
+            .iter()
+            .filter(|c| meta.get(c).unwrap().family == qm.family)
+            .count();
+        let other_topic = candidates
+            .iter()
+            .filter(|c| meta.get(c).unwrap().topic != qm.topic)
+            .count();
+        assert!(family_members >= 2, "need genuinely similar candidates");
+        assert!(other_topic >= 2, "need clearly dissimilar candidates");
+    }
+
+    #[test]
+    fn unknown_query_yields_no_candidates() {
+        let meta = meta();
+        assert!(select_candidates(&meta, &WorkflowId::new("nope"), 10, 1).is_empty());
+    }
+
+    #[test]
+    fn candidates_are_unique() {
+        let meta = meta();
+        let query = select_queries(&meta, 1, 2, 4)[0].clone();
+        let candidates = select_candidates(&meta, &query, 10, 5);
+        let mut unique = candidates.clone();
+        unique.sort();
+        unique.dedup();
+        assert_eq!(unique.len(), candidates.len());
+    }
+}

@@ -1,0 +1,288 @@
+//! The myExperiment-like Taverna corpus generator.
+//!
+//! The paper's primary corpus contains 1483 Taverna workflows from
+//! myExperiment, with an average of 11.3 modules per workflow, roughly 15%
+//! of workflows without tags, and heavy reuse of popular life-science
+//! services under author-specific labels.  [`generate_taverna_corpus`]
+//! produces a synthetic corpus with those properties, organised into
+//! functional families so that a latent ground truth exists for the
+//! simulated expert panel (see DESIGN.md §3 for the substitution argument).
+
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::{Rng, SeedableRng};
+use wf_model::{Annotations, Datalink, Module, ModuleId, Workflow, WorkflowId};
+
+use crate::families::{CorpusMeta, WorkflowMeta};
+use crate::mutate::{degrade_tags, mutate_round};
+use crate::vocab::{ModuleSpec, Topic, SHIM_MODULES, TOPICS};
+
+/// Configuration of the Taverna-like corpus generator.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TavernaCorpusConfig {
+    /// Total number of workflows to generate (the paper's corpus has 1483).
+    pub workflows: usize,
+    /// RNG seed; the same seed reproduces the same corpus.
+    pub seed: u64,
+    /// Probability that a workflow ends up without tags (paper: ≈ 0.15).
+    pub untagged_probability: f64,
+    /// Smallest family size (seed + variants).
+    pub min_family_size: usize,
+    /// Largest family size.
+    pub max_family_size: usize,
+}
+
+impl Default for TavernaCorpusConfig {
+    fn default() -> Self {
+        TavernaCorpusConfig {
+            workflows: 1483,
+            seed: 20140901, // VLDB 2014, Hangzhou
+            untagged_probability: 0.15,
+            min_family_size: 2,
+            max_family_size: 8,
+        }
+    }
+}
+
+impl TavernaCorpusConfig {
+    /// A small corpus for unit tests and examples.
+    pub fn small(workflows: usize, seed: u64) -> Self {
+        TavernaCorpusConfig {
+            workflows,
+            seed,
+            ..TavernaCorpusConfig::default()
+        }
+    }
+}
+
+/// Generates the corpus and its latent metadata.
+pub fn generate_taverna_corpus(config: &TavernaCorpusConfig) -> (Vec<Workflow>, CorpusMeta) {
+    let mut rng = StdRng::seed_from_u64(config.seed);
+    let mut corpus = Vec::with_capacity(config.workflows);
+    let mut meta = CorpusMeta::new();
+    let mut family = 0usize;
+
+    while corpus.len() < config.workflows {
+        let topic_idx = family % TOPICS.len();
+        let topic = &TOPICS[topic_idx];
+        let family_size = rng
+            .gen_range(config.min_family_size..=config.max_family_size)
+            .min(config.workflows - corpus.len());
+
+        let seed_id = WorkflowId::new(format!("t{}", corpus.len() + 1));
+        let seed_wf = build_seed_workflow(&seed_id, topic, &mut rng);
+        meta.insert(WorkflowMeta {
+            id: seed_id,
+            topic: topic_idx,
+            family,
+            depth: 0,
+        });
+        corpus.push(seed_wf.clone());
+
+        for _variant in 1..family_size {
+            let id = WorkflowId::new(format!("t{}", corpus.len() + 1));
+            let depth = rng.gen_range(1..=3usize);
+            let mut wf = seed_wf.clone();
+            wf.id = id.clone();
+            for _ in 0..depth {
+                mutate_round(&mut wf, &mut rng);
+            }
+            degrade_tags(&mut wf, config.untagged_probability, &mut rng);
+            meta.insert(WorkflowMeta {
+                id,
+                topic: topic_idx,
+                family,
+                depth,
+            });
+            corpus.push(wf);
+        }
+        family += 1;
+    }
+    (corpus, meta)
+}
+
+/// Builds one family seed workflow for a topic.
+fn build_seed_workflow(id: &WorkflowId, topic: &Topic, rng: &mut StdRng) -> Workflow {
+    // Sample 4–6 distinct domain modules from the topic.
+    let domain_count = rng.gen_range(4..=topic.modules.len().min(6));
+    let mut specs: Vec<&ModuleSpec> = topic.modules.iter().collect();
+    specs.shuffle(rng);
+    specs.truncate(domain_count);
+
+    let mut modules: Vec<Module> = Vec::new();
+    let mut links: Vec<Datalink> = Vec::new();
+    for (i, spec) in specs.iter().enumerate() {
+        let mut module = Module::new(ModuleId(modules.len() as u32), spec.label, spec.module_type.clone());
+        if let Some((authority, name, uri)) = spec.service {
+            module.service_authority = Some(authority.to_string());
+            module.service_name = Some(name.to_string());
+            module.service_uri = Some(uri.to_string());
+        }
+        if let Some(body) = spec.script {
+            module.script = Some(body.to_string());
+        }
+        let current = module.id;
+        modules.push(module);
+        if i > 0 {
+            // Mostly a chain; sometimes branch off an earlier module.
+            let parent_idx = if rng.gen_bool(0.75) {
+                current.0 - 1
+            } else {
+                rng.gen_range(0..current.0)
+            };
+            links.push(Datalink::new(ModuleId(parent_idx), current));
+        }
+    }
+
+    // Sprinkle shim modules onto random links to reach realistic sizes
+    // (average around 11 modules per workflow, as in the paper's corpus).
+    let shim_count = rng.gen_range(3..=7usize);
+    for _ in 0..shim_count {
+        if links.is_empty() {
+            break;
+        }
+        let spec = SHIM_MODULES.choose(rng).expect("non-empty");
+        let new_id = ModuleId(modules.len() as u32);
+        let mut module = Module::new(new_id, format!("{}_{}", spec.label, new_id.0), spec.module_type.clone());
+        if let Some(body) = spec.script {
+            module.script = Some(body.to_string());
+        }
+        modules.push(module);
+        let idx = rng.gen_range(0..links.len());
+        let link = links.remove(idx);
+        links.push(Datalink::new(link.from, new_id));
+        links.push(Datalink::new(new_id, link.to));
+    }
+
+    let title = make_phrase(topic.title_words, 3..=5, rng, true);
+    let description = make_phrase(topic.description_words, 6..=9, rng, false);
+    let mut tags: Vec<String> = topic.tags.iter().map(|t| t.to_string()).collect();
+    tags.shuffle(rng);
+    tags.truncate(rng.gen_range(2..=tags.len().max(2)));
+
+    Workflow {
+        id: id.clone(),
+        annotations: Annotations {
+            title: Some(title),
+            description: Some(description),
+            tags,
+            author: Some(format!("author_{}", rng.gen_range(1..=60))),
+        },
+        modules,
+        links,
+    }
+}
+
+/// Assembles a pseudo-natural phrase from a word pool.
+fn make_phrase(
+    words: &[&str],
+    length: std::ops::RangeInclusive<usize>,
+    rng: &mut StdRng,
+    capitalize: bool,
+) -> String {
+    let mut pool: Vec<&str> = words.to_vec();
+    pool.shuffle(rng);
+    let n = rng.gen_range(length).min(pool.len());
+    let mut phrase = pool[..n].join(" ");
+    if capitalize {
+        if let Some(first) = phrase.get_mut(0..1) {
+            first.make_ascii_uppercase();
+        }
+    }
+    phrase
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use wf_model::{validate, CorpusStats};
+
+    #[test]
+    fn corpus_has_the_requested_size_and_valid_workflows() {
+        let (corpus, meta) = generate_taverna_corpus(&TavernaCorpusConfig::small(60, 7));
+        assert_eq!(corpus.len(), 60);
+        assert_eq!(meta.len(), 60);
+        for wf in &corpus {
+            validate(wf).unwrap_or_else(|e| panic!("{}: {e}", wf.id));
+            assert!(wf.module_count() >= 3);
+        }
+    }
+
+    #[test]
+    fn generation_is_deterministic_for_a_seed() {
+        let a = generate_taverna_corpus(&TavernaCorpusConfig::small(30, 99));
+        let b = generate_taverna_corpus(&TavernaCorpusConfig::small(30, 99));
+        assert_eq!(a.0, b.0);
+        assert_eq!(a.1, b.1);
+        let c = generate_taverna_corpus(&TavernaCorpusConfig::small(30, 100));
+        assert_ne!(a.0, c.0);
+    }
+
+    #[test]
+    fn corpus_statistics_resemble_the_paper() {
+        let (corpus, _) = generate_taverna_corpus(&TavernaCorpusConfig::small(300, 1));
+        let stats = CorpusStats::of(&corpus).unwrap();
+        assert!(
+            stats.mean_modules > 8.0 && stats.mean_modules < 14.0,
+            "mean modules {} should be near the paper's 11.3",
+            stats.mean_modules
+        );
+        assert!(
+            stats.untagged_fraction > 0.05 && stats.untagged_fraction < 0.35,
+            "untagged fraction {} should be near the paper's 0.15",
+            stats.untagged_fraction
+        );
+        assert!(stats.undescribed_fraction < 0.2, "most workflows carry descriptions");
+    }
+
+    #[test]
+    fn families_group_variants_with_their_seed() {
+        let (corpus, meta) = generate_taverna_corpus(&TavernaCorpusConfig::small(40, 3));
+        // Every workflow has metadata; family members share the topic.
+        for wf in &corpus {
+            let m = meta.get(&wf.id).expect("metadata for every workflow");
+            for other_id in meta.family_members(m.family) {
+                assert_eq!(meta.get(other_id).unwrap().topic, m.topic);
+            }
+        }
+        // At least one family has more than one member.
+        let any_family = meta.get(&corpus[0].id).unwrap().family;
+        assert!(meta.family_members(any_family).len() >= 1);
+        let multi = (0..meta.len()).any(|f| meta.family_members(f).len() >= 2);
+        assert!(multi, "some family must contain variants");
+    }
+
+    #[test]
+    fn variants_share_vocabulary_with_their_seed() {
+        let (corpus, meta) = generate_taverna_corpus(&TavernaCorpusConfig::small(20, 11));
+        let seed = &corpus[0];
+        let seed_meta = meta.get(&seed.id).unwrap();
+        for wf in corpus.iter().skip(1) {
+            let m = meta.get(&wf.id).unwrap();
+            if m.family == seed_meta.family && m.depth > 0 {
+                // Service URIs are stable under mutation, so family members
+                // share at least one.
+                let seed_uris: std::collections::BTreeSet<&str> = seed
+                    .modules
+                    .iter()
+                    .filter_map(|mm| mm.service_uri.as_deref())
+                    .collect();
+                let shared = wf
+                    .modules
+                    .iter()
+                    .filter_map(|mm| mm.service_uri.as_deref())
+                    .any(|u| seed_uris.contains(u));
+                assert!(shared, "variant {} shares no service with its seed", wf.id);
+            }
+        }
+    }
+
+    #[test]
+    fn ids_are_unique() {
+        let (corpus, _) = generate_taverna_corpus(&TavernaCorpusConfig::small(50, 5));
+        let mut ids: Vec<&str> = corpus.iter().map(|w| w.id.as_str()).collect();
+        ids.sort_unstable();
+        ids.dedup();
+        assert_eq!(ids.len(), corpus.len());
+    }
+}

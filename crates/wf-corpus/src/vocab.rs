@@ -1,0 +1,308 @@
+//! The bioinformatics vocabulary behind the synthetic corpora.
+//!
+//! Real myExperiment workflows invoke a comparatively small set of popular
+//! life-science services (EBI, KEGG, NCBI, BioMart, …) under author-chosen
+//! labels, stitched together with trivial local "shim" operations.  The
+//! vocabulary below provides, per functional *topic*, a pool of module
+//! specifications plus title/description templates and tags from which the
+//! generators assemble workflows.
+
+use wf_model::ModuleType;
+
+/// A reusable module specification.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ModuleSpec {
+    /// The canonical label (authors later perturb it).
+    pub label: &'static str,
+    /// The module type.
+    pub module_type: ModuleType,
+    /// Service authority, name and URI for service modules.
+    pub service: Option<(&'static str, &'static str, &'static str)>,
+    /// Script body for scripted modules.
+    pub script: Option<&'static str>,
+}
+
+impl ModuleSpec {
+    const fn service(
+        label: &'static str,
+        module_type: ModuleType,
+        authority: &'static str,
+        name: &'static str,
+        uri: &'static str,
+    ) -> Self {
+        ModuleSpec {
+            label,
+            module_type,
+            service: Some((authority, name, uri)),
+            script: None,
+        }
+    }
+
+    const fn script(label: &'static str, module_type: ModuleType, body: &'static str) -> Self {
+        ModuleSpec {
+            label,
+            module_type,
+            service: None,
+            script: Some(body),
+        }
+    }
+}
+
+/// One functional topic: a theme such as pathway analysis or sequence
+/// alignment, with everything needed to generate workflows about it.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Topic {
+    /// A short machine-readable key.
+    pub key: &'static str,
+    /// Words used in titles.
+    pub title_words: &'static [&'static str],
+    /// Words used in descriptions.
+    pub description_words: &'static [&'static str],
+    /// Tags typical for the topic.
+    pub tags: &'static [&'static str],
+    /// Domain modules belonging to the topic.
+    pub modules: &'static [ModuleSpec],
+}
+
+/// Trivial "shim" modules found in almost every Taverna workflow; these are
+/// exactly the modules the Importance Projection removes.
+pub const SHIM_MODULES: &[ModuleSpec] = &[
+    ModuleSpec {
+        label: "split_string_into_list",
+        module_type: ModuleType::LocalOperation,
+        service: None,
+        script: None,
+    },
+    ModuleSpec {
+        label: "merge_string_list",
+        module_type: ModuleType::LocalOperation,
+        service: None,
+        script: None,
+    },
+    ModuleSpec {
+        label: "flatten_list",
+        module_type: ModuleType::LocalOperation,
+        service: None,
+        script: None,
+    },
+    ModuleSpec {
+        label: "concat_strings",
+        module_type: ModuleType::LocalOperation,
+        service: None,
+        script: None,
+    },
+    ModuleSpec {
+        label: "format_constant",
+        module_type: ModuleType::StringConstant,
+        service: None,
+        script: None,
+    },
+    ModuleSpec {
+        label: "remove_duplicates",
+        module_type: ModuleType::LocalOperation,
+        service: None,
+        script: None,
+    },
+];
+
+/// The topic catalogue of the Taverna-like corpus.
+pub const TOPICS: &[Topic] = &[
+    Topic {
+        key: "pathway",
+        title_words: &["kegg", "pathway", "analysis", "gene", "mapping"],
+        description_words: &[
+            "retrieves", "kegg", "pathway", "maps", "genes", "identifiers", "entrez", "colours",
+            "diagram",
+        ],
+        tags: &["kegg", "pathway", "genes", "bioinformatics"],
+        modules: &[
+            ModuleSpec::service("get_pathway_by_gene", ModuleType::WsdlService, "kegg.jp", "get_pathways_by_genes", "http://soap.genome.jp/KEGG.wsdl"),
+            ModuleSpec::service("get_genes_by_pathway", ModuleType::WsdlService, "kegg.jp", "get_genes_by_pathway", "http://soap.genome.jp/KEGG.wsdl"),
+            ModuleSpec::service("colour_pathway_by_objects", ModuleType::SoaplabService, "kegg.jp", "color_pathway_by_objects", "http://soap.genome.jp/KEGG.wsdl"),
+            ModuleSpec::service("lookup_entrez_gene", ModuleType::WsdlService, "ncbi.nlm.nih.gov", "efetch_gene", "http://eutils.ncbi.nlm.nih.gov/soap/eutils.wsdl"),
+            ModuleSpec::script("extract_gene_ids", ModuleType::BeanshellScript, "for (line : input) { ids.add(line.split(\"\\t\")[0]); }"),
+            ModuleSpec::script("filter_significant_genes", ModuleType::BeanshellScript, "if (pvalue < 0.05) keep(gene);"),
+            ModuleSpec::service("map_to_uniprot", ModuleType::BioMart, "ensembl.org", "uniprot_mapping", "http://www.biomart.org/biomart/martservice"),
+        ],
+    },
+    Topic {
+        key: "alignment",
+        title_words: &["blast", "protein", "sequence", "search", "alignment"],
+        description_words: &[
+            "runs", "blast", "against", "uniprot", "sequences", "alignment", "hits", "parses",
+            "report",
+        ],
+        tags: &["blast", "sequence", "alignment", "protein"],
+        modules: &[
+            ModuleSpec::service("fetch_fasta_sequence", ModuleType::WsdlService, "ebi.ac.uk", "fetchData", "http://www.ebi.ac.uk/ws/services/Dbfetch.wsdl"),
+            ModuleSpec::service("run_ncbi_blast", ModuleType::SoaplabService, "ebi.ac.uk", "blastp", "http://www.ebi.ac.uk/ws/services/blast.wsdl"),
+            ModuleSpec::service("run_wu_blast", ModuleType::ArbitraryWsdl, "ebi.ac.uk", "wublast", "http://www.ebi.ac.uk/ws/services/wublast.wsdl"),
+            ModuleSpec::script("parse_blast_report", ModuleType::BeanshellScript, "hits = parse(report); return hits;"),
+            ModuleSpec::script("filter_hits_by_evalue", ModuleType::BeanshellScript, "if (evalue < 1e-10) keep(hit);"),
+            ModuleSpec::service("clustalw_alignment", ModuleType::SoaplabService, "ebi.ac.uk", "clustalw2", "http://www.ebi.ac.uk/ws/services/clustalw2.wsdl"),
+            ModuleSpec::service("fetch_uniprot_entry", ModuleType::RestService, "uniprot.org", "entry_lookup", "http://www.uniprot.org/uniprot"),
+        ],
+    },
+    Topic {
+        key: "expression",
+        title_words: &["microarray", "gene", "expression", "normalisation", "analysis"],
+        description_words: &[
+            "normalises", "microarray", "expression", "values", "differential", "genes",
+            "statistics", "probes",
+        ],
+        tags: &["microarray", "expression", "statistics"],
+        modules: &[
+            ModuleSpec::service("fetch_arrayexpress_data", ModuleType::RestService, "ebi.ac.uk", "arrayexpress_query", "http://www.ebi.ac.uk/arrayexpress/xml/v2"),
+            ModuleSpec::script("normalise_expression_matrix", ModuleType::RShell, "library(limma); normalizeBetweenArrays(x)"),
+            ModuleSpec::script("compute_differential_expression", ModuleType::RShell, "fit <- lmFit(x, design); eBayes(fit)"),
+            ModuleSpec::script("plot_heatmap", ModuleType::RShell, "heatmap(as.matrix(x))"),
+            ModuleSpec::service("annotate_probes", ModuleType::BioMart, "ensembl.org", "probe_annotation", "http://www.biomart.org/biomart/martservice"),
+            ModuleSpec::script("filter_low_variance_probes", ModuleType::BeanshellScript, "if (var(probe) > threshold) keep(probe);"),
+        ],
+    },
+    Topic {
+        key: "proteomics",
+        title_words: &["protein", "structure", "domain", "interpro", "annotation"],
+        description_words: &[
+            "annotates", "protein", "domains", "interpro", "structure", "features", "signal",
+            "peptides",
+        ],
+        tags: &["protein", "interpro", "domains"],
+        modules: &[
+            ModuleSpec::service("run_interproscan", ModuleType::SoaplabService, "ebi.ac.uk", "iprscan", "http://www.ebi.ac.uk/ws/services/iprscan.wsdl"),
+            ModuleSpec::service("fetch_pdb_structure", ModuleType::RestService, "rcsb.org", "pdb_download", "http://www.rcsb.org/pdb/rest"),
+            ModuleSpec::script("extract_domain_table", ModuleType::BeanshellScript, "domains = parseXml(result);"),
+            ModuleSpec::service("predict_signal_peptide", ModuleType::WsdlService, "cbs.dtu.dk", "signalp", "http://www.cbs.dtu.dk/ws/SignalP.wsdl"),
+            ModuleSpec::script("merge_annotation_tables", ModuleType::BeanshellScript, "merged = join(a, b, key);"),
+        ],
+    },
+    Topic {
+        key: "phylogeny",
+        title_words: &["phylogenetic", "tree", "multiple", "alignment", "species"],
+        description_words: &[
+            "builds", "phylogenetic", "tree", "aligned", "sequences", "bootstrap", "species",
+            "newick",
+        ],
+        tags: &["phylogeny", "tree", "evolution"],
+        modules: &[
+            ModuleSpec::service("run_muscle_alignment", ModuleType::SoaplabService, "ebi.ac.uk", "muscle", "http://www.ebi.ac.uk/ws/services/muscle.wsdl"),
+            ModuleSpec::script("build_neighbour_joining_tree", ModuleType::RShell, "nj(dist.dna(alignment))"),
+            ModuleSpec::script("bootstrap_tree", ModuleType::RShell, "boot.phylo(tree, alignment, FUN)"),
+            ModuleSpec::service("fetch_taxonomy_lineage", ModuleType::WsdlService, "ncbi.nlm.nih.gov", "taxonomy_lookup", "http://eutils.ncbi.nlm.nih.gov/soap/eutils.wsdl"),
+            ModuleSpec::script("render_tree_image", ModuleType::BeanshellScript, "draw(tree, format=\"png\");"),
+        ],
+    },
+    Topic {
+        key: "literature",
+        title_words: &["pubmed", "literature", "mining", "abstracts", "retrieval"],
+        description_words: &[
+            "queries", "pubmed", "abstracts", "extracts", "terms", "entities", "counts",
+            "citations",
+        ],
+        tags: &["pubmed", "text-mining", "literature"],
+        modules: &[
+            ModuleSpec::service("search_pubmed", ModuleType::WsdlService, "ncbi.nlm.nih.gov", "esearch_pubmed", "http://eutils.ncbi.nlm.nih.gov/soap/eutils.wsdl"),
+            ModuleSpec::service("fetch_abstracts", ModuleType::WsdlService, "ncbi.nlm.nih.gov", "efetch_pubmed", "http://eutils.ncbi.nlm.nih.gov/soap/eutils.wsdl"),
+            ModuleSpec::script("extract_gene_mentions", ModuleType::BeanshellScript, "mentions = ner(abstract, \"gene\");"),
+            ModuleSpec::script("count_term_frequencies", ModuleType::BeanshellScript, "freq[term]++;"),
+            ModuleSpec::service("map_mesh_terms", ModuleType::RestService, "nlm.nih.gov", "mesh_lookup", "http://id.nlm.nih.gov/mesh"),
+        ],
+    },
+];
+
+/// The tool catalogue of the Galaxy-like corpus.  Galaxy workflows invoke
+/// locally installed tools identified by tool ids rather than web services,
+/// and usually carry little free-text annotation.
+pub const GALAXY_TOPICS: &[Topic] = &[
+    Topic {
+        key: "ngs_mapping",
+        title_words: &["read", "mapping", "bwa", "variant", "calling"],
+        description_words: &["maps", "reads", "reference", "calls", "variants"],
+        tags: &["ngs", "mapping"],
+        modules: &[
+            ModuleSpec::service("fastqc_quality", ModuleType::GalaxyTool, "galaxy", "toolshed.fastqc/0.72", "fastqc"),
+            ModuleSpec::service("trimmomatic_trim", ModuleType::GalaxyTool, "galaxy", "toolshed.trimmomatic/0.38", "trimmomatic"),
+            ModuleSpec::service("bwa_mem_map", ModuleType::GalaxyTool, "galaxy", "toolshed.bwa_mem/0.7.17", "bwa_mem"),
+            ModuleSpec::service("samtools_sort", ModuleType::GalaxyTool, "galaxy", "toolshed.samtools_sort/1.9", "samtools_sort"),
+            ModuleSpec::service("freebayes_call", ModuleType::GalaxyTool, "galaxy", "toolshed.freebayes/1.3", "freebayes"),
+            ModuleSpec::service("vcf_filter", ModuleType::GalaxyTool, "galaxy", "toolshed.vcffilter/1.0", "vcffilter"),
+        ],
+    },
+    Topic {
+        key: "rna_seq",
+        title_words: &["rna", "seq", "differential", "expression", "counts"],
+        description_words: &["aligns", "rna", "reads", "counts", "differential", "expression"],
+        tags: &["rna-seq", "expression"],
+        modules: &[
+            ModuleSpec::service("hisat2_align", ModuleType::GalaxyTool, "galaxy", "toolshed.hisat2/2.1", "hisat2"),
+            ModuleSpec::service("featurecounts_count", ModuleType::GalaxyTool, "galaxy", "toolshed.featurecounts/1.6", "featurecounts"),
+            ModuleSpec::service("deseq2_differential", ModuleType::GalaxyTool, "galaxy", "toolshed.deseq2/2.11", "deseq2"),
+            ModuleSpec::service("volcano_plot", ModuleType::GalaxyTool, "galaxy", "toolshed.volcanoplot/0.0.3", "volcanoplot"),
+            ModuleSpec::service("multiqc_report", ModuleType::GalaxyTool, "galaxy", "toolshed.multiqc/1.7", "multiqc"),
+        ],
+    },
+    Topic {
+        key: "metagenomics",
+        title_words: &["16s", "metagenomics", "taxonomy", "community", "profiling"],
+        description_words: &["classifies", "reads", "taxa", "abundance", "community"],
+        tags: &["metagenomics"],
+        modules: &[
+            ModuleSpec::service("qiime_demux", ModuleType::GalaxyTool, "galaxy", "toolshed.qiime_demux/2019.4", "qiime_demux"),
+            ModuleSpec::service("dada2_denoise", ModuleType::GalaxyTool, "galaxy", "toolshed.dada2/1.10", "dada2"),
+            ModuleSpec::service("kraken2_classify", ModuleType::GalaxyTool, "galaxy", "toolshed.kraken2/2.0", "kraken2"),
+            ModuleSpec::service("krona_plot", ModuleType::GalaxyTool, "galaxy", "toolshed.krona/2.7", "krona"),
+        ],
+    },
+];
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn topics_are_nonempty_and_distinct() {
+        assert!(TOPICS.len() >= 5);
+        let mut keys: Vec<&str> = TOPICS.iter().map(|t| t.key).collect();
+        keys.sort_unstable();
+        keys.dedup();
+        assert_eq!(keys.len(), TOPICS.len());
+        for t in TOPICS {
+            assert!(t.modules.len() >= 4, "topic {} too small", t.key);
+            assert!(!t.title_words.is_empty());
+            assert!(!t.tags.is_empty());
+        }
+    }
+
+    #[test]
+    fn module_specs_are_internally_consistent() {
+        for topic in TOPICS.iter().chain(GALAXY_TOPICS.iter()) {
+            for spec in topic.modules {
+                if spec.module_type.is_service() || spec.module_type == ModuleType::GalaxyTool {
+                    assert!(spec.service.is_some(), "{} needs service attrs", spec.label);
+                }
+                if spec.module_type.is_script() {
+                    assert!(spec.script.is_some(), "{} needs a script body", spec.label);
+                }
+                assert!(!spec.label.contains(' '), "labels are underscore separated");
+            }
+        }
+    }
+
+    #[test]
+    fn shim_modules_are_trivial() {
+        for shim in SHIM_MODULES {
+            assert!(shim.module_type.is_trivial_local(), "{}", shim.label);
+        }
+        assert!(SHIM_MODULES.len() >= 4);
+    }
+
+    #[test]
+    fn labels_are_unique_within_each_topic() {
+        for topic in TOPICS.iter().chain(GALAXY_TOPICS.iter()) {
+            let mut labels: Vec<&str> = topic.modules.iter().map(|m| m.label).collect();
+            labels.sort_unstable();
+            labels.dedup();
+            assert_eq!(labels.len(), topic.modules.len(), "topic {}", topic.key);
+        }
+    }
+}

@@ -1,0 +1,121 @@
+//! Per-pair computation budgets and search outcomes.
+//!
+//! The paper "allowed match cost computation of each of the 240 pairs of
+//! scientific workflows to take a maximum of 5 minutes" and reports how many
+//! pairs could not be computed in that time (Section 5.1.1 and 5.1.4).  The
+//! [`GedBudget`] makes those limits explicit and configurable, and the
+//! [`GedOutcome`] records whether a distance is exact, approximate or the
+//! result of a timeout so that experiments can report the same counts.
+
+use std::time::Duration;
+
+/// Resource limits for one graph-edit-distance computation.
+#[derive(Debug, Clone, PartialEq)]
+pub struct GedBudget {
+    /// Maximum number of nodes (in either graph) for which the exact A*
+    /// search is attempted at all.
+    pub exact_node_limit: usize,
+    /// Maximum number of A* state expansions before giving up.
+    pub max_expansions: usize,
+    /// Optional wall-clock limit for the exact search.
+    pub time_limit: Option<Duration>,
+    /// Beam width used by the approximate fallback.
+    pub beam_width: usize,
+}
+
+impl GedBudget {
+    /// A small budget for unit tests and interactive use.
+    pub fn small() -> Self {
+        GedBudget {
+            exact_node_limit: 8,
+            max_expansions: 20_000,
+            time_limit: Some(Duration::from_millis(250)),
+            beam_width: 16,
+        }
+    }
+
+    /// The budget mirroring the paper's evaluation setting: a generous
+    /// expansion budget with a 5-minute wall-clock cap per pair.
+    pub fn paper() -> Self {
+        GedBudget {
+            exact_node_limit: 16,
+            max_expansions: 5_000_000,
+            time_limit: Some(Duration::from_secs(300)),
+            beam_width: 64,
+        }
+    }
+}
+
+impl Default for GedBudget {
+    fn default() -> Self {
+        GedBudget {
+            exact_node_limit: 12,
+            max_expansions: 200_000,
+            time_limit: Some(Duration::from_secs(5)),
+            beam_width: 32,
+        }
+    }
+}
+
+/// The result of a graph-edit-distance computation.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum GedOutcome {
+    /// The exact distance, found by A* within the budget.
+    Exact(f64),
+    /// An upper bound from beam search, used because the graphs exceeded the
+    /// exact-search size limit.
+    Approximate(f64),
+    /// An upper bound from beam search, used because the exact search ran
+    /// out of budget (the paper's "not computable in this timeframe" case).
+    TimedOut(f64),
+}
+
+impl GedOutcome {
+    /// The edit cost regardless of how it was obtained.
+    pub fn cost(&self) -> f64 {
+        match self {
+            GedOutcome::Exact(c) | GedOutcome::Approximate(c) | GedOutcome::TimedOut(c) => *c,
+        }
+    }
+
+    /// True if the cost is exact.
+    pub fn is_exact(&self) -> bool {
+        matches!(self, GedOutcome::Exact(_))
+    }
+
+    /// True if the exact search was attempted but exceeded its budget.
+    pub fn timed_out(&self) -> bool {
+        matches!(self, GedOutcome::TimedOut(_))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_budget_is_reasonable() {
+        let b = GedBudget::default();
+        assert!(b.exact_node_limit >= 8);
+        assert!(b.max_expansions >= 10_000);
+        assert!(b.beam_width >= 1);
+    }
+
+    #[test]
+    fn paper_budget_uses_five_minutes() {
+        assert_eq!(
+            GedBudget::paper().time_limit,
+            Some(Duration::from_secs(300))
+        );
+    }
+
+    #[test]
+    fn outcome_accessors() {
+        assert_eq!(GedOutcome::Exact(2.0).cost(), 2.0);
+        assert!(GedOutcome::Exact(2.0).is_exact());
+        assert!(!GedOutcome::Exact(2.0).timed_out());
+        assert!(!GedOutcome::Approximate(3.0).is_exact());
+        assert!(GedOutcome::TimedOut(4.0).timed_out());
+        assert_eq!(GedOutcome::TimedOut(4.0).cost(), 4.0);
+    }
+}

@@ -1,0 +1,149 @@
+//! The labeled-graph representation on which GED operates.
+
+use std::collections::BTreeSet;
+
+use wf_model::Workflow;
+
+/// A small directed graph with integer node labels.
+///
+/// Node identity for the edit distance is determined entirely by the label:
+/// substituting a node for a node with the same label costs nothing,
+/// substituting across different labels costs [`crate::GedCosts::node_substitute`].
+/// Edges are unlabeled and directed; parallel edges are collapsed.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct LabeledGraph {
+    labels: Vec<u32>,
+    edges: BTreeSet<(usize, usize)>,
+}
+
+impl LabeledGraph {
+    /// Creates a graph from node labels and an edge list.
+    ///
+    /// Edges referencing non-existent nodes are dropped; duplicates are
+    /// collapsed.
+    pub fn new(labels: Vec<u32>, edges: Vec<(usize, usize)>) -> Self {
+        let n = labels.len();
+        let edges = edges
+            .into_iter()
+            .filter(|&(u, v)| u < n && v < n)
+            .collect();
+        LabeledGraph { labels, edges }
+    }
+
+    /// Builds a labeled graph from a workflow, assigning equal labels to
+    /// modules with equal (case-insensitive) label strings.
+    ///
+    /// This mirrors the "label matching" identification of modules used by
+    /// several earlier studies and is handy in tests; the similarity
+    /// framework instead derives labels from an explicit module mapping via
+    /// [`crate::labels::labeled_graphs_from_mapping`].
+    pub fn from_workflow_by_label(wf: &Workflow) -> Self {
+        let mut seen: Vec<String> = Vec::new();
+        let mut labels = Vec::with_capacity(wf.module_count());
+        for m in &wf.modules {
+            let key = m.label.to_lowercase();
+            let id = match seen.iter().position(|s| *s == key) {
+                Some(i) => i as u32,
+                None => {
+                    seen.push(key);
+                    (seen.len() - 1) as u32
+                }
+            };
+            labels.push(id);
+        }
+        let edges = wf
+            .graph()
+            .edges()
+            .into_iter()
+            .map(|(u, v)| (u.index(), v.index()))
+            .collect();
+        LabeledGraph::new(labels, edges)
+    }
+
+    /// Number of nodes.
+    pub fn node_count(&self) -> usize {
+        self.labels.len()
+    }
+
+    /// Number of distinct directed edges.
+    pub fn edge_count(&self) -> usize {
+        self.edges.len()
+    }
+
+    /// The label of a node.
+    pub fn label(&self, node: usize) -> u32 {
+        self.labels[node]
+    }
+
+    /// All node labels.
+    pub fn labels(&self) -> &[u32] {
+        &self.labels
+    }
+
+    /// True if the directed edge `(u, v)` exists.
+    pub fn has_edge(&self, u: usize, v: usize) -> bool {
+        self.edges.contains(&(u, v))
+    }
+
+    /// Iterates over all edges.
+    pub fn edges(&self) -> impl Iterator<Item = (usize, usize)> + '_ {
+        self.edges.iter().copied()
+    }
+
+    /// The number of edges incident (in either direction) to `node`.
+    pub fn degree(&self, node: usize) -> usize {
+        self.edges
+            .iter()
+            .filter(|&&(u, v)| u == node || v == node)
+            .count()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use wf_model::{builder::WorkflowBuilder, ModuleType};
+
+    #[test]
+    fn construction_drops_invalid_and_duplicate_edges() {
+        let g = LabeledGraph::new(vec![0, 1], vec![(0, 1), (0, 1), (5, 0), (1, 9)]);
+        assert_eq!(g.node_count(), 2);
+        assert_eq!(g.edge_count(), 1);
+        assert!(g.has_edge(0, 1));
+        assert!(!g.has_edge(1, 0));
+    }
+
+    #[test]
+    fn degree_counts_both_directions() {
+        let g = LabeledGraph::new(vec![0, 1, 2], vec![(0, 1), (1, 2)]);
+        assert_eq!(g.degree(1), 2);
+        assert_eq!(g.degree(0), 1);
+    }
+
+    #[test]
+    fn from_workflow_by_label_shares_labels_case_insensitively() {
+        // Labels differing only in case are distinct to the builder but are
+        // identified with each other by the label-based graph conversion.
+        let wf = WorkflowBuilder::new("w")
+            .module("BLAST", ModuleType::WsdlService, |m| m)
+            .module("blast", ModuleType::WsdlService, |m| m)
+            .module("render", ModuleType::BeanshellScript, |m| m)
+            .link("BLAST", "render")
+            .build()
+            .unwrap();
+        let g = LabeledGraph::from_workflow_by_label(&wf);
+        assert_eq!(g.node_count(), 3);
+        assert_eq!(g.edge_count(), 1);
+        assert_eq!(g.label(0), g.label(1), "case-insensitive identification");
+        assert_ne!(g.label(0), g.label(2));
+
+        let wf2 = WorkflowBuilder::new("w2")
+            .module("blast_search", ModuleType::WsdlService, |m| m)
+            .module("render", ModuleType::BeanshellScript, |m| m)
+            .link("blast_search", "render")
+            .build()
+            .unwrap();
+        let g2 = LabeledGraph::from_workflow_by_label(&wf2);
+        assert_ne!(g2.label(0), g2.label(1));
+    }
+}

@@ -1,0 +1,130 @@
+//! Deriving shared node labels from a module mapping.
+//!
+//! SUBDUE (and therefore the paper's GED measure) identifies nodes through
+//! their labels.  "To transform similarity of modules to identifiers, we set
+//! the labels of nodes in the two graphs to be compared to reflect the
+//! module mapping derived from maximum weight matching of the modules"
+//! (Section 2.1.3).  This module performs exactly that conversion: given two
+//! workflows and the list of mapped module pairs, it produces two
+//! [`LabeledGraph`]s in which mapped modules share a fresh label and all
+//! other modules carry unique labels.
+
+use wf_model::Workflow;
+
+use crate::graph::LabeledGraph;
+
+/// Converts two workflows into labeled graphs that encode the given module
+/// mapping.
+///
+/// `mapped_pairs` lists `(module index in a, module index in b)` pairs; each
+/// pair is assigned a shared label, every unmapped module a unique one.
+/// Pairs with out-of-range indices are ignored.  The DAG structure (distinct
+/// directed edges) is taken from the workflows unchanged.
+pub fn labeled_graphs_from_mapping(
+    a: &Workflow,
+    b: &Workflow,
+    mapped_pairs: &[(usize, usize)],
+) -> (LabeledGraph, LabeledGraph) {
+    let n_a = a.module_count();
+    let n_b = b.module_count();
+    let mut labels_a: Vec<Option<u32>> = vec![None; n_a];
+    let mut labels_b: Vec<Option<u32>> = vec![None; n_b];
+    let mut next_label = 0u32;
+    for &(ia, ib) in mapped_pairs {
+        if ia < n_a && ib < n_b && labels_a[ia].is_none() && labels_b[ib].is_none() {
+            labels_a[ia] = Some(next_label);
+            labels_b[ib] = Some(next_label);
+            next_label += 1;
+        }
+    }
+    let mut finalize = |labels: Vec<Option<u32>>| -> Vec<u32> {
+        labels
+            .into_iter()
+            .map(|l| {
+                l.unwrap_or_else(|| {
+                    let fresh = next_label;
+                    next_label += 1;
+                    fresh
+                })
+            })
+            .collect()
+    };
+    let labels_a = finalize(labels_a);
+    let labels_b = finalize(labels_b);
+
+    let edges_of = |wf: &Workflow| {
+        wf.graph()
+            .edges()
+            .into_iter()
+            .map(|(u, v)| (u.index(), v.index()))
+            .collect::<Vec<_>>()
+    };
+    (
+        LabeledGraph::new(labels_a, edges_of(a)),
+        LabeledGraph::new(labels_b, edges_of(b)),
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use wf_model::{builder::WorkflowBuilder, ModuleType};
+
+    fn chain(id: &str, labels: &[&str]) -> Workflow {
+        let mut b = WorkflowBuilder::new(id);
+        for l in labels {
+            b = b.module(*l, ModuleType::WsdlService, |m| m);
+        }
+        for w in labels.windows(2) {
+            b = b.link(w[0], w[1]);
+        }
+        b.build().unwrap()
+    }
+
+    #[test]
+    fn mapped_modules_share_labels() {
+        let a = chain("a", &["fetch", "blast", "render"]);
+        let b = chain("b", &["get", "blast_search", "plot"]);
+        let (ga, gb) = labeled_graphs_from_mapping(&a, &b, &[(0, 0), (1, 1), (2, 2)]);
+        assert_eq!(ga.labels(), gb.labels());
+        assert_eq!(ga.edge_count(), 2);
+        assert_eq!(gb.edge_count(), 2);
+    }
+
+    #[test]
+    fn unmapped_modules_get_unique_labels() {
+        let a = chain("a", &["fetch", "blast"]);
+        let b = chain("b", &["get", "blast_search", "plot"]);
+        let (ga, gb) = labeled_graphs_from_mapping(&a, &b, &[(1, 1)]);
+        assert_eq!(ga.label(1), gb.label(1), "mapped pair shares a label");
+        assert_ne!(ga.label(0), gb.label(0));
+        assert_ne!(ga.label(0), gb.label(2));
+        // All labels across both graphs except the shared one are distinct.
+        let mut all: Vec<u32> = ga.labels().iter().chain(gb.labels()).copied().collect();
+        all.sort_unstable();
+        all.dedup();
+        assert_eq!(all.len(), 4, "5 modules, one shared label");
+    }
+
+    #[test]
+    fn invalid_and_duplicate_pairs_are_ignored() {
+        let a = chain("a", &["x", "y"]);
+        let b = chain("b", &["u", "v"]);
+        let (ga, gb) =
+            labeled_graphs_from_mapping(&a, &b, &[(0, 0), (0, 1), (9, 1), (1, 9), (1, 1)]);
+        assert_eq!(ga.label(0), gb.label(0));
+        assert_eq!(ga.label(1), gb.label(1));
+        assert_ne!(ga.label(0), ga.label(1));
+    }
+
+    #[test]
+    fn empty_mapping_yields_all_distinct_labels() {
+        let a = chain("a", &["x", "y"]);
+        let b = chain("b", &["u"]);
+        let (ga, gb) = labeled_graphs_from_mapping(&a, &b, &[]);
+        let mut all: Vec<u32> = ga.labels().iter().chain(gb.labels()).copied().collect();
+        all.sort_unstable();
+        all.dedup();
+        assert_eq!(all.len(), 3);
+    }
+}

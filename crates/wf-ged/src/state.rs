@@ -1,0 +1,266 @@
+//! Partial node-assignment states shared by the A* and beam searches.
+//!
+//! Both searches process the nodes of the first graph in a fixed order
+//! (0, 1, 2, …).  A state records, for the already processed prefix, which
+//! node of the second graph each node was mapped to (`Some(v)`) or that it
+//! was deleted (`None`), together with the accumulated edit cost.  Edge
+//! costs are charged incrementally: when node `k` is processed, every edge
+//! between `k` and an already processed node is accounted for exactly once.
+
+use crate::cost::GedCosts;
+use crate::graph::LabeledGraph;
+
+/// A partial assignment of the first `mapping.len()` nodes of graph `a`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SearchState {
+    /// For each processed node of `a`: its image in `b`, or `None` if
+    /// deleted.
+    pub mapping: Vec<Option<usize>>,
+    /// Which nodes of `b` are already used as images.
+    pub used_b: Vec<bool>,
+    /// Accumulated edit cost of the processed prefix.
+    pub cost: f64,
+}
+
+impl SearchState {
+    /// The initial state: nothing processed, zero cost.
+    pub fn initial(b_nodes: usize) -> Self {
+        SearchState {
+            mapping: Vec::new(),
+            used_b: vec![false; b_nodes],
+            cost: 0.0,
+        }
+    }
+
+    /// Number of processed nodes of `a`.
+    pub fn depth(&self) -> usize {
+        self.mapping.len()
+    }
+
+    /// Expands this state by assigning the next node of `a` (at index
+    /// `depth()`) either to every unused node of `b` or to deletion.
+    pub fn expand(&self, a: &LabeledGraph, b: &LabeledGraph, costs: &GedCosts) -> Vec<SearchState> {
+        let k = self.depth();
+        debug_assert!(k < a.node_count());
+        let mut children = Vec::with_capacity(b.node_count() + 1);
+        // Option 1: map node k onto each unused node of b.
+        for v in 0..b.node_count() {
+            if self.used_b[v] {
+                continue;
+            }
+            let delta = self.assignment_delta(a, b, costs, k, Some(v));
+            let mut child = self.clone();
+            child.mapping.push(Some(v));
+            child.used_b[v] = true;
+            child.cost += delta;
+            children.push(child);
+        }
+        // Option 2: delete node k.
+        let delta = self.assignment_delta(a, b, costs, k, None);
+        let mut child = self.clone();
+        child.mapping.push(None);
+        child.cost += delta;
+        children.push(child);
+        children
+    }
+
+    /// The incremental cost of assigning node `k` of `a` to `target`.
+    fn assignment_delta(
+        &self,
+        a: &LabeledGraph,
+        b: &LabeledGraph,
+        costs: &GedCosts,
+        k: usize,
+        target: Option<usize>,
+    ) -> f64 {
+        let mut delta = match target {
+            Some(v) => {
+                if a.label(k) == b.label(v) {
+                    0.0
+                } else {
+                    costs.node_substitute
+                }
+            }
+            None => costs.node_delete,
+        };
+        // Edge costs against every already processed node.
+        for (u, &tu) in self.mapping.iter().enumerate() {
+            // Edge u -> k in a.
+            if a.has_edge(u, k) {
+                let preserved = matches!((tu, target), (Some(x), Some(y)) if b.has_edge(x, y));
+                if !preserved {
+                    delta += costs.edge_delete;
+                }
+            } else if let (Some(x), Some(y)) = (tu, target) {
+                if b.has_edge(x, y) {
+                    delta += costs.edge_insert;
+                }
+            }
+            // Edge k -> u in a.
+            if a.has_edge(k, u) {
+                let preserved = matches!((target, tu), (Some(x), Some(y)) if b.has_edge(x, y));
+                if !preserved {
+                    delta += costs.edge_delete;
+                }
+            } else if let (Some(x), Some(y)) = (target, tu) {
+                if b.has_edge(x, y) {
+                    delta += costs.edge_insert;
+                }
+            }
+        }
+        delta
+    }
+
+    /// The cost of completing this state once *all* nodes of `a` have been
+    /// processed: inserting every unused node of `b` and every edge of `b`
+    /// with at least one unused endpoint.
+    pub fn completion_cost(&self, a: &LabeledGraph, b: &LabeledGraph, costs: &GedCosts) -> f64 {
+        debug_assert_eq!(self.depth(), a.node_count());
+        let mut cost = 0.0;
+        for v in 0..b.node_count() {
+            if !self.used_b[v] {
+                cost += costs.node_insert;
+            }
+        }
+        for (x, y) in b.edges() {
+            if !self.used_b[x] || !self.used_b[y] {
+                cost += costs.edge_insert;
+            }
+        }
+        cost
+    }
+
+    /// An admissible lower bound on the remaining cost (node operations
+    /// only): surplus nodes on either side must be deleted / inserted, and
+    /// remaining nodes whose labels cannot be matched must at least be
+    /// substituted.
+    pub fn heuristic(&self, a: &LabeledGraph, b: &LabeledGraph, costs: &GedCosts) -> f64 {
+        let k = self.depth();
+        let remaining_a = a.node_count() - k;
+        let available_b = self.used_b.iter().filter(|&&u| !u).count();
+        let surplus = if remaining_a >= available_b {
+            (remaining_a - available_b) as f64 * costs.node_delete
+        } else {
+            (available_b - remaining_a) as f64 * costs.node_insert
+        };
+
+        // Multiset overlap of remaining labels.
+        let mut counts: std::collections::BTreeMap<u32, (usize, usize)> = Default::default();
+        for v in k..a.node_count() {
+            counts.entry(a.label(v)).or_default().0 += 1;
+        }
+        for v in 0..b.node_count() {
+            if !self.used_b[v] {
+                counts.entry(b.label(v)).or_default().1 += 1;
+            }
+        }
+        let overlap: usize = counts.values().map(|(ca, cb)| ca.min(cb)).sum();
+        let pairable = remaining_a.min(available_b);
+        let mismatched = pairable.saturating_sub(overlap);
+        let sub_bound = mismatched as f64
+            * costs
+                .node_substitute
+                .min(costs.node_delete + costs.node_insert);
+        surplus + sub_bound
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn chain(labels: &[u32]) -> LabeledGraph {
+        let edges = (0..labels.len().saturating_sub(1)).map(|i| (i, i + 1)).collect();
+        LabeledGraph::new(labels.to_vec(), edges)
+    }
+
+    #[test]
+    fn initial_state_is_empty() {
+        let s = SearchState::initial(3);
+        assert_eq!(s.depth(), 0);
+        assert_eq!(s.cost, 0.0);
+        assert_eq!(s.used_b, vec![false, false, false]);
+    }
+
+    #[test]
+    fn expansion_produces_one_child_per_free_target_plus_deletion() {
+        let a = chain(&[1, 2]);
+        let b = chain(&[1, 2, 3]);
+        let children = SearchState::initial(3).expand(&a, &b, &GedCosts::uniform());
+        assert_eq!(children.len(), 4, "3 assignments + 1 deletion");
+        // Mapping node 0 (label 1) to b node 0 (label 1) is free.
+        let free = children
+            .iter()
+            .find(|c| c.mapping == vec![Some(0)])
+            .unwrap();
+        assert_eq!(free.cost, 0.0);
+        // Mapping to a different label costs a substitution.
+        let sub = children
+            .iter()
+            .find(|c| c.mapping == vec![Some(1)])
+            .unwrap();
+        assert_eq!(sub.cost, 1.0);
+        // Deleting costs node_delete.
+        let del = children.iter().find(|c| c.mapping == vec![None]).unwrap();
+        assert_eq!(del.cost, 1.0);
+    }
+
+    #[test]
+    fn edge_costs_are_charged_incrementally() {
+        let costs = GedCosts::uniform();
+        // a: 0 -> 1 ; b: no edge between its two nodes.
+        let a = chain(&[1, 2]);
+        let b = LabeledGraph::new(vec![1, 2], vec![]);
+        let s0 = SearchState::initial(2);
+        let s1 = s0
+            .expand(&a, &b, &costs)
+            .into_iter()
+            .find(|c| c.mapping == vec![Some(0)])
+            .unwrap();
+        let s2 = s1
+            .expand(&a, &b, &costs)
+            .into_iter()
+            .find(|c| c.mapping == vec![Some(0), Some(1)])
+            .unwrap();
+        // Node costs 0 (labels match), edge 0->1 of a must be deleted.
+        assert_eq!(s2.cost, 1.0);
+        assert_eq!(s2.completion_cost(&a, &b, &costs), 0.0);
+    }
+
+    #[test]
+    fn completion_inserts_unused_nodes_and_their_edges() {
+        let costs = GedCosts::uniform();
+        let a = LabeledGraph::new(vec![1], vec![]);
+        let b = chain(&[1, 2, 3]); // edges (0,1),(1,2)
+        let s1 = SearchState::initial(3)
+            .expand(&a, &b, &costs)
+            .into_iter()
+            .find(|c| c.mapping == vec![Some(0)])
+            .unwrap();
+        // Two b nodes unused -> 2 insertions; both b edges touch an unused
+        // node -> 2 edge insertions.
+        assert_eq!(s1.completion_cost(&a, &b, &costs), 4.0);
+    }
+
+    #[test]
+    fn heuristic_is_zero_for_identical_remaining_graphs() {
+        let a = chain(&[1, 2, 3]);
+        let s = SearchState::initial(3);
+        assert_eq!(s.heuristic(&a, &a, &GedCosts::uniform()), 0.0);
+    }
+
+    #[test]
+    fn heuristic_counts_surplus_and_label_mismatch() {
+        let costs = GedCosts::uniform();
+        let a = chain(&[1, 2, 3]);
+        let b = chain(&[1]);
+        let s = SearchState::initial(1);
+        // Two surplus a nodes must be deleted.
+        assert_eq!(s.heuristic(&a, &b, &costs), 2.0);
+
+        let b2 = chain(&[7, 8, 9]);
+        let s2 = SearchState::initial(3);
+        // All three pairable nodes have mismatched labels.
+        assert_eq!(s2.heuristic(&a, &b2, &costs), 3.0);
+    }
+}

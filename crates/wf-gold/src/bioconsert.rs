@@ -1,0 +1,249 @@
+//! BioConsert consensus (median) ranking.
+//!
+//! "The individual experts' rankings were aggregated into consensus rankings
+//! using the BioConsert algorithm, extended to allow incomplete rankings
+//! with unsure ratings" (Section 4.2, citing Cohen-Boulakia, Denise & Hamel
+//! \[9\]).  BioConsert is a local-search heuristic for the median-ranking
+//! problem under the generalized Kendall tau distance with ties:
+//!
+//! 1. every input ranking (completed with the missing items in a trailing
+//!    tie bucket) is used as a starting point, plus the all-tied ranking;
+//! 2. from each start, two kinds of moves are applied greedily until a local
+//!    optimum is reached: *changing* an item to another existing bucket, and
+//!    *inserting* an item as a new singleton bucket at any position;
+//! 3. the best local optimum over all starts is returned.
+
+use std::collections::BTreeSet;
+
+use crate::kendall::{total_distance, KendallConfig};
+use crate::ranking::Ranking;
+
+/// Configuration of the BioConsert consensus search.
+#[derive(Debug, Clone, PartialEq)]
+pub struct BioConsertConfig {
+    /// The Kendall distance parameters (tie penalty).
+    pub kendall: KendallConfig,
+    /// Upper bound on full local-search sweeps per starting point; a
+    /// safeguard against pathological cycling (which cannot happen with
+    /// strictly improving moves, but keeps worst-case time predictable).
+    pub max_sweeps: usize,
+}
+
+impl Default for BioConsertConfig {
+    fn default() -> Self {
+        BioConsertConfig {
+            kendall: KendallConfig::default(),
+            max_sweeps: 50,
+        }
+    }
+}
+
+/// Computes a consensus ranking of the given input rankings.
+///
+/// The universe of the consensus is the union of all items appearing in any
+/// input ranking; inputs need not rank every item.  Returns an empty ranking
+/// if no input ranks anything.
+pub fn bioconsert_consensus(inputs: &[Ranking], config: &BioConsertConfig) -> Ranking {
+    let universe: BTreeSet<String> = inputs
+        .iter()
+        .flat_map(|r| r.items().into_iter().map(str::to_string))
+        .collect();
+    if universe.is_empty() {
+        return Ranking::new();
+    }
+    let universe: Vec<String> = universe.into_iter().collect();
+
+    // Starting points: each unified input ranking plus the all-tied ranking.
+    let mut starts: Vec<Ranking> = inputs
+        .iter()
+        .filter(|r| !r.is_empty())
+        .map(|r| unify(r, &universe))
+        .collect();
+    starts.push(Ranking::from_buckets(vec![universe.clone()]));
+
+    let mut best: Option<(f64, Ranking)> = None;
+    for start in starts {
+        let optimised = local_search(start, inputs, config);
+        let d = total_distance(&optimised, inputs, &config.kendall);
+        match &best {
+            Some((bd, _)) if *bd <= d => {}
+            _ => best = Some((d, optimised)),
+        }
+    }
+    best.map(|(_, r)| r).unwrap_or_default()
+}
+
+/// Extends a ranking to the whole universe by appending the missing items as
+/// one trailing tie bucket.
+fn unify(r: &Ranking, universe: &[String]) -> Ranking {
+    let mut out = r.clone();
+    let missing: Vec<String> = universe
+        .iter()
+        .filter(|i| !r.contains(i))
+        .cloned()
+        .collect();
+    out.push_bucket(missing);
+    out
+}
+
+/// Greedy local search: repeatedly applies the best improving change/insert
+/// move until none exists.
+fn local_search(start: Ranking, inputs: &[Ranking], config: &BioConsertConfig) -> Ranking {
+    let mut current = start;
+    let mut current_cost = total_distance(&current, inputs, &config.kendall);
+    for _ in 0..config.max_sweeps {
+        let mut improved = false;
+        let items: Vec<String> = current.items().into_iter().map(str::to_string).collect();
+        for item in &items {
+            let (best_cost, best_ranking) = best_move_for(item, &current, inputs, config);
+            if best_cost + 1e-12 < current_cost {
+                current = best_ranking;
+                current_cost = best_cost;
+                improved = true;
+            }
+        }
+        if !improved {
+            break;
+        }
+    }
+    current
+}
+
+/// Evaluates every change/insert move for one item and returns the cheapest
+/// resulting ranking (possibly the unchanged one).
+fn best_move_for(
+    item: &str,
+    current: &Ranking,
+    inputs: &[Ranking],
+    config: &BioConsertConfig,
+) -> (f64, Ranking) {
+    let mut best_cost = total_distance(current, inputs, &config.kendall);
+    let mut best = current.clone();
+
+    // Remove the item from its bucket.
+    let mut buckets: Vec<Vec<String>> = current.buckets().to_vec();
+    let from = current.position(item).expect("item is ranked");
+    buckets[from].retain(|x| x != item);
+    let stripped: Vec<Vec<String>> = buckets.into_iter().filter(|b| !b.is_empty()).collect();
+
+    // Move into every existing bucket ("change" move).
+    for target in 0..stripped.len() {
+        let mut candidate = stripped.clone();
+        candidate[target].push(item.to_string());
+        let ranking = Ranking::from_buckets(candidate);
+        let cost = total_distance(&ranking, inputs, &config.kendall);
+        if cost < best_cost {
+            best_cost = cost;
+            best = ranking;
+        }
+    }
+    // Insert as a new singleton bucket at every position ("insert" move).
+    for pos in 0..=stripped.len() {
+        let mut candidate = stripped.clone();
+        candidate.insert(pos, vec![item.to_string()]);
+        let ranking = Ranking::from_buckets(candidate);
+        let cost = total_distance(&ranking, inputs, &config.kendall);
+        if cost < best_cost {
+            best_cost = cost;
+            best = ranking;
+        }
+    }
+    (best_cost, best)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn strict(items: &[&str]) -> Ranking {
+        Ranking::from_buckets(items.iter().map(|i| vec![*i]))
+    }
+
+    #[test]
+    fn empty_input_yields_empty_consensus() {
+        assert!(bioconsert_consensus(&[], &BioConsertConfig::default()).is_empty());
+        assert!(
+            bioconsert_consensus(&[Ranking::new()], &BioConsertConfig::default()).is_empty()
+        );
+    }
+
+    #[test]
+    fn consensus_of_identical_rankings_is_that_ranking() {
+        let r = strict(&["a", "b", "c"]);
+        let consensus =
+            bioconsert_consensus(&[r.clone(), r.clone(), r.clone()], &BioConsertConfig::default());
+        assert_eq!(consensus, r);
+    }
+
+    #[test]
+    fn majority_order_wins() {
+        let inputs = vec![
+            strict(&["a", "b", "c"]),
+            strict(&["a", "b", "c"]),
+            strict(&["c", "a", "b"]),
+        ];
+        let consensus = bioconsert_consensus(&inputs, &BioConsertConfig::default());
+        // "a before b" holds in all three inputs; the majority also puts a
+        // before c and b before c.
+        let pos = consensus.position_map();
+        assert!(pos["a"] <= pos["b"]);
+        assert!(pos["a"] <= pos["c"]);
+    }
+
+    #[test]
+    fn consensus_covers_the_whole_universe() {
+        let inputs = vec![strict(&["a", "b"]), strict(&["c", "d"])];
+        let consensus = bioconsert_consensus(&inputs, &BioConsertConfig::default());
+        for item in ["a", "b", "c", "d"] {
+            assert!(consensus.contains(item), "{item} missing from consensus");
+        }
+    }
+
+    #[test]
+    fn incomplete_rankings_do_not_drag_unknown_items_down() {
+        // Three experts rank {a,b}; a fourth only ranked c (top of its own
+        // ranking).  c must still appear in the consensus.
+        let inputs = vec![
+            strict(&["a", "b"]),
+            strict(&["a", "b"]),
+            strict(&["b", "a"]),
+            strict(&["c"]),
+        ];
+        let consensus = bioconsert_consensus(&inputs, &BioConsertConfig::default());
+        assert!(consensus.contains("c"));
+        let pos = consensus.position_map();
+        assert!(pos["a"] <= pos["b"], "majority prefers a over b");
+    }
+
+    #[test]
+    fn consensus_cost_is_no_worse_than_any_input() {
+        let inputs = vec![
+            strict(&["a", "b", "c", "d"]),
+            strict(&["b", "a", "d", "c"]),
+            strict(&["a", "c", "b", "d"]),
+            Ranking::from_buckets(vec![vec!["a", "b"], vec!["c", "d"]]),
+        ];
+        let config = BioConsertConfig::default();
+        let consensus = bioconsert_consensus(&inputs, &config);
+        let consensus_cost = total_distance(&consensus, &inputs, &config.kendall);
+        for input in &inputs {
+            let unified = unify(input, &["a".into(), "b".into(), "c".into(), "d".into()]);
+            let input_cost = total_distance(&unified, &inputs, &config.kendall);
+            assert!(
+                consensus_cost <= input_cost + 1e-9,
+                "consensus ({consensus_cost}) worse than input ({input_cost})"
+            );
+        }
+    }
+
+    #[test]
+    fn ties_survive_when_inputs_disagree_symmetrically() {
+        // Two experts exactly disagree; tying the two items is optimal
+        // (cost 0.5 + 0.5 = 1.0, either strict order costs 1.0 as well, so
+        // we only check the consensus is no worse).
+        let inputs = vec![strict(&["a", "b"]), strict(&["b", "a"])];
+        let config = BioConsertConfig::default();
+        let consensus = bioconsert_consensus(&inputs, &config);
+        assert!(total_distance(&consensus, &inputs, &config.kendall) <= 1.0 + 1e-9);
+    }
+}

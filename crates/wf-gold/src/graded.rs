@@ -1,0 +1,166 @@
+//! Graded retrieval metrics: nDCG and (mean) average precision.
+//!
+//! The paper evaluates retrieval with precision@k at three relevance
+//! thresholds, which flattens the quaternary Likert ratings into binary
+//! relevance.  Normalized discounted cumulative gain (nDCG) uses the graded
+//! ratings directly (a *very similar* result at rank 1 is worth more than a
+//! *related* one), and average precision summarises a whole precision curve
+//! in a single number.  Both are standard IR metrics and complement the
+//! paper's Figures 10 and 11; EXPERIMENTS.md reports them as an extension.
+
+use crate::likert::LikertRating;
+
+/// The gain value of a Likert rating for nDCG: *very similar* = 3,
+/// *similar* = 2, *related* = 1, *dissimilar* = 0; *unsure* and missing
+/// ratings count as 0.
+pub fn likert_gain(rating: Option<LikertRating>) -> f64 {
+    match rating {
+        Some(LikertRating::VerySimilar) => 3.0,
+        Some(LikertRating::Similar) => 2.0,
+        Some(LikertRating::Related) => 1.0,
+        Some(LikertRating::Dissimilar) | Some(LikertRating::Unsure) | None => 0.0,
+    }
+}
+
+/// Discounted cumulative gain over the first `k` gains (log2 discount,
+/// ranks are 1-based).
+pub fn dcg_at_k(gains: &[f64], k: usize) -> f64 {
+    gains
+        .iter()
+        .take(k)
+        .enumerate()
+        .map(|(i, g)| g / ((i + 2) as f64).log2())
+        .sum()
+}
+
+/// Normalized DCG at `k`: the DCG of the ranked gains divided by the DCG of
+/// the ideal (descending) ordering of the same gains.  Returns 1.0 when all
+/// gains are zero (an empty result list cannot be ordered better).
+pub fn ndcg_at_k(gains: &[f64], k: usize) -> f64 {
+    let dcg = dcg_at_k(gains, k);
+    let mut ideal: Vec<f64> = gains.to_vec();
+    ideal.sort_by(|a, b| b.partial_cmp(a).expect("gains are finite"));
+    let idcg = dcg_at_k(&ideal, k);
+    if idcg == 0.0 {
+        1.0
+    } else {
+        (dcg / idcg).clamp(0.0, 1.0)
+    }
+}
+
+/// Average precision over the first `k` results: the mean of precision@i
+/// over the ranks `i` that hold a relevant result.  Returns 0.0 when no
+/// relevant result appears in the top `k`.
+pub fn average_precision(relevant: &[bool], k: usize) -> f64 {
+    let mut hits = 0usize;
+    let mut sum = 0.0;
+    for (i, &is_relevant) in relevant.iter().take(k).enumerate() {
+        if is_relevant {
+            hits += 1;
+            sum += hits as f64 / (i + 1) as f64;
+        }
+    }
+    if hits == 0 {
+        0.0
+    } else {
+        sum / hits as f64
+    }
+}
+
+/// The mean of per-query nDCG@k values (0.0 for an empty input).
+pub fn mean_ndcg(per_query_gains: &[Vec<f64>], k: usize) -> f64 {
+    if per_query_gains.is_empty() {
+        return 0.0;
+    }
+    per_query_gains.iter().map(|g| ndcg_at_k(g, k)).sum::<f64>() / per_query_gains.len() as f64
+}
+
+/// The mean of per-query average precisions (0.0 for an empty input) — MAP.
+pub fn mean_average_precision(per_query_relevance: &[Vec<bool>], k: usize) -> f64 {
+    if per_query_relevance.is_empty() {
+        return 0.0;
+    }
+    per_query_relevance
+        .iter()
+        .map(|r| average_precision(r, k))
+        .sum::<f64>()
+        / per_query_relevance.len() as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn likert_gains_are_monotone_in_the_scale() {
+        let gains = [
+            likert_gain(Some(LikertRating::VerySimilar)),
+            likert_gain(Some(LikertRating::Similar)),
+            likert_gain(Some(LikertRating::Related)),
+            likert_gain(Some(LikertRating::Dissimilar)),
+        ];
+        for pair in gains.windows(2) {
+            assert!(pair[0] > pair[1]);
+        }
+        assert_eq!(likert_gain(Some(LikertRating::Unsure)), 0.0);
+        assert_eq!(likert_gain(None), 0.0);
+    }
+
+    #[test]
+    fn dcg_matches_hand_computation() {
+        // gains [3, 2, 0, 1]: 3/log2(2) + 2/log2(3) + 0 + 1/log2(5)
+        let expected = 3.0 / 2f64.log2() + 2.0 / 3f64.log2() + 1.0 / 5f64.log2();
+        assert!((dcg_at_k(&[3.0, 2.0, 0.0, 1.0], 10) - expected).abs() < 1e-12);
+        // k truncates.
+        assert!((dcg_at_k(&[3.0, 2.0, 0.0, 1.0], 2) - (3.0 + 2.0 / 3f64.log2())).abs() < 1e-12);
+    }
+
+    #[test]
+    fn ndcg_is_one_for_ideal_orderings_and_less_otherwise() {
+        assert!((ndcg_at_k(&[3.0, 2.0, 1.0, 0.0], 10) - 1.0).abs() < 1e-12);
+        let shuffled = ndcg_at_k(&[0.0, 1.0, 2.0, 3.0], 10);
+        assert!(shuffled < 1.0 && shuffled > 0.0);
+        assert!(ndcg_at_k(&[3.0, 2.0], 10) > ndcg_at_k(&[2.0, 3.0], 10));
+    }
+
+    #[test]
+    fn ndcg_of_all_zero_gains_is_one() {
+        assert_eq!(ndcg_at_k(&[0.0, 0.0, 0.0], 10), 1.0);
+        assert_eq!(ndcg_at_k(&[], 10), 1.0);
+    }
+
+    #[test]
+    fn average_precision_matches_hand_computation() {
+        // relevant at ranks 1 and 3: (1/1 + 2/3) / 2
+        let ap = average_precision(&[true, false, true, false], 10);
+        assert!((ap - (1.0 + 2.0 / 3.0) / 2.0).abs() < 1e-12);
+        assert_eq!(average_precision(&[false, false], 10), 0.0);
+        assert_eq!(average_precision(&[], 10), 0.0);
+    }
+
+    #[test]
+    fn average_precision_rewards_early_hits() {
+        let early = average_precision(&[true, false, false, false], 10);
+        let late = average_precision(&[false, false, false, true], 10);
+        assert!(early > late);
+        assert_eq!(early, 1.0);
+    }
+
+    #[test]
+    fn k_truncation_is_respected() {
+        // The relevant result at rank 4 is invisible at k = 3.
+        assert_eq!(average_precision(&[false, false, false, true], 3), 0.0);
+        assert_eq!(dcg_at_k(&[0.0, 0.0, 0.0, 5.0], 3), 0.0);
+    }
+
+    #[test]
+    fn mean_helpers_average_per_query_values() {
+        let ndcg = mean_ndcg(&[vec![3.0, 2.0], vec![0.0, 3.0]], 10);
+        let expected = (1.0 + ndcg_at_k(&[0.0, 3.0], 10)) / 2.0;
+        assert!((ndcg - expected).abs() < 1e-12);
+        let map = mean_average_precision(&[vec![true], vec![false, true]], 10);
+        assert!((map - (1.0 + 0.5) / 2.0).abs() < 1e-12);
+        assert_eq!(mean_ndcg(&[], 10), 0.0);
+        assert_eq!(mean_average_precision(&[], 10), 0.0);
+    }
+}

@@ -1,0 +1,49 @@
+//! # wf-gold — gold-standard machinery and evaluation metrics
+//!
+//! The paper evaluates similarity algorithms against an expert-generated
+//! gold standard (Section 4).  This crate implements every piece of that
+//! evaluation pipeline:
+//!
+//! * [`likert`] — the four-step Likert scale (*very similar*, *similar*,
+//!   *related*, *dissimilar*) plus the *unsure* option, and median
+//!   aggregation of ratings.
+//! * [`ratings`] — storage of per-expert ratings for (query, candidate)
+//!   workflow pairs and their aggregation.
+//! * [`ranking`] — rankings with ties (and possibly missing elements), the
+//!   common currency of the evaluation: expert rankings, consensus rankings
+//!   and algorithmic rankings all use this type.
+//! * [`kendall`] — the generalized Kendall tau distance with ties used as
+//!   the objective of consensus ranking.
+//! * [`bioconsert`] — the BioConsert local-search median-ranking algorithm
+//!   (Cohen-Boulakia et al., reference \[9\]), extended to incomplete
+//!   rankings with *unsure* ratings, used to aggregate the individual
+//!   experts' rankings into the consensus the algorithms are scored against.
+//! * [`metrics`] — ranking *correctness* and *completeness* (Cheng et al.,
+//!   reference \[8\]), the measures behind Figures 4–9 and 12.
+//! * [`precision`] — retrieval precision at k with configurable relevance
+//!   thresholds, the measure behind Figures 10 and 11.
+//! * [`graded`] — graded retrieval metrics (nDCG over the Likert gains,
+//!   average precision), an extension beyond the paper's precision@k.
+//! * [`stats`] — descriptive statistics and paired significance tests
+//!   (paired t-test, Wilcoxon signed-rank), the machinery behind the paper's
+//!   "significant (p<0.05, paired ttest)" statements.
+
+pub mod bioconsert;
+pub mod graded;
+pub mod kendall;
+pub mod likert;
+pub mod metrics;
+pub mod precision;
+pub mod ranking;
+pub mod ratings;
+pub mod stats;
+
+pub use bioconsert::{bioconsert_consensus, BioConsertConfig};
+pub use graded::{average_precision, likert_gain, mean_average_precision, mean_ndcg, ndcg_at_k};
+pub use kendall::{generalized_kendall_distance, KendallConfig};
+pub use likert::{median_rating, LikertRating};
+pub use metrics::{ranking_correctness_completeness, RankingQuality};
+pub use precision::{mean_precision_at_k, precision_at_k, RelevanceThreshold};
+pub use ranking::Ranking;
+pub use ratings::{ExpertRating, RatingCorpus};
+pub use stats::{paired_t_test, wilcoxon_signed_rank, Descriptive, PairedTest, StatsError};

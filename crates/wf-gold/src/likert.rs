@@ -1,0 +1,147 @@
+//! The Likert rating scale used by the expert study.
+//!
+//! "The ratings were to be given along a four step Likert scale with the
+//! options *very similar*, *similar*, *related*, and *dissimilar* plus an
+//! additional option *unsure*" (Section 4.2).  Unsure ratings are excluded
+//! from all aggregations.
+
+use std::fmt;
+
+use serde::{Deserialize, Serialize};
+
+/// One expert rating of a workflow pair.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub enum LikertRating {
+    /// The pair is dissimilar (numeric value 0).
+    Dissimilar,
+    /// The pair is related (numeric value 1).
+    Related,
+    /// The pair is similar (numeric value 2).
+    Similar,
+    /// The pair is very similar (numeric value 3).
+    VerySimilar,
+    /// The expert was unsure; excluded from aggregation.
+    Unsure,
+}
+
+impl LikertRating {
+    /// The numeric value of the rating (3 = very similar … 0 = dissimilar),
+    /// or `None` for unsure.
+    pub fn value(self) -> Option<u8> {
+        match self {
+            LikertRating::VerySimilar => Some(3),
+            LikertRating::Similar => Some(2),
+            LikertRating::Related => Some(1),
+            LikertRating::Dissimilar => Some(0),
+            LikertRating::Unsure => None,
+        }
+    }
+
+    /// Builds a rating from a numeric value (values > 3 clamp to very
+    /// similar).
+    pub fn from_value(value: u8) -> LikertRating {
+        match value {
+            0 => LikertRating::Dissimilar,
+            1 => LikertRating::Related,
+            2 => LikertRating::Similar,
+            _ => LikertRating::VerySimilar,
+        }
+    }
+
+    /// True unless the rating is *unsure*.
+    pub fn is_decided(self) -> bool {
+        !matches!(self, LikertRating::Unsure)
+    }
+
+    /// A stable lowercase name.
+    pub fn name(self) -> &'static str {
+        match self {
+            LikertRating::VerySimilar => "very_similar",
+            LikertRating::Similar => "similar",
+            LikertRating::Related => "related",
+            LikertRating::Dissimilar => "dissimilar",
+            LikertRating::Unsure => "unsure",
+        }
+    }
+}
+
+impl fmt::Display for LikertRating {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// The median of a set of ratings, ignoring *unsure* votes.
+///
+/// The paper aggregates "different experts' opinions … as the median rating
+/// for each pair of query and result workflow" (Section 4.2).  With an even
+/// number of decided votes the lower median is taken (the conservative
+/// choice: a pair needs a majority at or above a level to reach it).
+/// Returns `None` when no decided rating exists.
+pub fn median_rating(ratings: &[LikertRating]) -> Option<LikertRating> {
+    let mut values: Vec<u8> = ratings.iter().filter_map(|r| r.value()).collect();
+    if values.is_empty() {
+        return None;
+    }
+    values.sort_unstable();
+    let mid = (values.len() - 1) / 2;
+    Some(LikertRating::from_value(values[mid]))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn values_and_round_trip() {
+        assert_eq!(LikertRating::VerySimilar.value(), Some(3));
+        assert_eq!(LikertRating::Dissimilar.value(), Some(0));
+        assert_eq!(LikertRating::Unsure.value(), None);
+        for v in 0..=3 {
+            assert_eq!(LikertRating::from_value(v).value(), Some(v));
+        }
+        assert_eq!(LikertRating::from_value(17), LikertRating::VerySimilar);
+    }
+
+    #[test]
+    fn decided_and_names() {
+        assert!(LikertRating::Related.is_decided());
+        assert!(!LikertRating::Unsure.is_decided());
+        assert_eq!(LikertRating::VerySimilar.to_string(), "very_similar");
+    }
+
+    #[test]
+    fn median_of_odd_count() {
+        let r = [
+            LikertRating::Dissimilar,
+            LikertRating::Similar,
+            LikertRating::VerySimilar,
+        ];
+        assert_eq!(median_rating(&r), Some(LikertRating::Similar));
+    }
+
+    #[test]
+    fn median_of_even_count_takes_lower_median() {
+        let r = [LikertRating::Similar, LikertRating::VerySimilar];
+        assert_eq!(median_rating(&r), Some(LikertRating::Similar));
+    }
+
+    #[test]
+    fn unsure_votes_are_ignored() {
+        let r = [
+            LikertRating::Unsure,
+            LikertRating::Related,
+            LikertRating::Unsure,
+        ];
+        assert_eq!(median_rating(&r), Some(LikertRating::Related));
+        assert_eq!(median_rating(&[LikertRating::Unsure]), None);
+        assert_eq!(median_rating(&[]), None);
+    }
+
+    #[test]
+    fn ordering_follows_similarity_strength() {
+        assert!(LikertRating::Dissimilar < LikertRating::Related);
+        assert!(LikertRating::Related < LikertRating::Similar);
+        assert!(LikertRating::Similar < LikertRating::VerySimilar);
+    }
+}

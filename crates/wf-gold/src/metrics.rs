@@ -1,0 +1,226 @@
+//! Ranking correctness and completeness.
+//!
+//! Section 4.3 of the paper adopts the measures of Cheng et al. \[8\]:
+//!
+//! * *correctness* `= (#concordant − #discordant) / (#concordant + #discordant)`
+//!   over all item pairs that are untied in both rankings,
+//! * *completeness* `= (#concordant + #discordant) / #pairs ranked by experts`,
+//!   penalising pairs the algorithm ties (or fails to rank) although the
+//!   expert consensus distinguishes them.
+
+use crate::ranking::Ranking;
+
+/// The outcome of comparing one algorithmic ranking against one expert
+/// (consensus) ranking.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct RankingQuality {
+    /// Number of concordant pairs.
+    pub concordant: usize,
+    /// Number of discordant pairs.
+    pub discordant: usize,
+    /// Number of pairs the expert ranking distinguishes (the completeness
+    /// denominator).
+    pub expert_pairs: usize,
+    /// Ranking correctness in `[-1, 1]`.
+    pub correctness: f64,
+    /// Ranking completeness in `[0, 1]`.
+    pub completeness: f64,
+}
+
+/// Compares an algorithm's ranking against the expert (consensus) ranking.
+///
+/// Only items ranked by the expert ranking are considered.  Pairs tied in
+/// the expert ranking never count; pairs untied in the expert ranking but
+/// tied in (or missing from) the algorithmic ranking count against
+/// completeness but not against correctness — exactly the behaviour the
+/// paper describes for the annotation measures that tie workflows or cannot
+/// rank them for lack of tags.
+pub fn ranking_correctness_completeness(algorithm: &Ranking, expert: &Ranking) -> RankingQuality {
+    let pos_e = expert.position_map();
+    let pos_a = algorithm.position_map();
+    let items: Vec<&str> = pos_e.keys().copied().collect();
+
+    let mut concordant = 0usize;
+    let mut discordant = 0usize;
+    let mut expert_pairs = 0usize;
+
+    for (i, &x) in items.iter().enumerate() {
+        for &y in &items[i + 1..] {
+            let (ex, ey) = (pos_e[x], pos_e[y]);
+            if ex == ey {
+                continue; // tied by the experts: never counts
+            }
+            expert_pairs += 1;
+            let (Some(&ax), Some(&ay)) = (pos_a.get(x), pos_a.get(y)) else {
+                continue; // not ranked by the algorithm: completeness penalty only
+            };
+            if ax == ay {
+                continue; // tied by the algorithm: completeness penalty only
+            }
+            if (ex < ey) == (ax < ay) {
+                concordant += 1;
+            } else {
+                discordant += 1;
+            }
+        }
+    }
+
+    let compared = concordant + discordant;
+    let correctness = if compared == 0 {
+        0.0
+    } else {
+        (concordant as f64 - discordant as f64) / compared as f64
+    };
+    let completeness = if expert_pairs == 0 {
+        1.0
+    } else {
+        compared as f64 / expert_pairs as f64
+    };
+    RankingQuality {
+        concordant,
+        discordant,
+        expert_pairs,
+        correctness,
+        completeness,
+    }
+}
+
+/// Summary statistics over the per-query qualities of one algorithm — what
+/// the bar charts of Figures 4–9 and 12 plot (mean correctness, its standard
+/// deviation, and mean completeness).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct QualitySummary {
+    /// Number of queries aggregated.
+    pub queries: usize,
+    /// Mean ranking correctness.
+    pub mean_correctness: f64,
+    /// Sample standard deviation of the correctness values.
+    pub stddev_correctness: f64,
+    /// Mean ranking completeness.
+    pub mean_completeness: f64,
+}
+
+impl QualitySummary {
+    /// Aggregates per-query qualities.  Returns `None` for an empty slice.
+    pub fn of(qualities: &[RankingQuality]) -> Option<QualitySummary> {
+        if qualities.is_empty() {
+            return None;
+        }
+        let n = qualities.len() as f64;
+        let mean_correctness = qualities.iter().map(|q| q.correctness).sum::<f64>() / n;
+        let mean_completeness = qualities.iter().map(|q| q.completeness).sum::<f64>() / n;
+        let variance = if qualities.len() > 1 {
+            qualities
+                .iter()
+                .map(|q| (q.correctness - mean_correctness).powi(2))
+                .sum::<f64>()
+                / (n - 1.0)
+        } else {
+            0.0
+        };
+        Some(QualitySummary {
+            queries: qualities.len(),
+            mean_correctness,
+            stddev_correctness: variance.sqrt(),
+            mean_completeness,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn strict(items: &[&str]) -> Ranking {
+        Ranking::from_buckets(items.iter().map(|i| vec![*i]))
+    }
+
+    #[test]
+    fn perfect_agreement() {
+        let e = strict(&["a", "b", "c", "d"]);
+        let q = ranking_correctness_completeness(&e, &e);
+        assert_eq!(q.correctness, 1.0);
+        assert_eq!(q.completeness, 1.0);
+        assert_eq!(q.concordant, 6);
+        assert_eq!(q.discordant, 0);
+        assert_eq!(q.expert_pairs, 6);
+    }
+
+    #[test]
+    fn complete_reversal_gives_minus_one() {
+        let e = strict(&["a", "b", "c"]);
+        let a = strict(&["c", "b", "a"]);
+        let q = ranking_correctness_completeness(&a, &e);
+        assert_eq!(q.correctness, -1.0);
+        assert_eq!(q.completeness, 1.0);
+    }
+
+    #[test]
+    fn algorithm_ties_reduce_completeness_not_correctness() {
+        let e = strict(&["a", "b", "c"]);
+        let a = Ranking::from_buckets(vec![vec!["a"], vec!["b", "c"]]);
+        let q = ranking_correctness_completeness(&a, &e);
+        // Pairs (a,b) and (a,c) are concordant; (b,c) is tied by the
+        // algorithm and only hurts completeness.
+        assert_eq!(q.concordant, 2);
+        assert_eq!(q.discordant, 0);
+        assert_eq!(q.correctness, 1.0);
+        assert!((q.completeness - 2.0 / 3.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn expert_ties_do_not_count_at_all() {
+        let e = Ranking::from_buckets(vec![vec!["a", "b"], vec!["c"]]);
+        let a = strict(&["b", "a", "c"]);
+        let q = ranking_correctness_completeness(&a, &e);
+        // Only (a,c) and (b,c) are expert-distinguished.
+        assert_eq!(q.expert_pairs, 2);
+        assert_eq!(q.concordant, 2);
+        assert_eq!(q.correctness, 1.0);
+        assert_eq!(q.completeness, 1.0);
+    }
+
+    #[test]
+    fn items_missing_from_algorithm_hurt_completeness() {
+        let e = strict(&["a", "b", "c"]);
+        let a = strict(&["a", "b"]); // never ranked c
+        let q = ranking_correctness_completeness(&a, &e);
+        assert_eq!(q.expert_pairs, 3);
+        assert_eq!(q.concordant, 1);
+        assert_eq!(q.correctness, 1.0);
+        assert!((q.completeness - 1.0 / 3.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn empty_rankings_are_neutral() {
+        let q = ranking_correctness_completeness(&Ranking::new(), &Ranking::new());
+        assert_eq!(q.correctness, 0.0);
+        assert_eq!(q.completeness, 1.0);
+        assert_eq!(q.expert_pairs, 0);
+    }
+
+    #[test]
+    fn mixed_case_matches_hand_computation() {
+        let e = strict(&["a", "b", "c", "d"]);
+        let a = strict(&["b", "a", "c", "d"]);
+        let q = ranking_correctness_completeness(&a, &e);
+        // 6 pairs, 5 concordant, 1 discordant.
+        assert_eq!(q.concordant, 5);
+        assert_eq!(q.discordant, 1);
+        assert!((q.correctness - 4.0 / 6.0).abs() < 1e-9);
+        assert_eq!(q.completeness, 1.0);
+    }
+
+    #[test]
+    fn summary_aggregates_mean_and_stddev() {
+        let e = strict(&["a", "b", "c"]);
+        let perfect = ranking_correctness_completeness(&e, &e);
+        let reversed = ranking_correctness_completeness(&strict(&["c", "b", "a"]), &e);
+        let summary = QualitySummary::of(&[perfect, reversed]).unwrap();
+        assert_eq!(summary.queries, 2);
+        assert!((summary.mean_correctness - 0.0).abs() < 1e-9);
+        assert!((summary.stddev_correctness - std::f64::consts::SQRT_2).abs() < 1e-9);
+        assert_eq!(summary.mean_completeness, 1.0);
+        assert!(QualitySummary::of(&[]).is_none());
+    }
+}

@@ -1,0 +1,187 @@
+//! Retrieval precision at k.
+//!
+//! The retrieval experiment (Section 5.2) evaluates the top-10 search
+//! results of each algorithm with `P@k = (1/k) · Σ rel(r_i)` where the
+//! relevance of a result is derived from the median expert rating and one of
+//! three thresholds: *related*, *similar* or *very similar* (Figures 10 and
+//! 11 show one panel per threshold).
+
+use crate::likert::LikertRating;
+
+/// The relevance thresholds of Figures 10 and 11.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum RelevanceThreshold {
+    /// A result is relevant if rated at least *related*.
+    Related,
+    /// A result is relevant if rated at least *similar*.
+    Similar,
+    /// A result is relevant only if rated *very similar*.
+    VerySimilar,
+}
+
+impl RelevanceThreshold {
+    /// All thresholds in increasing strictness, as iterated by the figures.
+    pub const ALL: [RelevanceThreshold; 3] = [
+        RelevanceThreshold::Related,
+        RelevanceThreshold::Similar,
+        RelevanceThreshold::VerySimilar,
+    ];
+
+    /// True if a median rating meets this threshold.  Unsure / missing
+    /// ratings are never relevant.
+    pub fn is_relevant(self, rating: Option<LikertRating>) -> bool {
+        let Some(value) = rating.and_then(|r| r.value()) else {
+            return false;
+        };
+        let needed = match self {
+            RelevanceThreshold::Related => 1,
+            RelevanceThreshold::Similar => 2,
+            RelevanceThreshold::VerySimilar => 3,
+        };
+        value >= needed
+    }
+
+    /// The label used in the figure captions.
+    pub fn label(self) -> &'static str {
+        match self {
+            RelevanceThreshold::Related => ">=related",
+            RelevanceThreshold::Similar => ">=similar",
+            RelevanceThreshold::VerySimilar => ">=very_similar",
+        }
+    }
+}
+
+/// Precision at `k` of a ranked result list under a relevance predicate.
+///
+/// Results beyond the end of the list count as non-relevant (an algorithm
+/// that returns fewer than `k` results is penalised accordingly).  `k` must
+/// be at least 1.
+pub fn precision_at_k<T>(results: &[T], mut is_relevant: impl FnMut(&T) -> bool, k: usize) -> f64 {
+    assert!(k >= 1, "precision@k requires k >= 1");
+    let relevant = results
+        .iter()
+        .take(k)
+        .filter(|r| is_relevant(r))
+        .count();
+    relevant as f64 / k as f64
+}
+
+/// The precision curve `P@1 … P@max_k` of one result list.
+pub fn precision_curve<T>(
+    results: &[T],
+    mut is_relevant: impl FnMut(&T) -> bool,
+    max_k: usize,
+) -> Vec<f64> {
+    let flags: Vec<bool> = results.iter().map(|r| is_relevant(r)).collect();
+    let mut curve = Vec::with_capacity(max_k);
+    let mut hits = 0usize;
+    for k in 1..=max_k {
+        if k <= flags.len() && flags[k - 1] {
+            hits += 1;
+        }
+        curve.push(hits as f64 / k as f64);
+    }
+    curve
+}
+
+/// The mean precision curve over several queries (the "Workflow: mean"
+/// aggregation in the figure captions).  All curves must have equal length.
+/// Returns an empty vector when no curves are given.
+pub fn mean_precision_at_k(curves: &[Vec<f64>]) -> Vec<f64> {
+    let Some(first) = curves.first() else {
+        return Vec::new();
+    };
+    let len = first.len();
+    assert!(
+        curves.iter().all(|c| c.len() == len),
+        "all precision curves must cover the same k range"
+    );
+    (0..len)
+        .map(|i| curves.iter().map(|c| c[i]).sum::<f64>() / curves.len() as f64)
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn thresholds_order_by_strictness() {
+        use LikertRating::*;
+        let related = Some(Related);
+        let similar = Some(Similar);
+        let very = Some(VerySimilar);
+        let dissimilar = Some(Dissimilar);
+
+        assert!(RelevanceThreshold::Related.is_relevant(related));
+        assert!(RelevanceThreshold::Related.is_relevant(very));
+        assert!(!RelevanceThreshold::Related.is_relevant(dissimilar));
+
+        assert!(!RelevanceThreshold::Similar.is_relevant(related));
+        assert!(RelevanceThreshold::Similar.is_relevant(similar));
+
+        assert!(!RelevanceThreshold::VerySimilar.is_relevant(similar));
+        assert!(RelevanceThreshold::VerySimilar.is_relevant(very));
+
+        assert!(!RelevanceThreshold::Related.is_relevant(Some(Unsure)));
+        assert!(!RelevanceThreshold::Related.is_relevant(None));
+    }
+
+    #[test]
+    fn labels_match_figure_captions() {
+        assert_eq!(RelevanceThreshold::Related.label(), ">=related");
+        assert_eq!(RelevanceThreshold::VerySimilar.label(), ">=very_similar");
+        assert_eq!(RelevanceThreshold::ALL.len(), 3);
+    }
+
+    #[test]
+    fn precision_at_k_basics() {
+        let results = ["hit", "miss", "hit", "miss"];
+        let relevant = |r: &&str| *r == "hit";
+        assert_eq!(precision_at_k(&results, relevant, 1), 1.0);
+        assert_eq!(precision_at_k(&results, relevant, 2), 0.5);
+        assert_eq!(precision_at_k(&results, relevant, 4), 0.5);
+        // Short lists are padded with non-relevant results.
+        assert_eq!(precision_at_k(&results, relevant, 8), 0.25);
+    }
+
+    #[test]
+    #[should_panic(expected = "k >= 1")]
+    fn precision_at_zero_panics() {
+        precision_at_k(&["x"], |_| true, 0);
+    }
+
+    #[test]
+    fn curve_is_prefix_consistent() {
+        let results = ["hit", "hit", "miss", "hit"];
+        let curve = precision_curve(&results, |r| *r == "hit", 5);
+        assert_eq!(curve.len(), 5);
+        assert_eq!(curve[0], 1.0);
+        assert_eq!(curve[1], 1.0);
+        assert!((curve[2] - 2.0 / 3.0).abs() < 1e-9);
+        assert_eq!(curve[3], 0.75);
+        assert_eq!(curve[4], 0.6);
+        for (k, p) in curve.iter().enumerate() {
+            assert_eq!(
+                *p,
+                precision_at_k(&results, |r| *r == "hit", k + 1),
+                "curve and point computation agree at k={}",
+                k + 1
+            );
+        }
+    }
+
+    #[test]
+    fn mean_curve_averages_pointwise() {
+        let a = vec![1.0, 0.5];
+        let b = vec![0.0, 0.5];
+        assert_eq!(mean_precision_at_k(&[a, b]), vec![0.5, 0.5]);
+        assert!(mean_precision_at_k(&[]).is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "same k range")]
+    fn mean_curve_rejects_ragged_input() {
+        mean_precision_at_k(&[vec![1.0], vec![1.0, 0.5]]);
+    }
+}

@@ -1,0 +1,221 @@
+//! Rankings with ties over string-identified items.
+//!
+//! Expert rankings, BioConsert consensus rankings and algorithmic rankings
+//! are all *rankings with ties*: an ordered sequence of buckets, each bucket
+//! holding the items considered equally good.  Rankings may be incomplete —
+//! an expert who was unsure about a workflow simply does not rank it — so
+//! the type also tracks which items are present.
+
+use std::collections::BTreeMap;
+
+/// A ranking with ties: `buckets[0]` holds the top-ranked items.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct Ranking {
+    buckets: Vec<Vec<String>>,
+}
+
+impl Ranking {
+    /// Creates an empty ranking.
+    pub fn new() -> Self {
+        Ranking::default()
+    }
+
+    /// Creates a ranking from explicit buckets.  Empty buckets are dropped;
+    /// duplicate items keep only their first (best) occurrence.
+    pub fn from_buckets<I, B, S>(buckets: I) -> Self
+    where
+        I: IntoIterator<Item = B>,
+        B: IntoIterator<Item = S>,
+        S: Into<String>,
+    {
+        let mut seen = std::collections::BTreeSet::new();
+        let mut out = Vec::new();
+        for bucket in buckets {
+            let mut b: Vec<String> = Vec::new();
+            for item in bucket {
+                let item = item.into();
+                if seen.insert(item.clone()) {
+                    b.push(item);
+                }
+            }
+            if !b.is_empty() {
+                out.push(b);
+            }
+        }
+        Ranking { buckets: out }
+    }
+
+    /// Builds a ranking from `(item, score)` pairs, higher scores first.
+    ///
+    /// Items whose scores differ by at most `tie_epsilon` *and* fall into
+    /// the same maximal chain of near-equal scores are placed in the same
+    /// bucket.  Use `tie_epsilon = 0.0` for exact ties only.
+    pub fn from_scores<S: Into<String>>(scores: Vec<(S, f64)>, tie_epsilon: f64) -> Self {
+        let mut scored: Vec<(String, f64)> =
+            scores.into_iter().map(|(s, v)| (s.into(), v)).collect();
+        scored.sort_by(|a, b| {
+            b.1.partial_cmp(&a.1)
+                .unwrap_or(std::cmp::Ordering::Equal)
+                .then_with(|| a.0.cmp(&b.0))
+        });
+        let mut buckets: Vec<Vec<String>> = Vec::new();
+        let mut bucket_score = f64::NAN;
+        for (item, score) in scored {
+            let start_new = buckets.is_empty() || (bucket_score - score).abs() > tie_epsilon;
+            if start_new {
+                buckets.push(vec![item]);
+                bucket_score = score;
+            } else {
+                buckets.last_mut().expect("non-empty").push(item);
+            }
+        }
+        Ranking::from_buckets(buckets)
+    }
+
+    /// The buckets, best first.
+    pub fn buckets(&self) -> &[Vec<String>] {
+        &self.buckets
+    }
+
+    /// Number of ranked items.
+    pub fn len(&self) -> usize {
+        self.buckets.iter().map(Vec::len).sum()
+    }
+
+    /// True if nothing is ranked.
+    pub fn is_empty(&self) -> bool {
+        self.buckets.is_empty()
+    }
+
+    /// All ranked items in rank order (ties flattened in bucket order).
+    pub fn items(&self) -> Vec<&str> {
+        self.buckets
+            .iter()
+            .flat_map(|b| b.iter().map(String::as_str))
+            .collect()
+    }
+
+    /// True if the item appears in the ranking.
+    pub fn contains(&self, item: &str) -> bool {
+        self.position(item).is_some()
+    }
+
+    /// The 0-based bucket index of an item, if ranked.
+    pub fn position(&self, item: &str) -> Option<usize> {
+        self.buckets
+            .iter()
+            .position(|b| b.iter().any(|x| x == item))
+    }
+
+    /// A map from item to bucket index, for bulk comparisons.
+    pub fn position_map(&self) -> BTreeMap<&str, usize> {
+        let mut map = BTreeMap::new();
+        for (i, bucket) in self.buckets.iter().enumerate() {
+            for item in bucket {
+                map.insert(item.as_str(), i);
+            }
+        }
+        map
+    }
+
+    /// Appends one bucket of tied items at the bottom of the ranking.
+    pub fn push_bucket<S: Into<String>>(&mut self, items: Vec<S>) {
+        let bucket: Vec<String> = items
+            .into_iter()
+            .map(Into::into)
+            .filter(|i| !self.contains(i))
+            .collect();
+        if !bucket.is_empty() {
+            self.buckets.push(bucket);
+        }
+    }
+
+    /// Restricts the ranking to the given items, dropping everything else
+    /// (used to compare an algorithm's ranking against the subset of items
+    /// an expert actually rated).
+    pub fn restricted_to(&self, items: &[&str]) -> Ranking {
+        let keep: std::collections::BTreeSet<&str> = items.iter().copied().collect();
+        Ranking::from_buckets(
+            self.buckets
+                .iter()
+                .map(|b| b.iter().filter(|i| keep.contains(i.as_str())).cloned().collect::<Vec<_>>()),
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn from_buckets_drops_empties_and_duplicates() {
+        let r = Ranking::from_buckets(vec![
+            vec!["a", "b"],
+            vec![],
+            vec!["b", "c"],
+        ]);
+        assert_eq!(r.buckets().len(), 2);
+        assert_eq!(r.len(), 3);
+        assert_eq!(r.position("b"), Some(0), "first occurrence wins");
+        assert_eq!(r.position("c"), Some(1));
+    }
+
+    #[test]
+    fn from_scores_orders_descending_and_groups_ties() {
+        let r = Ranking::from_scores(
+            vec![("a", 0.9), ("b", 0.5), ("c", 0.9), ("d", 0.1)],
+            0.0,
+        );
+        assert_eq!(r.buckets().len(), 3);
+        assert_eq!(r.buckets()[0], vec!["a", "c"]);
+        assert_eq!(r.buckets()[1], vec!["b"]);
+        assert_eq!(r.buckets()[2], vec!["d"]);
+    }
+
+    #[test]
+    fn from_scores_with_epsilon_groups_near_ties() {
+        let r = Ranking::from_scores(vec![("a", 0.90), ("b", 0.89), ("c", 0.5)], 0.02);
+        assert_eq!(r.buckets().len(), 2);
+        assert_eq!(r.buckets()[0], vec!["a", "b"]);
+    }
+
+    #[test]
+    fn positions_and_membership() {
+        let r = Ranking::from_buckets(vec![vec!["x"], vec!["y", "z"]]);
+        assert_eq!(r.position("x"), Some(0));
+        assert_eq!(r.position("z"), Some(1));
+        assert_eq!(r.position("q"), None);
+        assert!(r.contains("y"));
+        assert!(!r.contains("q"));
+        assert_eq!(r.items(), vec!["x", "y", "z"]);
+        let map = r.position_map();
+        assert_eq!(map.get("y"), Some(&1));
+    }
+
+    #[test]
+    fn push_bucket_skips_already_ranked_items() {
+        let mut r = Ranking::from_buckets(vec![vec!["a"]]);
+        r.push_bucket(vec!["a", "b"]);
+        assert_eq!(r.buckets().len(), 2);
+        assert_eq!(r.buckets()[1], vec!["b"]);
+        r.push_bucket(Vec::<String>::new());
+        assert_eq!(r.buckets().len(), 2);
+    }
+
+    #[test]
+    fn restriction_keeps_order() {
+        let r = Ranking::from_buckets(vec![vec!["a", "b"], vec!["c"], vec!["d"]]);
+        let restricted = r.restricted_to(&["d", "a"]);
+        assert_eq!(restricted.buckets().len(), 2);
+        assert_eq!(restricted.buckets()[0], vec!["a"]);
+        assert_eq!(restricted.buckets()[1], vec!["d"]);
+    }
+
+    #[test]
+    fn empty_ranking_properties() {
+        let r = Ranking::new();
+        assert!(r.is_empty());
+        assert_eq!(r.len(), 0);
+        assert!(r.items().is_empty());
+    }
+}

@@ -1,0 +1,244 @@
+//! Storage and aggregation of expert ratings.
+//!
+//! The study collected 2424 ratings from 15 experts over 485 workflow pairs
+//! (Section 4.2).  A [`RatingCorpus`] holds such ratings, indexes them by
+//! (query, candidate) pair and by expert, derives per-expert rankings for
+//! the ranking experiment and median ratings for the retrieval experiment.
+
+use std::collections::{BTreeMap, BTreeSet};
+
+use serde::{Deserialize, Serialize};
+
+use crate::likert::{median_rating, LikertRating};
+use crate::ranking::Ranking;
+
+/// One rating given by one expert to one (query, candidate) workflow pair.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ExpertRating {
+    /// Identifier of the expert (e.g. `"expert-03"`).
+    pub expert: String,
+    /// Identifier of the query workflow.
+    pub query: String,
+    /// Identifier of the candidate workflow being compared to the query.
+    pub candidate: String,
+    /// The rating on the Likert scale.
+    pub rating: LikertRating,
+}
+
+impl ExpertRating {
+    /// Convenience constructor.
+    pub fn new(
+        expert: impl Into<String>,
+        query: impl Into<String>,
+        candidate: impl Into<String>,
+        rating: LikertRating,
+    ) -> Self {
+        ExpertRating {
+            expert: expert.into(),
+            query: query.into(),
+            candidate: candidate.into(),
+            rating,
+        }
+    }
+}
+
+/// A collection of expert ratings with the lookups the evaluation needs.
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct RatingCorpus {
+    ratings: Vec<ExpertRating>,
+}
+
+impl RatingCorpus {
+    /// Creates an empty corpus.
+    pub fn new() -> Self {
+        RatingCorpus::default()
+    }
+
+    /// Adds one rating.  If the same expert rates the same pair twice, the
+    /// later rating replaces the earlier one.
+    pub fn add(&mut self, rating: ExpertRating) {
+        if let Some(existing) = self.ratings.iter_mut().find(|r| {
+            r.expert == rating.expert && r.query == rating.query && r.candidate == rating.candidate
+        }) {
+            *existing = rating;
+        } else {
+            self.ratings.push(rating);
+        }
+    }
+
+    /// Total number of stored ratings (the paper reports 2424).
+    pub fn len(&self) -> usize {
+        self.ratings.len()
+    }
+
+    /// True if no ratings are stored.
+    pub fn is_empty(&self) -> bool {
+        self.ratings.is_empty()
+    }
+
+    /// All ratings.
+    pub fn ratings(&self) -> &[ExpertRating] {
+        &self.ratings
+    }
+
+    /// The distinct experts, sorted.
+    pub fn experts(&self) -> Vec<&str> {
+        let set: BTreeSet<&str> = self.ratings.iter().map(|r| r.expert.as_str()).collect();
+        set.into_iter().collect()
+    }
+
+    /// The distinct query workflows, sorted.
+    pub fn queries(&self) -> Vec<&str> {
+        let set: BTreeSet<&str> = self.ratings.iter().map(|r| r.query.as_str()).collect();
+        set.into_iter().collect()
+    }
+
+    /// The candidates rated for a query (by any expert), sorted.
+    pub fn candidates_for(&self, query: &str) -> Vec<&str> {
+        let set: BTreeSet<&str> = self
+            .ratings
+            .iter()
+            .filter(|r| r.query == query)
+            .map(|r| r.candidate.as_str())
+            .collect();
+        set.into_iter().collect()
+    }
+
+    /// All decided ratings one expert gave for a query, as
+    /// `(candidate, rating)` pairs.
+    pub fn expert_ratings_for(&self, expert: &str, query: &str) -> Vec<(&str, LikertRating)> {
+        self.ratings
+            .iter()
+            .filter(|r| r.expert == expert && r.query == query && r.rating.is_decided())
+            .map(|r| (r.candidate.as_str(), r.rating))
+            .collect()
+    }
+
+    /// The ranking (with ties) induced by one expert's ratings of the
+    /// candidates for a query.  Candidates the expert marked *unsure* (or
+    /// did not rate) are absent — the incomplete-ranking case BioConsert has
+    /// to handle.
+    pub fn expert_ranking(&self, expert: &str, query: &str) -> Ranking {
+        let rated = self.expert_ratings_for(expert, query);
+        let mut by_level: BTreeMap<std::cmp::Reverse<u8>, Vec<String>> = BTreeMap::new();
+        for (candidate, rating) in rated {
+            if let Some(v) = rating.value() {
+                by_level
+                    .entry(std::cmp::Reverse(v))
+                    .or_default()
+                    .push(candidate.to_string());
+            }
+        }
+        Ranking::from_buckets(by_level.into_values())
+    }
+
+    /// The per-expert rankings of all experts who rated at least one
+    /// candidate of the query.
+    pub fn expert_rankings(&self, query: &str) -> Vec<(String, Ranking)> {
+        self.experts()
+            .into_iter()
+            .map(|e| (e.to_string(), self.expert_ranking(e, query)))
+            .filter(|(_, r)| !r.is_empty())
+            .collect()
+    }
+
+    /// The median rating of a (query, candidate) pair over all experts,
+    /// ignoring unsure votes.
+    pub fn median(&self, query: &str, candidate: &str) -> Option<LikertRating> {
+        let votes: Vec<LikertRating> = self
+            .ratings
+            .iter()
+            .filter(|r| r.query == query && r.candidate == candidate)
+            .map(|r| r.rating)
+            .collect();
+        median_rating(&votes)
+    }
+
+    /// The number of (query, candidate) pairs with at least one rating —
+    /// the paper reports 485 such pairs.
+    pub fn pair_count(&self) -> usize {
+        let set: BTreeSet<(&str, &str)> = self
+            .ratings
+            .iter()
+            .map(|r| (r.query.as_str(), r.candidate.as_str()))
+            .collect();
+        set.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn corpus() -> RatingCorpus {
+        let mut c = RatingCorpus::new();
+        for (e, q, cand, r) in [
+            ("e1", "q1", "a", LikertRating::VerySimilar),
+            ("e1", "q1", "b", LikertRating::Related),
+            ("e1", "q1", "c", LikertRating::Unsure),
+            ("e2", "q1", "a", LikertRating::Similar),
+            ("e2", "q1", "b", LikertRating::Dissimilar),
+            ("e2", "q1", "c", LikertRating::Related),
+            ("e1", "q2", "d", LikertRating::Similar),
+        ] {
+            c.add(ExpertRating::new(e, q, cand, r));
+        }
+        c
+    }
+
+    #[test]
+    fn counting_and_lookups() {
+        let c = corpus();
+        assert_eq!(c.len(), 7);
+        assert!(!c.is_empty());
+        assert_eq!(c.experts(), vec!["e1", "e2"]);
+        assert_eq!(c.queries(), vec!["q1", "q2"]);
+        assert_eq!(c.candidates_for("q1"), vec!["a", "b", "c"]);
+        assert_eq!(c.pair_count(), 4);
+    }
+
+    #[test]
+    fn duplicate_rating_replaces_previous() {
+        let mut c = corpus();
+        c.add(ExpertRating::new("e1", "q1", "a", LikertRating::Dissimilar));
+        assert_eq!(c.len(), 7, "no new entry");
+        assert_eq!(
+            c.expert_ratings_for("e1", "q1")
+                .iter()
+                .find(|(cand, _)| *cand == "a")
+                .unwrap()
+                .1,
+            LikertRating::Dissimilar
+        );
+    }
+
+    #[test]
+    fn expert_ranking_orders_by_rating_and_skips_unsure() {
+        let c = corpus();
+        let r = c.expert_ranking("e1", "q1");
+        assert_eq!(r.buckets().len(), 2);
+        assert_eq!(r.buckets()[0], vec!["a"]);
+        assert_eq!(r.buckets()[1], vec!["b"]);
+        assert!(!r.contains("c"), "unsure candidate is not ranked");
+    }
+
+    #[test]
+    fn expert_rankings_excludes_experts_without_ratings() {
+        let c = corpus();
+        let rankings = c.expert_rankings("q2");
+        assert_eq!(rankings.len(), 1);
+        assert_eq!(rankings[0].0, "e1");
+    }
+
+    #[test]
+    fn median_aggregation() {
+        let c = corpus();
+        // a: {very_similar, similar} -> lower median = similar
+        assert_eq!(c.median("q1", "a"), Some(LikertRating::Similar));
+        // b: {related, dissimilar} -> dissimilar
+        assert_eq!(c.median("q1", "b"), Some(LikertRating::Dissimilar));
+        // c: {unsure, related} -> related
+        assert_eq!(c.median("q1", "c"), Some(LikertRating::Related));
+        assert_eq!(c.median("q1", "zzz"), None);
+    }
+}

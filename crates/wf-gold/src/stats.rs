@@ -1,0 +1,544 @@
+//! Significance testing for paired evaluation results.
+//!
+//! The paper reports several of its findings with significance markers
+//! obtained from a *paired t-test* at p < 0.05 (e.g. "simGE [...] is the only
+//! algorithm in this set with a statistically significant (p<0.05, paired
+//! ttest) difference to simBW", Section 5.1.1; the pw0-vs-pll comparison in
+//! Section 5.1.2; the ensemble improvement in Section 5.1.6).  This module
+//! implements the paired t-test (with a two-tailed p-value computed from the
+//! regularized incomplete beta function) plus the Wilcoxon signed-rank test
+//! as a distribution-free alternative, and the descriptive statistics (mean,
+//! sample standard deviation) used throughout the figures.
+
+/// Descriptive statistics of one sample.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Descriptive {
+    /// Number of observations.
+    pub n: usize,
+    /// Arithmetic mean.
+    pub mean: f64,
+    /// Sample standard deviation (n − 1 denominator); 0 for n < 2.
+    pub stddev: f64,
+    /// Smallest observation.
+    pub min: f64,
+    /// Largest observation.
+    pub max: f64,
+}
+
+impl Descriptive {
+    /// Computes descriptive statistics; returns `None` for an empty sample.
+    pub fn of(sample: &[f64]) -> Option<Descriptive> {
+        if sample.is_empty() {
+            return None;
+        }
+        let n = sample.len();
+        let mean = sample.iter().sum::<f64>() / n as f64;
+        let var = if n > 1 {
+            sample.iter().map(|x| (x - mean).powi(2)).sum::<f64>() / (n as f64 - 1.0)
+        } else {
+            0.0
+        };
+        let min = sample.iter().cloned().fold(f64::INFINITY, f64::min);
+        let max = sample.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
+        Some(Descriptive {
+            n,
+            mean,
+            stddev: var.sqrt(),
+            min,
+            max,
+        })
+    }
+}
+
+/// The outcome of a paired two-sample test.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct PairedTest {
+    /// Number of pairs that entered the test (pairs with a zero difference
+    /// are dropped by the Wilcoxon test but kept by the t-test).
+    pub n: usize,
+    /// Mean of the pairwise differences (first sample minus second sample).
+    pub mean_difference: f64,
+    /// The test statistic: Student's t for [`paired_t_test`], the
+    /// normal-approximation z for [`wilcoxon_signed_rank`].
+    pub statistic: f64,
+    /// Two-tailed p-value.
+    pub p_value: f64,
+}
+
+impl PairedTest {
+    /// True when the two-tailed p-value is below the significance level the
+    /// paper uses throughout (α = 0.05).
+    pub fn significant_at_05(&self) -> bool {
+        self.p_value < 0.05
+    }
+
+    /// True when the two-tailed p-value is below the given α.
+    pub fn significant_at(&self, alpha: f64) -> bool {
+        self.p_value < alpha
+    }
+}
+
+/// Errors from the significance tests.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum StatsError {
+    /// The two samples have different lengths and cannot be paired.
+    LengthMismatch {
+        /// Length of the first sample.
+        first: usize,
+        /// Length of the second sample.
+        second: usize,
+    },
+    /// Fewer than two usable pairs — no test can be computed.
+    TooFewPairs,
+}
+
+impl std::fmt::Display for StatsError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            StatsError::LengthMismatch { first, second } => write!(
+                f,
+                "paired test requires samples of equal length, got {first} and {second}"
+            ),
+            StatsError::TooFewPairs => write!(f, "paired test requires at least two usable pairs"),
+        }
+    }
+}
+
+impl std::error::Error for StatsError {}
+
+/// Student's paired t-test (two-tailed).
+///
+/// `first` and `second` are per-query (or per-pair) scores of two algorithms
+/// on the same evaluation items.  Returns the t statistic on the pairwise
+/// differences and the two-tailed p-value under the t distribution with
+/// n − 1 degrees of freedom.
+pub fn paired_t_test(first: &[f64], second: &[f64]) -> Result<PairedTest, StatsError> {
+    if first.len() != second.len() {
+        return Err(StatsError::LengthMismatch {
+            first: first.len(),
+            second: second.len(),
+        });
+    }
+    let n = first.len();
+    if n < 2 {
+        return Err(StatsError::TooFewPairs);
+    }
+    let diffs: Vec<f64> = first.iter().zip(second).map(|(a, b)| a - b).collect();
+    let mean = diffs.iter().sum::<f64>() / n as f64;
+    let var = diffs.iter().map(|d| (d - mean).powi(2)).sum::<f64>() / (n as f64 - 1.0);
+    let se = (var / n as f64).sqrt();
+    // All differences identical: either no difference at all (p = 1) or a
+    // constant shift that is trivially "significant" in the limit (p -> 0).
+    if se == 0.0 {
+        let p = if mean == 0.0 { 1.0 } else { 0.0 };
+        return Ok(PairedTest {
+            n,
+            mean_difference: mean,
+            statistic: if mean == 0.0 { 0.0 } else { f64::INFINITY },
+            p_value: p,
+        });
+    }
+    let t = mean / se;
+    let df = (n - 1) as f64;
+    let p = two_tailed_t_p_value(t, df);
+    Ok(PairedTest {
+        n,
+        mean_difference: mean,
+        statistic: t,
+        p_value: p,
+    })
+}
+
+/// The Wilcoxon signed-rank test (two-tailed, normal approximation with tie
+/// and zero handling following Pratt).
+///
+/// A distribution-free alternative to the paired t-test; useful because the
+/// per-query correctness values of Figures 5–9 are bounded in \[-1, 1\] and
+/// not necessarily normal.
+pub fn wilcoxon_signed_rank(first: &[f64], second: &[f64]) -> Result<PairedTest, StatsError> {
+    if first.len() != second.len() {
+        return Err(StatsError::LengthMismatch {
+            first: first.len(),
+            second: second.len(),
+        });
+    }
+    let mut diffs: Vec<f64> = first
+        .iter()
+        .zip(second)
+        .map(|(a, b)| a - b)
+        .filter(|d| *d != 0.0)
+        .collect();
+    let mean_difference = if first.is_empty() {
+        0.0
+    } else {
+        first.iter().zip(second).map(|(a, b)| a - b).sum::<f64>() / first.len() as f64
+    };
+    let n = diffs.len();
+    if n < 2 {
+        return Err(StatsError::TooFewPairs);
+    }
+    // Rank |d| with average ranks for ties.
+    diffs.sort_by(|a, b| a.abs().partial_cmp(&b.abs()).expect("no NaN differences"));
+    let mut ranks = vec![0.0f64; n];
+    let mut tie_correction = 0.0f64;
+    let mut i = 0;
+    while i < n {
+        let mut j = i;
+        while j + 1 < n && (diffs[j + 1].abs() - diffs[i].abs()).abs() < 1e-12 {
+            j += 1;
+        }
+        let avg_rank = (i + j + 2) as f64 / 2.0; // ranks are 1-based
+        for r in ranks.iter_mut().take(j + 1).skip(i) {
+            *r = avg_rank;
+        }
+        let t = (j - i + 1) as f64;
+        tie_correction += t.powi(3) - t;
+        i = j + 1;
+    }
+    let w_plus: f64 = diffs
+        .iter()
+        .zip(&ranks)
+        .filter(|(d, _)| **d > 0.0)
+        .map(|(_, r)| *r)
+        .sum();
+    let nf = n as f64;
+    let mean_w = nf * (nf + 1.0) / 4.0;
+    let var_w = nf * (nf + 1.0) * (2.0 * nf + 1.0) / 24.0 - tie_correction / 48.0;
+    if var_w <= 0.0 {
+        return Ok(PairedTest {
+            n,
+            mean_difference,
+            statistic: 0.0,
+            p_value: 1.0,
+        });
+    }
+    // Continuity correction.
+    let z = (w_plus - mean_w - 0.5 * (w_plus - mean_w).signum()) / var_w.sqrt();
+    let p = 2.0 * (1.0 - standard_normal_cdf(z.abs()));
+    Ok(PairedTest {
+        n,
+        mean_difference,
+        statistic: z,
+        p_value: p.clamp(0.0, 1.0),
+    })
+}
+
+/// Two-tailed p-value of a t statistic with `df` degrees of freedom.
+pub fn two_tailed_t_p_value(t: f64, df: f64) -> f64 {
+    if !t.is_finite() {
+        return 0.0;
+    }
+    let x = df / (df + t * t);
+    regularized_incomplete_beta(df / 2.0, 0.5, x).clamp(0.0, 1.0)
+}
+
+/// The cumulative distribution function of the standard normal distribution.
+pub fn standard_normal_cdf(z: f64) -> f64 {
+    0.5 * (1.0 + erf(z / std::f64::consts::SQRT_2))
+}
+
+/// The error function, via the Abramowitz–Stegun 7.1.26 rational
+/// approximation (absolute error < 1.5e-7, far below what a p-value needs).
+fn erf(x: f64) -> f64 {
+    let sign = if x < 0.0 { -1.0 } else { 1.0 };
+    let x = x.abs();
+    let t = 1.0 / (1.0 + 0.3275911 * x);
+    let y = 1.0
+        - (((((1.061405429 * t - 1.453152027) * t) + 1.421413741) * t - 0.284496736) * t
+            + 0.254829592)
+            * t
+            * (-x * x).exp();
+    sign * y
+}
+
+/// The regularized incomplete beta function I_x(a, b), computed with the
+/// continued-fraction expansion of Numerical Recipes (Lentz's method).
+pub fn regularized_incomplete_beta(a: f64, b: f64, x: f64) -> f64 {
+    if x <= 0.0 {
+        return 0.0;
+    }
+    if x >= 1.0 {
+        return 1.0;
+    }
+    let ln_front = ln_gamma(a + b) - ln_gamma(a) - ln_gamma(b) + a * x.ln() + b * (1.0 - x).ln();
+    let front = ln_front.exp();
+    // Use the symmetry relation to keep the continued fraction convergent.
+    // `<=` (not `<`) so that the boundary point does not recurse forever
+    // when a == b and x == 0.5.
+    if x <= (a + 1.0) / (a + b + 2.0) {
+        front * beta_continued_fraction(a, b, x) / a
+    } else {
+        1.0 - regularized_incomplete_beta(b, a, 1.0 - x)
+    }
+}
+
+fn beta_continued_fraction(a: f64, b: f64, x: f64) -> f64 {
+    const MAX_ITER: usize = 300;
+    const EPS: f64 = 1e-14;
+    const TINY: f64 = 1e-300;
+
+    let qab = a + b;
+    let qap = a + 1.0;
+    let qam = a - 1.0;
+    let mut c = 1.0;
+    let mut d = 1.0 - qab * x / qap;
+    if d.abs() < TINY {
+        d = TINY;
+    }
+    d = 1.0 / d;
+    let mut h = d;
+    for m in 1..=MAX_ITER {
+        let m = m as f64;
+        let m2 = 2.0 * m;
+        // Even step.
+        let aa = m * (b - m) * x / ((qam + m2) * (a + m2));
+        d = 1.0 + aa * d;
+        if d.abs() < TINY {
+            d = TINY;
+        }
+        c = 1.0 + aa / c;
+        if c.abs() < TINY {
+            c = TINY;
+        }
+        d = 1.0 / d;
+        h *= d * c;
+        // Odd step.
+        let aa = -(a + m) * (qab + m) * x / ((a + m2) * (qap + m2));
+        d = 1.0 + aa * d;
+        if d.abs() < TINY {
+            d = TINY;
+        }
+        c = 1.0 + aa / c;
+        if c.abs() < TINY {
+            c = TINY;
+        }
+        d = 1.0 / d;
+        let delta = d * c;
+        h *= delta;
+        if (delta - 1.0).abs() < EPS {
+            break;
+        }
+    }
+    h
+}
+
+/// The natural logarithm of the gamma function (Lanczos approximation).
+pub fn ln_gamma(x: f64) -> f64 {
+    // The canonical Lanczos g=7, n=9 coefficients, kept at full published
+    // precision (the trailing digits are below f64 resolution).
+    #[allow(clippy::excessive_precision)]
+    const G: [f64; 9] = [
+        0.999_999_999_999_809_93,
+        676.520_368_121_885_1,
+        -1_259.139_216_722_402_8,
+        771.323_428_777_653_13,
+        -176.615_029_162_140_6,
+        12.507_343_278_686_905,
+        -0.138_571_095_265_720_12,
+        9.984_369_578_019_571_6e-6,
+        1.505_632_735_149_311_6e-7,
+    ];
+    if x < 0.5 {
+        // Reflection formula.
+        std::f64::consts::PI.ln() - (std::f64::consts::PI * x).sin().ln() - ln_gamma(1.0 - x)
+    } else {
+        let x = x - 1.0;
+        let mut a = G[0];
+        let t = x + 7.5;
+        for (i, &g) in G.iter().enumerate().skip(1) {
+            a += g / (x + i as f64);
+        }
+        0.5 * (2.0 * std::f64::consts::PI).ln() + (x + 0.5) * t.ln() - t + a.ln()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn descriptive_of_empty_sample_is_none() {
+        assert!(Descriptive::of(&[]).is_none());
+    }
+
+    #[test]
+    fn descriptive_of_singleton_has_zero_stddev() {
+        let d = Descriptive::of(&[0.7]).unwrap();
+        assert_eq!(d.n, 1);
+        assert_eq!(d.mean, 0.7);
+        assert_eq!(d.stddev, 0.0);
+        assert_eq!(d.min, 0.7);
+        assert_eq!(d.max, 0.7);
+    }
+
+    #[test]
+    fn descriptive_matches_hand_computation() {
+        let d = Descriptive::of(&[1.0, 2.0, 3.0, 4.0]).unwrap();
+        assert!((d.mean - 2.5).abs() < 1e-12);
+        // Sample variance of 1..4 is 5/3.
+        assert!((d.stddev - (5.0f64 / 3.0).sqrt()).abs() < 1e-12);
+        assert_eq!(d.min, 1.0);
+        assert_eq!(d.max, 4.0);
+    }
+
+    #[test]
+    fn ln_gamma_matches_known_values() {
+        // Γ(1) = 1, Γ(2) = 1, Γ(5) = 24, Γ(0.5) = sqrt(pi).
+        assert!(ln_gamma(1.0).abs() < 1e-10);
+        assert!(ln_gamma(2.0).abs() < 1e-10);
+        assert!((ln_gamma(5.0) - 24.0f64.ln()).abs() < 1e-9);
+        assert!((ln_gamma(0.5) - std::f64::consts::PI.sqrt().ln()).abs() < 1e-9);
+    }
+
+    #[test]
+    fn incomplete_beta_boundary_values() {
+        assert_eq!(regularized_incomplete_beta(2.0, 3.0, 0.0), 0.0);
+        assert_eq!(regularized_incomplete_beta(2.0, 3.0, 1.0), 1.0);
+    }
+
+    #[test]
+    fn incomplete_beta_symmetric_point() {
+        // I_{0.5}(a, a) = 0.5 for any a.
+        for a in [0.5, 1.0, 3.0, 10.0] {
+            let v = regularized_incomplete_beta(a, a, 0.5);
+            assert!((v - 0.5).abs() < 1e-9, "a={a}: {v}");
+        }
+    }
+
+    #[test]
+    fn incomplete_beta_uniform_case_is_identity() {
+        // I_x(1, 1) = x.
+        for x in [0.1, 0.25, 0.5, 0.9] {
+            assert!((regularized_incomplete_beta(1.0, 1.0, x) - x).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn t_p_value_matches_reference_values() {
+        // Reference values from standard t tables (two-tailed).
+        // df = 10, t = 2.228 -> p ≈ 0.05.
+        let p = two_tailed_t_p_value(2.228, 10.0);
+        assert!((p - 0.05).abs() < 2e-3, "got {p}");
+        // df = 20, t = 2.845 -> p ≈ 0.01.
+        let p = two_tailed_t_p_value(2.845, 20.0);
+        assert!((p - 0.01).abs() < 1e-3, "got {p}");
+        // t = 0 -> p = 1.
+        assert!((two_tailed_t_p_value(0.0, 5.0) - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn normal_cdf_matches_reference_values() {
+        assert!((standard_normal_cdf(0.0) - 0.5).abs() < 1e-9);
+        assert!((standard_normal_cdf(1.96) - 0.975).abs() < 1e-3);
+        assert!((standard_normal_cdf(-1.96) - 0.025).abs() < 1e-3);
+    }
+
+    #[test]
+    fn paired_t_test_rejects_mismatched_lengths() {
+        let err = paired_t_test(&[1.0, 2.0], &[1.0]).unwrap_err();
+        assert_eq!(
+            err,
+            StatsError::LengthMismatch {
+                first: 2,
+                second: 1
+            }
+        );
+    }
+
+    #[test]
+    fn paired_t_test_rejects_tiny_samples() {
+        assert_eq!(paired_t_test(&[1.0], &[2.0]).unwrap_err(), StatsError::TooFewPairs);
+    }
+
+    #[test]
+    fn paired_t_test_identical_samples_is_not_significant() {
+        let a = [0.5, 0.6, 0.7, 0.8];
+        let test = paired_t_test(&a, &a).unwrap();
+        assert_eq!(test.p_value, 1.0);
+        assert_eq!(test.mean_difference, 0.0);
+        assert!(!test.significant_at_05());
+    }
+
+    #[test]
+    fn paired_t_test_constant_shift_is_significant() {
+        let a = [0.5, 0.6, 0.7, 0.8];
+        let b = [0.4, 0.5, 0.6, 0.7];
+        let test = paired_t_test(&a, &b).unwrap();
+        assert!(test.significant_at_05());
+        assert!((test.mean_difference - 0.1).abs() < 1e-12);
+    }
+
+    #[test]
+    fn paired_t_test_matches_hand_computed_example() {
+        // Differences: [1, 2, 3, 4, 5]; mean 3, sd sqrt(2.5), n 5
+        // t = 3 / (sqrt(2.5)/sqrt(5)) = 3 / 0.7071 ≈ 4.2426, df = 4
+        // two-tailed p ≈ 0.0132.
+        let a = [2.0, 4.0, 6.0, 8.0, 10.0];
+        let b = [1.0, 2.0, 3.0, 4.0, 5.0];
+        let test = paired_t_test(&a, &b).unwrap();
+        assert!((test.statistic - 4.2426).abs() < 1e-3, "t={}", test.statistic);
+        assert!((test.p_value - 0.0132).abs() < 1e-3, "p={}", test.p_value);
+        assert!(test.significant_at_05());
+        assert!(!test.significant_at(0.01));
+    }
+
+    #[test]
+    fn paired_t_test_noise_is_not_significant() {
+        // Alternating small differences cancel out.
+        let a = [0.50, 0.62, 0.71, 0.79, 0.55, 0.68];
+        let b = [0.51, 0.60, 0.72, 0.78, 0.56, 0.67];
+        let test = paired_t_test(&a, &b).unwrap();
+        assert!(!test.significant_at_05(), "p={}", test.p_value);
+    }
+
+    #[test]
+    fn wilcoxon_rejects_mismatched_lengths() {
+        assert!(matches!(
+            wilcoxon_signed_rank(&[1.0, 2.0], &[1.0]),
+            Err(StatsError::LengthMismatch { .. })
+        ));
+    }
+
+    #[test]
+    fn wilcoxon_all_zero_differences_is_too_few_pairs() {
+        let a = [0.5, 0.6, 0.7];
+        assert_eq!(
+            wilcoxon_signed_rank(&a, &a).unwrap_err(),
+            StatsError::TooFewPairs
+        );
+    }
+
+    #[test]
+    fn wilcoxon_detects_a_systematic_shift() {
+        let a: Vec<f64> = (0..20).map(|i| 0.5 + 0.01 * i as f64 + 0.05).collect();
+        let b: Vec<f64> = (0..20).map(|i| 0.5 + 0.01 * i as f64).collect();
+        let test = wilcoxon_signed_rank(&a, &b).unwrap();
+        assert!(test.significant_at_05(), "p={}", test.p_value);
+        assert!(test.mean_difference > 0.0);
+    }
+
+    #[test]
+    fn wilcoxon_symmetric_noise_is_not_significant() {
+        let a = [0.5, 0.7, 0.6, 0.8, 0.4, 0.9, 0.55, 0.65];
+        let b = [0.52, 0.68, 0.62, 0.78, 0.42, 0.88, 0.57, 0.63];
+        let test = wilcoxon_signed_rank(&a, &b).unwrap();
+        assert!(!test.significant_at_05(), "p={}", test.p_value);
+    }
+
+    #[test]
+    fn t_test_and_wilcoxon_agree_on_a_clear_effect() {
+        let a: Vec<f64> = (0..24).map(|i| 0.6 + (i % 5) as f64 * 0.02).collect();
+        let b: Vec<f64> = (0..24).map(|i| 0.4 + (i % 7) as f64 * 0.02).collect();
+        let t = paired_t_test(&a, &b).unwrap();
+        let w = wilcoxon_signed_rank(&a, &b).unwrap();
+        assert!(t.significant_at_05());
+        assert!(w.significant_at_05());
+    }
+
+    #[test]
+    fn stats_error_messages_are_informative() {
+        let msg = StatsError::LengthMismatch { first: 3, second: 5 }.to_string();
+        assert!(msg.contains('3') && msg.contains('5'));
+        assert!(StatsError::TooFewPairs.to_string().contains("two"));
+    }
+}

@@ -1,0 +1,117 @@
+//! Greedy module mapping (Silva et al., reference \[34\] of the paper).
+//!
+//! The greedy strategy repeatedly selects the highest-similarity pair among
+//! the still-unmapped left and right items until no pair with positive
+//! similarity remains.  The paper found (Section 5.1.3, Fig. 7) that on its
+//! corpus this simple strategy produces rankings indistinguishable from the
+//! optimal maximum-weight mapping, because module mappings are mostly
+//! unambiguous; reproducing that comparison is the point of keeping both.
+
+use crate::mapping::{MappedPair, Mapping, SimilarityMatrix};
+
+/// Computes a greedy one-to-one mapping.
+///
+/// Ties are broken deterministically by (row, column) order so that results
+/// are reproducible across runs.
+pub fn greedy_mapping(matrix: &SimilarityMatrix) -> Mapping {
+    if matrix.is_empty() {
+        return Mapping::default();
+    }
+    // Collect all positive cells and sort by descending weight, then by
+    // ascending (row, col) for deterministic tie breaking.
+    let mut cells: Vec<MappedPair> = Vec::new();
+    for i in 0..matrix.rows() {
+        for j in 0..matrix.cols() {
+            let w = matrix.get(i, j);
+            if w > 0.0 {
+                cells.push(MappedPair { left: i, right: j, weight: w });
+            }
+        }
+    }
+    cells.sort_by(|a, b| {
+        b.weight
+            .partial_cmp(&a.weight)
+            .unwrap_or(std::cmp::Ordering::Equal)
+            .then(a.left.cmp(&b.left))
+            .then(a.right.cmp(&b.right))
+    });
+
+    let mut used_left = vec![false; matrix.rows()];
+    let mut used_right = vec![false; matrix.cols()];
+    let mut pairs = Vec::new();
+    for cell in cells {
+        if !used_left[cell.left] && !used_right[cell.right] {
+            used_left[cell.left] = true;
+            used_right[cell.right] = true;
+            pairs.push(cell);
+        }
+    }
+    Mapping::new(pairs)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_matrix_yields_empty_mapping() {
+        assert!(greedy_mapping(&SimilarityMatrix::zeros(0, 0)).is_empty());
+        assert!(greedy_mapping(&SimilarityMatrix::zeros(3, 0)).is_empty());
+    }
+
+    #[test]
+    fn zero_weights_are_never_mapped() {
+        let m = SimilarityMatrix::zeros(2, 2);
+        assert!(greedy_mapping(&m).is_empty());
+    }
+
+    #[test]
+    fn picks_best_pairs_first() {
+        let m = SimilarityMatrix::from_rows(vec![
+            vec![0.9, 0.8],
+            vec![0.8, 0.1],
+        ]);
+        let mapping = greedy_mapping(&m);
+        assert_eq!(mapping.len(), 2);
+        assert_eq!(mapping.right_of(0), Some(0), "greedy grabs the 0.9 cell first");
+        assert_eq!(mapping.right_of(1), Some(1));
+        assert!((mapping.total_weight() - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn is_one_to_one_on_rectangular_matrices() {
+        let m = SimilarityMatrix::from_rows(vec![
+            vec![0.5, 0.6, 0.7],
+            vec![0.5, 0.6, 0.7],
+        ]);
+        let mapping = greedy_mapping(&m);
+        assert_eq!(mapping.len(), 2);
+        let mut rights: Vec<usize> = mapping.pairs.iter().map(|p| p.right).collect();
+        rights.dedup();
+        assert_eq!(rights.len(), 2);
+    }
+
+    #[test]
+    fn tie_breaking_is_deterministic() {
+        let m = SimilarityMatrix::from_rows(vec![
+            vec![0.5, 0.5],
+            vec![0.5, 0.5],
+        ]);
+        let a = greedy_mapping(&m);
+        let b = greedy_mapping(&m);
+        assert_eq!(a, b);
+        assert_eq!(a.right_of(0), Some(0), "row-major tie break");
+        assert_eq!(a.right_of(1), Some(1));
+    }
+
+    #[test]
+    fn perfect_identity_matrix_maps_diagonally() {
+        let m = SimilarityMatrix::from_fn(4, 4, |i, j| if i == j { 1.0 } else { 0.2 });
+        let mapping = greedy_mapping(&m);
+        assert_eq!(mapping.len(), 4);
+        for p in &mapping.pairs {
+            assert_eq!(p.left, p.right);
+            assert_eq!(p.weight, 1.0);
+        }
+    }
+}

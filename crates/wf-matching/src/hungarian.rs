@@ -1,0 +1,209 @@
+//! Maximum-weight bipartite matching (`mw`) via the Hungarian algorithm.
+//!
+//! The paper's module mapping of "maximum overall weight" (Bergmann & Gil,
+//! reference \[4\]) is the classic assignment problem.  We solve it with the
+//! Kuhn–Munkres algorithm using dual potentials, `O(n³)` in the padded
+//! square dimension.  Because all similarities are non-negative, padding a
+//! rectangular matrix with zero-weight cells and afterwards dropping
+//! zero-weight assignments yields a maximum-weight (not necessarily perfect)
+//! matching.
+
+use crate::mapping::{MappedPair, Mapping, SimilarityMatrix};
+
+/// Computes a maximum-weight one-to-one mapping between rows and columns.
+///
+/// Pairs with zero similarity are omitted from the result: they carry no
+/// information and would otherwise make the mapping size depend on matrix
+/// shape rather than on actual similarity.
+pub fn maximum_weight_mapping(matrix: &SimilarityMatrix) -> Mapping {
+    if matrix.is_empty() {
+        return Mapping::default();
+    }
+    let n = matrix.rows().max(matrix.cols());
+    let max_w = matrix.max_value();
+    if max_w <= 0.0 {
+        return Mapping::default();
+    }
+    // Convert to a square cost matrix: cost = max_w - weight, padding with
+    // cost = max_w (i.e. weight 0).
+    let cost = |i: usize, j: usize| -> f64 {
+        if i < matrix.rows() && j < matrix.cols() {
+            max_w - matrix.get(i, j)
+        } else {
+            max_w
+        }
+    };
+
+    // Kuhn–Munkres with potentials (1-indexed internals).
+    let inf = f64::INFINITY;
+    let mut u = vec![0.0f64; n + 1];
+    let mut v = vec![0.0f64; n + 1];
+    let mut p = vec![0usize; n + 1]; // p[j] = row matched to column j
+    let mut way = vec![0usize; n + 1];
+    for i in 1..=n {
+        p[0] = i;
+        let mut j0 = 0usize;
+        let mut minv = vec![inf; n + 1];
+        let mut used = vec![false; n + 1];
+        loop {
+            used[j0] = true;
+            let i0 = p[j0];
+            let mut delta = inf;
+            let mut j1 = 0usize;
+            for j in 1..=n {
+                if !used[j] {
+                    let cur = cost(i0 - 1, j - 1) - u[i0] - v[j];
+                    if cur < minv[j] {
+                        minv[j] = cur;
+                        way[j] = j0;
+                    }
+                    if minv[j] < delta {
+                        delta = minv[j];
+                        j1 = j;
+                    }
+                }
+            }
+            for j in 0..=n {
+                if used[j] {
+                    u[p[j]] += delta;
+                    v[j] -= delta;
+                } else {
+                    minv[j] -= delta;
+                }
+            }
+            j0 = j1;
+            if p[j0] == 0 {
+                break;
+            }
+        }
+        loop {
+            let j1 = way[j0];
+            p[j0] = p[j1];
+            j0 = j1;
+            if j0 == 0 {
+                break;
+            }
+        }
+    }
+
+    let mut pairs = Vec::new();
+    for j in 1..=n {
+        let i = p[j];
+        if i == 0 {
+            continue;
+        }
+        let (row, col) = (i - 1, j - 1);
+        if row < matrix.rows() && col < matrix.cols() {
+            let w = matrix.get(row, col);
+            if w > 0.0 {
+                pairs.push(MappedPair { left: row, right: col, weight: w });
+            }
+        }
+    }
+    Mapping::new(pairs)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::greedy::greedy_mapping;
+
+    #[test]
+    fn empty_and_zero_matrices() {
+        assert!(maximum_weight_mapping(&SimilarityMatrix::zeros(0, 5)).is_empty());
+        assert!(maximum_weight_mapping(&SimilarityMatrix::zeros(3, 3)).is_empty());
+    }
+
+    #[test]
+    fn beats_greedy_on_the_classic_counterexample() {
+        let m = SimilarityMatrix::from_rows(vec![
+            vec![0.9, 0.8],
+            vec![0.8, 0.1],
+        ]);
+        let optimal = maximum_weight_mapping(&m);
+        let greedy = greedy_mapping(&m);
+        assert!((optimal.total_weight() - 1.6).abs() < 1e-9);
+        assert!(optimal.total_weight() > greedy.total_weight());
+    }
+
+    #[test]
+    fn identity_matrix_maps_diagonally() {
+        let m = SimilarityMatrix::from_fn(5, 5, |i, j| if i == j { 1.0 } else { 0.0 });
+        let mapping = maximum_weight_mapping(&m);
+        assert_eq!(mapping.len(), 5);
+        assert!((mapping.total_weight() - 5.0).abs() < 1e-9);
+        for p in &mapping.pairs {
+            assert_eq!(p.left, p.right);
+        }
+    }
+
+    #[test]
+    fn rectangular_matrices_map_min_dimension_items() {
+        let m = SimilarityMatrix::from_rows(vec![
+            vec![0.2, 0.9, 0.3, 0.1],
+            vec![0.8, 0.9, 0.1, 0.2],
+        ]);
+        let mapping = maximum_weight_mapping(&m);
+        assert_eq!(mapping.len(), 2);
+        // Optimal: row0->col1 (0.9), row1->col0 (0.8) = 1.7.
+        assert!((mapping.total_weight() - 1.7).abs() < 1e-9);
+
+        // Transposed orientation gives the same total.
+        let t = SimilarityMatrix::from_fn(4, 2, |i, j| m.get(j, i));
+        let mapping_t = maximum_weight_mapping(&t);
+        assert!((mapping_t.total_weight() - 1.7).abs() < 1e-9);
+    }
+
+    #[test]
+    fn zero_weight_assignments_are_dropped() {
+        let m = SimilarityMatrix::from_rows(vec![
+            vec![1.0, 0.0],
+            vec![0.0, 0.0],
+        ]);
+        let mapping = maximum_weight_mapping(&m);
+        assert_eq!(mapping.len(), 1);
+        assert_eq!(mapping.pairs[0].left, 0);
+        assert_eq!(mapping.pairs[0].right, 0);
+    }
+
+    #[test]
+    fn never_worse_than_greedy_on_random_matrices() {
+        // Deterministic pseudo-random values via a simple LCG so the test
+        // does not need the rand crate at this level.
+        let mut state = 0x12345678u64;
+        let mut next = || {
+            state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            ((state >> 33) as f64) / (u32::MAX as f64)
+        };
+        for trial in 0..25 {
+            let rows = 1 + (trial % 6);
+            let cols = 1 + (trial % 5);
+            let m = SimilarityMatrix::from_fn(rows, cols, |_, _| next());
+            let optimal = maximum_weight_mapping(&m).total_weight();
+            let greedy = greedy_mapping(&m).total_weight();
+            assert!(
+                optimal + 1e-9 >= greedy,
+                "optimal {optimal} must be >= greedy {greedy} ({rows}x{cols})"
+            );
+        }
+    }
+
+    #[test]
+    fn matches_exhaustive_optimum_on_small_matrices() {
+        // Brute-force all permutations for 3x3 matrices and compare.
+        let m = SimilarityMatrix::from_rows(vec![
+            vec![0.1, 0.7, 0.3],
+            vec![0.9, 0.2, 0.4],
+            vec![0.5, 0.6, 0.8],
+        ]);
+        let perms = [
+            [0, 1, 2], [0, 2, 1], [1, 0, 2], [1, 2, 0], [2, 0, 1], [2, 1, 0],
+        ];
+        let brute = perms
+            .iter()
+            .map(|p| (0..3).map(|i| m.get(i, p[i])).sum::<f64>())
+            .fold(0.0, f64::max);
+        let hungarian = maximum_weight_mapping(&m).total_weight();
+        assert!((hungarian - brute).abs() < 1e-9);
+    }
+}

@@ -1,0 +1,160 @@
+//! Maximum-weight non-crossing matching (`mwnc`).
+//!
+//! When the topological decomposition imposes an order on the modules —
+//! in the paper, the modules along a path — the mapping must respect that
+//! order: given module orderings `(m1 … mk)` and `(m'1 … m'l)` the result
+//! may not contain two mappings `(mi, m'j)` and `(mi+x, m'j−y)` with
+//! `x, y ≥ 1` (Section 2.1.2, citing Malucelli et al. \[27\]).
+//!
+//! With non-negative weights this is the weighted variant of the longest
+//! common subsequence problem and is solved by a standard `O(n·m)` dynamic
+//! program.
+
+use crate::mapping::{MappedPair, Mapping, SimilarityMatrix};
+
+/// Computes the maximum-weight non-crossing matching between the row
+/// sequence and the column sequence of `matrix`.
+///
+/// The traceback prefers *not* to include zero-weight pairs, so the result
+/// contains only pairs that contribute to the score.
+pub fn maximum_weight_noncrossing_mapping(matrix: &SimilarityMatrix) -> Mapping {
+    let (n, m) = (matrix.rows(), matrix.cols());
+    if n == 0 || m == 0 {
+        return Mapping::default();
+    }
+    // dp[i][j] = best total weight using rows < i and cols < j.
+    let mut dp = vec![vec![0.0f64; m + 1]; n + 1];
+    for i in 1..=n {
+        for j in 1..=m {
+            let take = dp[i - 1][j - 1] + matrix.get(i - 1, j - 1);
+            dp[i][j] = dp[i - 1][j].max(dp[i][j - 1]).max(take);
+        }
+    }
+    // Traceback, preferring skips over zero-gain matches.
+    let mut pairs = Vec::new();
+    let (mut i, mut j) = (n, m);
+    while i > 0 && j > 0 {
+        let here = dp[i][j];
+        if here == dp[i - 1][j] {
+            i -= 1;
+        } else if here == dp[i][j - 1] {
+            j -= 1;
+        } else {
+            let w = matrix.get(i - 1, j - 1);
+            debug_assert!((dp[i - 1][j - 1] + w - here).abs() < 1e-12);
+            if w > 0.0 {
+                pairs.push(MappedPair { left: i - 1, right: j - 1, weight: w });
+            }
+            i -= 1;
+            j -= 1;
+        }
+    }
+    pairs.reverse();
+    Mapping::new(pairs)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::hungarian::maximum_weight_mapping;
+
+    fn is_noncrossing(mapping: &Mapping) -> bool {
+        // pairs are sorted by left; rights must be strictly increasing.
+        mapping
+            .pairs
+            .windows(2)
+            .all(|w| w[0].right < w[1].right && w[0].left < w[1].left)
+    }
+
+    #[test]
+    fn empty_inputs() {
+        assert!(maximum_weight_noncrossing_mapping(&SimilarityMatrix::zeros(0, 0)).is_empty());
+        assert!(maximum_weight_noncrossing_mapping(&SimilarityMatrix::zeros(4, 0)).is_empty());
+    }
+
+    #[test]
+    fn identity_sequences_map_fully() {
+        let m = SimilarityMatrix::from_fn(4, 4, |i, j| if i == j { 1.0 } else { 0.0 });
+        let mapping = maximum_weight_noncrossing_mapping(&m);
+        assert_eq!(mapping.len(), 4);
+        assert!((mapping.total_weight() - 4.0).abs() < 1e-9);
+        assert!(is_noncrossing(&mapping));
+    }
+
+    #[test]
+    fn crossing_pairs_are_forbidden() {
+        // The optimal unrestricted matching would cross: (0,1) and (1,0).
+        let m = SimilarityMatrix::from_rows(vec![
+            vec![0.1, 0.9],
+            vec![0.9, 0.1],
+        ]);
+        let nc = maximum_weight_noncrossing_mapping(&m);
+        let unrestricted = maximum_weight_mapping(&m);
+        assert!(is_noncrossing(&nc));
+        assert!((unrestricted.total_weight() - 1.8).abs() < 1e-9);
+        assert!((nc.total_weight() - 0.9).abs() < 1e-9, "must pick only one of the crossing pairs");
+        assert_eq!(nc.len(), 1);
+    }
+
+    #[test]
+    fn respects_order_with_insertions() {
+        // Path a-b-c against a-x-b-c: b and c shift right by one.
+        let labels_left = ["a", "b", "c"];
+        let labels_right = ["a", "x", "b", "c"];
+        let m = SimilarityMatrix::from_fn(3, 4, |i, j| {
+            if labels_left[i] == labels_right[j] { 1.0 } else { 0.0 }
+        });
+        let mapping = maximum_weight_noncrossing_mapping(&m);
+        assert_eq!(mapping.len(), 3);
+        assert_eq!(mapping.right_of(0), Some(0));
+        assert_eq!(mapping.right_of(1), Some(2));
+        assert_eq!(mapping.right_of(2), Some(3));
+        assert!(is_noncrossing(&mapping));
+    }
+
+    #[test]
+    fn zero_weight_pairs_are_not_reported() {
+        let m = SimilarityMatrix::zeros(3, 3);
+        assert!(maximum_weight_noncrossing_mapping(&m).is_empty());
+    }
+
+    #[test]
+    fn never_exceeds_unrestricted_maximum() {
+        let mut state = 0xdeadbeefu64;
+        let mut next = || {
+            state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            ((state >> 33) as f64) / (u32::MAX as f64)
+        };
+        for trial in 0..25 {
+            let rows = 1 + (trial % 5);
+            let cols = 1 + (trial % 7);
+            let m = SimilarityMatrix::from_fn(rows, cols, |_, _| next());
+            let nc = maximum_weight_noncrossing_mapping(&m);
+            let mw = maximum_weight_mapping(&m);
+            assert!(nc.total_weight() <= mw.total_weight() + 1e-9);
+            assert!(is_noncrossing(&nc));
+        }
+    }
+
+    #[test]
+    fn matches_brute_force_on_small_instances() {
+        // Brute force all non-crossing matchings of a 3x3 matrix.
+        fn brute(m: &SimilarityMatrix, i: usize, j: usize) -> f64 {
+            if i >= m.rows() || j >= m.cols() {
+                return 0.0;
+            }
+            let skip_i = brute(m, i + 1, j);
+            let skip_j = brute(m, i, j + 1);
+            let take = m.get(i, j) + brute(m, i + 1, j + 1);
+            skip_i.max(skip_j).max(take)
+        }
+        let m = SimilarityMatrix::from_rows(vec![
+            vec![0.3, 0.8, 0.2],
+            vec![0.9, 0.1, 0.4],
+            vec![0.2, 0.7, 0.6],
+        ]);
+        let dp = maximum_weight_noncrossing_mapping(&m).total_weight();
+        let bf = brute(&m, 0, 0);
+        assert!((dp - bf).abs() < 1e-9);
+    }
+}

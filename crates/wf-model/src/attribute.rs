@@ -1,0 +1,143 @@
+//! Uniform access to module attributes.
+//!
+//! The configurable module comparison of the paper (Section 2.1.1) assigns a
+//! weight and a comparison method to each module attribute.  To keep that
+//! configuration independent of the concrete [`crate::Module`] struct, the
+//! attributes are addressed through the [`AttributeKey`] enum and their
+//! values surfaced as [`AttributeValue`]s.
+
+use std::fmt;
+
+use serde::{Deserialize, Serialize};
+
+/// Identifies one of the attributes a module may carry.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub enum AttributeKey {
+    /// The author-given label of the module instance.
+    Label,
+    /// The technical module type.
+    Type,
+    /// The free-text description.
+    Description,
+    /// The script body of scripted modules.
+    Script,
+    /// The authority (organisation) of the invoked service.
+    ServiceAuthority,
+    /// The name of the invoked service operation.
+    ServiceName,
+    /// The URI of the invoked service.
+    ServiceUri,
+}
+
+impl AttributeKey {
+    /// All attribute keys, in a stable order.
+    pub const ALL: [AttributeKey; 7] = [
+        AttributeKey::Label,
+        AttributeKey::Type,
+        AttributeKey::Description,
+        AttributeKey::Script,
+        AttributeKey::ServiceAuthority,
+        AttributeKey::ServiceName,
+        AttributeKey::ServiceUri,
+    ];
+
+    /// A short, stable, lowercase name for the key (used in configuration
+    /// files and experiment output).
+    pub fn name(self) -> &'static str {
+        match self {
+            AttributeKey::Label => "label",
+            AttributeKey::Type => "type",
+            AttributeKey::Description => "description",
+            AttributeKey::Script => "script",
+            AttributeKey::ServiceAuthority => "service_authority",
+            AttributeKey::ServiceName => "service_name",
+            AttributeKey::ServiceUri => "service_uri",
+        }
+    }
+
+    /// Parses an attribute name produced by [`AttributeKey::name`].
+    pub fn parse(name: &str) -> Option<AttributeKey> {
+        AttributeKey::ALL.iter().copied().find(|k| k.name() == name)
+    }
+}
+
+impl fmt::Display for AttributeKey {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// A borrowed attribute value together with its intended comparison flavour.
+///
+/// * `Text` values are free text for which an edit-distance or token based
+///   comparison is meaningful (labels, descriptions, scripts).
+/// * `Symbol` values are identifiers for which only exact (string) matching
+///   is meaningful by default (types, authorities, service names, URIs).
+///
+/// The distinction only captures the *default* treatment used by the paper's
+/// `pw0` configuration; individual similarity configurations may override the
+/// comparison method per attribute.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum AttributeValue<'a> {
+    /// Free text (label, description, script).
+    Text(&'a str),
+    /// An identifier compared by exact matching by default.
+    Symbol(&'a str),
+}
+
+impl<'a> AttributeValue<'a> {
+    /// The underlying string, regardless of flavour.
+    pub fn as_str(&self) -> &'a str {
+        match self {
+            AttributeValue::Text(s) | AttributeValue::Symbol(s) => s,
+        }
+    }
+
+    /// True if the value is free text.
+    pub fn is_text(&self) -> bool {
+        matches!(self, AttributeValue::Text(_))
+    }
+}
+
+impl fmt::Display for AttributeValue<'_> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.as_str())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn all_keys_have_unique_names() {
+        let mut names: Vec<&str> = AttributeKey::ALL.iter().map(|k| k.name()).collect();
+        names.sort_unstable();
+        names.dedup();
+        assert_eq!(names.len(), AttributeKey::ALL.len());
+    }
+
+    #[test]
+    fn name_parse_round_trip() {
+        for key in AttributeKey::ALL {
+            assert_eq!(AttributeKey::parse(key.name()), Some(key));
+        }
+        assert_eq!(AttributeKey::parse("no_such_attribute"), None);
+    }
+
+    #[test]
+    fn display_matches_name() {
+        assert_eq!(AttributeKey::ServiceUri.to_string(), "service_uri");
+    }
+
+    #[test]
+    fn attribute_value_accessors() {
+        let t = AttributeValue::Text("hello world");
+        let s = AttributeValue::Symbol("wsdl");
+        assert!(t.is_text());
+        assert!(!s.is_text());
+        assert_eq!(t.as_str(), "hello world");
+        assert_eq!(s.as_str(), "wsdl");
+        assert_eq!(s.to_string(), "wsdl");
+    }
+}

@@ -1,0 +1,296 @@
+//! Fluent construction of workflows.
+//!
+//! The builder is the main way tests, examples and the synthetic corpus
+//! generator create workflows.  Modules are addressed by label while
+//! building; the builder assigns dense [`ModuleId`]s and resolves labels to
+//! ids when links are added.
+
+use std::collections::BTreeMap;
+
+use crate::datalink::Datalink;
+use crate::module::{Module, ModuleId, ModuleType};
+use crate::validate::{validate, ValidationError};
+use crate::workflow::{Annotations, Workflow, WorkflowId};
+
+/// Configures one module while it is being added to a [`WorkflowBuilder`].
+#[derive(Debug)]
+pub struct ModuleBuilder {
+    module: Module,
+}
+
+impl ModuleBuilder {
+    fn new(id: ModuleId, label: impl Into<String>, module_type: ModuleType) -> Self {
+        ModuleBuilder {
+            module: Module::new(id, label, module_type),
+        }
+    }
+
+    /// Sets the free-text description of the module.
+    pub fn description(mut self, text: impl Into<String>) -> Self {
+        self.module.description = Some(text.into());
+        self
+    }
+
+    /// Sets the script body of the module.
+    pub fn script(mut self, body: impl Into<String>) -> Self {
+        self.module.script = Some(body.into());
+        self
+    }
+
+    /// Sets the three web-service attributes at once.
+    pub fn service(
+        mut self,
+        authority: impl Into<String>,
+        name: impl Into<String>,
+        uri: impl Into<String>,
+    ) -> Self {
+        self.module.service_authority = Some(authority.into());
+        self.module.service_name = Some(name.into());
+        self.module.service_uri = Some(uri.into());
+        self
+    }
+
+    /// Sets only the service authority.
+    pub fn service_authority(mut self, authority: impl Into<String>) -> Self {
+        self.module.service_authority = Some(authority.into());
+        self
+    }
+
+    /// Sets only the service name.
+    pub fn service_name(mut self, name: impl Into<String>) -> Self {
+        self.module.service_name = Some(name.into());
+        self
+    }
+
+    /// Sets only the service URI.
+    pub fn service_uri(mut self, uri: impl Into<String>) -> Self {
+        self.module.service_uri = Some(uri.into());
+        self
+    }
+
+    /// Adds a static parameter.
+    pub fn parameter(mut self, key: impl Into<String>, value: impl Into<String>) -> Self {
+        self.module.parameters.insert(key.into(), value.into());
+        self
+    }
+
+    fn finish(self) -> Module {
+        self.module
+    }
+}
+
+/// Incrementally builds a [`Workflow`], validating it at the end.
+#[derive(Debug)]
+pub struct WorkflowBuilder {
+    id: WorkflowId,
+    annotations: Annotations,
+    modules: Vec<Module>,
+    links: Vec<Datalink>,
+    label_index: BTreeMap<String, ModuleId>,
+    /// Links given by label whose endpoints were unknown at insertion time.
+    unresolved_links: Vec<(String, String)>,
+}
+
+impl WorkflowBuilder {
+    /// Starts building a workflow with the given repository id.
+    pub fn new(id: impl Into<WorkflowId>) -> Self {
+        WorkflowBuilder {
+            id: id.into(),
+            annotations: Annotations::default(),
+            modules: Vec::new(),
+            links: Vec::new(),
+            label_index: BTreeMap::new(),
+            unresolved_links: Vec::new(),
+        }
+    }
+
+    /// Sets the workflow title.
+    pub fn title(mut self, title: impl Into<String>) -> Self {
+        self.annotations.title = Some(title.into());
+        self
+    }
+
+    /// Sets the workflow description.
+    pub fn description(mut self, description: impl Into<String>) -> Self {
+        self.annotations.description = Some(description.into());
+        self
+    }
+
+    /// Adds a keyword tag.
+    pub fn tag(mut self, tag: impl Into<String>) -> Self {
+        self.annotations.tags.push(tag.into());
+        self
+    }
+
+    /// Sets the uploading author.
+    pub fn author(mut self, author: impl Into<String>) -> Self {
+        self.annotations.author = Some(author.into());
+        self
+    }
+
+    /// Replaces the whole annotation block at once.
+    pub fn annotations(mut self, annotations: Annotations) -> Self {
+        self.annotations = annotations;
+        self
+    }
+
+    /// Adds a module with the given label and type; `configure` customises
+    /// the remaining attributes through a [`ModuleBuilder`].
+    ///
+    /// The label must be unique within the workflow because links are
+    /// declared by label; duplicate labels are reported by
+    /// [`WorkflowBuilder::build`].
+    pub fn module(
+        mut self,
+        label: impl Into<String>,
+        module_type: ModuleType,
+        configure: impl FnOnce(ModuleBuilder) -> ModuleBuilder,
+    ) -> Self {
+        let label = label.into();
+        let id = ModuleId(self.modules.len() as u32);
+        let module = configure(ModuleBuilder::new(id, label.clone(), module_type)).finish();
+        // First occurrence wins in the index; duplicates are reported later.
+        self.label_index.entry(label).or_insert(id);
+        self.modules.push(module);
+        self
+    }
+
+    /// Adds a datalink between two previously (or later) added modules,
+    /// addressed by label.
+    pub fn link(mut self, from: impl Into<String>, to: impl Into<String>) -> Self {
+        self.unresolved_links.push((from.into(), to.into()));
+        self
+    }
+
+    /// Adds a datalink by module id (useful when ids are already known).
+    pub fn link_ids(mut self, from: ModuleId, to: ModuleId) -> Self {
+        self.links.push(Datalink::new(from, to));
+        self
+    }
+
+    /// Finalises the workflow, resolving label links and validating the
+    /// result.
+    pub fn build(mut self) -> Result<Workflow, ValidationError> {
+        // Detect duplicate labels before resolving links against them.
+        let mut seen = BTreeMap::new();
+        for m in &self.modules {
+            if let Some(prev) = seen.insert(m.label.clone(), m.id) {
+                return Err(ValidationError::DuplicateLabel {
+                    label: m.label.clone(),
+                    first: prev,
+                    second: m.id,
+                });
+            }
+        }
+        for (from, to) in std::mem::take(&mut self.unresolved_links) {
+            let from_id = *self
+                .label_index
+                .get(&from)
+                .ok_or_else(|| ValidationError::UnknownLabel { label: from.clone() })?;
+            let to_id = *self
+                .label_index
+                .get(&to)
+                .ok_or_else(|| ValidationError::UnknownLabel { label: to.clone() })?;
+            self.links.push(Datalink::new(from_id, to_id));
+        }
+        let wf = Workflow {
+            id: self.id,
+            annotations: self.annotations,
+            modules: self.modules,
+            links: self.links,
+        };
+        validate(&wf)?;
+        Ok(wf)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn builds_a_complete_workflow() {
+        let wf = WorkflowBuilder::new("1189")
+            .title("KEGG pathway analysis")
+            .description("Retrieves a pathway and maps genes onto it")
+            .tag("kegg")
+            .tag("pathway")
+            .author("alice")
+            .module("get_pathway", ModuleType::WsdlService, |m| {
+                m.service("kegg.jp", "get_pathway_by_id", "http://kegg.jp/ws")
+                    .description("fetch pathway")
+                    .parameter("organism", "hsa")
+            })
+            .module("split_ids", ModuleType::LocalOperation, |m| m)
+            .module("map_genes", ModuleType::BeanshellScript, |m| {
+                m.script("for (g : genes) { map(g); }")
+            })
+            .link("get_pathway", "split_ids")
+            .link("split_ids", "map_genes")
+            .build()
+            .unwrap();
+
+        assert_eq!(wf.id.as_str(), "1189");
+        assert_eq!(wf.module_count(), 3);
+        assert_eq!(wf.link_count(), 2);
+        assert_eq!(wf.annotations.tags, vec!["kegg", "pathway"]);
+        let m = wf.module_by_label("get_pathway").unwrap();
+        assert_eq!(m.service_authority.as_deref(), Some("kegg.jp"));
+        assert_eq!(m.parameters.get("organism").map(String::as_str), Some("hsa"));
+    }
+
+    #[test]
+    fn link_to_unknown_label_fails() {
+        let err = WorkflowBuilder::new("x")
+            .module("a", ModuleType::WsdlService, |m| m)
+            .link("a", "ghost")
+            .build()
+            .unwrap_err();
+        assert!(matches!(err, ValidationError::UnknownLabel { label } if label == "ghost"));
+    }
+
+    #[test]
+    fn duplicate_labels_are_rejected() {
+        let err = WorkflowBuilder::new("x")
+            .module("dup", ModuleType::WsdlService, |m| m)
+            .module("dup", ModuleType::BeanshellScript, |m| m)
+            .build()
+            .unwrap_err();
+        assert!(matches!(err, ValidationError::DuplicateLabel { label, .. } if label == "dup"));
+    }
+
+    #[test]
+    fn cyclic_workflows_are_rejected() {
+        let err = WorkflowBuilder::new("x")
+            .module("a", ModuleType::WsdlService, |m| m)
+            .module("b", ModuleType::WsdlService, |m| m)
+            .link("a", "b")
+            .link("b", "a")
+            .build()
+            .unwrap_err();
+        assert!(matches!(err, ValidationError::Cyclic));
+    }
+
+    #[test]
+    fn link_ids_bypasses_label_resolution() {
+        let wf = WorkflowBuilder::new("x")
+            .module("a", ModuleType::WsdlService, |m| m)
+            .module("b", ModuleType::WsdlService, |m| m)
+            .link_ids(ModuleId(0), ModuleId(1))
+            .build()
+            .unwrap();
+        assert_eq!(wf.link_count(), 1);
+    }
+
+    #[test]
+    fn links_can_reference_modules_added_later() {
+        let wf = WorkflowBuilder::new("x")
+            .link("a", "b")
+            .module("a", ModuleType::WsdlService, |m| m)
+            .module("b", ModuleType::WsdlService, |m| m)
+            .build()
+            .unwrap();
+        assert_eq!(wf.link_count(), 1);
+        assert_eq!(wf.links[0].endpoints(), (ModuleId(0), ModuleId(1)));
+    }
+}

@@ -1,0 +1,105 @@
+//! Datalinks: the directed edges of a workflow DAG.
+
+use std::fmt;
+
+use serde::{Deserialize, Serialize};
+
+use crate::module::ModuleId;
+
+/// A directed datalink from one module to another.
+///
+/// The optional port names record which output of the source module feeds
+/// which input of the target module.  The similarity measures of the paper
+/// do not use port information, but the corpus importer keeps it so that the
+/// model is faithful to what repositories store and so that multi-edges
+/// between the same pair of modules (different ports) can be represented.
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct Datalink {
+    /// The module producing the data.
+    pub from: ModuleId,
+    /// The module consuming the data.
+    pub to: ModuleId,
+    /// Name of the output port on the producing module, if known.
+    #[serde(default, skip_serializing_if = "Option::is_none")]
+    pub from_port: Option<String>,
+    /// Name of the input port on the consuming module, if known.
+    #[serde(default, skip_serializing_if = "Option::is_none")]
+    pub to_port: Option<String>,
+}
+
+impl Datalink {
+    /// Creates a datalink without port information.
+    pub fn new(from: ModuleId, to: ModuleId) -> Self {
+        Datalink {
+            from,
+            to,
+            from_port: None,
+            to_port: None,
+        }
+    }
+
+    /// Creates a datalink with explicit port names.
+    pub fn with_ports(
+        from: ModuleId,
+        to: ModuleId,
+        from_port: impl Into<String>,
+        to_port: impl Into<String>,
+    ) -> Self {
+        Datalink {
+            from,
+            to,
+            from_port: Some(from_port.into()),
+            to_port: Some(to_port.into()),
+        }
+    }
+
+    /// The (from, to) endpoint pair, ignoring ports.
+    pub fn endpoints(&self) -> (ModuleId, ModuleId) {
+        (self.from, self.to)
+    }
+
+    /// True if this link is a self loop (never valid in a DAG, but
+    /// representable so that validation can report it).
+    pub fn is_self_loop(&self) -> bool {
+        self.from == self.to
+    }
+}
+
+impl fmt::Display for Datalink {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match (&self.from_port, &self.to_port) {
+            (Some(fp), Some(tp)) => write!(f, "{}:{} -> {}:{}", self.from, fp, self.to, tp),
+            _ => write!(f, "{} -> {}", self.from, self.to),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn endpoints_and_self_loop() {
+        let l = Datalink::new(ModuleId(1), ModuleId(2));
+        assert_eq!(l.endpoints(), (ModuleId(1), ModuleId(2)));
+        assert!(!l.is_self_loop());
+        assert!(Datalink::new(ModuleId(3), ModuleId(3)).is_self_loop());
+    }
+
+    #[test]
+    fn display_with_and_without_ports() {
+        let plain = Datalink::new(ModuleId(0), ModuleId(1));
+        assert_eq!(plain.to_string(), "m0 -> m1");
+        let ported = Datalink::with_ports(ModuleId(0), ModuleId(1), "out", "in");
+        assert_eq!(ported.to_string(), "m0:out -> m1:in");
+    }
+
+    #[test]
+    fn ordering_is_by_endpoints_first() {
+        let a = Datalink::new(ModuleId(0), ModuleId(1));
+        let b = Datalink::new(ModuleId(0), ModuleId(2));
+        let c = Datalink::new(ModuleId(1), ModuleId(0));
+        assert!(a < b);
+        assert!(b < c);
+    }
+}

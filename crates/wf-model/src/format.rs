@@ -1,0 +1,368 @@
+//! A small line-oriented text format ("wfl") for workflows.
+//!
+//! The paper transformed myExperiment RDF and Galaxy JSON into "a custom
+//! graph format for easier handling" (Section 4.1).  This module provides an
+//! equivalent: a dependency-free, human-readable format that examples and
+//! tests can embed as string literals, and that survives round trips.
+//!
+//! ```text
+//! workflow 1189
+//! title KEGG pathway analysis
+//! description Retrieves a pathway and maps genes
+//! tag kegg
+//! tag pathway
+//! author alice
+//! module get_pathway wsdl
+//!   description fetch pathway
+//!   authority kegg.jp
+//!   service get_pathway_by_id
+//!   uri http://kegg.jp/ws
+//!   param organism=hsa
+//! module map_genes beanshell
+//!   script return genes;
+//! link get_pathway -> map_genes
+//! ```
+//!
+//! * one `workflow <id>` header,
+//! * workflow-level annotation lines (`title`, `description`, `tag`,
+//!   `author`),
+//! * `module <label> <type>` lines followed by indented attribute lines,
+//! * `link <from-label> -> <to-label>` lines.
+//!
+//! Labels may not contain whitespace (the corpus generator and the builder
+//! use underscore-separated labels, as real Taverna workflows commonly do).
+
+use std::error::Error;
+use std::fmt;
+
+use crate::builder::WorkflowBuilder;
+use crate::module::ModuleType;
+use crate::validate::ValidationError;
+use crate::workflow::Workflow;
+
+/// Errors produced when parsing the wfl text format.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum FormatError {
+    /// The input did not start with a `workflow <id>` header.
+    MissingHeader,
+    /// A line could not be interpreted.
+    Malformed {
+        /// 1-based line number.
+        line: usize,
+        /// The offending line content.
+        content: String,
+    },
+    /// An attribute line appeared before any `module` line.
+    AttributeOutsideModule {
+        /// 1-based line number.
+        line: usize,
+    },
+    /// The assembled workflow failed validation.
+    Invalid(ValidationError),
+}
+
+impl fmt::Display for FormatError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            FormatError::MissingHeader => {
+                write!(f, "input must start with a 'workflow <id>' header")
+            }
+            FormatError::Malformed { line, content } => {
+                write!(f, "line {line}: cannot parse '{content}'")
+            }
+            FormatError::AttributeOutsideModule { line } => {
+                write!(f, "line {line}: attribute line outside of a module block")
+            }
+            FormatError::Invalid(e) => write!(f, "parsed workflow is invalid: {e}"),
+        }
+    }
+}
+
+impl Error for FormatError {}
+
+impl From<ValidationError> for FormatError {
+    fn from(value: ValidationError) -> Self {
+        FormatError::Invalid(value)
+    }
+}
+
+/// Serialises a workflow into the wfl text format.
+pub fn to_wfl(wf: &Workflow) -> String {
+    let mut out = String::new();
+    out.push_str(&format!("workflow {}\n", wf.id));
+    if let Some(t) = &wf.annotations.title {
+        out.push_str(&format!("title {t}\n"));
+    }
+    if let Some(d) = &wf.annotations.description {
+        out.push_str(&format!("description {d}\n"));
+    }
+    for tag in &wf.annotations.tags {
+        out.push_str(&format!("tag {tag}\n"));
+    }
+    if let Some(a) = &wf.annotations.author {
+        out.push_str(&format!("author {a}\n"));
+    }
+    for m in &wf.modules {
+        out.push_str(&format!("module {} {}\n", m.label, m.module_type.as_str()));
+        if let Some(d) = &m.description {
+            out.push_str(&format!("  description {d}\n"));
+        }
+        if let Some(s) = &m.script {
+            // Scripts are flattened to a single line; newlines are escaped.
+            out.push_str(&format!("  script {}\n", s.replace('\n', "\\n")));
+        }
+        if let Some(a) = &m.service_authority {
+            out.push_str(&format!("  authority {a}\n"));
+        }
+        if let Some(n) = &m.service_name {
+            out.push_str(&format!("  service {n}\n"));
+        }
+        if let Some(u) = &m.service_uri {
+            out.push_str(&format!("  uri {u}\n"));
+        }
+        for (k, v) in &m.parameters {
+            out.push_str(&format!("  param {k}={v}\n"));
+        }
+    }
+    for l in &wf.links {
+        let from = &wf.modules[l.from.index()].label;
+        let to = &wf.modules[l.to.index()].label;
+        out.push_str(&format!("link {from} -> {to}\n"));
+    }
+    out
+}
+
+/// Parses a workflow from the wfl text format.
+pub fn from_wfl(text: &str) -> Result<Workflow, FormatError> {
+    #[derive(Default)]
+    struct PendingModule {
+        label: String,
+        module_type: Option<ModuleType>,
+        description: Option<String>,
+        script: Option<String>,
+        authority: Option<String>,
+        service: Option<String>,
+        uri: Option<String>,
+        params: Vec<(String, String)>,
+    }
+
+    let mut lines = text.lines().enumerate();
+    let header = lines
+        .by_ref()
+        .map(|(i, l)| (i, l.trim()))
+        .find(|(_, l)| !l.is_empty());
+    let (_, header) = header.ok_or(FormatError::MissingHeader)?;
+    let id = header
+        .strip_prefix("workflow ")
+        .map(str::trim)
+        .filter(|s| !s.is_empty())
+        .ok_or(FormatError::MissingHeader)?;
+
+    let mut builder = WorkflowBuilder::new(id);
+    let mut pending: Option<PendingModule> = None;
+    let mut links: Vec<(String, String)> = Vec::new();
+
+    fn flush(builder: WorkflowBuilder, pending: &mut Option<PendingModule>) -> WorkflowBuilder {
+        if let Some(p) = pending.take() {
+            let ty = p.module_type.unwrap_or(ModuleType::Other("unknown".into()));
+            builder.module(p.label.clone(), ty, move |mut mb| {
+                if let Some(d) = p.description {
+                    mb = mb.description(d);
+                }
+                if let Some(s) = p.script {
+                    mb = mb.script(s.replace("\\n", "\n"));
+                }
+                if let Some(a) = p.authority {
+                    mb = mb.service_authority(a);
+                }
+                if let Some(n) = p.service {
+                    mb = mb.service_name(n);
+                }
+                if let Some(u) = p.uri {
+                    mb = mb.service_uri(u);
+                }
+                for (k, v) in p.params {
+                    mb = mb.parameter(k, v);
+                }
+                mb
+            })
+        } else {
+            builder
+        }
+    }
+
+    for (lineno, raw) in lines {
+        let line = raw.trim_end();
+        if line.trim().is_empty() {
+            continue;
+        }
+        let indented = line.starts_with(' ') || line.starts_with('\t');
+        let trimmed = line.trim();
+        let (keyword, rest) = match trimmed.split_once(' ') {
+            Some((k, r)) => (k, r.trim()),
+            None => (trimmed, ""),
+        };
+        if indented {
+            let Some(p) = pending.as_mut() else {
+                return Err(FormatError::AttributeOutsideModule { line: lineno + 1 });
+            };
+            match keyword {
+                "description" => p.description = Some(rest.to_string()),
+                "script" => p.script = Some(rest.to_string()),
+                "authority" => p.authority = Some(rest.to_string()),
+                "service" => p.service = Some(rest.to_string()),
+                "uri" => p.uri = Some(rest.to_string()),
+                "param" => {
+                    let (k, v) = rest.split_once('=').ok_or_else(|| FormatError::Malformed {
+                        line: lineno + 1,
+                        content: line.to_string(),
+                    })?;
+                    p.params.push((k.trim().to_string(), v.trim().to_string()));
+                }
+                _ => {
+                    return Err(FormatError::Malformed {
+                        line: lineno + 1,
+                        content: line.to_string(),
+                    })
+                }
+            }
+            continue;
+        }
+        match keyword {
+            "title" => {
+                builder = flush(builder, &mut pending).title(rest);
+            }
+            "description" => {
+                builder = flush(builder, &mut pending).description(rest);
+            }
+            "tag" => {
+                builder = flush(builder, &mut pending).tag(rest);
+            }
+            "author" => {
+                builder = flush(builder, &mut pending).author(rest);
+            }
+            "module" => {
+                builder = flush(builder, &mut pending);
+                let (label, ty) = rest.split_once(' ').ok_or_else(|| FormatError::Malformed {
+                    line: lineno + 1,
+                    content: line.to_string(),
+                })?;
+                pending = Some(PendingModule {
+                    label: label.trim().to_string(),
+                    module_type: Some(ModuleType::parse(ty.trim())),
+                    ..PendingModule::default()
+                });
+            }
+            "link" => {
+                builder = flush(builder, &mut pending);
+                let (from, to) = rest.split_once("->").ok_or_else(|| FormatError::Malformed {
+                    line: lineno + 1,
+                    content: line.to_string(),
+                })?;
+                links.push((from.trim().to_string(), to.trim().to_string()));
+            }
+            _ => {
+                return Err(FormatError::Malformed {
+                    line: lineno + 1,
+                    content: line.to_string(),
+                })
+            }
+        }
+    }
+    builder = flush(builder, &mut pending);
+    for (from, to) in links {
+        builder = builder.link(from, to);
+    }
+    Ok(builder.build()?)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::WorkflowBuilder;
+    use crate::module::ModuleType;
+
+    fn sample() -> Workflow {
+        WorkflowBuilder::new("1189")
+            .title("KEGG pathway analysis")
+            .description("Retrieves a pathway and maps genes")
+            .tag("kegg")
+            .tag("pathway")
+            .author("alice")
+            .module("get_pathway", ModuleType::WsdlService, |m| {
+                m.description("fetch pathway")
+                    .service("kegg.jp", "get_pathway_by_id", "http://kegg.jp/ws")
+                    .parameter("organism", "hsa")
+            })
+            .module("map_genes", ModuleType::BeanshellScript, |m| {
+                m.script("line1\nline2")
+            })
+            .link("get_pathway", "map_genes")
+            .build()
+            .unwrap()
+    }
+
+    #[test]
+    fn round_trip_preserves_workflow() {
+        let wf = sample();
+        let text = to_wfl(&wf);
+        let parsed = from_wfl(&text).unwrap();
+        assert_eq!(parsed, wf);
+    }
+
+    #[test]
+    fn parses_minimal_workflow() {
+        let wf = from_wfl("workflow w1\nmodule a wsdl\n").unwrap();
+        assert_eq!(wf.module_count(), 1);
+        assert_eq!(wf.modules[0].module_type, ModuleType::WsdlService);
+    }
+
+    #[test]
+    fn missing_header_is_an_error() {
+        assert_eq!(from_wfl("module a wsdl\n"), Err(FormatError::MissingHeader));
+        assert_eq!(from_wfl(""), Err(FormatError::MissingHeader));
+        assert_eq!(from_wfl("workflow \n"), Err(FormatError::MissingHeader));
+    }
+
+    #[test]
+    fn malformed_lines_report_line_numbers() {
+        let err = from_wfl("workflow w\nmodule a wsdl\nnonsense here\n").unwrap_err();
+        assert!(matches!(err, FormatError::Malformed { line: 3, .. }));
+    }
+
+    #[test]
+    fn attribute_outside_module_is_rejected() {
+        let err = from_wfl("workflow w\n  authority kegg.jp\n").unwrap_err();
+        assert!(matches!(err, FormatError::AttributeOutsideModule { line: 2 }));
+    }
+
+    #[test]
+    fn malformed_param_is_rejected() {
+        let err = from_wfl("workflow w\nmodule a wsdl\n  param broken\n").unwrap_err();
+        assert!(matches!(err, FormatError::Malformed { line: 3, .. }));
+    }
+
+    #[test]
+    fn invalid_structure_is_reported() {
+        let text = "workflow w\nmodule a wsdl\nmodule b wsdl\nlink a -> b\nlink b -> a\n";
+        let err = from_wfl(text).unwrap_err();
+        assert!(matches!(err, FormatError::Invalid(ValidationError::Cyclic)));
+    }
+
+    #[test]
+    fn link_to_unknown_label_is_reported() {
+        let err = from_wfl("workflow w\nmodule a wsdl\nlink a -> ghost\n").unwrap_err();
+        assert!(matches!(
+            err,
+            FormatError::Invalid(ValidationError::UnknownLabel { .. })
+        ));
+    }
+
+    #[test]
+    fn blank_lines_and_trailing_whitespace_are_tolerated() {
+        let text = "\n\nworkflow w\n\nmodule a wsdl   \n\nmodule b local\nlink a -> b\n\n";
+        let wf = from_wfl(text).unwrap();
+        assert_eq!(wf.module_count(), 2);
+        assert_eq!(wf.link_count(), 1);
+    }
+}

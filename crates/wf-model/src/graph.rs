@@ -1,0 +1,517 @@
+//! Graph algorithms over workflow DAGs.
+//!
+//! The structural similarity measures of the paper need a handful of graph
+//! primitives:
+//!
+//! * source / sink detection and enumeration of *all* source-to-sink paths
+//!   (the topological decomposition of the *Path Sets* measure, Section
+//!   2.1.3),
+//! * reachability and transitive reduction (the *Importance Projection*
+//!   preprocessing, Section 2.1.5, preserves paths between important modules
+//!   "in terms of the transitive reduction of the resulting DAG"),
+//! * topological ordering and cycle detection (corpus validation).
+//!
+//! [`WorkflowGraph`] is an adjacency-list snapshot of a workflow; it borrows
+//! nothing so it can outlive transformations of the owning [`Workflow`].
+
+use std::collections::VecDeque;
+
+use crate::module::ModuleId;
+use crate::workflow::Workflow;
+
+/// Default cap on the number of source-to-sink paths enumerated per workflow.
+///
+/// Real workflow corpora contain a few pathological fan-out/fan-in DAGs for
+/// which the number of distinct paths explodes combinatorially; the paper's
+/// Path Sets measure implicitly bounds work through its 5-minute budget.  We
+/// make the bound explicit and deterministic instead.
+pub const DEFAULT_MAX_PATHS: usize = 4096;
+
+/// An adjacency-list view of a workflow DAG.
+#[derive(Debug, Clone)]
+pub struct WorkflowGraph {
+    node_count: usize,
+    /// successors[v] = modules that v feeds data into (deduplicated, sorted).
+    successors: Vec<Vec<ModuleId>>,
+    /// predecessors[v] = modules feeding data into v (deduplicated, sorted).
+    predecessors: Vec<Vec<ModuleId>>,
+    /// Number of datalinks including parallel edges between the same pair.
+    raw_edge_count: usize,
+}
+
+impl WorkflowGraph {
+    /// Builds the adjacency structure of the given workflow.
+    ///
+    /// Links whose endpoints are out of range are ignored here; they are
+    /// reported by [`crate::validate::validate`] instead.
+    pub fn from_workflow(wf: &Workflow) -> Self {
+        let n = wf.module_count();
+        let mut successors = vec![Vec::new(); n];
+        let mut predecessors = vec![Vec::new(); n];
+        let mut raw_edge_count = 0;
+        for l in &wf.links {
+            let (f, t) = (l.from.index(), l.to.index());
+            if f < n && t < n {
+                successors[f].push(l.to);
+                predecessors[t].push(l.from);
+                raw_edge_count += 1;
+            }
+        }
+        for list in successors.iter_mut().chain(predecessors.iter_mut()) {
+            list.sort_unstable();
+            list.dedup();
+        }
+        WorkflowGraph {
+            node_count: n,
+            successors,
+            predecessors,
+            raw_edge_count,
+        }
+    }
+
+    /// Number of nodes.
+    pub fn node_count(&self) -> usize {
+        self.node_count
+    }
+
+    /// Number of distinct directed edges (parallel datalinks collapsed).
+    pub fn edge_count(&self) -> usize {
+        self.successors.iter().map(|s| s.len()).sum()
+    }
+
+    /// Number of datalinks including parallel edges.
+    pub fn raw_edge_count(&self) -> usize {
+        self.raw_edge_count
+    }
+
+    /// The direct successors of a module.
+    pub fn successors(&self, id: ModuleId) -> &[ModuleId] {
+        &self.successors[id.index()]
+    }
+
+    /// The direct predecessors of a module.
+    pub fn predecessors(&self, id: ModuleId) -> &[ModuleId] {
+        &self.predecessors[id.index()]
+    }
+
+    /// All distinct edges as (from, to) pairs, sorted.
+    pub fn edges(&self) -> Vec<(ModuleId, ModuleId)> {
+        let mut out = Vec::with_capacity(self.edge_count());
+        for (from, succs) in self.successors.iter().enumerate() {
+            for &to in succs {
+                out.push((ModuleId(from as u32), to));
+            }
+        }
+        out
+    }
+
+    /// Modules without inbound datalinks (the DAG's sources).
+    pub fn sources(&self) -> Vec<ModuleId> {
+        (0..self.node_count)
+            .filter(|&v| self.predecessors[v].is_empty())
+            .map(|v| ModuleId(v as u32))
+            .collect()
+    }
+
+    /// Modules without outbound datalinks (the DAG's sinks).
+    pub fn sinks(&self) -> Vec<ModuleId> {
+        (0..self.node_count)
+            .filter(|&v| self.successors[v].is_empty())
+            .map(|v| ModuleId(v as u32))
+            .collect()
+    }
+
+    /// Kahn topological sort.  Returns `None` if the graph contains a cycle.
+    pub fn topological_order(&self) -> Option<Vec<ModuleId>> {
+        let mut indegree: Vec<usize> = (0..self.node_count)
+            .map(|v| self.predecessors[v].len())
+            .collect();
+        let mut queue: VecDeque<usize> = (0..self.node_count)
+            .filter(|&v| indegree[v] == 0)
+            .collect();
+        let mut order = Vec::with_capacity(self.node_count);
+        while let Some(v) = queue.pop_front() {
+            order.push(ModuleId(v as u32));
+            for &s in &self.successors[v] {
+                let si = s.index();
+                indegree[si] -= 1;
+                if indegree[si] == 0 {
+                    queue.push_back(si);
+                }
+            }
+        }
+        if order.len() == self.node_count {
+            Some(order)
+        } else {
+            None
+        }
+    }
+
+    /// True if the graph is acyclic.
+    pub fn is_acyclic(&self) -> bool {
+        self.topological_order().is_some()
+    }
+
+    /// The set of nodes reachable from `start` (excluding `start` itself
+    /// unless it lies on a cycle).
+    pub fn reachable_from(&self, start: ModuleId) -> Vec<ModuleId> {
+        let mut seen = vec![false; self.node_count];
+        let mut stack = vec![start];
+        let mut out = Vec::new();
+        while let Some(v) = stack.pop() {
+            for &s in &self.successors[v.index()] {
+                if !seen[s.index()] {
+                    seen[s.index()] = true;
+                    out.push(s);
+                    stack.push(s);
+                }
+            }
+        }
+        out.sort_unstable();
+        out
+    }
+
+    /// Boolean reachability matrix: `reach[u][v]` is true iff there is a
+    /// non-empty directed path from `u` to `v`.
+    pub fn reachability_matrix(&self) -> Vec<Vec<bool>> {
+        let n = self.node_count;
+        let mut reach = vec![vec![false; n]; n];
+        // Process in reverse topological order so each node can reuse the
+        // closure of its successors; fall back to per-node DFS on cycles.
+        if let Some(order) = self.topological_order() {
+            for &v in order.iter().rev() {
+                let vi = v.index();
+                for &s in &self.successors[vi] {
+                    let si = s.index();
+                    reach[vi][si] = true;
+                    // row-or: reach[vi] |= reach[si]
+                    for t in 0..n {
+                        if reach[si][t] {
+                            reach[vi][t] = true;
+                        }
+                    }
+                }
+            }
+        } else {
+            for v in 0..n {
+                for r in self.reachable_from(ModuleId(v as u32)) {
+                    reach[v][r.index()] = true;
+                }
+            }
+        }
+        reach
+    }
+
+    /// All source-to-sink paths, capped at [`DEFAULT_MAX_PATHS`].
+    ///
+    /// Each path is a sequence of module ids from a source (no inbound links)
+    /// to a sink (no outbound links).  An isolated module yields the
+    /// single-element path `[m]`.
+    pub fn all_paths(&self) -> Vec<Vec<ModuleId>> {
+        self.all_paths_capped(DEFAULT_MAX_PATHS)
+    }
+
+    /// All source-to-sink paths, with an explicit cap on the number of paths.
+    ///
+    /// Enumeration is depth-first in ascending module-id order, so the
+    /// result is deterministic; once `cap` paths have been produced the
+    /// enumeration stops.
+    pub fn all_paths_capped(&self, cap: usize) -> Vec<Vec<ModuleId>> {
+        let mut paths = Vec::new();
+        if self.node_count == 0 || cap == 0 {
+            return paths;
+        }
+        // Guard against cycles: path enumeration only makes sense on DAGs.
+        if !self.is_acyclic() {
+            return paths;
+        }
+        let mut current: Vec<ModuleId> = Vec::new();
+        for source in self.sources() {
+            if paths.len() >= cap {
+                break;
+            }
+            self.extend_paths(source, &mut current, &mut paths, cap);
+        }
+        paths
+    }
+
+    fn extend_paths(
+        &self,
+        node: ModuleId,
+        current: &mut Vec<ModuleId>,
+        paths: &mut Vec<Vec<ModuleId>>,
+        cap: usize,
+    ) {
+        if paths.len() >= cap {
+            return;
+        }
+        current.push(node);
+        let succs = &self.successors[node.index()];
+        if succs.is_empty() {
+            paths.push(current.clone());
+        } else {
+            for &s in succs {
+                if paths.len() >= cap {
+                    break;
+                }
+                self.extend_paths(s, current, paths, cap);
+            }
+        }
+        current.pop();
+    }
+
+    /// The transitive reduction of this DAG: the minimal set of edges with
+    /// the same reachability relation.
+    ///
+    /// Returns the reduced edge list.  On cyclic graphs the original edge
+    /// list is returned unchanged (transitive reduction is not unique there).
+    pub fn transitive_reduction(&self) -> Vec<(ModuleId, ModuleId)> {
+        if !self.is_acyclic() {
+            return self.edges();
+        }
+        let reach = self.reachability_matrix();
+        let mut reduced = Vec::new();
+        for (u, succs) in self.successors.iter().enumerate() {
+            for &v in succs {
+                // Keep u->v unless some other successor w of u reaches v.
+                let redundant = succs.iter().any(|&w| {
+                    w != v && reach[w.index()][v.index()]
+                });
+                if !redundant {
+                    reduced.push((ModuleId(u as u32), v));
+                }
+            }
+        }
+        reduced
+    }
+
+    /// Length (number of edges) of the longest source-to-sink path.
+    ///
+    /// Returns 0 for empty or single-node graphs and `None` for cyclic ones.
+    pub fn longest_path_length(&self) -> Option<usize> {
+        let order = self.topological_order()?;
+        let mut dist = vec![0usize; self.node_count];
+        for v in order {
+            let vi = v.index();
+            for &s in &self.successors[vi] {
+                let si = s.index();
+                if dist[vi] + 1 > dist[si] {
+                    dist[si] = dist[vi] + 1;
+                }
+            }
+        }
+        Some(dist.into_iter().max().unwrap_or(0))
+    }
+
+    /// Weakly connected components, each given as a sorted list of modules.
+    pub fn weakly_connected_components(&self) -> Vec<Vec<ModuleId>> {
+        let n = self.node_count;
+        let mut comp = vec![usize::MAX; n];
+        let mut next = 0usize;
+        for start in 0..n {
+            if comp[start] != usize::MAX {
+                continue;
+            }
+            let c = next;
+            next += 1;
+            let mut stack = vec![start];
+            comp[start] = c;
+            while let Some(v) = stack.pop() {
+                for &u in self.successors[v].iter().chain(self.predecessors[v].iter()) {
+                    let ui = u.index();
+                    if comp[ui] == usize::MAX {
+                        comp[ui] = c;
+                        stack.push(ui);
+                    }
+                }
+            }
+        }
+        let mut out = vec![Vec::new(); next];
+        for (v, &c) in comp.iter().enumerate() {
+            out[c].push(ModuleId(v as u32));
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::WorkflowBuilder;
+    use crate::module::ModuleType;
+
+    /// a -> b -> d, a -> c -> d  (diamond)
+    fn diamond() -> Workflow {
+        WorkflowBuilder::new("diamond")
+            .module("a", ModuleType::WsdlService, |m| m)
+            .module("b", ModuleType::WsdlService, |m| m)
+            .module("c", ModuleType::BeanshellScript, |m| m)
+            .module("d", ModuleType::WsdlService, |m| m)
+            .link("a", "b")
+            .link("a", "c")
+            .link("b", "d")
+            .link("c", "d")
+            .build()
+            .unwrap()
+    }
+
+    #[test]
+    fn counts_sources_sinks() {
+        let g = diamond().graph();
+        assert_eq!(g.node_count(), 4);
+        assert_eq!(g.edge_count(), 4);
+        assert_eq!(g.sources(), vec![ModuleId(0)]);
+        assert_eq!(g.sinks(), vec![ModuleId(3)]);
+    }
+
+    #[test]
+    fn successors_and_predecessors() {
+        let g = diamond().graph();
+        assert_eq!(g.successors(ModuleId(0)), &[ModuleId(1), ModuleId(2)]);
+        assert_eq!(g.predecessors(ModuleId(3)), &[ModuleId(1), ModuleId(2)]);
+        assert!(g.predecessors(ModuleId(0)).is_empty());
+    }
+
+    #[test]
+    fn parallel_links_are_collapsed_in_edge_count() {
+        let mut wf = diamond();
+        // Add a parallel a->b link on different ports.
+        wf.links.push(crate::datalink::Datalink::with_ports(
+            ModuleId(0),
+            ModuleId(1),
+            "out2",
+            "in2",
+        ));
+        let g = wf.graph();
+        assert_eq!(g.edge_count(), 4);
+        assert_eq!(g.raw_edge_count(), 5);
+    }
+
+    #[test]
+    fn topological_order_is_valid() {
+        let g = diamond().graph();
+        let order = g.topological_order().unwrap();
+        let pos: Vec<usize> = {
+            let mut pos = vec![0; 4];
+            for (i, m) in order.iter().enumerate() {
+                pos[m.index()] = i;
+            }
+            pos
+        };
+        for (u, v) in g.edges() {
+            assert!(pos[u.index()] < pos[v.index()], "{u} before {v}");
+        }
+        assert!(g.is_acyclic());
+    }
+
+    #[test]
+    fn cycle_is_detected() {
+        let mut wf = diamond();
+        wf.links.push(crate::datalink::Datalink::new(ModuleId(3), ModuleId(0)));
+        let g = wf.graph();
+        assert!(!g.is_acyclic());
+        assert!(g.topological_order().is_none());
+        assert!(g.all_paths().is_empty());
+        assert!(g.longest_path_length().is_none());
+    }
+
+    #[test]
+    fn all_paths_of_diamond() {
+        let g = diamond().graph();
+        let mut paths = g.all_paths();
+        paths.sort();
+        assert_eq!(
+            paths,
+            vec![
+                vec![ModuleId(0), ModuleId(1), ModuleId(3)],
+                vec![ModuleId(0), ModuleId(2), ModuleId(3)],
+            ]
+        );
+    }
+
+    #[test]
+    fn isolated_module_yields_singleton_path() {
+        let wf = WorkflowBuilder::new("single")
+            .module("only", ModuleType::WsdlService, |m| m)
+            .build()
+            .unwrap();
+        let g = wf.graph();
+        assert_eq!(g.all_paths(), vec![vec![ModuleId(0)]]);
+        assert_eq!(g.sources(), g.sinks());
+    }
+
+    #[test]
+    fn path_cap_limits_enumeration() {
+        // Chain of diamonds: a layered graph with 2^5 = 32 paths.
+        let mut b = WorkflowBuilder::new("layered");
+        b = b.module("s0", ModuleType::WsdlService, |m| m);
+        for layer in 0..5 {
+            b = b
+                .module(format!("l{layer}a"), ModuleType::WsdlService, |m| m)
+                .module(format!("l{layer}b"), ModuleType::WsdlService, |m| m)
+                .module(format!("s{}", layer + 1), ModuleType::WsdlService, |m| m)
+                .link(format!("s{layer}"), format!("l{layer}a"))
+                .link(format!("s{layer}"), format!("l{layer}b"))
+                .link(format!("l{layer}a"), format!("s{}", layer + 1))
+                .link(format!("l{layer}b"), format!("s{}", layer + 1));
+        }
+        let wf = b.build().unwrap();
+        let g = wf.graph();
+        assert_eq!(g.all_paths().len(), 32);
+        assert_eq!(g.all_paths_capped(10).len(), 10);
+        assert!(g.all_paths_capped(0).is_empty());
+    }
+
+    #[test]
+    fn reachability_and_transitive_reduction() {
+        // a -> b -> c plus a redundant a -> c edge.
+        let wf = WorkflowBuilder::new("red")
+            .module("a", ModuleType::WsdlService, |m| m)
+            .module("b", ModuleType::WsdlService, |m| m)
+            .module("c", ModuleType::WsdlService, |m| m)
+            .link("a", "b")
+            .link("b", "c")
+            .link("a", "c")
+            .build()
+            .unwrap();
+        let g = wf.graph();
+        let reach = g.reachability_matrix();
+        assert!(reach[0][2]);
+        assert!(reach[0][1]);
+        assert!(!reach[2][0]);
+        let reduced = g.transitive_reduction();
+        assert_eq!(
+            reduced,
+            vec![(ModuleId(0), ModuleId(1)), (ModuleId(1), ModuleId(2))]
+        );
+    }
+
+    #[test]
+    fn longest_path_and_components() {
+        let g = diamond().graph();
+        assert_eq!(g.longest_path_length(), Some(2));
+        assert_eq!(g.weakly_connected_components().len(), 1);
+
+        let wf = WorkflowBuilder::new("two-parts")
+            .module("a", ModuleType::WsdlService, |m| m)
+            .module("b", ModuleType::WsdlService, |m| m)
+            .module("c", ModuleType::WsdlService, |m| m)
+            .link("a", "b")
+            .build()
+            .unwrap();
+        let comps = wf.graph().weakly_connected_components();
+        assert_eq!(comps.len(), 2);
+        assert_eq!(comps[0], vec![ModuleId(0), ModuleId(1)]);
+        assert_eq!(comps[1], vec![ModuleId(2)]);
+    }
+
+    #[test]
+    fn reachable_from_excludes_start_on_dag() {
+        let g = diamond().graph();
+        assert_eq!(
+            g.reachable_from(ModuleId(0)),
+            vec![ModuleId(1), ModuleId(2), ModuleId(3)]
+        );
+        assert!(g.reachable_from(ModuleId(3)).is_empty());
+    }
+}

@@ -1,0 +1,136 @@
+//! JSON (de)serialization of workflows and corpora.
+//!
+//! Repository dumps are exchanged as JSON: either a single [`Workflow`] or a
+//! whole corpus (a JSON array of workflows).  The format is the natural serde
+//! projection of the model types, so it is stable as long as the model is.
+
+use std::error::Error;
+use std::fmt;
+
+use crate::validate::{validate, ValidationError};
+use crate::workflow::Workflow;
+
+/// Errors arising when reading workflows from JSON.
+#[derive(Debug)]
+pub enum JsonError {
+    /// The JSON text could not be parsed into the model types.
+    Parse(serde_json::Error),
+    /// The parsed workflow violates structural invariants.
+    Invalid(ValidationError),
+}
+
+impl fmt::Display for JsonError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            JsonError::Parse(e) => write!(f, "cannot parse workflow JSON: {e}"),
+            JsonError::Invalid(e) => write!(f, "workflow JSON is structurally invalid: {e}"),
+        }
+    }
+}
+
+impl Error for JsonError {}
+
+impl From<serde_json::Error> for JsonError {
+    fn from(value: serde_json::Error) -> Self {
+        JsonError::Parse(value)
+    }
+}
+
+impl From<ValidationError> for JsonError {
+    fn from(value: ValidationError) -> Self {
+        JsonError::Invalid(value)
+    }
+}
+
+/// Serialises a single workflow to pretty-printed JSON.
+pub fn workflow_to_json(wf: &Workflow) -> String {
+    serde_json::to_string_pretty(wf).expect("workflow serialization cannot fail")
+}
+
+/// Parses and validates a single workflow from JSON.
+pub fn workflow_from_json(text: &str) -> Result<Workflow, JsonError> {
+    let wf: Workflow = serde_json::from_str(text)?;
+    validate(&wf)?;
+    Ok(wf)
+}
+
+/// Serialises a corpus (slice of workflows) to JSON.
+pub fn corpus_to_json(corpus: &[Workflow]) -> String {
+    serde_json::to_string_pretty(corpus).expect("corpus serialization cannot fail")
+}
+
+/// Parses and validates a corpus from JSON.  All workflows must be valid.
+pub fn corpus_from_json(text: &str) -> Result<Vec<Workflow>, JsonError> {
+    let corpus: Vec<Workflow> = serde_json::from_str(text)?;
+    for wf in &corpus {
+        validate(wf)?;
+    }
+    Ok(corpus)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::WorkflowBuilder;
+    use crate::module::ModuleType;
+
+    fn sample() -> Workflow {
+        WorkflowBuilder::new("2805")
+            .title("Get Pathway-Genes by Entrez gene id")
+            .tag("entrez")
+            .module("lookup_gene", ModuleType::WsdlService, |m| {
+                m.service("ncbi.nlm.nih.gov", "efetch", "http://ncbi.nlm.nih.gov/entrez")
+            })
+            .module("extract_pathways", ModuleType::BeanshellScript, |m| {
+                m.script("return pathways;")
+            })
+            .link("lookup_gene", "extract_pathways")
+            .build()
+            .unwrap()
+    }
+
+    #[test]
+    fn workflow_round_trip() {
+        let wf = sample();
+        let json = workflow_to_json(&wf);
+        let parsed = workflow_from_json(&json).unwrap();
+        assert_eq!(parsed, wf);
+    }
+
+    #[test]
+    fn corpus_round_trip() {
+        let corpus = vec![sample(), sample()];
+        let json = corpus_to_json(&corpus);
+        let parsed = corpus_from_json(&json).unwrap();
+        assert_eq!(parsed, corpus);
+    }
+
+    #[test]
+    fn parse_error_is_reported() {
+        assert!(matches!(
+            workflow_from_json("{not json"),
+            Err(JsonError::Parse(_))
+        ));
+    }
+
+    #[test]
+    fn invalid_workflow_is_rejected() {
+        // Manually craft JSON with a dangling link.
+        let mut wf = sample();
+        wf.links.push(crate::datalink::Datalink::new(
+            crate::module::ModuleId(0),
+            crate::module::ModuleId(99),
+        ));
+        let json = serde_json::to_string(&wf).unwrap();
+        assert!(matches!(
+            workflow_from_json(&json),
+            Err(JsonError::Invalid(ValidationError::DanglingLink { .. }))
+        ));
+    }
+
+    #[test]
+    fn error_display_is_informative() {
+        let err = workflow_from_json("{").unwrap_err();
+        assert!(err.to_string().contains("cannot parse"));
+    }
+}

@@ -1,0 +1,369 @@
+//! Data processing modules: the nodes of a scientific workflow DAG.
+//!
+//! The paper (Section 1 and 2.1.1) lists the attributes a module may carry:
+//! a *label* given by the workflow author, a *type* of operation, an optional
+//! free-text *description*, an optional *script* body for scripted modules,
+//! web-service related properties (*authority name*, *service name*,
+//! *service URI*) for service-invoking modules, and a set of static,
+//! data-independent *parameters*.
+
+use std::collections::BTreeMap;
+use std::fmt;
+
+use serde::{Deserialize, Serialize};
+
+use crate::attribute::{AttributeKey, AttributeValue};
+
+/// Index of a module inside a single workflow.
+///
+/// `ModuleId`s are dense indices (`0..workflow.module_count()`); they are
+/// only meaningful relative to the workflow that owns the module.  Datalinks
+/// and module mappings refer to modules through this id.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+#[serde(transparent)]
+pub struct ModuleId(pub u32);
+
+impl ModuleId {
+    /// Returns the id as a `usize` index.
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Display for ModuleId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "m{}", self.0)
+    }
+}
+
+impl From<u32> for ModuleId {
+    fn from(value: u32) -> Self {
+        ModuleId(value)
+    }
+}
+
+/// The technical type of the operation a module performs.
+///
+/// The variants follow the Taverna module ("processor") types observed in the
+/// myExperiment corpus as categorised by Wassink et al. (reference \[37\] of
+/// the paper), plus a Galaxy tool type and an escape hatch for anything else.
+/// The paper's *type equivalence classes* (Section 2.1.5) group these types
+/// into coarser technical classes; that grouping lives in
+/// `wf-repo::type_classes`.
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub enum ModuleType {
+    /// A WSDL-described SOAP web service invocation (`wsdl`).
+    WsdlService,
+    /// A WSDL service invoked through the Soaplab wrapper (`soaplabwsdl`).
+    SoaplabService,
+    /// An "arbitrary" WSDL service (`arbitrarywsdl`), Taverna's generic type.
+    ArbitraryWsdl,
+    /// A REST/HTTP service invocation.
+    RestService,
+    /// A BioMart data warehouse query.
+    BioMart,
+    /// A BioMoby service.
+    BioMoby,
+    /// A Beanshell (Java) script executed locally.
+    BeanshellScript,
+    /// An R script executed through RShell.
+    RShell,
+    /// A local Java operation shipped with the workflow engine
+    /// (e.g. string concatenation, list flattening).
+    LocalOperation,
+    /// A constant value supplied inline by the author.
+    StringConstant,
+    /// A nested sub-workflow (inlined during corpus import, but the type is
+    /// kept for provenance).
+    SubWorkflow,
+    /// A workflow input port kept as a module (normally stripped on import).
+    InputPort,
+    /// A workflow output port kept as a module (normally stripped on import).
+    OutputPort,
+    /// A Galaxy tool invocation (used by the Galaxy corpus).
+    GalaxyTool,
+    /// Any other type, carrying the raw type identifier.
+    Other(String),
+}
+
+impl ModuleType {
+    /// The canonical string identifier of this type (mirrors the identifiers
+    /// found in repository exports).
+    pub fn as_str(&self) -> &str {
+        match self {
+            ModuleType::WsdlService => "wsdl",
+            ModuleType::SoaplabService => "soaplabwsdl",
+            ModuleType::ArbitraryWsdl => "arbitrarywsdl",
+            ModuleType::RestService => "rest",
+            ModuleType::BioMart => "biomart",
+            ModuleType::BioMoby => "biomoby",
+            ModuleType::BeanshellScript => "beanshell",
+            ModuleType::RShell => "rshell",
+            ModuleType::LocalOperation => "local",
+            ModuleType::StringConstant => "stringconstant",
+            ModuleType::SubWorkflow => "workflow",
+            ModuleType::InputPort => "input",
+            ModuleType::OutputPort => "output",
+            ModuleType::GalaxyTool => "galaxytool",
+            ModuleType::Other(s) => s.as_str(),
+        }
+    }
+
+    /// Parses a raw type identifier into a [`ModuleType`].
+    ///
+    /// Unknown identifiers are preserved verbatim in [`ModuleType::Other`].
+    pub fn parse(raw: &str) -> ModuleType {
+        match raw.to_ascii_lowercase().as_str() {
+            "wsdl" => ModuleType::WsdlService,
+            "soaplabwsdl" => ModuleType::SoaplabService,
+            "arbitrarywsdl" => ModuleType::ArbitraryWsdl,
+            "rest" => ModuleType::RestService,
+            "biomart" => ModuleType::BioMart,
+            "biomoby" => ModuleType::BioMoby,
+            "beanshell" => ModuleType::BeanshellScript,
+            "rshell" => ModuleType::RShell,
+            "local" => ModuleType::LocalOperation,
+            "stringconstant" => ModuleType::StringConstant,
+            "workflow" => ModuleType::SubWorkflow,
+            "input" => ModuleType::InputPort,
+            "output" => ModuleType::OutputPort,
+            "galaxytool" => ModuleType::GalaxyTool,
+            _ => ModuleType::Other(raw.to_string()),
+        }
+    }
+
+    /// True if this module type invokes a remote (web) service.
+    pub fn is_service(&self) -> bool {
+        matches!(
+            self,
+            ModuleType::WsdlService
+                | ModuleType::SoaplabService
+                | ModuleType::ArbitraryWsdl
+                | ModuleType::RestService
+                | ModuleType::BioMart
+                | ModuleType::BioMoby
+        )
+    }
+
+    /// True if this module type executes an author-provided script.
+    pub fn is_script(&self) -> bool {
+        matches!(self, ModuleType::BeanshellScript | ModuleType::RShell)
+    }
+
+    /// True if this module type is a predefined, trivial local operation
+    /// (string splitting, constants, ports, …).  These are exactly the
+    /// modules the paper's *Importance Projection* removes.
+    pub fn is_trivial_local(&self) -> bool {
+        matches!(
+            self,
+            ModuleType::LocalOperation
+                | ModuleType::StringConstant
+                | ModuleType::InputPort
+                | ModuleType::OutputPort
+        )
+    }
+}
+
+impl fmt::Display for ModuleType {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.as_str())
+    }
+}
+
+/// A data processing module (a node of the workflow DAG).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Module {
+    /// Dense per-workflow id of this module.
+    pub id: ModuleId,
+    /// The label given to this module instance by the workflow author.
+    pub label: String,
+    /// The technical type of the operation.
+    pub module_type: ModuleType,
+    /// Optional free-text description of the module.
+    #[serde(default, skip_serializing_if = "Option::is_none")]
+    pub description: Option<String>,
+    /// Optional script body (for scripted module types).
+    #[serde(default, skip_serializing_if = "Option::is_none")]
+    pub script: Option<String>,
+    /// Authority (organisation) offering the invoked web service.
+    #[serde(default, skip_serializing_if = "Option::is_none")]
+    pub service_authority: Option<String>,
+    /// Name of the invoked web-service operation.
+    #[serde(default, skip_serializing_if = "Option::is_none")]
+    pub service_name: Option<String>,
+    /// URI of the invoked web service (e.g. the WSDL location).
+    #[serde(default, skip_serializing_if = "Option::is_none")]
+    pub service_uri: Option<String>,
+    /// Static, data-independent parameters of the module.
+    #[serde(default, skip_serializing_if = "BTreeMap::is_empty")]
+    pub parameters: BTreeMap<String, String>,
+}
+
+impl Module {
+    /// Creates a module with the given id, label and type and no further
+    /// attributes.
+    pub fn new(id: ModuleId, label: impl Into<String>, module_type: ModuleType) -> Self {
+        Module {
+            id,
+            label: label.into(),
+            module_type,
+            description: None,
+            script: None,
+            service_authority: None,
+            service_name: None,
+            service_uri: None,
+            parameters: BTreeMap::new(),
+        }
+    }
+
+    /// Returns the value of the given attribute, if the module carries it.
+    ///
+    /// This is the uniform attribute access used by the configurable module
+    /// comparison of the similarity framework (paper Section 2.1.1): which
+    /// attributes are present depends on the type of operation the module
+    /// performs.
+    pub fn attribute(&self, key: AttributeKey) -> Option<AttributeValue<'_>> {
+        match key {
+            AttributeKey::Label => Some(AttributeValue::Text(&self.label)),
+            AttributeKey::Type => Some(AttributeValue::Symbol(self.module_type.as_str())),
+            AttributeKey::Description => {
+                self.description.as_deref().map(AttributeValue::Text)
+            }
+            AttributeKey::Script => self.script.as_deref().map(AttributeValue::Text),
+            AttributeKey::ServiceAuthority => self
+                .service_authority
+                .as_deref()
+                .map(AttributeValue::Symbol),
+            AttributeKey::ServiceName => {
+                self.service_name.as_deref().map(AttributeValue::Symbol)
+            }
+            AttributeKey::ServiceUri => {
+                self.service_uri.as_deref().map(AttributeValue::Symbol)
+            }
+        }
+    }
+
+    /// Returns the set of attribute keys this module actually carries.
+    pub fn present_attributes(&self) -> Vec<AttributeKey> {
+        AttributeKey::ALL
+            .iter()
+            .copied()
+            .filter(|k| self.attribute(*k).is_some())
+            .collect()
+    }
+
+    /// True if this module is a trivial local operation (see
+    /// [`ModuleType::is_trivial_local`]).
+    pub fn is_trivial(&self) -> bool {
+        self.module_type.is_trivial_local()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_module() -> Module {
+        let mut m = Module::new(ModuleId(3), "get_pathway", ModuleType::WsdlService);
+        m.service_authority = Some("kegg.jp".into());
+        m.service_name = Some("get_pathway_by_id".into());
+        m.service_uri = Some("http://kegg.jp/ws".into());
+        m
+    }
+
+    #[test]
+    fn module_id_display_and_index() {
+        let id = ModuleId(7);
+        assert_eq!(id.to_string(), "m7");
+        assert_eq!(id.index(), 7);
+        assert_eq!(ModuleId::from(7u32), id);
+    }
+
+    #[test]
+    fn type_parse_round_trips_known_identifiers() {
+        for ty in [
+            ModuleType::WsdlService,
+            ModuleType::SoaplabService,
+            ModuleType::ArbitraryWsdl,
+            ModuleType::RestService,
+            ModuleType::BioMart,
+            ModuleType::BioMoby,
+            ModuleType::BeanshellScript,
+            ModuleType::RShell,
+            ModuleType::LocalOperation,
+            ModuleType::StringConstant,
+            ModuleType::SubWorkflow,
+            ModuleType::InputPort,
+            ModuleType::OutputPort,
+            ModuleType::GalaxyTool,
+        ] {
+            assert_eq!(ModuleType::parse(ty.as_str()), ty, "round trip {ty}");
+        }
+    }
+
+    #[test]
+    fn type_parse_preserves_unknown_identifier() {
+        let ty = ModuleType::parse("mysterious_widget");
+        assert_eq!(ty, ModuleType::Other("mysterious_widget".to_string()));
+        assert_eq!(ty.as_str(), "mysterious_widget");
+    }
+
+    #[test]
+    fn type_parse_is_case_insensitive_for_known_types() {
+        assert_eq!(ModuleType::parse("WSDL"), ModuleType::WsdlService);
+        assert_eq!(ModuleType::parse("Beanshell"), ModuleType::BeanshellScript);
+    }
+
+    #[test]
+    fn service_and_script_classification() {
+        assert!(ModuleType::WsdlService.is_service());
+        assert!(ModuleType::SoaplabService.is_service());
+        assert!(!ModuleType::BeanshellScript.is_service());
+        assert!(ModuleType::BeanshellScript.is_script());
+        assert!(ModuleType::RShell.is_script());
+        assert!(!ModuleType::WsdlService.is_script());
+    }
+
+    #[test]
+    fn trivial_local_classification_matches_importance_projection_rules() {
+        assert!(ModuleType::LocalOperation.is_trivial_local());
+        assert!(ModuleType::StringConstant.is_trivial_local());
+        assert!(ModuleType::InputPort.is_trivial_local());
+        assert!(ModuleType::OutputPort.is_trivial_local());
+        assert!(!ModuleType::WsdlService.is_trivial_local());
+        assert!(!ModuleType::BeanshellScript.is_trivial_local());
+        assert!(!ModuleType::GalaxyTool.is_trivial_local());
+    }
+
+    #[test]
+    fn attribute_access_reflects_present_attributes() {
+        let m = sample_module();
+        assert_eq!(
+            m.attribute(AttributeKey::Label),
+            Some(AttributeValue::Text("get_pathway"))
+        );
+        assert_eq!(
+            m.attribute(AttributeKey::Type),
+            Some(AttributeValue::Symbol("wsdl"))
+        );
+        assert_eq!(
+            m.attribute(AttributeKey::ServiceAuthority),
+            Some(AttributeValue::Symbol("kegg.jp"))
+        );
+        assert_eq!(m.attribute(AttributeKey::Script), None);
+        assert_eq!(m.attribute(AttributeKey::Description), None);
+
+        let present = m.present_attributes();
+        assert!(present.contains(&AttributeKey::Label));
+        assert!(present.contains(&AttributeKey::ServiceUri));
+        assert!(!present.contains(&AttributeKey::Script));
+    }
+
+    #[test]
+    fn trivial_module_detection() {
+        let m = Module::new(ModuleId(0), "split_string", ModuleType::LocalOperation);
+        assert!(m.is_trivial());
+        assert!(!sample_module().is_trivial());
+    }
+}

@@ -1,0 +1,140 @@
+//! Per-workflow and per-corpus statistics.
+//!
+//! Section 4.1 and 5.1.4 of the paper report a handful of corpus statistics
+//! that the synthetic corpus must reproduce (1483 workflows, roughly 15%
+//! without tags, an average of 11.3 modules per workflow dropping to 4.7
+//! after Importance Projection).  These helpers compute those numbers.
+
+use serde::{Deserialize, Serialize};
+
+use crate::workflow::Workflow;
+
+/// Structural statistics of one workflow.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct WorkflowStats {
+    /// Number of modules (|V|).
+    pub modules: usize,
+    /// Number of distinct datalinks (|E|).
+    pub links: usize,
+    /// Number of DAG sources.
+    pub sources: usize,
+    /// Number of DAG sinks.
+    pub sinks: usize,
+    /// Length of the longest path (in edges).
+    pub depth: usize,
+    /// Number of source-to-sink paths (capped at the enumeration cap).
+    pub paths: usize,
+    /// Whether the workflow carries any tags.
+    pub has_tags: bool,
+    /// Whether the workflow carries a description.
+    pub has_description: bool,
+}
+
+impl WorkflowStats {
+    /// Computes the statistics of a workflow.
+    pub fn of(wf: &Workflow) -> Self {
+        let g = wf.graph();
+        WorkflowStats {
+            modules: wf.module_count(),
+            links: g.edge_count(),
+            sources: g.sources().len(),
+            sinks: g.sinks().len(),
+            depth: g.longest_path_length().unwrap_or(0),
+            paths: g.all_paths().len(),
+            has_tags: wf.annotations.has_tags(),
+            has_description: wf.annotations.description.is_some(),
+        }
+    }
+}
+
+/// Aggregate statistics over a corpus of workflows.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct CorpusStats {
+    /// Number of workflows in the corpus.
+    pub workflows: usize,
+    /// Mean number of modules per workflow.
+    pub mean_modules: f64,
+    /// Mean number of datalinks per workflow.
+    pub mean_links: f64,
+    /// Fraction of workflows without any tags (paper: ≈ 15%).
+    pub untagged_fraction: f64,
+    /// Fraction of workflows without a description.
+    pub undescribed_fraction: f64,
+    /// Largest workflow (module count).
+    pub max_modules: usize,
+    /// Smallest workflow (module count).
+    pub min_modules: usize,
+}
+
+impl CorpusStats {
+    /// Computes aggregate statistics over a corpus.
+    ///
+    /// Returns `None` for an empty corpus (means are undefined).
+    pub fn of(corpus: &[Workflow]) -> Option<Self> {
+        if corpus.is_empty() {
+            return None;
+        }
+        let n = corpus.len() as f64;
+        let per: Vec<WorkflowStats> = corpus.iter().map(WorkflowStats::of).collect();
+        Some(CorpusStats {
+            workflows: corpus.len(),
+            mean_modules: per.iter().map(|s| s.modules as f64).sum::<f64>() / n,
+            mean_links: per.iter().map(|s| s.links as f64).sum::<f64>() / n,
+            untagged_fraction: per.iter().filter(|s| !s.has_tags).count() as f64 / n,
+            undescribed_fraction: per.iter().filter(|s| !s.has_description).count() as f64 / n,
+            max_modules: per.iter().map(|s| s.modules).max().unwrap_or(0),
+            min_modules: per.iter().map(|s| s.modules).min().unwrap_or(0),
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::WorkflowBuilder;
+    use crate::module::ModuleType;
+
+    fn tagged(n_modules: usize) -> Workflow {
+        let mut b = WorkflowBuilder::new(format!("wf-{n_modules}")).tag("bio");
+        for i in 0..n_modules {
+            b = b.module(format!("m{i}"), ModuleType::WsdlService, |m| m);
+            if i > 0 {
+                b = b.link(format!("m{}", i - 1), format!("m{i}"));
+            }
+        }
+        b.build().unwrap()
+    }
+
+    #[test]
+    fn workflow_stats_of_chain() {
+        let wf = tagged(4);
+        let s = WorkflowStats::of(&wf);
+        assert_eq!(s.modules, 4);
+        assert_eq!(s.links, 3);
+        assert_eq!(s.sources, 1);
+        assert_eq!(s.sinks, 1);
+        assert_eq!(s.depth, 3);
+        assert_eq!(s.paths, 1);
+        assert!(s.has_tags);
+        assert!(!s.has_description);
+    }
+
+    #[test]
+    fn corpus_stats_aggregates() {
+        let mut untagged = tagged(2);
+        untagged.annotations.tags.clear();
+        let corpus = vec![tagged(2), tagged(4), untagged];
+        let s = CorpusStats::of(&corpus).unwrap();
+        assert_eq!(s.workflows, 3);
+        assert!((s.mean_modules - 8.0 / 3.0).abs() < 1e-9);
+        assert_eq!(s.max_modules, 4);
+        assert_eq!(s.min_modules, 2);
+        assert!((s.untagged_fraction - 1.0 / 3.0).abs() < 1e-9);
+        assert!((s.undescribed_fraction - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn empty_corpus_has_no_stats() {
+        assert!(CorpusStats::of(&[]).is_none());
+    }
+}

@@ -1,0 +1,219 @@
+//! Structural validation of workflows.
+
+use std::collections::BTreeSet;
+use std::error::Error;
+use std::fmt;
+
+use crate::module::ModuleId;
+use crate::workflow::Workflow;
+
+/// Structural problems a workflow can exhibit.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ValidationError {
+    /// A module id stored in a module does not match its position in the
+    /// module vector.
+    MisnumberedModule {
+        /// Position in the vector.
+        expected: ModuleId,
+        /// Id stored in the module.
+        found: ModuleId,
+    },
+    /// Two modules share the same label (labels must be unique because links
+    /// and corpus mutations address modules by label).
+    DuplicateLabel {
+        /// The offending label.
+        label: String,
+        /// The first module carrying it.
+        first: ModuleId,
+        /// The second module carrying it.
+        second: ModuleId,
+    },
+    /// A datalink references a module id outside the module vector.
+    DanglingLink {
+        /// The offending endpoint.
+        endpoint: ModuleId,
+    },
+    /// A datalink connects a module to itself.
+    SelfLoop {
+        /// The module with the self loop.
+        module: ModuleId,
+    },
+    /// The datalink structure contains a directed cycle.
+    Cyclic,
+    /// A label used in a builder link does not exist.
+    UnknownLabel {
+        /// The unresolved label.
+        label: String,
+    },
+    /// The workflow id is empty.
+    EmptyId,
+}
+
+impl fmt::Display for ValidationError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ValidationError::MisnumberedModule { expected, found } => write!(
+                f,
+                "module at position {expected} carries id {found}; ids must be dense and in order"
+            ),
+            ValidationError::DuplicateLabel { label, first, second } => write!(
+                f,
+                "label '{label}' is used by both {first} and {second}"
+            ),
+            ValidationError::DanglingLink { endpoint } => {
+                write!(f, "datalink references unknown module {endpoint}")
+            }
+            ValidationError::SelfLoop { module } => {
+                write!(f, "datalink connects module {module} to itself")
+            }
+            ValidationError::Cyclic => write!(f, "the datalink structure contains a cycle"),
+            ValidationError::UnknownLabel { label } => {
+                write!(f, "link references unknown module label '{label}'")
+            }
+            ValidationError::EmptyId => write!(f, "workflow id must not be empty"),
+        }
+    }
+}
+
+impl Error for ValidationError {}
+
+/// Validates the structural invariants of a workflow:
+///
+/// 1. the workflow id is non-empty,
+/// 2. module ids are dense and match their positions,
+/// 3. module labels are unique,
+/// 4. all datalink endpoints exist,
+/// 5. there are no self loops,
+/// 6. the datalink structure is acyclic.
+pub fn validate(wf: &Workflow) -> Result<(), ValidationError> {
+    if wf.id.as_str().is_empty() {
+        return Err(ValidationError::EmptyId);
+    }
+    for (idx, m) in wf.modules.iter().enumerate() {
+        let expected = ModuleId(idx as u32);
+        if m.id != expected {
+            return Err(ValidationError::MisnumberedModule {
+                expected,
+                found: m.id,
+            });
+        }
+    }
+    let mut labels: BTreeSet<&str> = BTreeSet::new();
+    for m in &wf.modules {
+        if !labels.insert(m.label.as_str()) {
+            let first = wf
+                .modules
+                .iter()
+                .find(|other| other.label == m.label)
+                .map(|other| other.id)
+                .unwrap_or(m.id);
+            return Err(ValidationError::DuplicateLabel {
+                label: m.label.clone(),
+                first,
+                second: m.id,
+            });
+        }
+    }
+    let n = wf.module_count();
+    for l in &wf.links {
+        for endpoint in [l.from, l.to] {
+            if endpoint.index() >= n {
+                return Err(ValidationError::DanglingLink { endpoint });
+            }
+        }
+        if l.is_self_loop() {
+            return Err(ValidationError::SelfLoop { module: l.from });
+        }
+    }
+    if !wf.graph().is_acyclic() {
+        return Err(ValidationError::Cyclic);
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::datalink::Datalink;
+    use crate::module::{Module, ModuleType};
+
+    fn valid_workflow() -> Workflow {
+        let mut wf = Workflow::new("ok");
+        wf.modules.push(Module::new(ModuleId(0), "a", ModuleType::WsdlService));
+        wf.modules.push(Module::new(ModuleId(1), "b", ModuleType::WsdlService));
+        wf.links.push(Datalink::new(ModuleId(0), ModuleId(1)));
+        wf
+    }
+
+    #[test]
+    fn accepts_valid_workflow() {
+        assert!(validate(&valid_workflow()).is_ok());
+    }
+
+    #[test]
+    fn rejects_empty_id() {
+        let mut wf = valid_workflow();
+        wf.id = crate::workflow::WorkflowId::new("");
+        assert_eq!(validate(&wf), Err(ValidationError::EmptyId));
+    }
+
+    #[test]
+    fn rejects_misnumbered_modules() {
+        let mut wf = valid_workflow();
+        wf.modules[1].id = ModuleId(5);
+        assert!(matches!(
+            validate(&wf),
+            Err(ValidationError::MisnumberedModule { .. })
+        ));
+    }
+
+    #[test]
+    fn rejects_duplicate_labels() {
+        let mut wf = valid_workflow();
+        wf.modules[1].label = "a".into();
+        assert!(matches!(
+            validate(&wf),
+            Err(ValidationError::DuplicateLabel { .. })
+        ));
+    }
+
+    #[test]
+    fn rejects_dangling_links() {
+        let mut wf = valid_workflow();
+        wf.links.push(Datalink::new(ModuleId(0), ModuleId(9)));
+        assert_eq!(
+            validate(&wf),
+            Err(ValidationError::DanglingLink { endpoint: ModuleId(9) })
+        );
+    }
+
+    #[test]
+    fn rejects_self_loops() {
+        let mut wf = valid_workflow();
+        wf.links.push(Datalink::new(ModuleId(1), ModuleId(1)));
+        assert_eq!(
+            validate(&wf),
+            Err(ValidationError::SelfLoop { module: ModuleId(1) })
+        );
+    }
+
+    #[test]
+    fn rejects_cycles() {
+        let mut wf = valid_workflow();
+        wf.links.push(Datalink::new(ModuleId(1), ModuleId(0)));
+        assert_eq!(validate(&wf), Err(ValidationError::Cyclic));
+    }
+
+    #[test]
+    fn error_messages_are_informative() {
+        let msg = ValidationError::DanglingLink { endpoint: ModuleId(7) }.to_string();
+        assert!(msg.contains("m7"));
+        let msg = ValidationError::DuplicateLabel {
+            label: "x".into(),
+            first: ModuleId(0),
+            second: ModuleId(1),
+        }
+        .to_string();
+        assert!(msg.contains("'x'"));
+    }
+}

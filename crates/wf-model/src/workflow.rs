@@ -1,0 +1,315 @@
+//! The [`Workflow`] type: a DAG of modules plus repository annotations.
+
+use std::collections::BTreeMap;
+use std::fmt;
+
+use serde::{Deserialize, Serialize};
+
+use crate::datalink::Datalink;
+use crate::graph::WorkflowGraph;
+use crate::module::{Module, ModuleId};
+
+/// Identifier of a workflow within a repository (e.g. the myExperiment id
+/// "1189" or a Galaxy workflow slug).
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+#[serde(transparent)]
+pub struct WorkflowId(pub String);
+
+impl WorkflowId {
+    /// Creates a workflow id from anything string-like.
+    pub fn new(id: impl Into<String>) -> Self {
+        WorkflowId(id.into())
+    }
+
+    /// The id as a string slice.
+    pub fn as_str(&self) -> &str {
+        &self.0
+    }
+}
+
+impl fmt::Display for WorkflowId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.0)
+    }
+}
+
+impl From<&str> for WorkflowId {
+    fn from(value: &str) -> Self {
+        WorkflowId(value.to_string())
+    }
+}
+
+impl From<String> for WorkflowId {
+    fn from(value: String) -> Self {
+        WorkflowId(value)
+    }
+}
+
+/// The textual annotations a workflow carries in a repository: title,
+/// free-text description, keyword tags and the uploading author.
+///
+/// These are the inputs of the annotation-based measures (paper Section 2.2).
+/// All fields are optional because, as the paper stresses, a workflow stored
+/// by an arbitrary user "may or may not" be annotated (about 15% of the
+/// myExperiment corpus lack tags, and Galaxy workflows carry very little
+/// annotation at all).
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct Annotations {
+    /// The workflow title.
+    #[serde(default, skip_serializing_if = "Option::is_none")]
+    pub title: Option<String>,
+    /// The free-form description of the workflow's functionality.
+    #[serde(default, skip_serializing_if = "Option::is_none")]
+    pub description: Option<String>,
+    /// Keyword tags assigned by the author.
+    #[serde(default, skip_serializing_if = "Vec::is_empty")]
+    pub tags: Vec<String>,
+    /// The uploading author.
+    #[serde(default, skip_serializing_if = "Option::is_none")]
+    pub author: Option<String>,
+}
+
+impl Annotations {
+    /// True if the workflow carries no textual annotation at all.
+    pub fn is_empty(&self) -> bool {
+        self.title.is_none()
+            && self.description.is_none()
+            && self.tags.is_empty()
+            && self.author.is_none()
+    }
+
+    /// True if the workflow has at least one keyword tag.
+    pub fn has_tags(&self) -> bool {
+        !self.tags.is_empty()
+    }
+
+    /// Title and description concatenated — the text the Bag-of-Words
+    /// measure operates on.
+    pub fn title_and_description(&self) -> String {
+        match (&self.title, &self.description) {
+            (Some(t), Some(d)) => format!("{t} {d}"),
+            (Some(t), None) => t.clone(),
+            (None, Some(d)) => d.clone(),
+            (None, None) => String::new(),
+        }
+    }
+}
+
+/// A scientific workflow: annotations, modules and datalinks.
+///
+/// The struct owns its modules in a dense vector indexed by [`ModuleId`];
+/// the derived adjacency structure is available through [`Workflow::graph`].
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Workflow {
+    /// Repository identifier of the workflow.
+    pub id: WorkflowId,
+    /// Repository annotations (title, description, tags, author).
+    #[serde(default)]
+    pub annotations: Annotations,
+    /// The modules, indexed by their [`ModuleId`].
+    pub modules: Vec<Module>,
+    /// The datalinks connecting the modules.
+    pub links: Vec<Datalink>,
+}
+
+impl Workflow {
+    /// Creates an empty workflow with the given id.
+    pub fn new(id: impl Into<WorkflowId>) -> Self {
+        Workflow {
+            id: id.into(),
+            annotations: Annotations::default(),
+            modules: Vec::new(),
+            links: Vec::new(),
+        }
+    }
+
+    /// Number of modules (|V| in the paper's notation).
+    pub fn module_count(&self) -> usize {
+        self.modules.len()
+    }
+
+    /// Number of datalinks (|E| in the paper's notation).
+    pub fn link_count(&self) -> usize {
+        self.links.len()
+    }
+
+    /// Returns the module with the given id, if it exists.
+    pub fn module(&self, id: ModuleId) -> Option<&Module> {
+        self.modules.get(id.index())
+    }
+
+    /// Returns the first module with the given label, if any.
+    pub fn module_by_label(&self, label: &str) -> Option<&Module> {
+        self.modules.iter().find(|m| m.label == label)
+    }
+
+    /// Iterates over all module ids of this workflow.
+    pub fn module_ids(&self) -> impl Iterator<Item = ModuleId> + '_ {
+        (0..self.modules.len() as u32).map(ModuleId)
+    }
+
+    /// Builds the adjacency structure of this workflow.
+    ///
+    /// The graph is rebuilt on each call; callers that need repeated graph
+    /// queries (the structural measures do) should hold on to the returned
+    /// [`WorkflowGraph`].
+    pub fn graph(&self) -> WorkflowGraph {
+        WorkflowGraph::from_workflow(self)
+    }
+
+    /// A histogram of module types, used for corpus statistics and for the
+    /// repository-derived knowledge of `wf-repo`.
+    pub fn type_histogram(&self) -> BTreeMap<String, usize> {
+        let mut hist = BTreeMap::new();
+        for m in &self.modules {
+            *hist.entry(m.module_type.as_str().to_string()).or_insert(0) += 1;
+        }
+        hist
+    }
+
+    /// Returns a copy of this workflow restricted to the given modules.
+    ///
+    /// Module ids are re-numbered densely (in ascending order of the old
+    /// ids); `extra_links` are added after the restriction, expressed in the
+    /// *new* id space.  This is the primitive on which the Importance
+    /// Projection (`wf-repo::projection`) is built: it keeps the important
+    /// modules and re-inserts edges for the paths that ran through removed
+    /// modules.
+    pub fn restrict_to(&self, keep: &[ModuleId], extra_links: &[(ModuleId, ModuleId)]) -> Workflow {
+        let mut keep_sorted: Vec<ModuleId> = keep.to_vec();
+        keep_sorted.sort_unstable();
+        keep_sorted.dedup();
+
+        let mut remap: BTreeMap<ModuleId, ModuleId> = BTreeMap::new();
+        let mut modules = Vec::with_capacity(keep_sorted.len());
+        for (new_idx, old_id) in keep_sorted.iter().enumerate() {
+            if let Some(m) = self.module(*old_id) {
+                let mut m = m.clone();
+                m.id = ModuleId(new_idx as u32);
+                remap.insert(*old_id, m.id);
+                modules.push(m);
+            }
+        }
+
+        let mut links: Vec<Datalink> = Vec::new();
+        for l in &self.links {
+            if let (Some(&from), Some(&to)) = (remap.get(&l.from), remap.get(&l.to)) {
+                let mut nl = l.clone();
+                nl.from = from;
+                nl.to = to;
+                links.push(nl);
+            }
+        }
+        for &(from, to) in extra_links {
+            links.push(Datalink::new(from, to));
+        }
+        links.sort();
+        links.dedup();
+
+        Workflow {
+            id: self.id.clone(),
+            annotations: self.annotations.clone(),
+            modules,
+            links,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::module::ModuleType;
+
+    fn linear_workflow() -> Workflow {
+        let mut wf = Workflow::new("wf-lin");
+        for (i, label) in ["a", "b", "c"].iter().enumerate() {
+            wf.modules.push(Module::new(
+                ModuleId(i as u32),
+                *label,
+                ModuleType::WsdlService,
+            ));
+        }
+        wf.links.push(Datalink::new(ModuleId(0), ModuleId(1)));
+        wf.links.push(Datalink::new(ModuleId(1), ModuleId(2)));
+        wf
+    }
+
+    #[test]
+    fn counts_and_lookup() {
+        let wf = linear_workflow();
+        assert_eq!(wf.module_count(), 3);
+        assert_eq!(wf.link_count(), 2);
+        assert_eq!(wf.module(ModuleId(1)).unwrap().label, "b");
+        assert!(wf.module(ModuleId(9)).is_none());
+        assert_eq!(wf.module_by_label("c").unwrap().id, ModuleId(2));
+        assert!(wf.module_by_label("zzz").is_none());
+        assert_eq!(wf.module_ids().count(), 3);
+    }
+
+    #[test]
+    fn annotations_helpers() {
+        let mut ann = Annotations::default();
+        assert!(ann.is_empty());
+        assert!(!ann.has_tags());
+        assert_eq!(ann.title_and_description(), "");
+
+        ann.title = Some("KEGG pathway analysis".into());
+        assert_eq!(ann.title_and_description(), "KEGG pathway analysis");
+
+        ann.description = Some("maps genes".into());
+        assert_eq!(ann.title_and_description(), "KEGG pathway analysis maps genes");
+        assert!(!ann.is_empty());
+
+        ann.tags.push("kegg".into());
+        assert!(ann.has_tags());
+    }
+
+    #[test]
+    fn type_histogram_counts_types() {
+        let mut wf = linear_workflow();
+        wf.modules.push(Module::new(
+            ModuleId(3),
+            "script",
+            ModuleType::BeanshellScript,
+        ));
+        let hist = wf.type_histogram();
+        assert_eq!(hist.get("wsdl"), Some(&3));
+        assert_eq!(hist.get("beanshell"), Some(&1));
+    }
+
+    #[test]
+    fn restrict_to_renumbers_and_keeps_internal_links() {
+        let wf = linear_workflow();
+        // Keep "a" and "b": the a->b link survives, b->c disappears.
+        let restricted = wf.restrict_to(&[ModuleId(0), ModuleId(1)], &[]);
+        assert_eq!(restricted.module_count(), 2);
+        assert_eq!(restricted.link_count(), 1);
+        assert_eq!(restricted.modules[0].label, "a");
+        assert_eq!(restricted.modules[1].label, "b");
+        assert_eq!(restricted.links[0].endpoints(), (ModuleId(0), ModuleId(1)));
+    }
+
+    #[test]
+    fn restrict_to_adds_extra_links_and_dedups() {
+        let wf = linear_workflow();
+        // Keep "a" and "c" and bridge them explicitly (what the importance
+        // projection does for the removed "b").
+        let restricted = wf.restrict_to(
+            &[ModuleId(0), ModuleId(2)],
+            &[(ModuleId(0), ModuleId(1)), (ModuleId(0), ModuleId(1))],
+        );
+        assert_eq!(restricted.module_count(), 2);
+        assert_eq!(restricted.link_count(), 1);
+        assert_eq!(restricted.modules[1].label, "c");
+        assert_eq!(restricted.links[0].endpoints(), (ModuleId(0), ModuleId(1)));
+    }
+
+    #[test]
+    fn restrict_to_ignores_unknown_ids_and_duplicates() {
+        let wf = linear_workflow();
+        let restricted = wf.restrict_to(&[ModuleId(2), ModuleId(2), ModuleId(42)], &[]);
+        assert_eq!(restricted.module_count(), 1);
+        assert_eq!(restricted.modules[0].label, "c");
+        assert_eq!(restricted.link_count(), 0);
+    }
+}

@@ -1,0 +1,208 @@
+//! Importance scores for modules.
+//!
+//! "Not all modules in a scientific workflow contribute equally to the
+//! workflow's specific functionality … we assign a score to each module
+//! indicating the importance of the module for a workflow's specific
+//! functionality.  Only modules with a score above a configurable threshold
+//! are kept" (Section 2.1.5).  In the paper the selection is manual, "based
+//! on module types": predefined trivial local operations are removed.  The
+//! paper names frequency-based automatic selection as future work; both are
+//! implemented here.
+
+use wf_model::Module;
+
+use crate::type_classes::TypeClass;
+use crate::usage::UsageStatistics;
+
+/// Configuration of importance scoring.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ImportanceConfig {
+    /// Modules with a score strictly below this threshold are removed by the
+    /// Importance Projection.
+    pub threshold: f64,
+    /// If true, scores are additionally damped by how ubiquitous a module is
+    /// across the repository (the paper's future-work extension).  Requires
+    /// usage statistics to have any effect.
+    pub frequency_adjusted: bool,
+}
+
+impl Default for ImportanceConfig {
+    fn default() -> Self {
+        ImportanceConfig {
+            threshold: 0.5,
+            frequency_adjusted: false,
+        }
+    }
+}
+
+impl ImportanceConfig {
+    /// The paper's manual, type-based selection: keep everything that is not
+    /// a predefined trivial local operation.
+    pub fn type_based() -> Self {
+        ImportanceConfig::default()
+    }
+
+    /// The automatic, frequency-adjusted variant.
+    pub fn frequency_based() -> Self {
+        ImportanceConfig {
+            threshold: 0.5,
+            frequency_adjusted: true,
+        }
+    }
+}
+
+/// Scores modules by their importance for a workflow's specific function.
+#[derive(Debug, Clone, Default)]
+pub struct ImportanceScorer {
+    config: ImportanceConfig,
+    usage: Option<UsageStatistics>,
+}
+
+impl ImportanceScorer {
+    /// Creates a scorer with the given configuration and no usage
+    /// statistics.
+    pub fn new(config: ImportanceConfig) -> Self {
+        ImportanceScorer { config, usage: None }
+    }
+
+    /// Creates a scorer that can use repository usage statistics.
+    pub fn with_usage(config: ImportanceConfig, usage: UsageStatistics) -> Self {
+        ImportanceScorer {
+            config,
+            usage: Some(usage),
+        }
+    }
+
+    /// The configuration in use.
+    pub fn config(&self) -> &ImportanceConfig {
+        &self.config
+    }
+
+    /// The base score of a module, from its technical class alone.
+    ///
+    /// Web services and tools carry the workflow's domain functionality
+    /// (score 1.0), scripts usually implement bespoke analysis steps (0.8),
+    /// sub-workflows aggregate functionality (0.8), while predefined local
+    /// operations, constants and ports are "trivial, rather unspecific" (0.0).
+    pub fn base_score(module: &Module) -> f64 {
+        match TypeClass::of(&module.module_type) {
+            TypeClass::WebService | TypeClass::Tool => 1.0,
+            TypeClass::Script | TypeClass::SubWorkflow => 0.8,
+            TypeClass::LocalOperation => 0.0,
+            TypeClass::Other => 0.6,
+        }
+    }
+
+    /// The (possibly frequency-adjusted) importance score of a module.
+    pub fn score(&self, module: &Module) -> f64 {
+        let base = ImportanceScorer::base_score(module);
+        if !self.config.frequency_adjusted {
+            return base;
+        }
+        let Some(usage) = &self.usage else {
+            return base;
+        };
+        // Damp ubiquitous modules: a signature occurring in (almost) every
+        // workflow carries little specific information.  The damping keeps
+        // rare modules untouched and scales linearly down to 0.25 for a
+        // module present in every workflow.
+        let df = usage.document_frequency(module);
+        base * (1.0 - 0.75 * df)
+    }
+
+    /// True if the module survives the importance threshold.
+    pub fn is_important(&self, module: &Module) -> bool {
+        self.score(module) >= self.config.threshold
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::repository::Repository;
+    use wf_model::{builder::WorkflowBuilder, ModuleType, Workflow};
+
+    fn workflow(id: &str) -> Workflow {
+        WorkflowBuilder::new(id)
+            .module("blast", ModuleType::WsdlService, |m| {
+                m.service("ebi.ac.uk", "blastp", "http://ebi.ac.uk/blast")
+            })
+            .module("parse_hits", ModuleType::BeanshellScript, |m| m.script("x"))
+            .module("split_string", ModuleType::LocalOperation, |m| m)
+            .module("out", ModuleType::OutputPort, |m| m)
+            .link("blast", "parse_hits")
+            .link("parse_hits", "split_string")
+            .link("split_string", "out")
+            .build()
+            .unwrap()
+    }
+
+    #[test]
+    fn type_based_scores_follow_the_papers_manual_selection() {
+        let wf = workflow("a");
+        let scorer = ImportanceScorer::new(ImportanceConfig::type_based());
+        assert!(scorer.is_important(wf.module_by_label("blast").unwrap()));
+        assert!(scorer.is_important(wf.module_by_label("parse_hits").unwrap()));
+        assert!(!scorer.is_important(wf.module_by_label("split_string").unwrap()));
+        assert!(!scorer.is_important(wf.module_by_label("out").unwrap()));
+    }
+
+    #[test]
+    fn base_scores_are_ordered_by_specificity() {
+        let wf = workflow("a");
+        let blast = ImportanceScorer::base_score(wf.module_by_label("blast").unwrap());
+        let script = ImportanceScorer::base_score(wf.module_by_label("parse_hits").unwrap());
+        let local = ImportanceScorer::base_score(wf.module_by_label("split_string").unwrap());
+        assert!(blast > script);
+        assert!(script > local);
+        assert_eq!(local, 0.0);
+    }
+
+    #[test]
+    fn frequency_adjustment_dampens_ubiquitous_modules() {
+        // The blast service occurs in every workflow of the corpus; a rare
+        // tool occurs only once.
+        let mut corpus = vec![workflow("a"), workflow("b"), workflow("c")];
+        corpus[2] = WorkflowBuilder::new("c")
+            .module("blast", ModuleType::WsdlService, |m| {
+                m.service("ebi.ac.uk", "blastp", "http://ebi.ac.uk/blast")
+            })
+            .module("rare_tool", ModuleType::WsdlService, |m| {
+                m.service("rare.org", "special", "http://rare.org/ws")
+            })
+            .link("blast", "rare_tool")
+            .build()
+            .unwrap();
+        let repo = Repository::from_workflows(corpus.clone());
+        let usage = UsageStatistics::from_repository(&repo);
+        let scorer =
+            ImportanceScorer::with_usage(ImportanceConfig::frequency_based(), usage);
+        let blast = corpus[2].module_by_label("blast").unwrap();
+        let rare = corpus[2].module_by_label("rare_tool").unwrap();
+        assert!(scorer.score(rare) > scorer.score(blast));
+        // Without adjustment both score identically.
+        let plain = ImportanceScorer::new(ImportanceConfig::type_based());
+        assert_eq!(plain.score(rare), plain.score(blast));
+    }
+
+    #[test]
+    fn frequency_adjustment_without_usage_statistics_is_a_noop() {
+        let wf = workflow("a");
+        let scorer = ImportanceScorer::new(ImportanceConfig::frequency_based());
+        assert_eq!(
+            scorer.score(wf.module_by_label("blast").unwrap()),
+            ImportanceScorer::base_score(wf.module_by_label("blast").unwrap())
+        );
+    }
+
+    #[test]
+    fn threshold_is_configurable() {
+        let wf = workflow("a");
+        let strict = ImportanceScorer::new(ImportanceConfig {
+            threshold: 0.9,
+            frequency_adjusted: false,
+        });
+        assert!(strict.is_important(wf.module_by_label("blast").unwrap()));
+        assert!(!strict.is_important(wf.module_by_label("parse_hits").unwrap()));
+    }
+}

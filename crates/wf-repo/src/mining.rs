@@ -1,0 +1,517 @@
+//! Frequent itemset mining over a workflow repository.
+//!
+//! Stoyanovich et al. \[36\] compare workflows by the *frequent tag sets*
+//! and *frequent module sets* they contain: itemsets that occur in at least
+//! a minimum number of workflows of the repository.  This module provides
+//! the repository-level mining step (a textbook Apriori implementation —
+//! repository sizes are in the low thousands, so candidate generation with
+//! support counting is entirely sufficient) and the per-workflow lookup of
+//! contained frequent itemsets that the corresponding similarity measure in
+//! `wf-sim` builds on.
+
+use std::collections::{BTreeMap, BTreeSet};
+
+use wf_model::Workflow;
+
+use crate::repository::Repository;
+use crate::usage::UsageStatistics;
+
+/// What a "transaction" (one workflow's item set) is made of.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum ItemSource {
+    /// One item per module, identified by its usage signature (label plus
+    /// identifying attributes) — the *frequent module sets* of \[36\].
+    ModuleSignatures,
+    /// One item per lowercased module label.
+    ModuleLabels,
+    /// One item per keyword tag — the *frequent tag sets* of \[36\].
+    Tags,
+}
+
+impl ItemSource {
+    /// Extracts the item set of a single workflow.
+    pub fn items(self, wf: &Workflow) -> BTreeSet<String> {
+        match self {
+            ItemSource::ModuleSignatures => wf
+                .modules
+                .iter()
+                .map(UsageStatistics::signature)
+                .collect(),
+            ItemSource::ModuleLabels => wf
+                .modules
+                .iter()
+                .map(|m| m.label.to_lowercase())
+                .collect(),
+            ItemSource::Tags => wf
+                .annotations
+                .tags
+                .iter()
+                .map(|t| t.to_lowercase())
+                .collect(),
+        }
+    }
+
+    /// A short name used in experiment output.
+    pub fn name(self) -> &'static str {
+        match self {
+            ItemSource::ModuleSignatures => "module-signatures",
+            ItemSource::ModuleLabels => "module-labels",
+            ItemSource::Tags => "tags",
+        }
+    }
+}
+
+/// Configuration of the Apriori mining run.
+#[derive(Debug, Clone, PartialEq)]
+pub struct MiningConfig {
+    /// Minimum relative support: an itemset is frequent when it occurs in at
+    /// least `min_support * |repository|` workflows (with an absolute floor
+    /// of [`MiningConfig::min_support_count`]).
+    pub min_support: f64,
+    /// Absolute floor for the support count (default 2: an itemset occurring
+    /// in a single workflow tells nothing about similarity).
+    pub min_support_count: usize,
+    /// Largest itemset size to mine (default 4; larger sets are rare and
+    /// expensive to enumerate).
+    pub max_size: usize,
+}
+
+impl Default for MiningConfig {
+    fn default() -> Self {
+        MiningConfig {
+            min_support: 0.01,
+            min_support_count: 2,
+            max_size: 4,
+        }
+    }
+}
+
+impl MiningConfig {
+    /// A configuration with the given relative minimum support.
+    pub fn with_min_support(min_support: f64) -> Self {
+        MiningConfig {
+            min_support,
+            ..MiningConfig::default()
+        }
+    }
+
+    /// The effective absolute support threshold for a repository of
+    /// `transactions` workflows.
+    pub fn support_threshold(&self, transactions: usize) -> usize {
+        let relative = (self.min_support * transactions as f64).ceil() as usize;
+        relative.max(self.min_support_count).max(1)
+    }
+}
+
+/// One frequent itemset and its support count.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FrequentItemset {
+    /// The items, sorted.
+    pub items: Vec<String>,
+    /// In how many workflows of the repository the itemset occurs.
+    pub support: usize,
+}
+
+impl FrequentItemset {
+    /// The itemset size.
+    pub fn len(&self) -> usize {
+        self.items.len()
+    }
+
+    /// True when the itemset has no items (never produced by mining).
+    pub fn is_empty(&self) -> bool {
+        self.items.is_empty()
+    }
+
+    /// True when every item of the itemset occurs in `items`.
+    pub fn contained_in(&self, items: &BTreeSet<String>) -> bool {
+        self.items.iter().all(|i| items.contains(i))
+    }
+}
+
+/// The result of mining one repository: all frequent itemsets, the item
+/// source and thresholds used, and lookup helpers.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FrequentItemsets {
+    source: ItemSource,
+    itemsets: Vec<FrequentItemset>,
+    transaction_count: usize,
+    support_threshold: usize,
+}
+
+impl FrequentItemsets {
+    /// The mined frequent itemsets, sorted by descending support and then by
+    /// items.
+    pub fn itemsets(&self) -> &[FrequentItemset] {
+        &self.itemsets
+    }
+
+    /// Number of frequent itemsets found.
+    pub fn len(&self) -> usize {
+        self.itemsets.len()
+    }
+
+    /// True when no itemset reached the support threshold.
+    pub fn is_empty(&self) -> bool {
+        self.itemsets.is_empty()
+    }
+
+    /// The item source the transactions were built from.
+    pub fn source(&self) -> ItemSource {
+        self.source
+    }
+
+    /// Number of workflows the itemsets were mined from.
+    pub fn transaction_count(&self) -> usize {
+        self.transaction_count
+    }
+
+    /// The absolute support threshold that was applied.
+    pub fn support_threshold(&self) -> usize {
+        self.support_threshold
+    }
+
+    /// All frequent itemsets of exactly `k` items.
+    pub fn of_size(&self, k: usize) -> Vec<&FrequentItemset> {
+        self.itemsets.iter().filter(|s| s.len() == k).collect()
+    }
+
+    /// Indices (into [`FrequentItemsets::itemsets`]) of the frequent
+    /// itemsets contained in the given workflow.  This is the feature
+    /// representation used by the frequent-set similarity measure.
+    pub fn contained_in_workflow(&self, wf: &Workflow) -> BTreeSet<usize> {
+        let items = self.source.items(wf);
+        self.itemsets
+            .iter()
+            .enumerate()
+            .filter(|(_, s)| s.contained_in(&items))
+            .map(|(i, _)| i)
+            .collect()
+    }
+}
+
+/// Mines frequent itemsets from a repository.
+pub fn mine_repository(
+    repo: &Repository,
+    source: ItemSource,
+    config: &MiningConfig,
+) -> FrequentItemsets {
+    let transactions: Vec<BTreeSet<String>> =
+        repo.iter().map(|wf| source.items(wf)).collect();
+    mine_transactions(&transactions, source, config)
+}
+
+/// Mines frequent itemsets from pre-extracted transactions.
+pub fn mine_transactions(
+    transactions: &[BTreeSet<String>],
+    source: ItemSource,
+    config: &MiningConfig,
+) -> FrequentItemsets {
+    let threshold = config.support_threshold(transactions.len());
+    let mut result: Vec<FrequentItemset> = Vec::new();
+
+    // Level 1: frequent single items.
+    let mut counts: BTreeMap<&str, usize> = BTreeMap::new();
+    for t in transactions {
+        for item in t {
+            *counts.entry(item.as_str()).or_insert(0) += 1;
+        }
+    }
+    let mut current: Vec<Vec<String>> = counts
+        .iter()
+        .filter(|(_, &c)| c >= threshold)
+        .map(|(item, _)| vec![(*item).to_string()])
+        .collect();
+    for set in &current {
+        result.push(FrequentItemset {
+            items: set.clone(),
+            support: counts[set[0].as_str()],
+        });
+    }
+
+    // Levels 2..=max_size: Apriori candidate generation + support counting.
+    let mut size = 1;
+    while !current.is_empty() && size < config.max_size {
+        size += 1;
+        let frequent_prev: BTreeSet<&[String]> =
+            current.iter().map(|s| s.as_slice()).collect();
+        let mut candidates: BTreeSet<Vec<String>> = BTreeSet::new();
+        for (i, a) in current.iter().enumerate() {
+            for b in current.iter().skip(i + 1) {
+                // Join step: the two (k-1)-itemsets must share their first
+                // k-2 items (both are sorted).
+                if a[..size - 2] != b[..size - 2] {
+                    continue;
+                }
+                let mut candidate = a.clone();
+                candidate.push(b[size - 2].clone());
+                candidate.sort();
+                candidate.dedup();
+                if candidate.len() != size {
+                    continue;
+                }
+                // Prune step: every (k-1)-subset must itself be frequent.
+                let all_subsets_frequent = (0..size).all(|skip| {
+                    let subset: Vec<String> = candidate
+                        .iter()
+                        .enumerate()
+                        .filter(|(idx, _)| *idx != skip)
+                        .map(|(_, it)| it.clone())
+                        .collect();
+                    frequent_prev.contains(subset.as_slice())
+                });
+                if all_subsets_frequent {
+                    candidates.insert(candidate);
+                }
+            }
+        }
+        let mut next: Vec<Vec<String>> = Vec::new();
+        for candidate in candidates {
+            let support = transactions
+                .iter()
+                .filter(|t| candidate.iter().all(|i| t.contains(i)))
+                .count();
+            if support >= threshold {
+                result.push(FrequentItemset {
+                    items: candidate.clone(),
+                    support,
+                });
+                next.push(candidate);
+            }
+        }
+        current = next;
+    }
+
+    result.sort_by(|a, b| b.support.cmp(&a.support).then_with(|| a.items.cmp(&b.items)));
+    FrequentItemsets {
+        source,
+        itemsets: result,
+        transaction_count: transactions.len(),
+        support_threshold: threshold,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use wf_model::{builder::WorkflowBuilder, ModuleType};
+
+    fn wf(id: &str, labels: &[&str], tags: &[&str]) -> Workflow {
+        let mut b = WorkflowBuilder::new(id);
+        for l in labels {
+            b = b.module(*l, ModuleType::WsdlService, |m| m);
+        }
+        for w in labels.windows(2) {
+            b = b.link(w[0], w[1]);
+        }
+        for t in tags {
+            b = b.tag(*t);
+        }
+        b.build().unwrap()
+    }
+
+    fn toy_repo() -> Repository {
+        Repository::from_workflows(vec![
+            wf("w1", &["fetch", "blast", "render"], &["alignment", "blast"]),
+            wf("w2", &["fetch", "blast", "plot"], &["alignment", "blast"]),
+            wf("w3", &["fetch", "blast"], &["alignment"]),
+            wf("w4", &["parse", "cluster"], &["clustering"]),
+            wf("w5", &["parse", "cluster", "plot"], &["clustering"]),
+        ])
+    }
+
+    fn set(items: &[&str]) -> BTreeSet<String> {
+        items.iter().map(|s| s.to_string()).collect()
+    }
+
+    #[test]
+    fn support_threshold_combines_relative_and_absolute_floors() {
+        let config = MiningConfig {
+            min_support: 0.1,
+            min_support_count: 2,
+            max_size: 3,
+        };
+        assert_eq!(config.support_threshold(5), 2, "absolute floor wins");
+        assert_eq!(config.support_threshold(100), 10, "relative part wins");
+        assert_eq!(
+            MiningConfig::with_min_support(0.0).support_threshold(0),
+            2,
+            "never below the absolute floor"
+        );
+    }
+
+    #[test]
+    fn single_items_are_mined_with_correct_support() {
+        let repo = toy_repo();
+        let mined = mine_repository(&repo, ItemSource::ModuleLabels, &MiningConfig::default());
+        let fetch = mined
+            .itemsets()
+            .iter()
+            .find(|s| s.items == vec!["fetch".to_string()])
+            .expect("fetch is frequent");
+        assert_eq!(fetch.support, 3);
+        let blast = mined
+            .itemsets()
+            .iter()
+            .find(|s| s.items == vec!["blast".to_string()])
+            .expect("blast is frequent");
+        assert_eq!(blast.support, 3);
+        // "render" occurs once only — below the absolute floor of 2.
+        assert!(mined
+            .itemsets()
+            .iter()
+            .all(|s| !s.items.contains(&"render".to_string())));
+    }
+
+    #[test]
+    fn pairs_and_triples_are_mined() {
+        let repo = toy_repo();
+        let mined = mine_repository(&repo, ItemSource::ModuleLabels, &MiningConfig::default());
+        let pair = mined
+            .itemsets()
+            .iter()
+            .find(|s| s.items == vec!["blast".to_string(), "fetch".to_string()])
+            .expect("the {fetch, blast} pair is frequent");
+        assert_eq!(pair.support, 3);
+        let cluster_pair = mined
+            .itemsets()
+            .iter()
+            .find(|s| s.items == vec!["cluster".to_string(), "parse".to_string()])
+            .expect("the {parse, cluster} pair is frequent");
+        assert_eq!(cluster_pair.support, 2);
+        // No triple reaches support 2 with distinct membership except none:
+        // {fetch, blast, render} and {fetch, blast, plot} occur once each.
+        assert!(mined.of_size(3).is_empty());
+    }
+
+    #[test]
+    fn apriori_matches_brute_force_on_a_small_corpus() {
+        let repo = toy_repo();
+        let config = MiningConfig::default();
+        let mined = mine_repository(&repo, ItemSource::ModuleLabels, &config);
+
+        // Brute force: enumerate all subsets of size 1..=3 of the item
+        // universe and count their support directly.
+        let transactions: Vec<BTreeSet<String>> = repo
+            .iter()
+            .map(|wf| ItemSource::ModuleLabels.items(wf))
+            .collect();
+        let universe: Vec<String> = transactions
+            .iter()
+            .flat_map(|t| t.iter().cloned())
+            .collect::<BTreeSet<_>>()
+            .into_iter()
+            .collect();
+        let threshold = config.support_threshold(transactions.len());
+        let mut expected = 0usize;
+        let n = universe.len();
+        for mask in 1u32..(1 << n) {
+            let size = mask.count_ones() as usize;
+            if size > config.max_size {
+                continue;
+            }
+            let items: Vec<&String> = (0..n).filter(|i| mask & (1 << i) != 0).map(|i| &universe[i]).collect();
+            let support = transactions
+                .iter()
+                .filter(|t| items.iter().all(|i| t.contains(*i)))
+                .count();
+            if support >= threshold {
+                expected += 1;
+            }
+        }
+        assert_eq!(mined.len(), expected);
+    }
+
+    #[test]
+    fn tag_mining_uses_the_tag_item_source() {
+        let repo = toy_repo();
+        let mined = mine_repository(&repo, ItemSource::Tags, &MiningConfig::default());
+        assert_eq!(mined.source(), ItemSource::Tags);
+        let alignment = mined
+            .itemsets()
+            .iter()
+            .find(|s| s.items == vec!["alignment".to_string()])
+            .expect("alignment tag is frequent");
+        assert_eq!(alignment.support, 3);
+        let pair = mined
+            .itemsets()
+            .iter()
+            .find(|s| s.items == vec!["alignment".to_string(), "blast".to_string()])
+            .expect("the {alignment, blast} tag pair is frequent");
+        assert_eq!(pair.support, 2);
+    }
+
+    #[test]
+    fn contained_in_workflow_returns_only_contained_itemsets() {
+        let repo = toy_repo();
+        let mined = mine_repository(&repo, ItemSource::ModuleLabels, &MiningConfig::default());
+        let w3 = repo.get_str("w3").unwrap();
+        let contained = mined.contained_in_workflow(w3);
+        for idx in &contained {
+            let itemset = &mined.itemsets()[*idx];
+            assert!(itemset.contained_in(&set(&["fetch", "blast"])));
+        }
+        // w3 = {fetch, blast} contains exactly the frequent sets {fetch},
+        // {blast} and {fetch, blast}.
+        assert_eq!(contained.len(), 3);
+    }
+
+    #[test]
+    fn itemsets_are_sorted_by_descending_support() {
+        let repo = toy_repo();
+        let mined = mine_repository(&repo, ItemSource::ModuleLabels, &MiningConfig::default());
+        let supports: Vec<usize> = mined.itemsets().iter().map(|s| s.support).collect();
+        let mut sorted = supports.clone();
+        sorted.sort_by(|a, b| b.cmp(a));
+        assert_eq!(supports, sorted);
+    }
+
+    #[test]
+    fn empty_repository_mines_nothing() {
+        let repo = Repository::new();
+        let mined = mine_repository(&repo, ItemSource::ModuleLabels, &MiningConfig::default());
+        assert!(mined.is_empty());
+        assert_eq!(mined.transaction_count(), 0);
+    }
+
+    #[test]
+    fn max_size_limits_mined_itemsets() {
+        let repo = Repository::from_workflows(vec![
+            wf("a", &["x", "y", "z", "w"], &[]),
+            wf("b", &["x", "y", "z", "w"], &[]),
+        ]);
+        let config = MiningConfig {
+            min_support: 0.0,
+            min_support_count: 2,
+            max_size: 2,
+        };
+        let mined = mine_repository(&repo, ItemSource::ModuleLabels, &config);
+        assert!(mined.itemsets().iter().all(|s| s.len() <= 2));
+        assert_eq!(mined.of_size(1).len(), 4);
+        assert_eq!(mined.of_size(2).len(), 6);
+    }
+
+    #[test]
+    fn signature_source_separates_equal_labels_with_different_services() {
+        let a = WorkflowBuilder::new("a")
+            .module("lookup", ModuleType::WsdlService, |m| {
+                m.service("ebi.ac.uk", "dbfetch", "http://ebi.ac.uk/dbfetch")
+            })
+            .build()
+            .unwrap();
+        let b = WorkflowBuilder::new("b")
+            .module("lookup", ModuleType::WsdlService, |m| {
+                m.service("kegg.jp", "get", "http://kegg.jp/get")
+            })
+            .build()
+            .unwrap();
+        let sig_a = ItemSource::ModuleSignatures.items(&a);
+        let sig_b = ItemSource::ModuleSignatures.items(&b);
+        assert_ne!(sig_a, sig_b, "different services must not collapse");
+        assert_eq!(
+            ItemSource::ModuleLabels.items(&a),
+            ItemSource::ModuleLabels.items(&b),
+            "label source intentionally collapses them"
+        );
+    }
+}

@@ -1,0 +1,231 @@
+//! Importance Projection (`ip`) preprocessing.
+//!
+//! "Only modules with a score above a configurable threshold are kept …
+//! the workflow is thus projected onto its most relevant modules.  In order
+//! to make full use of this projection in all our structural similarity
+//! measures, all paths between important modules are preserved as edges in
+//! terms of the transitive reduction of the resulting DAG" (Section 2.1.5
+//! and Figure 3 of the paper).
+
+use std::collections::BTreeMap;
+
+use wf_model::{ModuleId, Workflow};
+
+use crate::importance::ImportanceScorer;
+
+/// Projects a workflow onto its important modules.
+///
+/// Modules whose importance score falls below the scorer's threshold are
+/// removed.  If two kept modules were connected by one or more paths whose
+/// intermediate modules are all removed, they are connected by a single
+/// edge; the resulting edge set is reduced to its transitive reduction so
+/// that no redundant shortcuts remain.
+pub fn importance_projection(wf: &Workflow, scorer: &ImportanceScorer) -> Workflow {
+    let keep: Vec<ModuleId> = wf
+        .modules
+        .iter()
+        .filter(|m| scorer.is_important(m))
+        .map(|m| m.id)
+        .collect();
+    project_onto(wf, &keep)
+}
+
+/// Projects a workflow onto an explicit set of modules, preserving
+/// connectivity through removed modules (the primitive behind
+/// [`importance_projection`], exposed for tests and for experiments that
+/// select modules by other criteria).
+pub fn project_onto(wf: &Workflow, keep: &[ModuleId]) -> Workflow {
+    let graph = wf.graph();
+    let n = wf.module_count();
+    let mut kept = vec![false; n];
+    for id in keep {
+        if id.index() < n {
+            kept[id.index()] = true;
+        }
+    }
+
+    // For every kept module, find all kept modules reachable through paths
+    // whose *intermediate* nodes are all removed.
+    let mut bridged_edges: Vec<(ModuleId, ModuleId)> = Vec::new();
+    for start in 0..n {
+        if !kept[start] {
+            continue;
+        }
+        let mut visited = vec![false; n];
+        let mut stack: Vec<usize> = graph
+            .successors(ModuleId(start as u32))
+            .iter()
+            .map(|m| m.index())
+            .collect();
+        while let Some(v) = stack.pop() {
+            if visited[v] {
+                continue;
+            }
+            visited[v] = true;
+            if kept[v] {
+                bridged_edges.push((ModuleId(start as u32), ModuleId(v as u32)));
+                // Do not traverse past a kept module: the path beyond it is
+                // represented by that module's own outgoing edges.
+                continue;
+            }
+            for s in graph.successors(ModuleId(v as u32)) {
+                if !visited[s.index()] {
+                    stack.push(s.index());
+                }
+            }
+        }
+    }
+
+    // Restrict the workflow to the kept modules with no links, then add the
+    // bridged edges (translated to the new dense id space) and reduce them
+    // transitively.
+    let mut keep_sorted: Vec<ModuleId> = keep.to_vec();
+    keep_sorted.sort_unstable();
+    keep_sorted.dedup();
+    let remap: BTreeMap<ModuleId, ModuleId> = keep_sorted
+        .iter()
+        .enumerate()
+        .map(|(new, old)| (*old, ModuleId(new as u32)))
+        .collect();
+
+    let translated: Vec<(ModuleId, ModuleId)> = bridged_edges
+        .iter()
+        .filter_map(|(f, t)| Some((*remap.get(f)?, *remap.get(t)?)))
+        .collect();
+
+    // Build an intermediate workflow carrying the bridged edges, then apply
+    // the transitive reduction of its graph.
+    let mut projected = wf.restrict_to(&keep_sorted, &translated);
+    // Drop the links that came from the original workflow (restrict_to keeps
+    // direct links between kept modules, which are a subset of the bridged
+    // edges anyway) and replace them by the transitive reduction.
+    let reduced = projected.graph().transitive_reduction();
+    projected.links = reduced
+        .into_iter()
+        .map(|(f, t)| wf_model::Datalink::new(f, t))
+        .collect();
+    projected
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::importance::{ImportanceConfig, ImportanceScorer};
+    use wf_model::{builder::WorkflowBuilder, ModuleType};
+
+    /// fetch(ws) -> split(local) -> analyse(script) -> format(local) -> plot(ws)
+    /// plus a parallel shortcut fetch -> rename(local) -> plot.
+    fn noisy_workflow() -> Workflow {
+        WorkflowBuilder::new("noisy")
+            .module("fetch", ModuleType::WsdlService, |m| m)
+            .module("split", ModuleType::LocalOperation, |m| m)
+            .module("analyse", ModuleType::BeanshellScript, |m| m)
+            .module("format", ModuleType::LocalOperation, |m| m)
+            .module("plot", ModuleType::WsdlService, |m| m)
+            .module("rename", ModuleType::LocalOperation, |m| m)
+            .link("fetch", "split")
+            .link("split", "analyse")
+            .link("analyse", "format")
+            .link("format", "plot")
+            .link("fetch", "rename")
+            .link("rename", "plot")
+            .build()
+            .unwrap()
+    }
+
+    fn scorer() -> ImportanceScorer {
+        ImportanceScorer::new(ImportanceConfig::type_based())
+    }
+
+    #[test]
+    fn trivial_modules_are_removed_and_paths_bridged() {
+        let wf = noisy_workflow();
+        let projected = importance_projection(&wf, &scorer());
+        assert_eq!(projected.module_count(), 3, "fetch, analyse, plot survive");
+        let labels: Vec<&str> = projected.modules.iter().map(|m| m.label.as_str()).collect();
+        assert_eq!(labels, vec!["fetch", "analyse", "plot"]);
+        // fetch -> analyse (via split), analyse -> plot (via format); the
+        // direct fetch -> plot bridge (via rename) is removed by the
+        // transitive reduction.
+        let g = projected.graph();
+        let edges: Vec<(u32, u32)> = g.edges().iter().map(|(a, b)| (a.0, b.0)).collect();
+        assert_eq!(edges, vec![(0, 1), (1, 2)]);
+    }
+
+    #[test]
+    fn projection_reduces_average_module_count() {
+        // The paper reports the projection shrinking workflows from 11.3 to
+        // 4.7 modules on average; here we just verify it never grows them.
+        let wf = noisy_workflow();
+        let projected = importance_projection(&wf, &scorer());
+        assert!(projected.module_count() <= wf.module_count());
+        assert!(projected.link_count() <= wf.link_count());
+    }
+
+    #[test]
+    fn workflow_of_only_important_modules_keeps_its_reduced_structure() {
+        let wf = WorkflowBuilder::new("clean")
+            .module("a", ModuleType::WsdlService, |m| m)
+            .module("b", ModuleType::WsdlService, |m| m)
+            .module("c", ModuleType::WsdlService, |m| m)
+            .link("a", "b")
+            .link("b", "c")
+            .link("a", "c") // redundant shortcut
+            .build()
+            .unwrap();
+        let projected = importance_projection(&wf, &scorer());
+        assert_eq!(projected.module_count(), 3);
+        // The transitive reduction removes the redundant a -> c edge.
+        assert_eq!(projected.link_count(), 2);
+    }
+
+    #[test]
+    fn workflow_of_only_trivial_modules_projects_to_empty() {
+        let wf = WorkflowBuilder::new("trivial")
+            .module("split", ModuleType::LocalOperation, |m| m)
+            .module("join", ModuleType::LocalOperation, |m| m)
+            .link("split", "join")
+            .build()
+            .unwrap();
+        let projected = importance_projection(&wf, &scorer());
+        assert_eq!(projected.module_count(), 0);
+        assert_eq!(projected.link_count(), 0);
+    }
+
+    #[test]
+    fn annotations_and_id_are_preserved() {
+        let mut wf = noisy_workflow();
+        wf.annotations.title = Some("Noisy workflow".into());
+        wf.annotations.tags.push("test".into());
+        let projected = importance_projection(&wf, &scorer());
+        assert_eq!(projected.id, wf.id);
+        assert_eq!(projected.annotations, wf.annotations);
+    }
+
+    #[test]
+    fn project_onto_explicit_selection() {
+        let wf = noisy_workflow();
+        // Keep only the two web services.
+        let keep: Vec<ModuleId> = wf
+            .modules
+            .iter()
+            .filter(|m| m.module_type == ModuleType::WsdlService)
+            .map(|m| m.id)
+            .collect();
+        let projected = project_onto(&wf, &keep);
+        assert_eq!(projected.module_count(), 2);
+        // fetch reaches plot through removed modules on two routes -> one edge.
+        assert_eq!(projected.link_count(), 1);
+        let g = projected.graph();
+        assert_eq!(g.sources().len(), 1);
+        assert_eq!(g.sinks().len(), 1);
+    }
+
+    #[test]
+    fn projection_is_idempotent() {
+        let wf = noisy_workflow();
+        let once = importance_projection(&wf, &scorer());
+        let twice = importance_projection(&once, &scorer());
+        assert_eq!(once, twice);
+    }
+}

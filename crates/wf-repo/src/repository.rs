@@ -1,0 +1,164 @@
+//! An in-memory workflow repository.
+
+use std::collections::BTreeMap;
+
+use wf_model::{CorpusStats, Workflow, WorkflowId};
+
+/// A collection of workflows addressable by id — the stand-in for a public
+/// repository such as myExperiment or the Galaxy repository.
+#[derive(Debug, Clone, Default)]
+pub struct Repository {
+    workflows: Vec<Workflow>,
+    index: BTreeMap<WorkflowId, usize>,
+}
+
+impl Repository {
+    /// Creates an empty repository.
+    pub fn new() -> Self {
+        Repository::default()
+    }
+
+    /// Builds a repository from a corpus of workflows.  Workflows with
+    /// duplicate ids replace earlier ones (last upload wins, as in real
+    /// repositories where a new version supersedes the old).
+    pub fn from_workflows(workflows: impl IntoIterator<Item = Workflow>) -> Self {
+        let mut repo = Repository::new();
+        for wf in workflows {
+            repo.insert(wf);
+        }
+        repo
+    }
+
+    /// Inserts (or replaces) a workflow.
+    pub fn insert(&mut self, wf: Workflow) {
+        match self.index.get(&wf.id) {
+            Some(&pos) => self.workflows[pos] = wf,
+            None => {
+                self.index.insert(wf.id.clone(), self.workflows.len());
+                self.workflows.push(wf);
+            }
+        }
+    }
+
+    /// Number of stored workflows.
+    pub fn len(&self) -> usize {
+        self.workflows.len()
+    }
+
+    /// True if the repository is empty.
+    pub fn is_empty(&self) -> bool {
+        self.workflows.is_empty()
+    }
+
+    /// Looks up a workflow by id.
+    pub fn get(&self, id: &WorkflowId) -> Option<&Workflow> {
+        self.index.get(id).map(|&pos| &self.workflows[pos])
+    }
+
+    /// Looks up a workflow by its id string.
+    pub fn get_str(&self, id: &str) -> Option<&Workflow> {
+        self.get(&WorkflowId::new(id))
+    }
+
+    /// True if a workflow with this id exists.
+    pub fn contains(&self, id: &WorkflowId) -> bool {
+        self.index.contains_key(id)
+    }
+
+    /// Iterates over all workflows in insertion order.
+    pub fn iter(&self) -> impl Iterator<Item = &Workflow> {
+        self.workflows.iter()
+    }
+
+    /// All workflow ids in insertion order.
+    pub fn ids(&self) -> Vec<&WorkflowId> {
+        self.workflows.iter().map(|w| &w.id).collect()
+    }
+
+    /// The underlying workflows as a slice.
+    pub fn workflows(&self) -> &[Workflow] {
+        &self.workflows
+    }
+
+    /// Aggregate statistics over the stored corpus.
+    pub fn stats(&self) -> Option<CorpusStats> {
+        CorpusStats::of(&self.workflows)
+    }
+
+    /// Applies a transformation to every workflow, producing a new
+    /// repository (used to build an importance-projected copy of the corpus
+    /// once, instead of projecting on every comparison).
+    pub fn map_workflows(&self, mut f: impl FnMut(&Workflow) -> Workflow) -> Repository {
+        Repository::from_workflows(self.workflows.iter().map(|w| f(w)))
+    }
+}
+
+impl FromIterator<Workflow> for Repository {
+    fn from_iter<T: IntoIterator<Item = Workflow>>(iter: T) -> Self {
+        Repository::from_workflows(iter)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use wf_model::{builder::WorkflowBuilder, ModuleType};
+
+    fn wf(id: &str, n: usize) -> Workflow {
+        let mut b = WorkflowBuilder::new(id).title(format!("workflow {id}"));
+        for i in 0..n {
+            b = b.module(format!("m{i}"), ModuleType::WsdlService, |m| m);
+            if i > 0 {
+                b = b.link(format!("m{}", i - 1), format!("m{i}"));
+            }
+        }
+        b.build().unwrap()
+    }
+
+    #[test]
+    fn insert_get_and_len() {
+        let repo = Repository::from_workflows(vec![wf("a", 2), wf("b", 3)]);
+        assert_eq!(repo.len(), 2);
+        assert!(!repo.is_empty());
+        assert!(repo.contains(&WorkflowId::new("a")));
+        assert_eq!(repo.get_str("b").unwrap().module_count(), 3);
+        assert!(repo.get_str("zzz").is_none());
+        assert_eq!(repo.ids().len(), 2);
+    }
+
+    #[test]
+    fn duplicate_ids_replace_earlier_entries() {
+        let mut repo = Repository::new();
+        repo.insert(wf("a", 2));
+        repo.insert(wf("a", 5));
+        assert_eq!(repo.len(), 1);
+        assert_eq!(repo.get_str("a").unwrap().module_count(), 5);
+    }
+
+    #[test]
+    fn iteration_preserves_insertion_order() {
+        let repo: Repository = vec![wf("x", 1), wf("y", 2), wf("z", 3)].into_iter().collect();
+        let ids: Vec<&str> = repo.iter().map(|w| w.id.as_str()).collect();
+        assert_eq!(ids, vec!["x", "y", "z"]);
+    }
+
+    #[test]
+    fn stats_and_map() {
+        let repo = Repository::from_workflows(vec![wf("a", 2), wf("b", 4)]);
+        let stats = repo.stats().unwrap();
+        assert_eq!(stats.workflows, 2);
+        assert!((stats.mean_modules - 3.0).abs() < 1e-9);
+
+        let truncated = repo.map_workflows(|w| {
+            w.restrict_to(&w.module_ids().take(1).collect::<Vec<_>>(), &[])
+        });
+        assert_eq!(truncated.stats().unwrap().mean_modules, 1.0);
+        assert_eq!(truncated.len(), 2);
+    }
+
+    #[test]
+    fn empty_repository_has_no_stats() {
+        assert!(Repository::new().stats().is_none());
+        assert!(Repository::new().is_empty());
+    }
+}

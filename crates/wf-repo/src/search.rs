@@ -1,0 +1,246 @@
+//! Top-k similarity search over a repository.
+//!
+//! The retrieval experiment of the paper (Section 5.2) runs each algorithm
+//! "to each retrieve the top-10 similar workflows from our complete dataset
+//! of 1483 Taverna workflows".  [`SearchEngine`] implements exactly that
+//! operation, generic over the similarity measure (any
+//! `Fn(&Workflow, &Workflow) -> f64`), with an optional multi-threaded
+//! scoring path for large corpora.
+
+use parking_lot::Mutex;
+use wf_model::{Workflow, WorkflowId};
+
+use crate::repository::Repository;
+
+/// One search result: a workflow id and its similarity to the query.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SearchHit {
+    /// The id of the retrieved workflow.
+    pub id: WorkflowId,
+    /// Its similarity to the query workflow.
+    pub score: f64,
+}
+
+/// A top-k similarity search engine over one repository.
+pub struct SearchEngine<'r, F> {
+    repository: &'r Repository,
+    similarity: F,
+    /// Number of worker threads used by [`SearchEngine::top_k_parallel`].
+    threads: usize,
+}
+
+impl<'r, F> SearchEngine<'r, F>
+where
+    F: Fn(&Workflow, &Workflow) -> f64 + Sync,
+{
+    /// Creates a search engine over `repository` using the given similarity
+    /// measure.
+    pub fn new(repository: &'r Repository, similarity: F) -> Self {
+        SearchEngine {
+            repository,
+            similarity,
+            threads: 4,
+        }
+    }
+
+    /// Sets the number of worker threads for parallel search (at least 1).
+    pub fn with_threads(mut self, threads: usize) -> Self {
+        self.threads = threads.max(1);
+        self
+    }
+
+    /// Scores every workflow in the repository against the query and returns
+    /// the `k` most similar ones, best first.  The query workflow itself
+    /// (same id) is excluded — retrieving the query is trivially perfect and
+    /// the paper's result lists do not contain it.
+    pub fn top_k(&self, query: &Workflow, k: usize) -> Vec<SearchHit> {
+        let mut hits: Vec<SearchHit> = self
+            .repository
+            .iter()
+            .filter(|wf| wf.id != query.id)
+            .map(|wf| SearchHit {
+                id: wf.id.clone(),
+                score: (self.similarity)(query, wf),
+            })
+            .collect();
+        sort_and_truncate(&mut hits, k);
+        hits
+    }
+
+    /// Like [`SearchEngine::top_k`] but scoring workflows on several threads
+    /// (crossbeam scoped threads, so the similarity closure only needs to be
+    /// `Sync`, not `'static`).
+    pub fn top_k_parallel(&self, query: &Workflow, k: usize) -> Vec<SearchHit> {
+        let candidates: Vec<&Workflow> = self
+            .repository
+            .iter()
+            .filter(|wf| wf.id != query.id)
+            .collect();
+        if candidates.is_empty() {
+            return Vec::new();
+        }
+        let threads = self.threads.min(candidates.len());
+        let results: Mutex<Vec<SearchHit>> = Mutex::new(Vec::with_capacity(candidates.len()));
+        let chunk_size = candidates.len().div_ceil(threads);
+        crossbeam::scope(|scope| {
+            for chunk in candidates.chunks(chunk_size) {
+                let results = &results;
+                let similarity = &self.similarity;
+                scope.spawn(move |_| {
+                    let local: Vec<SearchHit> = chunk
+                        .iter()
+                        .map(|wf| SearchHit {
+                            id: wf.id.clone(),
+                            score: similarity(query, wf),
+                        })
+                        .collect();
+                    results.lock().extend(local);
+                });
+            }
+        })
+        .expect("search worker thread panicked");
+        let mut hits = results.into_inner();
+        sort_and_truncate(&mut hits, k);
+        hits
+    }
+
+    /// Ranks an explicit candidate list (by id) against the query — the
+    /// operation behind the first (ranking) experiment, where each query
+    /// comes with 10 preselected candidates.  Unknown ids are skipped.
+    pub fn rank_candidates(&self, query: &Workflow, candidate_ids: &[WorkflowId]) -> Vec<SearchHit> {
+        let mut hits: Vec<SearchHit> = candidate_ids
+            .iter()
+            .filter_map(|id| self.repository.get(id))
+            .map(|wf| SearchHit {
+                id: wf.id.clone(),
+                score: (self.similarity)(query, wf),
+            })
+            .collect();
+        sort_and_truncate(&mut hits, usize::MAX);
+        hits
+    }
+}
+
+fn sort_and_truncate(hits: &mut Vec<SearchHit>, k: usize) {
+    hits.sort_by(|a, b| {
+        b.score
+            .partial_cmp(&a.score)
+            .unwrap_or(std::cmp::Ordering::Equal)
+            .then_with(|| a.id.cmp(&b.id))
+    });
+    if k < hits.len() {
+        hits.truncate(k);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use wf_model::{builder::WorkflowBuilder, ModuleType};
+
+    fn wf(id: &str, labels: &[&str]) -> Workflow {
+        let mut b = WorkflowBuilder::new(id).title(format!("workflow {id}"));
+        for l in labels {
+            b = b.module(*l, ModuleType::WsdlService, |m| m);
+        }
+        for pair in labels.windows(2) {
+            b = b.link(pair[0], pair[1]);
+        }
+        b.build().unwrap()
+    }
+
+    /// Similarity: Jaccard overlap of module label sets.
+    fn label_overlap(a: &Workflow, b: &Workflow) -> f64 {
+        let la: std::collections::BTreeSet<&str> =
+            a.modules.iter().map(|m| m.label.as_str()).collect();
+        let lb: std::collections::BTreeSet<&str> =
+            b.modules.iter().map(|m| m.label.as_str()).collect();
+        let inter = la.intersection(&lb).count() as f64;
+        let union = la.union(&lb).count() as f64;
+        if union == 0.0 {
+            0.0
+        } else {
+            inter / union
+        }
+    }
+
+    fn repository() -> Repository {
+        Repository::from_workflows(vec![
+            wf("q", &["fetch", "blast", "plot"]),
+            wf("close", &["fetch", "blast", "render"]),
+            wf("medium", &["fetch", "align"]),
+            wf("far", &["download", "cluster"]),
+        ])
+    }
+
+    #[test]
+    fn top_k_orders_by_similarity_and_excludes_the_query() {
+        let repo = repository();
+        let engine = SearchEngine::new(&repo, label_overlap);
+        let query = repo.get_str("q").unwrap();
+        let hits = engine.top_k(query, 10);
+        assert_eq!(hits.len(), 3);
+        assert_eq!(hits[0].id.as_str(), "close");
+        assert_eq!(hits[1].id.as_str(), "medium");
+        assert_eq!(hits[2].id.as_str(), "far");
+        assert!(hits[0].score > hits[1].score);
+        assert!(hits.iter().all(|h| h.id.as_str() != "q"));
+    }
+
+    #[test]
+    fn top_k_truncates_to_k() {
+        let repo = repository();
+        let engine = SearchEngine::new(&repo, label_overlap);
+        let query = repo.get_str("q").unwrap();
+        assert_eq!(engine.top_k(query, 1).len(), 1);
+        assert_eq!(engine.top_k(query, 0).len(), 0);
+    }
+
+    #[test]
+    fn parallel_search_matches_sequential_search() {
+        let repo = repository();
+        let engine = SearchEngine::new(&repo, label_overlap).with_threads(3);
+        let query = repo.get_str("q").unwrap();
+        assert_eq!(engine.top_k(query, 10), engine.top_k_parallel(query, 10));
+    }
+
+    #[test]
+    fn parallel_search_on_empty_repository() {
+        let repo = Repository::from_workflows(vec![wf("q", &["a"])]);
+        let engine = SearchEngine::new(&repo, label_overlap);
+        let query = repo.get_str("q").unwrap().clone();
+        assert!(engine.top_k_parallel(&query, 5).is_empty());
+    }
+
+    #[test]
+    fn rank_candidates_scores_only_the_given_ids() {
+        let repo = repository();
+        let engine = SearchEngine::new(&repo, label_overlap);
+        let query = repo.get_str("q").unwrap();
+        let hits = engine.rank_candidates(
+            query,
+            &[
+                WorkflowId::new("far"),
+                WorkflowId::new("close"),
+                WorkflowId::new("does-not-exist"),
+            ],
+        );
+        assert_eq!(hits.len(), 2);
+        assert_eq!(hits[0].id.as_str(), "close");
+        assert_eq!(hits[1].id.as_str(), "far");
+    }
+
+    #[test]
+    fn ties_are_broken_deterministically_by_id() {
+        let repo = Repository::from_workflows(vec![
+            wf("q", &["a"]),
+            wf("z-tied", &["x"]),
+            wf("a-tied", &["y"]),
+        ]);
+        let engine = SearchEngine::new(&repo, |_: &Workflow, _: &Workflow| 0.5);
+        let query = repo.get_str("q").unwrap();
+        let hits = engine.top_k(query, 10);
+        assert_eq!(hits[0].id.as_str(), "a-tied");
+        assert_eq!(hits[1].id.as_str(), "z-tied");
+    }
+}

@@ -1,0 +1,179 @@
+//! Module usage statistics across a repository.
+//!
+//! The paper observes that "modules used most frequently across different
+//! workflows often provide trivial, rather unspecific functionality"
+//! (Section 2.1.5, citing the authors' earlier corpus study \[35\]) and
+//! names automatic, frequency-based importance scoring as future work.
+//! [`UsageStatistics`] provides the counts such scoring needs: how many
+//! distinct workflows each module *signature* occurs in.
+
+use std::collections::BTreeMap;
+use std::collections::BTreeSet;
+
+use wf_model::{Module, Workflow};
+
+use crate::repository::Repository;
+
+/// Per-signature usage counts over a repository.
+///
+/// A module's *signature* is, in order of preference, its service URI (for
+/// service modules), otherwise its lowercased label.  This groups the many
+/// author-renamed instances of the same service while keeping distinct local
+/// scripts apart.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct UsageStatistics {
+    /// signature -> number of distinct workflows containing it.
+    workflow_counts: BTreeMap<String, usize>,
+    /// Total number of workflows the statistics were computed over.
+    total_workflows: usize,
+}
+
+impl UsageStatistics {
+    /// The signature used to identify "the same" module across workflows.
+    pub fn signature(module: &Module) -> String {
+        match &module.service_uri {
+            Some(uri) if !uri.is_empty() => format!("uri:{}", uri.to_lowercase()),
+            _ => format!("label:{}", module.label.to_lowercase()),
+        }
+    }
+
+    /// Computes usage statistics over all workflows of a repository.
+    pub fn from_repository(repo: &Repository) -> Self {
+        Self::from_workflows(repo.iter())
+    }
+
+    /// Computes usage statistics over an iterator of workflows.
+    pub fn from_workflows<'a>(workflows: impl IntoIterator<Item = &'a Workflow>) -> Self {
+        let mut counts: BTreeMap<String, usize> = BTreeMap::new();
+        let mut total = 0usize;
+        for wf in workflows {
+            total += 1;
+            let signatures: BTreeSet<String> =
+                wf.modules.iter().map(UsageStatistics::signature).collect();
+            for sig in signatures {
+                *counts.entry(sig).or_insert(0) += 1;
+            }
+        }
+        UsageStatistics {
+            workflow_counts: counts,
+            total_workflows: total,
+        }
+    }
+
+    /// Number of workflows the statistics cover.
+    pub fn total_workflows(&self) -> usize {
+        self.total_workflows
+    }
+
+    /// In how many distinct workflows the module's signature occurs.
+    pub fn workflow_count(&self, module: &Module) -> usize {
+        self.workflow_counts
+            .get(&UsageStatistics::signature(module))
+            .copied()
+            .unwrap_or(0)
+    }
+
+    /// The fraction of workflows containing the module's signature
+    /// (document frequency), in `[0, 1]`.
+    pub fn document_frequency(&self, module: &Module) -> f64 {
+        if self.total_workflows == 0 {
+            return 0.0;
+        }
+        self.workflow_count(module) as f64 / self.total_workflows as f64
+    }
+
+    /// The `k` most frequently used signatures, most frequent first.
+    pub fn most_frequent(&self, k: usize) -> Vec<(&str, usize)> {
+        let mut all: Vec<(&str, usize)> = self
+            .workflow_counts
+            .iter()
+            .map(|(s, &c)| (s.as_str(), c))
+            .collect();
+        all.sort_by(|a, b| b.1.cmp(&a.1).then(a.0.cmp(b.0)));
+        all.truncate(k);
+        all
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use wf_model::{builder::WorkflowBuilder, ModuleType};
+
+    fn wf(id: &str, with_split: bool) -> Workflow {
+        let mut b = WorkflowBuilder::new(id)
+            .module("fetch_data", ModuleType::WsdlService, |m| {
+                m.service("ebi.ac.uk", "fetch", "http://ebi.ac.uk/ws")
+            })
+            .module("analyse", ModuleType::BeanshellScript, |m| m.script("x"));
+        b = b.link("fetch_data", "analyse");
+        if with_split {
+            b = b
+                .module("split_string", ModuleType::LocalOperation, |m| m)
+                .link("analyse", "split_string");
+        }
+        b.build().unwrap()
+    }
+
+    #[test]
+    fn signatures_prefer_service_uri_over_label() {
+        let w = wf("a", false);
+        let fetch = w.module_by_label("fetch_data").unwrap();
+        let analyse = w.module_by_label("analyse").unwrap();
+        assert_eq!(UsageStatistics::signature(fetch), "uri:http://ebi.ac.uk/ws");
+        assert_eq!(UsageStatistics::signature(analyse), "label:analyse");
+    }
+
+    #[test]
+    fn counts_are_per_workflow_not_per_occurrence() {
+        let corpus = vec![wf("a", true), wf("b", true), wf("c", false)];
+        let stats = UsageStatistics::from_workflows(&corpus);
+        assert_eq!(stats.total_workflows(), 3);
+        let split = corpus[0].module_by_label("split_string").unwrap();
+        assert_eq!(stats.workflow_count(split), 2);
+        let fetch = corpus[0].module_by_label("fetch_data").unwrap();
+        assert_eq!(stats.workflow_count(fetch), 3);
+        assert!((stats.document_frequency(split) - 2.0 / 3.0).abs() < 1e-9);
+        assert!((stats.document_frequency(fetch) - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn unknown_modules_have_zero_frequency() {
+        let stats = UsageStatistics::from_workflows(&[wf("a", false)]);
+        let other = WorkflowBuilder::new("x")
+            .module("exotic_tool", ModuleType::GalaxyTool, |m| m)
+            .build()
+            .unwrap();
+        let module = other.module_by_label("exotic_tool").unwrap();
+        assert_eq!(stats.workflow_count(module), 0);
+        assert_eq!(stats.document_frequency(module), 0.0);
+    }
+
+    #[test]
+    fn empty_statistics_are_safe() {
+        let stats = UsageStatistics::default();
+        let w = wf("a", false);
+        assert_eq!(stats.document_frequency(&w.modules[0]), 0.0);
+        assert!(stats.most_frequent(5).is_empty());
+    }
+
+    #[test]
+    fn most_frequent_orders_by_count() {
+        let corpus = vec![wf("a", true), wf("b", true), wf("c", false)];
+        let stats = UsageStatistics::from_workflows(&corpus);
+        let top = stats.most_frequent(2);
+        assert_eq!(top.len(), 2);
+        assert_eq!(top[0].1, 3);
+        assert!(top[0].1 >= top[1].1);
+    }
+
+    #[test]
+    fn from_repository_matches_from_workflows() {
+        let corpus = vec![wf("a", true), wf("b", false)];
+        let repo = Repository::from_workflows(corpus.clone());
+        assert_eq!(
+            UsageStatistics::from_repository(&repo),
+            UsageStatistics::from_workflows(&corpus)
+        );
+    }
+}

@@ -1,0 +1,92 @@
+//! The Bag of Tags measure (`simBT`).
+//!
+//! "The tags assigned to a workflow are treated as a bag of tags and
+//! calculate workflow similarity in the same way as in the Bag of Words
+//! approach … no stopword removal or other preprocessing of the tags is
+//! performed" (Section 2.2, following Stoyanovich et al. \[36\]).
+//!
+//! The paper notes that `simBT` "is not able to provide rankings for four of
+//! the given query workflows due to lack of tags" and that about 15% of the
+//! corpus carries no tags at all; the measure therefore returns `None` when
+//! either workflow is untagged, and the evaluation treats such queries
+//! exactly as the paper does (they are excluded from the BT averages).
+
+use wf_model::Workflow;
+use wf_text::TokenBag;
+
+/// `simBT`: set-semantics similarity of the tag bags, or `None` if either
+/// workflow carries no tags.
+pub fn bag_of_tags_similarity(a: &Workflow, b: &Workflow) -> Option<f64> {
+    if !a.annotations.has_tags() || !b.annotations.has_tags() {
+        return None;
+    }
+    let bag_a = TokenBag::from_tags(&a.annotations.tags);
+    let bag_b = TokenBag::from_tags(&b.annotations.tags);
+    Some(bag_a.set_similarity(&bag_b))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use wf_model::builder::WorkflowBuilder;
+
+    fn tagged(id: &str, tags: &[&str]) -> Workflow {
+        let mut b = WorkflowBuilder::new(id);
+        for t in tags {
+            b = b.tag(*t);
+        }
+        b.build().unwrap()
+    }
+
+    #[test]
+    fn identical_tag_sets_score_one() {
+        let a = tagged("a", &["kegg", "pathway"]);
+        let b = tagged("b", &["pathway", "kegg"]);
+        assert_eq!(bag_of_tags_similarity(&a, &b), Some(1.0));
+    }
+
+    #[test]
+    fn disjoint_tag_sets_score_zero() {
+        let a = tagged("a", &["kegg"]);
+        let b = tagged("b", &["astronomy"]);
+        assert_eq!(bag_of_tags_similarity(&a, &b), Some(0.0));
+    }
+
+    #[test]
+    fn partial_overlap() {
+        let a = tagged("a", &["kegg", "pathway", "genes"]);
+        let b = tagged("b", &["pathway", "genes", "entrez"]);
+        assert_eq!(bag_of_tags_similarity(&a, &b), Some(0.5));
+    }
+
+    #[test]
+    fn untagged_workflows_cannot_be_compared() {
+        let a = tagged("a", &["kegg"]);
+        let b = tagged("b", &[]);
+        assert_eq!(bag_of_tags_similarity(&a, &b), None);
+        assert_eq!(bag_of_tags_similarity(&b, &b.clone()), None);
+    }
+
+    #[test]
+    fn tags_are_not_stopword_filtered() {
+        // "the" would be removed by Bag of Words but is kept as a tag.
+        let a = tagged("a", &["the"]);
+        let b = tagged("b", &["the"]);
+        assert_eq!(bag_of_tags_similarity(&a, &b), Some(1.0));
+    }
+
+    #[test]
+    fn multi_word_tags_stay_whole() {
+        let a = tagged("a", &["pathway analysis"]);
+        let b = tagged("b", &["pathway", "analysis"]);
+        // The multi-word tag does not match the two single-word tags.
+        assert_eq!(bag_of_tags_similarity(&a, &b), Some(0.0));
+    }
+
+    #[test]
+    fn tag_case_is_ignored() {
+        let a = tagged("a", &["KEGG"]);
+        let b = tagged("b", &["kegg"]);
+        assert_eq!(bag_of_tags_similarity(&a, &b), Some(1.0));
+    }
+}

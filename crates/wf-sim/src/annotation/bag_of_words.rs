@@ -1,0 +1,120 @@
+//! The Bag of Words measure (`simBW`).
+//!
+//! "Workflows are compared by their titles and descriptions using a
+//! bag-of-words approach.  Both title and description are tokenized using
+//! whitespace and underscores as separators.  The resulting tokens are
+//! converted to lowercase and cleansed from any non alphanumeric
+//! characters.  Tokens are filtered for stopwords.  The workflows'
+//! similarity is then computed as `#matches / (#matches + #mismatches)`"
+//! (Section 2.2, following Costa et al. \[11\]).
+
+use wf_model::Workflow;
+use wf_text::TokenBag;
+
+/// `simBW`: set-semantics similarity of the title + description token bags.
+///
+/// Returns `None` when *neither* workflow carries any title/description
+/// tokens after preprocessing — in that case the measure simply has no
+/// information (two completely unannotated workflows are not evidence of
+/// similarity).  When exactly one side is empty the similarity is 0.
+pub fn bag_of_words_similarity(a: &Workflow, b: &Workflow) -> Option<f64> {
+    let bag_a = TokenBag::from_text(&a.annotations.title_and_description());
+    let bag_b = TokenBag::from_text(&b.annotations.title_and_description());
+    if bag_a.is_empty() && bag_b.is_empty() {
+        return None;
+    }
+    Some(bag_a.set_similarity(&bag_b))
+}
+
+/// The multiset ablation the paper mentions ("we did try variants that
+/// account for multiple occurrences … these variants performed slightly
+/// worse").
+pub fn bag_of_words_similarity_multiset(a: &Workflow, b: &Workflow) -> Option<f64> {
+    let bag_a = TokenBag::from_text(&a.annotations.title_and_description());
+    let bag_b = TokenBag::from_text(&b.annotations.title_and_description());
+    if bag_a.is_empty() && bag_b.is_empty() {
+        return None;
+    }
+    Some(bag_a.multiset_similarity(&bag_b))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use wf_model::builder::WorkflowBuilder;
+    use wf_model::Workflow;
+
+    fn annotated(id: &str, title: &str, description: &str) -> Workflow {
+        WorkflowBuilder::new(id)
+            .title(title)
+            .description(description)
+            .build()
+            .unwrap()
+    }
+
+    #[test]
+    fn identical_annotations_score_one() {
+        let a = annotated("a", "KEGG pathway analysis", "maps genes onto pathways");
+        let b = annotated("b", "KEGG pathway analysis", "maps genes onto pathways");
+        assert_eq!(bag_of_words_similarity(&a, &b), Some(1.0));
+    }
+
+    #[test]
+    fn unrelated_annotations_score_zero() {
+        let a = annotated("a", "KEGG pathway analysis", "");
+        let b = annotated("b", "weather simulation", "");
+        assert_eq!(bag_of_words_similarity(&a, &b), Some(0.0));
+    }
+
+    #[test]
+    fn partial_overlap_matches_the_match_mismatch_formula() {
+        // tokens a: {kegg, pathway, analysis}; b: {pathway, analysis, genes}
+        // matches = 2, mismatches = 2 -> 0.5
+        let a = annotated("a", "KEGG pathway analysis", "");
+        let b = annotated("b", "pathway analysis of genes", "");
+        assert_eq!(bag_of_words_similarity(&a, &b), Some(0.5));
+    }
+
+    #[test]
+    fn stopwords_and_case_do_not_matter() {
+        let a = annotated("a", "The Analysis of a Pathway", "");
+        let b = annotated("b", "pathway ANALYSIS", "");
+        assert_eq!(bag_of_words_similarity(&a, &b), Some(1.0));
+    }
+
+    #[test]
+    fn title_and_description_are_pooled() {
+        let a = annotated("a", "BLAST search", "protein sequences");
+        let b = annotated("b", "protein sequences", "BLAST search");
+        assert_eq!(bag_of_words_similarity(&a, &b), Some(1.0));
+    }
+
+    #[test]
+    fn unannotated_pairs_have_no_score() {
+        let a = annotated("a", "", "");
+        let b = annotated("b", "", "");
+        assert_eq!(bag_of_words_similarity(&a, &b), None);
+        let c = annotated("c", "BLAST", "");
+        assert_eq!(bag_of_words_similarity(&a, &c), Some(0.0));
+    }
+
+    #[test]
+    fn multiset_variant_is_stricter_under_repetition() {
+        let a = annotated("a", "gene gene expression", "");
+        let b = annotated("b", "gene expression expression", "");
+        let set = bag_of_words_similarity(&a, &b).unwrap();
+        let multi = bag_of_words_similarity_multiset(&a, &b).unwrap();
+        assert_eq!(set, 1.0);
+        assert!(multi < set);
+    }
+
+    #[test]
+    fn similarity_is_symmetric() {
+        let a = annotated("a", "KEGG pathway analysis", "entrez gene ids");
+        let b = annotated("b", "pathway enrichment", "gene lists from entrez");
+        assert_eq!(
+            bag_of_words_similarity(&a, &b),
+            bag_of_words_similarity(&b, &a)
+        );
+    }
+}

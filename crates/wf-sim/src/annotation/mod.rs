@@ -1,0 +1,10 @@
+//! Annotation-based measures (Section 2.2 of the paper).
+//!
+//! * [`bag_of_words`] — `simBW`: titles and descriptions as bags of words,
+//! * [`bag_of_tags`] — `simBT`: keyword tags as bags of tags.
+
+pub mod bag_of_tags;
+pub mod bag_of_words;
+
+pub use bag_of_tags::bag_of_tags_similarity;
+pub use bag_of_words::{bag_of_words_similarity, bag_of_words_similarity_multiset};

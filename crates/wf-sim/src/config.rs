@@ -1,0 +1,348 @@
+//! Configuration of the similarity pipeline.
+//!
+//! A [`SimilarityConfig`] selects one concrete algorithm out of the design
+//! space the paper explores: the measure kind (MS / PS / GE / BW / BT), the
+//! module comparison scheme (`pX`), the module-pair preselection (`tX`), the
+//! Importance Projection preprocessing (`Xp`), the module mapping strategy
+//! and whether scores are normalized.  Table 2 of the paper defines the
+//! shorthand notation; [`SimilarityConfig::name`] reproduces it
+//! (e.g. `MS_ip_te_pll`).
+
+use std::fmt;
+
+use wf_ged::GedBudget;
+use wf_matching::MappingStrategy;
+use wf_repo::{ImportanceConfig, PreselectionStrategy};
+
+use crate::module_cmp::ModuleComparisonScheme;
+
+/// Which workflow-level measure is computed.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum MeasureKind {
+    /// `MS` — Module Sets topological comparison.
+    ModuleSets,
+    /// `PS` — Path Sets topological comparison.
+    PathSets,
+    /// `GE` — Graph Edit Distance topological comparison.
+    GraphEdit,
+    /// `BW` — Bag of Words annotation comparison.
+    BagOfWords,
+    /// `BT` — Bag of Tags annotation comparison.
+    BagOfTags,
+}
+
+impl MeasureKind {
+    /// The two-letter shorthand of Table 2.
+    pub fn shorthand(self) -> &'static str {
+        match self {
+            MeasureKind::ModuleSets => "MS",
+            MeasureKind::PathSets => "PS",
+            MeasureKind::GraphEdit => "GE",
+            MeasureKind::BagOfWords => "BW",
+            MeasureKind::BagOfTags => "BT",
+        }
+    }
+
+    /// True for the structure-based measures (MS, PS, GE).
+    pub fn is_structural(self) -> bool {
+        matches!(
+            self,
+            MeasureKind::ModuleSets | MeasureKind::PathSets | MeasureKind::GraphEdit
+        )
+    }
+}
+
+impl fmt::Display for MeasureKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.shorthand())
+    }
+}
+
+/// Whether workflows are preprocessed by Importance Projection.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Preprocessing {
+    /// `np` — no structural preprocessing.
+    None,
+    /// `ip` — Importance Projection.
+    ImportanceProjection,
+}
+
+impl Preprocessing {
+    /// The shorthand of Table 2 (`np` / `ip`).
+    pub fn shorthand(self) -> &'static str {
+        match self {
+            Preprocessing::None => "np",
+            Preprocessing::ImportanceProjection => "ip",
+        }
+    }
+}
+
+/// Whether and how the topological score is normalized.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Normalization {
+    /// No normalization: the raw additive score / negated edit cost.
+    None,
+    /// Normalization with respect to workflow size (the Jaccard variant for
+    /// the set-based measures, the maximum-cost quotient for GED).
+    SizeNormalized,
+}
+
+/// Full configuration of one similarity algorithm.
+#[derive(Debug, Clone)]
+pub struct SimilarityConfig {
+    /// The workflow-level measure.
+    pub measure: MeasureKind,
+    /// The module comparison scheme (ignored by annotation measures).
+    pub module_scheme: ModuleComparisonScheme,
+    /// The module-pair preselection strategy (ignored by annotation
+    /// measures).
+    pub preselection: PreselectionStrategy,
+    /// The structural preprocessing step.
+    pub preprocessing: Preprocessing,
+    /// Importance scoring used when `preprocessing` is `ip`.
+    pub importance: ImportanceConfig,
+    /// The module mapping strategy for set-based measures.
+    pub mapping: MappingStrategy,
+    /// Whether scores are normalized by workflow size.
+    pub normalization: Normalization,
+    /// Resource budget for the Graph Edit Distance measure.
+    pub ged_budget: GedBudget,
+    /// Cap on the number of enumerated paths per workflow (Path Sets).
+    pub max_paths: usize,
+}
+
+impl SimilarityConfig {
+    /// A fully spelled-out constructor with the paper's defaults for the
+    /// remaining knobs (maximum-weight mapping, size normalization).
+    pub fn new(
+        measure: MeasureKind,
+        module_scheme: ModuleComparisonScheme,
+        preselection: PreselectionStrategy,
+        preprocessing: Preprocessing,
+    ) -> Self {
+        SimilarityConfig {
+            measure,
+            module_scheme,
+            preselection,
+            preprocessing,
+            importance: ImportanceConfig::type_based(),
+            mapping: MappingStrategy::MaximumWeight,
+            normalization: Normalization::SizeNormalized,
+            ged_budget: GedBudget::default(),
+            max_paths: wf_model::graph::DEFAULT_MAX_PATHS,
+        }
+    }
+
+    /// The baseline `MS_np_ta_pw0` configuration of Fig. 5.
+    pub fn module_sets_default() -> Self {
+        SimilarityConfig::new(
+            MeasureKind::ModuleSets,
+            ModuleComparisonScheme::pw0(),
+            PreselectionStrategy::AllPairs,
+            Preprocessing::None,
+        )
+    }
+
+    /// The baseline `PS_np_ta_pw0` configuration.
+    pub fn path_sets_default() -> Self {
+        SimilarityConfig::new(
+            MeasureKind::PathSets,
+            ModuleComparisonScheme::pw0(),
+            PreselectionStrategy::AllPairs,
+            Preprocessing::None,
+        )
+    }
+
+    /// The baseline `GE_np_ta_pw0` configuration.
+    pub fn graph_edit_default() -> Self {
+        SimilarityConfig::new(
+            MeasureKind::GraphEdit,
+            ModuleComparisonScheme::pw0(),
+            PreselectionStrategy::AllPairs,
+            Preprocessing::None,
+        )
+    }
+
+    /// The Bag of Words configuration (`BW`).
+    pub fn bag_of_words() -> Self {
+        SimilarityConfig::new(
+            MeasureKind::BagOfWords,
+            ModuleComparisonScheme::pw0(),
+            PreselectionStrategy::AllPairs,
+            Preprocessing::None,
+        )
+    }
+
+    /// The Bag of Tags configuration (`BT`).
+    pub fn bag_of_tags() -> Self {
+        SimilarityConfig::new(
+            MeasureKind::BagOfTags,
+            ModuleComparisonScheme::pw0(),
+            PreselectionStrategy::AllPairs,
+            Preprocessing::None,
+        )
+    }
+
+    /// The best standalone structural configuration found by the paper:
+    /// `MS_ip_te_pll` (Fig. 9a).
+    pub fn best_module_sets() -> Self {
+        SimilarityConfig::new(
+            MeasureKind::ModuleSets,
+            ModuleComparisonScheme::pll(),
+            PreselectionStrategy::TypeEquivalence,
+            Preprocessing::ImportanceProjection,
+        )
+    }
+
+    /// `PS_ip_te_pll`, the best Path Sets configuration (Fig. 9a).
+    pub fn best_path_sets() -> Self {
+        SimilarityConfig::new(
+            MeasureKind::PathSets,
+            ModuleComparisonScheme::pll(),
+            PreselectionStrategy::TypeEquivalence,
+            Preprocessing::ImportanceProjection,
+        )
+    }
+
+    /// Replaces the module comparison scheme.
+    pub fn with_scheme(mut self, scheme: ModuleComparisonScheme) -> Self {
+        self.module_scheme = scheme;
+        self
+    }
+
+    /// Replaces the preselection strategy.
+    pub fn with_preselection(mut self, strategy: PreselectionStrategy) -> Self {
+        self.preselection = strategy;
+        self
+    }
+
+    /// Replaces the preprocessing step.
+    pub fn with_preprocessing(mut self, preprocessing: Preprocessing) -> Self {
+        self.preprocessing = preprocessing;
+        self
+    }
+
+    /// Replaces the mapping strategy.
+    pub fn with_mapping(mut self, mapping: MappingStrategy) -> Self {
+        self.mapping = mapping;
+        self
+    }
+
+    /// Replaces the normalization mode.
+    pub fn with_normalization(mut self, normalization: Normalization) -> Self {
+        self.normalization = normalization;
+        self
+    }
+
+    /// Replaces the GED budget.
+    pub fn with_ged_budget(mut self, budget: GedBudget) -> Self {
+        self.ged_budget = budget;
+        self
+    }
+
+    /// The algorithm name in the paper's notation, e.g. `MS_ip_te_pll`.
+    /// Annotation measures are just `BW` / `BT`.
+    pub fn name(&self) -> String {
+        if !self.measure.is_structural() {
+            return self.measure.shorthand().to_string();
+        }
+        format!(
+            "{}_{}_{}_{}",
+            self.measure.shorthand(),
+            self.preprocessing.shorthand(),
+            self.preselection.shorthand(),
+            self.module_scheme.name()
+        )
+    }
+
+    /// Enumerates the full structural configuration sweep of Section 5.1.5:
+    /// every combination of measure (MS, PS, GE), module scheme (pw0, pw3,
+    /// pll, plm), preselection (ta, te) and preprocessing (np, ip).
+    pub fn structural_sweep() -> Vec<SimilarityConfig> {
+        let mut configs = Vec::new();
+        for measure in [MeasureKind::ModuleSets, MeasureKind::PathSets, MeasureKind::GraphEdit] {
+            for scheme in [
+                ModuleComparisonScheme::pw0(),
+                ModuleComparisonScheme::pw3(),
+                ModuleComparisonScheme::pll(),
+                ModuleComparisonScheme::plm(),
+            ] {
+                for preselection in
+                    [PreselectionStrategy::AllPairs, PreselectionStrategy::TypeEquivalence]
+                {
+                    for preprocessing in
+                        [Preprocessing::None, Preprocessing::ImportanceProjection]
+                    {
+                        configs.push(SimilarityConfig::new(
+                            measure,
+                            scheme.clone(),
+                            preselection,
+                            preprocessing,
+                        ));
+                    }
+                }
+            }
+        }
+        configs
+    }
+}
+
+impl fmt::Display for SimilarityConfig {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.name())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn names_follow_the_papers_notation() {
+        assert_eq!(SimilarityConfig::module_sets_default().name(), "MS_np_ta_pw0");
+        assert_eq!(SimilarityConfig::best_module_sets().name(), "MS_ip_te_pll");
+        assert_eq!(SimilarityConfig::best_path_sets().name(), "PS_ip_te_pll");
+        assert_eq!(SimilarityConfig::bag_of_words().name(), "BW");
+        assert_eq!(SimilarityConfig::bag_of_tags().name(), "BT");
+        assert_eq!(
+            SimilarityConfig::graph_edit_default()
+                .with_preprocessing(Preprocessing::ImportanceProjection)
+                .name(),
+            "GE_ip_ta_pw0"
+        );
+    }
+
+    #[test]
+    fn measure_kind_properties() {
+        assert!(MeasureKind::ModuleSets.is_structural());
+        assert!(MeasureKind::PathSets.is_structural());
+        assert!(MeasureKind::GraphEdit.is_structural());
+        assert!(!MeasureKind::BagOfWords.is_structural());
+        assert!(!MeasureKind::BagOfTags.is_structural());
+        assert_eq!(MeasureKind::PathSets.to_string(), "PS");
+    }
+
+    #[test]
+    fn builders_replace_single_knobs() {
+        let config = SimilarityConfig::module_sets_default()
+            .with_scheme(ModuleComparisonScheme::pll())
+            .with_preselection(PreselectionStrategy::TypeEquivalence)
+            .with_preprocessing(Preprocessing::ImportanceProjection)
+            .with_mapping(MappingStrategy::Greedy)
+            .with_normalization(Normalization::None);
+        assert_eq!(config.name(), "MS_ip_te_pll");
+        assert_eq!(config.mapping, MappingStrategy::Greedy);
+        assert_eq!(config.normalization, Normalization::None);
+    }
+
+    #[test]
+    fn structural_sweep_covers_all_combinations() {
+        let sweep = SimilarityConfig::structural_sweep();
+        assert_eq!(sweep.len(), 3 * 4 * 2 * 2);
+        let names: std::collections::BTreeSet<String> =
+            sweep.iter().map(SimilarityConfig::name).collect();
+        assert_eq!(names.len(), sweep.len(), "all configurations are distinct");
+        assert!(names.contains("MS_ip_te_pll"));
+        assert!(names.contains("GE_np_ta_plm"));
+    }
+}

@@ -1,0 +1,65 @@
+//! Topological decomposition of workflows.
+//!
+//! "We refine the task of topological comparison by preceding it by a step
+//! of topological decomposition of the workflows suitable for the intended
+//! comparison" (Section 2).  For the Module Sets measure the decomposition
+//! is trivial (the set of all modules); for the Path Sets measure each
+//! workflow is decomposed into its set of source-to-sink paths.
+
+use wf_model::{ModuleId, Workflow};
+
+/// The set of source-to-sink paths of a workflow, each path a sequence of
+/// module ids, capped at `max_paths` paths.
+pub fn path_set(wf: &Workflow, max_paths: usize) -> Vec<Vec<ModuleId>> {
+    wf.graph().all_paths_capped(max_paths)
+}
+
+/// The set of modules of a workflow (the trivial decomposition used by the
+/// Module Sets measure), provided for symmetry and used by tests.
+pub fn module_set(wf: &Workflow) -> Vec<ModuleId> {
+    wf.module_ids().collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use wf_model::{builder::WorkflowBuilder, ModuleType};
+
+    fn diamond() -> Workflow {
+        WorkflowBuilder::new("d")
+            .module("a", ModuleType::WsdlService, |m| m)
+            .module("b", ModuleType::WsdlService, |m| m)
+            .module("c", ModuleType::WsdlService, |m| m)
+            .module("d", ModuleType::WsdlService, |m| m)
+            .link("a", "b")
+            .link("a", "c")
+            .link("b", "d")
+            .link("c", "d")
+            .build()
+            .unwrap()
+    }
+
+    #[test]
+    fn module_set_is_all_modules() {
+        let wf = diamond();
+        assert_eq!(module_set(&wf).len(), 4);
+    }
+
+    #[test]
+    fn path_set_enumerates_source_sink_paths() {
+        let wf = diamond();
+        let paths = path_set(&wf, 100);
+        assert_eq!(paths.len(), 2);
+        for p in &paths {
+            assert_eq!(p.first(), Some(&ModuleId(0)));
+            assert_eq!(p.last(), Some(&ModuleId(3)));
+            assert_eq!(p.len(), 3);
+        }
+    }
+
+    #[test]
+    fn path_cap_is_respected() {
+        let wf = diamond();
+        assert_eq!(path_set(&wf, 1).len(), 1);
+    }
+}

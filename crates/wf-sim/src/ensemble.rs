@@ -1,0 +1,208 @@
+//! Ensembles of similarity measures.
+//!
+//! Section 5.1.6 of the paper: "the rankings produced by the similarity
+//! algorithms can be combined into a single ranking.  We tested such
+//! ensembles by simply taking the average of the scores of selected
+//! individual ranking algorithms", finding the combination of `BW` with
+//! `MS_ip_te_pll` or `PS_ip_te_pll` to improve significantly over any single
+//! algorithm.
+
+use wf_model::Workflow;
+
+use crate::config::SimilarityConfig;
+use crate::pipeline::WorkflowSimilarity;
+
+/// An ensemble that combines the scores of its member measures.
+///
+/// The paper uses the plain average of the member scores; weighted averages
+/// are provided as the obvious first step towards the "advanced methods such
+/// as boosting or stacking" the paper names as future work.  Members that
+/// are inapplicable to a given pair (e.g. Bag of Tags on untagged workflows)
+/// are skipped for that pair; if no member is applicable the ensemble itself
+/// is inapplicable.
+#[derive(Debug, Clone)]
+pub struct Ensemble {
+    members: Vec<WorkflowSimilarity>,
+    weights: Vec<f64>,
+}
+
+impl Ensemble {
+    /// Creates an equal-weight ensemble from pre-built measures.
+    pub fn new(members: Vec<WorkflowSimilarity>) -> Self {
+        let weights = vec![1.0; members.len()];
+        Ensemble { members, weights }
+    }
+
+    /// Creates an equal-weight ensemble directly from configurations.
+    pub fn from_configs(configs: Vec<SimilarityConfig>) -> Self {
+        Ensemble::new(configs.into_iter().map(WorkflowSimilarity::new).collect())
+    }
+
+    /// Creates a weighted ensemble.  Non-positive weights are clamped to a
+    /// tiny positive value so that every member keeps a (negligible) vote
+    /// and the weight vector length always matches the member count.
+    ///
+    /// # Panics
+    /// Panics if `weights.len() != members.len()`.
+    pub fn weighted(members: Vec<WorkflowSimilarity>, weights: Vec<f64>) -> Self {
+        assert_eq!(
+            members.len(),
+            weights.len(),
+            "one weight per ensemble member"
+        );
+        let weights = weights.into_iter().map(|w| w.max(1e-9)).collect();
+        Ensemble { members, weights }
+    }
+
+    /// The best-performing ensemble of the paper: `BW + MS_ip_te_pll`.
+    pub fn bw_plus_module_sets() -> Self {
+        Ensemble::from_configs(vec![
+            SimilarityConfig::bag_of_words(),
+            SimilarityConfig::best_module_sets(),
+        ])
+    }
+
+    /// The other top ensemble of the paper: `BW + PS_ip_te_pll`.
+    pub fn bw_plus_path_sets() -> Self {
+        Ensemble::from_configs(vec![
+            SimilarityConfig::bag_of_words(),
+            SimilarityConfig::best_path_sets(),
+        ])
+    }
+
+    /// The member measures.
+    pub fn members(&self) -> &[WorkflowSimilarity] {
+        &self.members
+    }
+
+    /// The ensemble name, e.g. `BW+MS_ip_te_pll`.
+    pub fn name(&self) -> String {
+        self.members
+            .iter()
+            .map(|m| m.name())
+            .collect::<Vec<_>>()
+            .join("+")
+    }
+
+    /// The weighted mean of the applicable members' scores, or `None` if no
+    /// member is applicable to the pair.
+    pub fn similarity_opt(&self, a: &Workflow, b: &Workflow) -> Option<f64> {
+        let mut weight_sum = 0.0;
+        let mut score_sum = 0.0;
+        for (member, weight) in self.members.iter().zip(&self.weights) {
+            if let Some(score) = member.similarity_opt(a, b) {
+                weight_sum += weight;
+                score_sum += weight * score;
+            }
+        }
+        if weight_sum == 0.0 {
+            None
+        } else {
+            Some(score_sum / weight_sum)
+        }
+    }
+
+    /// Like [`Ensemble::similarity_opt`], with inapplicable pairs scoring 0.
+    pub fn similarity(&self, a: &Workflow, b: &Workflow) -> f64 {
+        self.similarity_opt(a, b).unwrap_or(0.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use wf_model::{builder::WorkflowBuilder, ModuleType, Workflow};
+
+    fn annotated(id: &str, title: &str, module: &str) -> Workflow {
+        WorkflowBuilder::new(id)
+            .title(title)
+            .tag("bio")
+            .module(module, ModuleType::WsdlService, |m| m)
+            .build()
+            .unwrap()
+    }
+
+    #[test]
+    fn ensemble_name_joins_member_names() {
+        assert_eq!(Ensemble::bw_plus_module_sets().name(), "BW+MS_ip_te_pll");
+        assert_eq!(Ensemble::bw_plus_path_sets().name(), "BW+PS_ip_te_pll");
+        assert_eq!(Ensemble::bw_plus_module_sets().members().len(), 2);
+    }
+
+    #[test]
+    fn ensemble_averages_member_scores() {
+        let a = annotated("a", "blast protein search", "run_blast");
+        let b = annotated("b", "blast protein search", "totally_different_module");
+        let ensemble = Ensemble::from_configs(vec![
+            SimilarityConfig::bag_of_words(),
+            SimilarityConfig::module_sets_default(),
+        ]);
+        let bw = WorkflowSimilarity::new(SimilarityConfig::bag_of_words()).similarity(&a, &b);
+        let ms =
+            WorkflowSimilarity::new(SimilarityConfig::module_sets_default()).similarity(&a, &b);
+        let combined = ensemble.similarity(&a, &b);
+        assert!((combined - (bw + ms) / 2.0).abs() < 1e-9);
+        assert!(combined < bw, "the structural member pulls the average down");
+    }
+
+    #[test]
+    fn inapplicable_members_are_skipped() {
+        // Workflows without tags: a BT member contributes nothing but the
+        // ensemble still works through its BW member.
+        let mut a = annotated("a", "blast search", "m1");
+        let mut b = annotated("b", "blast search", "m2");
+        a.annotations.tags.clear();
+        b.annotations.tags.clear();
+        let ensemble = Ensemble::from_configs(vec![
+            SimilarityConfig::bag_of_tags(),
+            SimilarityConfig::bag_of_words(),
+        ]);
+        assert_eq!(ensemble.similarity_opt(&a, &b), Some(1.0));
+    }
+
+    #[test]
+    fn ensemble_with_no_applicable_member_is_inapplicable() {
+        let a = WorkflowBuilder::new("a").build().unwrap();
+        let b = WorkflowBuilder::new("b").build().unwrap();
+        let ensemble = Ensemble::from_configs(vec![
+            SimilarityConfig::bag_of_tags(),
+            SimilarityConfig::bag_of_words(),
+        ]);
+        assert_eq!(ensemble.similarity_opt(&a, &b), None);
+        assert_eq!(ensemble.similarity(&a, &b), 0.0);
+    }
+
+    #[test]
+    fn weighted_ensemble_interpolates_between_its_members() {
+        let a = annotated("a", "blast protein search", "run_blast");
+        let b = annotated("b", "blast protein search", "totally_different_module");
+        let bw = WorkflowSimilarity::new(SimilarityConfig::bag_of_words());
+        let ms = WorkflowSimilarity::new(SimilarityConfig::module_sets_default());
+        let bw_score = bw.similarity(&a, &b);
+        let ms_score = ms.similarity(&a, &b);
+        // Heavily weight BW: the ensemble score must move towards BW's.
+        let heavy_bw = Ensemble::weighted(vec![bw.clone(), ms.clone()], vec![9.0, 1.0]);
+        let balanced = Ensemble::new(vec![bw, ms]);
+        let heavy = heavy_bw.similarity(&a, &b);
+        let even = balanced.similarity(&a, &b);
+        assert!((heavy - (0.9 * bw_score + 0.1 * ms_score)).abs() < 1e-9);
+        assert!((even - (bw_score + ms_score) / 2.0).abs() < 1e-9);
+        assert!((heavy - bw_score).abs() < (even - bw_score).abs());
+    }
+
+    #[test]
+    #[should_panic(expected = "one weight per ensemble member")]
+    fn weighted_ensemble_rejects_mismatched_weight_vector() {
+        let bw = WorkflowSimilarity::new(SimilarityConfig::bag_of_words());
+        let _ = Ensemble::weighted(vec![bw], vec![1.0, 2.0]);
+    }
+
+    #[test]
+    fn identical_workflows_score_one_in_the_papers_best_ensembles() {
+        let a = annotated("a", "kegg pathway analysis", "get_pathway");
+        let b = annotated("b", "kegg pathway analysis", "get_pathway");
+        for ensemble in [Ensemble::bw_plus_module_sets(), Ensemble::bw_plus_path_sets()] {
+            assert_eq!(ensemble.similarity_opt(&a, &b), Some(1.0), "{}", ensemble.name());
+        }
+    }
+}

@@ -1,0 +1,203 @@
+//! Frequent module / tag set similarity (Stoyanovich et al. \[36\]).
+//!
+//! Table 1 lists \[36\] as comparing workflows by *frequent tag sets* and
+//! *frequent module sets*: itemsets mined from the repository as a whole
+//! (see [`wf_repo::mining`]).  A workflow is represented by the set of
+//! frequent itemsets it contains; two workflows are compared by the Jaccard
+//! index of those representations.  Workflows containing no frequent itemset
+//! carry no signal for this measure and make the pair inapplicable, exactly
+//! like untagged workflows do for the Bag of Tags measure.
+
+use std::collections::BTreeSet;
+
+use wf_model::Workflow;
+use wf_repo::{mine_repository, FrequentItemsets, ItemSource, MiningConfig, Repository};
+
+/// The frequent-itemset similarity measure.
+///
+/// Unlike the other measures this one carries repository-level state: the
+/// frequent itemsets mined from the corpus the compared workflows live in.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FrequentSetSimilarity {
+    itemsets: FrequentItemsets,
+}
+
+impl FrequentSetSimilarity {
+    /// Creates the measure from already mined itemsets.
+    pub fn new(itemsets: FrequentItemsets) -> Self {
+        FrequentSetSimilarity { itemsets }
+    }
+
+    /// Mines the repository and builds the measure in one step.
+    pub fn from_repository(
+        repo: &Repository,
+        source: ItemSource,
+        config: &MiningConfig,
+    ) -> Self {
+        FrequentSetSimilarity::new(mine_repository(repo, source, config))
+    }
+
+    /// The frequent module set variant of \[36\] with default mining
+    /// parameters.
+    pub fn frequent_module_sets(repo: &Repository) -> Self {
+        FrequentSetSimilarity::from_repository(
+            repo,
+            ItemSource::ModuleLabels,
+            &MiningConfig::default(),
+        )
+    }
+
+    /// The frequent tag set variant of \[36\] with default mining
+    /// parameters.
+    pub fn frequent_tag_sets(repo: &Repository) -> Self {
+        FrequentSetSimilarity::from_repository(repo, ItemSource::Tags, &MiningConfig::default())
+    }
+
+    /// The mined itemsets backing this measure.
+    pub fn itemsets(&self) -> &FrequentItemsets {
+        &self.itemsets
+    }
+
+    /// The measure name used in experiment output.
+    pub fn name(&self) -> String {
+        match self.itemsets.source() {
+            ItemSource::Tags => "FTS".to_string(),
+            ItemSource::ModuleLabels | ItemSource::ModuleSignatures => "FMS".to_string(),
+        }
+    }
+
+    /// The feature representation of one workflow: the indices of the
+    /// frequent itemsets it contains.
+    pub fn features(&self, wf: &Workflow) -> BTreeSet<usize> {
+        self.itemsets.contained_in_workflow(wf)
+    }
+
+    /// The Jaccard similarity of the two workflows' frequent-itemset
+    /// features, or `None` when neither workflow contains any frequent
+    /// itemset.
+    pub fn similarity_opt(&self, a: &Workflow, b: &Workflow) -> Option<f64> {
+        let fa = self.features(a);
+        let fb = self.features(b);
+        if fa.is_empty() && fb.is_empty() {
+            return None;
+        }
+        let intersection = fa.intersection(&fb).count();
+        let union = fa.union(&fb).count();
+        Some(intersection as f64 / union as f64)
+    }
+
+    /// The Jaccard similarity; inapplicable pairs score 0.
+    pub fn similarity(&self, a: &Workflow, b: &Workflow) -> f64 {
+        self.similarity_opt(a, b).unwrap_or(0.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use wf_model::{builder::WorkflowBuilder, ModuleType};
+
+    fn wf(id: &str, labels: &[&str], tags: &[&str]) -> Workflow {
+        let mut b = WorkflowBuilder::new(id);
+        for l in labels {
+            b = b.module(*l, ModuleType::WsdlService, |m| m);
+        }
+        for w in labels.windows(2) {
+            b = b.link(w[0], w[1]);
+        }
+        for t in tags {
+            b = b.tag(*t);
+        }
+        b.build().unwrap()
+    }
+
+    fn toy_repo() -> Repository {
+        Repository::from_workflows(vec![
+            wf("w1", &["fetch", "blast", "render"], &["alignment", "blast"]),
+            wf("w2", &["fetch", "blast", "plot"], &["alignment", "blast"]),
+            wf("w3", &["fetch", "blast"], &["alignment"]),
+            wf("w4", &["parse", "cluster"], &["clustering"]),
+            wf("w5", &["parse", "cluster", "plot"], &["clustering"]),
+        ])
+    }
+
+    #[test]
+    fn workflows_from_the_same_group_are_more_similar() {
+        let repo = toy_repo();
+        let fms = FrequentSetSimilarity::frequent_module_sets(&repo);
+        let w1 = repo.get_str("w1").unwrap();
+        let w2 = repo.get_str("w2").unwrap();
+        let w4 = repo.get_str("w4").unwrap();
+        let same_group = fms.similarity(w1, w2);
+        let cross_group = fms.similarity(w1, w4);
+        assert!(same_group > cross_group);
+        assert_eq!(cross_group, 0.0, "no shared frequent itemsets across groups");
+    }
+
+    #[test]
+    fn identical_workflows_score_one() {
+        let repo = toy_repo();
+        let fms = FrequentSetSimilarity::frequent_module_sets(&repo);
+        let w1 = repo.get_str("w1").unwrap();
+        assert!((fms.similarity(w1, w1) - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn tag_variant_uses_tags() {
+        let repo = toy_repo();
+        let fts = FrequentSetSimilarity::frequent_tag_sets(&repo);
+        assert_eq!(fts.name(), "FTS");
+        let w1 = repo.get_str("w1").unwrap();
+        let w3 = repo.get_str("w3").unwrap();
+        let w4 = repo.get_str("w4").unwrap();
+        assert!(fts.similarity(w1, w3) > 0.0, "both carry the alignment tag");
+        assert_eq!(fts.similarity(w1, w4), 0.0);
+    }
+
+    #[test]
+    fn workflows_without_frequent_itemsets_make_the_pair_inapplicable() {
+        let repo = toy_repo();
+        let fms = FrequentSetSimilarity::frequent_module_sets(&repo);
+        let stranger_a = wf("x1", &["exotic_step"], &[]);
+        let stranger_b = wf("x2", &["another_exotic_step"], &[]);
+        assert_eq!(fms.similarity_opt(&stranger_a, &stranger_b), None);
+        assert_eq!(fms.similarity(&stranger_a, &stranger_b), 0.0);
+        // One-sided: the known workflow contains frequent itemsets, the
+        // stranger none -> similarity 0, but the pair is applicable.
+        let w1 = repo.get_str("w1").unwrap();
+        assert_eq!(fms.similarity_opt(w1, &stranger_a), Some(0.0));
+    }
+
+    #[test]
+    fn features_are_monotone_under_containment() {
+        // A workflow containing a superset of modules contains a superset of
+        // frequent itemsets.
+        let repo = toy_repo();
+        let fms = FrequentSetSimilarity::frequent_module_sets(&repo);
+        let small = wf("s", &["fetch"], &[]);
+        let large = wf("l", &["fetch", "blast", "plot"], &[]);
+        let fs = fms.features(&small);
+        let fl = fms.features(&large);
+        assert!(fs.is_subset(&fl));
+        assert!(fl.len() > fs.len());
+    }
+
+    #[test]
+    fn similarity_is_symmetric_and_bounded() {
+        let repo = toy_repo();
+        let fms = FrequentSetSimilarity::frequent_module_sets(&repo);
+        let w1 = repo.get_str("w1").unwrap();
+        let w5 = repo.get_str("w5").unwrap();
+        let ab = fms.similarity(w1, w5);
+        let ba = fms.similarity(w5, w1);
+        assert!((ab - ba).abs() < 1e-12);
+        assert!((0.0..=1.0).contains(&ab));
+    }
+
+    #[test]
+    fn measure_name_for_module_sources_is_fms() {
+        let repo = toy_repo();
+        let fms = FrequentSetSimilarity::frequent_module_sets(&repo);
+        assert_eq!(fms.name(), "FMS");
+    }
+}

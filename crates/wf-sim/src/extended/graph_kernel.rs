@@ -1,0 +1,298 @@
+//! A Weisfeiler–Lehman subtree graph kernel for workflows.
+//!
+//! Friesen & Rüping \[17\] compare workflows with graph kernels derived from
+//! frequent subgraphs and find them to slightly outperform both bags of
+//! modules and MCS.  Mining frequent subgraphs requires their proprietary
+//! toolchain; as a substitution (documented in DESIGN.md §3) this module
+//! implements the Weisfeiler–Lehman subtree kernel, the standard efficient
+//! graph kernel that likewise measures the overlap of local substructures:
+//! after `h` rounds of neighbourhood label refinement, the kernel value is
+//! the dot product of the workflows' label-count feature vectors, normalized
+//! to \[0, 1\] like a cosine.
+//!
+//! Node labels are derived from the modules: either the technical type
+//! (robust against label noise) or the lowercased label.  The refinement
+//! step distinguishes predecessor and successor neighbourhoods so that the
+//! dataflow direction — functionally important for scientific workflows —
+//! is reflected in the substructures.
+
+use std::collections::BTreeMap;
+
+use wf_model::{Workflow, WorkflowGraph};
+
+/// How initial node labels are derived from modules.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum NodeLabeling {
+    /// The module's technical type (`wsdl`, `beanshell`, `localoperation`, …).
+    #[default]
+    ModuleType,
+    /// The module's lowercased label.
+    Label,
+}
+
+/// Configuration of the Weisfeiler–Lehman kernel.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct WlKernelConfig {
+    /// Number of refinement iterations (the subtree depth); 2–3 is standard.
+    pub iterations: usize,
+    /// How initial node labels are derived.
+    pub labeling: NodeLabeling,
+}
+
+impl Default for WlKernelConfig {
+    fn default() -> Self {
+        WlKernelConfig {
+            iterations: 3,
+            labeling: NodeLabeling::ModuleType,
+        }
+    }
+}
+
+/// The Weisfeiler–Lehman subtree kernel similarity.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct WlKernelSimilarity {
+    config: WlKernelConfig,
+}
+
+impl WlKernelSimilarity {
+    /// Creates the kernel with the given configuration.
+    pub fn new(config: WlKernelConfig) -> Self {
+        WlKernelSimilarity { config }
+    }
+
+    /// A kernel over lowercased module labels instead of types.
+    pub fn label_based() -> Self {
+        WlKernelSimilarity::new(WlKernelConfig {
+            labeling: NodeLabeling::Label,
+            ..WlKernelConfig::default()
+        })
+    }
+
+    /// The configuration of this kernel.
+    pub fn config(&self) -> &WlKernelConfig {
+        &self.config
+    }
+
+    /// The measure name used in experiment output.
+    pub fn name(&self) -> &'static str {
+        match self.config.labeling {
+            NodeLabeling::ModuleType => "WL_type",
+            NodeLabeling::Label => "WL_label",
+        }
+    }
+
+    /// The Weisfeiler–Lehman feature vector of one workflow: counts of every
+    /// (refined) node label over all iterations.
+    pub fn features(&self, wf: &Workflow) -> BTreeMap<String, f64> {
+        let graph = WorkflowGraph::from_workflow(wf);
+        let n = wf.module_count();
+        let mut labels: Vec<String> = wf
+            .modules
+            .iter()
+            .map(|m| match self.config.labeling {
+                NodeLabeling::ModuleType => m.module_type.as_str().to_string(),
+                NodeLabeling::Label => m.label.to_lowercase(),
+            })
+            .collect();
+        let mut features: BTreeMap<String, f64> = BTreeMap::new();
+        for label in &labels {
+            *features.entry(format!("0|{label}")).or_insert(0.0) += 1.0;
+        }
+        for round in 1..=self.config.iterations {
+            let mut next = Vec::with_capacity(n);
+            for module in &wf.modules {
+                let id = module.id;
+                let mut preds: Vec<&str> = graph
+                    .predecessors(id)
+                    .iter()
+                    .map(|p| labels[p.index()].as_str())
+                    .collect();
+                preds.sort_unstable();
+                let mut succs: Vec<&str> = graph
+                    .successors(id)
+                    .iter()
+                    .map(|s| labels[s.index()].as_str())
+                    .collect();
+                succs.sort_unstable();
+                let refined = format!(
+                    "{}<({})>({})",
+                    labels[id.index()],
+                    preds.join(","),
+                    succs.join(",")
+                );
+                next.push(refined);
+            }
+            labels = next;
+            for label in &labels {
+                *features.entry(format!("{round}|{label}")).or_insert(0.0) += 1.0;
+            }
+        }
+        features
+    }
+
+    /// The raw (un-normalized) kernel value: the dot product of the two
+    /// feature vectors.
+    pub fn kernel(&self, a: &Workflow, b: &Workflow) -> f64 {
+        let fa = self.features(a);
+        let fb = self.features(b);
+        dot(&fa, &fb)
+    }
+
+    /// The normalized kernel similarity k(a,b) / sqrt(k(a,a) k(b,b)), or
+    /// `None` when either workflow has no modules.
+    pub fn similarity_opt(&self, a: &Workflow, b: &Workflow) -> Option<f64> {
+        if a.module_count() == 0 || b.module_count() == 0 {
+            return None;
+        }
+        let fa = self.features(a);
+        let fb = self.features(b);
+        let kaa = dot(&fa, &fa);
+        let kbb = dot(&fb, &fb);
+        if kaa == 0.0 || kbb == 0.0 {
+            return None;
+        }
+        Some((dot(&fa, &fb) / (kaa * kbb).sqrt()).clamp(0.0, 1.0))
+    }
+
+    /// The normalized kernel similarity; two empty workflows score 1, an
+    /// empty against a non-empty workflow scores 0.
+    pub fn similarity(&self, a: &Workflow, b: &Workflow) -> f64 {
+        if a.module_count() == 0 && b.module_count() == 0 {
+            return 1.0;
+        }
+        self.similarity_opt(a, b).unwrap_or(0.0)
+    }
+}
+
+fn dot(a: &BTreeMap<String, f64>, b: &BTreeMap<String, f64>) -> f64 {
+    a.iter()
+        .filter_map(|(k, va)| b.get(k).map(|vb| va * vb))
+        .sum()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use wf_model::{builder::WorkflowBuilder, ModuleType};
+
+    fn chain(id: &str, labels: &[&str]) -> Workflow {
+        let mut b = WorkflowBuilder::new(id);
+        for l in labels {
+            b = b.module(*l, ModuleType::WsdlService, |m| m);
+        }
+        for w in labels.windows(2) {
+            b = b.link(w[0], w[1]);
+        }
+        b.build().unwrap()
+    }
+
+    #[test]
+    fn identical_workflows_score_one() {
+        let a = chain("a", &["fetch", "blast", "render"]);
+        let b = chain("b", &["fetch", "blast", "render"]);
+        for kernel in [WlKernelSimilarity::default(), WlKernelSimilarity::label_based()] {
+            assert!((kernel.similarity(&a, &b) - 1.0).abs() < 1e-9, "{}", kernel.name());
+        }
+    }
+
+    #[test]
+    fn label_kernel_separates_different_labels() {
+        let a = chain("a", &["fetch", "blast", "render"]);
+        let b = chain("b", &["parse", "cluster", "plot"]);
+        assert_eq!(WlKernelSimilarity::label_based().similarity(&a, &b), 0.0);
+        // The type kernel sees identical type structure and scores 1.
+        assert!((WlKernelSimilarity::default().similarity(&a, &b) - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn structural_differences_lower_the_kernel() {
+        // Same label multiset, different wiring: chain vs fan-out.
+        let chain_wf = chain("a", &["fetch", "blast", "render"]);
+        let fan = WorkflowBuilder::new("b")
+            .module("fetch", ModuleType::WsdlService, |m| m)
+            .module("blast", ModuleType::WsdlService, |m| m)
+            .module("render", ModuleType::WsdlService, |m| m)
+            .link("fetch", "blast")
+            .link("fetch", "render")
+            .build()
+            .unwrap();
+        let kernel = WlKernelSimilarity::label_based();
+        let s = kernel.similarity(&chain_wf, &fan);
+        assert!(s < 1.0, "different wiring must not look identical, got {s}");
+        assert!(s > 0.0, "shared labels still overlap at iteration 0");
+    }
+
+    #[test]
+    fn deeper_iterations_are_more_discriminative() {
+        let chain_wf = chain("a", &["fetch", "blast", "render"]);
+        let fan = WorkflowBuilder::new("b")
+            .module("fetch", ModuleType::WsdlService, |m| m)
+            .module("blast", ModuleType::WsdlService, |m| m)
+            .module("render", ModuleType::WsdlService, |m| m)
+            .link("fetch", "blast")
+            .link("fetch", "render")
+            .build()
+            .unwrap();
+        let shallow = WlKernelSimilarity::new(WlKernelConfig {
+            iterations: 0,
+            labeling: NodeLabeling::Label,
+        });
+        let deep = WlKernelSimilarity::new(WlKernelConfig {
+            iterations: 3,
+            labeling: NodeLabeling::Label,
+        });
+        let s_shallow = shallow.similarity(&chain_wf, &fan);
+        let s_deep = deep.similarity(&chain_wf, &fan);
+        assert!((s_shallow - 1.0).abs() < 1e-9, "iteration 0 sees only label counts");
+        assert!(s_deep < s_shallow);
+    }
+
+    #[test]
+    fn direction_matters() {
+        let forward = chain("a", &["fetch", "blast", "render"]);
+        let backward = chain("b", &["render", "blast", "fetch"]);
+        let kernel = WlKernelSimilarity::label_based();
+        let s = kernel.similarity(&forward, &backward);
+        assert!(s < 1.0, "reversed dataflow must be distinguished, got {s}");
+    }
+
+    #[test]
+    fn kernel_value_counts_matching_subtrees() {
+        // Two identical 2-chains: iteration 0 contributes 2 matches, each
+        // further iteration 2 more.
+        let a = chain("a", &["fetch", "blast"]);
+        let b = chain("b", &["fetch", "blast"]);
+        let kernel = WlKernelSimilarity::new(WlKernelConfig {
+            iterations: 1,
+            labeling: NodeLabeling::Label,
+        });
+        assert!((kernel.kernel(&a, &b) - 4.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn empty_workflows_are_handled() {
+        let empty = WorkflowBuilder::new("e").build().unwrap();
+        let other = chain("o", &["fetch"]);
+        let kernel = WlKernelSimilarity::default();
+        assert_eq!(kernel.similarity_opt(&empty, &other), None);
+        assert_eq!(kernel.similarity(&empty, &other), 0.0);
+        assert_eq!(kernel.similarity(&empty, &empty), 1.0);
+    }
+
+    #[test]
+    fn similarity_is_symmetric_and_bounded() {
+        let a = chain("a", &["fetch", "blast", "render", "export"]);
+        let b = chain("b", &["fetch", "filter", "render"]);
+        let kernel = WlKernelSimilarity::label_based();
+        let ab = kernel.similarity(&a, &b);
+        let ba = kernel.similarity(&b, &a);
+        assert!((ab - ba).abs() < 1e-12);
+        assert!((0.0..=1.0).contains(&ab));
+    }
+
+    #[test]
+    fn names_reflect_the_labeling() {
+        assert_eq!(WlKernelSimilarity::default().name(), "WL_type");
+        assert_eq!(WlKernelSimilarity::label_based().name(), "WL_label");
+    }
+}

@@ -1,0 +1,192 @@
+//! Module label vectors compared by cosine similarity.
+//!
+//! Santos et al. \[33\] compare workflows by representing each as a vector
+//! of module labels ("vectors of modules" in Table 1) and found the results
+//! to be close to maximum-common-subgraph comparison.  The representation is
+//! a term-frequency vector over lowercased module labels; two workflows are
+//! compared by the cosine of their vectors.  Like the Module Sets measure it
+//! is structure agnostic, but it matches labels *exactly* instead of mapping
+//! modules by attribute similarity, so it sits between `plm`-style matching
+//! and the bag-of-words annotation measure.
+
+use std::collections::BTreeMap;
+
+use wf_model::Workflow;
+
+/// The label-vector cosine similarity of \[33\].
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct LabelVectorSimilarity {
+    /// When true, labels are additionally split into whitespace/underscore
+    /// tokens so that e.g. `run_blast` and `blast_run` overlap.
+    pub tokenize_labels: bool,
+}
+
+impl LabelVectorSimilarity {
+    /// The plain variant: one vector dimension per distinct lowercased
+    /// label.
+    pub fn new() -> Self {
+        LabelVectorSimilarity {
+            tokenize_labels: false,
+        }
+    }
+
+    /// The tokenizing variant: one dimension per label token.
+    pub fn tokenized() -> Self {
+        LabelVectorSimilarity {
+            tokenize_labels: true,
+        }
+    }
+
+    /// The measure name used in experiment output.
+    pub fn name(&self) -> &'static str {
+        if self.tokenize_labels {
+            "LV_tokens"
+        } else {
+            "LV"
+        }
+    }
+
+    /// The term-frequency vector of one workflow.
+    pub fn vector(&self, wf: &Workflow) -> BTreeMap<String, f64> {
+        let mut vector: BTreeMap<String, f64> = BTreeMap::new();
+        for module in &wf.modules {
+            let label = module.label.to_lowercase();
+            if self.tokenize_labels {
+                for token in wf_text::tokenize(&label) {
+                    *vector.entry(token).or_insert(0.0) += 1.0;
+                }
+            } else {
+                *vector.entry(label).or_insert(0.0) += 1.0;
+            }
+        }
+        vector
+    }
+
+    /// The cosine similarity of two workflows' label vectors, or `None` when
+    /// either workflow has no modules (and therefore an all-zero vector).
+    pub fn similarity_opt(&self, a: &Workflow, b: &Workflow) -> Option<f64> {
+        let va = self.vector(a);
+        let vb = self.vector(b);
+        cosine(&va, &vb)
+    }
+
+    /// The cosine similarity; workflows without modules score 0 against
+    /// everything and 1 against each other (both empty).
+    pub fn similarity(&self, a: &Workflow, b: &Workflow) -> f64 {
+        if a.module_count() == 0 && b.module_count() == 0 {
+            return 1.0;
+        }
+        self.similarity_opt(a, b).unwrap_or(0.0)
+    }
+}
+
+/// Cosine similarity of two sparse vectors; `None` when either is zero.
+fn cosine(a: &BTreeMap<String, f64>, b: &BTreeMap<String, f64>) -> Option<f64> {
+    let norm_a: f64 = a.values().map(|v| v * v).sum::<f64>().sqrt();
+    let norm_b: f64 = b.values().map(|v| v * v).sum::<f64>().sqrt();
+    if norm_a == 0.0 || norm_b == 0.0 {
+        return None;
+    }
+    let dot: f64 = a
+        .iter()
+        .filter_map(|(k, va)| b.get(k).map(|vb| va * vb))
+        .sum();
+    Some((dot / (norm_a * norm_b)).clamp(0.0, 1.0))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use wf_model::{builder::WorkflowBuilder, ModuleType};
+
+    fn chain(id: &str, labels: &[&str]) -> Workflow {
+        let mut b = WorkflowBuilder::new(id);
+        for l in labels {
+            b = b.module(*l, ModuleType::WsdlService, |m| m);
+        }
+        for w in labels.windows(2) {
+            b = b.link(w[0], w[1]);
+        }
+        b.build().unwrap()
+    }
+
+    #[test]
+    fn identical_label_sets_score_one() {
+        let a = chain("a", &["Fetch", "Blast", "Render"]);
+        let b = chain("b", &["fetch", "blast", "render"]);
+        let lv = LabelVectorSimilarity::new();
+        assert!((lv.similarity(&a, &b) - 1.0).abs() < 1e-9, "case-insensitive");
+    }
+
+    #[test]
+    fn disjoint_label_sets_score_zero() {
+        let a = chain("a", &["fetch", "blast"]);
+        let b = chain("b", &["parse", "cluster"]);
+        assert_eq!(LabelVectorSimilarity::new().similarity(&a, &b), 0.0);
+    }
+
+    #[test]
+    fn partial_overlap_matches_hand_computed_cosine() {
+        // a = {fetch, blast, render}, b = {fetch, blast, plot}
+        // dot = 2, |a| = |b| = sqrt(3) -> cosine = 2/3.
+        let a = chain("a", &["fetch", "blast", "render"]);
+        let b = chain("b", &["fetch", "blast", "plot"]);
+        let s = LabelVectorSimilarity::new().similarity(&a, &b);
+        assert!((s - 2.0 / 3.0).abs() < 1e-9, "got {s}");
+    }
+
+    #[test]
+    fn repeated_labels_increase_the_term_frequency() {
+        let mut builder = WorkflowBuilder::new("a");
+        for i in 0..3 {
+            builder = builder.module(format!("split_{i}"), ModuleType::LocalOperation, |m| m);
+        }
+        let a = builder.build().unwrap();
+        let lv = LabelVectorSimilarity::tokenized();
+        let v = lv.vector(&a);
+        assert_eq!(v.get("split"), Some(&3.0));
+    }
+
+    #[test]
+    fn tokenized_variant_overlaps_reordered_label_words() {
+        let a = chain("a", &["run_blast"]);
+        let b = chain("b", &["blast_run"]);
+        assert_eq!(LabelVectorSimilarity::new().similarity(&a, &b), 0.0);
+        assert!((LabelVectorSimilarity::tokenized().similarity(&a, &b) - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn structure_is_ignored() {
+        let a = chain("a", &["fetch", "blast", "render"]);
+        let mut b = chain("b", &["fetch", "blast", "render"]);
+        b.links.clear();
+        assert!((LabelVectorSimilarity::new().similarity(&a, &b) - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn empty_workflows_are_handled() {
+        let empty = WorkflowBuilder::new("e").build().unwrap();
+        let other = chain("o", &["fetch"]);
+        let lv = LabelVectorSimilarity::new();
+        assert_eq!(lv.similarity_opt(&empty, &other), None);
+        assert_eq!(lv.similarity(&empty, &other), 0.0);
+        assert_eq!(lv.similarity(&empty, &empty), 1.0);
+    }
+
+    #[test]
+    fn similarity_is_symmetric_and_bounded() {
+        let a = chain("a", &["fetch", "blast", "render"]);
+        let b = chain("b", &["fetch", "plot"]);
+        let lv = LabelVectorSimilarity::new();
+        let ab = lv.similarity(&a, &b);
+        let ba = lv.similarity(&b, &a);
+        assert!((ab - ba).abs() < 1e-12);
+        assert!((0.0..=1.0).contains(&ab));
+    }
+
+    #[test]
+    fn names_distinguish_variants() {
+        assert_eq!(LabelVectorSimilarity::new().name(), "LV");
+        assert_eq!(LabelVectorSimilarity::tokenized().name(), "LV_tokens");
+    }
+}

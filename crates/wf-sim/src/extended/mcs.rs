@@ -1,0 +1,330 @@
+//! Maximum common subgraph (MCS) similarity.
+//!
+//! Several of the studies the paper catalogues in Table 1 compare workflows
+//! by the size of their maximum common (isomorphic) subgraph: Santos et
+//! al. \[33\] normalize it by `|V| + |E|` of the *larger* workflow, Goderis
+//! et al. \[18\] report both un-normalized and size-normalized variants, and
+//! Friesen & Rüping \[17\] use MCS on type-matched modules.  Exact MCS is
+//! NP-hard; like those studies we approximate it through the module mapping:
+//! mapped module pairs whose similarity reaches a configurable threshold are
+//! treated as common nodes, and an edge is common when both of its endpoints
+//! are common and the mapped endpoints are connected in the other workflow
+//! as well.  For workflows whose modules map unambiguously (the situation
+//! the paper observes in Section 5.1.3) this *is* the maximum common
+//! subgraph under the induced node correspondence.
+
+use std::collections::BTreeSet;
+
+use wf_matching::MappingStrategy;
+use wf_model::Workflow;
+use wf_repo::PreselectionStrategy;
+
+use crate::mapping_step::map_modules;
+use crate::module_cmp::ModuleComparisonScheme;
+
+/// How the common-subgraph size is turned into a similarity value.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum McsNormalization {
+    /// Divide by `|V| + |E|` of the larger workflow, as in \[33\].
+    #[default]
+    LargerWorkflow,
+    /// Divide by `|V| + |E|` of the smaller workflow (emphasises containment,
+    /// useful when searching for sub-workflows).
+    SmallerWorkflow,
+    /// No normalization: the raw size `|Vc| + |Ec|` of the common subgraph.
+    None,
+}
+
+/// Configuration of the MCS measure.
+#[derive(Debug, Clone, PartialEq)]
+pub struct McsConfig {
+    /// The module comparison scheme used to establish the node
+    /// correspondence.
+    pub scheme: ModuleComparisonScheme,
+    /// The module-pair preselection strategy.
+    pub preselection: PreselectionStrategy,
+    /// The module mapping strategy.
+    pub mapping: MappingStrategy,
+    /// Minimum mapped-pair similarity for the pair to count as a common
+    /// node.  Label-matching studies \[33, 18\] correspond to a threshold of
+    /// 1.0 with the `plm` scheme; the default of 0.5 admits near-identical
+    /// labels as well.
+    pub node_threshold: f64,
+    /// The normalization variant.
+    pub normalization: McsNormalization,
+}
+
+impl Default for McsConfig {
+    fn default() -> Self {
+        McsConfig {
+            scheme: ModuleComparisonScheme::pll(),
+            preselection: PreselectionStrategy::AllPairs,
+            mapping: MappingStrategy::MaximumWeight,
+            node_threshold: 0.5,
+            normalization: McsNormalization::LargerWorkflow,
+        }
+    }
+}
+
+/// The size of a common subgraph found between two workflows.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct CommonSubgraph {
+    /// Number of common nodes.
+    pub nodes: usize,
+    /// Number of common edges.
+    pub edges: usize,
+}
+
+impl CommonSubgraph {
+    /// The combined size `|Vc| + |Ec|`.
+    pub fn size(&self) -> usize {
+        self.nodes + self.edges
+    }
+}
+
+/// The maximum common subgraph similarity measure.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct McsSimilarity {
+    config: McsConfig,
+}
+
+impl McsSimilarity {
+    /// Creates the measure with the given configuration.
+    pub fn new(config: McsConfig) -> Self {
+        McsSimilarity { config }
+    }
+
+    /// The measure with strict label matching, reproducing the original
+    /// MCS-on-matched-labels approach of \[33\] and \[18\].
+    pub fn label_matching() -> Self {
+        McsSimilarity::new(McsConfig {
+            scheme: ModuleComparisonScheme::plm(),
+            node_threshold: 1.0,
+            ..McsConfig::default()
+        })
+    }
+
+    /// The configuration of this measure.
+    pub fn config(&self) -> &McsConfig {
+        &self.config
+    }
+
+    /// The measure name used in experiment output.
+    pub fn name(&self) -> String {
+        format!("MCS_{}", self.config.scheme.name())
+    }
+
+    /// Computes the common subgraph between the two workflows under the
+    /// configured node correspondence.
+    ///
+    /// The pair is put into a canonical order first: when module similarities
+    /// are tied (identical labels occurring several times, as the trivial
+    /// "shim" modules of real corpora do), the maximum-weight mapping is not
+    /// unique and could otherwise pick different correspondences for (a, b)
+    /// and (b, a), making the measure asymmetric.
+    pub fn common_subgraph(&self, a: &Workflow, b: &Workflow) -> CommonSubgraph {
+        let key = |wf: &Workflow| (wf.module_count(), wf.link_count(), wf.id.clone());
+        let (a, b) = if key(a) <= key(b) { (a, b) } else { (b, a) };
+        let outcome = map_modules(
+            a,
+            b,
+            &self.config.scheme,
+            self.config.preselection,
+            self.config.mapping,
+        );
+        // Common nodes: mapped pairs above the threshold.
+        let common: Vec<(usize, usize)> = outcome
+            .mapping
+            .pairs
+            .iter()
+            .filter(|p| p.weight >= self.config.node_threshold)
+            .map(|p| (p.left, p.right))
+            .collect();
+        if common.is_empty() {
+            return CommonSubgraph::default();
+        }
+        let left_to_right: std::collections::BTreeMap<usize, usize> =
+            common.iter().copied().collect();
+        // Edge sets by module index.
+        let edges_a: BTreeSet<(usize, usize)> = a
+            .links
+            .iter()
+            .map(|l| (l.from.index(), l.to.index()))
+            .collect();
+        let edges_b: BTreeSet<(usize, usize)> = b
+            .links
+            .iter()
+            .map(|l| (l.from.index(), l.to.index()))
+            .collect();
+        let edges = edges_a
+            .iter()
+            .filter(|(u, v)| {
+                match (left_to_right.get(u), left_to_right.get(v)) {
+                    (Some(mu), Some(mv)) => edges_b.contains(&(*mu, *mv)),
+                    _ => false,
+                }
+            })
+            .count();
+        CommonSubgraph {
+            nodes: common.len(),
+            edges,
+        }
+    }
+
+    /// The MCS similarity of two workflows.
+    pub fn similarity(&self, a: &Workflow, b: &Workflow) -> f64 {
+        let common = self.common_subgraph(a, b);
+        let size_a = a.module_count() + a.link_count();
+        let size_b = b.module_count() + b.link_count();
+        match self.config.normalization {
+            McsNormalization::None => common.size() as f64,
+            McsNormalization::LargerWorkflow => {
+                let denom = size_a.max(size_b);
+                if denom == 0 {
+                    1.0
+                } else {
+                    common.size() as f64 / denom as f64
+                }
+            }
+            McsNormalization::SmallerWorkflow => {
+                let denom = size_a.min(size_b);
+                if denom == 0 {
+                    if size_a.max(size_b) == 0 {
+                        1.0
+                    } else {
+                        0.0
+                    }
+                } else {
+                    common.size() as f64 / denom as f64
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use wf_model::{builder::WorkflowBuilder, ModuleType};
+
+    fn chain(id: &str, labels: &[&str]) -> Workflow {
+        let mut b = WorkflowBuilder::new(id);
+        for l in labels {
+            b = b.module(*l, ModuleType::WsdlService, |m| m);
+        }
+        for w in labels.windows(2) {
+            b = b.link(w[0], w[1]);
+        }
+        b.build().unwrap()
+    }
+
+    #[test]
+    fn identical_workflows_score_one() {
+        let a = chain("a", &["fetch", "blast", "render"]);
+        let b = chain("b", &["fetch", "blast", "render"]);
+        let mcs = McsSimilarity::default();
+        let common = mcs.common_subgraph(&a, &b);
+        assert_eq!(common.nodes, 3);
+        assert_eq!(common.edges, 2);
+        assert!((mcs.similarity(&a, &b) - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn disjoint_workflows_score_zero() {
+        let a = chain("a", &["aaaa", "bbbb"]);
+        let b = chain("b", &["xxxx", "yyyy"]);
+        assert_eq!(McsSimilarity::default().similarity(&a, &b), 0.0);
+    }
+
+    #[test]
+    fn shared_prefix_is_the_common_subgraph() {
+        // a: fetch -> blast -> render, b: fetch -> blast -> cluster
+        // Common: {fetch, blast} + the fetch->blast edge = 3.
+        // Larger workflow size: 3 + 2 = 5.
+        let a = chain("a", &["fetch", "blast", "render"]);
+        let b = chain("b", &["fetch", "blast", "cluster"]);
+        let mcs = McsSimilarity::label_matching();
+        let common = mcs.common_subgraph(&a, &b);
+        assert_eq!(common.nodes, 2);
+        assert_eq!(common.edges, 1);
+        assert!((mcs.similarity(&a, &b) - 3.0 / 5.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn rewired_edges_reduce_the_common_edge_count_but_not_nodes() {
+        // Same modules but reversed order of the chain: shared nodes, no
+        // shared edges (directions differ).
+        let a = chain("a", &["fetch", "blast", "render"]);
+        let b = chain("b", &["render", "blast", "fetch"]);
+        let mcs = McsSimilarity::label_matching();
+        let common = mcs.common_subgraph(&a, &b);
+        assert_eq!(common.nodes, 3);
+        assert_eq!(common.edges, 0);
+        assert!((mcs.similarity(&a, &b) - 3.0 / 5.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn threshold_excludes_weakly_similar_modules() {
+        let a = chain("a", &["fetch_sequence"]);
+        let b = chain("b", &["fetch_structure"]);
+        let lenient = McsSimilarity::new(McsConfig {
+            node_threshold: 0.3,
+            ..McsConfig::default()
+        });
+        let strict = McsSimilarity::new(McsConfig {
+            node_threshold: 0.95,
+            ..McsConfig::default()
+        });
+        assert!(lenient.similarity(&a, &b) > 0.0);
+        assert_eq!(strict.similarity(&a, &b), 0.0);
+    }
+
+    #[test]
+    fn smaller_workflow_normalization_detects_containment() {
+        let small = chain("s", &["fetch", "blast"]);
+        let large = chain("l", &["fetch", "blast", "filter", "render"]);
+        let containment = McsSimilarity::new(McsConfig {
+            normalization: McsNormalization::SmallerWorkflow,
+            ..McsConfig::default()
+        });
+        let larger = McsSimilarity::default();
+        // The small workflow is entirely contained in the large one.
+        assert!((containment.similarity(&small, &large) - 1.0).abs() < 1e-9);
+        // But relative to the larger workflow the overlap is partial.
+        assert!(larger.similarity(&small, &large) < 0.5);
+    }
+
+    #[test]
+    fn unnormalized_variant_returns_raw_size() {
+        let a = chain("a", &["fetch", "blast", "render"]);
+        let b = chain("b", &["fetch", "blast", "render"]);
+        let raw = McsSimilarity::new(McsConfig {
+            normalization: McsNormalization::None,
+            ..McsConfig::default()
+        });
+        assert!((raw.similarity(&a, &b) - 5.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn empty_workflows_are_identical() {
+        let a = WorkflowBuilder::new("a").build().unwrap();
+        let b = WorkflowBuilder::new("b").build().unwrap();
+        assert_eq!(McsSimilarity::default().similarity(&a, &b), 1.0);
+    }
+
+    #[test]
+    fn similarity_is_symmetric() {
+        let a = chain("a", &["fetch", "blast", "render", "export"]);
+        let b = chain("b", &["fetch", "blastp", "plot"]);
+        let mcs = McsSimilarity::default();
+        let ab = mcs.similarity(&a, &b);
+        let ba = mcs.similarity(&b, &a);
+        assert!((ab - ba).abs() < 1e-9);
+    }
+
+    #[test]
+    fn name_reflects_the_module_scheme() {
+        assert_eq!(McsSimilarity::default().name(), "MCS_pll");
+        assert_eq!(McsSimilarity::label_matching().name(), "MCS_plm");
+    }
+}

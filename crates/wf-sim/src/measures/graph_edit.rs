@@ -1,0 +1,203 @@
+//! The Graph Edit Distance measure (`simGE`).
+//!
+//! Section 2.1.3: "the full DAG structures of two workflows are compared by
+//! computing the graph edit distance …  To transform similarity of modules
+//! to identifiers, we set the labels of nodes in the two graphs to be
+//! compared to reflect the module mapping derived from maximum weight
+//! matching of the modules."  The non-normalized similarity is `−cost`; the
+//! normalized form divides by the maximum possible cost
+//! (`max(|V1|,|V2|) + |E1| + |E2|` for uniform costs, Section 2.1.4).
+
+use wf_ged::{compute_ged, labeled_graphs_from_mapping, GedBudget, GedCosts, GedOutcome};
+use wf_matching::Mapping;
+use wf_model::Workflow;
+
+use crate::config::Normalization;
+use crate::normalize::ged_normalize;
+
+/// Minimum module-pair similarity for a mapped pair to be treated as "the
+/// same" node (shared label) in the edit-distance computation.
+///
+/// The maximum-weight mapping maps *every* module onto its best partner,
+/// however weak; translating arbitrarily weak matches into identical node
+/// labels would make any two equally shaped workflows edit-distance 0.
+/// SUBDUE's label identifiers are binary, so a cut-off is required; 0.5 is
+/// the natural midpoint of the module-similarity range.
+pub const MODULE_LABEL_THRESHOLD: f64 = 0.5;
+
+/// Details of one GE comparison, for experiments that report timeout counts.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct GraphEditDetails {
+    /// The raw edit cost.
+    pub cost: f64,
+    /// The maximum possible cost used for normalization.
+    pub max_cost: f64,
+    /// The similarity score under the requested normalization.
+    pub similarity: f64,
+    /// How the distance was obtained (exact, approximate, timed out).
+    pub outcome: GedOutcome,
+}
+
+/// Computes `simGE` between two workflows given an already established
+/// module mapping (only mapped pairs with positive similarity are treated as
+/// identically labelled nodes).
+pub fn graph_edit_similarity(
+    a: &Workflow,
+    b: &Workflow,
+    mapping: &Mapping,
+    budget: &GedBudget,
+    normalization: Normalization,
+) -> GraphEditDetails {
+    let costs = GedCosts::uniform();
+    let mapped_pairs: Vec<(usize, usize)> = mapping
+        .pairs
+        .iter()
+        .filter(|p| p.weight >= MODULE_LABEL_THRESHOLD)
+        .map(|p| (p.left, p.right))
+        .collect();
+    let (ga, gb) = labeled_graphs_from_mapping(a, b, &mapped_pairs);
+    let outcome = compute_ged(&ga, &gb, &costs, budget);
+    let cost = outcome.cost();
+    let max_cost = costs.max_cost(
+        ga.node_count(),
+        gb.node_count(),
+        ga.edge_count(),
+        gb.edge_count(),
+    );
+    let similarity = match normalization {
+        Normalization::None => -cost,
+        Normalization::SizeNormalized => ged_normalize(cost, max_cost),
+    };
+    GraphEditDetails {
+        cost,
+        max_cost,
+        similarity,
+        outcome,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::mapping_step::map_modules;
+    use crate::module_cmp::ModuleComparisonScheme;
+    use wf_matching::MappingStrategy;
+    use wf_model::{builder::WorkflowBuilder, ModuleType};
+    use wf_repo::PreselectionStrategy;
+
+    fn wf(id: &str, labels: &[&str], links: &[(&str, &str)]) -> Workflow {
+        let mut b = WorkflowBuilder::new(id);
+        for l in labels {
+            b = b.module(*l, ModuleType::WsdlService, |m| m);
+        }
+        for (f, t) in links {
+            b = b.link(*f, *t);
+        }
+        b.build().unwrap()
+    }
+
+    fn details(a: &Workflow, b: &Workflow, normalization: Normalization) -> GraphEditDetails {
+        let outcome = map_modules(
+            a,
+            b,
+            &ModuleComparisonScheme::pll(),
+            PreselectionStrategy::AllPairs,
+            MappingStrategy::MaximumWeight,
+        );
+        graph_edit_similarity(a, b, &outcome.mapping, &GedBudget::default(), normalization)
+    }
+
+    #[test]
+    fn identical_workflows_have_zero_cost_and_similarity_one() {
+        let a = wf(
+            "a",
+            &["fetch", "blast", "render"],
+            &[("fetch", "blast"), ("blast", "render")],
+        );
+        let b = wf(
+            "b",
+            &["fetch", "blast", "render"],
+            &[("fetch", "blast"), ("blast", "render")],
+        );
+        let d = details(&a, &b, Normalization::SizeNormalized);
+        assert_eq!(d.cost, 0.0);
+        assert_eq!(d.similarity, 1.0);
+        assert!(d.outcome.is_exact());
+    }
+
+    #[test]
+    fn structural_difference_raises_cost() {
+        let linear = wf(
+            "a",
+            &["fetch", "blast", "render"],
+            &[("fetch", "blast"), ("blast", "render")],
+        );
+        let star = wf(
+            "b",
+            &["fetch", "blast", "render"],
+            &[("fetch", "blast"), ("fetch", "render")],
+        );
+        let d = details(&linear, &star, Normalization::SizeNormalized);
+        assert!(d.cost > 0.0, "one edge differs");
+        assert!(d.similarity < 1.0);
+        assert!(d.similarity > 0.5, "most of the structure still matches");
+    }
+
+    #[test]
+    fn unnormalized_similarity_is_negative_cost() {
+        let a = wf("a", &["x", "y"], &[("x", "y")]);
+        let b = wf("b", &["x", "z"], &[("x", "z")]);
+        let d = details(&a, &b, Normalization::None);
+        assert_eq!(d.similarity, -d.cost);
+        assert!(d.cost > 0.0);
+    }
+
+    #[test]
+    fn size_mismatch_is_normalized_away_only_partially() {
+        let small = wf("a", &["x", "y"], &[("x", "y")]);
+        let large = wf(
+            "b",
+            &["x", "y", "p", "q", "r"],
+            &[("x", "y"), ("y", "p"), ("p", "q"), ("q", "r")],
+        );
+        let d = details(&small, &large, Normalization::SizeNormalized);
+        assert!(d.similarity > 0.0 && d.similarity < 1.0);
+        // Three nodes and three edges must be inserted.
+        assert_eq!(d.cost, 6.0);
+    }
+
+    #[test]
+    fn max_cost_matches_the_paper_formula() {
+        let a = wf("a", &["x", "y"], &[("x", "y")]);
+        let b = wf("b", &["u", "v", "w"], &[("u", "v"), ("v", "w")]);
+        let d = details(&a, &b, Normalization::SizeNormalized);
+        // max(|V1|,|V2|) + |E1| + |E2| = 3 + 1 + 2 = 6
+        assert_eq!(d.max_cost, 6.0);
+    }
+
+    #[test]
+    fn measure_is_symmetric() {
+        let a = wf(
+            "a",
+            &["fetch", "blast", "render"],
+            &[("fetch", "blast"), ("blast", "render")],
+        );
+        let b = wf(
+            "b",
+            &["fetch", "align", "plot", "export"],
+            &[("fetch", "align"), ("align", "plot"), ("plot", "export")],
+        );
+        let ab = details(&a, &b, Normalization::SizeNormalized).similarity;
+        let ba = details(&b, &a, Normalization::SizeNormalized).similarity;
+        assert!((ab - ba).abs() < 1e-9);
+    }
+
+    #[test]
+    fn empty_workflows_are_identical() {
+        let a = WorkflowBuilder::new("a").build().unwrap();
+        let b = WorkflowBuilder::new("b").build().unwrap();
+        let d = details(&a, &b, Normalization::SizeNormalized);
+        assert_eq!(d.similarity, 1.0);
+        assert_eq!(d.cost, 0.0);
+    }
+}

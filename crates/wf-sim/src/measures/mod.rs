@@ -1,0 +1,16 @@
+//! The three structural workflow-level measures of the paper.
+//!
+//! * [`module_sets`] — `simMS`: workflows as sets of modules (structure
+//!   agnostic),
+//! * [`path_sets`] — `simPS`: workflows as sets of source-to-sink paths
+//!   (substructure based),
+//! * [`graph_edit`] — `simGE`: full-structure comparison via graph edit
+//!   distance.
+
+pub mod graph_edit;
+pub mod module_sets;
+pub mod path_sets;
+
+pub use graph_edit::{graph_edit_similarity, GraphEditDetails};
+pub use module_sets::module_sets_similarity;
+pub use path_sets::path_sets_similarity;

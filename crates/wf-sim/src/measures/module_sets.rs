@@ -1,0 +1,126 @@
+//! The Module Sets measure (`simMS`).
+//!
+//! "Two workflows wf1 and wf2 are treated as sets of modules.  The additive
+//! similarity score of the module pairs mapped by maximum weight matching
+//! (mw) is used as the non-normalized workflow similarity nnsimMS"
+//! (Section 2.1.3), normalized by the similarity-weighted Jaccard index of
+//! Section 2.1.4.
+
+use wf_matching::Mapping;
+use wf_model::Workflow;
+
+use crate::config::Normalization;
+use crate::normalize::jaccard_normalize;
+
+/// Computes `simMS` (or `nnsimMS` when normalization is off) from an
+/// already established module mapping.
+pub fn module_sets_similarity(
+    a: &Workflow,
+    b: &Workflow,
+    mapping: &Mapping,
+    normalization: Normalization,
+) -> f64 {
+    let nnsim = mapping.total_weight();
+    match normalization {
+        Normalization::None => nnsim,
+        Normalization::SizeNormalized => {
+            jaccard_normalize(nnsim, a.module_count(), b.module_count())
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::mapping_step::map_modules;
+    use crate::module_cmp::ModuleComparisonScheme;
+    use wf_matching::MappingStrategy;
+    use wf_model::{builder::WorkflowBuilder, ModuleType};
+    use wf_repo::PreselectionStrategy;
+
+    fn chain(id: &str, labels: &[&str]) -> Workflow {
+        let mut b = WorkflowBuilder::new(id);
+        for l in labels {
+            b = b.module(*l, ModuleType::WsdlService, |m| m);
+        }
+        for w in labels.windows(2) {
+            b = b.link(w[0], w[1]);
+        }
+        b.build().unwrap()
+    }
+
+    fn sim(a: &Workflow, b: &Workflow, normalization: Normalization) -> f64 {
+        let outcome = map_modules(
+            a,
+            b,
+            &ModuleComparisonScheme::pll(),
+            PreselectionStrategy::AllPairs,
+            MappingStrategy::MaximumWeight,
+        );
+        module_sets_similarity(a, b, &outcome.mapping, normalization)
+    }
+
+    #[test]
+    fn identical_workflows_have_similarity_one() {
+        let a = chain("a", &["fetch", "blast", "render"]);
+        let b = chain("b", &["fetch", "blast", "render"]);
+        assert!((sim(&a, &b, Normalization::SizeNormalized) - 1.0).abs() < 1e-9);
+        assert!((sim(&a, &b, Normalization::None) - 3.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn disjoint_workflows_have_similarity_near_zero() {
+        let a = chain("a", &["aaaa", "bbbb"]);
+        let b = chain("b", &["xxxx", "yyyy"]);
+        assert!(sim(&a, &b, Normalization::SizeNormalized) < 0.05);
+    }
+
+    #[test]
+    fn partial_overlap_is_between_zero_and_one() {
+        let a = chain("a", &["fetch", "blast", "render"]);
+        let b = chain("b", &["fetch", "blast", "cluster_results"]);
+        let s = sim(&a, &b, Normalization::SizeNormalized);
+        assert!(s > 0.4 && s < 1.0, "got {s}");
+    }
+
+    #[test]
+    fn structure_is_ignored_only_modules_matter() {
+        // Same module set, reversed link direction: MS cannot tell them apart.
+        let a = chain("a", &["fetch", "blast", "render"]);
+        let mut b = chain("b", &["fetch", "blast", "render"]);
+        b.links.reverse();
+        for l in &mut b.links {
+            std::mem::swap(&mut l.from, &mut l.to);
+        }
+        assert!((sim(&a, &b, Normalization::SizeNormalized) - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn size_normalization_penalises_size_mismatch() {
+        let small = chain("a", &["fetch", "blast"]);
+        let large = chain(
+            "b",
+            &["fetch", "blast", "parse", "filter", "cluster", "render"],
+        );
+        let normalized = sim(&small, &large, Normalization::SizeNormalized);
+        let raw = sim(&small, &large, Normalization::None);
+        assert!((raw - 2.0).abs() < 1e-9, "both small modules map perfectly");
+        assert!(normalized < 0.5, "but the big workflow has much more going on");
+    }
+
+    #[test]
+    fn empty_workflows_are_identical() {
+        let a = WorkflowBuilder::new("a").build().unwrap();
+        let b = WorkflowBuilder::new("b").build().unwrap();
+        assert_eq!(sim(&a, &b, Normalization::SizeNormalized), 1.0);
+    }
+
+    #[test]
+    fn measure_is_symmetric() {
+        let a = chain("a", &["fetch", "blast", "render"]);
+        let b = chain("b", &["fetch_seq", "blastp", "plot", "export"]);
+        let ab = sim(&a, &b, Normalization::SizeNormalized);
+        let ba = sim(&b, &a, Normalization::SizeNormalized);
+        assert!((ab - ba).abs() < 1e-9);
+    }
+}

@@ -1,0 +1,247 @@
+//! The Path Sets measure (`simPS`).
+//!
+//! Section 2.1.3: each workflow is topologically decomposed into its set of
+//! source-to-sink paths.  Every pair of paths is compared with the
+//! maximum-weight *non-crossing* matching of their modules (respecting the
+//! module order along the paths); a maximum-weight matching over the path
+//! pairs then yields the workflow-level score, normalized by the
+//! similarity-weighted Jaccard index over the two path sets.
+//!
+//! One interpretation choice (documented in DESIGN.md): the per-path-pair
+//! score is itself Jaccard-normalized to `[0, 1]` before the path-level
+//! matching, so that `nnsimPS` is measured in "number of equivalent paths"
+//! and the final normalization by `|PS1| + |PS2| − nnsimPS` stays within
+//! `[0, 1]` exactly as for the Module Sets measure.
+
+use wf_matching::{maximum_weight_mapping, maximum_weight_noncrossing_mapping, SimilarityMatrix};
+use wf_model::{ModuleId, Workflow};
+
+use crate::config::Normalization;
+use crate::normalize::jaccard_normalize;
+
+/// Computes `simPS` between two workflows.
+///
+/// `module_matrix` must hold the pairwise module similarities of the two
+/// *whole* workflows (rows: modules of `a`, columns: modules of `b`);
+/// `paths_a` / `paths_b` are their path decompositions.
+pub fn path_sets_similarity(
+    a: &Workflow,
+    b: &Workflow,
+    module_matrix: &SimilarityMatrix,
+    paths_a: &[Vec<ModuleId>],
+    paths_b: &[Vec<ModuleId>],
+    normalization: Normalization,
+) -> f64 {
+    let _ = (a, b); // sizes enter through the path sets; kept for symmetry with simMS
+    if paths_a.is_empty() && paths_b.is_empty() {
+        return match normalization {
+            Normalization::None => 0.0,
+            Normalization::SizeNormalized => 1.0,
+        };
+    }
+    if paths_a.is_empty() || paths_b.is_empty() {
+        return 0.0;
+    }
+
+    // Pairwise path similarities via the order-respecting mwnc matching.
+    let path_matrix = SimilarityMatrix::from_fn(paths_a.len(), paths_b.len(), |i, j| {
+        path_pair_similarity(&paths_a[i], &paths_b[j], module_matrix)
+    });
+
+    // Maximum-weight matching of the paths themselves.
+    let path_mapping = maximum_weight_mapping(&path_matrix);
+    let nnsim = path_mapping.total_weight();
+    match normalization {
+        Normalization::None => nnsim,
+        Normalization::SizeNormalized => jaccard_normalize(nnsim, paths_a.len(), paths_b.len()),
+    }
+}
+
+/// The similarity of two individual paths: the maximum-weight non-crossing
+/// matching of their modules, Jaccard-normalized by the path lengths.
+pub fn path_pair_similarity(
+    path_a: &[ModuleId],
+    path_b: &[ModuleId],
+    module_matrix: &SimilarityMatrix,
+) -> f64 {
+    if path_a.is_empty() && path_b.is_empty() {
+        return 1.0;
+    }
+    if path_a.is_empty() || path_b.is_empty() {
+        return 0.0;
+    }
+    let restricted = SimilarityMatrix::from_fn(path_a.len(), path_b.len(), |i, j| {
+        module_matrix.get(path_a[i].index(), path_b[j].index())
+    });
+    let mapping = maximum_weight_noncrossing_mapping(&restricted);
+    jaccard_normalize(mapping.total_weight(), path_a.len(), path_b.len())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::Normalization;
+    use crate::decompose::path_set;
+    use crate::mapping_step::module_similarity_matrix;
+    use crate::module_cmp::ModuleComparisonScheme;
+    use wf_model::{builder::WorkflowBuilder, ModuleType};
+    use wf_repo::PreselectionStrategy;
+
+    fn wf(id: &str, labels: &[&str], links: &[(&str, &str)]) -> Workflow {
+        let mut b = WorkflowBuilder::new(id);
+        for l in labels {
+            b = b.module(*l, ModuleType::WsdlService, |m| m);
+        }
+        for (f, t) in links {
+            b = b.link(*f, *t);
+        }
+        b.build().unwrap()
+    }
+
+    fn sim(a: &Workflow, b: &Workflow, normalization: Normalization) -> f64 {
+        let (matrix, _) = module_similarity_matrix(
+            a,
+            b,
+            &ModuleComparisonScheme::pll(),
+            PreselectionStrategy::AllPairs,
+        );
+        let pa = path_set(a, 1000);
+        let pb = path_set(b, 1000);
+        path_sets_similarity(a, b, &matrix, &pa, &pb, normalization)
+    }
+
+    #[test]
+    fn identical_workflows_have_similarity_one() {
+        let a = wf(
+            "a",
+            &["fetch", "blast", "render"],
+            &[("fetch", "blast"), ("blast", "render")],
+        );
+        let b = wf(
+            "b",
+            &["fetch", "blast", "render"],
+            &[("fetch", "blast"), ("blast", "render")],
+        );
+        assert!((sim(&a, &b, Normalization::SizeNormalized) - 1.0).abs() < 1e-9);
+        assert!((sim(&a, &b, Normalization::None) - 1.0).abs() < 1e-9, "one fully similar path");
+    }
+
+    #[test]
+    fn disjoint_workflows_have_similarity_near_zero() {
+        let a = wf("a", &["aaaa", "bbbb"], &[("aaaa", "bbbb")]);
+        let b = wf("b", &["xxxx", "yyyy"], &[("xxxx", "yyyy")]);
+        assert!(sim(&a, &b, Normalization::SizeNormalized) < 0.05);
+    }
+
+    #[test]
+    fn path_sets_sees_order_where_module_sets_does_not() {
+        // Same modules, opposite order along the single path.
+        let a = wf(
+            "a",
+            &["fetch", "blast", "render"],
+            &[("fetch", "blast"), ("blast", "render")],
+        );
+        let b = wf(
+            "b",
+            &["render", "blast", "fetch"],
+            &[("render", "blast"), ("blast", "fetch")],
+        );
+        let s = sim(&a, &b, Normalization::SizeNormalized);
+        // The non-crossing matching can only align one module plus the
+        // middle one; similarity drops clearly below 1.
+        assert!(s < 0.75, "got {s}");
+        assert!(s > 0.0);
+    }
+
+    #[test]
+    fn branching_workflows_compare_path_by_path() {
+        // a diamond vs the same diamond: two paths each, both match.
+        let diamond = |id: &str| {
+            wf(
+                id,
+                &["start", "left", "right", "end"],
+                &[
+                    ("start", "left"),
+                    ("start", "right"),
+                    ("left", "end"),
+                    ("right", "end"),
+                ],
+            )
+        };
+        let a = diamond("a");
+        let b = diamond("b");
+        assert!((sim(&a, &b, Normalization::SizeNormalized) - 1.0).abs() < 1e-9);
+        assert!((sim(&a, &b, Normalization::None) - 2.0).abs() < 1e-9, "two matched paths");
+    }
+
+    #[test]
+    fn extra_path_reduces_normalized_similarity() {
+        let linear = wf(
+            "a",
+            &["start", "left", "end"],
+            &[("start", "left"), ("left", "end")],
+        );
+        let branched = wf(
+            "b",
+            &["start", "left", "right_branch", "end"],
+            &[
+                ("start", "left"),
+                ("start", "right_branch"),
+                ("left", "end"),
+                ("right_branch", "end"),
+            ],
+        );
+        let s = sim(&linear, &branched, Normalization::SizeNormalized);
+        assert!(s < 1.0);
+        assert!(s > 0.3);
+    }
+
+    #[test]
+    fn empty_vs_nonempty() {
+        let empty = WorkflowBuilder::new("e").build().unwrap();
+        let other = wf("o", &["x"], &[]);
+        assert_eq!(sim(&empty, &other, Normalization::SizeNormalized), 0.0);
+        assert_eq!(sim(&empty, &empty.clone(), Normalization::SizeNormalized), 1.0);
+    }
+
+    #[test]
+    fn measure_is_symmetric() {
+        let a = wf(
+            "a",
+            &["fetch", "blast", "render"],
+            &[("fetch", "blast"), ("blast", "render")],
+        );
+        let b = wf(
+            "b",
+            &["fetch_data", "blastp", "plot", "extra"],
+            &[("fetch_data", "blastp"), ("blastp", "plot"), ("plot", "extra")],
+        );
+        // Symmetry requires transposing the module matrix for the reverse
+        // direction, which sim() recomputes from scratch.
+        let ab = sim(&a, &b, Normalization::SizeNormalized);
+        let ba = sim(&b, &a, Normalization::SizeNormalized);
+        assert!((ab - ba).abs() < 1e-9);
+    }
+
+    #[test]
+    fn path_pair_similarity_respects_order() {
+        let a = wf(
+            "a",
+            &["m1", "m2", "m3"],
+            &[("m1", "m2"), ("m2", "m3")],
+        );
+        let (matrix, _) = module_similarity_matrix(
+            &a,
+            &a,
+            &ModuleComparisonScheme::plm(),
+            PreselectionStrategy::AllPairs,
+        );
+        let forward = vec![ModuleId(0), ModuleId(1), ModuleId(2)];
+        let backward = vec![ModuleId(2), ModuleId(1), ModuleId(0)];
+        assert_eq!(path_pair_similarity(&forward, &forward, &matrix), 1.0);
+        let rev = path_pair_similarity(&forward, &backward, &matrix);
+        assert!(rev < 0.5, "only one module can align without crossing");
+        assert_eq!(path_pair_similarity(&[], &[], &matrix), 1.0);
+        assert_eq!(path_pair_similarity(&forward, &[], &matrix), 0.0);
+    }
+}

@@ -1,0 +1,369 @@
+//! Pairwise module comparison schemes.
+//!
+//! Section 2.1.1 of the paper: "for maximum flexibility, both the set of
+//! attributes to compare and the methods to compare them by are
+//! configurable in our framework, together with the weight each attribute
+//! has".  A [`ModuleComparisonScheme`] is exactly that configuration; the
+//! named constructors reproduce the schemes evaluated in the paper:
+//!
+//! | scheme | description |
+//! |--------|-------------|
+//! | `pw0`  | uniform weights on all attributes; exact matching for type and service attributes, edit distance for label, description and script |
+//! | `pw3`  | tuned weights: label, script and service URI weighted highest, then service name and authority (following Silva et al. \[34\]) |
+//! | `pll`  | labels only, compared by Levenshtein edit distance (Bergmann & Gil \[4\]) |
+//! | `plm`  | labels only, compared by strict string matching (Santos et al. \[33\], Goderis et al. \[18\], Xiang & Madey \[38\]) |
+//! | `gw1`  | Galaxy variant of `pw0`: uniform weights over the attributes Galaxy tools carry |
+//! | `gll`  | Galaxy variant of `pll` |
+
+use std::fmt;
+
+use wf_model::{AttributeKey, AttributeValue, Module};
+use wf_text::levenshtein::{levenshtein_similarity, levenshtein_similarity_ci};
+use wf_text::{jaccard_index, tokenize};
+
+/// How a single attribute is compared.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum ComparisonMethod {
+    /// Exact (case-sensitive) string equality: similarity 1 or 0.
+    Exact,
+    /// Exact case-insensitive string equality.
+    ExactIgnoreCase,
+    /// Normalized Levenshtein similarity.
+    Levenshtein,
+    /// Normalized Levenshtein similarity on lowercased strings.
+    LevenshteinIgnoreCase,
+    /// Jaccard similarity of the token sets (used for long texts such as
+    /// descriptions and scripts, where character edit distance is noisy).
+    TokenJaccard,
+}
+
+impl ComparisonMethod {
+    /// Compares two attribute values with this method.
+    pub fn compare(self, a: &str, b: &str) -> f64 {
+        match self {
+            ComparisonMethod::Exact => {
+                if a == b {
+                    1.0
+                } else {
+                    0.0
+                }
+            }
+            ComparisonMethod::ExactIgnoreCase => {
+                if a.eq_ignore_ascii_case(b) {
+                    1.0
+                } else {
+                    0.0
+                }
+            }
+            ComparisonMethod::Levenshtein => levenshtein_similarity(a, b),
+            ComparisonMethod::LevenshteinIgnoreCase => levenshtein_similarity_ci(a, b),
+            ComparisonMethod::TokenJaccard => jaccard_index(&tokenize(a), &tokenize(b)),
+        }
+    }
+}
+
+/// One attribute's role in a comparison scheme.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct AttributeRule {
+    /// The attribute being compared.
+    pub key: AttributeKey,
+    /// Its weight in the weighted average.
+    pub weight: f64,
+    /// The comparison method applied to it.
+    pub method: ComparisonMethod,
+}
+
+/// A full module comparison scheme: a weighted set of attribute rules.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ModuleComparisonScheme {
+    name: &'static str,
+    rules: Vec<AttributeRule>,
+}
+
+impl ModuleComparisonScheme {
+    /// Builds a custom scheme.  Rules with non-positive weight are dropped.
+    pub fn custom(name: &'static str, rules: Vec<AttributeRule>) -> Self {
+        let rules = rules.into_iter().filter(|r| r.weight > 0.0).collect();
+        ModuleComparisonScheme { name, rules }
+    }
+
+    /// `pw0`: uniform weights on all attributes (the baseline configuration
+    /// of Fig. 5).
+    pub fn pw0() -> Self {
+        use AttributeKey::*;
+        use ComparisonMethod::*;
+        ModuleComparisonScheme::custom(
+            "pw0",
+            vec![
+                AttributeRule { key: Label, weight: 1.0, method: Levenshtein },
+                AttributeRule { key: Type, weight: 1.0, method: Exact },
+                AttributeRule { key: Description, weight: 1.0, method: Levenshtein },
+                AttributeRule { key: Script, weight: 1.0, method: Levenshtein },
+                AttributeRule { key: ServiceAuthority, weight: 1.0, method: Exact },
+                AttributeRule { key: ServiceName, weight: 1.0, method: Exact },
+                AttributeRule { key: ServiceUri, weight: 1.0, method: Exact },
+            ],
+        )
+    }
+
+    /// `pw3`: tuned, non-uniform weights (label, script and service URI
+    /// highest, then service name and authority), following \[34\].
+    pub fn pw3() -> Self {
+        use AttributeKey::*;
+        use ComparisonMethod::*;
+        ModuleComparisonScheme::custom(
+            "pw3",
+            vec![
+                AttributeRule { key: Label, weight: 3.0, method: Levenshtein },
+                AttributeRule { key: Script, weight: 3.0, method: TokenJaccard },
+                AttributeRule { key: ServiceUri, weight: 3.0, method: Exact },
+                AttributeRule { key: ServiceName, weight: 2.0, method: Exact },
+                AttributeRule { key: ServiceAuthority, weight: 1.5, method: Exact },
+                AttributeRule { key: Type, weight: 1.0, method: Exact },
+                AttributeRule { key: Description, weight: 1.0, method: TokenJaccard },
+            ],
+        )
+    }
+
+    /// `pll`: labels only, Levenshtein edit distance.
+    pub fn pll() -> Self {
+        ModuleComparisonScheme::custom(
+            "pll",
+            vec![AttributeRule {
+                key: AttributeKey::Label,
+                weight: 1.0,
+                method: ComparisonMethod::Levenshtein,
+            }],
+        )
+    }
+
+    /// `plm`: labels only, strict string matching.
+    pub fn plm() -> Self {
+        ModuleComparisonScheme::custom(
+            "plm",
+            vec![AttributeRule {
+                key: AttributeKey::Label,
+                weight: 1.0,
+                method: ComparisonMethod::Exact,
+            }],
+        )
+    }
+
+    /// `gw1`: the Galaxy-corpus scheme comparing "a selection of attributes
+    /// with uniform weights" (Section 5.3).  Galaxy tools carry a label, a
+    /// tool id (mapped to the service name attribute on import), a type and
+    /// a description.
+    pub fn gw1() -> Self {
+        use AttributeKey::*;
+        use ComparisonMethod::*;
+        ModuleComparisonScheme::custom(
+            "gw1",
+            vec![
+                AttributeRule { key: Label, weight: 1.0, method: LevenshteinIgnoreCase },
+                AttributeRule { key: ServiceName, weight: 1.0, method: ExactIgnoreCase },
+                AttributeRule { key: Type, weight: 1.0, method: Exact },
+                AttributeRule { key: Description, weight: 1.0, method: TokenJaccard },
+            ],
+        )
+    }
+
+    /// `gll`: the Galaxy-corpus label-only edit-distance scheme.
+    pub fn gll() -> Self {
+        ModuleComparisonScheme::custom(
+            "gll",
+            vec![AttributeRule {
+                key: AttributeKey::Label,
+                weight: 1.0,
+                method: ComparisonMethod::LevenshteinIgnoreCase,
+            }],
+        )
+    }
+
+    /// The scheme's short name as used in algorithm identifiers
+    /// (`MS_ip_te_pll` etc.).
+    pub fn name(&self) -> &'static str {
+        self.name
+    }
+
+    /// The attribute rules of the scheme.
+    pub fn rules(&self) -> &[AttributeRule] {
+        &self.rules
+    }
+
+    /// Computes the similarity of two modules under this scheme.
+    ///
+    /// For every rule, the attribute values of both modules are compared if
+    /// both carry the attribute; if only one carries it the attribute
+    /// contributes similarity 0 (the modules demonstrably differ there); if
+    /// neither carries it the rule is skipped entirely.  The result is the
+    /// weighted average over the contributing rules, in `[0, 1]`.
+    pub fn module_similarity(&self, a: &Module, b: &Module) -> f64 {
+        let mut weight_sum = 0.0;
+        let mut score_sum = 0.0;
+        for rule in &self.rules {
+            let va = a.attribute(rule.key);
+            let vb = b.attribute(rule.key);
+            match (va, vb) {
+                (None, None) => continue,
+                (Some(_), None) | (None, Some(_)) => {
+                    weight_sum += rule.weight;
+                }
+                (Some(x), Some(y)) => {
+                    weight_sum += rule.weight;
+                    score_sum += rule.weight * compare_values(rule.method, x, y);
+                }
+            }
+        }
+        if weight_sum == 0.0 {
+            0.0
+        } else {
+            (score_sum / weight_sum).clamp(0.0, 1.0)
+        }
+    }
+}
+
+fn compare_values(method: ComparisonMethod, a: AttributeValue<'_>, b: AttributeValue<'_>) -> f64 {
+    method.compare(a.as_str(), b.as_str())
+}
+
+impl fmt::Display for ModuleComparisonScheme {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use wf_model::{builder::WorkflowBuilder, ModuleType, Workflow};
+
+    fn service_workflow(id: &str, label: &str, service: &str, uri: &str) -> Workflow {
+        WorkflowBuilder::new(id)
+            .module(label, ModuleType::WsdlService, |m| {
+                m.service("ebi.ac.uk", service, uri)
+            })
+            .build()
+            .unwrap()
+    }
+
+    #[test]
+    fn comparison_methods() {
+        assert_eq!(ComparisonMethod::Exact.compare("abc", "abc"), 1.0);
+        assert_eq!(ComparisonMethod::Exact.compare("abc", "Abc"), 0.0);
+        assert_eq!(ComparisonMethod::ExactIgnoreCase.compare("abc", "Abc"), 1.0);
+        assert!(ComparisonMethod::Levenshtein.compare("blast", "blastp") > 0.8);
+        assert_eq!(ComparisonMethod::LevenshteinIgnoreCase.compare("BLAST", "blast"), 1.0);
+        assert_eq!(
+            ComparisonMethod::TokenJaccard.compare("run blast search", "blast search"),
+            2.0 / 3.0
+        );
+    }
+
+    #[test]
+    fn identical_modules_have_similarity_one() {
+        let wf = service_workflow("a", "run_blast", "blastp", "http://ebi.ac.uk/blast");
+        let m = &wf.modules[0];
+        for scheme in [
+            ModuleComparisonScheme::pw0(),
+            ModuleComparisonScheme::pw3(),
+            ModuleComparisonScheme::pll(),
+            ModuleComparisonScheme::plm(),
+            ModuleComparisonScheme::gw1(),
+            ModuleComparisonScheme::gll(),
+        ] {
+            assert!(
+                (scheme.module_similarity(m, m) - 1.0).abs() < 1e-9,
+                "{scheme} on identical module"
+            );
+        }
+    }
+
+    #[test]
+    fn pll_sees_label_variants_plm_does_not() {
+        let wa = service_workflow("a", "run_blast", "blastp", "u1");
+        let wb = service_workflow("b", "run_blastp", "blastp", "u1");
+        let (ma, mb) = (&wa.modules[0], &wb.modules[0]);
+        let pll = ModuleComparisonScheme::pll().module_similarity(ma, mb);
+        let plm = ModuleComparisonScheme::plm().module_similarity(ma, mb);
+        assert!(pll > 0.85, "edit distance captures the near-identical label");
+        assert_eq!(plm, 0.0, "strict matching sees nothing");
+    }
+
+    #[test]
+    fn pw3_weights_service_uri_strongly() {
+        // Same service URI but different labels: pw3 should still consider
+        // the modules fairly similar, more so than pll.
+        let wa = service_workflow("a", "fetch_sequence", "blastp", "http://ebi.ac.uk/blast");
+        let wb = service_workflow("b", "protein_search", "blastp", "http://ebi.ac.uk/blast");
+        let (ma, mb) = (&wa.modules[0], &wb.modules[0]);
+        let pw3 = ModuleComparisonScheme::pw3().module_similarity(ma, mb);
+        let pll = ModuleComparisonScheme::pll().module_similarity(ma, mb);
+        assert!(pw3 > pll);
+        assert!(pw3 > 0.5);
+    }
+
+    #[test]
+    fn attributes_missing_on_one_side_count_as_dissimilar() {
+        // A web service vs a script: under pw0 the service attributes exist
+        // only on one side and drag the similarity down.
+        let wa = service_workflow("a", "analyse", "blastp", "u1");
+        let wb = WorkflowBuilder::new("b")
+            .module("analyse", ModuleType::BeanshellScript, |m| m.script("run()"))
+            .build()
+            .unwrap();
+        let sim = ModuleComparisonScheme::pw0().module_similarity(&wa.modules[0], &wb.modules[0]);
+        assert!(sim < 0.5, "only the label matches, everything else differs");
+        assert!(sim > 0.0, "but the matching label still counts");
+    }
+
+    #[test]
+    fn attributes_missing_on_both_sides_are_skipped() {
+        // Two bare local operations: only label and type contribute.
+        let wa = WorkflowBuilder::new("a")
+            .module("split_string", ModuleType::LocalOperation, |m| m)
+            .build()
+            .unwrap();
+        let wb = WorkflowBuilder::new("b")
+            .module("split_string", ModuleType::LocalOperation, |m| m)
+            .build()
+            .unwrap();
+        let sim = ModuleComparisonScheme::pw0().module_similarity(&wa.modules[0], &wb.modules[0]);
+        assert_eq!(sim, 1.0);
+    }
+
+    #[test]
+    fn custom_scheme_drops_nonpositive_weights() {
+        let scheme = ModuleComparisonScheme::custom(
+            "x",
+            vec![
+                AttributeRule { key: AttributeKey::Label, weight: 0.0, method: ComparisonMethod::Exact },
+                AttributeRule { key: AttributeKey::Type, weight: 1.0, method: ComparisonMethod::Exact },
+            ],
+        );
+        assert_eq!(scheme.rules().len(), 1);
+        assert_eq!(scheme.name(), "x");
+    }
+
+    #[test]
+    fn empty_scheme_yields_zero_similarity() {
+        let scheme = ModuleComparisonScheme::custom("empty", vec![]);
+        let wf = service_workflow("a", "x", "y", "z");
+        assert_eq!(scheme.module_similarity(&wf.modules[0], &wf.modules[0]), 0.0);
+    }
+
+    #[test]
+    fn similarity_is_symmetric() {
+        let wa = service_workflow("a", "run_blast", "blastp", "u1");
+        let wb = WorkflowBuilder::new("b")
+            .module("blast_run", ModuleType::SoaplabService, |m| {
+                m.service("ebi.ac.uk", "blastp2", "u2")
+            })
+            .build()
+            .unwrap();
+        for scheme in [ModuleComparisonScheme::pw0(), ModuleComparisonScheme::pw3()] {
+            let ab = scheme.module_similarity(&wa.modules[0], &wb.modules[0]);
+            let ba = scheme.module_similarity(&wb.modules[0], &wa.modules[0]);
+            assert!((ab - ba).abs() < 1e-12, "{scheme}");
+        }
+    }
+}

@@ -1,0 +1,104 @@
+//! Normalization of topological similarity scores.
+//!
+//! Section 2.1.4 of the paper: the additive, non-normalized scores of the
+//! set-based measures are normalized with a *similarity-weighted Jaccard
+//! index*, and the graph edit cost with the maximum possible cost.  The
+//! paper shows (Fig. 7 and Section 5.1.3) that omitting normalization
+//! significantly hurts ranking quality, so normalization is the default
+//! everywhere; the non-normalized variants remain available for that
+//! ablation.
+
+/// The similarity-weighted Jaccard normalization of the paper:
+///
+/// ```text
+/// sim = nnsim / (|A| + |B| - nnsim)
+/// ```
+///
+/// where `nnsim` is the additive similarity of the mapped elements and
+/// `|A|`, `|B|` are the sizes of the two compared sets (modules or paths).
+/// For identical sets (`nnsim = |A| = |B|`) the result is 1; for a mapping
+/// without any similarity it is 0.  Two empty sets are defined to be
+/// identical (similarity 1).
+pub fn jaccard_normalize(nnsim: f64, size_a: usize, size_b: usize) -> f64 {
+    if size_a == 0 && size_b == 0 {
+        return 1.0;
+    }
+    let denominator = size_a as f64 + size_b as f64 - nnsim;
+    if denominator <= 0.0 {
+        // Only possible when nnsim >= |A| + |B|, i.e. rounding noise on
+        // identical sets; clamp to perfect similarity.
+        return 1.0;
+    }
+    (nnsim / denominator).clamp(0.0, 1.0)
+}
+
+/// The graph-edit-distance normalization of the paper:
+///
+/// ```text
+/// sim_GED = 1 − cost / (max(|V1|, |V2|) + |E1| + |E2|)
+/// ```
+///
+/// (for uniform edit costs of 1).  The caller supplies the maximum cost so
+/// that non-uniform cost configurations normalize consistently.
+pub fn ged_normalize(cost: f64, max_cost: f64) -> f64 {
+    if max_cost <= 0.0 {
+        // Two empty graphs: zero cost, identical.
+        return if cost <= 0.0 { 1.0 } else { 0.0 };
+    }
+    (1.0 - cost / max_cost).clamp(0.0, 1.0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn identical_sets_normalize_to_one() {
+        assert_eq!(jaccard_normalize(3.0, 3, 3), 1.0);
+        assert_eq!(jaccard_normalize(0.0, 0, 0), 1.0);
+    }
+
+    #[test]
+    fn no_similarity_normalizes_to_zero() {
+        assert_eq!(jaccard_normalize(0.0, 4, 5), 0.0);
+    }
+
+    #[test]
+    fn partial_similarity_matches_hand_computation() {
+        // nnsim = 2 over sets of sizes 3 and 4: 2 / (3 + 4 - 2) = 0.4.
+        assert!((jaccard_normalize(2.0, 3, 4) - 0.4).abs() < 1e-12);
+    }
+
+    #[test]
+    fn size_asymmetry_reduces_similarity() {
+        // The same absolute overlap counts for less against a bigger workflow.
+        let small = jaccard_normalize(2.0, 2, 3);
+        let large = jaccard_normalize(2.0, 2, 98);
+        assert!(small > large);
+    }
+
+    #[test]
+    fn rounding_noise_is_clamped() {
+        assert_eq!(jaccard_normalize(3.0000001, 3, 3), 1.0);
+    }
+
+    #[test]
+    fn ged_normalization_bounds() {
+        assert_eq!(ged_normalize(0.0, 10.0), 1.0);
+        assert_eq!(ged_normalize(10.0, 10.0), 0.0);
+        assert_eq!(ged_normalize(5.0, 10.0), 0.5);
+        assert_eq!(ged_normalize(15.0, 10.0), 0.0, "over-cost clamps to 0");
+        assert_eq!(ged_normalize(0.0, 0.0), 1.0, "two empty graphs are identical");
+    }
+
+    #[test]
+    fn the_papers_size_example() {
+        // The motivating example of Section 2.1.4: an edit distance of 2 on
+        // workflows of 2/3 modules vs 98/99 modules.  After normalization
+        // the big pair is (much) more similar.
+        let small = ged_normalize(2.0, 3.0 + 1.0 + 2.0); // |V|=3, |E1|=1, |E2|=2
+        let large = ged_normalize(2.0, 99.0 + 97.0 + 98.0);
+        assert!(large > small);
+        assert!(large > 0.98);
+    }
+}

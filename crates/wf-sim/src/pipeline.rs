@@ -1,0 +1,341 @@
+//! The end-to-end similarity pipeline.
+//!
+//! [`WorkflowSimilarity`] wires the configured steps together exactly in the
+//! order of Fig. 2 of the paper: preprocessing → decomposition → module
+//! comparison → module mapping → topological comparison → normalization.
+//! Annotation measures bypass the structural steps.
+
+use std::borrow::Cow;
+
+use wf_model::Workflow;
+use wf_repo::{importance_projection, ImportanceScorer, UsageStatistics};
+
+use crate::annotation::{bag_of_tags_similarity, bag_of_words_similarity};
+use crate::config::{MeasureKind, Preprocessing, SimilarityConfig};
+use crate::decompose::path_set;
+use crate::mapping_step::map_modules;
+use crate::measures::graph_edit::{graph_edit_similarity, GraphEditDetails};
+use crate::measures::module_sets::module_sets_similarity;
+use crate::measures::path_sets::path_sets_similarity;
+
+/// A detailed account of one workflow comparison, used by the experiment
+/// harness to report pair counts, timeouts and projected sizes alongside the
+/// similarity score.
+#[derive(Debug, Clone)]
+pub struct SimilarityReport {
+    /// The algorithm name (paper notation).
+    pub algorithm: String,
+    /// The similarity score, if the measure was applicable to the pair
+    /// (Bag of Tags returns `None` on untagged workflows).
+    pub score: Option<f64>,
+    /// Number of module pairs actually compared (0 for annotation measures).
+    pub compared_pairs: usize,
+    /// Number of module pairs in the full Cartesian product after
+    /// preprocessing (0 for annotation measures).
+    pub total_pairs: usize,
+    /// Module counts of the two workflows after preprocessing.
+    pub effective_sizes: (usize, usize),
+    /// GED details when the Graph Edit Distance measure was used.
+    pub graph_edit: Option<GraphEditDetails>,
+}
+
+/// One fully configured workflow similarity measure.
+#[derive(Debug, Clone)]
+pub struct WorkflowSimilarity {
+    config: SimilarityConfig,
+    scorer: ImportanceScorer,
+}
+
+impl WorkflowSimilarity {
+    /// Creates a measure from a configuration.  The importance scorer for
+    /// `ip` preprocessing is built from the configuration's
+    /// [`wf_repo::ImportanceConfig`] without repository usage statistics.
+    pub fn new(config: SimilarityConfig) -> Self {
+        let scorer = ImportanceScorer::new(config.importance.clone());
+        WorkflowSimilarity { config, scorer }
+    }
+
+    /// Creates a measure whose importance scorer can use repository usage
+    /// statistics (the frequency-based scoring extension).
+    pub fn with_usage(config: SimilarityConfig, usage: UsageStatistics) -> Self {
+        let scorer = ImportanceScorer::with_usage(config.importance.clone(), usage);
+        WorkflowSimilarity { config, scorer }
+    }
+
+    /// The configuration of this measure.
+    pub fn config(&self) -> &SimilarityConfig {
+        &self.config
+    }
+
+    /// The algorithm name in the paper's notation (e.g. `PS_ip_te_pll`).
+    pub fn name(&self) -> String {
+        self.config.name()
+    }
+
+    /// Applies the configured preprocessing to one workflow.
+    pub fn preprocess<'w>(&self, wf: &'w Workflow) -> Cow<'w, Workflow> {
+        match self.config.preprocessing {
+            Preprocessing::None => Cow::Borrowed(wf),
+            Preprocessing::ImportanceProjection => {
+                Cow::Owned(importance_projection(wf, &self.scorer))
+            }
+        }
+    }
+
+    /// The similarity of two workflows, or `None` when the measure is not
+    /// applicable to the pair (Bag of Tags on untagged workflows, Bag of
+    /// Words on completely unannotated ones).
+    pub fn similarity_opt(&self, a: &Workflow, b: &Workflow) -> Option<f64> {
+        self.report(a, b).score
+    }
+
+    /// The similarity of two workflows; inapplicable pairs score 0.
+    pub fn similarity(&self, a: &Workflow, b: &Workflow) -> f64 {
+        self.similarity_opt(a, b).unwrap_or(0.0)
+    }
+
+    /// Runs the full pipeline and returns the detailed report.
+    pub fn report(&self, a: &Workflow, b: &Workflow) -> SimilarityReport {
+        match self.config.measure {
+            MeasureKind::BagOfWords => SimilarityReport {
+                algorithm: self.name(),
+                score: bag_of_words_similarity(a, b),
+                compared_pairs: 0,
+                total_pairs: 0,
+                effective_sizes: (a.module_count(), b.module_count()),
+                graph_edit: None,
+            },
+            MeasureKind::BagOfTags => SimilarityReport {
+                algorithm: self.name(),
+                score: bag_of_tags_similarity(a, b),
+                compared_pairs: 0,
+                total_pairs: 0,
+                effective_sizes: (a.module_count(), b.module_count()),
+                graph_edit: None,
+            },
+            MeasureKind::ModuleSets | MeasureKind::PathSets | MeasureKind::GraphEdit => {
+                self.structural_report(a, b)
+            }
+        }
+    }
+
+    fn structural_report(&self, a: &Workflow, b: &Workflow) -> SimilarityReport {
+        let mut pa = self.preprocess(a);
+        let mut pb = self.preprocess(b);
+        // The Graph Edit Distance search processes the first graph's nodes in
+        // a fixed order and derives node labels from the (possibly tied)
+        // maximum-weight mapping, both of which are direction dependent.  To
+        // make simGE a symmetric measure the pair is put into a canonical
+        // order first; MS and PS are value-symmetric by construction and are
+        // left untouched.
+        let mut swapped = false;
+        if self.config.measure == MeasureKind::GraphEdit {
+            let key = |wf: &Workflow| (wf.module_count(), wf.link_count(), wf.id.clone());
+            if key(&pa) > key(&pb) {
+                std::mem::swap(&mut pa, &mut pb);
+                swapped = true;
+            }
+        }
+        let outcome = map_modules(
+            &pa,
+            &pb,
+            &self.config.module_scheme,
+            self.config.preselection,
+            self.config.mapping,
+        );
+        let mut graph_edit = None;
+        let score = match self.config.measure {
+            MeasureKind::ModuleSets => Some(module_sets_similarity(
+                &pa,
+                &pb,
+                &outcome.mapping,
+                self.config.normalization,
+            )),
+            MeasureKind::PathSets => {
+                let paths_a = path_set(&pa, self.config.max_paths);
+                let paths_b = path_set(&pb, self.config.max_paths);
+                Some(path_sets_similarity(
+                    &pa,
+                    &pb,
+                    &outcome.matrix,
+                    &paths_a,
+                    &paths_b,
+                    self.config.normalization,
+                ))
+            }
+            MeasureKind::GraphEdit => {
+                let details = graph_edit_similarity(
+                    &pa,
+                    &pb,
+                    &outcome.mapping,
+                    &self.config.ged_budget,
+                    self.config.normalization,
+                );
+                let s = details.similarity;
+                graph_edit = Some(details);
+                Some(s)
+            }
+            _ => unreachable!("annotation measures handled by report()"),
+        };
+        let effective_sizes = if swapped {
+            (pb.module_count(), pa.module_count())
+        } else {
+            (pa.module_count(), pb.module_count())
+        };
+        SimilarityReport {
+            algorithm: self.name(),
+            score,
+            compared_pairs: outcome.compared_pairs,
+            total_pairs: outcome.total_pairs,
+            effective_sizes,
+            graph_edit,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::SimilarityConfig;
+    use wf_model::{builder::WorkflowBuilder, ModuleType};
+
+    fn kegg_like(id: &str, extra_shim: bool) -> Workflow {
+        let mut b = WorkflowBuilder::new(id)
+            .title("KEGG pathway analysis")
+            .description("Retrieves a KEGG pathway and extracts its genes")
+            .tag("kegg")
+            .tag("pathway")
+            .module("get_pathway", ModuleType::WsdlService, |m| {
+                m.service("kegg.jp", "get_pathway_by_id", "http://kegg.jp/ws")
+            })
+            .module("extract_genes", ModuleType::BeanshellScript, |m| {
+                m.script("return pathway.genes;")
+            })
+            .link("get_pathway", "extract_genes");
+        if extra_shim {
+            b = b
+                .module("split_string", ModuleType::LocalOperation, |m| m)
+                .module("render_output", ModuleType::WsdlService, |m| {
+                    m.service("kegg.jp", "colour_pathway", "http://kegg.jp/ws2")
+                })
+                .link("extract_genes", "split_string")
+                .link("split_string", "render_output");
+        }
+        b.build().unwrap()
+    }
+
+    fn weather(id: &str) -> Workflow {
+        WorkflowBuilder::new(id)
+            .title("Weather station aggregation")
+            .tag("climate")
+            .module("fetch_observations", ModuleType::RestService, |m| {
+                m.service("noaa.gov", "observations", "http://noaa.gov/api")
+            })
+            .module("aggregate_daily", ModuleType::RShell, |m| m.script("aggregate(x)"))
+            .module("plot_anomalies", ModuleType::RShell, |m| m.script("plot(x)"))
+            .link("fetch_observations", "aggregate_daily")
+            .link("fetch_observations", "plot_anomalies")
+            .build()
+            .unwrap()
+    }
+
+    #[test]
+    fn every_measure_scores_identical_workflows_as_maximally_similar() {
+        let a = kegg_like("a", true);
+        let b = kegg_like("b", true);
+        for config in [
+            SimilarityConfig::module_sets_default(),
+            SimilarityConfig::path_sets_default(),
+            SimilarityConfig::graph_edit_default(),
+            SimilarityConfig::bag_of_words(),
+            SimilarityConfig::bag_of_tags(),
+            SimilarityConfig::best_module_sets(),
+            SimilarityConfig::best_path_sets(),
+        ] {
+            let name = config.name();
+            let measure = WorkflowSimilarity::new(config);
+            let s = measure.similarity_opt(&a, &b);
+            assert_eq!(s, Some(1.0), "{name} on identical workflows");
+        }
+    }
+
+    #[test]
+    fn related_workflows_score_higher_than_unrelated_ones() {
+        let query = kegg_like("q", false);
+        let related = kegg_like("r", true);
+        let unrelated = weather("w");
+        for config in [
+            SimilarityConfig::module_sets_default(),
+            SimilarityConfig::path_sets_default(),
+            SimilarityConfig::graph_edit_default(),
+            SimilarityConfig::bag_of_words(),
+            SimilarityConfig::best_module_sets(),
+        ] {
+            let name = config.name();
+            let measure = WorkflowSimilarity::new(config);
+            let close = measure.similarity(&query, &related);
+            let far = measure.similarity(&query, &unrelated);
+            assert!(
+                close > far,
+                "{name}: related {close} must beat unrelated {far}"
+            );
+        }
+    }
+
+    #[test]
+    fn importance_projection_shrinks_the_effective_sizes() {
+        let a = kegg_like("a", true);
+        let b = kegg_like("b", true);
+        let np = WorkflowSimilarity::new(SimilarityConfig::module_sets_default());
+        let ip = WorkflowSimilarity::new(
+            SimilarityConfig::module_sets_default()
+                .with_preprocessing(Preprocessing::ImportanceProjection),
+        );
+        let report_np = np.report(&a, &b);
+        let report_ip = ip.report(&a, &b);
+        assert_eq!(report_np.effective_sizes, (4, 4));
+        assert_eq!(report_ip.effective_sizes, (3, 3), "the shim module is projected away");
+        assert!(report_ip.compared_pairs < report_np.compared_pairs);
+    }
+
+    #[test]
+    fn preselection_reduces_compared_pairs() {
+        let a = kegg_like("a", true);
+        let b = kegg_like("b", true);
+        let ta = WorkflowSimilarity::new(SimilarityConfig::module_sets_default());
+        let te = WorkflowSimilarity::new(
+            SimilarityConfig::module_sets_default()
+                .with_preselection(wf_repo::PreselectionStrategy::TypeEquivalence),
+        );
+        assert!(te.report(&a, &b).compared_pairs < ta.report(&a, &b).compared_pairs);
+    }
+
+    #[test]
+    fn bag_of_tags_is_inapplicable_without_tags() {
+        let mut a = kegg_like("a", false);
+        let b = kegg_like("b", false);
+        a.annotations.tags.clear();
+        let bt = WorkflowSimilarity::new(SimilarityConfig::bag_of_tags());
+        assert_eq!(bt.similarity_opt(&a, &b), None);
+        assert_eq!(bt.similarity(&a, &b), 0.0);
+    }
+
+    #[test]
+    fn graph_edit_report_carries_details() {
+        let a = kegg_like("a", true);
+        let b = kegg_like("b", false);
+        let ge = WorkflowSimilarity::new(SimilarityConfig::graph_edit_default());
+        let report = ge.report(&a, &b);
+        let details = report.graph_edit.expect("GE reports carry details");
+        assert!(details.cost > 0.0);
+        assert!(report.score.unwrap() < 1.0);
+        assert_eq!(report.algorithm, "GE_np_ta_pw0");
+    }
+
+    #[test]
+    fn names_are_propagated() {
+        let measure = WorkflowSimilarity::new(SimilarityConfig::best_path_sets());
+        assert_eq!(measure.name(), "PS_ip_te_pll");
+        assert_eq!(measure.config().measure, MeasureKind::PathSets);
+    }
+}

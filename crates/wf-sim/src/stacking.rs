@@ -1,0 +1,320 @@
+//! Beyond score averaging: rank aggregation and weight learning.
+//!
+//! Section 6 (finding 5) of the paper names "advanced methods such as
+//! boosting or stacking" as future work on top of its plain score-averaging
+//! ensembles.  This module provides the two natural next steps:
+//!
+//! * [`RankEnsemble`] — combine measures at the *ranking* level instead of
+//!   the score level (a Borda-count aggregation).  This removes the implicit
+//!   assumption of score averaging that all members are calibrated on the
+//!   same \[0, 1\] scale.
+//! * [`learn_weights`] — fit the weights of a weighted-average [`Ensemble`]
+//!   to a training objective (e.g. mean ranking correctness against the
+//!   expert consensus on a held-out set of queries) with an exhaustive
+//!   simplex grid search.  The objective is supplied by the caller so this
+//!   crate stays independent of the gold-standard machinery.
+
+use wf_model::Workflow;
+
+use crate::ensemble::Ensemble;
+use crate::extended::Measure;
+use crate::pipeline::WorkflowSimilarity;
+
+/// An ensemble that aggregates the member measures' *rankings* of a
+/// candidate list with Borda counting.
+pub struct RankEnsemble {
+    members: Vec<Box<dyn Measure>>,
+}
+
+impl RankEnsemble {
+    /// Creates a rank ensemble from boxed measures.
+    pub fn new(members: Vec<Box<dyn Measure>>) -> Self {
+        RankEnsemble { members }
+    }
+
+    /// Creates a rank ensemble from pipeline measures.
+    pub fn from_similarities(members: Vec<WorkflowSimilarity>) -> Self {
+        RankEnsemble::new(
+            members
+                .into_iter()
+                .map(|m| Box::new(m) as Box<dyn Measure>)
+                .collect(),
+        )
+    }
+
+    /// The member count.
+    pub fn len(&self) -> usize {
+        self.members.len()
+    }
+
+    /// True when the ensemble has no members.
+    pub fn is_empty(&self) -> bool {
+        self.members.is_empty()
+    }
+
+    /// The ensemble name, e.g. `borda(BW,MS_ip_te_pll)`.
+    pub fn name(&self) -> String {
+        let members: Vec<String> = self.members.iter().map(|m| m.measure_name()).collect();
+        format!("borda({})", members.join(","))
+    }
+
+    /// Ranks the candidates against the query.
+    ///
+    /// Every member measure scores all candidates; each member's scores are
+    /// converted to Borda points (`n - rank`, ties receive the average of
+    /// the tied positions' points; candidates the member cannot score
+    /// receive 0 points from it).  The result pairs each candidate id with
+    /// its mean Borda points across members, sorted descending, and can be
+    /// fed directly into `wf_gold::Ranking::from_scores`.
+    pub fn rank(&self, query: &Workflow, candidates: &[&Workflow]) -> Vec<(String, f64)> {
+        let n = candidates.len();
+        let mut points = vec![0.0f64; n];
+        for member in &self.members {
+            let scores: Vec<Option<f64>> = candidates
+                .iter()
+                .map(|c| member.measure_opt(query, c))
+                .collect();
+            // Sort candidate indices by descending score; inapplicable
+            // candidates are excluded from this member's vote.
+            let mut order: Vec<usize> = (0..n).filter(|i| scores[*i].is_some()).collect();
+            order.sort_by(|&i, &j| {
+                scores[j]
+                    .unwrap()
+                    .partial_cmp(&scores[i].unwrap())
+                    .expect("similarity scores are not NaN")
+            });
+            // Assign Borda points n - position, averaging over ties.
+            let mut pos = 0usize;
+            while pos < order.len() {
+                let mut end = pos;
+                while end + 1 < order.len()
+                    && (scores[order[end + 1]].unwrap() - scores[order[pos]].unwrap()).abs() < 1e-12
+                {
+                    end += 1;
+                }
+                let avg_points: f64 = (pos..=end).map(|p| (n - p) as f64).sum::<f64>()
+                    / (end - pos + 1) as f64;
+                for &idx in &order[pos..=end] {
+                    points[idx] += avg_points;
+                }
+                pos = end + 1;
+            }
+        }
+        let members = self.members.len().max(1) as f64;
+        let mut result: Vec<(String, f64)> = candidates
+            .iter()
+            .zip(&points)
+            .map(|(c, p)| (c.id.as_str().to_string(), p / members))
+            .collect();
+        result.sort_by(|a, b| b.1.partial_cmp(&a.1).expect("points are finite"));
+        result
+    }
+}
+
+impl std::fmt::Debug for RankEnsemble {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("RankEnsemble")
+            .field("members", &self.name())
+            .finish()
+    }
+}
+
+/// The outcome of a weight-learning run.
+#[derive(Debug, Clone, PartialEq)]
+pub struct LearnedWeights {
+    /// The best weight vector found (sums to 1).
+    pub weights: Vec<f64>,
+    /// The objective value achieved by those weights.
+    pub objective: f64,
+}
+
+/// Enumerates all weight vectors of length `members` on the unit simplex
+/// with `steps` subdivisions (i.e. weights are multiples of `1/steps`).
+pub fn weight_grid(members: usize, steps: usize) -> Vec<Vec<f64>> {
+    assert!(members > 0, "at least one member required");
+    assert!(steps > 0, "at least one grid step required");
+    let mut grid = Vec::new();
+    let mut current = vec![0usize; members];
+    fill_grid(&mut grid, &mut current, 0, steps, steps);
+    grid
+}
+
+fn fill_grid(
+    grid: &mut Vec<Vec<f64>>,
+    current: &mut Vec<usize>,
+    index: usize,
+    remaining: usize,
+    steps: usize,
+) {
+    if index == current.len() - 1 {
+        current[index] = remaining;
+        grid.push(current.iter().map(|&c| c as f64 / steps as f64).collect());
+        return;
+    }
+    for units in 0..=remaining {
+        current[index] = units;
+        fill_grid(grid, current, index + 1, remaining - units, steps);
+    }
+}
+
+/// Learns ensemble weights by exhaustive grid search on the unit simplex.
+///
+/// `objective` scores a candidate ensemble (higher is better), typically by
+/// computing its mean ranking correctness against the expert consensus on a
+/// training set of queries.  Returns the learned weights and the best
+/// objective value.  With `steps = 1` this degenerates to picking the single
+/// best member; `steps = 10` explores weights in increments of 0.1.
+pub fn learn_weights(
+    members: &[WorkflowSimilarity],
+    steps: usize,
+    mut objective: impl FnMut(&Ensemble) -> f64,
+) -> LearnedWeights {
+    assert!(!members.is_empty(), "at least one member required");
+    let mut best: Option<LearnedWeights> = None;
+    for weights in weight_grid(members.len(), steps) {
+        // Skip degenerate all-zero vectors (cannot happen on the simplex,
+        // but keep the guard in case of future changes).
+        if weights.iter().all(|w| *w == 0.0) {
+            continue;
+        }
+        let ensemble = Ensemble::weighted(members.to_vec(), weights.clone());
+        let value = objective(&ensemble);
+        let better = match &best {
+            None => true,
+            Some(b) => value > b.objective,
+        };
+        if better {
+            best = Some(LearnedWeights {
+                weights,
+                objective: value,
+            });
+        }
+    }
+    best.expect("the simplex grid is never empty")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::SimilarityConfig;
+    use wf_model::{builder::WorkflowBuilder, ModuleType};
+
+    fn annotated(id: &str, title: &str, modules: &[&str]) -> Workflow {
+        let mut b = WorkflowBuilder::new(id).title(title);
+        for m in modules {
+            b = b.module(*m, ModuleType::WsdlService, |x| x);
+        }
+        for w in modules.windows(2) {
+            b = b.link(w[0], w[1]);
+        }
+        b.build().unwrap()
+    }
+
+    #[test]
+    fn weight_grid_covers_the_simplex() {
+        let grid = weight_grid(2, 4);
+        assert_eq!(grid.len(), 5);
+        for weights in &grid {
+            assert!((weights.iter().sum::<f64>() - 1.0).abs() < 1e-12);
+        }
+        assert!(grid.contains(&vec![0.0, 1.0]));
+        assert!(grid.contains(&vec![1.0, 0.0]));
+        assert!(grid.contains(&vec![0.5, 0.5]));
+    }
+
+    #[test]
+    fn weight_grid_size_follows_stars_and_bars() {
+        // C(steps + members - 1, members - 1)
+        assert_eq!(weight_grid(3, 4).len(), 15);
+        assert_eq!(weight_grid(1, 7), vec![vec![1.0]]);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one member")]
+    fn weight_grid_rejects_zero_members() {
+        let _ = weight_grid(0, 3);
+    }
+
+    #[test]
+    fn rank_ensemble_orders_by_mean_borda_points() {
+        let query = annotated("q", "blast protein search", &["fetch", "blast", "render"]);
+        let close = annotated("c", "blast protein search workflow", &["fetch", "blast", "plot"]);
+        let far = annotated("f", "weather data import", &["download_csv", "average"]);
+        let ensemble = RankEnsemble::from_similarities(vec![
+            WorkflowSimilarity::new(SimilarityConfig::bag_of_words()),
+            WorkflowSimilarity::new(SimilarityConfig::module_sets_default()),
+        ]);
+        let ranked = ensemble.rank(&query, &[&far, &close]);
+        assert_eq!(ranked.len(), 2);
+        assert_eq!(ranked[0].0, "c");
+        assert!(ranked[0].1 > ranked[1].1);
+    }
+
+    #[test]
+    fn rank_ensemble_tolerates_inapplicable_members() {
+        // Bag of Tags cannot rate untagged workflows; the structural member
+        // still produces a full ranking.
+        let query = annotated("q", "blast", &["fetch", "blast"]);
+        let a = annotated("a", "blast", &["fetch", "blast"]);
+        let b = annotated("b", "other", &["parse"]);
+        let ensemble = RankEnsemble::from_similarities(vec![
+            WorkflowSimilarity::new(SimilarityConfig::bag_of_tags()),
+            WorkflowSimilarity::new(SimilarityConfig::module_sets_default()),
+        ]);
+        let ranked = ensemble.rank(&query, &[&b, &a]);
+        assert_eq!(ranked[0].0, "a");
+    }
+
+    #[test]
+    fn rank_ensemble_ties_share_points() {
+        let query = annotated("q", "blast", &["fetch", "blast"]);
+        let a = annotated("a", "blast", &["fetch", "blast"]);
+        let b = annotated("b", "blast", &["fetch", "blast"]);
+        let ensemble = RankEnsemble::from_similarities(vec![WorkflowSimilarity::new(
+            SimilarityConfig::module_sets_default(),
+        )]);
+        let ranked = ensemble.rank(&query, &[&a, &b]);
+        assert!((ranked[0].1 - ranked[1].1).abs() < 1e-12, "tied candidates share points");
+    }
+
+    #[test]
+    fn rank_ensemble_name_lists_members() {
+        let ensemble = RankEnsemble::from_similarities(vec![WorkflowSimilarity::new(
+            SimilarityConfig::bag_of_words(),
+        )]);
+        assert_eq!(ensemble.name(), "borda(BW)");
+        assert_eq!(ensemble.len(), 1);
+        assert!(!ensemble.is_empty());
+    }
+
+    #[test]
+    fn learn_weights_finds_the_informative_member() {
+        // Objective that simply rewards weight on the second member: the
+        // grid search must drive the first member's weight to zero.
+        let members = vec![
+            WorkflowSimilarity::new(SimilarityConfig::bag_of_words()),
+            WorkflowSimilarity::new(SimilarityConfig::module_sets_default()),
+        ];
+        let query = annotated("q", "something entirely different", &["fetch", "blast"]);
+        let good = annotated("g", "unrelated words here", &["fetch", "blast"]);
+        let bad = annotated("b", "something entirely different", &["parse", "cluster"]);
+        let learned = learn_weights(&members, 10, |ensemble| {
+            // Reward ranking `good` above `bad` with margin.
+            ensemble.similarity(&query, &good) - ensemble.similarity(&query, &bad)
+        });
+        assert!(learned.weights[1] > learned.weights[0]);
+        assert!(learned.objective > 0.0);
+    }
+
+    #[test]
+    fn learn_weights_with_single_step_picks_one_member() {
+        let members = vec![
+            WorkflowSimilarity::new(SimilarityConfig::bag_of_words()),
+            WorkflowSimilarity::new(SimilarityConfig::module_sets_default()),
+        ];
+        let learned = learn_weights(&members, 1, |e| e.members().len() as f64);
+        // With steps = 1 the grid is {(1,0), (0,1)}; either is fine, but the
+        // weights must be a unit vector.
+        assert_eq!(learned.weights.iter().filter(|w| **w > 0.5).count(), 1);
+    }
+}

@@ -1,0 +1,121 @@
+//! Jaccard-style set similarities.
+//!
+//! Two closely related quotients appear in the paper:
+//!
+//! * the classical Jaccard index `|A ∩ B| / |A ∪ B|`, which the structural
+//!   normalization of Section 2.1.4 generalises, and
+//! * the Bag-of-Words similarity `#matches / (#matches + #mismatches)`
+//!   (Section 2.2), which is exactly the Jaccard index of the two token sets
+//!   — the helper [`match_mismatch_similarity`] spells out that formulation.
+
+use std::collections::BTreeSet;
+
+/// The classical Jaccard index of two sets given as slices.
+///
+/// Duplicates within a slice are ignored (set semantics).  Two empty sets
+/// are defined to have similarity 1.0 — they are identical.
+pub fn jaccard_index<T: Ord>(a: &[T], b: &[T]) -> f64 {
+    let sa: BTreeSet<&T> = a.iter().collect();
+    let sb: BTreeSet<&T> = b.iter().collect();
+    if sa.is_empty() && sb.is_empty() {
+        return 1.0;
+    }
+    let intersection = sa.intersection(&sb).count();
+    let union = sa.union(&sb).count();
+    intersection as f64 / union as f64
+}
+
+/// The `#matches / (#matches + #mismatches)` similarity of the paper's
+/// Bag-of-Words and Bag-of-Tags measures.
+///
+/// `matches` is the number of distinct tokens found in both inputs,
+/// `mismatches` the number of distinct tokens present in only one of them.
+/// This equals the Jaccard index on the token sets; both entry points exist
+/// because the paper defines the measures in this form.
+pub fn match_mismatch_similarity<T: Ord>(a: &[T], b: &[T]) -> f64 {
+    jaccard_index(a, b)
+}
+
+/// The multiset ("bag") generalisation of the Jaccard index:
+/// `Σ min(count_A, count_B) / Σ max(count_A, count_B)`.
+///
+/// The paper mentions evaluating variants of Bag of Words that account for
+/// multiple token occurrences and finding them slightly worse; this function
+/// exists to reproduce that ablation.
+pub fn multiset_jaccard<T: Ord + Clone>(a: &[T], b: &[T]) -> f64 {
+    use std::collections::BTreeMap;
+    if a.is_empty() && b.is_empty() {
+        return 1.0;
+    }
+    let mut counts: BTreeMap<&T, (usize, usize)> = BTreeMap::new();
+    for x in a {
+        counts.entry(x).or_default().0 += 1;
+    }
+    for x in b {
+        counts.entry(x).or_default().1 += 1;
+    }
+    let mut min_sum = 0usize;
+    let mut max_sum = 0usize;
+    for (ca, cb) in counts.values() {
+        min_sum += ca.min(cb);
+        max_sum += ca.max(cb);
+    }
+    if max_sum == 0 {
+        1.0
+    } else {
+        min_sum as f64 / max_sum as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn identical_sets_have_similarity_one() {
+        assert_eq!(jaccard_index(&["a", "b"], &["b", "a"]), 1.0);
+        assert_eq!(jaccard_index::<&str>(&[], &[]), 1.0);
+    }
+
+    #[test]
+    fn disjoint_sets_have_similarity_zero() {
+        assert_eq!(jaccard_index(&["a"], &["b"]), 0.0);
+        assert_eq!(jaccard_index(&["a", "b"], &[]), 0.0);
+    }
+
+    #[test]
+    fn partial_overlap() {
+        // {a,b,c} vs {b,c,d}: intersection 2, union 4.
+        assert_eq!(jaccard_index(&["a", "b", "c"], &["b", "c", "d"]), 0.5);
+    }
+
+    #[test]
+    fn duplicates_are_ignored_in_set_semantics() {
+        assert_eq!(jaccard_index(&["a", "a", "b"], &["a", "b", "b"]), 1.0);
+    }
+
+    #[test]
+    fn match_mismatch_equals_jaccard() {
+        let a = ["kegg", "pathway", "analysis"];
+        let b = ["pathway", "analysis", "genes", "entrez"];
+        assert_eq!(match_mismatch_similarity(&a, &b), jaccard_index(&a, &b));
+    }
+
+    #[test]
+    fn multiset_jaccard_accounts_for_counts() {
+        // {a,a,b} vs {a,b,b}: min-sum = 1+1 = 2, max-sum = 2+2 = 4.
+        assert_eq!(multiset_jaccard(&["a", "a", "b"], &["a", "b", "b"]), 0.5);
+        // Set semantics would say 1.0; the multiset variant is stricter.
+        assert!(multiset_jaccard(&["a", "a", "b"], &["a", "b", "b"]) < 1.0);
+        assert_eq!(multiset_jaccard::<&str>(&[], &[]), 1.0);
+        assert_eq!(multiset_jaccard(&["a"], &[]), 0.0);
+    }
+
+    #[test]
+    fn similarity_is_symmetric() {
+        let a = ["x", "y", "z"];
+        let b = ["y", "z", "w", "v"];
+        assert_eq!(jaccard_index(&a, &b), jaccard_index(&b, &a));
+        assert_eq!(multiset_jaccard(&a, &b), multiset_jaccard(&b, &a));
+    }
+}

@@ -1,0 +1,139 @@
+//! Levenshtein edit distance and the normalized similarity derived from it.
+//!
+//! The paper compares module labels (and, in some schemes, descriptions and
+//! scripts) "using Levenshtein edit distance" (reference \[23\]).  To turn
+//! the distance into a similarity in `[0, 1]` we use the standard
+//! normalization `1 - d / max(|a|, |b|)`, which is 1 for identical strings
+//! and 0 for strings without any common structure.
+
+/// Computes the Levenshtein edit distance between two strings, counted in
+/// Unicode scalar values.
+///
+/// Uses the classic two-row dynamic program: `O(|a|·|b|)` time,
+/// `O(min(|a|,|b|))` space.
+pub fn levenshtein(a: &str, b: &str) -> usize {
+    if a == b {
+        return 0;
+    }
+    let a_chars: Vec<char> = a.chars().collect();
+    let b_chars: Vec<char> = b.chars().collect();
+    // Iterate over the longer string, keep the DP row for the shorter one.
+    let (outer, inner) = if a_chars.len() >= b_chars.len() {
+        (&a_chars, &b_chars)
+    } else {
+        (&b_chars, &a_chars)
+    };
+    if inner.is_empty() {
+        return outer.len();
+    }
+    let mut prev: Vec<usize> = (0..=inner.len()).collect();
+    let mut curr: Vec<usize> = vec![0; inner.len() + 1];
+    for (i, oc) in outer.iter().enumerate() {
+        curr[0] = i + 1;
+        for (j, ic) in inner.iter().enumerate() {
+            let cost = usize::from(oc != ic);
+            curr[j + 1] = (prev[j + 1] + 1) // deletion
+                .min(curr[j] + 1) // insertion
+                .min(prev[j] + cost); // substitution
+        }
+        std::mem::swap(&mut prev, &mut curr);
+    }
+    prev[inner.len()]
+}
+
+/// Normalized Levenshtein similarity in `[0, 1]`.
+///
+/// `1.0` for identical strings (including two empty strings), `0.0` when the
+/// edit distance equals the length of the longer string.
+pub fn levenshtein_similarity(a: &str, b: &str) -> f64 {
+    let max_len = a.chars().count().max(b.chars().count());
+    if max_len == 0 {
+        return 1.0;
+    }
+    1.0 - levenshtein(a, b) as f64 / max_len as f64
+}
+
+/// Case-insensitive variant of [`levenshtein_similarity`].
+///
+/// Goderis et al. (reference \[18\] of the paper) report that lowercasing
+/// labels slightly improves ranked retrieval; module comparison schemes can
+/// opt into this variant.
+pub fn levenshtein_similarity_ci(a: &str, b: &str) -> f64 {
+    levenshtein_similarity(&a.to_lowercase(), &b.to_lowercase())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn distance_of_identical_strings_is_zero() {
+        assert_eq!(levenshtein("", ""), 0);
+        assert_eq!(levenshtein("abc", "abc"), 0);
+        assert_eq!(levenshtein("get_pathway", "get_pathway"), 0);
+    }
+
+    #[test]
+    fn distance_against_empty_string_is_length() {
+        assert_eq!(levenshtein("", "abc"), 3);
+        assert_eq!(levenshtein("abcd", ""), 4);
+    }
+
+    #[test]
+    fn classic_examples() {
+        assert_eq!(levenshtein("kitten", "sitting"), 3);
+        assert_eq!(levenshtein("flaw", "lawn"), 2);
+        assert_eq!(levenshtein("gumbo", "gambol"), 2);
+        assert_eq!(levenshtein("saturday", "sunday"), 3);
+    }
+
+    #[test]
+    fn distance_is_symmetric() {
+        let pairs = [
+            ("blast_search", "blast"),
+            ("get_pathway", "getPathways"),
+            ("", "x"),
+            ("áé", "ae"),
+        ];
+        for (a, b) in pairs {
+            assert_eq!(levenshtein(a, b), levenshtein(b, a), "{a} vs {b}");
+        }
+    }
+
+    #[test]
+    fn unicode_is_counted_in_scalar_values() {
+        assert_eq!(levenshtein("café", "cafe"), 1);
+        assert_eq!(levenshtein("αβγ", "αβδ"), 1);
+    }
+
+    #[test]
+    fn similarity_bounds_and_examples() {
+        assert_eq!(levenshtein_similarity("", ""), 1.0);
+        assert_eq!(levenshtein_similarity("abc", "abc"), 1.0);
+        assert_eq!(levenshtein_similarity("abc", "xyz"), 0.0);
+        assert_eq!(levenshtein_similarity("abc", ""), 0.0);
+        let s = levenshtein_similarity("get_pathway", "get_pathways");
+        assert!(s > 0.9 && s < 1.0);
+    }
+
+    #[test]
+    fn case_insensitive_similarity_ignores_case() {
+        assert_eq!(levenshtein_similarity_ci("BLAST", "blast"), 1.0);
+        assert!(levenshtein_similarity("BLAST", "blast") < 1.0);
+    }
+
+    #[test]
+    fn triangle_inequality_on_samples() {
+        let words = ["blast", "blest", "blast_search", "search", ""];
+        for a in words {
+            for b in words {
+                for c in words {
+                    assert!(
+                        levenshtein(a, c) <= levenshtein(a, b) + levenshtein(b, c),
+                        "triangle inequality violated for {a:?},{b:?},{c:?}"
+                    );
+                }
+            }
+        }
+    }
+}

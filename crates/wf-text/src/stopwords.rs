@@ -1,0 +1,65 @@
+//! English stop words removed from workflow titles and descriptions.
+//!
+//! The paper removes stop words from titles and descriptions before the
+//! Bag-of-Words comparison but keeps tags untouched.  The list below is the
+//! usual small English list extended with a few words that are ubiquitous in
+//! workflow descriptions ("workflow", "using", "given") and therefore carry
+//! no discriminating information — the same spirit in which the paper treats
+//! frequent trivial modules as unimportant.
+
+/// The stop-word list, lowercase, sorted.
+pub const STOPWORDS: &[&str] = &[
+    "a", "about", "after", "against", "all", "also", "an", "and", "any", "are", "as", "at", "be", "because",
+    "been", "before", "being", "between", "both", "but", "by", "can", "could", "did", "do", "does",
+    "doing", "done", "down", "each", "either", "etc", "for", "from", "further", "get", "gets",
+    "given", "gives", "has", "have", "having", "here", "how", "i", "if", "in", "into", "is", "it",
+    "its", "itself", "just", "may", "me", "more", "most", "my", "no", "nor", "not", "of", "off",
+    "on", "once", "one", "only", "or", "other", "our", "out", "over", "own", "per", "same", "set",
+    "should", "so", "some", "such", "than", "that", "the", "their", "them", "then", "there",
+    "these", "they", "this", "those", "through", "to", "too", "under", "until", "up", "use",
+    "used", "uses", "using", "very", "via", "was", "we", "were", "what", "when", "where", "which",
+    "while", "who", "whom", "why", "will", "with", "within", "without", "you", "your",
+];
+
+/// True if `token` (already lowercased by the tokenizer) is a stop word.
+pub fn is_stopword(token: &str) -> bool {
+    STOPWORDS.binary_search(&token).is_ok()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn list_is_sorted_and_unique() {
+        let mut sorted = STOPWORDS.to_vec();
+        sorted.sort_unstable();
+        sorted.dedup();
+        assert_eq!(sorted, STOPWORDS, "STOPWORDS must be sorted and deduplicated");
+    }
+
+    #[test]
+    fn list_is_lowercase() {
+        assert!(STOPWORDS.iter().all(|w| w.chars().all(|c| c.is_lowercase())));
+    }
+
+    #[test]
+    fn common_stopwords_are_detected() {
+        for w in ["the", "and", "of", "using", "with", "a"] {
+            assert!(is_stopword(w), "{w} should be a stop word");
+        }
+    }
+
+    #[test]
+    fn domain_terms_are_not_stopwords() {
+        for w in ["blast", "pathway", "gene", "protein", "kegg", "sequence"] {
+            assert!(!is_stopword(w), "{w} must not be a stop word");
+        }
+    }
+
+    #[test]
+    fn lookup_is_exact_not_prefix() {
+        assert!(is_stopword("on"));
+        assert!(!is_stopword("ontology"));
+    }
+}

@@ -1,0 +1,95 @@
+//! Tokenization for the Bag-of-Words measure.
+//!
+//! Following Section 2.2 of the paper, titles and descriptions are
+//! "tokenized using whitespace and underscores as separators.  The resulting
+//! tokens are converted to lowercase and cleansed from any non alphanumeric
+//! characters.  Tokens are filtered for stopwords."
+
+use crate::stopwords::is_stopword;
+
+/// Splits `text` on whitespace and underscores, lowercases each token and
+/// removes non-alphanumeric characters.  Tokens that become empty after
+/// cleansing are dropped.  Stop words are *not* removed (see
+/// [`tokenize_filtered`]).
+pub fn tokenize(text: &str) -> Vec<String> {
+    text.split(|c: char| c.is_whitespace() || c == '_')
+        .map(clean_token)
+        .filter(|t| !t.is_empty())
+        .collect()
+}
+
+/// [`tokenize`] followed by stop-word removal — the full Bag-of-Words
+/// preprocessing pipeline of the paper.
+pub fn tokenize_filtered(text: &str) -> Vec<String> {
+    tokenize(text)
+        .into_iter()
+        .filter(|t| !is_stopword(t))
+        .collect()
+}
+
+/// Lowercases a raw token and strips every non-alphanumeric character.
+fn clean_token(raw: &str) -> String {
+    raw.chars()
+        .filter(|c| c.is_alphanumeric())
+        .flat_map(char::to_lowercase)
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn splits_on_whitespace_and_underscores() {
+        assert_eq!(
+            tokenize("KEGG pathway_analysis workflow"),
+            vec!["kegg", "pathway", "analysis", "workflow"]
+        );
+    }
+
+    #[test]
+    fn lowercases_and_strips_non_alphanumeric() {
+        assert_eq!(
+            tokenize("Get Pathway-Genes by Entrez (gene id)!"),
+            vec!["get", "pathwaygenes", "by", "entrez", "gene", "id"]
+        );
+    }
+
+    #[test]
+    fn empty_tokens_are_dropped() {
+        assert_eq!(tokenize("___  --- !!!"), Vec::<String>::new());
+        assert_eq!(tokenize(""), Vec::<String>::new());
+        assert_eq!(tokenize("   "), Vec::<String>::new());
+    }
+
+    #[test]
+    fn numbers_are_preserved() {
+        assert_eq!(tokenize("top_10 results v2"), vec!["top", "10", "results", "v2"]);
+    }
+
+    #[test]
+    fn filtered_variant_removes_stopwords() {
+        let tokens = tokenize_filtered("the analysis of a pathway and its genes");
+        assert_eq!(tokens, vec!["analysis", "pathway", "genes"]);
+    }
+
+    #[test]
+    fn filtered_keeps_domain_terms() {
+        let tokens = tokenize_filtered("BLAST search against UniProt");
+        assert_eq!(tokens, vec!["blast", "search", "uniprot"]);
+    }
+
+    #[test]
+    fn tokenization_preserves_multiplicity() {
+        assert_eq!(
+            tokenize("gene gene gene"),
+            vec!["gene", "gene", "gene"],
+            "tokenize keeps duplicates; deduplication is the bag's job"
+        );
+    }
+
+    #[test]
+    fn unicode_tokens_are_lowercased() {
+        assert_eq!(tokenize("Protéine Analyse"), vec!["protéine", "analyse"]);
+    }
+}

@@ -1,0 +1,63 @@
+//! Duplicate detection: scan a (synthetic) repository for pairs of
+//! functionally equivalent workflows — one of the repository-management use
+//! cases motivating the paper.
+//!
+//! Run with:
+//! ```text
+//! cargo run --release --example duplicate_detection
+//! ```
+
+use wfsim::corpus::{generate_taverna_corpus, TavernaCorpusConfig};
+use wfsim::repo::Repository;
+use wfsim::sim::{SimilarityConfig, WorkflowSimilarity};
+
+fn main() {
+    // A small myExperiment-like corpus: families of re-uploaded variants.
+    let (corpus, meta) = generate_taverna_corpus(&TavernaCorpusConfig::small(60, 7));
+    let repository = Repository::from_workflows(corpus);
+    let measure = WorkflowSimilarity::new(SimilarityConfig::best_module_sets());
+
+    // Compare every pair once and report near-duplicates.
+    let threshold = 0.85;
+    let workflows: Vec<_> = repository.iter().collect();
+    let mut duplicates = Vec::new();
+    for (i, a) in workflows.iter().enumerate() {
+        for b in workflows.iter().skip(i + 1) {
+            let similarity = measure.similarity(a, b);
+            if similarity >= threshold {
+                duplicates.push((a.id.clone(), b.id.clone(), similarity));
+            }
+        }
+    }
+    duplicates.sort_by(|x, y| y.2.partial_cmp(&x.2).unwrap_or(std::cmp::Ordering::Equal));
+
+    println!(
+        "scanned {} workflows with {} — {} candidate duplicate pairs above {:.2}\n",
+        repository.len(),
+        measure.name(),
+        duplicates.len(),
+        threshold
+    );
+    println!("{:<8} {:<8} {:>10}  same family (latent truth)?", "a", "b", "similarity");
+    println!("{}", "-".repeat(52));
+    for (a, b, similarity) in duplicates.iter().take(15) {
+        let same_family = match (meta.get(a), meta.get(b)) {
+            (Some(ma), Some(mb)) => ma.family == mb.family,
+            _ => false,
+        };
+        println!("{:<8} {:<8} {:>10.3}  {}", a, b, similarity, if same_family { "yes" } else { "NO" });
+    }
+    let correct = duplicates
+        .iter()
+        .filter(|(a, b, _)| {
+            matches!((meta.get(a), meta.get(b)), (Some(x), Some(y)) if x.family == y.family)
+        })
+        .count();
+    if !duplicates.is_empty() {
+        println!(
+            "\n{}/{} flagged pairs really are family variants",
+            correct,
+            duplicates.len()
+        );
+    }
+}

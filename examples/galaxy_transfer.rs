@@ -1,0 +1,62 @@
+//! Transferability to another workflow format: compare module comparison
+//! schemes on the Galaxy-like corpus, where annotations are sparse and
+//! labels are tool-like (paper Section 5.3 / Fig. 12).
+//!
+//! Run with:
+//! ```text
+//! cargo run --release --example galaxy_transfer
+//! ```
+
+use wfsim::corpus::{generate_galaxy_corpus, GalaxyCorpusConfig};
+use wfsim::repo::Repository;
+use wfsim::sim::{ModuleComparisonScheme, SimilarityConfig, WorkflowSimilarity};
+
+fn main() {
+    let (corpus, meta) = generate_galaxy_corpus(&GalaxyCorpusConfig::small(60, 3));
+    let repository = Repository::from_workflows(corpus);
+
+    // Pick a seed workflow and one family variant plus one unrelated workflow.
+    let ids: Vec<_> = repository.ids().into_iter().cloned().collect();
+    let seed = repository.get(&ids[0]).unwrap();
+    let seed_meta = meta.get(&seed.id).unwrap();
+    let sibling = repository
+        .iter()
+        .find(|w| {
+            w.id != seed.id && meta.get(&w.id).map(|m| m.family) == Some(seed_meta.family)
+        })
+        .expect("the generator always produces at least one variant per family");
+    let stranger = repository
+        .iter()
+        .find(|w| meta.get(&w.id).map(|m| m.topic) != Some(seed_meta.topic))
+        .expect("several topics exist");
+
+    println!(
+        "Galaxy corpus: {} workflows; comparing seed {} against variant {} and unrelated {}\n",
+        repository.len(),
+        seed.id,
+        sibling.id,
+        stranger.id
+    );
+
+    println!("{:<22} {:>10} {:>12}", "algorithm", "variant", "unrelated");
+    println!("{}", "-".repeat(46));
+    for scheme in [ModuleComparisonScheme::gw1(), ModuleComparisonScheme::gll()] {
+        for base in [SimilarityConfig::module_sets_default(), SimilarityConfig::path_sets_default()] {
+            let measure = WorkflowSimilarity::new(base.with_scheme(scheme.clone()));
+            println!(
+                "{:<22} {:>10.3} {:>12.3}",
+                measure.name(),
+                measure.similarity(seed, sibling),
+                measure.similarity(seed, stranger)
+            );
+        }
+    }
+    let bag_of_words = WorkflowSimilarity::new(SimilarityConfig::bag_of_words());
+    println!(
+        "{:<22} {:>10.3} {:>12.3}",
+        "BW",
+        bag_of_words.similarity(seed, sibling),
+        bag_of_words.similarity(seed, stranger)
+    );
+    println!("\nexpected shape (paper Fig. 12): structural measures separate variant from unrelated; BW is unreliable because Galaxy annotations are sparse");
+}

@@ -1,0 +1,90 @@
+//! Quickstart: build two scientific workflows and compare them with every
+//! measure of the framework.
+//!
+//! Run with:
+//! ```text
+//! cargo run --example quickstart
+//! ```
+
+use wfsim::model::{ModuleType, WorkflowBuilder};
+use wfsim::sim::{Ensemble, SimilarityConfig, WorkflowSimilarity};
+
+fn main() {
+    // A workflow that retrieves a KEGG pathway and extracts its genes …
+    let kegg_a = WorkflowBuilder::new("1189")
+        .title("KEGG pathway analysis")
+        .description("Retrieves a KEGG pathway and extracts the genes it contains")
+        .tag("kegg")
+        .tag("pathway")
+        .module("get_pathway", ModuleType::WsdlService, |m| {
+            m.service("kegg.jp", "get_pathway_by_id", "http://soap.genome.jp/KEGG.wsdl")
+        })
+        .module("split_gene_list", ModuleType::LocalOperation, |m| m)
+        .module("extract_genes", ModuleType::BeanshellScript, |m| {
+            m.script("for (entry : pathway) { genes.add(entry.id); }")
+        })
+        .link("get_pathway", "split_gene_list")
+        .link("split_gene_list", "extract_genes")
+        .build()
+        .expect("valid workflow");
+
+    // … and a near-duplicate uploaded by a different author.
+    let kegg_b = WorkflowBuilder::new("2805")
+        .title("Get Pathway-Genes by Entrez gene id")
+        .description("Maps an Entrez gene id onto KEGG pathways and lists the pathway genes")
+        .tag("kegg")
+        .tag("entrez")
+        .module("getPathway", ModuleType::WsdlService, |m| {
+            m.service("kegg.jp", "get_pathway_by_id", "http://soap.genome.jp/KEGG.wsdl")
+        })
+        .module("extract_gene_ids", ModuleType::BeanshellScript, |m| {
+            m.script("for (entry : pathway) { ids.add(entry.id); }")
+        })
+        .module("render_report", ModuleType::WsdlService, |m| {
+            m.service("kegg.jp", "color_pathway_by_objects", "http://soap.genome.jp/KEGG.wsdl")
+        })
+        .link("getPathway", "extract_gene_ids")
+        .link("extract_gene_ids", "render_report")
+        .build()
+        .expect("valid workflow");
+
+    // An unrelated workflow for contrast.
+    let weather = WorkflowBuilder::new("9999")
+        .title("Weather station data aggregation")
+        .tag("climate")
+        .module("fetch_observations", ModuleType::RestService, |m| {
+            m.service("noaa.gov", "observations", "http://noaa.gov/api")
+        })
+        .module("aggregate_daily_means", ModuleType::RShell, |m| m.script("aggregate(obs)"))
+        .link("fetch_observations", "aggregate_daily_means")
+        .build()
+        .expect("valid workflow");
+
+    println!("comparing workflow {} against {} and {}\n", kegg_a.id, kegg_b.id, weather.id);
+    println!("{:<16} {:>12} {:>12}", "algorithm", "kegg pair", "unrelated");
+    println!("{}", "-".repeat(42));
+    for config in [
+        SimilarityConfig::module_sets_default(),
+        SimilarityConfig::best_module_sets(),
+        SimilarityConfig::path_sets_default(),
+        SimilarityConfig::best_path_sets(),
+        SimilarityConfig::graph_edit_default(),
+        SimilarityConfig::bag_of_words(),
+        SimilarityConfig::bag_of_tags(),
+    ] {
+        let measure = WorkflowSimilarity::new(config);
+        println!(
+            "{:<16} {:>12.3} {:>12.3}",
+            measure.name(),
+            measure.similarity(&kegg_a, &kegg_b),
+            measure.similarity(&kegg_a, &weather),
+        );
+    }
+    let ensemble = Ensemble::bw_plus_module_sets();
+    println!(
+        "{:<16} {:>12.3} {:>12.3}",
+        ensemble.name(),
+        ensemble.similarity(&kegg_a, &kegg_b),
+        ensemble.similarity(&kegg_a, &weather),
+    );
+}

@@ -1,0 +1,107 @@
+//! Integration test: the clustering use case end to end.
+//!
+//! Corpus generation → similarity matrix under a framework measure →
+//! hierarchical / threshold / k-medoids clustering → external quality
+//! against the latent family structure → duplicate detection.  This is the
+//! "grouping of workflows into functional clusters" task the paper's
+//! introduction motivates, spanning wf-corpus, wf-sim and wf-cluster.
+
+use wfsim::cluster::{
+    adjusted_rand_index, duplicate_pairs, hierarchical_clustering, kmedoids,
+    normalized_mutual_information, purity, threshold_clustering, Linkage, PairwiseSimilarities,
+};
+use wfsim::corpus::{generate_taverna_corpus, TavernaCorpusConfig};
+use wfsim::model::Workflow;
+use wfsim::sim::{SimilarityConfig, WorkflowSimilarity};
+
+fn corpus() -> (Vec<Workflow>, Vec<usize>, usize) {
+    let (workflows, meta) = generate_taverna_corpus(&TavernaCorpusConfig::small(70, 23));
+    let truth: Vec<usize> = workflows
+        .iter()
+        .map(|wf| meta.get(&wf.id).expect("metadata exists").family)
+        .collect();
+    let families = {
+        let mut f = truth.clone();
+        f.sort_unstable();
+        f.dedup();
+        f.len()
+    };
+    (workflows, truth, families)
+}
+
+#[test]
+fn similarity_based_clustering_recovers_latent_families_better_than_chance() {
+    let (workflows, truth, families) = corpus();
+    let measure = WorkflowSimilarity::new(SimilarityConfig::best_module_sets());
+    let matrix = PairwiseSimilarities::compute_parallel(&workflows, &measure, 4);
+
+    let clusters = hierarchical_clustering(&matrix, Linkage::Average).cut_k(families);
+    assert_eq!(clusters.len(), workflows.len());
+    assert_eq!(clusters.cluster_count(), families);
+
+    let ari = adjusted_rand_index(&clusters, &truth);
+    let nmi = normalized_mutual_information(&clusters, &truth);
+    let pur = purity(&clusters, &truth);
+    assert!(ari > 0.2, "ARI should clearly beat chance, got {ari}");
+    assert!(nmi > 0.5, "NMI should clearly beat chance, got {nmi}");
+    assert!(pur > 0.4, "purity should clearly beat chance, got {pur}");
+}
+
+#[test]
+fn kmedoids_and_hierarchical_agree_on_the_broad_structure() {
+    let (workflows, truth, families) = corpus();
+    let measure = WorkflowSimilarity::new(SimilarityConfig::best_module_sets());
+    let matrix = PairwiseSimilarities::compute(&workflows, &measure);
+
+    let hier = hierarchical_clustering(&matrix, Linkage::Average).cut_k(families);
+    let pam = kmedoids(&matrix, families, 30);
+    let ari_hier = adjusted_rand_index(&hier, &truth);
+    let ari_pam = adjusted_rand_index(&pam.clustering, &truth);
+    assert!(ari_pam > 0.0);
+    assert!(ari_hier > 0.0);
+    // The two algorithms use the same matrix; their agreement with each
+    // other should be at least as strong as chance.
+    let cross = adjusted_rand_index(&hier, pam.clustering.assignments());
+    assert!(cross > 0.0, "hierarchical and k-medoids should overlap, got {cross}");
+}
+
+#[test]
+fn duplicate_detection_finds_mutation_twins_and_respects_the_threshold() {
+    let (workflows, truth, _) = corpus();
+    let measure = WorkflowSimilarity::new(SimilarityConfig::best_module_sets());
+    let matrix = PairwiseSimilarities::compute(&workflows, &measure);
+
+    let strict = duplicate_pairs(&matrix, 0.95);
+    let loose = duplicate_pairs(&matrix, 0.75);
+    assert!(loose.len() >= strict.len());
+    assert!(!loose.is_empty(), "mutation-derived corpora contain near duplicates");
+    // Near-duplicates overwhelmingly come from the same latent family.
+    let same_family = loose
+        .iter()
+        .filter(|p| truth[p.first] == truth[p.second])
+        .count();
+    assert!(
+        same_family * 2 >= loose.len(),
+        "at least half of the near-duplicates share a family ({same_family}/{})",
+        loose.len()
+    );
+
+    // Threshold clustering at a high threshold yields many small clusters;
+    // at a low threshold it collapses the corpus into few clusters.
+    let fine = threshold_clustering(&matrix, 0.9);
+    let coarse = threshold_clustering(&matrix, 0.05);
+    assert!(fine.cluster_count() > coarse.cluster_count());
+}
+
+#[test]
+fn clustering_works_with_annotation_measures_too() {
+    let (workflows, truth, families) = corpus();
+    let measure = WorkflowSimilarity::new(SimilarityConfig::bag_of_words());
+    let matrix = PairwiseSimilarities::compute_parallel(&workflows, &measure, 2);
+    let clusters = hierarchical_clustering(&matrix, Linkage::Average).cut_k(families);
+    let ari = adjusted_rand_index(&clusters, &truth);
+    assert!(
+        ari > 0.0,
+        "annotation-based clustering should still beat chance, got {ari}"
+    );
+}

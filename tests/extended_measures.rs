@@ -1,0 +1,168 @@
+//! Integration tests for the extended Table-1 measures and the ensemble
+//! extensions: they must behave like proper similarity measures on corpus
+//! workflows (not just on hand-built toys) and agree with the latent family
+//! structure the corpus generator embeds.
+
+use wfsim::corpus::{generate_taverna_corpus, TavernaCorpusConfig};
+use wfsim::model::Workflow;
+use wfsim::repo::{ItemSource, MiningConfig, Repository};
+use wfsim::sim::{
+    learn_weights, FrequentSetSimilarity, LabelVectorSimilarity, McsSimilarity, Measure,
+    RankEnsemble, SimilarityConfig, WlKernelSimilarity, WorkflowSimilarity,
+};
+
+fn corpus() -> (Vec<Workflow>, wfsim::corpus::CorpusMeta) {
+    generate_taverna_corpus(&TavernaCorpusConfig::small(60, 11))
+}
+
+/// All extended measures, boxed behind the common trait.
+fn extended_measures(repo: &Repository) -> Vec<Box<dyn Measure>> {
+    vec![
+        Box::new(LabelVectorSimilarity::new()),
+        Box::new(LabelVectorSimilarity::tokenized()),
+        Box::new(McsSimilarity::default()),
+        Box::new(McsSimilarity::label_matching()),
+        Box::new(WlKernelSimilarity::default()),
+        Box::new(WlKernelSimilarity::label_based()),
+        Box::new(FrequentSetSimilarity::frequent_module_sets(repo)),
+        Box::new(FrequentSetSimilarity::frequent_tag_sets(repo)),
+    ]
+}
+
+#[test]
+fn extended_measures_are_bounded_symmetric_and_reflexive_on_corpus_workflows() {
+    let (workflows, _) = corpus();
+    let repo = Repository::from_workflows(workflows.clone());
+    let sample: Vec<&Workflow> = workflows.iter().step_by(7).collect();
+    for measure in extended_measures(&repo) {
+        for a in &sample {
+            // Reflexivity: a workflow is maximally similar to itself
+            // whenever the measure applies to it at all.
+            if let Some(self_sim) = measure.measure_opt(a, a) {
+                assert!(
+                    self_sim > 0.999,
+                    "{}: self-similarity of {} is {self_sim}",
+                    measure.measure_name(),
+                    a.id.as_str()
+                );
+            }
+            for b in &sample {
+                let ab = measure.measure(a, b);
+                let ba = measure.measure(b, a);
+                assert!(
+                    (0.0..=1.0 + 1e-9).contains(&ab),
+                    "{}: out of range score {ab}",
+                    measure.measure_name()
+                );
+                assert!(
+                    (ab - ba).abs() < 1e-9,
+                    "{}: asymmetric scores {ab} vs {ba}",
+                    measure.measure_name()
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn extended_measures_rank_family_members_above_strangers() {
+    let (workflows, meta) = corpus();
+    let repo = Repository::from_workflows(workflows.clone());
+    // Pick a workflow with at least one other family member.
+    let (anchor, sibling) = workflows
+        .iter()
+        .find_map(|wf| {
+            let family = meta.get(&wf.id)?.family;
+            let sibling = workflows.iter().find(|other| {
+                other.id != wf.id && meta.get(&other.id).map(|m| m.family) == Some(family)
+            })?;
+            Some((wf, sibling))
+        })
+        .expect("the corpus contains multi-member families");
+    let anchor_family = meta.get(&anchor.id).unwrap().family;
+    let strangers: Vec<&Workflow> = workflows
+        .iter()
+        .filter(|wf| {
+            meta.get(&wf.id)
+                .map(|m| m.family != anchor_family && m.topic != meta.get(&anchor.id).unwrap().topic)
+                .unwrap_or(false)
+        })
+        .take(10)
+        .collect();
+    assert!(!strangers.is_empty());
+    // Structure-aware extended measures must, on average, score the family
+    // sibling at least as high as cross-topic strangers.
+    for measure in [
+        Box::new(McsSimilarity::default()) as Box<dyn Measure>,
+        Box::new(WlKernelSimilarity::label_based()),
+        Box::new(LabelVectorSimilarity::tokenized()),
+        Box::new(FrequentSetSimilarity::frequent_module_sets(&repo)),
+    ] {
+        let sibling_score = measure.measure(anchor, sibling);
+        let stranger_mean: f64 = strangers.iter().map(|s| measure.measure(anchor, s)).sum::<f64>()
+            / strangers.len() as f64;
+        assert!(
+            sibling_score >= stranger_mean,
+            "{}: sibling {sibling_score} < stranger mean {stranger_mean}",
+            measure.measure_name()
+        );
+    }
+}
+
+#[test]
+fn frequent_itemset_mining_scales_with_the_support_threshold() {
+    let (workflows, _) = corpus();
+    let repo = Repository::from_workflows(workflows);
+    let loose = wfsim::repo::mine_repository(
+        &repo,
+        ItemSource::ModuleLabels,
+        &MiningConfig::with_min_support(0.02),
+    );
+    let strict = wfsim::repo::mine_repository(
+        &repo,
+        ItemSource::ModuleLabels,
+        &MiningConfig::with_min_support(0.2),
+    );
+    assert!(loose.len() >= strict.len());
+    assert!(!loose.is_empty(), "corpus workflows share frequent modules");
+    for itemset in strict.itemsets() {
+        assert!(itemset.support >= strict.support_threshold());
+    }
+}
+
+#[test]
+fn rank_ensemble_and_learned_weights_work_on_corpus_workflows() {
+    let (workflows, meta) = corpus();
+    let query = &workflows[0];
+    let query_family = meta.get(&query.id).unwrap().family;
+    let candidates: Vec<&Workflow> = workflows.iter().skip(1).take(12).collect();
+
+    let members = vec![
+        WorkflowSimilarity::new(SimilarityConfig::bag_of_words()),
+        WorkflowSimilarity::new(SimilarityConfig::best_module_sets()),
+    ];
+    let borda = RankEnsemble::from_similarities(members.clone());
+    let ranked = borda.rank(query, &candidates);
+    assert_eq!(ranked.len(), candidates.len());
+    // Scores are sorted descending.
+    for pair in ranked.windows(2) {
+        assert!(pair[0].1 >= pair[1].1);
+    }
+    // If a family member is among the candidates it should not be ranked
+    // dead last by the combined ranking.
+    if let Some(position) = ranked.iter().position(|(id, _)| {
+        meta.get(&wfsim::model::WorkflowId::new(id.clone()))
+            .map(|m| m.family == query_family)
+            .unwrap_or(false)
+    }) {
+        assert!(position < ranked.len() - 1, "family member ranked last");
+    }
+
+    // Weight learning with a trivial objective terminates and returns a
+    // simplex point.
+    let learned = learn_weights(&members, 5, |ensemble| {
+        ensemble.similarity(query, candidates[0])
+    });
+    assert_eq!(learned.weights.len(), 2);
+    assert!((learned.weights.iter().sum::<f64>() - 1.0).abs() < 1e-9);
+}

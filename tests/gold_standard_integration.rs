@@ -1,0 +1,196 @@
+//! Integration tests for the gold-standard machinery driven by the simulated
+//! expert panel: BioConsert consensus quality, the behaviour of ranking
+//! correctness/completeness on realistic expert data, and precision@k on
+//! stratified candidate sets.
+
+use wfsim::corpus::{
+    generate_taverna_corpus, latent_similarity, select_candidates, select_queries, ExpertPanel,
+    ExpertPanelConfig, TavernaCorpusConfig,
+};
+use wfsim::gold::kendall::total_distance;
+use wfsim::gold::{
+    bioconsert_consensus, ranking_correctness_completeness, BioConsertConfig, KendallConfig,
+    LikertRating, Ranking, RelevanceThreshold,
+};
+use wfsim::model::WorkflowId;
+
+fn setup() -> (wfsim::corpus::CorpusMeta, Vec<WorkflowId>, Vec<WorkflowId>) {
+    let (_, meta) = generate_taverna_corpus(&TavernaCorpusConfig::small(100, 33));
+    let queries = select_queries(&meta, 3, 3, 4);
+    let candidates = select_candidates(&meta, &queries[0], 10, 5);
+    (meta, queries, candidates)
+}
+
+#[test]
+fn consensus_is_at_least_as_central_as_every_expert_ranking() {
+    let (meta, queries, candidates) = setup();
+    let panel = ExpertPanel::new(ExpertPanelConfig::default());
+    let pairs: Vec<_> = candidates
+        .iter()
+        .map(|c| (queries[0].clone(), c.clone()))
+        .collect();
+    let ratings = panel.rate_pairs(&meta, &pairs);
+    let expert_rankings: Vec<Ranking> = ratings
+        .expert_rankings(queries[0].as_str())
+        .into_iter()
+        .map(|(_, r)| r)
+        .collect();
+    assert_eq!(expert_rankings.len(), 15);
+
+    let config = BioConsertConfig::default();
+    let consensus = bioconsert_consensus(&expert_rankings, &config);
+    let consensus_cost = total_distance(&consensus, &expert_rankings, &KendallConfig::default());
+    for expert_ranking in &expert_rankings {
+        // Each expert ranking, extended with the items it does not rank (as
+        // BioConsert's unification does), must not beat the consensus.
+        let mut unified = expert_ranking.clone();
+        let missing: Vec<String> = consensus
+            .items()
+            .into_iter()
+            .filter(|i| !expert_ranking.contains(i))
+            .map(str::to_string)
+            .collect();
+        unified.push_bucket(missing);
+        let cost = total_distance(&unified, &expert_rankings, &KendallConfig::default());
+        assert!(
+            consensus_cost <= cost + 1e-9,
+            "consensus {consensus_cost} must be central (expert cost {cost})"
+        );
+    }
+}
+
+#[test]
+fn consensus_ranking_recovers_the_latent_order() {
+    let (meta, queries, candidates) = setup();
+    let panel = ExpertPanel::new(ExpertPanelConfig::default());
+    let query = &queries[0];
+    let pairs: Vec<_> = candidates.iter().map(|c| (query.clone(), c.clone())).collect();
+    let ratings = panel.rate_pairs(&meta, &pairs);
+    let expert_rankings: Vec<Ranking> = ratings
+        .expert_rankings(query.as_str())
+        .into_iter()
+        .map(|(_, r)| r)
+        .collect();
+    let consensus = bioconsert_consensus(&expert_rankings, &BioConsertConfig::default());
+
+    // The ideal ranking orders candidates by latent similarity to the query.
+    let ideal = Ranking::from_scores(
+        candidates
+            .iter()
+            .map(|c| {
+                (
+                    c.as_str().to_string(),
+                    meta.latent(query, c).expect("known candidates"),
+                )
+            })
+            .collect(),
+        1e-9,
+    );
+    let quality = ranking_correctness_completeness(&consensus, &ideal);
+    assert!(
+        quality.correctness > 0.6,
+        "the consensus of 15 noisy experts should track the latent order (got {})",
+        quality.correctness
+    );
+}
+
+#[test]
+fn per_expert_agreement_degrades_gracefully_with_noise() {
+    let (meta, queries, candidates) = setup();
+    let query = &queries[0];
+    let pairs: Vec<_> = candidates.iter().map(|c| (query.clone(), c.clone())).collect();
+
+    let evaluate_panel = |noise: f64| -> f64 {
+        let panel = ExpertPanel::new(ExpertPanelConfig {
+            noise,
+            seed: 9,
+            ..ExpertPanelConfig::default()
+        });
+        let ratings = panel.rate_pairs(&meta, &pairs);
+        let rankings: Vec<Ranking> = ratings
+            .expert_rankings(query.as_str())
+            .into_iter()
+            .map(|(_, r)| r)
+            .collect();
+        let consensus = bioconsert_consensus(&rankings, &BioConsertConfig::default());
+        let mut sum = 0.0;
+        for r in &rankings {
+            sum += ranking_correctness_completeness(r, &consensus).correctness;
+        }
+        sum / rankings.len() as f64
+    };
+
+    let calm = evaluate_panel(0.02);
+    let noisy = evaluate_panel(0.35);
+    assert!(calm > noisy, "calm panel {calm} vs noisy panel {noisy}");
+    assert!(calm > 0.8);
+}
+
+#[test]
+fn relevance_thresholds_and_latent_strata_are_consistent() {
+    let (meta, queries, candidates) = setup();
+    let panel = ExpertPanel::new(ExpertPanelConfig::default());
+    let query = &queries[0];
+    let pairs: Vec<_> = candidates.iter().map(|c| (query.clone(), c.clone())).collect();
+    let ratings = panel.rate_pairs(&meta, &pairs);
+
+    for candidate in &candidates {
+        let latent = meta.latent(query, candidate).unwrap();
+        let median = ratings.median(query.as_str(), candidate.as_str());
+        if latent > 0.85 {
+            assert!(
+                RelevanceThreshold::Similar.is_relevant(median),
+                "a near-duplicate ({latent}) must be judged at least similar, got {median:?}"
+            );
+        }
+        if latent < 0.15 {
+            assert!(
+                !RelevanceThreshold::Related.is_relevant(median),
+                "an unrelated workflow ({latent}) must not be judged related, got {median:?}"
+            );
+        }
+    }
+}
+
+#[test]
+fn likert_medians_match_manual_aggregation() {
+    let (meta, queries, candidates) = setup();
+    let panel = ExpertPanel::new(ExpertPanelConfig::default());
+    let query = &queries[0];
+    let candidate = &candidates[0];
+    let ratings = panel.rate_pairs(&meta, &[(query.clone(), candidate.clone())]);
+    // Recompute the median by hand from the individual expert votes.
+    let mut votes: Vec<u8> = ratings
+        .ratings()
+        .iter()
+        .filter(|r| r.query == query.as_str() && r.candidate == candidate.as_str())
+        .filter_map(|r| r.rating.value())
+        .collect();
+    votes.sort_unstable();
+    let expected = LikertRating::from_value(votes[(votes.len() - 1) / 2]);
+    assert_eq!(ratings.median(query.as_str(), candidate.as_str()), Some(expected));
+}
+
+#[test]
+fn latent_similarity_reflects_family_and_topic_structure_across_the_corpus() {
+    let (meta, _, _) = setup();
+    let entries: Vec<_> = meta.iter().cloned().collect();
+    let mut family_pairs = 0usize;
+    let mut cross_topic_pairs = 0usize;
+    for (i, a) in entries.iter().enumerate() {
+        for b in entries.iter().skip(i + 1) {
+            let latent = latent_similarity(a, b);
+            assert!((0.0..=1.0).contains(&latent));
+            if a.family == b.family {
+                family_pairs += 1;
+                assert!(latent >= 0.55, "family pairs are at least 'similar'");
+            }
+            if a.topic != b.topic {
+                cross_topic_pairs += 1;
+                assert!(latent <= 0.2, "cross-topic pairs are dissimilar");
+            }
+        }
+    }
+    assert!(family_pairs > 0);
+    assert!(cross_topic_pairs > 0);
+}

@@ -1,0 +1,238 @@
+//! Property-based tests over the similarity framework: for arbitrary
+//! generated workflow pairs, every measure must be symmetric, bounded, and
+//! maximal on identical inputs; the matching algorithms must maintain their
+//! dominance relations; normalization must stay within range.
+
+use proptest::prelude::*;
+use wfsim::matching::{
+    greedy_mapping, maximum_weight_mapping, maximum_weight_noncrossing_mapping, SimilarityMatrix,
+};
+use wfsim::model::{Datalink, Module, ModuleId, ModuleType, Workflow};
+use wfsim::sim::{SimilarityConfig, WorkflowSimilarity};
+
+/// Strategy: a random but structurally valid workflow with up to 8 modules.
+fn workflow_strategy() -> impl Strategy<Value = Workflow> {
+    let label_pool = [
+        "get_pathway", "run_blast", "extract_genes", "split_string", "render_plot",
+        "fetch_sequence", "align_reads", "filter_hits",
+    ];
+    let type_pool = [
+        ModuleType::WsdlService,
+        ModuleType::SoaplabService,
+        ModuleType::BeanshellScript,
+        ModuleType::LocalOperation,
+        ModuleType::RShell,
+    ];
+    (
+        1usize..=8,
+        proptest::collection::vec(0usize..label_pool.len(), 1..=8),
+        proptest::collection::vec(0usize..type_pool.len(), 1..=8),
+        proptest::collection::vec((0usize..8, 0usize..8), 0..=12),
+        proptest::option::of("[a-z]{3,12}( [a-z]{3,12}){0,4}"),
+        proptest::collection::vec("[a-z]{3,8}", 0..=3),
+    )
+        .prop_map(move |(n, label_idx, type_idx, raw_edges, title, tags)| {
+            let mut wf = Workflow::new(format!("prop-{n}"));
+            for i in 0..n {
+                let label = format!(
+                    "{}_{}",
+                    label_pool[label_idx[i % label_idx.len()] % label_pool.len()],
+                    i
+                );
+                let ty = type_pool[type_idx[i % type_idx.len()] % type_pool.len()].clone();
+                let mut module = Module::new(ModuleId(i as u32), label, ty.clone());
+                if ty.is_service() {
+                    module.service_authority = Some("example.org".into());
+                    module.service_name = Some(format!("op_{i}"));
+                    module.service_uri = Some(format!("http://example.org/{i}"));
+                }
+                if ty.is_script() {
+                    module.script = Some(format!("run step {i}"));
+                }
+                wf.modules.push(module);
+            }
+            // Only forward edges (u < v) keep the graph acyclic.
+            for (u, v) in raw_edges {
+                let (u, v) = (u % n, v % n);
+                if u < v {
+                    wf.links.push(Datalink::new(ModuleId(u as u32), ModuleId(v as u32)));
+                }
+            }
+            wf.links.sort();
+            wf.links.dedup();
+            wf.annotations.title = title;
+            wf.annotations.tags = tags;
+            wf
+        })
+}
+
+fn all_measures() -> Vec<WorkflowSimilarity> {
+    vec![
+        WorkflowSimilarity::new(SimilarityConfig::module_sets_default()),
+        WorkflowSimilarity::new(SimilarityConfig::best_module_sets()),
+        WorkflowSimilarity::new(SimilarityConfig::path_sets_default()),
+        WorkflowSimilarity::new(SimilarityConfig::best_path_sets()),
+        WorkflowSimilarity::new(SimilarityConfig::graph_edit_default()),
+        WorkflowSimilarity::new(SimilarityConfig::bag_of_words()),
+        WorkflowSimilarity::new(SimilarityConfig::bag_of_tags()),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn generated_workflows_are_valid(wf in workflow_strategy()) {
+        prop_assert!(wfsim::model::validate(&wf).is_ok());
+    }
+
+    #[test]
+    fn measures_are_bounded_and_symmetric(a in workflow_strategy(), b in workflow_strategy()) {
+        for measure in all_measures() {
+            let ab = measure.similarity_opt(&a, &b);
+            let ba = measure.similarity_opt(&b, &a);
+            match (ab, ba) {
+                (Some(x), Some(y)) => {
+                    prop_assert!((0.0..=1.0).contains(&x), "{} out of range: {x}", measure.name());
+                    prop_assert!((x - y).abs() < 1e-9, "{} asymmetric: {x} vs {y}", measure.name());
+                }
+                (None, None) => {}
+                _ => prop_assert!(false, "{} applicability must be symmetric", measure.name()),
+            }
+        }
+    }
+
+    #[test]
+    fn measures_are_maximal_on_identical_workflows(a in workflow_strategy()) {
+        let mut clone = a.clone();
+        clone.id = wfsim::model::WorkflowId::new("clone");
+        for measure in all_measures() {
+            if let Some(s) = measure.similarity_opt(&a, &clone) {
+                prop_assert!(
+                    s > 1.0 - 1e-9,
+                    "{} on identical workflows gave {s}",
+                    measure.name()
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn matching_dominance_relations_hold(
+        rows in 1usize..7,
+        cols in 1usize..7,
+        values in proptest::collection::vec(0.0f64..1.0, 49),
+    ) {
+        let matrix = SimilarityMatrix::from_fn(rows, cols, |i, j| values[(i * 7 + j) % values.len()]);
+        let greedy = greedy_mapping(&matrix).total_weight();
+        let optimal = maximum_weight_mapping(&matrix).total_weight();
+        let noncrossing = maximum_weight_noncrossing_mapping(&matrix).total_weight();
+        prop_assert!(optimal + 1e-9 >= greedy);
+        prop_assert!(optimal + 1e-9 >= noncrossing);
+        prop_assert!(optimal <= rows.min(cols) as f64 + 1e-9);
+    }
+
+    #[test]
+    fn projection_never_grows_a_workflow(wf in workflow_strategy()) {
+        let scorer = wfsim::repo::ImportanceScorer::new(wfsim::repo::ImportanceConfig::type_based());
+        let projected = wfsim::repo::importance_projection(&wf, &scorer);
+        prop_assert!(projected.module_count() <= wf.module_count());
+        prop_assert!(wfsim::model::validate(&projected).is_ok());
+        // Projection is idempotent.
+        let twice = wfsim::repo::importance_projection(&projected, &scorer);
+        prop_assert_eq!(projected, twice);
+    }
+
+    #[test]
+    fn extended_measures_are_bounded_and_symmetric(a in workflow_strategy(), b in workflow_strategy()) {
+        use wfsim::sim::{LabelVectorSimilarity, McsSimilarity, Measure, WlKernelSimilarity};
+        let measures: Vec<Box<dyn Measure>> = vec![
+            Box::new(LabelVectorSimilarity::new()),
+            Box::new(LabelVectorSimilarity::tokenized()),
+            Box::new(McsSimilarity::default()),
+            Box::new(McsSimilarity::label_matching()),
+            Box::new(WlKernelSimilarity::default()),
+            Box::new(WlKernelSimilarity::label_based()),
+        ];
+        for measure in &measures {
+            let ab = measure.measure_opt(&a, &b);
+            let ba = measure.measure_opt(&b, &a);
+            match (ab, ba) {
+                (Some(x), Some(y)) => {
+                    prop_assert!((0.0..=1.0 + 1e-9).contains(&x), "{} out of range: {x}", measure.measure_name());
+                    prop_assert!((x - y).abs() < 1e-9, "{} asymmetric: {x} vs {y}", measure.measure_name());
+                }
+                (None, None) => {}
+                _ => prop_assert!(false, "{} applicability must be symmetric", measure.measure_name()),
+            }
+        }
+    }
+
+    #[test]
+    fn extended_measures_are_maximal_on_identical_workflows(a in workflow_strategy()) {
+        use wfsim::sim::{LabelVectorSimilarity, McsSimilarity, Measure, WlKernelSimilarity};
+        let mut clone = a.clone();
+        clone.id = wfsim::model::WorkflowId::new("clone");
+        let measures: Vec<Box<dyn Measure>> = vec![
+            Box::new(LabelVectorSimilarity::new()),
+            Box::new(McsSimilarity::default()),
+            Box::new(WlKernelSimilarity::label_based()),
+        ];
+        for measure in &measures {
+            if let Some(s) = measure.measure_opt(&a, &clone) {
+                prop_assert!(
+                    s > 1.0 - 1e-9,
+                    "{} on identical workflows gave {s}",
+                    measure.measure_name()
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn frequent_itemset_mining_respects_its_support_threshold(
+        workflows in proptest::collection::vec(workflow_strategy(), 2..8),
+        min_support in 0.0f64..0.8,
+    ) {
+        use wfsim::repo::{mine_transactions, ItemSource, MiningConfig};
+        let transactions: Vec<_> = workflows
+            .iter()
+            .map(|wf| ItemSource::ModuleLabels.items(wf))
+            .collect();
+        let config = MiningConfig::with_min_support(min_support);
+        let mined = mine_transactions(&transactions, ItemSource::ModuleLabels, &config);
+        let threshold = config.support_threshold(transactions.len());
+        for itemset in mined.itemsets() {
+            prop_assert!(itemset.support >= threshold);
+            prop_assert!(itemset.len() <= config.max_size);
+            // The reported support is the true containment count.
+            let recount = transactions
+                .iter()
+                .filter(|t| itemset.items.iter().all(|i| t.contains(i)))
+                .count();
+            prop_assert_eq!(recount, itemset.support);
+        }
+    }
+
+    #[test]
+    fn borda_rank_ensemble_ranks_every_candidate_once(
+        query in workflow_strategy(),
+        candidates in proptest::collection::vec(workflow_strategy(), 1..6),
+    ) {
+        use wfsim::sim::RankEnsemble;
+        let ensemble = RankEnsemble::from_similarities(vec![
+            WorkflowSimilarity::new(SimilarityConfig::bag_of_words()),
+            WorkflowSimilarity::new(SimilarityConfig::module_sets_default()),
+        ]);
+        let refs: Vec<&Workflow> = candidates.iter().collect();
+        let ranked = ensemble.rank(&query, &refs);
+        prop_assert_eq!(ranked.len(), candidates.len());
+        for pair in ranked.windows(2) {
+            prop_assert!(pair[0].1 >= pair[1].1, "scores must be sorted descending");
+        }
+        for (_, points) in &ranked {
+            prop_assert!(*points >= 0.0);
+            prop_assert!(*points <= candidates.len() as f64 + 1e-9);
+        }
+    }
+}

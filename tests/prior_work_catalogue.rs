@@ -1,0 +1,106 @@
+//! Integration tests for the Table 1 catalogue: every reconstructed prior
+//! approach must behave sensibly on corpus workflows, and the relationships
+//! the paper reports between the historical approaches (Section 3, "Previous
+//! Findings") must be observable.
+
+use wfsim::corpus::{generate_taverna_corpus, TavernaCorpusConfig};
+use wfsim::model::Workflow;
+use wfsim::sim::{prior_approaches, MeasureKind, Normalization, WorkflowSimilarity};
+
+/// A seed workflow and one of its mutated variants from the same family,
+/// plus one workflow from a different topic.
+fn triple() -> (Workflow, Workflow, Workflow) {
+    let (corpus, meta) = generate_taverna_corpus(&TavernaCorpusConfig::small(60, 91));
+    let seed = corpus[0].clone();
+    let seed_meta = meta.get(&seed.id).unwrap().clone();
+    let sibling = corpus
+        .iter()
+        .find(|w| {
+            w.id != seed.id && meta.get(&w.id).map(|m| m.family) == Some(seed_meta.family)
+        })
+        .expect("family variant exists")
+        .clone();
+    let stranger = corpus
+        .iter()
+        .find(|w| meta.get(&w.id).map(|m| m.topic) != Some(seed_meta.topic))
+        .expect("other topic exists")
+        .clone();
+    (seed, sibling, stranger)
+}
+
+#[test]
+fn every_prior_approach_separates_variant_from_stranger_or_abstains() {
+    let (seed, sibling, stranger) = triple();
+    for row in prior_approaches() {
+        if row.config.normalization == Normalization::None {
+            // The unnormalized [38] reconstruction reports raw negated edit
+            // costs, which depend on workflow size more than on functional
+            // similarity — exactly the deficiency the paper demonstrates in
+            // Fig. 7, so no separation is expected from it here.
+            continue;
+        }
+        let measure = WorkflowSimilarity::new(row.config.clone());
+        let close = measure.similarity_opt(&seed, &sibling);
+        let far = measure.similarity_opt(&seed, &stranger);
+        match (close, far) {
+            (Some(c), Some(f)) => {
+                assert!(
+                    c >= f - 1e-9,
+                    "{}: variant ({c}) must not score below stranger ({f})",
+                    row.reference
+                );
+            }
+            // Annotation approaches may abstain when annotations are missing;
+            // that is exactly the weakness the paper discusses.
+            _ => {}
+        }
+    }
+}
+
+#[test]
+fn annotation_approaches_cover_costa_and_stoyanovich() {
+    let rows = prior_approaches();
+    let costa = rows.iter().find(|r| r.reference.starts_with("[11]")).unwrap();
+    let stoyanovich = rows.iter().find(|r| r.reference.starts_with("[36]")).unwrap();
+    assert_eq!(costa.config.measure, MeasureKind::BagOfWords);
+    assert_eq!(stoyanovich.config.measure, MeasureKind::BagOfTags);
+}
+
+#[test]
+fn label_matching_approaches_are_stricter_than_edit_distance_ones() {
+    // Section 3 / Section 5.1.2 of the paper: strict label matching (as in
+    // [33], [18], [38]) offers less fine-grained similarity than the edit
+    // distance of [4].  On a pair of renamed variants the [4] reconstruction
+    // must therefore see at least as much similarity as the label-matching
+    // reconstructions.
+    let (seed, sibling, _) = triple();
+    let rows = prior_approaches();
+    let bergmann = rows.iter().find(|r| r.reference.starts_with("[4]")).unwrap();
+    let santos = rows.iter().find(|r| r.reference.starts_with("[33]")).unwrap();
+    let bergmann_score = WorkflowSimilarity::new(bergmann.config.clone()).similarity(&seed, &sibling);
+    let santos_score = WorkflowSimilarity::new(santos.config.clone()).similarity(&seed, &sibling);
+    assert!(
+        bergmann_score >= santos_score - 1e-9,
+        "edit distance [4] ({bergmann_score}) vs strict matching [33] ({santos_score})"
+    );
+}
+
+#[test]
+fn catalogue_covers_all_measure_kinds_used_in_the_paper() {
+    let kinds: std::collections::BTreeSet<&str> = prior_approaches()
+        .iter()
+        .map(|r| r.config.measure.shorthand())
+        .collect();
+    for expected in ["MS", "PS", "GE", "BW", "BT"] {
+        assert!(kinds.contains(expected), "no prior approach maps to {expected}");
+    }
+}
+
+#[test]
+fn reconstructed_configs_have_unique_reference_keys() {
+    let rows = prior_approaches();
+    let mut refs: Vec<&str> = rows.iter().map(|r| r.reference).collect();
+    refs.sort_unstable();
+    refs.dedup();
+    assert_eq!(refs.len(), rows.len());
+}

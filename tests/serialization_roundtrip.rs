@@ -1,0 +1,92 @@
+//! Property-based round-trip tests for the two on-disk workflow formats
+//! (JSON and the wfl text format) using arbitrary generated workflows.
+
+use proptest::prelude::*;
+use wfsim::model::{format, json, Annotations, Datalink, Module, ModuleId, ModuleType, Workflow};
+
+/// Strategy producing valid workflows whose labels are wfl-safe (no spaces).
+fn workflow_strategy() -> impl Strategy<Value = Workflow> {
+    (
+        1usize..=6,
+        proptest::collection::vec((0usize..6, 0usize..6), 0..=8),
+        proptest::option::of("[A-Za-z][A-Za-z0-9 ]{0,30}"),
+        proptest::option::of("[a-z][a-z0-9 ]{0,40}"),
+        proptest::collection::vec("[a-z]{2,10}", 0..=4),
+        proptest::option::of("[a-z]{3,10}"),
+    )
+        .prop_map(|(n, raw_edges, title, description, tags, author)| {
+            let mut wf = Workflow::new("roundtrip");
+            for i in 0..n {
+                let ty = match i % 4 {
+                    0 => ModuleType::WsdlService,
+                    1 => ModuleType::BeanshellScript,
+                    2 => ModuleType::LocalOperation,
+                    _ => ModuleType::GalaxyTool,
+                };
+                let mut module = Module::new(ModuleId(i as u32), format!("module_{i}"), ty.clone());
+                if ty.is_service() || ty == ModuleType::GalaxyTool {
+                    module.service_authority = Some(format!("auth{i}.org"));
+                    module.service_name = Some(format!("service_{i}"));
+                    module.service_uri = Some(format!("http://auth{i}.org/ws"));
+                }
+                if ty.is_script() {
+                    module.script = Some(format!("line one {i}\nline two {i}"));
+                }
+                module.parameters.insert("organism".into(), "hsa".into());
+                wf.modules.push(module);
+            }
+            for (u, v) in raw_edges {
+                let (u, v) = (u % n, v % n);
+                if u < v {
+                    wf.links.push(Datalink::new(ModuleId(u as u32), ModuleId(v as u32)));
+                }
+            }
+            wf.links.sort();
+            wf.links.dedup();
+            wf.annotations = Annotations {
+                title: title.map(|t| t.trim().to_string()).filter(|t| !t.is_empty()),
+                description: description.map(|d| d.trim().to_string()).filter(|d| !d.is_empty()),
+                tags,
+                author,
+            };
+            wf
+        })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn json_round_trip_preserves_workflows(wf in workflow_strategy()) {
+        let text = json::workflow_to_json(&wf);
+        let parsed = json::workflow_from_json(&text).expect("round trip parses");
+        prop_assert_eq!(parsed, wf);
+    }
+
+    #[test]
+    fn json_corpus_round_trip(a in workflow_strategy(), b in workflow_strategy()) {
+        let corpus = vec![a, b];
+        let text = json::corpus_to_json(&corpus);
+        let parsed = json::corpus_from_json(&text).expect("round trip parses");
+        prop_assert_eq!(parsed, corpus);
+    }
+
+    #[test]
+    fn wfl_round_trip_preserves_workflows(wf in workflow_strategy()) {
+        let text = format::to_wfl(&wf);
+        let parsed = format::from_wfl(&text).expect("round trip parses");
+        prop_assert_eq!(parsed, wf);
+    }
+}
+
+#[test]
+fn corpus_generator_output_round_trips_through_both_formats() {
+    use wfsim::corpus::{generate_taverna_corpus, TavernaCorpusConfig};
+    let (corpus, _) = generate_taverna_corpus(&TavernaCorpusConfig::small(12, 23));
+    for wf in &corpus {
+        let via_json = json::workflow_from_json(&json::workflow_to_json(wf)).unwrap();
+        assert_eq!(&via_json, wf);
+        let via_wfl = format::from_wfl(&format::to_wfl(wf)).unwrap();
+        assert_eq!(&via_wfl, wf);
+    }
+}
