@@ -55,5 +55,9 @@ fn bench_clustering_algorithms(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_matrix_construction, bench_clustering_algorithms);
+criterion_group!(
+    benches,
+    bench_matrix_construction,
+    bench_clustering_algorithms
+);
 criterion_main!(benches);

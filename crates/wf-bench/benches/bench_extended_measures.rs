@@ -61,9 +61,8 @@ fn bench_mining(c: &mut Criterion) {
         })
     });
     group.bench_function("tags_60wf", |bencher| {
-        bencher.iter(|| {
-            mine_repository(black_box(&repo), ItemSource::Tags, &MiningConfig::default())
-        })
+        bencher
+            .iter(|| mine_repository(black_box(&repo), ItemSource::Tags, &MiningConfig::default()))
     });
     group.finish();
 }

@@ -23,7 +23,8 @@ fn bench_projection(c: &mut Criterion) {
     let b_wf = corpus[1].clone();
     let np = WorkflowSimilarity::new(SimilarityConfig::path_sets_default());
     let ip = WorkflowSimilarity::new(
-        SimilarityConfig::path_sets_default().with_preprocessing(Preprocessing::ImportanceProjection),
+        SimilarityConfig::path_sets_default()
+            .with_preprocessing(Preprocessing::ImportanceProjection),
     );
     let mut group = c.benchmark_group("path_sets_with_and_without_ip");
     group.bench_function("PS_np", |bencher| {

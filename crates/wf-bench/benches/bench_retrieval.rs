@@ -11,9 +11,10 @@ fn bench_retrieval(c: &mut Criterion) {
     let repository = Repository::from_workflows(corpus);
     let query = repository.iter().next().expect("non-empty corpus").clone();
     let measure = WorkflowSimilarity::new(SimilarityConfig::best_module_sets());
-    let engine = SearchEngine::new(&repository, |a: &wf_model::Workflow, b: &wf_model::Workflow| {
-        measure.similarity(a, b)
-    })
+    let engine = SearchEngine::new(
+        &repository,
+        |a: &wf_model::Workflow, b: &wf_model::Workflow| measure.similarity(a, b),
+    )
     .with_threads(8);
 
     let mut group = c.benchmark_group("top10_retrieval_150_workflows");

@@ -34,7 +34,8 @@ fn bench_tokenize(c: &mut Criterion) {
     });
     c.bench_function("token_bag/set_similarity", |b| {
         let bag_a = TokenBag::from_text(description);
-        let bag_b = TokenBag::from_text("Maps Entrez genes onto KEGG pathways and colours the diagram");
+        let bag_b =
+            TokenBag::from_text("Maps Entrez genes onto KEGG pathways and colours the diagram");
         b.iter(|| bag_a.set_similarity(black_box(&bag_b)))
     });
 }

@@ -13,8 +13,8 @@
 //! Environment: `WFSIM_CORPUS_SIZE` (default 120), `WFSIM_SEED` (default
 //! 42), `WFSIM_THREADS` (default 4).
 
-use wf_bench::table::{fmt3, TextTable};
 use wf_bench::env_param;
+use wf_bench::table::{fmt3, TextTable};
 use wf_cluster::{
     adjusted_rand_index, duplicate_pairs, hierarchical_clustering, normalized_mutual_information,
     purity, threshold_clustering, Linkage, PairwiseSimilarities,
@@ -58,14 +58,8 @@ fn main() {
             "MS_ip_te_pll".to_string(),
             Box::new(WorkflowSimilarity::new(SimilarityConfig::best_module_sets())),
         ),
-        (
-            "LV".to_string(),
-            Box::new(LabelVectorSimilarity::new()),
-        ),
-        (
-            "MCS_pll".to_string(),
-            Box::new(McsSimilarity::default()),
-        ),
+        ("LV".to_string(), Box::new(LabelVectorSimilarity::new())),
+        ("MCS_pll".to_string(), Box::new(McsSimilarity::default())),
         (
             "WL_label".to_string(),
             Box::new(WlKernelSimilarity::label_based()),

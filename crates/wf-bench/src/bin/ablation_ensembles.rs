@@ -18,9 +18,7 @@ use wf_bench::table::{fmt3, TextTable};
 use wf_bench::{env_param, NamedAlgorithm, RankingExperiment, RankingExperimentConfig};
 use wf_gold::{ranking_correctness_completeness, Ranking};
 use wf_model::{Workflow, WorkflowId};
-use wf_sim::{
-    learn_weights, Ensemble, RankEnsemble, SimilarityConfig, WorkflowSimilarity,
-};
+use wf_sim::{learn_weights, Ensemble, RankEnsemble, SimilarityConfig, WorkflowSimilarity};
 
 fn mean(values: &[f64]) -> f64 {
     if values.is_empty() {
@@ -60,7 +58,9 @@ fn borda_correctness(
     let values: Vec<f64> = queries
         .iter()
         .map(|q| {
-            let Some(query_wf) = repo.get(q) else { return 0.0 };
+            let Some(query_wf) = repo.get(q) else {
+                return 0.0;
+            };
             let candidates: Vec<&Workflow> = experiment
                 .candidates(q)
                 .iter()

@@ -22,7 +22,9 @@ fn main() {
         candidates_per_query: 10,
         seed: env_param("WFSIM_SEED", 42) as u64,
     };
-    println!("Ablation: manual (type-based) vs automatic (frequency-adjusted) importance selection");
+    println!(
+        "Ablation: manual (type-based) vs automatic (frequency-adjusted) importance selection"
+    );
     println!(
         "setup: {} workflows, {} queries x {} candidates, MS with pll/te",
         config.corpus_size, config.queries, config.candidates_per_query
@@ -37,7 +39,8 @@ fn main() {
             .with_preselection(PreselectionStrategy::TypeEquivalence)
     };
     let no_projection = WorkflowSimilarity::new(base());
-    let manual = WorkflowSimilarity::new(base().with_preprocessing(Preprocessing::ImportanceProjection));
+    let manual =
+        WorkflowSimilarity::new(base().with_preprocessing(Preprocessing::ImportanceProjection));
     let mut automatic_config = base().with_preprocessing(Preprocessing::ImportanceProjection);
     automatic_config.importance = ImportanceConfig::frequency_based();
     let automatic = WorkflowSimilarity::with_usage(automatic_config, usage);
@@ -49,9 +52,10 @@ fn main() {
         NamedAlgorithm::from_fn("MS_ip_te_pll (manual, type-based)", move |a, b| {
             manual.similarity_opt(a, b)
         }),
-        NamedAlgorithm::from_fn("MS_ip_te_pll (automatic, frequency-adjusted)", move |a, b| {
-            automatic.similarity_opt(a, b)
-        }),
+        NamedAlgorithm::from_fn(
+            "MS_ip_te_pll (automatic, frequency-adjusted)",
+            move |a, b| automatic.similarity_opt(a, b),
+        ),
     ];
 
     let mut table = TextTable::new(vec![

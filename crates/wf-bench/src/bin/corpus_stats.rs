@@ -8,7 +8,9 @@
 //! Environment: `WFSIM_CORPUS_SIZE` (default 1483), `WFSIM_SEED` (default 42).
 
 use wf_bench::{env_param, table::TextTable};
-use wf_corpus::{generate_galaxy_corpus, generate_taverna_corpus, GalaxyCorpusConfig, TavernaCorpusConfig};
+use wf_corpus::{
+    generate_galaxy_corpus, generate_taverna_corpus, GalaxyCorpusConfig, TavernaCorpusConfig,
+};
 use wf_model::CorpusStats;
 use wf_repo::{importance_projection, ImportanceConfig, ImportanceScorer};
 
@@ -44,9 +46,21 @@ fn main() {
         "untagged",
         "undescribed",
     ]);
-    stats_row(&mut table, "taverna (np)", &CorpusStats::of(&taverna).expect("non-empty"));
-    stats_row(&mut table, "taverna (ip)", &CorpusStats::of(&projected).expect("non-empty"));
-    stats_row(&mut table, "galaxy", &CorpusStats::of(&galaxy).expect("non-empty"));
+    stats_row(
+        &mut table,
+        "taverna (np)",
+        &CorpusStats::of(&taverna).expect("non-empty"),
+    );
+    stats_row(
+        &mut table,
+        "taverna (ip)",
+        &CorpusStats::of(&projected).expect("non-empty"),
+    );
+    stats_row(
+        &mut table,
+        "galaxy",
+        &CorpusStats::of(&galaxy).expect("non-empty"),
+    );
 
     println!("Corpus statistics (paper Section 4.1; module-count reduction of Section 5.1.4)");
     println!("paper reference: 1483 Taverna workflows, ~15% untagged, 11.3 -> 4.7 modules under ip; 139 Galaxy workflows");

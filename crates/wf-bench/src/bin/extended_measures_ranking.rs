@@ -46,10 +46,10 @@ fn main() {
 
     let algorithms = vec![
         NamedAlgorithm::from_measure(WorkflowSimilarity::new(SimilarityConfig::bag_of_words())),
-        NamedAlgorithm::from_measure(WorkflowSimilarity::new(
-            SimilarityConfig::best_module_sets(),
-        )),
-        NamedAlgorithm::from_fn("LV (label vectors [33])", move |a, b| lv.similarity_opt(a, b)),
+        NamedAlgorithm::from_measure(WorkflowSimilarity::new(SimilarityConfig::best_module_sets())),
+        NamedAlgorithm::from_fn("LV (label vectors [33])", move |a, b| {
+            lv.similarity_opt(a, b)
+        }),
         NamedAlgorithm::from_fn("LV_tokens (label vectors, tokenized)", move |a, b| {
             lv_tokens.similarity_opt(a, b)
         }),

@@ -18,9 +18,7 @@ fn main() {
         candidates_per_query: 10,
         seed: env_param("WFSIM_SEED", 42) as u64,
     };
-    println!(
-        "Figure 4: per-expert ranking correctness / completeness vs BioConsert consensus"
-    );
+    println!("Figure 4: per-expert ranking correctness / completeness vs BioConsert consensus");
     println!(
         "setup: {} workflows, {} queries x {} candidates, 15 simulated experts",
         config.corpus_size, config.queries, config.candidates_per_query

@@ -56,7 +56,9 @@ fn main() {
     }
     println!("(a) simMS under pw0 / pw3 / pll / plm");
     println!("{}", part_a.render());
-    println!("paper shape: pw0 worst; pll ~ pw3; plm gains correctness only by losing completeness");
+    println!(
+        "paper shape: pw0 worst; pll ~ pw3; plm gains correctness only by losing completeness"
+    );
     println!();
 
     // Part (b): simPS and simGE with pw3 vs their pw0 baselines.
@@ -72,9 +74,8 @@ fn main() {
                 MeasureKind::PathSets => SimilarityConfig::path_sets_default(),
                 _ => SimilarityConfig::graph_edit_default().with_ged_budget(GedBudget::small()),
             };
-            let algorithm = NamedAlgorithm::from_measure(WorkflowSimilarity::new(
-                base.with_scheme(scheme),
-            ));
+            let algorithm =
+                NamedAlgorithm::from_measure(WorkflowSimilarity::new(base.with_scheme(scheme)));
             let score = experiment.evaluate(&algorithm);
             part_b.row(vec![
                 score.name,

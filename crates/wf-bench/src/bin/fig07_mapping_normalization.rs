@@ -74,5 +74,7 @@ fn main() {
         ]);
     }
     println!("{}", table.render());
-    println!("paper shape: greedy ~ maximum-weight for MS; dropping normalization clearly hurts GE");
+    println!(
+        "paper shape: greedy ~ maximum-weight for MS; dropping normalization clearly hurts GE"
+    );
 }

@@ -51,12 +51,22 @@ fn main() {
         "stddev",
         "mean completeness",
     ]);
-    for measure in [MeasureKind::ModuleSets, MeasureKind::PathSets, MeasureKind::GraphEdit] {
+    for measure in [
+        MeasureKind::ModuleSets,
+        MeasureKind::PathSets,
+        MeasureKind::GraphEdit,
+    ] {
         for (preprocessing, preselection) in [
             (Preprocessing::None, PreselectionStrategy::AllPairs),
             (Preprocessing::None, PreselectionStrategy::TypeEquivalence),
-            (Preprocessing::ImportanceProjection, PreselectionStrategy::AllPairs),
-            (Preprocessing::ImportanceProjection, PreselectionStrategy::TypeEquivalence),
+            (
+                Preprocessing::ImportanceProjection,
+                PreselectionStrategy::AllPairs,
+            ),
+            (
+                Preprocessing::ImportanceProjection,
+                PreselectionStrategy::TypeEquivalence,
+            ),
         ] {
             let algorithm = NamedAlgorithm::from_measure(WorkflowSimilarity::new(
                 base_config(measure)
@@ -87,12 +97,16 @@ fn main() {
         base_config(MeasureKind::GraphEdit).with_preprocessing(Preprocessing::ImportanceProjection),
     );
     let te_probe = WorkflowSimilarity::new(
-        base_config(MeasureKind::ModuleSets).with_preselection(PreselectionStrategy::TypeEquivalence),
+        base_config(MeasureKind::ModuleSets)
+            .with_preselection(PreselectionStrategy::TypeEquivalence),
     );
     for query in experiment.queries() {
         let query_wf = experiment.repository().get(query).expect("query exists");
         for candidate in experiment.candidates(query) {
-            let candidate_wf = experiment.repository().get(candidate).expect("candidate exists");
+            let candidate_wf = experiment
+                .repository()
+                .get(candidate)
+                .expect("candidate exists");
             pair_count += 1;
             full_pairs += query_wf.module_count() * candidate_wf.module_count();
             te_pairs += te_probe.report(query_wf, candidate_wf).compared_pairs;
@@ -127,7 +141,10 @@ fn main() {
     // Module count reduction under ip.
     let scorer = ImportanceScorer::new(ImportanceConfig::type_based());
     let original: Vec<_> = experiment.repository().iter().cloned().collect();
-    let projected: Vec<_> = original.iter().map(|wf| importance_projection(wf, &scorer)).collect();
+    let projected: Vec<_> = original
+        .iter()
+        .map(|wf| importance_projection(wf, &scorer))
+        .collect();
     let np_stats = CorpusStats::of(&original).expect("non-empty");
     let ip_stats = CorpusStats::of(&projected).expect("non-empty");
     println!(

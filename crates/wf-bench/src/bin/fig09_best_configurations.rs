@@ -34,7 +34,9 @@ fn main() {
     let experiment = RankingExperiment::prepare(&config);
 
     // --- Part (a): configuration sweep -----------------------------------
-    let mut best: Vec<(MeasureKind, Option<(String, f64, f64, f64)>)> = vec![
+    // Best configuration per measure: (name, correctness, completeness, combined).
+    type BestRow = Option<(String, f64, f64, f64)>;
+    let mut best: Vec<(MeasureKind, BestRow)> = vec![
         (MeasureKind::ModuleSets, None),
         (MeasureKind::PathSets, None),
         (MeasureKind::GraphEdit, None),

@@ -25,7 +25,9 @@ fn main() {
         threads: 8,
         seed: env_param("WFSIM_SEED", 42) as u64,
     };
-    println!("Figure 10: retrieval precision@k for simMS under module schemes x repository knowledge");
+    println!(
+        "Figure 10: retrieval precision@k for simMS under module schemes x repository knowledge"
+    );
     println!(
         "setup: top-{} retrieval over {} workflows, {} queries, median expert relevance",
         config.top_k, config.corpus_size, config.queries
@@ -56,7 +58,10 @@ fn main() {
         .collect();
 
     // Run retrieval once per algorithm, pool the results for rating.
-    let all_lists: Vec<_> = algorithms.iter().map(|a| experiment.result_lists(a)).collect();
+    let all_lists: Vec<_> = algorithms
+        .iter()
+        .map(|a| experiment.result_lists(a))
+        .collect();
     let ratings = experiment.rate_results(&all_lists);
 
     for threshold in RelevanceThreshold::ALL {

@@ -59,7 +59,10 @@ fn main() {
         .map(|c| NamedAlgorithm::from_measure(WorkflowSimilarity::new(c)))
         .collect();
 
-    let all_lists: Vec<_> = algorithms.iter().map(|a| experiment.result_lists(a)).collect();
+    let all_lists: Vec<_> = algorithms
+        .iter()
+        .map(|a| experiment.result_lists(a))
+        .collect();
     let ratings = experiment.rate_results(&all_lists);
 
     for threshold in RelevanceThreshold::ALL {

@@ -38,7 +38,11 @@ fn main() {
     let experiment = RankingExperiment::prepare_from_corpus(corpus, meta, &config);
 
     let mut algorithms: Vec<NamedAlgorithm> = Vec::new();
-    for measure in [MeasureKind::ModuleSets, MeasureKind::PathSets, MeasureKind::GraphEdit] {
+    for measure in [
+        MeasureKind::ModuleSets,
+        MeasureKind::PathSets,
+        MeasureKind::GraphEdit,
+    ] {
         for scheme in [ModuleComparisonScheme::gw1(), ModuleComparisonScheme::gll()] {
             let base = match measure {
                 MeasureKind::ModuleSets => SimilarityConfig::module_sets_default(),

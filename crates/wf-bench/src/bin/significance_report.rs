@@ -72,10 +72,7 @@ fn main() {
         ),
         (
             "5.1.3 normalization: GE unnormalized vs GE normalized",
-            measure(
-                SimilarityConfig::graph_edit_default()
-                    .with_normalization(Normalization::None),
-            ),
+            measure(SimilarityConfig::graph_edit_default().with_normalization(Normalization::None)),
             measure(SimilarityConfig::graph_edit_default()),
             "significant (unnormalized worse)",
         ),

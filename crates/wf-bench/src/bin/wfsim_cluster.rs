@@ -21,7 +21,9 @@
 use std::process::ExitCode;
 
 use wf_bench::table::TextTable;
-use wf_cluster::{duplicate_pairs, hierarchical_clustering, kmedoids, Linkage, PairwiseSimilarities};
+use wf_cluster::{
+    duplicate_pairs, hierarchical_clustering, kmedoids, Linkage, PairwiseSimilarities,
+};
 use wf_corpus::{generate_taverna_corpus, TavernaCorpusConfig};
 use wf_model::{json, Workflow};
 use wf_sim::{

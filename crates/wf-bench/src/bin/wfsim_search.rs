@@ -31,7 +31,9 @@ fn load_corpus(source: &str) -> Result<Vec<Workflow>, String> {
     json::corpus_from_json(&text).map_err(|e| format!("cannot parse corpus '{source}': {e}"))
 }
 
-fn scorer(algorithm: &str) -> Result<Box<dyn Fn(&Workflow, &Workflow) -> f64 + Sync>, String> {
+type Scorer = Box<dyn Fn(&Workflow, &Workflow) -> f64 + Sync>;
+
+fn scorer(algorithm: &str) -> Result<Scorer, String> {
     match algorithm {
         "ms" => {
             let m = WorkflowSimilarity::new(SimilarityConfig::best_module_sets());

@@ -10,8 +10,8 @@
 //! `wfsim_cluster`) expose search and clustering over a JSON corpus.  The
 //! Criterion micro-benchmarks in `benches/` cover the runtime claims
 //! (pair-count reduction, Importance Projection speedup, GED budgets,
-//! clustering and mining costs).  EXPERIMENTS.md records paper-vs-measured
-//! for every experiment.
+//! clustering and mining costs).  The repository README.md explains how to
+//! run every experiment binary.
 //!
 //! The shared machinery lives here:
 //!
@@ -24,8 +24,8 @@
 //!   result lists, and precision@k curves.
 //! * [`table`] — plain-text table formatting for the binaries.
 
-pub mod retrieval;
 pub mod ranking;
+pub mod retrieval;
 pub mod table;
 
 pub use ranking::{AlgorithmScore, RankingExperiment, RankingExperimentConfig};
@@ -33,13 +33,17 @@ pub use retrieval::{RetrievalExperiment, RetrievalExperimentConfig};
 
 use wf_model::Workflow;
 
+/// Scoring function of a [`NamedAlgorithm`]: returns `None` when the
+/// algorithm abstains on a pair it cannot compare.
+pub type ScoreFn<'a> = Box<dyn Fn(&Workflow, &Workflow) -> Option<f64> + Sync + 'a>;
+
 /// A similarity algorithm under evaluation: a name plus a scoring function
 /// that may abstain (`None`) on pairs it cannot compare.
 pub struct NamedAlgorithm<'a> {
     /// Display name (paper notation, e.g. `MS_ip_te_pll`).
     pub name: String,
     /// The scoring function.
-    pub score: Box<dyn Fn(&Workflow, &Workflow) -> Option<f64> + Sync + 'a>,
+    pub score: ScoreFn<'a>,
 }
 
 impl<'a> NamedAlgorithm<'a> {

@@ -16,8 +16,7 @@ use wf_corpus::{
 };
 use wf_gold::metrics::QualitySummary;
 use wf_gold::{
-    bioconsert_consensus, ranking_correctness_completeness, BioConsertConfig, Ranking,
-    RatingCorpus,
+    bioconsert_consensus, ranking_correctness_completeness, BioConsertConfig, Ranking, RatingCorpus,
 };
 use wf_model::{Workflow, WorkflowId};
 use wf_repo::Repository;
@@ -87,10 +86,8 @@ impl RankingExperiment {
     /// Generates the Taverna-like corpus, selects queries/candidates,
     /// simulates the expert study and computes the consensus rankings.
     pub fn prepare(config: &RankingExperimentConfig) -> Self {
-        let (corpus, meta) = generate_taverna_corpus(&TavernaCorpusConfig::small(
-            config.corpus_size,
-            config.seed,
-        ));
+        let (corpus, meta) =
+            generate_taverna_corpus(&TavernaCorpusConfig::small(config.corpus_size, config.seed));
         Self::prepare_from_corpus(corpus, meta, config)
     }
 
@@ -166,10 +163,7 @@ impl RankingExperiment {
 
     /// The candidate list of a query.
     pub fn candidates(&self, query: &WorkflowId) -> &[WorkflowId] {
-        self.candidates
-            .get(query)
-            .map(Vec::as_slice)
-            .unwrap_or(&[])
+        self.candidates.get(query).map(Vec::as_slice).unwrap_or(&[])
     }
 
     /// The collected expert ratings.
@@ -310,11 +304,14 @@ mod tests {
         assert_eq!(exp.queries().len(), 6);
         assert_eq!(exp.pair_count(), 6 * 8);
         assert_eq!(exp.repository().len(), 120);
-        assert!(exp.ratings().len() > 0);
+        assert!(!exp.ratings().is_empty());
         for q in exp.queries() {
             assert_eq!(exp.candidates(q).len(), 8);
             let consensus = exp.consensus(q).unwrap();
-            assert!(!consensus.is_empty(), "consensus ranks the candidates of {q}");
+            assert!(
+                !consensus.is_empty(),
+                "consensus ranks the candidates of {q}"
+            );
         }
     }
 
@@ -325,15 +322,14 @@ mod tests {
         let meta = exp.meta().clone();
         let oracle = NamedAlgorithm::from_fn("oracle", move |a, b| meta.latent(&a.id, &b.id));
         let meta2 = exp.meta().clone();
-        let inverted =
-            NamedAlgorithm::from_fn("inverted", move |a, b| meta2.latent(&a.id, &b.id).map(|s| -s));
+        let inverted = NamedAlgorithm::from_fn("inverted", move |a, b| {
+            meta2.latent(&a.id, &b.id).map(|s| -s)
+        });
         let oracle_score = exp.evaluate(&oracle);
         let inverted_score = exp.evaluate(&inverted);
         assert!(oracle_score.summary.mean_correctness > 0.6);
         assert!(inverted_score.summary.mean_correctness < -0.3);
-        assert!(
-            oracle_score.summary.mean_correctness > inverted_score.summary.mean_correctness
-        );
+        assert!(oracle_score.summary.mean_correctness > inverted_score.summary.mean_correctness);
     }
 
     #[test]
@@ -361,7 +357,10 @@ mod tests {
             .map(|(_, s)| s.mean_correctness)
             .sum::<f64>()
             / agreement.len() as f64;
-        assert!(mean > 0.5, "experts should mostly agree with their consensus (got {mean})");
+        assert!(
+            mean > 0.5,
+            "experts should mostly agree with their consensus (got {mean})"
+        );
     }
 
     #[test]

@@ -73,10 +73,8 @@ pub struct RetrievalExperiment {
 impl RetrievalExperiment {
     /// Generates the corpus and selects the query workflows.
     pub fn prepare(config: &RetrievalExperimentConfig) -> Self {
-        let (corpus, meta) = generate_taverna_corpus(&TavernaCorpusConfig::small(
-            config.corpus_size,
-            config.seed,
-        ));
+        let (corpus, meta) =
+            generate_taverna_corpus(&TavernaCorpusConfig::small(config.corpus_size, config.seed));
         let repository = Repository::from_workflows(corpus);
         let queries = select_queries(&meta, config.queries, 3, config.seed + 7);
         let panel = ExpertPanel::new(ExpertPanelConfig {
@@ -108,11 +106,15 @@ impl RetrievalExperiment {
     }
 
     /// Runs one algorithm's top-k retrieval for every query.
-    pub fn result_lists(&self, algorithm: &NamedAlgorithm<'_>) -> Vec<(WorkflowId, Vec<WorkflowId>)> {
+    pub fn result_lists(
+        &self,
+        algorithm: &NamedAlgorithm<'_>,
+    ) -> Vec<(WorkflowId, Vec<WorkflowId>)> {
         let score = &algorithm.score;
-        let engine = SearchEngine::new(&self.repository, move |a: &wf_model::Workflow, b: &wf_model::Workflow| {
-            score(a, b).unwrap_or(0.0)
-        })
+        let engine = SearchEngine::new(
+            &self.repository,
+            move |a: &wf_model::Workflow, b: &wf_model::Workflow| score(a, b).unwrap_or(0.0),
+        )
         .with_threads(self.config.threads);
         self.queries
             .iter()
@@ -127,7 +129,10 @@ impl RetrievalExperiment {
     /// Rates the pooled result lists with the expert panel — the paper's
     /// second rating round, which "completes" the ratings for every workflow
     /// any algorithm returned.
-    pub fn rate_results(&self, result_lists: &[Vec<(WorkflowId, Vec<WorkflowId>)>]) -> RatingCorpus {
+    pub fn rate_results(
+        &self,
+        result_lists: &[Vec<(WorkflowId, Vec<WorkflowId>)>],
+    ) -> RatingCorpus {
         let mut pairs: BTreeSet<(WorkflowId, WorkflowId)> = BTreeSet::new();
         for lists in result_lists {
             for (query, results) in lists {
@@ -228,7 +233,10 @@ mod tests {
         assert_eq!(lists.len(), 3);
         for (query, results) in &lists {
             assert_eq!(results.len(), 5);
-            assert!(!results.contains(query), "the query itself is never returned");
+            assert!(
+                !results.contains(query),
+                "the query itself is never returned"
+            );
         }
     }
 
@@ -239,8 +247,8 @@ mod tests {
             SimilarityConfig::best_module_sets(),
         ));
         let lists = exp.result_lists(&ms);
-        let ratings = exp.rate_results(&[lists.clone()]);
-        assert!(ratings.len() > 0);
+        let ratings = exp.rate_results(std::slice::from_ref(&lists));
+        assert!(!ratings.is_empty());
         let curve = exp.mean_precision(&lists, &ratings, RelevanceThreshold::Related);
         assert_eq!(curve.len(), 5);
         for p in &curve {
@@ -258,11 +266,10 @@ mod tests {
     #[test]
     fn stricter_thresholds_never_increase_precision() {
         let exp = experiment();
-        let bw = NamedAlgorithm::from_measure(WorkflowSimilarity::new(
-            SimilarityConfig::bag_of_words(),
-        ));
+        let bw =
+            NamedAlgorithm::from_measure(WorkflowSimilarity::new(SimilarityConfig::bag_of_words()));
         let lists = exp.result_lists(&bw);
-        let ratings = exp.rate_results(&[lists.clone()]);
+        let ratings = exp.rate_results(std::slice::from_ref(&lists));
         let related = exp.mean_precision(&lists, &ratings, RelevanceThreshold::Related);
         let similar = exp.mean_precision(&lists, &ratings, RelevanceThreshold::Similar);
         let very = exp.mean_precision(&lists, &ratings, RelevanceThreshold::VerySimilar);
@@ -279,7 +286,7 @@ mod tests {
             SimilarityConfig::best_module_sets(),
         ));
         let lists = exp.result_lists(&ms);
-        let ratings = exp.rate_results(&[lists.clone()]);
+        let ratings = exp.rate_results(std::slice::from_ref(&lists));
         let ndcg = exp.mean_ndcg(&lists, &ratings, 5);
         let map = exp.mean_average_precision(&lists, &ratings, RelevanceThreshold::Related, 5);
         assert!((0.0..=1.0).contains(&ndcg), "nDCG out of range: {ndcg}");

@@ -2,7 +2,7 @@
 //!
 //! The figure binaries print their data as aligned text tables (one row per
 //! algorithm or per k) so that the numbers can be diffed against
-//! EXPERIMENTS.md and re-plotted externally if desired.
+//! experiment reports and re-plotted externally if desired.
 
 /// A simple left-aligned text table.
 #[derive(Debug, Clone, Default)]
@@ -67,7 +67,9 @@ impl TextTable {
         };
         out.push_str(&render_row(&self.header, &widths));
         out.push('\n');
-        out.push_str(&"-".repeat(widths.iter().sum::<usize>() + 2 * (widths.len().saturating_sub(1))));
+        out.push_str(
+            &"-".repeat(widths.iter().sum::<usize>() + 2 * (widths.len().saturating_sub(1))),
+        );
         out.push('\n');
         for row in &self.rows {
             out.push_str(&render_row(row, &widths));

@@ -257,7 +257,10 @@ mod tests {
         let dendrogram = hierarchical_clustering(&matrix, Linkage::Average);
         let sims: Vec<f64> = dendrogram.merges().iter().map(|m| m.similarity).collect();
         for pair in sims.windows(2) {
-            assert!(pair[0] >= pair[1] - 1e-12, "merges happen at non-increasing similarity");
+            assert!(
+                pair[0] >= pair[1] - 1e-12,
+                "merges happen at non-increasing similarity"
+            );
         }
     }
 
@@ -265,9 +268,17 @@ mod tests {
     fn cut_k_edge_cases() {
         let matrix = block_matrix();
         let dendrogram = hierarchical_clustering(&matrix, Linkage::Average);
-        assert_eq!(dendrogram.cut_k(10).cluster_count(), 5, "more clusters than items");
+        assert_eq!(
+            dendrogram.cut_k(10).cluster_count(),
+            5,
+            "more clusters than items"
+        );
         assert_eq!(dendrogram.cut_k(1).cluster_count(), 1);
-        assert_eq!(dendrogram.cut_k(0).cluster_count(), 5, "k = 0 falls back to singletons");
+        assert_eq!(
+            dendrogram.cut_k(0).cluster_count(),
+            5,
+            "k = 0 falls back to singletons"
+        );
         assert_eq!(dendrogram.cut_k(5).cluster_count(), 5);
     }
 

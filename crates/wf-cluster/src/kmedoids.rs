@@ -59,9 +59,17 @@ pub fn kmedoids(matrix: &PairwiseSimilarities, k: usize, max_iterations: usize) 
         let next = (0..n)
             .filter(|i| !medoids.contains(i))
             .min_by(|&a, &b| {
-                let sa = medoids.iter().map(|&m| matrix.similarity(a, m)).fold(f64::NEG_INFINITY, f64::max);
-                let sb = medoids.iter().map(|&m| matrix.similarity(b, m)).fold(f64::NEG_INFINITY, f64::max);
-                sa.partial_cmp(&sb).expect("similarities are finite").then_with(|| a.cmp(&b))
+                let sa = medoids
+                    .iter()
+                    .map(|&m| matrix.similarity(a, m))
+                    .fold(f64::NEG_INFINITY, f64::max);
+                let sb = medoids
+                    .iter()
+                    .map(|&m| matrix.similarity(b, m))
+                    .fold(f64::NEG_INFINITY, f64::max);
+                sa.partial_cmp(&sb)
+                    .expect("similarities are finite")
+                    .then_with(|| a.cmp(&b))
             })
             .expect("fewer medoids than items");
         medoids.push(next);
@@ -84,7 +92,9 @@ pub fn kmedoids(matrix: &PairwiseSimilarities, k: usize, max_iterations: usize) 
                 .min_by(|&&a, &&b| {
                     let ca: f64 = members.iter().map(|&m| matrix.distance(a, m)).sum();
                     let cb: f64 = members.iter().map(|&m| matrix.distance(b, m)).sum();
-                    ca.partial_cmp(&cb).expect("distances are finite").then_with(|| a.cmp(&b))
+                    ca.partial_cmp(&cb)
+                        .expect("distances are finite")
+                        .then_with(|| a.cmp(&b))
                 })
                 .expect("cluster has members");
         }
@@ -198,7 +208,10 @@ mod tests {
         let k6 = kmedoids(&matrix, 6, 20);
         assert!(k2.cost <= k1.cost);
         assert!(k6.cost <= k2.cost);
-        assert!(k6.cost.abs() < 1e-12, "k = n puts every item on its own medoid");
+        assert!(
+            k6.cost.abs() < 1e-12,
+            "k = n puts every item on its own medoid"
+        );
     }
 
     #[test]

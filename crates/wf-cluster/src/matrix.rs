@@ -3,7 +3,7 @@
 //! Every clustering algorithm in this crate consumes a
 //! [`PairwiseSimilarities`] matrix: the symmetric matrix of workflow-level
 //! similarities under one measure.  Computing it is the expensive part of
-//! clustering (O(n²) workflow comparisons), so a crossbeam-based parallel
+//! clustering (O(n²) workflow comparisons), so a scoped-thread parallel
 //! builder is provided alongside the sequential one.
 
 use parking_lot::Mutex;
@@ -38,7 +38,7 @@ impl PairwiseSimilarities {
         }
     }
 
-    /// Computes the matrix on `threads` crossbeam scoped threads, splitting
+    /// Computes the matrix on `threads` std scoped threads, splitting
     /// the upper triangle by rows.
     pub fn compute_parallel<M: Measure + Sync + ?Sized>(
         workflows: &[Workflow],
@@ -51,10 +51,10 @@ impl PairwiseSimilarities {
         }
         let threads = threads.min(n);
         let results: Mutex<Vec<(usize, usize, f64)>> = Mutex::new(Vec::with_capacity(n * n / 2));
-        crossbeam::scope(|scope| {
+        std::thread::scope(|scope| {
             for worker in 0..threads {
                 let results = &results;
-                scope.spawn(move |_| {
+                scope.spawn(move || {
                     let mut local = Vec::new();
                     // Static row interleaving balances the triangular load.
                     let mut i = worker;
@@ -67,8 +67,7 @@ impl PairwiseSimilarities {
                     results.lock().extend(local);
                 });
             }
-        })
-        .expect("similarity matrix worker thread panicked");
+        });
         let mut values = vec![0.0; n * n];
         for i in 0..n {
             values[i * n + i] = 1.0;

@@ -93,7 +93,11 @@ pub fn adjusted_rand_index(clusters: &Clustering, truth: &[usize]) -> f64 {
         // Degenerate: both partitions are trivial (all-in-one or all
         // singletons); they agree perfectly iff the observed index equals
         // the maximum.
-        return if (sum_cells - max_index).abs() < 1e-12 { 1.0 } else { 0.0 };
+        return if (sum_cells - max_index).abs() < 1e-12 {
+            1.0
+        } else {
+            0.0
+        };
     }
     (sum_cells - expected) / (max_index - expected)
 }
@@ -214,9 +218,7 @@ mod tests {
         let truth = truth();
         let a = Clustering::from_assignments(&[0, 0, 1, 1, 1, 1]);
         let b = Clustering::from_assignments(&[7, 7, 3, 3, 3, 3]);
-        assert!(
-            (adjusted_rand_index(&a, &truth) - adjusted_rand_index(&b, &truth)).abs() < 1e-12
-        );
+        assert!((adjusted_rand_index(&a, &truth) - adjusted_rand_index(&b, &truth)).abs() < 1e-12);
     }
 
     #[test]

@@ -199,7 +199,10 @@ mod tests {
                 }
             }
         }
-        assert!(low > 250, "got {low}/300 dissimilar ratings for latent 0.05");
+        assert!(
+            low > 250,
+            "got {low}/300 dissimilar ratings for latent 0.05"
+        );
     }
 
     #[test]

@@ -64,7 +64,9 @@ pub fn generate_galaxy_corpus(config: &GalaxyCorpusConfig) -> (Vec<Workflow>, Co
     while corpus.len() < config.workflows {
         let topic_idx = family % GALAXY_TOPICS.len();
         let topic = &GALAXY_TOPICS[topic_idx];
-        let family_size = rng.gen_range(2..=5usize).min(config.workflows - corpus.len());
+        let family_size = rng
+            .gen_range(2..=5usize)
+            .min(config.workflows - corpus.len());
 
         let seed_id = WorkflowId::new(format!("g{}", corpus.len() + 1));
         let seed_wf = build_galaxy_workflow(&seed_id, topic, config, &mut rng);
@@ -87,7 +89,12 @@ pub fn generate_galaxy_corpus(config: &GalaxyCorpusConfig) -> (Vec<Workflow>, Co
                 mutate_round(&mut wf, &mut rng);
             }
             rename_labels(&mut wf, 0.2, &mut rng);
-            meta.insert(WorkflowMeta { id, topic: topic_idx, family, depth });
+            meta.insert(WorkflowMeta {
+                id,
+                topic: topic_idx,
+                family,
+                depth,
+            });
             corpus.push(wf);
         }
         family += 1;
@@ -208,7 +215,10 @@ mod tests {
             .flat_map(|w| &w.modules)
             .filter(|m| m.module_type == ModuleType::GalaxyTool)
             .count();
-        assert!(tools * 2 > total, "tools {tools} should dominate {total} modules");
+        assert!(
+            tools * 2 > total,
+            "tools {tools} should dominate {total} modules"
+        );
     }
 
     #[test]

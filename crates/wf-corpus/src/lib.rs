@@ -4,7 +4,7 @@
 //! reproduction: a myExperiment dump of 1483 Taverna workflows and 139
 //! Galaxy workflows, plus 2424 similarity ratings contributed by 15 human
 //! experts.  This crate substitutes synthetic equivalents that preserve the
-//! properties the algorithms are sensitive to (see DESIGN.md §3):
+//! properties the algorithms are sensitive to:
 //!
 //! * [`vocab`] — a bioinformatics-flavoured vocabulary of topics, services,
 //!   module specifications, title/description templates and tags.

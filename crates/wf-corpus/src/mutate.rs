@@ -81,7 +81,9 @@ pub fn insert_shim(wf: &mut Workflow, rng: &mut impl Rng) {
     if wf.links.is_empty() {
         return;
     }
-    let spec = SHIM_MODULES.choose(rng).expect("shim catalogue is not empty");
+    let spec = SHIM_MODULES
+        .choose(rng)
+        .expect("shim catalogue is not empty");
     let new_id = ModuleId(wf.modules.len() as u32);
     let mut label = format!("{}_{}", spec.label, new_id.0);
     while wf.modules.iter().any(|m| m.label == label) {
@@ -219,7 +221,9 @@ mod tests {
             .module("get_pathway", ModuleType::WsdlService, |m| {
                 m.service("kegg.jp", "get_pathway", "http://kegg.jp/ws")
             })
-            .module("extract_genes", ModuleType::BeanshellScript, |m| m.script("x"))
+            .module("extract_genes", ModuleType::BeanshellScript, |m| {
+                m.script("x")
+            })
             .module("colour_pathway", ModuleType::WsdlService, |m| {
                 m.service("kegg.jp", "color_pathway", "http://kegg.jp/ws")
             })

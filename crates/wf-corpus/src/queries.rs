@@ -121,8 +121,14 @@ mod tests {
     #[test]
     fn query_selection_is_deterministic_per_seed() {
         let meta = meta();
-        assert_eq!(select_queries(&meta, 5, 2, 9), select_queries(&meta, 5, 2, 9));
-        assert_ne!(select_queries(&meta, 5, 2, 9), select_queries(&meta, 5, 2, 10));
+        assert_eq!(
+            select_queries(&meta, 5, 2, 9),
+            select_queries(&meta, 5, 2, 9)
+        );
+        assert_ne!(
+            select_queries(&meta, 5, 2, 9),
+            select_queries(&meta, 5, 2, 10)
+        );
     }
 
     #[test]

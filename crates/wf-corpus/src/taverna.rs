@@ -6,7 +6,7 @@
 //! services under author-specific labels.  [`generate_taverna_corpus`]
 //! produces a synthetic corpus with those properties, organised into
 //! functional families so that a latent ground truth exists for the
-//! simulated expert panel (see DESIGN.md §3 for the substitution argument).
+//! simulated expert panel (substituting for the paper's human panel).
 
 use rand::rngs::StdRng;
 use rand::seq::SliceRandom;
@@ -112,7 +112,11 @@ fn build_seed_workflow(id: &WorkflowId, topic: &Topic, rng: &mut StdRng) -> Work
     let mut modules: Vec<Module> = Vec::new();
     let mut links: Vec<Datalink> = Vec::new();
     for (i, spec) in specs.iter().enumerate() {
-        let mut module = Module::new(ModuleId(modules.len() as u32), spec.label, spec.module_type.clone());
+        let mut module = Module::new(
+            ModuleId(modules.len() as u32),
+            spec.label,
+            spec.module_type.clone(),
+        );
         if let Some((authority, name, uri)) = spec.service {
             module.service_authority = Some(authority.to_string());
             module.service_name = Some(name.to_string());
@@ -143,7 +147,11 @@ fn build_seed_workflow(id: &WorkflowId, topic: &Topic, rng: &mut StdRng) -> Work
         }
         let spec = SHIM_MODULES.choose(rng).expect("non-empty");
         let new_id = ModuleId(modules.len() as u32);
-        let mut module = Module::new(new_id, format!("{}_{}", spec.label, new_id.0), spec.module_type.clone());
+        let mut module = Module::new(
+            new_id,
+            format!("{}_{}", spec.label, new_id.0),
+            spec.module_type.clone(),
+        );
         if let Some(body) = spec.script {
             module.script = Some(body.to_string());
         }
@@ -232,7 +240,10 @@ mod tests {
             "untagged fraction {} should be near the paper's 0.15",
             stats.untagged_fraction
         );
-        assert!(stats.undescribed_fraction < 0.2, "most workflows carry descriptions");
+        assert!(
+            stats.undescribed_fraction < 0.2,
+            "most workflows carry descriptions"
+        );
     }
 
     #[test]
@@ -247,7 +258,7 @@ mod tests {
         }
         // At least one family has more than one member.
         let any_family = meta.get(&corpus[0].id).unwrap().family;
-        assert!(meta.family_members(any_family).len() >= 1);
+        assert!(!meta.family_members(any_family).is_empty());
         let multi = (0..meta.len()).any(|f| meta.family_members(f).len() >= 2);
         assert!(multi, "some family must contain variants");
     }

@@ -111,101 +111,321 @@ pub const TOPICS: &[Topic] = &[
         key: "pathway",
         title_words: &["kegg", "pathway", "analysis", "gene", "mapping"],
         description_words: &[
-            "retrieves", "kegg", "pathway", "maps", "genes", "identifiers", "entrez", "colours",
+            "retrieves",
+            "kegg",
+            "pathway",
+            "maps",
+            "genes",
+            "identifiers",
+            "entrez",
+            "colours",
             "diagram",
         ],
         tags: &["kegg", "pathway", "genes", "bioinformatics"],
         modules: &[
-            ModuleSpec::service("get_pathway_by_gene", ModuleType::WsdlService, "kegg.jp", "get_pathways_by_genes", "http://soap.genome.jp/KEGG.wsdl"),
-            ModuleSpec::service("get_genes_by_pathway", ModuleType::WsdlService, "kegg.jp", "get_genes_by_pathway", "http://soap.genome.jp/KEGG.wsdl"),
-            ModuleSpec::service("colour_pathway_by_objects", ModuleType::SoaplabService, "kegg.jp", "color_pathway_by_objects", "http://soap.genome.jp/KEGG.wsdl"),
-            ModuleSpec::service("lookup_entrez_gene", ModuleType::WsdlService, "ncbi.nlm.nih.gov", "efetch_gene", "http://eutils.ncbi.nlm.nih.gov/soap/eutils.wsdl"),
-            ModuleSpec::script("extract_gene_ids", ModuleType::BeanshellScript, "for (line : input) { ids.add(line.split(\"\\t\")[0]); }"),
-            ModuleSpec::script("filter_significant_genes", ModuleType::BeanshellScript, "if (pvalue < 0.05) keep(gene);"),
-            ModuleSpec::service("map_to_uniprot", ModuleType::BioMart, "ensembl.org", "uniprot_mapping", "http://www.biomart.org/biomart/martservice"),
+            ModuleSpec::service(
+                "get_pathway_by_gene",
+                ModuleType::WsdlService,
+                "kegg.jp",
+                "get_pathways_by_genes",
+                "http://soap.genome.jp/KEGG.wsdl",
+            ),
+            ModuleSpec::service(
+                "get_genes_by_pathway",
+                ModuleType::WsdlService,
+                "kegg.jp",
+                "get_genes_by_pathway",
+                "http://soap.genome.jp/KEGG.wsdl",
+            ),
+            ModuleSpec::service(
+                "colour_pathway_by_objects",
+                ModuleType::SoaplabService,
+                "kegg.jp",
+                "color_pathway_by_objects",
+                "http://soap.genome.jp/KEGG.wsdl",
+            ),
+            ModuleSpec::service(
+                "lookup_entrez_gene",
+                ModuleType::WsdlService,
+                "ncbi.nlm.nih.gov",
+                "efetch_gene",
+                "http://eutils.ncbi.nlm.nih.gov/soap/eutils.wsdl",
+            ),
+            ModuleSpec::script(
+                "extract_gene_ids",
+                ModuleType::BeanshellScript,
+                "for (line : input) { ids.add(line.split(\"\\t\")[0]); }",
+            ),
+            ModuleSpec::script(
+                "filter_significant_genes",
+                ModuleType::BeanshellScript,
+                "if (pvalue < 0.05) keep(gene);",
+            ),
+            ModuleSpec::service(
+                "map_to_uniprot",
+                ModuleType::BioMart,
+                "ensembl.org",
+                "uniprot_mapping",
+                "http://www.biomart.org/biomart/martservice",
+            ),
         ],
     },
     Topic {
         key: "alignment",
         title_words: &["blast", "protein", "sequence", "search", "alignment"],
         description_words: &[
-            "runs", "blast", "against", "uniprot", "sequences", "alignment", "hits", "parses",
+            "runs",
+            "blast",
+            "against",
+            "uniprot",
+            "sequences",
+            "alignment",
+            "hits",
+            "parses",
             "report",
         ],
         tags: &["blast", "sequence", "alignment", "protein"],
         modules: &[
-            ModuleSpec::service("fetch_fasta_sequence", ModuleType::WsdlService, "ebi.ac.uk", "fetchData", "http://www.ebi.ac.uk/ws/services/Dbfetch.wsdl"),
-            ModuleSpec::service("run_ncbi_blast", ModuleType::SoaplabService, "ebi.ac.uk", "blastp", "http://www.ebi.ac.uk/ws/services/blast.wsdl"),
-            ModuleSpec::service("run_wu_blast", ModuleType::ArbitraryWsdl, "ebi.ac.uk", "wublast", "http://www.ebi.ac.uk/ws/services/wublast.wsdl"),
-            ModuleSpec::script("parse_blast_report", ModuleType::BeanshellScript, "hits = parse(report); return hits;"),
-            ModuleSpec::script("filter_hits_by_evalue", ModuleType::BeanshellScript, "if (evalue < 1e-10) keep(hit);"),
-            ModuleSpec::service("clustalw_alignment", ModuleType::SoaplabService, "ebi.ac.uk", "clustalw2", "http://www.ebi.ac.uk/ws/services/clustalw2.wsdl"),
-            ModuleSpec::service("fetch_uniprot_entry", ModuleType::RestService, "uniprot.org", "entry_lookup", "http://www.uniprot.org/uniprot"),
+            ModuleSpec::service(
+                "fetch_fasta_sequence",
+                ModuleType::WsdlService,
+                "ebi.ac.uk",
+                "fetchData",
+                "http://www.ebi.ac.uk/ws/services/Dbfetch.wsdl",
+            ),
+            ModuleSpec::service(
+                "run_ncbi_blast",
+                ModuleType::SoaplabService,
+                "ebi.ac.uk",
+                "blastp",
+                "http://www.ebi.ac.uk/ws/services/blast.wsdl",
+            ),
+            ModuleSpec::service(
+                "run_wu_blast",
+                ModuleType::ArbitraryWsdl,
+                "ebi.ac.uk",
+                "wublast",
+                "http://www.ebi.ac.uk/ws/services/wublast.wsdl",
+            ),
+            ModuleSpec::script(
+                "parse_blast_report",
+                ModuleType::BeanshellScript,
+                "hits = parse(report); return hits;",
+            ),
+            ModuleSpec::script(
+                "filter_hits_by_evalue",
+                ModuleType::BeanshellScript,
+                "if (evalue < 1e-10) keep(hit);",
+            ),
+            ModuleSpec::service(
+                "clustalw_alignment",
+                ModuleType::SoaplabService,
+                "ebi.ac.uk",
+                "clustalw2",
+                "http://www.ebi.ac.uk/ws/services/clustalw2.wsdl",
+            ),
+            ModuleSpec::service(
+                "fetch_uniprot_entry",
+                ModuleType::RestService,
+                "uniprot.org",
+                "entry_lookup",
+                "http://www.uniprot.org/uniprot",
+            ),
         ],
     },
     Topic {
         key: "expression",
-        title_words: &["microarray", "gene", "expression", "normalisation", "analysis"],
+        title_words: &[
+            "microarray",
+            "gene",
+            "expression",
+            "normalisation",
+            "analysis",
+        ],
         description_words: &[
-            "normalises", "microarray", "expression", "values", "differential", "genes",
-            "statistics", "probes",
+            "normalises",
+            "microarray",
+            "expression",
+            "values",
+            "differential",
+            "genes",
+            "statistics",
+            "probes",
         ],
         tags: &["microarray", "expression", "statistics"],
         modules: &[
-            ModuleSpec::service("fetch_arrayexpress_data", ModuleType::RestService, "ebi.ac.uk", "arrayexpress_query", "http://www.ebi.ac.uk/arrayexpress/xml/v2"),
-            ModuleSpec::script("normalise_expression_matrix", ModuleType::RShell, "library(limma); normalizeBetweenArrays(x)"),
-            ModuleSpec::script("compute_differential_expression", ModuleType::RShell, "fit <- lmFit(x, design); eBayes(fit)"),
+            ModuleSpec::service(
+                "fetch_arrayexpress_data",
+                ModuleType::RestService,
+                "ebi.ac.uk",
+                "arrayexpress_query",
+                "http://www.ebi.ac.uk/arrayexpress/xml/v2",
+            ),
+            ModuleSpec::script(
+                "normalise_expression_matrix",
+                ModuleType::RShell,
+                "library(limma); normalizeBetweenArrays(x)",
+            ),
+            ModuleSpec::script(
+                "compute_differential_expression",
+                ModuleType::RShell,
+                "fit <- lmFit(x, design); eBayes(fit)",
+            ),
             ModuleSpec::script("plot_heatmap", ModuleType::RShell, "heatmap(as.matrix(x))"),
-            ModuleSpec::service("annotate_probes", ModuleType::BioMart, "ensembl.org", "probe_annotation", "http://www.biomart.org/biomart/martservice"),
-            ModuleSpec::script("filter_low_variance_probes", ModuleType::BeanshellScript, "if (var(probe) > threshold) keep(probe);"),
+            ModuleSpec::service(
+                "annotate_probes",
+                ModuleType::BioMart,
+                "ensembl.org",
+                "probe_annotation",
+                "http://www.biomart.org/biomart/martservice",
+            ),
+            ModuleSpec::script(
+                "filter_low_variance_probes",
+                ModuleType::BeanshellScript,
+                "if (var(probe) > threshold) keep(probe);",
+            ),
         ],
     },
     Topic {
         key: "proteomics",
         title_words: &["protein", "structure", "domain", "interpro", "annotation"],
         description_words: &[
-            "annotates", "protein", "domains", "interpro", "structure", "features", "signal",
+            "annotates",
+            "protein",
+            "domains",
+            "interpro",
+            "structure",
+            "features",
+            "signal",
             "peptides",
         ],
         tags: &["protein", "interpro", "domains"],
         modules: &[
-            ModuleSpec::service("run_interproscan", ModuleType::SoaplabService, "ebi.ac.uk", "iprscan", "http://www.ebi.ac.uk/ws/services/iprscan.wsdl"),
-            ModuleSpec::service("fetch_pdb_structure", ModuleType::RestService, "rcsb.org", "pdb_download", "http://www.rcsb.org/pdb/rest"),
-            ModuleSpec::script("extract_domain_table", ModuleType::BeanshellScript, "domains = parseXml(result);"),
-            ModuleSpec::service("predict_signal_peptide", ModuleType::WsdlService, "cbs.dtu.dk", "signalp", "http://www.cbs.dtu.dk/ws/SignalP.wsdl"),
-            ModuleSpec::script("merge_annotation_tables", ModuleType::BeanshellScript, "merged = join(a, b, key);"),
+            ModuleSpec::service(
+                "run_interproscan",
+                ModuleType::SoaplabService,
+                "ebi.ac.uk",
+                "iprscan",
+                "http://www.ebi.ac.uk/ws/services/iprscan.wsdl",
+            ),
+            ModuleSpec::service(
+                "fetch_pdb_structure",
+                ModuleType::RestService,
+                "rcsb.org",
+                "pdb_download",
+                "http://www.rcsb.org/pdb/rest",
+            ),
+            ModuleSpec::script(
+                "extract_domain_table",
+                ModuleType::BeanshellScript,
+                "domains = parseXml(result);",
+            ),
+            ModuleSpec::service(
+                "predict_signal_peptide",
+                ModuleType::WsdlService,
+                "cbs.dtu.dk",
+                "signalp",
+                "http://www.cbs.dtu.dk/ws/SignalP.wsdl",
+            ),
+            ModuleSpec::script(
+                "merge_annotation_tables",
+                ModuleType::BeanshellScript,
+                "merged = join(a, b, key);",
+            ),
         ],
     },
     Topic {
         key: "phylogeny",
         title_words: &["phylogenetic", "tree", "multiple", "alignment", "species"],
         description_words: &[
-            "builds", "phylogenetic", "tree", "aligned", "sequences", "bootstrap", "species",
+            "builds",
+            "phylogenetic",
+            "tree",
+            "aligned",
+            "sequences",
+            "bootstrap",
+            "species",
             "newick",
         ],
         tags: &["phylogeny", "tree", "evolution"],
         modules: &[
-            ModuleSpec::service("run_muscle_alignment", ModuleType::SoaplabService, "ebi.ac.uk", "muscle", "http://www.ebi.ac.uk/ws/services/muscle.wsdl"),
-            ModuleSpec::script("build_neighbour_joining_tree", ModuleType::RShell, "nj(dist.dna(alignment))"),
-            ModuleSpec::script("bootstrap_tree", ModuleType::RShell, "boot.phylo(tree, alignment, FUN)"),
-            ModuleSpec::service("fetch_taxonomy_lineage", ModuleType::WsdlService, "ncbi.nlm.nih.gov", "taxonomy_lookup", "http://eutils.ncbi.nlm.nih.gov/soap/eutils.wsdl"),
-            ModuleSpec::script("render_tree_image", ModuleType::BeanshellScript, "draw(tree, format=\"png\");"),
+            ModuleSpec::service(
+                "run_muscle_alignment",
+                ModuleType::SoaplabService,
+                "ebi.ac.uk",
+                "muscle",
+                "http://www.ebi.ac.uk/ws/services/muscle.wsdl",
+            ),
+            ModuleSpec::script(
+                "build_neighbour_joining_tree",
+                ModuleType::RShell,
+                "nj(dist.dna(alignment))",
+            ),
+            ModuleSpec::script(
+                "bootstrap_tree",
+                ModuleType::RShell,
+                "boot.phylo(tree, alignment, FUN)",
+            ),
+            ModuleSpec::service(
+                "fetch_taxonomy_lineage",
+                ModuleType::WsdlService,
+                "ncbi.nlm.nih.gov",
+                "taxonomy_lookup",
+                "http://eutils.ncbi.nlm.nih.gov/soap/eutils.wsdl",
+            ),
+            ModuleSpec::script(
+                "render_tree_image",
+                ModuleType::BeanshellScript,
+                "draw(tree, format=\"png\");",
+            ),
         ],
     },
     Topic {
         key: "literature",
         title_words: &["pubmed", "literature", "mining", "abstracts", "retrieval"],
         description_words: &[
-            "queries", "pubmed", "abstracts", "extracts", "terms", "entities", "counts",
+            "queries",
+            "pubmed",
+            "abstracts",
+            "extracts",
+            "terms",
+            "entities",
+            "counts",
             "citations",
         ],
         tags: &["pubmed", "text-mining", "literature"],
         modules: &[
-            ModuleSpec::service("search_pubmed", ModuleType::WsdlService, "ncbi.nlm.nih.gov", "esearch_pubmed", "http://eutils.ncbi.nlm.nih.gov/soap/eutils.wsdl"),
-            ModuleSpec::service("fetch_abstracts", ModuleType::WsdlService, "ncbi.nlm.nih.gov", "efetch_pubmed", "http://eutils.ncbi.nlm.nih.gov/soap/eutils.wsdl"),
-            ModuleSpec::script("extract_gene_mentions", ModuleType::BeanshellScript, "mentions = ner(abstract, \"gene\");"),
-            ModuleSpec::script("count_term_frequencies", ModuleType::BeanshellScript, "freq[term]++;"),
-            ModuleSpec::service("map_mesh_terms", ModuleType::RestService, "nlm.nih.gov", "mesh_lookup", "http://id.nlm.nih.gov/mesh"),
+            ModuleSpec::service(
+                "search_pubmed",
+                ModuleType::WsdlService,
+                "ncbi.nlm.nih.gov",
+                "esearch_pubmed",
+                "http://eutils.ncbi.nlm.nih.gov/soap/eutils.wsdl",
+            ),
+            ModuleSpec::service(
+                "fetch_abstracts",
+                ModuleType::WsdlService,
+                "ncbi.nlm.nih.gov",
+                "efetch_pubmed",
+                "http://eutils.ncbi.nlm.nih.gov/soap/eutils.wsdl",
+            ),
+            ModuleSpec::script(
+                "extract_gene_mentions",
+                ModuleType::BeanshellScript,
+                "mentions = ner(abstract, \"gene\");",
+            ),
+            ModuleSpec::script(
+                "count_term_frequencies",
+                ModuleType::BeanshellScript,
+                "freq[term]++;",
+            ),
+            ModuleSpec::service(
+                "map_mesh_terms",
+                ModuleType::RestService,
+                "nlm.nih.gov",
+                "mesh_lookup",
+                "http://id.nlm.nih.gov/mesh",
+            ),
         ],
     },
 ];
@@ -220,25 +440,98 @@ pub const GALAXY_TOPICS: &[Topic] = &[
         description_words: &["maps", "reads", "reference", "calls", "variants"],
         tags: &["ngs", "mapping"],
         modules: &[
-            ModuleSpec::service("fastqc_quality", ModuleType::GalaxyTool, "galaxy", "toolshed.fastqc/0.72", "fastqc"),
-            ModuleSpec::service("trimmomatic_trim", ModuleType::GalaxyTool, "galaxy", "toolshed.trimmomatic/0.38", "trimmomatic"),
-            ModuleSpec::service("bwa_mem_map", ModuleType::GalaxyTool, "galaxy", "toolshed.bwa_mem/0.7.17", "bwa_mem"),
-            ModuleSpec::service("samtools_sort", ModuleType::GalaxyTool, "galaxy", "toolshed.samtools_sort/1.9", "samtools_sort"),
-            ModuleSpec::service("freebayes_call", ModuleType::GalaxyTool, "galaxy", "toolshed.freebayes/1.3", "freebayes"),
-            ModuleSpec::service("vcf_filter", ModuleType::GalaxyTool, "galaxy", "toolshed.vcffilter/1.0", "vcffilter"),
+            ModuleSpec::service(
+                "fastqc_quality",
+                ModuleType::GalaxyTool,
+                "galaxy",
+                "toolshed.fastqc/0.72",
+                "fastqc",
+            ),
+            ModuleSpec::service(
+                "trimmomatic_trim",
+                ModuleType::GalaxyTool,
+                "galaxy",
+                "toolshed.trimmomatic/0.38",
+                "trimmomatic",
+            ),
+            ModuleSpec::service(
+                "bwa_mem_map",
+                ModuleType::GalaxyTool,
+                "galaxy",
+                "toolshed.bwa_mem/0.7.17",
+                "bwa_mem",
+            ),
+            ModuleSpec::service(
+                "samtools_sort",
+                ModuleType::GalaxyTool,
+                "galaxy",
+                "toolshed.samtools_sort/1.9",
+                "samtools_sort",
+            ),
+            ModuleSpec::service(
+                "freebayes_call",
+                ModuleType::GalaxyTool,
+                "galaxy",
+                "toolshed.freebayes/1.3",
+                "freebayes",
+            ),
+            ModuleSpec::service(
+                "vcf_filter",
+                ModuleType::GalaxyTool,
+                "galaxy",
+                "toolshed.vcffilter/1.0",
+                "vcffilter",
+            ),
         ],
     },
     Topic {
         key: "rna_seq",
         title_words: &["rna", "seq", "differential", "expression", "counts"],
-        description_words: &["aligns", "rna", "reads", "counts", "differential", "expression"],
+        description_words: &[
+            "aligns",
+            "rna",
+            "reads",
+            "counts",
+            "differential",
+            "expression",
+        ],
         tags: &["rna-seq", "expression"],
         modules: &[
-            ModuleSpec::service("hisat2_align", ModuleType::GalaxyTool, "galaxy", "toolshed.hisat2/2.1", "hisat2"),
-            ModuleSpec::service("featurecounts_count", ModuleType::GalaxyTool, "galaxy", "toolshed.featurecounts/1.6", "featurecounts"),
-            ModuleSpec::service("deseq2_differential", ModuleType::GalaxyTool, "galaxy", "toolshed.deseq2/2.11", "deseq2"),
-            ModuleSpec::service("volcano_plot", ModuleType::GalaxyTool, "galaxy", "toolshed.volcanoplot/0.0.3", "volcanoplot"),
-            ModuleSpec::service("multiqc_report", ModuleType::GalaxyTool, "galaxy", "toolshed.multiqc/1.7", "multiqc"),
+            ModuleSpec::service(
+                "hisat2_align",
+                ModuleType::GalaxyTool,
+                "galaxy",
+                "toolshed.hisat2/2.1",
+                "hisat2",
+            ),
+            ModuleSpec::service(
+                "featurecounts_count",
+                ModuleType::GalaxyTool,
+                "galaxy",
+                "toolshed.featurecounts/1.6",
+                "featurecounts",
+            ),
+            ModuleSpec::service(
+                "deseq2_differential",
+                ModuleType::GalaxyTool,
+                "galaxy",
+                "toolshed.deseq2/2.11",
+                "deseq2",
+            ),
+            ModuleSpec::service(
+                "volcano_plot",
+                ModuleType::GalaxyTool,
+                "galaxy",
+                "toolshed.volcanoplot/0.0.3",
+                "volcanoplot",
+            ),
+            ModuleSpec::service(
+                "multiqc_report",
+                ModuleType::GalaxyTool,
+                "galaxy",
+                "toolshed.multiqc/1.7",
+                "multiqc",
+            ),
         ],
     },
     Topic {
@@ -247,10 +540,34 @@ pub const GALAXY_TOPICS: &[Topic] = &[
         description_words: &["classifies", "reads", "taxa", "abundance", "community"],
         tags: &["metagenomics"],
         modules: &[
-            ModuleSpec::service("qiime_demux", ModuleType::GalaxyTool, "galaxy", "toolshed.qiime_demux/2019.4", "qiime_demux"),
-            ModuleSpec::service("dada2_denoise", ModuleType::GalaxyTool, "galaxy", "toolshed.dada2/1.10", "dada2"),
-            ModuleSpec::service("kraken2_classify", ModuleType::GalaxyTool, "galaxy", "toolshed.kraken2/2.0", "kraken2"),
-            ModuleSpec::service("krona_plot", ModuleType::GalaxyTool, "galaxy", "toolshed.krona/2.7", "krona"),
+            ModuleSpec::service(
+                "qiime_demux",
+                ModuleType::GalaxyTool,
+                "galaxy",
+                "toolshed.qiime_demux/2019.4",
+                "qiime_demux",
+            ),
+            ModuleSpec::service(
+                "dada2_denoise",
+                ModuleType::GalaxyTool,
+                "galaxy",
+                "toolshed.dada2/1.10",
+                "dada2",
+            ),
+            ModuleSpec::service(
+                "kraken2_classify",
+                ModuleType::GalaxyTool,
+                "galaxy",
+                "toolshed.kraken2/2.0",
+                "kraken2",
+            ),
+            ModuleSpec::service(
+                "krona_plot",
+                ModuleType::GalaxyTool,
+                "galaxy",
+                "toolshed.krona/2.7",
+                "krona",
+            ),
         ],
     },
 ];

@@ -55,7 +55,10 @@ pub fn astar_ged(
     let mut heap = BinaryHeap::new();
     let initial = SearchState::initial(b.node_count());
     let h0 = initial.heuristic(a, b, costs);
-    heap.push(Entry { f: h0, state: initial });
+    heap.push(Entry {
+        f: h0,
+        state: initial,
+    });
 
     let mut expansions = 0usize;
     while let Some(Entry { state, .. }) = heap.pop() {
@@ -69,7 +72,7 @@ pub fn astar_ged(
         if let Some(limit) = budget.time_limit {
             // Check the clock only every few hundred expansions to keep the
             // hot loop cheap.
-            if expansions % 256 == 0 && start.elapsed() > limit {
+            if expansions.is_multiple_of(256) && start.elapsed() > limit {
                 return None;
             }
         }
@@ -89,7 +92,9 @@ mod tests {
     use super::*;
 
     fn chain(labels: &[u32]) -> LabeledGraph {
-        let edges = (0..labels.len().saturating_sub(1)).map(|i| (i, i + 1)).collect();
+        let edges = (0..labels.len().saturating_sub(1))
+            .map(|i| (i, i + 1))
+            .collect();
         LabeledGraph::new(labels.to_vec(), edges)
     }
 
@@ -151,7 +156,10 @@ mod tests {
     fn budget_exhaustion_returns_none() {
         let a = chain(&[1, 2, 3, 4, 5, 6, 7, 8]);
         let b = chain(&[9, 10, 11, 12, 13, 14, 15, 16]);
-        let tight = GedBudget { max_expansions: 5, ..GedBudget::default() };
+        let tight = GedBudget {
+            max_expansions: 5,
+            ..GedBudget::default()
+        };
         assert_eq!(astar_ged(&a, &b, &GedCosts::uniform(), &tight), None);
     }
 

@@ -44,7 +44,9 @@ mod tests {
     use crate::budget::GedBudget;
 
     fn chain(labels: &[u32]) -> LabeledGraph {
-        let edges = (0..labels.len().saturating_sub(1)).map(|i| (i, i + 1)).collect();
+        let edges = (0..labels.len().saturating_sub(1))
+            .map(|i| (i, i + 1))
+            .collect();
         LabeledGraph::new(labels.to_vec(), edges)
     }
 
@@ -101,7 +103,10 @@ mod tests {
 
     #[test]
     fn wider_beams_never_hurt() {
-        let a = LabeledGraph::new(vec![1, 2, 3, 4, 5], vec![(0, 1), (1, 2), (2, 3), (3, 4), (0, 4)]);
+        let a = LabeledGraph::new(
+            vec![1, 2, 3, 4, 5],
+            vec![(0, 1), (1, 2), (2, 3), (3, 4), (0, 4)],
+        );
         let b = LabeledGraph::new(vec![5, 4, 3, 2, 1], vec![(0, 1), (1, 2), (2, 3), (3, 4)]);
         let costs = GedCosts::uniform();
         let narrow = beam_ged(&a, &b, &costs, 1);

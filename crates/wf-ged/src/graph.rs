@@ -23,10 +23,7 @@ impl LabeledGraph {
     /// collapsed.
     pub fn new(labels: Vec<u32>, edges: Vec<(usize, usize)>) -> Self {
         let n = labels.len();
-        let edges = edges
-            .into_iter()
-            .filter(|&(u, v)| u < n && v < n)
-            .collect();
+        let edges = edges.into_iter().filter(|&(u, v)| u < n && v < n).collect();
         LabeledGraph { labels, edges }
     }
 

@@ -170,7 +170,9 @@ mod tests {
     use super::*;
 
     fn chain(labels: &[u32]) -> LabeledGraph {
-        let edges = (0..labels.len().saturating_sub(1)).map(|i| (i, i + 1)).collect();
+        let edges = (0..labels.len().saturating_sub(1))
+            .map(|i| (i, i + 1))
+            .collect();
         LabeledGraph::new(labels.to_vec(), edges)
     }
 

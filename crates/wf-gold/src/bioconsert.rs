@@ -162,16 +162,16 @@ mod tests {
     #[test]
     fn empty_input_yields_empty_consensus() {
         assert!(bioconsert_consensus(&[], &BioConsertConfig::default()).is_empty());
-        assert!(
-            bioconsert_consensus(&[Ranking::new()], &BioConsertConfig::default()).is_empty()
-        );
+        assert!(bioconsert_consensus(&[Ranking::new()], &BioConsertConfig::default()).is_empty());
     }
 
     #[test]
     fn consensus_of_identical_rankings_is_that_ranking() {
         let r = strict(&["a", "b", "c"]);
-        let consensus =
-            bioconsert_consensus(&[r.clone(), r.clone(), r.clone()], &BioConsertConfig::default());
+        let consensus = bioconsert_consensus(
+            &[r.clone(), r.clone(), r.clone()],
+            &BioConsertConfig::default(),
+        );
         assert_eq!(consensus, r);
     }
 

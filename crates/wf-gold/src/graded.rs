@@ -6,7 +6,8 @@
 //! ratings directly (a *very similar* result at rank 1 is worth more than a
 //! *related* one), and average precision summarises a whole precision curve
 //! in a single number.  Both are standard IR metrics and complement the
-//! paper's Figures 10 and 11; EXPERIMENTS.md reports them as an extension.
+//! paper's Figures 10 and 11; the experiment binaries report them as an
+//! extension.
 
 use crate::likert::LikertRating;
 

@@ -58,21 +58,17 @@ impl RelevanceThreshold {
 /// be at least 1.
 pub fn precision_at_k<T>(results: &[T], mut is_relevant: impl FnMut(&T) -> bool, k: usize) -> f64 {
     assert!(k >= 1, "precision@k requires k >= 1");
-    let relevant = results
-        .iter()
-        .take(k)
-        .filter(|r| is_relevant(r))
-        .count();
+    let relevant = results.iter().take(k).filter(|r| is_relevant(r)).count();
     relevant as f64 / k as f64
 }
 
 /// The precision curve `P@1 … P@max_k` of one result list.
 pub fn precision_curve<T>(
     results: &[T],
-    mut is_relevant: impl FnMut(&T) -> bool,
+    is_relevant: impl FnMut(&T) -> bool,
     max_k: usize,
 ) -> Vec<f64> {
-    let flags: Vec<bool> = results.iter().map(|r| is_relevant(r)).collect();
+    let flags: Vec<bool> = results.iter().map(is_relevant).collect();
     let mut curve = Vec::with_capacity(max_k);
     let mut hits = 0usize;
     for k in 1..=max_k {

@@ -135,11 +135,12 @@ impl Ranking {
     /// an expert actually rated).
     pub fn restricted_to(&self, items: &[&str]) -> Ranking {
         let keep: std::collections::BTreeSet<&str> = items.iter().copied().collect();
-        Ranking::from_buckets(
-            self.buckets
-                .iter()
-                .map(|b| b.iter().filter(|i| keep.contains(i.as_str())).cloned().collect::<Vec<_>>()),
-        )
+        Ranking::from_buckets(self.buckets.iter().map(|b| {
+            b.iter()
+                .filter(|i| keep.contains(i.as_str()))
+                .cloned()
+                .collect::<Vec<_>>()
+        }))
     }
 }
 
@@ -149,11 +150,7 @@ mod tests {
 
     #[test]
     fn from_buckets_drops_empties_and_duplicates() {
-        let r = Ranking::from_buckets(vec![
-            vec!["a", "b"],
-            vec![],
-            vec!["b", "c"],
-        ]);
+        let r = Ranking::from_buckets(vec![vec!["a", "b"], vec![], vec!["b", "c"]]);
         assert_eq!(r.buckets().len(), 2);
         assert_eq!(r.len(), 3);
         assert_eq!(r.position("b"), Some(0), "first occurrence wins");
@@ -162,10 +159,7 @@ mod tests {
 
     #[test]
     fn from_scores_orders_descending_and_groups_ties() {
-        let r = Ranking::from_scores(
-            vec![("a", 0.9), ("b", 0.5), ("c", 0.9), ("d", 0.1)],
-            0.0,
-        );
+        let r = Ranking::from_scores(vec![("a", 0.9), ("b", 0.5), ("c", 0.9), ("d", 0.1)], 0.0);
         assert_eq!(r.buckets().len(), 3);
         assert_eq!(r.buckets()[0], vec!["a", "c"]);
         assert_eq!(r.buckets()[1], vec!["b"]);

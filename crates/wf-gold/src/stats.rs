@@ -447,7 +447,10 @@ mod tests {
 
     #[test]
     fn paired_t_test_rejects_tiny_samples() {
-        assert_eq!(paired_t_test(&[1.0], &[2.0]).unwrap_err(), StatsError::TooFewPairs);
+        assert_eq!(
+            paired_t_test(&[1.0], &[2.0]).unwrap_err(),
+            StatsError::TooFewPairs
+        );
     }
 
     #[test]
@@ -476,7 +479,11 @@ mod tests {
         let a = [2.0, 4.0, 6.0, 8.0, 10.0];
         let b = [1.0, 2.0, 3.0, 4.0, 5.0];
         let test = paired_t_test(&a, &b).unwrap();
-        assert!((test.statistic - 4.2426).abs() < 1e-3, "t={}", test.statistic);
+        assert!(
+            (test.statistic - 4.2426).abs() < 1e-3,
+            "t={}",
+            test.statistic
+        );
         assert!((test.p_value - 0.0132).abs() < 1e-3, "p={}", test.p_value);
         assert!(test.significant_at_05());
         assert!(!test.significant_at(0.01));
@@ -537,7 +544,11 @@ mod tests {
 
     #[test]
     fn stats_error_messages_are_informative() {
-        let msg = StatsError::LengthMismatch { first: 3, second: 5 }.to_string();
+        let msg = StatsError::LengthMismatch {
+            first: 3,
+            second: 5,
+        }
+        .to_string();
         assert!(msg.contains('3') && msg.contains('5'));
         assert!(StatsError::TooFewPairs.to_string().contains("two"));
     }

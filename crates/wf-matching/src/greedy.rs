@@ -24,7 +24,11 @@ pub fn greedy_mapping(matrix: &SimilarityMatrix) -> Mapping {
         for j in 0..matrix.cols() {
             let w = matrix.get(i, j);
             if w > 0.0 {
-                cells.push(MappedPair { left: i, right: j, weight: w });
+                cells.push(MappedPair {
+                    left: i,
+                    right: j,
+                    weight: w,
+                });
             }
         }
     }
@@ -67,23 +71,21 @@ mod tests {
 
     #[test]
     fn picks_best_pairs_first() {
-        let m = SimilarityMatrix::from_rows(vec![
-            vec![0.9, 0.8],
-            vec![0.8, 0.1],
-        ]);
+        let m = SimilarityMatrix::from_rows(vec![vec![0.9, 0.8], vec![0.8, 0.1]]);
         let mapping = greedy_mapping(&m);
         assert_eq!(mapping.len(), 2);
-        assert_eq!(mapping.right_of(0), Some(0), "greedy grabs the 0.9 cell first");
+        assert_eq!(
+            mapping.right_of(0),
+            Some(0),
+            "greedy grabs the 0.9 cell first"
+        );
         assert_eq!(mapping.right_of(1), Some(1));
         assert!((mapping.total_weight() - 1.0).abs() < 1e-9);
     }
 
     #[test]
     fn is_one_to_one_on_rectangular_matrices() {
-        let m = SimilarityMatrix::from_rows(vec![
-            vec![0.5, 0.6, 0.7],
-            vec![0.5, 0.6, 0.7],
-        ]);
+        let m = SimilarityMatrix::from_rows(vec![vec![0.5, 0.6, 0.7], vec![0.5, 0.6, 0.7]]);
         let mapping = greedy_mapping(&m);
         assert_eq!(mapping.len(), 2);
         let mut rights: Vec<usize> = mapping.pairs.iter().map(|p| p.right).collect();
@@ -93,10 +95,7 @@ mod tests {
 
     #[test]
     fn tie_breaking_is_deterministic() {
-        let m = SimilarityMatrix::from_rows(vec![
-            vec![0.5, 0.5],
-            vec![0.5, 0.5],
-        ]);
+        let m = SimilarityMatrix::from_rows(vec![vec![0.5, 0.5], vec![0.5, 0.5]]);
         let a = greedy_mapping(&m);
         let b = greedy_mapping(&m);
         assert_eq!(a, b);

@@ -87,8 +87,7 @@ pub fn maximum_weight_mapping(matrix: &SimilarityMatrix) -> Mapping {
     }
 
     let mut pairs = Vec::new();
-    for j in 1..=n {
-        let i = p[j];
+    for (j, &i) in p.iter().enumerate().skip(1) {
         if i == 0 {
             continue;
         }
@@ -96,7 +95,11 @@ pub fn maximum_weight_mapping(matrix: &SimilarityMatrix) -> Mapping {
         if row < matrix.rows() && col < matrix.cols() {
             let w = matrix.get(row, col);
             if w > 0.0 {
-                pairs.push(MappedPair { left: row, right: col, weight: w });
+                pairs.push(MappedPair {
+                    left: row,
+                    right: col,
+                    weight: w,
+                });
             }
         }
     }
@@ -116,10 +119,7 @@ mod tests {
 
     #[test]
     fn beats_greedy_on_the_classic_counterexample() {
-        let m = SimilarityMatrix::from_rows(vec![
-            vec![0.9, 0.8],
-            vec![0.8, 0.1],
-        ]);
+        let m = SimilarityMatrix::from_rows(vec![vec![0.9, 0.8], vec![0.8, 0.1]]);
         let optimal = maximum_weight_mapping(&m);
         let greedy = greedy_mapping(&m);
         assert!((optimal.total_weight() - 1.6).abs() < 1e-9);
@@ -139,10 +139,8 @@ mod tests {
 
     #[test]
     fn rectangular_matrices_map_min_dimension_items() {
-        let m = SimilarityMatrix::from_rows(vec![
-            vec![0.2, 0.9, 0.3, 0.1],
-            vec![0.8, 0.9, 0.1, 0.2],
-        ]);
+        let m =
+            SimilarityMatrix::from_rows(vec![vec![0.2, 0.9, 0.3, 0.1], vec![0.8, 0.9, 0.1, 0.2]]);
         let mapping = maximum_weight_mapping(&m);
         assert_eq!(mapping.len(), 2);
         // Optimal: row0->col1 (0.9), row1->col0 (0.8) = 1.7.
@@ -156,10 +154,7 @@ mod tests {
 
     #[test]
     fn zero_weight_assignments_are_dropped() {
-        let m = SimilarityMatrix::from_rows(vec![
-            vec![1.0, 0.0],
-            vec![0.0, 0.0],
-        ]);
+        let m = SimilarityMatrix::from_rows(vec![vec![1.0, 0.0], vec![0.0, 0.0]]);
         let mapping = maximum_weight_mapping(&m);
         assert_eq!(mapping.len(), 1);
         assert_eq!(mapping.pairs[0].left, 0);
@@ -172,7 +167,9 @@ mod tests {
         // does not need the rand crate at this level.
         let mut state = 0x12345678u64;
         let mut next = || {
-            state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            state = state
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
             ((state >> 33) as f64) / (u32::MAX as f64)
         };
         for trial in 0..25 {
@@ -197,7 +194,12 @@ mod tests {
             vec![0.5, 0.6, 0.8],
         ]);
         let perms = [
-            [0, 1, 2], [0, 2, 1], [1, 0, 2], [1, 2, 0], [2, 0, 1], [2, 1, 0],
+            [0, 1, 2],
+            [0, 2, 1],
+            [1, 0, 2],
+            [1, 2, 0],
+            [2, 0, 1],
+            [2, 1, 0],
         ];
         let brute = perms
             .iter()

@@ -181,7 +181,11 @@ impl SimilarityMatrix {
     /// Writes a cell, clamping negative and NaN values to zero.
     #[inline]
     pub fn set(&mut self, row: usize, col: usize, value: f64) {
-        let v = if value.is_finite() && value > 0.0 { value } else { 0.0 };
+        let v = if value.is_finite() && value > 0.0 {
+            value
+        } else {
+            0.0
+        };
         self.values[row * self.cols + col] = v;
     }
 
@@ -203,8 +207,16 @@ mod tests {
     #[test]
     fn mapping_accessors() {
         let m = Mapping::new(vec![
-            MappedPair { left: 2, right: 0, weight: 0.5 },
-            MappedPair { left: 0, right: 1, weight: 1.0 },
+            MappedPair {
+                left: 2,
+                right: 0,
+                weight: 0.5,
+            },
+            MappedPair {
+                left: 0,
+                right: 1,
+                weight: 1.0,
+            },
         ]);
         assert_eq!(m.len(), 2);
         assert!(!m.is_empty());
@@ -222,8 +234,16 @@ mod tests {
     #[cfg(debug_assertions)]
     fn duplicate_left_index_is_rejected_in_debug() {
         let _ = Mapping::new(vec![
-            MappedPair { left: 0, right: 0, weight: 0.5 },
-            MappedPair { left: 0, right: 1, weight: 0.5 },
+            MappedPair {
+                left: 0,
+                right: 0,
+                weight: 0.5,
+            },
+            MappedPair {
+                left: 0,
+                right: 1,
+                weight: 0.5,
+            },
         ]);
     }
 
@@ -258,6 +278,9 @@ mod tests {
     fn strategy_display() {
         assert_eq!(MappingStrategy::Greedy.to_string(), "greedy");
         assert_eq!(MappingStrategy::MaximumWeight.to_string(), "mw");
-        assert_eq!(MappingStrategy::MaximumWeightNonCrossing.to_string(), "mwnc");
+        assert_eq!(
+            MappingStrategy::MaximumWeightNonCrossing.to_string(),
+            "mwnc"
+        );
     }
 }

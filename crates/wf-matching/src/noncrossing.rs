@@ -43,7 +43,11 @@ pub fn maximum_weight_noncrossing_mapping(matrix: &SimilarityMatrix) -> Mapping 
             let w = matrix.get(i - 1, j - 1);
             debug_assert!((dp[i - 1][j - 1] + w - here).abs() < 1e-12);
             if w > 0.0 {
-                pairs.push(MappedPair { left: i - 1, right: j - 1, weight: w });
+                pairs.push(MappedPair {
+                    left: i - 1,
+                    right: j - 1,
+                    weight: w,
+                });
             }
             i -= 1;
             j -= 1;
@@ -84,15 +88,15 @@ mod tests {
     #[test]
     fn crossing_pairs_are_forbidden() {
         // The optimal unrestricted matching would cross: (0,1) and (1,0).
-        let m = SimilarityMatrix::from_rows(vec![
-            vec![0.1, 0.9],
-            vec![0.9, 0.1],
-        ]);
+        let m = SimilarityMatrix::from_rows(vec![vec![0.1, 0.9], vec![0.9, 0.1]]);
         let nc = maximum_weight_noncrossing_mapping(&m);
         let unrestricted = maximum_weight_mapping(&m);
         assert!(is_noncrossing(&nc));
         assert!((unrestricted.total_weight() - 1.8).abs() < 1e-9);
-        assert!((nc.total_weight() - 0.9).abs() < 1e-9, "must pick only one of the crossing pairs");
+        assert!(
+            (nc.total_weight() - 0.9).abs() < 1e-9,
+            "must pick only one of the crossing pairs"
+        );
         assert_eq!(nc.len(), 1);
     }
 
@@ -102,7 +106,11 @@ mod tests {
         let labels_left = ["a", "b", "c"];
         let labels_right = ["a", "x", "b", "c"];
         let m = SimilarityMatrix::from_fn(3, 4, |i, j| {
-            if labels_left[i] == labels_right[j] { 1.0 } else { 0.0 }
+            if labels_left[i] == labels_right[j] {
+                1.0
+            } else {
+                0.0
+            }
         });
         let mapping = maximum_weight_noncrossing_mapping(&m);
         assert_eq!(mapping.len(), 3);
@@ -122,7 +130,9 @@ mod tests {
     fn never_exceeds_unrestricted_maximum() {
         let mut state = 0xdeadbeefu64;
         let mut next = || {
-            state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            state = state
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
             ((state >> 33) as f64) / (u32::MAX as f64)
         };
         for trial in 0..25 {

@@ -183,10 +183,13 @@ impl WorkflowBuilder {
             }
         }
         for (from, to) in std::mem::take(&mut self.unresolved_links) {
-            let from_id = *self
-                .label_index
-                .get(&from)
-                .ok_or_else(|| ValidationError::UnknownLabel { label: from.clone() })?;
+            let from_id =
+                *self
+                    .label_index
+                    .get(&from)
+                    .ok_or_else(|| ValidationError::UnknownLabel {
+                        label: from.clone(),
+                    })?;
             let to_id = *self
                 .label_index
                 .get(&to)
@@ -236,7 +239,10 @@ mod tests {
         assert_eq!(wf.annotations.tags, vec!["kegg", "pathway"]);
         let m = wf.module_by_label("get_pathway").unwrap();
         assert_eq!(m.service_authority.as_deref(), Some("kegg.jp"));
-        assert_eq!(m.parameters.get("organism").map(String::as_str), Some("hsa"));
+        assert_eq!(
+            m.parameters.get("organism").map(String::as_str),
+            Some("hsa")
+        );
     }
 
     #[test]

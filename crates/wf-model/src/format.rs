@@ -255,10 +255,12 @@ pub fn from_wfl(text: &str) -> Result<Workflow, FormatError> {
             }
             "link" => {
                 builder = flush(builder, &mut pending);
-                let (from, to) = rest.split_once("->").ok_or_else(|| FormatError::Malformed {
-                    line: lineno + 1,
-                    content: line.to_string(),
-                })?;
+                let (from, to) = rest
+                    .split_once("->")
+                    .ok_or_else(|| FormatError::Malformed {
+                        line: lineno + 1,
+                        content: line.to_string(),
+                    })?;
                 links.push((from.trim().to_string(), to.trim().to_string()));
             }
             _ => {
@@ -333,7 +335,10 @@ mod tests {
     #[test]
     fn attribute_outside_module_is_rejected() {
         let err = from_wfl("workflow w\n  authority kegg.jp\n").unwrap_err();
-        assert!(matches!(err, FormatError::AttributeOutsideModule { line: 2 }));
+        assert!(matches!(
+            err,
+            FormatError::AttributeOutsideModule { line: 2 }
+        ));
     }
 
     #[test]

@@ -126,9 +126,8 @@ impl WorkflowGraph {
         let mut indegree: Vec<usize> = (0..self.node_count)
             .map(|v| self.predecessors[v].len())
             .collect();
-        let mut queue: VecDeque<usize> = (0..self.node_count)
-            .filter(|&v| indegree[v] == 0)
-            .collect();
+        let mut queue: VecDeque<usize> =
+            (0..self.node_count).filter(|&v| indegree[v] == 0).collect();
         let mut order = Vec::with_capacity(self.node_count);
         while let Some(v) = queue.pop_front() {
             order.push(ModuleId(v as u32));
@@ -184,18 +183,21 @@ impl WorkflowGraph {
                 for &s in &self.successors[vi] {
                     let si = s.index();
                     reach[vi][si] = true;
-                    // row-or: reach[vi] |= reach[si]
-                    for t in 0..n {
-                        if reach[si][t] {
-                            reach[vi][t] = true;
-                        }
+                    // row-or: reach[vi] |= reach[si].  The two rows are
+                    // distinct (a DAG has no self-loops), so take the source
+                    // row out, merge, and put it back to satisfy the borrow
+                    // checker without cloning.
+                    let src_row = std::mem::take(&mut reach[si]);
+                    for (dst, &src) in reach[vi].iter_mut().zip(&src_row) {
+                        *dst |= src;
                     }
+                    reach[si] = src_row;
                 }
             }
         } else {
-            for v in 0..n {
+            for (v, row) in reach.iter_mut().enumerate() {
                 for r in self.reachable_from(ModuleId(v as u32)) {
-                    reach[v][r.index()] = true;
+                    row[r.index()] = true;
                 }
             }
         }
@@ -274,9 +276,7 @@ impl WorkflowGraph {
         for (u, succs) in self.successors.iter().enumerate() {
             for &v in succs {
                 // Keep u->v unless some other successor w of u reaches v.
-                let redundant = succs.iter().any(|&w| {
-                    w != v && reach[w.index()][v.index()]
-                });
+                let redundant = succs.iter().any(|&w| w != v && reach[w.index()][v.index()]);
                 if !redundant {
                     reduced.push((ModuleId(u as u32), v));
                 }
@@ -407,7 +407,8 @@ mod tests {
     #[test]
     fn cycle_is_detected() {
         let mut wf = diamond();
-        wf.links.push(crate::datalink::Datalink::new(ModuleId(3), ModuleId(0)));
+        wf.links
+            .push(crate::datalink::Datalink::new(ModuleId(3), ModuleId(0)));
         let g = wf.graph();
         assert!(!g.is_acyclic());
         assert!(g.topological_order().is_none());

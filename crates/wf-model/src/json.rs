@@ -79,7 +79,11 @@ mod tests {
             .title("Get Pathway-Genes by Entrez gene id")
             .tag("entrez")
             .module("lookup_gene", ModuleType::WsdlService, |m| {
-                m.service("ncbi.nlm.nih.gov", "efetch", "http://ncbi.nlm.nih.gov/entrez")
+                m.service(
+                    "ncbi.nlm.nih.gov",
+                    "efetch",
+                    "http://ncbi.nlm.nih.gov/entrez",
+                )
             })
             .module("extract_pathways", ModuleType::BeanshellScript, |m| {
                 m.script("return pathways;")

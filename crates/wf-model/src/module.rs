@@ -227,20 +227,14 @@ impl Module {
         match key {
             AttributeKey::Label => Some(AttributeValue::Text(&self.label)),
             AttributeKey::Type => Some(AttributeValue::Symbol(self.module_type.as_str())),
-            AttributeKey::Description => {
-                self.description.as_deref().map(AttributeValue::Text)
-            }
+            AttributeKey::Description => self.description.as_deref().map(AttributeValue::Text),
             AttributeKey::Script => self.script.as_deref().map(AttributeValue::Text),
             AttributeKey::ServiceAuthority => self
                 .service_authority
                 .as_deref()
                 .map(AttributeValue::Symbol),
-            AttributeKey::ServiceName => {
-                self.service_name.as_deref().map(AttributeValue::Symbol)
-            }
-            AttributeKey::ServiceUri => {
-                self.service_uri.as_deref().map(AttributeValue::Symbol)
-            }
+            AttributeKey::ServiceName => self.service_name.as_deref().map(AttributeValue::Symbol),
+            AttributeKey::ServiceUri => self.service_uri.as_deref().map(AttributeValue::Symbol),
         }
     }
 

@@ -56,10 +56,11 @@ impl fmt::Display for ValidationError {
                 f,
                 "module at position {expected} carries id {found}; ids must be dense and in order"
             ),
-            ValidationError::DuplicateLabel { label, first, second } => write!(
-                f,
-                "label '{label}' is used by both {first} and {second}"
-            ),
+            ValidationError::DuplicateLabel {
+                label,
+                first,
+                second,
+            } => write!(f, "label '{label}' is used by both {first} and {second}"),
             ValidationError::DanglingLink { endpoint } => {
                 write!(f, "datalink references unknown module {endpoint}")
             }
@@ -139,8 +140,10 @@ mod tests {
 
     fn valid_workflow() -> Workflow {
         let mut wf = Workflow::new("ok");
-        wf.modules.push(Module::new(ModuleId(0), "a", ModuleType::WsdlService));
-        wf.modules.push(Module::new(ModuleId(1), "b", ModuleType::WsdlService));
+        wf.modules
+            .push(Module::new(ModuleId(0), "a", ModuleType::WsdlService));
+        wf.modules
+            .push(Module::new(ModuleId(1), "b", ModuleType::WsdlService));
         wf.links.push(Datalink::new(ModuleId(0), ModuleId(1)));
         wf
     }
@@ -183,7 +186,9 @@ mod tests {
         wf.links.push(Datalink::new(ModuleId(0), ModuleId(9)));
         assert_eq!(
             validate(&wf),
-            Err(ValidationError::DanglingLink { endpoint: ModuleId(9) })
+            Err(ValidationError::DanglingLink {
+                endpoint: ModuleId(9)
+            })
         );
     }
 
@@ -193,7 +198,9 @@ mod tests {
         wf.links.push(Datalink::new(ModuleId(1), ModuleId(1)));
         assert_eq!(
             validate(&wf),
-            Err(ValidationError::SelfLoop { module: ModuleId(1) })
+            Err(ValidationError::SelfLoop {
+                module: ModuleId(1)
+            })
         );
     }
 
@@ -206,7 +213,10 @@ mod tests {
 
     #[test]
     fn error_messages_are_informative() {
-        let msg = ValidationError::DanglingLink { endpoint: ModuleId(7) }.to_string();
+        let msg = ValidationError::DanglingLink {
+            endpoint: ModuleId(7),
+        }
+        .to_string();
         assert!(msg.contains("m7"));
         let msg = ValidationError::DuplicateLabel {
             label: "x".into(),

@@ -257,7 +257,10 @@ mod tests {
         assert_eq!(ann.title_and_description(), "KEGG pathway analysis");
 
         ann.description = Some("maps genes".into());
-        assert_eq!(ann.title_and_description(), "KEGG pathway analysis maps genes");
+        assert_eq!(
+            ann.title_and_description(),
+            "KEGG pathway analysis maps genes"
+        );
         assert!(!ann.is_empty());
 
         ann.tags.push("kegg".into());

@@ -62,7 +62,10 @@ impl ImportanceScorer {
     /// Creates a scorer with the given configuration and no usage
     /// statistics.
     pub fn new(config: ImportanceConfig) -> Self {
-        ImportanceScorer { config, usage: None }
+        ImportanceScorer {
+            config,
+            usage: None,
+        }
     }
 
     /// Creates a scorer that can use repository usage statistics.
@@ -175,8 +178,7 @@ mod tests {
             .unwrap();
         let repo = Repository::from_workflows(corpus.clone());
         let usage = UsageStatistics::from_repository(&repo);
-        let scorer =
-            ImportanceScorer::with_usage(ImportanceConfig::frequency_based(), usage);
+        let scorer = ImportanceScorer::with_usage(ImportanceConfig::frequency_based(), usage);
         let blast = corpus[2].module_by_label("blast").unwrap();
         let rare = corpus[2].module_by_label("rare_tool").unwrap();
         assert!(scorer.score(rare) > scorer.score(blast));

@@ -32,16 +32,10 @@ impl ItemSource {
     /// Extracts the item set of a single workflow.
     pub fn items(self, wf: &Workflow) -> BTreeSet<String> {
         match self {
-            ItemSource::ModuleSignatures => wf
-                .modules
-                .iter()
-                .map(UsageStatistics::signature)
-                .collect(),
-            ItemSource::ModuleLabels => wf
-                .modules
-                .iter()
-                .map(|m| m.label.to_lowercase())
-                .collect(),
+            ItemSource::ModuleSignatures => {
+                wf.modules.iter().map(UsageStatistics::signature).collect()
+            }
+            ItemSource::ModuleLabels => wf.modules.iter().map(|m| m.label.to_lowercase()).collect(),
             ItemSource::Tags => wf
                 .annotations
                 .tags
@@ -196,8 +190,7 @@ pub fn mine_repository(
     source: ItemSource,
     config: &MiningConfig,
 ) -> FrequentItemsets {
-    let transactions: Vec<BTreeSet<String>> =
-        repo.iter().map(|wf| source.items(wf)).collect();
+    let transactions: Vec<BTreeSet<String>> = repo.iter().map(|wf| source.items(wf)).collect();
     mine_transactions(&transactions, source, config)
 }
 
@@ -233,8 +226,7 @@ pub fn mine_transactions(
     let mut size = 1;
     while !current.is_empty() && size < config.max_size {
         size += 1;
-        let frequent_prev: BTreeSet<&[String]> =
-            current.iter().map(|s| s.as_slice()).collect();
+        let frequent_prev: BTreeSet<&[String]> = current.iter().map(|s| s.as_slice()).collect();
         let mut candidates: BTreeSet<Vec<String>> = BTreeSet::new();
         for (i, a) in current.iter().enumerate() {
             for b in current.iter().skip(i + 1) {
@@ -282,7 +274,11 @@ pub fn mine_transactions(
         current = next;
     }
 
-    result.sort_by(|a, b| b.support.cmp(&a.support).then_with(|| a.items.cmp(&b.items)));
+    result.sort_by(|a, b| {
+        b.support
+            .cmp(&a.support)
+            .then_with(|| a.items.cmp(&b.items))
+    });
     FrequentItemsets {
         source,
         itemsets: result,
@@ -410,7 +406,10 @@ mod tests {
             if size > config.max_size {
                 continue;
             }
-            let items: Vec<&String> = (0..n).filter(|i| mask & (1 << i) != 0).map(|i| &universe[i]).collect();
+            let items: Vec<&String> = (0..n)
+                .filter(|i| mask & (1 << i) != 0)
+                .map(|i| &universe[i])
+                .collect();
             let support = transactions
                 .iter()
                 .filter(|t| items.iter().all(|i| t.contains(*i)))

@@ -88,8 +88,8 @@ impl Repository {
     /// Applies a transformation to every workflow, producing a new
     /// repository (used to build an importance-projected copy of the corpus
     /// once, instead of projecting on every comparison).
-    pub fn map_workflows(&self, mut f: impl FnMut(&Workflow) -> Workflow) -> Repository {
-        Repository::from_workflows(self.workflows.iter().map(|w| f(w)))
+    pub fn map_workflows(&self, f: impl FnMut(&Workflow) -> Workflow) -> Repository {
+        Repository::from_workflows(self.workflows.iter().map(f))
     }
 }
 
@@ -137,7 +137,9 @@ mod tests {
 
     #[test]
     fn iteration_preserves_insertion_order() {
-        let repo: Repository = vec![wf("x", 1), wf("y", 2), wf("z", 3)].into_iter().collect();
+        let repo: Repository = vec![wf("x", 1), wf("y", 2), wf("z", 3)]
+            .into_iter()
+            .collect();
         let ids: Vec<&str> = repo.iter().map(|w| w.id.as_str()).collect();
         assert_eq!(ids, vec!["x", "y", "z"]);
     }
@@ -149,9 +151,8 @@ mod tests {
         assert_eq!(stats.workflows, 2);
         assert!((stats.mean_modules - 3.0).abs() < 1e-9);
 
-        let truncated = repo.map_workflows(|w| {
-            w.restrict_to(&w.module_ids().take(1).collect::<Vec<_>>(), &[])
-        });
+        let truncated =
+            repo.map_workflows(|w| w.restrict_to(&w.module_ids().take(1).collect::<Vec<_>>(), &[]));
         assert_eq!(truncated.stats().unwrap().mean_modules, 1.0);
         assert_eq!(truncated.len(), 2);
     }

@@ -68,7 +68,7 @@ where
     }
 
     /// Like [`SearchEngine::top_k`] but scoring workflows on several threads
-    /// (crossbeam scoped threads, so the similarity closure only needs to be
+    /// (std scoped threads, so the similarity closure only needs to be
     /// `Sync`, not `'static`).
     pub fn top_k_parallel(&self, query: &Workflow, k: usize) -> Vec<SearchHit> {
         let candidates: Vec<&Workflow> = self
@@ -82,11 +82,11 @@ where
         let threads = self.threads.min(candidates.len());
         let results: Mutex<Vec<SearchHit>> = Mutex::new(Vec::with_capacity(candidates.len()));
         let chunk_size = candidates.len().div_ceil(threads);
-        crossbeam::scope(|scope| {
+        std::thread::scope(|scope| {
             for chunk in candidates.chunks(chunk_size) {
                 let results = &results;
                 let similarity = &self.similarity;
-                scope.spawn(move |_| {
+                scope.spawn(move || {
                     let local: Vec<SearchHit> = chunk
                         .iter()
                         .map(|wf| SearchHit {
@@ -97,8 +97,7 @@ where
                     results.lock().extend(local);
                 });
             }
-        })
-        .expect("search worker thread panicked");
+        });
         let mut hits = results.into_inner();
         sort_and_truncate(&mut hits, k);
         hits
@@ -107,7 +106,11 @@ where
     /// Ranks an explicit candidate list (by id) against the query — the
     /// operation behind the first (ranking) experiment, where each query
     /// comes with 10 preselected candidates.  Unknown ids are skipped.
-    pub fn rank_candidates(&self, query: &Workflow, candidate_ids: &[WorkflowId]) -> Vec<SearchHit> {
+    pub fn rank_candidates(
+        &self,
+        query: &Workflow,
+        candidate_ids: &[WorkflowId],
+    ) -> Vec<SearchHit> {
         let mut hits: Vec<SearchHit> = candidate_ids
             .iter()
             .filter_map(|id| self.repository.get(id))

@@ -87,11 +87,23 @@ mod tests {
 
     #[test]
     fn scripts_and_locals_are_separate_classes() {
-        assert_eq!(TypeClass::of(&ModuleType::BeanshellScript), TypeClass::Script);
+        assert_eq!(
+            TypeClass::of(&ModuleType::BeanshellScript),
+            TypeClass::Script
+        );
         assert_eq!(TypeClass::of(&ModuleType::RShell), TypeClass::Script);
-        assert_eq!(TypeClass::of(&ModuleType::LocalOperation), TypeClass::LocalOperation);
-        assert_eq!(TypeClass::of(&ModuleType::StringConstant), TypeClass::LocalOperation);
-        assert_eq!(TypeClass::of(&ModuleType::InputPort), TypeClass::LocalOperation);
+        assert_eq!(
+            TypeClass::of(&ModuleType::LocalOperation),
+            TypeClass::LocalOperation
+        );
+        assert_eq!(
+            TypeClass::of(&ModuleType::StringConstant),
+            TypeClass::LocalOperation
+        );
+        assert_eq!(
+            TypeClass::of(&ModuleType::InputPort),
+            TypeClass::LocalOperation
+        );
         assert_ne!(
             TypeClass::of(&ModuleType::BeanshellScript),
             TypeClass::of(&ModuleType::LocalOperation)
@@ -100,7 +112,10 @@ mod tests {
 
     #[test]
     fn remaining_types_map_to_their_classes() {
-        assert_eq!(TypeClass::of(&ModuleType::SubWorkflow), TypeClass::SubWorkflow);
+        assert_eq!(
+            TypeClass::of(&ModuleType::SubWorkflow),
+            TypeClass::SubWorkflow
+        );
         assert_eq!(TypeClass::of(&ModuleType::GalaxyTool), TypeClass::Tool);
         assert_eq!(
             TypeClass::of(&ModuleType::Other("mystery".into())),

@@ -260,18 +260,22 @@ impl SimilarityConfig {
     /// pll, plm), preselection (ta, te) and preprocessing (np, ip).
     pub fn structural_sweep() -> Vec<SimilarityConfig> {
         let mut configs = Vec::new();
-        for measure in [MeasureKind::ModuleSets, MeasureKind::PathSets, MeasureKind::GraphEdit] {
+        for measure in [
+            MeasureKind::ModuleSets,
+            MeasureKind::PathSets,
+            MeasureKind::GraphEdit,
+        ] {
             for scheme in [
                 ModuleComparisonScheme::pw0(),
                 ModuleComparisonScheme::pw3(),
                 ModuleComparisonScheme::pll(),
                 ModuleComparisonScheme::plm(),
             ] {
-                for preselection in
-                    [PreselectionStrategy::AllPairs, PreselectionStrategy::TypeEquivalence]
-                {
-                    for preprocessing in
-                        [Preprocessing::None, Preprocessing::ImportanceProjection]
+                for preselection in [
+                    PreselectionStrategy::AllPairs,
+                    PreselectionStrategy::TypeEquivalence,
+                ] {
+                    for preprocessing in [Preprocessing::None, Preprocessing::ImportanceProjection]
                     {
                         configs.push(SimilarityConfig::new(
                             measure,
@@ -299,7 +303,10 @@ mod tests {
 
     #[test]
     fn names_follow_the_papers_notation() {
-        assert_eq!(SimilarityConfig::module_sets_default().name(), "MS_np_ta_pw0");
+        assert_eq!(
+            SimilarityConfig::module_sets_default().name(),
+            "MS_np_ta_pw0"
+        );
         assert_eq!(SimilarityConfig::best_module_sets().name(), "MS_ip_te_pll");
         assert_eq!(SimilarityConfig::best_path_sets().name(), "PS_ip_te_pll");
         assert_eq!(SimilarityConfig::bag_of_words().name(), "BW");

@@ -142,7 +142,10 @@ mod tests {
             WorkflowSimilarity::new(SimilarityConfig::module_sets_default()).similarity(&a, &b);
         let combined = ensemble.similarity(&a, &b);
         assert!((combined - (bw + ms) / 2.0).abs() < 1e-9);
-        assert!(combined < bw, "the structural member pulls the average down");
+        assert!(
+            combined < bw,
+            "the structural member pulls the average down"
+        );
     }
 
     #[test]
@@ -201,8 +204,16 @@ mod tests {
     fn identical_workflows_score_one_in_the_papers_best_ensembles() {
         let a = annotated("a", "kegg pathway analysis", "get_pathway");
         let b = annotated("b", "kegg pathway analysis", "get_pathway");
-        for ensemble in [Ensemble::bw_plus_module_sets(), Ensemble::bw_plus_path_sets()] {
-            assert_eq!(ensemble.similarity_opt(&a, &b), Some(1.0), "{}", ensemble.name());
+        for ensemble in [
+            Ensemble::bw_plus_module_sets(),
+            Ensemble::bw_plus_path_sets(),
+        ] {
+            assert_eq!(
+                ensemble.similarity_opt(&a, &b),
+                Some(1.0),
+                "{}",
+                ensemble.name()
+            );
         }
     }
 }

@@ -29,11 +29,7 @@ impl FrequentSetSimilarity {
     }
 
     /// Mines the repository and builds the measure in one step.
-    pub fn from_repository(
-        repo: &Repository,
-        source: ItemSource,
-        config: &MiningConfig,
-    ) -> Self {
+    pub fn from_repository(repo: &Repository, source: ItemSource, config: &MiningConfig) -> Self {
         FrequentSetSimilarity::new(mine_repository(repo, source, config))
     }
 
@@ -131,7 +127,10 @@ mod tests {
         let same_group = fms.similarity(w1, w2);
         let cross_group = fms.similarity(w1, w4);
         assert!(same_group > cross_group);
-        assert_eq!(cross_group, 0.0, "no shared frequent itemsets across groups");
+        assert_eq!(
+            cross_group, 0.0,
+            "no shared frequent itemsets across groups"
+        );
     }
 
     #[test]

@@ -3,7 +3,7 @@
 //! Friesen & Rüping \[17\] compare workflows with graph kernels derived from
 //! frequent subgraphs and find them to slightly outperform both bags of
 //! modules and MCS.  Mining frequent subgraphs requires their proprietary
-//! toolchain; as a substitution (documented in DESIGN.md §3) this module
+//! toolchain; as a substitution this module
 //! implements the Weisfeiler–Lehman subtree kernel, the standard efficient
 //! graph kernel that likewise measures the overlap of local substructures:
 //! after `h` rounds of neighbourhood label refinement, the kernel value is
@@ -190,8 +190,15 @@ mod tests {
     fn identical_workflows_score_one() {
         let a = chain("a", &["fetch", "blast", "render"]);
         let b = chain("b", &["fetch", "blast", "render"]);
-        for kernel in [WlKernelSimilarity::default(), WlKernelSimilarity::label_based()] {
-            assert!((kernel.similarity(&a, &b) - 1.0).abs() < 1e-9, "{}", kernel.name());
+        for kernel in [
+            WlKernelSimilarity::default(),
+            WlKernelSimilarity::label_based(),
+        ] {
+            assert!(
+                (kernel.similarity(&a, &b) - 1.0).abs() < 1e-9,
+                "{}",
+                kernel.name()
+            );
         }
     }
 
@@ -243,7 +250,10 @@ mod tests {
         });
         let s_shallow = shallow.similarity(&chain_wf, &fan);
         let s_deep = deep.similarity(&chain_wf, &fan);
-        assert!((s_shallow - 1.0).abs() < 1e-9, "iteration 0 sees only label counts");
+        assert!(
+            (s_shallow - 1.0).abs() < 1e-9,
+            "iteration 0 sees only label counts"
+        );
         assert!(s_deep < s_shallow);
     }
 

@@ -115,7 +115,10 @@ mod tests {
         let a = chain("a", &["Fetch", "Blast", "Render"]);
         let b = chain("b", &["fetch", "blast", "render"]);
         let lv = LabelVectorSimilarity::new();
-        assert!((lv.similarity(&a, &b) - 1.0).abs() < 1e-9, "case-insensitive");
+        assert!(
+            (lv.similarity(&a, &b) - 1.0).abs() < 1e-9,
+            "case-insensitive"
+        );
     }
 
     #[test]

@@ -158,12 +158,12 @@ impl McsSimilarity {
             .collect();
         let edges = edges_a
             .iter()
-            .filter(|(u, v)| {
-                match (left_to_right.get(u), left_to_right.get(v)) {
+            .filter(
+                |(u, v)| match (left_to_right.get(u), left_to_right.get(v)) {
                     (Some(mu), Some(mv)) => edges_b.contains(&(*mu, *mv)),
                     _ => false,
-                }
-            })
+                },
+            )
             .count();
         CommonSubgraph {
             nodes: common.len(),

@@ -11,8 +11,7 @@
 //! * [`mcs`] — maximum common subgraph similarity, the substructure approach
 //!   of \[33\], Goderis et al. \[18\] and Friesen & Rüping \[17\].
 //! * [`graph_kernel`] — a Weisfeiler–Lehman subtree graph kernel standing in
-//!   for the frequent-subgraph graph kernels of \[17\] (see DESIGN.md §3 for
-//!   the substitution argument).
+//!   for the frequent-subgraph graph kernels of \[17\].
 //! * [`frequent_sets`] — frequent module / tag set similarity following
 //!   Stoyanovich et al. \[36\], built on the repository-level mining in
 //!   [`wf_repo::mining`].
@@ -153,7 +152,9 @@ mod tests {
     #[test]
     fn boxed_measures_are_usable_as_trait_objects() {
         let measures: Vec<Box<dyn Measure>> = vec![
-            Box::new(WorkflowSimilarity::new(SimilarityConfig::module_sets_default())),
+            Box::new(WorkflowSimilarity::new(
+                SimilarityConfig::module_sets_default(),
+            )),
             Box::new(LabelVectorSimilarity::new()),
             Box::new(McsSimilarity::default()),
             Box::new(WlKernelSimilarity::default()),

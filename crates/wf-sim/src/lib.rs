@@ -49,7 +49,7 @@ pub mod pipeline;
 pub mod prior_work;
 pub mod stacking;
 
-pub use annotation::{bag_of_words_similarity, bag_of_tags_similarity};
+pub use annotation::{bag_of_tags_similarity, bag_of_words_similarity};
 pub use config::{MeasureKind, Normalization, Preprocessing, SimilarityConfig};
 pub use ensemble::Ensemble;
 pub use extended::{

@@ -81,7 +81,9 @@ mod tests {
             .module("run_blast", ModuleType::WsdlService, |m| {
                 m.service("ebi.ac.uk", "blastp", "http://ebi.ac.uk/blast")
             })
-            .module(render_label, ModuleType::BeanshellScript, |m| m.script("plot(hits)"))
+            .module(render_label, ModuleType::BeanshellScript, |m| {
+                m.script("plot(hits)")
+            })
             .link("fetch_sequence", "run_blast")
             .link("run_blast", render_label)
             .build()

@@ -105,7 +105,10 @@ mod tests {
         let normalized = sim(&small, &large, Normalization::SizeNormalized);
         let raw = sim(&small, &large, Normalization::None);
         assert!((raw - 2.0).abs() < 1e-9, "both small modules map perfectly");
-        assert!(normalized < 0.5, "but the big workflow has much more going on");
+        assert!(
+            normalized < 0.5,
+            "but the big workflow has much more going on"
+        );
     }
 
     #[test]

@@ -7,7 +7,7 @@
 //! pairs then yields the workflow-level score, normalized by the
 //! similarity-weighted Jaccard index over the two path sets.
 //!
-//! One interpretation choice (documented in DESIGN.md): the per-path-pair
+//! One interpretation choice: the per-path-pair
 //! score is itself Jaccard-normalized to `[0, 1]` before the path-level
 //! matching, so that `nnsimPS` is measured in "number of equivalent paths"
 //! and the final normalization by `|PS1| + |PS2| − nnsimPS` stays within
@@ -123,7 +123,10 @@ mod tests {
             &[("fetch", "blast"), ("blast", "render")],
         );
         assert!((sim(&a, &b, Normalization::SizeNormalized) - 1.0).abs() < 1e-9);
-        assert!((sim(&a, &b, Normalization::None) - 1.0).abs() < 1e-9, "one fully similar path");
+        assert!(
+            (sim(&a, &b, Normalization::None) - 1.0).abs() < 1e-9,
+            "one fully similar path"
+        );
     }
 
     #[test]
@@ -171,7 +174,10 @@ mod tests {
         let a = diamond("a");
         let b = diamond("b");
         assert!((sim(&a, &b, Normalization::SizeNormalized) - 1.0).abs() < 1e-9);
-        assert!((sim(&a, &b, Normalization::None) - 2.0).abs() < 1e-9, "two matched paths");
+        assert!(
+            (sim(&a, &b, Normalization::None) - 2.0).abs() < 1e-9,
+            "two matched paths"
+        );
     }
 
     #[test]
@@ -201,7 +207,10 @@ mod tests {
         let empty = WorkflowBuilder::new("e").build().unwrap();
         let other = wf("o", &["x"], &[]);
         assert_eq!(sim(&empty, &other, Normalization::SizeNormalized), 0.0);
-        assert_eq!(sim(&empty, &empty.clone(), Normalization::SizeNormalized), 1.0);
+        assert_eq!(
+            sim(&empty, &empty.clone(), Normalization::SizeNormalized),
+            1.0
+        );
     }
 
     #[test]
@@ -214,7 +223,11 @@ mod tests {
         let b = wf(
             "b",
             &["fetch_data", "blastp", "plot", "extra"],
-            &[("fetch_data", "blastp"), ("blastp", "plot"), ("plot", "extra")],
+            &[
+                ("fetch_data", "blastp"),
+                ("blastp", "plot"),
+                ("plot", "extra"),
+            ],
         );
         // Symmetry requires transposing the module matrix for the reverse
         // direction, which sim() recomputes from scratch.
@@ -225,11 +238,7 @@ mod tests {
 
     #[test]
     fn path_pair_similarity_respects_order() {
-        let a = wf(
-            "a",
-            &["m1", "m2", "m3"],
-            &[("m1", "m2"), ("m2", "m3")],
-        );
+        let a = wf("a", &["m1", "m2", "m3"], &[("m1", "m2"), ("m2", "m3")]);
         let (matrix, _) = module_similarity_matrix(
             &a,
             &a,

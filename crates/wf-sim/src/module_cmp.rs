@@ -95,13 +95,41 @@ impl ModuleComparisonScheme {
         ModuleComparisonScheme::custom(
             "pw0",
             vec![
-                AttributeRule { key: Label, weight: 1.0, method: Levenshtein },
-                AttributeRule { key: Type, weight: 1.0, method: Exact },
-                AttributeRule { key: Description, weight: 1.0, method: Levenshtein },
-                AttributeRule { key: Script, weight: 1.0, method: Levenshtein },
-                AttributeRule { key: ServiceAuthority, weight: 1.0, method: Exact },
-                AttributeRule { key: ServiceName, weight: 1.0, method: Exact },
-                AttributeRule { key: ServiceUri, weight: 1.0, method: Exact },
+                AttributeRule {
+                    key: Label,
+                    weight: 1.0,
+                    method: Levenshtein,
+                },
+                AttributeRule {
+                    key: Type,
+                    weight: 1.0,
+                    method: Exact,
+                },
+                AttributeRule {
+                    key: Description,
+                    weight: 1.0,
+                    method: Levenshtein,
+                },
+                AttributeRule {
+                    key: Script,
+                    weight: 1.0,
+                    method: Levenshtein,
+                },
+                AttributeRule {
+                    key: ServiceAuthority,
+                    weight: 1.0,
+                    method: Exact,
+                },
+                AttributeRule {
+                    key: ServiceName,
+                    weight: 1.0,
+                    method: Exact,
+                },
+                AttributeRule {
+                    key: ServiceUri,
+                    weight: 1.0,
+                    method: Exact,
+                },
             ],
         )
     }
@@ -114,13 +142,41 @@ impl ModuleComparisonScheme {
         ModuleComparisonScheme::custom(
             "pw3",
             vec![
-                AttributeRule { key: Label, weight: 3.0, method: Levenshtein },
-                AttributeRule { key: Script, weight: 3.0, method: TokenJaccard },
-                AttributeRule { key: ServiceUri, weight: 3.0, method: Exact },
-                AttributeRule { key: ServiceName, weight: 2.0, method: Exact },
-                AttributeRule { key: ServiceAuthority, weight: 1.5, method: Exact },
-                AttributeRule { key: Type, weight: 1.0, method: Exact },
-                AttributeRule { key: Description, weight: 1.0, method: TokenJaccard },
+                AttributeRule {
+                    key: Label,
+                    weight: 3.0,
+                    method: Levenshtein,
+                },
+                AttributeRule {
+                    key: Script,
+                    weight: 3.0,
+                    method: TokenJaccard,
+                },
+                AttributeRule {
+                    key: ServiceUri,
+                    weight: 3.0,
+                    method: Exact,
+                },
+                AttributeRule {
+                    key: ServiceName,
+                    weight: 2.0,
+                    method: Exact,
+                },
+                AttributeRule {
+                    key: ServiceAuthority,
+                    weight: 1.5,
+                    method: Exact,
+                },
+                AttributeRule {
+                    key: Type,
+                    weight: 1.0,
+                    method: Exact,
+                },
+                AttributeRule {
+                    key: Description,
+                    weight: 1.0,
+                    method: TokenJaccard,
+                },
             ],
         )
     }
@@ -159,10 +215,26 @@ impl ModuleComparisonScheme {
         ModuleComparisonScheme::custom(
             "gw1",
             vec![
-                AttributeRule { key: Label, weight: 1.0, method: LevenshteinIgnoreCase },
-                AttributeRule { key: ServiceName, weight: 1.0, method: ExactIgnoreCase },
-                AttributeRule { key: Type, weight: 1.0, method: Exact },
-                AttributeRule { key: Description, weight: 1.0, method: TokenJaccard },
+                AttributeRule {
+                    key: Label,
+                    weight: 1.0,
+                    method: LevenshteinIgnoreCase,
+                },
+                AttributeRule {
+                    key: ServiceName,
+                    weight: 1.0,
+                    method: ExactIgnoreCase,
+                },
+                AttributeRule {
+                    key: Type,
+                    weight: 1.0,
+                    method: Exact,
+                },
+                AttributeRule {
+                    key: Description,
+                    weight: 1.0,
+                    method: TokenJaccard,
+                },
             ],
         )
     }
@@ -252,7 +324,10 @@ mod tests {
         assert_eq!(ComparisonMethod::Exact.compare("abc", "Abc"), 0.0);
         assert_eq!(ComparisonMethod::ExactIgnoreCase.compare("abc", "Abc"), 1.0);
         assert!(ComparisonMethod::Levenshtein.compare("blast", "blastp") > 0.8);
-        assert_eq!(ComparisonMethod::LevenshteinIgnoreCase.compare("BLAST", "blast"), 1.0);
+        assert_eq!(
+            ComparisonMethod::LevenshteinIgnoreCase.compare("BLAST", "blast"),
+            1.0
+        );
         assert_eq!(
             ComparisonMethod::TokenJaccard.compare("run blast search", "blast search"),
             2.0 / 3.0
@@ -285,7 +360,10 @@ mod tests {
         let (ma, mb) = (&wa.modules[0], &wb.modules[0]);
         let pll = ModuleComparisonScheme::pll().module_similarity(ma, mb);
         let plm = ModuleComparisonScheme::plm().module_similarity(ma, mb);
-        assert!(pll > 0.85, "edit distance captures the near-identical label");
+        assert!(
+            pll > 0.85,
+            "edit distance captures the near-identical label"
+        );
         assert_eq!(plm, 0.0, "strict matching sees nothing");
     }
 
@@ -308,7 +386,9 @@ mod tests {
         // only on one side and drag the similarity down.
         let wa = service_workflow("a", "analyse", "blastp", "u1");
         let wb = WorkflowBuilder::new("b")
-            .module("analyse", ModuleType::BeanshellScript, |m| m.script("run()"))
+            .module("analyse", ModuleType::BeanshellScript, |m| {
+                m.script("run()")
+            })
             .build()
             .unwrap();
         let sim = ModuleComparisonScheme::pw0().module_similarity(&wa.modules[0], &wb.modules[0]);
@@ -336,8 +416,16 @@ mod tests {
         let scheme = ModuleComparisonScheme::custom(
             "x",
             vec![
-                AttributeRule { key: AttributeKey::Label, weight: 0.0, method: ComparisonMethod::Exact },
-                AttributeRule { key: AttributeKey::Type, weight: 1.0, method: ComparisonMethod::Exact },
+                AttributeRule {
+                    key: AttributeKey::Label,
+                    weight: 0.0,
+                    method: ComparisonMethod::Exact,
+                },
+                AttributeRule {
+                    key: AttributeKey::Type,
+                    weight: 1.0,
+                    method: ComparisonMethod::Exact,
+                },
             ],
         );
         assert_eq!(scheme.rules().len(), 1);
@@ -348,7 +436,10 @@ mod tests {
     fn empty_scheme_yields_zero_similarity() {
         let scheme = ModuleComparisonScheme::custom("empty", vec![]);
         let wf = service_workflow("a", "x", "y", "z");
-        assert_eq!(scheme.module_similarity(&wf.modules[0], &wf.modules[0]), 0.0);
+        assert_eq!(
+            scheme.module_similarity(&wf.modules[0], &wf.modules[0]),
+            0.0
+        );
     }
 
     #[test]

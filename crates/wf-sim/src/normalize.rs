@@ -88,7 +88,11 @@ mod tests {
         assert_eq!(ged_normalize(10.0, 10.0), 0.0);
         assert_eq!(ged_normalize(5.0, 10.0), 0.5);
         assert_eq!(ged_normalize(15.0, 10.0), 0.0, "over-cost clamps to 0");
-        assert_eq!(ged_normalize(0.0, 0.0), 1.0, "two empty graphs are identical");
+        assert_eq!(
+            ged_normalize(0.0, 0.0),
+            1.0,
+            "two empty graphs are identical"
+        );
     }
 
     #[test]

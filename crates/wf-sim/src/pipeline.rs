@@ -231,8 +231,12 @@ mod tests {
             .module("fetch_observations", ModuleType::RestService, |m| {
                 m.service("noaa.gov", "observations", "http://noaa.gov/api")
             })
-            .module("aggregate_daily", ModuleType::RShell, |m| m.script("aggregate(x)"))
-            .module("plot_anomalies", ModuleType::RShell, |m| m.script("plot(x)"))
+            .module("aggregate_daily", ModuleType::RShell, |m| {
+                m.script("aggregate(x)")
+            })
+            .module("plot_anomalies", ModuleType::RShell, |m| {
+                m.script("plot(x)")
+            })
             .link("fetch_observations", "aggregate_daily")
             .link("fetch_observations", "plot_anomalies")
             .build()
@@ -294,7 +298,11 @@ mod tests {
         let report_np = np.report(&a, &b);
         let report_ip = ip.report(&a, &b);
         assert_eq!(report_np.effective_sizes, (4, 4));
-        assert_eq!(report_ip.effective_sizes, (3, 3), "the shim module is projected away");
+        assert_eq!(
+            report_ip.effective_sizes,
+            (3, 3),
+            "the shim module is projected away"
+        );
         assert!(report_ip.compared_pairs < report_np.compared_pairs);
     }
 

@@ -151,7 +151,9 @@ mod tests {
         let rows = prior_approaches();
         assert_eq!(rows.len(), 8, "all eight prior approaches of Table 1");
         let references: Vec<&str> = rows.iter().map(|r| r.reference).collect();
-        for needed in ["[11]", "[36]", "[34]", "[4]", "[33]", "[18]", "[17]", "[38]"] {
+        for needed in [
+            "[11]", "[36]", "[34]", "[4]", "[33]", "[18]", "[17]", "[38]",
+        ] {
             assert!(
                 references.iter().any(|r| r.starts_with(needed)),
                 "missing reconstruction for {needed}"

@@ -92,8 +92,8 @@ impl RankEnsemble {
                 {
                     end += 1;
                 }
-                let avg_points: f64 = (pos..=end).map(|p| (n - p) as f64).sum::<f64>()
-                    / (end - pos + 1) as f64;
+                let avg_points: f64 =
+                    (pos..=end).map(|p| (n - p) as f64).sum::<f64>() / (end - pos + 1) as f64;
                 for &idx in &order[pos..=end] {
                     points[idx] += avg_points;
                 }
@@ -238,7 +238,11 @@ mod tests {
     #[test]
     fn rank_ensemble_orders_by_mean_borda_points() {
         let query = annotated("q", "blast protein search", &["fetch", "blast", "render"]);
-        let close = annotated("c", "blast protein search workflow", &["fetch", "blast", "plot"]);
+        let close = annotated(
+            "c",
+            "blast protein search workflow",
+            &["fetch", "blast", "plot"],
+        );
         let far = annotated("f", "weather data import", &["download_csv", "average"]);
         let ensemble = RankEnsemble::from_similarities(vec![
             WorkflowSimilarity::new(SimilarityConfig::bag_of_words()),
@@ -274,7 +278,10 @@ mod tests {
             SimilarityConfig::module_sets_default(),
         )]);
         let ranked = ensemble.rank(&query, &[&a, &b]);
-        assert!((ranked[0].1 - ranked[1].1).abs() < 1e-12, "tied candidates share points");
+        assert!(
+            (ranked[0].1 - ranked[1].1).abs() < 1e-12,
+            "tied candidates share points"
+        );
     }
 
     #[test]

@@ -103,7 +103,7 @@ impl TokenBag {
         let expand = |bag: &TokenBag| -> Vec<String> {
             bag.counts
                 .iter()
-                .flat_map(|(t, &c)| std::iter::repeat(t.clone()).take(c))
+                .flat_map(|(t, &c)| std::iter::repeat_n(t.clone(), c))
                 .collect()
         };
         multiset_jaccard(&expand(self), &expand(other))

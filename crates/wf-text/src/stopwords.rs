@@ -9,16 +9,17 @@
 
 /// The stop-word list, lowercase, sorted.
 pub const STOPWORDS: &[&str] = &[
-    "a", "about", "after", "against", "all", "also", "an", "and", "any", "are", "as", "at", "be", "because",
-    "been", "before", "being", "between", "both", "but", "by", "can", "could", "did", "do", "does",
-    "doing", "done", "down", "each", "either", "etc", "for", "from", "further", "get", "gets",
-    "given", "gives", "has", "have", "having", "here", "how", "i", "if", "in", "into", "is", "it",
-    "its", "itself", "just", "may", "me", "more", "most", "my", "no", "nor", "not", "of", "off",
-    "on", "once", "one", "only", "or", "other", "our", "out", "over", "own", "per", "same", "set",
-    "should", "so", "some", "such", "than", "that", "the", "their", "them", "then", "there",
-    "these", "they", "this", "those", "through", "to", "too", "under", "until", "up", "use",
-    "used", "uses", "using", "very", "via", "was", "we", "were", "what", "when", "where", "which",
-    "while", "who", "whom", "why", "will", "with", "within", "without", "you", "your",
+    "a", "about", "after", "against", "all", "also", "an", "and", "any", "are", "as", "at", "be",
+    "because", "been", "before", "being", "between", "both", "but", "by", "can", "could", "did",
+    "do", "does", "doing", "done", "down", "each", "either", "etc", "for", "from", "further",
+    "get", "gets", "given", "gives", "has", "have", "having", "here", "how", "i", "if", "in",
+    "into", "is", "it", "its", "itself", "just", "may", "me", "more", "most", "my", "no", "nor",
+    "not", "of", "off", "on", "once", "one", "only", "or", "other", "our", "out", "over", "own",
+    "per", "same", "set", "should", "so", "some", "such", "than", "that", "the", "their", "them",
+    "then", "there", "these", "they", "this", "those", "through", "to", "too", "under", "until",
+    "up", "use", "used", "uses", "using", "very", "via", "was", "we", "were", "what", "when",
+    "where", "which", "while", "who", "whom", "why", "will", "with", "within", "without", "you",
+    "your",
 ];
 
 /// True if `token` (already lowercased by the tokenizer) is a stop word.
@@ -35,12 +36,17 @@ mod tests {
         let mut sorted = STOPWORDS.to_vec();
         sorted.sort_unstable();
         sorted.dedup();
-        assert_eq!(sorted, STOPWORDS, "STOPWORDS must be sorted and deduplicated");
+        assert_eq!(
+            sorted, STOPWORDS,
+            "STOPWORDS must be sorted and deduplicated"
+        );
     }
 
     #[test]
     fn list_is_lowercase() {
-        assert!(STOPWORDS.iter().all(|w| w.chars().all(|c| c.is_lowercase())));
+        assert!(STOPWORDS
+            .iter()
+            .all(|w| w.chars().all(|c| c.is_lowercase())));
     }
 
     #[test]

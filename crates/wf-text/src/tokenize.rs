@@ -64,7 +64,10 @@ mod tests {
 
     #[test]
     fn numbers_are_preserved() {
-        assert_eq!(tokenize("top_10 results v2"), vec!["top", "10", "results", "v2"]);
+        assert_eq!(
+            tokenize("top_10 results v2"),
+            vec!["top", "10", "results", "v2"]
+        );
     }
 
     #[test]

@@ -26,7 +26,11 @@ fn main() {
     let (workflows, meta) = generate_taverna_corpus(&TavernaCorpusConfig::small(80, 7));
     let truth: Vec<usize> = workflows
         .iter()
-        .map(|wf| meta.get(&wf.id).expect("generated workflow has metadata").family)
+        .map(|wf| {
+            meta.get(&wf.id)
+                .expect("generated workflow has metadata")
+                .family
+        })
         .collect();
     let families = {
         let mut f = truth.clone();
@@ -82,7 +86,10 @@ fn main() {
 
     // Near-duplicate detection: pairs above a strict similarity threshold.
     let duplicates = duplicate_pairs(&matrix, 0.9);
-    println!("near-duplicate pairs (similarity >= 0.9): {}", duplicates.len());
+    println!(
+        "near-duplicate pairs (similarity >= 0.9): {}",
+        duplicates.len()
+    );
     for pair in duplicates.iter().take(5) {
         println!(
             "  {} ~ {} (similarity {:.3})",

@@ -38,14 +38,23 @@ fn main() {
         duplicates.len(),
         threshold
     );
-    println!("{:<8} {:<8} {:>10}  same family (latent truth)?", "a", "b", "similarity");
+    println!(
+        "{:<8} {:<8} {:>10}  same family (latent truth)?",
+        "a", "b", "similarity"
+    );
     println!("{}", "-".repeat(52));
     for (a, b, similarity) in duplicates.iter().take(15) {
         let same_family = match (meta.get(a), meta.get(b)) {
             (Some(ma), Some(mb)) => ma.family == mb.family,
             _ => false,
         };
-        println!("{:<8} {:<8} {:>10.3}  {}", a, b, similarity, if same_family { "yes" } else { "NO" });
+        println!(
+            "{:<8} {:<8} {:>10.3}  {}",
+            a,
+            b,
+            similarity,
+            if same_family { "yes" } else { "NO" }
+        );
     }
     let correct = duplicates
         .iter()

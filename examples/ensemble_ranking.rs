@@ -29,13 +29,22 @@ fn main() {
     let module_sets = WorkflowSimilarity::new(SimilarityConfig::best_module_sets());
     let ensemble = Ensemble::bw_plus_module_sets();
 
-    let mut totals = vec![0.0f64; 3];
-    println!("{:<10} {:>8} {:>14} {:>16}", "query", "BW", "MS_ip_te_pll", &ensemble.name());
+    let mut totals = [0.0f64; 3];
+    println!(
+        "{:<10} {:>8} {:>14} {:>16}",
+        "query",
+        "BW",
+        "MS_ip_te_pll",
+        &ensemble.name()
+    );
     println!("{}", "-".repeat(52));
     for (qi, query_id) in queries.iter().enumerate() {
         let query = repository.get(query_id).expect("query exists");
         let candidates = select_candidates(&meta, query_id, 10, 100 + qi as u64);
-        let pairs: Vec<_> = candidates.iter().map(|c| (query_id.clone(), c.clone())).collect();
+        let pairs: Vec<_> = candidates
+            .iter()
+            .map(|c| (query_id.clone(), c.clone()))
+            .collect();
         let ratings = panel.rate_pairs(&meta, &pairs);
         let expert_rankings: Vec<Ranking> = ratings
             .expert_rankings(query_id.as_str())
@@ -44,21 +53,35 @@ fn main() {
             .collect();
         let consensus = bioconsert_consensus(&expert_rankings, &BioConsertConfig::default());
 
-        let rank_with = |score: &dyn Fn(&wfsim::model::Workflow, &wfsim::model::Workflow) -> f64| {
-            let scored: Vec<(String, f64)> = candidates
-                .iter()
-                .filter_map(|c| repository.get(c).map(|wf| (c.as_str().to_string(), score(query, wf))))
-                .collect();
-            Ranking::from_scores(scored, 1e-9)
-        };
+        let rank_with =
+            |score: &dyn Fn(&wfsim::model::Workflow, &wfsim::model::Workflow) -> f64| {
+                let scored: Vec<(String, f64)> = candidates
+                    .iter()
+                    .filter_map(|c| {
+                        repository
+                            .get(c)
+                            .map(|wf| (c.as_str().to_string(), score(query, wf)))
+                    })
+                    .collect();
+                Ranking::from_scores(scored, 1e-9)
+            };
 
         let correctness = [
-            ranking_correctness_completeness(&rank_with(&|a, b| bag_of_words.similarity(a, b)), &consensus)
-                .correctness,
-            ranking_correctness_completeness(&rank_with(&|a, b| module_sets.similarity(a, b)), &consensus)
-                .correctness,
-            ranking_correctness_completeness(&rank_with(&|a, b| ensemble.similarity(a, b)), &consensus)
-                .correctness,
+            ranking_correctness_completeness(
+                &rank_with(&|a, b| bag_of_words.similarity(a, b)),
+                &consensus,
+            )
+            .correctness,
+            ranking_correctness_completeness(
+                &rank_with(&|a, b| module_sets.similarity(a, b)),
+                &consensus,
+            )
+            .correctness,
+            ranking_correctness_completeness(
+                &rank_with(&|a, b| ensemble.similarity(a, b)),
+                &consensus,
+            )
+            .correctness,
         ];
         for (t, c) in totals.iter_mut().zip(correctness.iter()) {
             *t += c;

@@ -21,9 +21,7 @@ fn main() {
     let seed_meta = meta.get(&seed.id).unwrap();
     let sibling = repository
         .iter()
-        .find(|w| {
-            w.id != seed.id && meta.get(&w.id).map(|m| m.family) == Some(seed_meta.family)
-        })
+        .find(|w| w.id != seed.id && meta.get(&w.id).map(|m| m.family) == Some(seed_meta.family))
         .expect("the generator always produces at least one variant per family");
     let stranger = repository
         .iter()
@@ -41,7 +39,10 @@ fn main() {
     println!("{:<22} {:>10} {:>12}", "algorithm", "variant", "unrelated");
     println!("{}", "-".repeat(46));
     for scheme in [ModuleComparisonScheme::gw1(), ModuleComparisonScheme::gll()] {
-        for base in [SimilarityConfig::module_sets_default(), SimilarityConfig::path_sets_default()] {
+        for base in [
+            SimilarityConfig::module_sets_default(),
+            SimilarityConfig::path_sets_default(),
+        ] {
             let measure = WorkflowSimilarity::new(base.with_scheme(scheme.clone()));
             println!(
                 "{:<22} {:>10.3} {:>12.3}",

@@ -17,7 +17,11 @@ fn main() {
         .tag("kegg")
         .tag("pathway")
         .module("get_pathway", ModuleType::WsdlService, |m| {
-            m.service("kegg.jp", "get_pathway_by_id", "http://soap.genome.jp/KEGG.wsdl")
+            m.service(
+                "kegg.jp",
+                "get_pathway_by_id",
+                "http://soap.genome.jp/KEGG.wsdl",
+            )
         })
         .module("split_gene_list", ModuleType::LocalOperation, |m| m)
         .module("extract_genes", ModuleType::BeanshellScript, |m| {
@@ -35,13 +39,21 @@ fn main() {
         .tag("kegg")
         .tag("entrez")
         .module("getPathway", ModuleType::WsdlService, |m| {
-            m.service("kegg.jp", "get_pathway_by_id", "http://soap.genome.jp/KEGG.wsdl")
+            m.service(
+                "kegg.jp",
+                "get_pathway_by_id",
+                "http://soap.genome.jp/KEGG.wsdl",
+            )
         })
         .module("extract_gene_ids", ModuleType::BeanshellScript, |m| {
             m.script("for (entry : pathway) { ids.add(entry.id); }")
         })
         .module("render_report", ModuleType::WsdlService, |m| {
-            m.service("kegg.jp", "color_pathway_by_objects", "http://soap.genome.jp/KEGG.wsdl")
+            m.service(
+                "kegg.jp",
+                "color_pathway_by_objects",
+                "http://soap.genome.jp/KEGG.wsdl",
+            )
         })
         .link("getPathway", "extract_gene_ids")
         .link("extract_gene_ids", "render_report")
@@ -55,13 +67,21 @@ fn main() {
         .module("fetch_observations", ModuleType::RestService, |m| {
             m.service("noaa.gov", "observations", "http://noaa.gov/api")
         })
-        .module("aggregate_daily_means", ModuleType::RShell, |m| m.script("aggregate(obs)"))
+        .module("aggregate_daily_means", ModuleType::RShell, |m| {
+            m.script("aggregate(obs)")
+        })
         .link("fetch_observations", "aggregate_daily_means")
         .build()
         .expect("valid workflow");
 
-    println!("comparing workflow {} against {} and {}\n", kegg_a.id, kegg_b.id, weather.id);
-    println!("{:<16} {:>12} {:>12}", "algorithm", "kegg pair", "unrelated");
+    println!(
+        "comparing workflow {} against {} and {}\n",
+        kegg_a.id, kegg_b.id, weather.id
+    );
+    println!(
+        "{:<16} {:>12} {:>12}",
+        "algorithm", "kegg pair", "unrelated"
+    );
     println!("{}", "-".repeat(42));
     for config in [
         SimilarityConfig::module_sets_default(),

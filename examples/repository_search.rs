@@ -27,24 +27,43 @@ fn main() {
     let module_sets = WorkflowSimilarity::new(SimilarityConfig::best_module_sets());
     let ensemble = Ensemble::bw_plus_module_sets();
 
-    let named: Vec<(String, Box<dyn Fn(&wfsim::model::Workflow, &wfsim::model::Workflow) -> f64 + Sync>)> = vec![
-        ("BW".to_string(), Box::new(move |a, b| bag_of_words.similarity(a, b))),
-        ("MS_ip_te_pll".to_string(), Box::new(move |a, b| module_sets.similarity(a, b))),
-        (ensemble.name(), Box::new(move |a, b| ensemble.similarity(a, b))),
+    type Scorer = Box<dyn Fn(&wfsim::model::Workflow, &wfsim::model::Workflow) -> f64 + Sync>;
+    let named: Vec<(String, Scorer)> = vec![
+        (
+            "BW".to_string(),
+            Box::new(move |a, b| bag_of_words.similarity(a, b)),
+        ),
+        (
+            "MS_ip_te_pll".to_string(),
+            Box::new(move |a, b| module_sets.similarity(a, b)),
+        ),
+        (
+            ensemble.name(),
+            Box::new(move |a, b| ensemble.similarity(a, b)),
+        ),
     ];
 
     for (name, score) in named {
         let engine = SearchEngine::new(&repository, score).with_threads(8);
         let hits = engine.top_k_parallel(&query, 10);
         println!("top-10 by {name}:");
-        println!("{:<4} {:<8} {:>8}  relation to query (latent truth)", "rank", "id", "score");
+        println!(
+            "{:<4} {:<8} {:>8}  relation to query (latent truth)",
+            "rank", "id", "score"
+        );
         for (rank, hit) in hits.iter().enumerate() {
             let relation = match (meta.get(&query.id), meta.get(&hit.id)) {
                 (Some(q), Some(c)) if q.family == c.family => "same family",
                 (Some(q), Some(c)) if q.topic == c.topic => "same topic",
                 _ => "other topic",
             };
-            println!("{:<4} {:<8} {:>8.3}  {}", rank + 1, hit.id, hit.score, relation);
+            println!(
+                "{:<4} {:<8} {:>8.3}  {}",
+                rank + 1,
+                hit.id,
+                hit.score,
+                relation
+            );
         }
         println!();
     }

@@ -19,9 +19,10 @@
 //! | [`gold`] | gold-standard machinery: Likert ratings, consensus ranking, evaluation metrics, significance tests |
 //! | [`corpus`] | synthetic Taverna-like / Galaxy-like corpora and the simulated expert panel |
 //!
-//! See the `examples/` directory for end-to-end usage, `DESIGN.md` for the
-//! system inventory and `EXPERIMENTS.md` for the reproduction of every table
-//! and figure of the paper.
+//! See the `examples/` directory for end-to-end usage and the repository
+//! `README.md` for the crate map, build commands, and how to run the
+//! `fig*` / `wfsim_*` experiment binaries that reproduce the paper's tables
+//! and figures.
 //!
 //! ## Quickstart
 //!

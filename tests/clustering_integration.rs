@@ -62,7 +62,10 @@ fn kmedoids_and_hierarchical_agree_on_the_broad_structure() {
     // The two algorithms use the same matrix; their agreement with each
     // other should be at least as strong as chance.
     let cross = adjusted_rand_index(&hier, pam.clustering.assignments());
-    assert!(cross > 0.0, "hierarchical and k-medoids should overlap, got {cross}");
+    assert!(
+        cross > 0.0,
+        "hierarchical and k-medoids should overlap, got {cross}"
+    );
 }
 
 #[test]
@@ -74,7 +77,10 @@ fn duplicate_detection_finds_mutation_twins_and_respects_the_threshold() {
     let strict = duplicate_pairs(&matrix, 0.95);
     let loose = duplicate_pairs(&matrix, 0.75);
     assert!(loose.len() >= strict.len());
-    assert!(!loose.is_empty(), "mutation-derived corpora contain near duplicates");
+    assert!(
+        !loose.is_empty(),
+        "mutation-derived corpora contain near duplicates"
+    );
     // Near-duplicates overwhelmingly come from the same latent family.
     let same_family = loose
         .iter()

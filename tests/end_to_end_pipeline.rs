@@ -6,11 +6,11 @@ use wfsim::corpus::{
     generate_taverna_corpus, select_candidates, select_queries, ExpertPanel, ExpertPanelConfig,
     TavernaCorpusConfig,
 };
+use wfsim::gold::precision::precision_curve;
 use wfsim::gold::{
     bioconsert_consensus, ranking_correctness_completeness, BioConsertConfig, Ranking,
     RelevanceThreshold,
 };
-use wfsim::gold::precision::precision_curve;
 use wfsim::repo::{Repository, SearchEngine};
 use wfsim::sim::{Ensemble, SimilarityConfig, WorkflowSimilarity};
 
@@ -75,9 +75,10 @@ fn retrieval_pipeline_finds_family_members_first() {
     let query_id = select_queries(&meta, 1, 4, 9)[0].clone();
     let query = repository.get(&query_id).expect("query exists").clone();
     let measure = WorkflowSimilarity::new(SimilarityConfig::best_module_sets());
-    let engine = SearchEngine::new(&repository, |a: &wfsim::model::Workflow, b: &wfsim::model::Workflow| {
-        measure.similarity(a, b)
-    })
+    let engine = SearchEngine::new(
+        &repository,
+        |a: &wfsim::model::Workflow, b: &wfsim::model::Workflow| measure.similarity(a, b),
+    )
     .with_threads(4);
 
     let hits = engine.top_k_parallel(&query, 10);
@@ -99,7 +100,10 @@ fn retrieval_pipeline_finds_family_members_first() {
             .count()
     };
     assert!(in_family(&hits[..3]) >= in_family(&hits[7..]));
-    assert!(in_family(&hits[..3]) >= 1, "at least one sibling retrieved at the top");
+    assert!(
+        in_family(&hits[..3]) >= 1,
+        "at least one sibling retrieved at the top"
+    );
 }
 
 #[test]
@@ -108,9 +112,10 @@ fn retrieval_precision_respects_threshold_ordering() {
     let query_id = select_queries(&meta, 1, 4, 31)[0].clone();
     let query = repository.get(&query_id).expect("query exists").clone();
     let ensemble = Ensemble::bw_plus_module_sets();
-    let engine = SearchEngine::new(&repository, |a: &wfsim::model::Workflow, b: &wfsim::model::Workflow| {
-        ensemble.similarity(a, b)
-    });
+    let engine = SearchEngine::new(
+        &repository,
+        |a: &wfsim::model::Workflow, b: &wfsim::model::Workflow| ensemble.similarity(a, b),
+    );
     let hits = engine.top_k(&query, 10);
     let results: Vec<String> = hits.iter().map(|h| h.id.as_str().to_string()).collect();
 

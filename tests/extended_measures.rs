@@ -84,7 +84,9 @@ fn extended_measures_rank_family_members_above_strangers() {
         .iter()
         .filter(|wf| {
             meta.get(&wf.id)
-                .map(|m| m.family != anchor_family && m.topic != meta.get(&anchor.id).unwrap().topic)
+                .map(|m| {
+                    m.family != anchor_family && m.topic != meta.get(&anchor.id).unwrap().topic
+                })
                 .unwrap_or(false)
         })
         .take(10)
@@ -99,7 +101,10 @@ fn extended_measures_rank_family_members_above_strangers() {
         Box::new(FrequentSetSimilarity::frequent_module_sets(&repo)),
     ] {
         let sibling_score = measure.measure(anchor, sibling);
-        let stranger_mean: f64 = strangers.iter().map(|s| measure.measure(anchor, s)).sum::<f64>()
+        let stranger_mean: f64 = strangers
+            .iter()
+            .map(|s| measure.measure(anchor, s))
+            .sum::<f64>()
             / strangers.len() as f64;
         assert!(
             sibling_score >= stranger_mean,

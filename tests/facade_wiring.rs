@@ -1,0 +1,94 @@
+//! Exercises the `wfsim` facade re-exports end-to-end: a workflow built
+//! through `wfsim::model` must flow into `wfsim::sim` and come back as a
+//! similarity score, proving the re-export wiring (not just the subsystem
+//! crates) is correct.
+
+use wfsim::model::{ModuleType, WorkflowBuilder};
+use wfsim::sim::{SimilarityConfig, WorkflowSimilarity};
+
+fn protein_search(id: &str, with_report: bool) -> wfsim::model::Workflow {
+    let mut builder = WorkflowBuilder::new(id)
+        .title("BLAST protein search")
+        .module("fetch_sequence", ModuleType::WsdlService, |m| {
+            m.service("ebi.ac.uk", "fetch_fasta", "http://ebi.ac.uk/ws")
+        })
+        .module("run_blast", ModuleType::WsdlService, |m| {
+            m.service("ebi.ac.uk", "blastp", "http://ebi.ac.uk/blast")
+        })
+        .link("fetch_sequence", "run_blast");
+    if with_report {
+        builder = builder
+            .module("render_report", ModuleType::BeanshellScript, |m| {
+                m.script("print(hits)")
+            })
+            .link("run_blast", "render_report");
+    }
+    builder.build().expect("facade-built workflow is valid")
+}
+
+#[test]
+fn model_to_sim_end_to_end_produces_a_score_in_unit_interval() {
+    let a = protein_search("a", false);
+    let b = protein_search("b", true);
+
+    let measure = WorkflowSimilarity::new(SimilarityConfig::module_sets_default());
+    let sim = measure.similarity(&a, &b);
+    assert!(
+        sim > 0.0 && sim <= 1.0,
+        "related workflows must score in (0, 1], got {sim}"
+    );
+
+    // Identity is maximal and the measure is symmetric.
+    assert!((measure.similarity(&a, &a) - 1.0).abs() < 1e-9);
+    assert!((measure.similarity(&a, &b) - measure.similarity(&b, &a)).abs() < 1e-9);
+}
+
+#[test]
+fn every_facade_module_is_reachable() {
+    // One cheap touchpoint per re-exported subsystem crate, so a broken
+    // `pub use` line fails this test rather than only downstream users.
+    let wf = protein_search("touch", true);
+
+    // wfsim::text
+    let sim = wfsim::text::levenshtein_similarity("fetch_sequence", "fetch_sequences");
+    assert!(sim > 0.8 && sim < 1.0);
+
+    // wfsim::sim module comparison + wfsim::matching greedy mapping.
+    let scheme = wfsim::sim::ModuleComparisonScheme::pll();
+    let (matrix, compared) = wfsim::sim::module_similarity_matrix(
+        &wf,
+        &wf,
+        &scheme,
+        wfsim::repo::PreselectionStrategy::AllPairs,
+    );
+    assert_eq!(compared, wf.modules.len() * wf.modules.len());
+    let mapping = wfsim::matching::greedy_mapping(&matrix);
+    assert_eq!(mapping.len(), wf.modules.len());
+
+    // wfsim::ged
+    let graph = wfsim::ged::LabeledGraph::from_workflow_by_label(&wf);
+    let costs = wfsim::ged::GedCosts::uniform();
+    let budget = wfsim::ged::GedBudget::small();
+    let d = wfsim::ged::astar_ged(&graph, &graph, &costs, &budget);
+    assert_eq!(d, Some(0.0), "self graph edit distance must be zero");
+
+    // wfsim::repo
+    let mut repo = wfsim::repo::Repository::new();
+    repo.insert(protein_search("other", false));
+    assert_eq!(repo.len(), 1);
+
+    // wfsim::cluster
+    let measure = WorkflowSimilarity::new(SimilarityConfig::module_sets_default());
+    let wfs = vec![protein_search("x", false), protein_search("y", true)];
+    let matrix = wfsim::cluster::PairwiseSimilarities::compute(&wfs, &measure);
+    assert_eq!(matrix.len(), 2);
+
+    // wfsim::gold
+    let rating = wfsim::gold::LikertRating::Similar;
+    assert_eq!(rating.value(), Some(2));
+
+    // wfsim::corpus
+    let (corpus, _) =
+        wfsim::corpus::generate_taverna_corpus(&wfsim::corpus::TavernaCorpusConfig::small(6, 1));
+    assert_eq!(corpus.len(), 6);
+}

@@ -64,7 +64,10 @@ fn consensus_ranking_recovers_the_latent_order() {
     let (meta, queries, candidates) = setup();
     let panel = ExpertPanel::new(ExpertPanelConfig::default());
     let query = &queries[0];
-    let pairs: Vec<_> = candidates.iter().map(|c| (query.clone(), c.clone())).collect();
+    let pairs: Vec<_> = candidates
+        .iter()
+        .map(|c| (query.clone(), c.clone()))
+        .collect();
     let ratings = panel.rate_pairs(&meta, &pairs);
     let expert_rankings: Vec<Ranking> = ratings
         .expert_rankings(query.as_str())
@@ -98,7 +101,10 @@ fn consensus_ranking_recovers_the_latent_order() {
 fn per_expert_agreement_degrades_gracefully_with_noise() {
     let (meta, queries, candidates) = setup();
     let query = &queries[0];
-    let pairs: Vec<_> = candidates.iter().map(|c| (query.clone(), c.clone())).collect();
+    let pairs: Vec<_> = candidates
+        .iter()
+        .map(|c| (query.clone(), c.clone()))
+        .collect();
 
     let evaluate_panel = |noise: f64| -> f64 {
         let panel = ExpertPanel::new(ExpertPanelConfig {
@@ -131,7 +137,10 @@ fn relevance_thresholds_and_latent_strata_are_consistent() {
     let (meta, queries, candidates) = setup();
     let panel = ExpertPanel::new(ExpertPanelConfig::default());
     let query = &queries[0];
-    let pairs: Vec<_> = candidates.iter().map(|c| (query.clone(), c.clone())).collect();
+    let pairs: Vec<_> = candidates
+        .iter()
+        .map(|c| (query.clone(), c.clone()))
+        .collect();
     let ratings = panel.rate_pairs(&meta, &pairs);
 
     for candidate in &candidates {
@@ -168,7 +177,10 @@ fn likert_medians_match_manual_aggregation() {
         .collect();
     votes.sort_unstable();
     let expected = LikertRating::from_value(votes[(votes.len() - 1) / 2]);
-    assert_eq!(ratings.median(query.as_str(), candidate.as_str()), Some(expected));
+    assert_eq!(
+        ratings.median(query.as_str(), candidate.as_str()),
+        Some(expected)
+    );
 }
 
 #[test]

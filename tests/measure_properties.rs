@@ -13,8 +13,14 @@ use wfsim::sim::{SimilarityConfig, WorkflowSimilarity};
 /// Strategy: a random but structurally valid workflow with up to 8 modules.
 fn workflow_strategy() -> impl Strategy<Value = Workflow> {
     let label_pool = [
-        "get_pathway", "run_blast", "extract_genes", "split_string", "render_plot",
-        "fetch_sequence", "align_reads", "filter_hits",
+        "get_pathway",
+        "run_blast",
+        "extract_genes",
+        "split_string",
+        "render_plot",
+        "fetch_sequence",
+        "align_reads",
+        "filter_hits",
     ];
     let type_pool = [
         ModuleType::WsdlService,
@@ -55,7 +61,8 @@ fn workflow_strategy() -> impl Strategy<Value = Workflow> {
             for (u, v) in raw_edges {
                 let (u, v) = (u % n, v % n);
                 if u < v {
-                    wf.links.push(Datalink::new(ModuleId(u as u32), ModuleId(v as u32)));
+                    wf.links
+                        .push(Datalink::new(ModuleId(u as u32), ModuleId(v as u32)));
                 }
             }
             wf.links.sort();

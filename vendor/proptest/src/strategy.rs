@@ -1,0 +1,269 @@
+//! The [`Strategy`] trait and the built-in strategies: numeric ranges,
+//! regex-subset strings, tuples, and the `prop_map` / `prop_flat_map`
+//! combinators.
+
+use crate::test_runner::TestRng;
+use rand::Rng;
+
+/// A recipe for generating random values of one type.
+pub trait Strategy {
+    /// The type of value this strategy produces.
+    type Value;
+
+    /// Draws one value.
+    fn generate(&self, rng: &mut TestRng) -> Self::Value;
+
+    /// Transforms every generated value with `f`.
+    fn prop_map<T, F>(self, f: F) -> Map<Self, F>
+    where
+        Self: Sized,
+        F: Fn(Self::Value) -> T,
+    {
+        Map { inner: self, f }
+    }
+
+    /// Builds a second strategy from every generated value and draws from
+    /// that.
+    fn prop_flat_map<S, F>(self, f: F) -> FlatMap<Self, F>
+    where
+        Self: Sized,
+        S: Strategy,
+        F: Fn(Self::Value) -> S,
+    {
+        FlatMap { inner: self, f }
+    }
+}
+
+impl<S: Strategy + ?Sized> Strategy for &S {
+    type Value = S::Value;
+
+    fn generate(&self, rng: &mut TestRng) -> Self::Value {
+        (**self).generate(rng)
+    }
+}
+
+/// See [`Strategy::prop_map`].
+pub struct Map<S, F> {
+    inner: S,
+    f: F,
+}
+
+impl<S, F, T> Strategy for Map<S, F>
+where
+    S: Strategy,
+    F: Fn(S::Value) -> T,
+{
+    type Value = T;
+
+    fn generate(&self, rng: &mut TestRng) -> T {
+        (self.f)(self.inner.generate(rng))
+    }
+}
+
+/// See [`Strategy::prop_flat_map`].
+pub struct FlatMap<S, F> {
+    inner: S,
+    f: F,
+}
+
+impl<S, F, S2> Strategy for FlatMap<S, F>
+where
+    S: Strategy,
+    S2: Strategy,
+    F: Fn(S::Value) -> S2,
+{
+    type Value = S2::Value;
+
+    fn generate(&self, rng: &mut TestRng) -> S2::Value {
+        (self.f)(self.inner.generate(rng)).generate(rng)
+    }
+}
+
+macro_rules! impl_range_strategy {
+    ($($t:ty),*) => {$(
+        impl Strategy for std::ops::Range<$t> {
+            type Value = $t;
+
+            fn generate(&self, rng: &mut TestRng) -> $t {
+                rng.gen_range(self.clone())
+            }
+        }
+
+        impl Strategy for std::ops::RangeInclusive<$t> {
+            type Value = $t;
+
+            fn generate(&self, rng: &mut TestRng) -> $t {
+                rng.gen_range(self.clone())
+            }
+        }
+    )*};
+}
+
+impl_range_strategy!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize, f64);
+
+/// A fixed value (proptest's `Just`).
+#[derive(Debug, Clone)]
+pub struct Just<T: Clone>(pub T);
+
+impl<T: Clone> Strategy for Just<T> {
+    type Value = T;
+
+    fn generate(&self, _rng: &mut TestRng) -> T {
+        self.0.clone()
+    }
+}
+
+macro_rules! impl_tuple_strategy {
+    ($($name:ident),+ ; $($idx:tt),+) => {
+        impl<$($name: Strategy),+> Strategy for ($($name,)+) {
+            type Value = ($($name::Value,)+);
+
+            fn generate(&self, rng: &mut TestRng) -> Self::Value {
+                ($(self.$idx.generate(rng),)+)
+            }
+        }
+    };
+}
+
+impl_tuple_strategy!(A; 0);
+impl_tuple_strategy!(A, B; 0, 1);
+impl_tuple_strategy!(A, B, C; 0, 1, 2);
+impl_tuple_strategy!(A, B, C, D; 0, 1, 2, 3);
+impl_tuple_strategy!(A, B, C, D, E; 0, 1, 2, 3, 4);
+impl_tuple_strategy!(A, B, C, D, E, F; 0, 1, 2, 3, 4, 5);
+impl_tuple_strategy!(A, B, C, D, E, F, G; 0, 1, 2, 3, 4, 5, 6);
+impl_tuple_strategy!(A, B, C, D, E, F, G, H; 0, 1, 2, 3, 4, 5, 6, 7);
+
+/// String literals act as regex strategies (a subset: literal characters,
+/// `[...]` classes with ranges, and `{m}` / `{m,n}` repetition).
+impl Strategy for str {
+    type Value = String;
+
+    fn generate(&self, rng: &mut TestRng) -> String {
+        let atoms = parse_regex(self);
+        let mut out = String::new();
+        generate_atoms(&atoms, rng, &mut out);
+        out
+    }
+}
+
+fn generate_atoms(atoms: &[Atom], rng: &mut TestRng, out: &mut String) {
+    for atom in atoms {
+        let count = match atom.repeat {
+            Some((lo, hi)) => rng.gen_range(lo..=hi),
+            None => 1,
+        };
+        for _ in 0..count {
+            match &atom.kind {
+                AtomKind::Literal(c) => out.push(*c),
+                AtomKind::Class(chars) => {
+                    let idx = rng.gen_range(0..chars.len());
+                    out.push(chars[idx]);
+                }
+                AtomKind::Group(inner) => generate_atoms(inner, rng, out),
+            }
+        }
+    }
+}
+
+enum AtomKind {
+    Literal(char),
+    Class(Vec<char>),
+    Group(Vec<Atom>),
+}
+
+struct Atom {
+    kind: AtomKind,
+    repeat: Option<(usize, usize)>,
+}
+
+/// Parses the supported regex subset into a sequence of atoms.
+fn parse_regex(pattern: &str) -> Vec<Atom> {
+    let chars: Vec<char> = pattern.chars().collect();
+    let (atoms, consumed) = parse_sequence(&chars, 0, pattern);
+    assert!(
+        consumed == chars.len(),
+        "unbalanced `)` in regex {pattern:?}"
+    );
+    atoms
+}
+
+/// Parses atoms from `chars[start..]` until end of input or an unmatched
+/// `)`; returns the atoms and the index just past what was consumed.
+fn parse_sequence(chars: &[char], start: usize, pattern: &str) -> (Vec<Atom>, usize) {
+    let mut atoms = Vec::new();
+    let mut i = start;
+    while i < chars.len() {
+        let kind = match chars[i] {
+            ')' => return (atoms, i),
+            '(' => {
+                let (inner, end) = parse_sequence(chars, i + 1, pattern);
+                assert!(
+                    end < chars.len() && chars[end] == ')',
+                    "unterminated group in regex {pattern:?}"
+                );
+                i = end + 1;
+                AtomKind::Group(inner)
+            }
+            '[' => {
+                let mut class = Vec::new();
+                i += 1;
+                while i < chars.len() && chars[i] != ']' {
+                    if i + 2 < chars.len() && chars[i + 1] == '-' && chars[i + 2] != ']' {
+                        let (lo, hi) = (chars[i], chars[i + 2]);
+                        assert!(lo <= hi, "bad range {lo}-{hi} in regex {pattern:?}");
+                        class.extend((lo..=hi).filter(|c| c.is_ascii()));
+                        i += 3;
+                    } else {
+                        class.push(chars[i]);
+                        i += 1;
+                    }
+                }
+                assert!(i < chars.len(), "unterminated class in regex {pattern:?}");
+                i += 1; // consume ']'
+                assert!(!class.is_empty(), "empty class in regex {pattern:?}");
+                AtomKind::Class(class)
+            }
+            '\\' => {
+                i += 1;
+                assert!(i < chars.len(), "trailing backslash in regex {pattern:?}");
+                let c = chars[i];
+                i += 1;
+                AtomKind::Literal(c)
+            }
+            c => {
+                assert!(
+                    !matches!(c, '|' | '*' | '+' | '?' | '.'),
+                    "unsupported regex feature `{c}` in {pattern:?}"
+                );
+                i += 1;
+                AtomKind::Literal(c)
+            }
+        };
+        // Optional {m} / {m,n} repetition.
+        let repeat = if i < chars.len() && chars[i] == '{' {
+            let close = chars[i..]
+                .iter()
+                .position(|&c| c == '}')
+                .map(|off| i + off)
+                .unwrap_or_else(|| panic!("unterminated repetition in regex {pattern:?}"));
+            let spec: String = chars[i + 1..close].iter().collect();
+            i = close + 1;
+            let (lo, hi) = match spec.split_once(',') {
+                Some((lo, hi)) => (
+                    lo.trim().parse().expect("bad repetition bound"),
+                    hi.trim().parse().expect("bad repetition bound"),
+                ),
+                None => {
+                    let n = spec.trim().parse().expect("bad repetition bound");
+                    (n, n)
+                }
+            };
+            Some((lo, hi))
+        } else {
+            None
+        };
+        atoms.push(Atom { kind, repeat });
+    }
+    (atoms, i)
+}

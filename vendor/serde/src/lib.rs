@@ -1,0 +1,329 @@
+//! Offline stand-in for `serde`.
+//!
+//! crates.io is unreachable in this build environment, so this crate
+//! provides the serialization contract the workspace needs: the
+//! [`Serialize`] / [`Deserialize`] traits (value-tree based rather than
+//! visitor based), a generic [`Value`] tree, and re-exported derive macros
+//! (`#[derive(Serialize, Deserialize)]`) that understand the subset of
+//! `#[serde(...)]` attributes used in this repository: `transparent`,
+//! `default`, and `skip_serializing_if = "path"`.
+//!
+//! `serde_json` (also vendored) renders [`Value`] trees to JSON text and
+//! parses them back.
+
+use std::collections::BTreeMap;
+use std::fmt;
+
+pub use serde_derive::{Deserialize, Serialize};
+
+/// A self-describing serialized value tree (the JSON data model).
+#[derive(Debug, Clone, PartialEq)]
+pub enum Value {
+    /// Absent / null.
+    Null,
+    /// Boolean.
+    Bool(bool),
+    /// Non-negative integer.
+    UInt(u64),
+    /// Negative integer.
+    Int(i64),
+    /// Floating point number.
+    Float(f64),
+    /// String.
+    String(String),
+    /// Ordered sequence.
+    Array(Vec<Value>),
+    /// Ordered map (field order is preserved).
+    Object(Vec<(String, Value)>),
+}
+
+impl Value {
+    /// The fields of an object value, if this is an object.
+    pub fn as_object(&self) -> Option<&[(String, Value)]> {
+        match self {
+            Value::Object(fields) => Some(fields),
+            _ => None,
+        }
+    }
+
+    /// Looks up a field of an object value by name.
+    pub fn get_field<'a>(&'a self, name: &str) -> Option<&'a Value> {
+        self.as_object()
+            .and_then(|fields| fields.iter().find(|(k, _)| k == name))
+            .map(|(_, v)| v)
+    }
+
+    /// A short human-readable description of the value's kind.
+    pub fn kind(&self) -> &'static str {
+        match self {
+            Value::Null => "null",
+            Value::Bool(_) => "bool",
+            Value::UInt(_) | Value::Int(_) => "integer",
+            Value::Float(_) => "number",
+            Value::String(_) => "string",
+            Value::Array(_) => "array",
+            Value::Object(_) => "object",
+        }
+    }
+}
+
+/// Error produced when a [`Value`] tree does not match the target type.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Error(pub String);
+
+impl Error {
+    /// A "expected X, found Y" error.
+    pub fn expected(what: &str, found: &Value) -> Error {
+        Error(format!("expected {what}, found {}", found.kind()))
+    }
+
+    /// A missing-field error for struct deserialization.
+    pub fn missing_field(ty: &str, field: &str) -> Error {
+        Error(format!("missing field `{field}` while deserializing {ty}"))
+    }
+
+    /// An unknown-enum-variant error.
+    pub fn unknown_variant(ty: &str, variant: &str) -> Error {
+        Error(format!("unknown {ty} variant `{variant}`"))
+    }
+}
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.0)
+    }
+}
+
+impl std::error::Error for Error {}
+
+/// Types that can be rendered to a [`Value`] tree.
+pub trait Serialize {
+    /// Renders `self` as a value tree.
+    fn serialize_value(&self) -> Value;
+}
+
+/// Types that can be rebuilt from a [`Value`] tree.
+pub trait Deserialize: Sized {
+    /// Rebuilds `Self` from a value tree.
+    fn deserialize_value(value: &Value) -> Result<Self, Error>;
+}
+
+impl<T: Serialize + ?Sized> Serialize for &T {
+    fn serialize_value(&self) -> Value {
+        (**self).serialize_value()
+    }
+}
+
+impl Serialize for bool {
+    fn serialize_value(&self) -> Value {
+        Value::Bool(*self)
+    }
+}
+
+impl Deserialize for bool {
+    fn deserialize_value(value: &Value) -> Result<Self, Error> {
+        match value {
+            Value::Bool(b) => Ok(*b),
+            other => Err(Error::expected("bool", other)),
+        }
+    }
+}
+
+macro_rules! impl_serde_uint {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn serialize_value(&self) -> Value {
+                Value::UInt(*self as u64)
+            }
+        }
+
+        impl Deserialize for $t {
+            fn deserialize_value(value: &Value) -> Result<Self, Error> {
+                match value {
+                    Value::UInt(n) => <$t>::try_from(*n)
+                        .map_err(|_| Error(format!("integer {n} out of range"))),
+                    other => Err(Error::expected("unsigned integer", other)),
+                }
+            }
+        }
+    )*};
+}
+
+impl_serde_uint!(u8, u16, u32, u64, usize);
+
+macro_rules! impl_serde_int {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn serialize_value(&self) -> Value {
+                let v = *self as i64;
+                if v >= 0 { Value::UInt(v as u64) } else { Value::Int(v) }
+            }
+        }
+
+        impl Deserialize for $t {
+            fn deserialize_value(value: &Value) -> Result<Self, Error> {
+                let wide: i64 = match value {
+                    Value::UInt(n) => i64::try_from(*n)
+                        .map_err(|_| Error(format!("integer {n} out of range")))?,
+                    Value::Int(n) => *n,
+                    other => return Err(Error::expected("integer", other)),
+                };
+                <$t>::try_from(wide).map_err(|_| Error(format!("integer {wide} out of range")))
+            }
+        }
+    )*};
+}
+
+impl_serde_int!(i8, i16, i32, i64, isize);
+
+impl Serialize for f64 {
+    fn serialize_value(&self) -> Value {
+        Value::Float(*self)
+    }
+}
+
+impl Deserialize for f64 {
+    fn deserialize_value(value: &Value) -> Result<Self, Error> {
+        match value {
+            Value::Float(x) => Ok(*x),
+            Value::UInt(n) => Ok(*n as f64),
+            Value::Int(n) => Ok(*n as f64),
+            other => Err(Error::expected("number", other)),
+        }
+    }
+}
+
+impl Serialize for f32 {
+    fn serialize_value(&self) -> Value {
+        Value::Float(f64::from(*self))
+    }
+}
+
+impl Deserialize for f32 {
+    fn deserialize_value(value: &Value) -> Result<Self, Error> {
+        f64::deserialize_value(value).map(|x| x as f32)
+    }
+}
+
+impl Serialize for String {
+    fn serialize_value(&self) -> Value {
+        Value::String(self.clone())
+    }
+}
+
+impl Serialize for str {
+    fn serialize_value(&self) -> Value {
+        Value::String(self.to_string())
+    }
+}
+
+impl Deserialize for String {
+    fn deserialize_value(value: &Value) -> Result<Self, Error> {
+        match value {
+            Value::String(s) => Ok(s.clone()),
+            other => Err(Error::expected("string", other)),
+        }
+    }
+}
+
+impl<T: Serialize> Serialize for Option<T> {
+    fn serialize_value(&self) -> Value {
+        match self {
+            Some(v) => v.serialize_value(),
+            None => Value::Null,
+        }
+    }
+}
+
+impl<T: Deserialize> Deserialize for Option<T> {
+    fn deserialize_value(value: &Value) -> Result<Self, Error> {
+        match value {
+            Value::Null => Ok(None),
+            other => T::deserialize_value(other).map(Some),
+        }
+    }
+}
+
+impl<T: Serialize> Serialize for Vec<T> {
+    fn serialize_value(&self) -> Value {
+        Value::Array(self.iter().map(Serialize::serialize_value).collect())
+    }
+}
+
+impl<T: Serialize> Serialize for [T] {
+    fn serialize_value(&self) -> Value {
+        Value::Array(self.iter().map(Serialize::serialize_value).collect())
+    }
+}
+
+impl<T: Deserialize> Deserialize for Vec<T> {
+    fn deserialize_value(value: &Value) -> Result<Self, Error> {
+        match value {
+            Value::Array(items) => items.iter().map(T::deserialize_value).collect(),
+            other => Err(Error::expected("array", other)),
+        }
+    }
+}
+
+impl<V: Serialize> Serialize for BTreeMap<String, V> {
+    fn serialize_value(&self) -> Value {
+        Value::Object(
+            self.iter()
+                .map(|(k, v)| (k.clone(), v.serialize_value()))
+                .collect(),
+        )
+    }
+}
+
+impl<V: Deserialize> Deserialize for BTreeMap<String, V> {
+    fn deserialize_value(value: &Value) -> Result<Self, Error> {
+        match value {
+            Value::Object(fields) => fields
+                .iter()
+                .map(|(k, v)| V::deserialize_value(v).map(|v| (k.clone(), v)))
+                .collect(),
+            other => Err(Error::expected("object", other)),
+        }
+    }
+}
+
+impl Serialize for Value {
+    fn serialize_value(&self) -> Value {
+        self.clone()
+    }
+}
+
+impl Deserialize for Value {
+    fn deserialize_value(value: &Value) -> Result<Self, Error> {
+        Ok(value.clone())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn option_null_round_trip() {
+        let none: Option<String> = None;
+        assert_eq!(none.serialize_value(), Value::Null);
+        assert_eq!(Option::<String>::deserialize_value(&Value::Null), Ok(None));
+    }
+
+    #[test]
+    fn integers_preserve_sign_and_width() {
+        assert_eq!((-3i64).serialize_value(), Value::Int(-3));
+        assert_eq!(7u32.serialize_value(), Value::UInt(7));
+        assert_eq!(i32::deserialize_value(&Value::UInt(12)), Ok(12));
+        assert!(u8::deserialize_value(&Value::UInt(300)).is_err());
+    }
+
+    #[test]
+    fn map_round_trip_preserves_entries() {
+        let mut m = BTreeMap::new();
+        m.insert("a".to_string(), 1u32);
+        m.insert("b".to_string(), 2u32);
+        let v = m.serialize_value();
+        assert_eq!(BTreeMap::<String, u32>::deserialize_value(&v), Ok(m));
+    }
+}

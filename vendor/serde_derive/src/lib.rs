@@ -1,0 +1,399 @@
+//! Hand-rolled `#[derive(Serialize, Deserialize)]` macros for the vendored
+//! `serde` stand-in.
+//!
+//! syn/quote are not available offline, so the derive input is parsed
+//! directly from the `proc_macro` token stream and the generated impls are
+//! assembled as source text.  Supported shapes — which cover every derived
+//! type in this workspace — are:
+//!
+//! * structs with named fields, honouring `#[serde(default)]` and
+//!   `#[serde(skip_serializing_if = "path")]` field attributes;
+//! * single-field tuple structs marked `#[serde(transparent)]`;
+//! * enums whose variants are unit or single-field tuple ("newtype")
+//!   variants, serialized with serde's external tagging: a unit variant
+//!   becomes the variant-name string, a newtype variant becomes a
+//!   single-entry object `{"Variant": inner}`.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+/// Field-level facts the generated impls need.
+struct Field {
+    name: String,
+    has_default: bool,
+    skip_serializing_if: Option<String>,
+    is_option: bool,
+}
+
+/// One enum variant: its name and whether it carries a newtype payload.
+struct Variant {
+    name: String,
+    has_payload: bool,
+}
+
+/// The shapes of type this derive supports.
+enum Shape {
+    NamedStruct {
+        name: String,
+        fields: Vec<Field>,
+    },
+    TransparentNewtype {
+        name: String,
+    },
+    Enum {
+        name: String,
+        variants: Vec<Variant>,
+    },
+}
+
+/// Serde attribute items collected from one `#[serde(...)]` group.
+#[derive(Default)]
+struct SerdeAttrs {
+    transparent: bool,
+    default: bool,
+    skip_serializing_if: Option<String>,
+}
+
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let shape = parse_shape(input);
+    let code = match &shape {
+        Shape::NamedStruct { name, fields } => {
+            let mut body =
+                String::from("let mut fields: Vec<(String, ::serde::Value)> = Vec::new();\n");
+            for f in fields {
+                let push = format!(
+                    "fields.push((\"{n}\".to_string(), ::serde::Serialize::serialize_value(&self.{n})));",
+                    n = f.name
+                );
+                match &f.skip_serializing_if {
+                    Some(path) => {
+                        body.push_str(&format!("if !{path}(&self.{}) {{ {push} }}\n", f.name));
+                    }
+                    None => {
+                        body.push_str(&push);
+                        body.push('\n');
+                    }
+                }
+            }
+            body.push_str("::serde::Value::Object(fields)");
+            impl_serialize(name, &body)
+        }
+        Shape::TransparentNewtype { name } => {
+            impl_serialize(name, "::serde::Serialize::serialize_value(&self.0)")
+        }
+        Shape::Enum { name, variants } => {
+            let arms: String = variants
+                .iter()
+                .map(|v| {
+                    let vn = &v.name;
+                    if v.has_payload {
+                        format!(
+                            "{name}::{vn}(inner) => ::serde::Value::Object(vec![\
+                             (\"{vn}\".to_string(), ::serde::Serialize::serialize_value(inner))]),\n"
+                        )
+                    } else {
+                        format!(
+                            "{name}::{vn} => ::serde::Value::String(\"{vn}\".to_string()),\n"
+                        )
+                    }
+                })
+                .collect();
+            impl_serialize(name, &format!("match self {{\n{arms}}}"))
+        }
+    };
+    code.parse()
+        .expect("derive(Serialize) generated invalid code")
+}
+
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let shape = parse_shape(input);
+    let code = match &shape {
+        Shape::NamedStruct { name, fields } => {
+            let mut body = format!(
+                "if value.as_object().is_none() {{\n\
+                 return Err(::serde::Error::expected(\"object\", value));\n\
+                 }}\n\
+                 Ok({name} {{\n"
+            );
+            for f in fields {
+                let fallback = if f.has_default || f.is_option {
+                    "::core::default::Default::default()".to_string()
+                } else {
+                    format!(
+                        "return Err(::serde::Error::missing_field(\"{name}\", \"{n}\"))",
+                        n = f.name
+                    )
+                };
+                body.push_str(&format!(
+                    "{n}: match value.get_field(\"{n}\") {{\n\
+                     Some(v) => ::serde::Deserialize::deserialize_value(v)?,\n\
+                     None => {fallback},\n\
+                     }},\n",
+                    n = f.name
+                ));
+            }
+            body.push_str("})");
+            impl_deserialize(name, &body)
+        }
+        Shape::TransparentNewtype { name } => impl_deserialize(
+            name,
+            &format!("Ok({name}(::serde::Deserialize::deserialize_value(value)?))"),
+        ),
+        Shape::Enum { name, variants } => {
+            let unit_arms: String = variants
+                .iter()
+                .filter(|v| !v.has_payload)
+                .map(|v| format!("\"{n}\" => Ok({name}::{n}),\n", n = v.name))
+                .collect();
+            let newtype_arms: String = variants
+                .iter()
+                .filter(|v| v.has_payload)
+                .map(|v| {
+                    format!(
+                        "\"{n}\" => Ok({name}::{n}(::serde::Deserialize::deserialize_value(v)?)),\n",
+                        n = v.name
+                    )
+                })
+                .collect();
+            impl_deserialize(
+                name,
+                &format!(
+                    "match value {{\n\
+                     ::serde::Value::String(s) => match s.as_str() {{\n\
+                     {unit_arms}\
+                     other => Err(::serde::Error::unknown_variant(\"{name}\", other)),\n\
+                     }},\n\
+                     ::serde::Value::Object(fields) if fields.len() == 1 => {{\n\
+                     let (tag, v) = &fields[0];\n\
+                     match tag.as_str() {{\n\
+                     {newtype_arms}\
+                     other => Err(::serde::Error::unknown_variant(\"{name}\", other)),\n\
+                     }}\n\
+                     }},\n\
+                     other => Err(::serde::Error::expected(\"string or single-entry object\", other)),\n\
+                     }}"
+                ),
+            )
+        }
+    };
+    code.parse()
+        .expect("derive(Deserialize) generated invalid code")
+}
+
+fn impl_serialize(name: &str, body: &str) -> String {
+    format!(
+        "#[automatically_derived]\n\
+         impl ::serde::Serialize for {name} {{\n\
+         fn serialize_value(&self) -> ::serde::Value {{\n{body}\n}}\n\
+         }}\n"
+    )
+}
+
+fn impl_deserialize(name: &str, body: &str) -> String {
+    format!(
+        "#[automatically_derived]\n\
+         impl ::serde::Deserialize for {name} {{\n\
+         fn deserialize_value(value: &::serde::Value) \
+         -> ::core::result::Result<Self, ::serde::Error> {{\n{body}\n}}\n\
+         }}\n"
+    )
+}
+
+/// Parses the derive input into one of the supported [`Shape`]s.
+fn parse_shape(input: TokenStream) -> Shape {
+    let mut iter = input.into_iter().peekable();
+    let mut container_attrs = SerdeAttrs::default();
+
+    // Container attributes and visibility precede `struct` / `enum`.
+    let kind = loop {
+        match iter.next() {
+            Some(TokenTree::Punct(p)) if p.as_char() == '#' => {
+                if let Some(TokenTree::Group(g)) = iter.next() {
+                    merge_serde_attrs(&mut container_attrs, &g.stream());
+                }
+            }
+            Some(TokenTree::Ident(id)) => {
+                let word = id.to_string();
+                if word == "struct" || word == "enum" {
+                    break word;
+                }
+                // `pub` or other modifiers: skip (a following `(crate)`
+                // group is consumed by the next iteration harmlessly).
+            }
+            Some(_) => {}
+            None => panic!("derive input ended before `struct` or `enum` keyword"),
+        }
+    };
+
+    let name = match iter.next() {
+        Some(TokenTree::Ident(id)) => id.to_string(),
+        other => panic!("expected type name after `{kind}`, found {other:?}"),
+    };
+
+    match iter.next() {
+        Some(TokenTree::Punct(p)) if p.as_char() == '<' => {
+            panic!("derive stand-in does not support generic type `{name}`")
+        }
+        Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+            if kind == "struct" {
+                Shape::NamedStruct {
+                    name,
+                    fields: parse_named_fields(g.stream()),
+                }
+            } else {
+                Shape::Enum {
+                    name,
+                    variants: parse_variants(g.stream()),
+                }
+            }
+        }
+        Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+            if !container_attrs.transparent {
+                panic!("tuple struct `{name}` must be #[serde(transparent)]");
+            }
+            let inner: Vec<TokenTree> = g.stream().into_iter().collect();
+            let commas = inner
+                .iter()
+                .filter(|t| matches!(t, TokenTree::Punct(p) if p.as_char() == ','))
+                .count();
+            if commas > 1 {
+                panic!("transparent struct `{name}` must have exactly one field");
+            }
+            Shape::TransparentNewtype { name }
+        }
+        other => panic!("unsupported shape for `{name}`: {other:?}"),
+    }
+}
+
+/// Collects `default` / `transparent` / `skip_serializing_if` facts out of
+/// one attribute token group (the `[...]` part of `#[...]`).
+fn merge_serde_attrs(attrs: &mut SerdeAttrs, bracket_stream: &TokenStream) {
+    let mut iter = bracket_stream.clone().into_iter();
+    match iter.next() {
+        Some(TokenTree::Ident(id)) if id.to_string() == "serde" => {}
+        _ => return, // #[doc = ...], #[derive(...)] etc.
+    }
+    let Some(TokenTree::Group(args)) = iter.next() else {
+        return;
+    };
+    let mut items = args.stream().into_iter().peekable();
+    while let Some(tree) = items.next() {
+        let TokenTree::Ident(id) = tree else { continue };
+        match id.to_string().as_str() {
+            "transparent" => attrs.transparent = true,
+            "default" => attrs.default = true,
+            "skip_serializing_if" => {
+                // Consume `=` then the quoted path literal.
+                if let Some(TokenTree::Punct(p)) = items.next() {
+                    if p.as_char() == '=' {
+                        if let Some(TokenTree::Literal(lit)) = items.next() {
+                            let raw = lit.to_string();
+                            attrs.skip_serializing_if = Some(raw.trim_matches('"').to_string());
+                        }
+                    }
+                }
+            }
+            other => panic!("unsupported serde attribute `{other}`"),
+        }
+    }
+}
+
+/// Parses `name: Type` fields (with attributes) out of a brace group.
+fn parse_named_fields(stream: TokenStream) -> Vec<Field> {
+    let mut fields = Vec::new();
+    let mut iter = stream.into_iter().peekable();
+    loop {
+        let mut attrs = SerdeAttrs::default();
+        // Attributes and visibility before the field name.
+        let field_name = loop {
+            match iter.next() {
+                Some(TokenTree::Punct(p)) if p.as_char() == '#' => {
+                    if let Some(TokenTree::Group(g)) = iter.next() {
+                        merge_serde_attrs(&mut attrs, &g.stream());
+                    }
+                }
+                Some(TokenTree::Ident(id)) => {
+                    let word = id.to_string();
+                    if word != "pub" {
+                        break word;
+                    }
+                    // Skip an optional `(crate)` restriction group.
+                    if matches!(iter.peek(), Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis)
+                    {
+                        iter.next();
+                    }
+                }
+                Some(other) => panic!("unexpected token in field position: {other}"),
+                None => return fields,
+            }
+        };
+        match iter.next() {
+            Some(TokenTree::Punct(p)) if p.as_char() == ':' => {}
+            other => panic!("expected `:` after field `{field_name}`, found {other:?}"),
+        }
+        // Consume the type, tracking `<...>` nesting so commas inside
+        // generics don't terminate the field early.
+        let mut angle_depth = 0i32;
+        let mut first_type_token: Option<String> = None;
+        loop {
+            match iter.peek() {
+                Some(TokenTree::Punct(p)) if p.as_char() == '<' => angle_depth += 1,
+                Some(TokenTree::Punct(p)) if p.as_char() == '>' => angle_depth -= 1,
+                Some(TokenTree::Punct(p)) if p.as_char() == ',' && angle_depth == 0 => {
+                    iter.next();
+                    break;
+                }
+                Some(TokenTree::Ident(id)) if first_type_token.is_none() => {
+                    first_type_token = Some(id.to_string());
+                }
+                Some(_) => {}
+                None => break,
+            }
+            iter.next();
+        }
+        fields.push(Field {
+            name: field_name,
+            has_default: attrs.default,
+            skip_serializing_if: attrs.skip_serializing_if,
+            is_option: first_type_token.as_deref() == Some("Option"),
+        });
+    }
+}
+
+/// Parses enum variants (unit or single-field tuple) out of an enum body.
+fn parse_variants(stream: TokenStream) -> Vec<Variant> {
+    let mut variants: Vec<Variant> = Vec::new();
+    let mut iter = stream.into_iter();
+    while let Some(tree) = iter.next() {
+        match tree {
+            TokenTree::Punct(p) if p.as_char() == '#' => {
+                iter.next(); // skip the attribute body
+            }
+            TokenTree::Punct(p) if p.as_char() == ',' => {}
+            TokenTree::Ident(id) => variants.push(Variant {
+                name: id.to_string(),
+                has_payload: false,
+            }),
+            TokenTree::Group(g) if g.delimiter() == Delimiter::Parenthesis => {
+                let last = variants
+                    .last_mut()
+                    .unwrap_or_else(|| panic!("payload group without a variant name: {g}"));
+                let commas = g
+                    .stream()
+                    .into_iter()
+                    .filter(|t| matches!(t, TokenTree::Punct(p) if p.as_char() == ','))
+                    .count();
+                if commas > 1 {
+                    panic!("multi-field enum variant `{}` is not supported", last.name);
+                }
+                last.has_payload = true;
+            }
+            TokenTree::Group(g) => {
+                panic!("struct-style enum variant is not supported: {g}")
+            }
+            other => panic!("unexpected token in enum body: {other}"),
+        }
+    }
+    variants
+}
