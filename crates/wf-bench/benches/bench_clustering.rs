@@ -20,6 +20,7 @@ fn corpus(size: usize) -> Vec<Workflow> {
 fn bench_matrix_construction(c: &mut Criterion) {
     let workflows = corpus(40);
     let ms = WorkflowSimilarity::new(SimilarityConfig::best_module_sets());
+    let profiled = wf_sim::ProfiledMeasure::new(SimilarityConfig::best_module_sets(), &workflows);
     let mut group = c.benchmark_group("similarity_matrix");
     group.sample_size(10);
     group.bench_function("sequential_MS_40", |bencher| {
@@ -36,6 +37,12 @@ fn bench_matrix_construction(c: &mut Criterion) {
             },
         );
     }
+    group.bench_function("sequential_profiled_MS_40", |bencher| {
+        bencher.iter(|| PairwiseSimilarities::compute(black_box(&workflows), &profiled))
+    });
+    group.bench_function("parallel_profiled_MS_40_4_threads", |bencher| {
+        bencher.iter(|| PairwiseSimilarities::compute_parallel(black_box(&workflows), &profiled, 4))
+    });
     group.finish();
 }
 

@@ -4,9 +4,12 @@
 //! [`PairwiseSimilarities`] matrix: the symmetric matrix of workflow-level
 //! similarities under one measure.  Computing it is the expensive part of
 //! clustering (O(n²) workflow comparisons), so a scoped-thread parallel
-//! builder is provided alongside the sequential one.
+//! builder is provided alongside the sequential one.  The parallel builder
+//! is lock-free: the dense value buffer is split into disjoint row slices
+//! via `chunks_mut`, each worker owns an interleaved subset of rows, and a
+//! cheap sequential pass mirrors the upper triangle afterwards — no mutex
+//! anywhere near the `measure` calls.
 
-use parking_lot::Mutex;
 use wf_model::{Workflow, WorkflowId};
 use wf_sim::Measure;
 
@@ -38,8 +41,15 @@ impl PairwiseSimilarities {
         }
     }
 
-    /// Computes the matrix on `threads` std scoped threads, splitting
-    /// the upper triangle by rows.
+    /// Computes the matrix on `threads` std scoped threads, splitting the
+    /// upper triangle by rows.
+    ///
+    /// Each worker receives exclusive `&mut` access to an interleaved
+    /// subset of matrix rows (disjoint slices carved out of the dense
+    /// buffer with `chunks_mut`), writes its cells directly, and a
+    /// sequential O(n²) mirror pass fills the lower triangle after the
+    /// join.  Workers never contend on a lock, and the result is
+    /// bit-identical to [`PairwiseSimilarities::compute`].
     pub fn compute_parallel<M: Measure + Sync + ?Sized>(
         workflows: &[Workflow],
         measure: &M,
@@ -50,31 +60,34 @@ impl PairwiseSimilarities {
             return PairwiseSimilarities::compute(workflows, measure);
         }
         let threads = threads.min(n);
-        let results: Mutex<Vec<(usize, usize, f64)>> = Mutex::new(Vec::with_capacity(n * n / 2));
-        std::thread::scope(|scope| {
-            for worker in 0..threads {
-                let results = &results;
-                scope.spawn(move || {
-                    let mut local = Vec::new();
-                    // Static row interleaving balances the triangular load.
-                    let mut i = worker;
-                    while i < n {
-                        for j in (i + 1)..n {
-                            local.push((i, j, measure.measure(&workflows[i], &workflows[j])));
-                        }
-                        i += threads;
-                    }
-                    results.lock().extend(local);
-                });
-            }
-        });
         let mut values = vec![0.0; n * n];
-        for i in 0..n {
-            values[i * n + i] = 1.0;
+        {
+            // Deal the rows round-robin: row i goes to worker i % threads,
+            // which balances the triangular load like the seed interleaving
+            // did, but with direct ownership instead of a result mutex.
+            let mut buckets: Vec<Vec<(usize, &mut [f64])>> =
+                (0..threads).map(|_| Vec::new()).collect();
+            for (i, row) in values.chunks_mut(n).enumerate() {
+                buckets[i % threads].push((i, row));
+            }
+            std::thread::scope(|scope| {
+                for bucket in buckets {
+                    scope.spawn(move || {
+                        for (i, row) in bucket {
+                            row[i] = 1.0;
+                            for j in (i + 1)..n {
+                                row[j] = measure.measure(&workflows[i], &workflows[j]);
+                            }
+                        }
+                    });
+                }
+            });
         }
-        for (i, j, s) in results.into_inner() {
-            values[i * n + j] = s;
-            values[j * n + i] = s;
+        // Mirror the upper triangle into the lower one.
+        for i in 0..n {
+            for j in (i + 1)..n {
+                values[j * n + i] = values[i * n + j];
+            }
         }
         PairwiseSimilarities {
             ids: workflows.iter().map(|wf| wf.id.clone()).collect(),

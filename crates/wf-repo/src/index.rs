@@ -1,0 +1,504 @@
+//! Index-accelerated top-k search: a token inverted index over module
+//! labels plus upper-bound candidate pruning.
+//!
+//! Repository search in the seed implementation scores the query against
+//! *every* workflow.  The classic repository-search architecture (keyword
+//! indexing of workflow repositories à la Davidson et al.; trie-indexed
+//! pattern lookup à la García-Cuesta et al.) avoids that: per-workflow
+//! features are precomputed once, indexed, and candidates are pruned by a
+//! cheap *admissible* upper bound before the expensive measure runs.
+//!
+//! The engine is exact: because every bound is admissible (`bound(q, c) >=
+//! score(q, c)` and scores are non-negative), a candidate is skipped only
+//! when it provably cannot enter the result list, and a candidate whose
+//! bound is `0` is known to score exactly `0` without running the measure.
+//! The returned hit lists are therefore bit-identical — ids, scores and
+//! tie-order — to an exhaustive [`crate::SearchEngine::top_k`] scan.
+//! Measures that cannot provide a bound (`upper_bound` returning `None`)
+//! degrade gracefully to an exhaustive — but still corpus-resident — scan.
+
+use std::collections::BTreeMap;
+
+use wf_model::WorkflowId;
+
+use crate::search::{hit_ordering, sort_and_truncate, SearchHit, TopK};
+
+/// A corpus-resident similarity measure addressable by corpus index.
+///
+/// Implementations precompute per-workflow features once (profiles) and
+/// score pairs from those features.  Contract:
+///
+/// * `score` is non-negative and deterministic;
+/// * `upper_bound`, when `Some`, is *admissible*: `upper_bound(q, c) >=
+///   score(q, c)` for every pair — the indexed search relies on this for
+///   exactness;
+/// * `label_token_ids` returns the distinct interned label tokens of a
+///   workflow, sorted ascending.
+pub trait CorpusScorer: Sync {
+    /// Number of workflows in the corpus.
+    fn corpus_len(&self) -> usize;
+
+    /// The id of the workflow at a corpus index.
+    fn workflow_id(&self, index: usize) -> &WorkflowId;
+
+    /// The exact similarity of two corpus workflows.
+    fn score(&self, query: usize, candidate: usize) -> f64;
+
+    /// A cheap admissible upper bound on [`CorpusScorer::score`], or `None`
+    /// when the measure cannot bound this pair (forcing it to be scored).
+    fn upper_bound(&self, query: usize, candidate: usize) -> Option<f64>;
+
+    /// The distinct interned module-label token ids of a workflow, sorted.
+    fn label_token_ids(&self, index: usize) -> &[u32];
+}
+
+/// An inverted index from label-token ids to the workflows containing them.
+#[derive(Debug, Clone, Default)]
+pub struct TokenIndex {
+    postings: BTreeMap<u32, Vec<u32>>,
+    workflows: usize,
+}
+
+impl TokenIndex {
+    /// Builds the index over every workflow of a corpus-resident measure.
+    pub fn build<S: CorpusScorer + ?Sized>(scorer: &S) -> Self {
+        let mut postings: BTreeMap<u32, Vec<u32>> = BTreeMap::new();
+        let workflows = scorer.corpus_len();
+        for wf in 0..workflows {
+            // Token lists are distinct per workflow, so each posting list
+            // receives a workflow at most once and stays sorted.
+            for &token in scorer.label_token_ids(wf) {
+                postings.entry(token).or_default().push(wf as u32);
+            }
+        }
+        TokenIndex {
+            postings,
+            workflows,
+        }
+    }
+
+    /// The posting list (sorted workflow indices) of one token.
+    pub fn postings(&self, token: u32) -> &[u32] {
+        self.postings.get(&token).map_or(&[], Vec::as_slice)
+    }
+
+    /// Number of distinct indexed tokens.
+    pub fn token_count(&self) -> usize {
+        self.postings.len()
+    }
+
+    /// Number of indexed workflows.
+    pub fn workflow_count(&self) -> usize {
+        self.workflows
+    }
+
+    /// How many of `query_tokens` each workflow shares, as a dense vector
+    /// (one counter per corpus workflow, zero for untouched workflows).
+    pub fn overlap_counts(&self, query_tokens: &[u32]) -> Vec<u32> {
+        let mut counts = vec![0u32; self.workflows];
+        for &token in query_tokens {
+            for &wf in self.postings(token) {
+                counts[wf as usize] += 1;
+            }
+        }
+        counts
+    }
+}
+
+/// Instrumentation of one indexed search.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct SearchStats {
+    /// Candidate workflows considered (corpus minus the query).
+    pub candidates: usize,
+    /// Candidates scored with the full measure.
+    pub scored: usize,
+    /// Candidates skipped because their bound fell below the running top-k
+    /// threshold.
+    pub pruned: usize,
+    /// Candidates resolved to an exact score of 0 from a zero bound,
+    /// without running the measure.
+    pub zero_bound: usize,
+    /// Candidates sharing at least one label token with the query.
+    pub shared_token_candidates: usize,
+}
+
+impl SearchStats {
+    /// Fraction of candidates that skipped full scoring.
+    pub fn pruned_fraction(&self) -> f64 {
+        if self.candidates == 0 {
+            0.0
+        } else {
+            (self.candidates - self.scored) as f64 / self.candidates as f64
+        }
+    }
+
+    fn merge(&mut self, other: &SearchStats) {
+        self.candidates += other.candidates;
+        self.scored += other.scored;
+        self.pruned += other.pruned;
+        self.zero_bound += other.zero_bound;
+        self.shared_token_candidates += other.shared_token_candidates;
+    }
+}
+
+/// A candidate queued for scoring, ordered best-bound-first.
+struct Candidate {
+    index: usize,
+    bound: f64,
+    overlap: u32,
+}
+
+/// The index-accelerated top-k search engine.
+pub struct IndexedSearchEngine<'s, S: CorpusScorer + ?Sized> {
+    scorer: &'s S,
+    index: TokenIndex,
+    threads: usize,
+}
+
+impl<'s, S: CorpusScorer + ?Sized> IndexedSearchEngine<'s, S> {
+    /// Builds the inverted index and wraps the measure.
+    pub fn new(scorer: &'s S) -> Self {
+        IndexedSearchEngine {
+            index: TokenIndex::build(scorer),
+            scorer,
+            threads: 4,
+        }
+    }
+
+    /// Sets the number of worker threads for
+    /// [`IndexedSearchEngine::top_k_parallel`] (at least 1).
+    pub fn with_threads(mut self, threads: usize) -> Self {
+        self.threads = threads.max(1);
+        self
+    }
+
+    /// The underlying inverted index.
+    pub fn index(&self) -> &TokenIndex {
+        &self.index
+    }
+
+    /// The `k` workflows most similar to the corpus workflow at
+    /// `query` (which is itself excluded), best first.
+    pub fn top_k(&self, query: usize, k: usize) -> Vec<SearchHit> {
+        self.top_k_with_stats(query, k).0
+    }
+
+    /// [`IndexedSearchEngine::top_k`] plus pruning instrumentation.
+    pub fn top_k_with_stats(&self, query: usize, k: usize) -> (Vec<SearchHit>, SearchStats) {
+        let (candidates, mut stats) = self.ranked_candidates(query);
+        if k == 0 || candidates.is_empty() {
+            stats.pruned = candidates.len();
+            return (Vec::new(), stats);
+        }
+        let mut top = TopK::new(k);
+        let mut remaining = candidates.len();
+        for candidate in &candidates {
+            // Best-bound-first order: once the bound of the next candidate
+            // drops below the weakest kept score, no later candidate can
+            // displace anything (score <= bound < worst), so stop scoring.
+            if let Some(worst) = top.worst_score() {
+                if candidate.bound < worst {
+                    stats.pruned += remaining;
+                    break;
+                }
+            }
+            remaining -= 1;
+            top.insert(self.resolve(query, candidate, &mut stats));
+        }
+        (top.into_sorted_hits(), stats)
+    }
+
+    /// Parallel variant: the bound-ranked candidate list is dealt
+    /// round-robin to workers, each keeping a private bounded top-k heap
+    /// (with the same local early-exit), and the per-thread winners are
+    /// merged at join.  Lock-free and bit-identical to the sequential
+    /// search.
+    pub fn top_k_parallel(&self, query: usize, k: usize) -> Vec<SearchHit> {
+        self.top_k_parallel_with_stats(query, k).0
+    }
+
+    /// [`IndexedSearchEngine::top_k_parallel`] plus instrumentation.
+    pub fn top_k_parallel_with_stats(
+        &self,
+        query: usize,
+        k: usize,
+    ) -> (Vec<SearchHit>, SearchStats) {
+        let (candidates, mut stats) = self.ranked_candidates(query);
+        if k == 0 || candidates.is_empty() {
+            stats.pruned = candidates.len();
+            return (Vec::new(), stats);
+        }
+        let threads = self.threads.min(candidates.len());
+        if threads <= 1 {
+            return self.top_k_with_stats(query, k);
+        }
+        let (mut hits, worker_stats) = std::thread::scope(|scope| {
+            let workers: Vec<_> = (0..threads)
+                .map(|worker| {
+                    let candidates = &candidates;
+                    scope.spawn(move || {
+                        let mut local_stats = SearchStats::default();
+                        let mut top = TopK::new(k);
+                        // Round-robin slice, preserving the global
+                        // best-bound-first order within the worker.
+                        let mut mine = candidates.iter().skip(worker).step_by(threads);
+                        let mut remaining =
+                            candidates.len().saturating_sub(worker).div_ceil(threads);
+                        for candidate in &mut mine {
+                            if let Some(worst) = top.worst_score() {
+                                if candidate.bound < worst {
+                                    local_stats.pruned += remaining;
+                                    break;
+                                }
+                            }
+                            remaining -= 1;
+                            let hit = self.resolve(query, candidate, &mut local_stats);
+                            top.insert(hit);
+                        }
+                        (top.into_hits(), local_stats)
+                    })
+                })
+                .collect();
+            let mut all = Vec::new();
+            let mut merged = SearchStats::default();
+            for w in workers {
+                let (hits, s) = w.join().expect("indexed search worker panicked");
+                all.extend(hits);
+                merged.merge(&s);
+            }
+            (all, merged)
+        });
+        stats.scored = worker_stats.scored;
+        stats.pruned = worker_stats.pruned;
+        stats.zero_bound = worker_stats.zero_bound;
+        sort_and_truncate(&mut hits, k);
+        (hits, stats)
+    }
+
+    /// All candidates (corpus minus query) with their bounds and token
+    /// overlaps, sorted best-bound-first.
+    fn ranked_candidates(&self, query: usize) -> (Vec<Candidate>, SearchStats) {
+        let n = self.scorer.corpus_len();
+        let overlaps = self
+            .index
+            .overlap_counts(self.scorer.label_token_ids(query));
+        let query_id = self.scorer.workflow_id(query);
+        let mut stats = SearchStats::default();
+        let mut candidates = Vec::with_capacity(n.saturating_sub(1));
+        for (i, &overlap) in overlaps.iter().enumerate().take(n) {
+            if i == query || self.scorer.workflow_id(i) == query_id {
+                continue;
+            }
+            if overlap > 0 {
+                stats.shared_token_candidates += 1;
+            }
+            // Unbounded measures sort first (infinite bound) and are always
+            // scored: the search degrades to an exhaustive profiled scan.
+            let bound = self.scorer.upper_bound(query, i).unwrap_or(f64::INFINITY);
+            candidates.push(Candidate {
+                index: i,
+                bound,
+                overlap,
+            });
+        }
+        stats.candidates = candidates.len();
+        candidates.sort_unstable_by(|a, b| {
+            b.bound
+                .partial_cmp(&a.bound)
+                .unwrap_or(std::cmp::Ordering::Equal)
+                .then_with(|| b.overlap.cmp(&a.overlap))
+                .then_with(|| a.index.cmp(&b.index))
+        });
+        (candidates, stats)
+    }
+
+    /// Scores one candidate — or short-circuits a zero bound, which by
+    /// admissibility pins the score to exactly 0 without running the
+    /// measure.
+    fn resolve(&self, query: usize, candidate: &Candidate, stats: &mut SearchStats) -> SearchHit {
+        let score = if candidate.bound == 0.0 {
+            stats.zero_bound += 1;
+            0.0
+        } else {
+            stats.scored += 1;
+            self.scorer.score(query, candidate.index)
+        };
+        SearchHit {
+            id: self.scorer.workflow_id(candidate.index).clone(),
+            score,
+        }
+    }
+}
+
+/// Exhaustively scores a corpus query with a [`CorpusScorer`] — the
+/// reference the indexed engine is validated against, and the fallback for
+/// callers that want profiled scoring without index construction.
+pub fn scan_top_k<S: CorpusScorer + ?Sized>(scorer: &S, query: usize, k: usize) -> Vec<SearchHit> {
+    let query_id = scorer.workflow_id(query);
+    let mut hits: Vec<SearchHit> = (0..scorer.corpus_len())
+        .filter(|&i| i != query && scorer.workflow_id(i) != query_id)
+        .map(|i| SearchHit {
+            id: scorer.workflow_id(i).clone(),
+            score: scorer.score(query, i),
+        })
+        .collect();
+    hits.sort_by(hit_ordering);
+    hits.truncate(k);
+    hits
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// A toy corpus-resident measure: workflows are token-id sets, the
+    /// similarity is the exact Jaccard index, the bound the size quotient.
+    struct ToyScorer {
+        ids: Vec<WorkflowId>,
+        tokens: Vec<Vec<u32>>,
+        bounded: bool,
+    }
+
+    impl ToyScorer {
+        fn new(token_sets: &[&[u32]], bounded: bool) -> Self {
+            ToyScorer {
+                ids: (0..token_sets.len())
+                    .map(|i| WorkflowId::new(format!("w{i:02}")))
+                    .collect(),
+                tokens: token_sets.iter().map(|t| t.to_vec()).collect(),
+                bounded,
+            }
+        }
+
+        fn jaccard(&self, a: usize, b: usize) -> f64 {
+            let (ta, tb) = (&self.tokens[a], &self.tokens[b]);
+            if ta.is_empty() && tb.is_empty() {
+                return 1.0;
+            }
+            let inter = ta.iter().filter(|t| tb.contains(t)).count();
+            inter as f64 / (ta.len() + tb.len() - inter) as f64
+        }
+    }
+
+    impl CorpusScorer for ToyScorer {
+        fn corpus_len(&self) -> usize {
+            self.ids.len()
+        }
+
+        fn workflow_id(&self, index: usize) -> &WorkflowId {
+            &self.ids[index]
+        }
+
+        fn score(&self, query: usize, candidate: usize) -> f64 {
+            self.jaccard(query, candidate)
+        }
+
+        fn upper_bound(&self, query: usize, candidate: usize) -> Option<f64> {
+            if !self.bounded {
+                return None;
+            }
+            let (a, b) = (self.tokens[query].len(), self.tokens[candidate].len());
+            Some(if a == 0 && b == 0 {
+                1.0
+            } else if a == 0 || b == 0 {
+                0.0
+            } else {
+                // Tighter and still admissible: intersection can be at most
+                // min(a, b), but with *zero* shared tokens it is zero; use
+                // the size quotient, which dominates the true Jaccard.
+                a.min(b) as f64 / a.max(b) as f64
+            })
+        }
+
+        fn label_token_ids(&self, index: usize) -> &[u32] {
+            &self.tokens[index]
+        }
+    }
+
+    fn corpus() -> ToyScorer {
+        ToyScorer::new(
+            &[
+                &[1, 2, 3],       // query
+                &[1, 2, 3],       // identical
+                &[1, 2, 9],       // close
+                &[2, 7],          // some overlap
+                &[7, 8],          // disjoint
+                &[4, 5, 6, 7, 8], // disjoint, larger
+                &[],              // empty
+            ],
+            true,
+        )
+    }
+
+    #[test]
+    fn indexed_matches_exhaustive_scan_for_every_query_and_k() {
+        let scorer = corpus();
+        let engine = IndexedSearchEngine::new(&scorer).with_threads(3);
+        for query in 0..scorer.corpus_len() {
+            for k in [0, 1, 3, 6, 10] {
+                let expected = scan_top_k(&scorer, query, k);
+                assert_eq!(engine.top_k(query, k), expected, "q={query} k={k}");
+                assert_eq!(
+                    engine.top_k_parallel(query, k),
+                    expected,
+                    "parallel q={query} k={k}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn pruning_actually_skips_candidates() {
+        let scorer = corpus();
+        let engine = IndexedSearchEngine::new(&scorer);
+        let (hits, stats) = engine.top_k_with_stats(0, 2);
+        assert_eq!(hits.len(), 2);
+        assert_eq!(hits[0].id.as_str(), "w01");
+        assert_eq!(stats.candidates, 6);
+        assert!(
+            stats.scored < stats.candidates,
+            "bound pruning must skip some of the disjoint candidates: {stats:?}"
+        );
+        assert_eq!(
+            stats.scored + stats.pruned + stats.zero_bound,
+            stats.candidates
+        );
+    }
+
+    #[test]
+    fn unbounded_measures_fall_back_to_an_exhaustive_scan() {
+        let tokens: Vec<&[u32]> = vec![&[1, 2], &[1], &[3], &[2, 3]];
+        let scorer = ToyScorer::new(&tokens, false);
+        let engine = IndexedSearchEngine::new(&scorer);
+        let (hits, stats) = engine.top_k_with_stats(0, 3);
+        assert_eq!(hits, scan_top_k(&scorer, 0, 3));
+        assert_eq!(stats.scored, stats.candidates, "nothing can be pruned");
+    }
+
+    #[test]
+    fn token_index_postings_and_overlaps() {
+        let scorer = corpus();
+        let index = TokenIndex::build(&scorer);
+        assert_eq!(index.workflow_count(), 7);
+        assert!(index.token_count() >= 8);
+        assert_eq!(index.postings(1), &[0, 1, 2]);
+        assert_eq!(index.postings(42), &[] as &[u32]);
+        let overlaps = index.overlap_counts(&[1, 2, 3]);
+        assert_eq!(overlaps[1], 3);
+        assert_eq!(overlaps[3], 1);
+        assert_eq!(overlaps[4], 0);
+    }
+
+    #[test]
+    fn stats_fraction_is_sane() {
+        let stats = SearchStats {
+            candidates: 10,
+            scored: 4,
+            pruned: 5,
+            zero_bound: 1,
+            shared_token_candidates: 3,
+        };
+        assert!((stats.pruned_fraction() - 0.6).abs() < 1e-12);
+        assert_eq!(SearchStats::default().pruned_fraction(), 0.0);
+    }
+}

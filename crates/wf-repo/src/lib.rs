@@ -23,12 +23,17 @@
 //!   projecting a workflow onto its important modules while preserving the
 //!   paths between them as edges of the transitive reduction.
 //! * [`search`] — a top-k similarity search engine over a repository,
-//!   generic over the similarity measure and optionally parallelised.
+//!   generic over the similarity measure and optionally parallelised
+//!   (lock-free: per-thread bounded heaps merged at join).
+//! * [`index`] — the index-accelerated search path: a token inverted index
+//!   over module labels plus an exact upper-bound pruning top-k search over
+//!   any corpus-resident measure ([`CorpusScorer`]).
 //! * [`mining`] — Apriori frequent itemset mining over module and tag sets,
 //!   the repository-level ingredient of the *frequent module / tag set*
 //!   similarity of Stoyanovich et al. \[36\].
 
 pub mod importance;
+pub mod index;
 pub mod mining;
 pub mod preselect;
 pub mod projection;
@@ -38,10 +43,13 @@ pub mod type_classes;
 pub mod usage;
 
 pub use importance::{ImportanceConfig, ImportanceScorer};
+pub use index::{scan_top_k, CorpusScorer, IndexedSearchEngine, SearchStats, TokenIndex};
 pub use mining::{mine_repository, mine_transactions, FrequentItemsets, ItemSource, MiningConfig};
-pub use preselect::{candidate_pairs, pair_reduction_factor, PreselectionStrategy};
+pub use preselect::{
+    candidate_pair_iter, candidate_pairs, pair_reduction_factor, PreselectionStrategy,
+};
 pub use projection::importance_projection;
 pub use repository::Repository;
-pub use search::{SearchEngine, SearchHit};
+pub use search::{SearchEngine, SearchHit, TopK};
 pub use type_classes::TypeClass;
 pub use usage::UsageStatistics;

@@ -58,21 +58,32 @@ impl fmt::Display for PreselectionStrategy {
     }
 }
 
+/// The candidate module pairs of two workflows under a strategy, as a lazy
+/// iterator over the (filtered) Cartesian product.
+///
+/// The allocation-free form of [`candidate_pairs`]: hot loops that only
+/// *walk* or *count* the pairs (the matrix builder, the pair-count
+/// accounting) never materialise a `Vec` per workflow pair.
+pub fn candidate_pair_iter<'w>(
+    a: &'w Workflow,
+    b: &'w Workflow,
+    strategy: PreselectionStrategy,
+) -> impl Iterator<Item = (ModuleId, ModuleId)> + 'w {
+    a.modules.iter().flat_map(move |ma| {
+        b.modules
+            .iter()
+            .filter(move |mb| strategy.allows(ma, mb))
+            .map(move |mb| (ma.id, mb.id))
+    })
+}
+
 /// The candidate module pairs of two workflows under a strategy.
 pub fn candidate_pairs(
     a: &Workflow,
     b: &Workflow,
     strategy: PreselectionStrategy,
 ) -> Vec<(ModuleId, ModuleId)> {
-    let mut pairs = Vec::new();
-    for ma in &a.modules {
-        for mb in &b.modules {
-            if strategy.allows(ma, mb) {
-                pairs.push((ma.id, mb.id));
-            }
-        }
-    }
-    pairs
+    candidate_pair_iter(a, b, strategy).collect()
 }
 
 /// The factor by which a strategy reduces the number of pairwise module
@@ -90,7 +101,7 @@ pub fn pair_reduction_factor(
     let mut restricted = 0usize;
     for (a, b) in pairs {
         full += a.module_count() * b.module_count();
-        restricted += candidate_pairs(a, b, strategy).len();
+        restricted += candidate_pair_iter(a, b, strategy).count();
     }
     if restricted == 0 {
         None

@@ -4,10 +4,19 @@
 //! "to each retrieve the top-10 similar workflows from our complete dataset
 //! of 1483 Taverna workflows".  [`SearchEngine`] implements exactly that
 //! operation, generic over the similarity measure (any
-//! `Fn(&Workflow, &Workflow) -> f64`), with an optional multi-threaded
-//! scoring path for large corpora.
+//! `Fn(&Workflow, &Workflow) -> f64`), with a lock-free multi-threaded
+//! scoring path for large corpora: every worker keeps its own bounded
+//! top-k heap and the per-thread winners are merged once at join, so no
+//! mutex sits on the scoring hot path.
+//!
+//! For corpus-resident measures that can *bound* scores cheaply, the
+//! index-accelerated engine in [`crate::index`] prunes candidates before
+//! scoring them; this module provides the exhaustive baseline and the
+//! shared top-k machinery.
 
-use parking_lot::Mutex;
+use std::cmp::Ordering;
+use std::collections::BinaryHeap;
+
 use wf_model::{Workflow, WorkflowId};
 
 use crate::repository::Repository;
@@ -19,6 +28,103 @@ pub struct SearchHit {
     pub id: WorkflowId,
     /// Its similarity to the query workflow.
     pub score: f64,
+}
+
+/// The canonical result ordering: higher scores first, ties broken by
+/// ascending workflow id.  `Ordering::Less` means `a` ranks before `b`.
+pub(crate) fn hit_ordering(a: &SearchHit, b: &SearchHit) -> Ordering {
+    b.score
+        .partial_cmp(&a.score)
+        .unwrap_or(Ordering::Equal)
+        .then_with(|| a.id.cmp(&b.id))
+}
+
+/// Heap entry ordered so that the *worst* hit is the heap maximum.
+struct WorstFirst(SearchHit);
+
+impl PartialEq for WorstFirst {
+    fn eq(&self, other: &Self) -> bool {
+        hit_ordering(&self.0, &other.0) == Ordering::Equal
+    }
+}
+
+impl Eq for WorstFirst {}
+
+impl PartialOrd for WorstFirst {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Ord for WorstFirst {
+    fn cmp(&self, other: &Self) -> Ordering {
+        // A hit that ranks *later* (Greater in hit_ordering) is "bigger"
+        // here, so BinaryHeap::peek surfaces the weakest kept hit.
+        hit_ordering(&self.0, &other.0)
+    }
+}
+
+/// A bounded top-k accumulator over [`SearchHit`]s.
+///
+/// Keeps at most `k` hits; the weakest kept hit is inspectable in `O(1)`,
+/// which lets bound-aware callers stop scoring candidates that provably
+/// cannot enter the result list.  Produces exactly the hits (ids, scores
+/// and tie-order) a full sort of all inserted hits would produce.
+pub struct TopK {
+    k: usize,
+    heap: BinaryHeap<WorstFirst>,
+}
+
+impl TopK {
+    /// An accumulator for the best `k` hits.
+    pub fn new(k: usize) -> Self {
+        TopK {
+            k,
+            heap: BinaryHeap::with_capacity(k.min(1024).saturating_add(1)),
+        }
+    }
+
+    /// True once `k` hits are kept (new hits must displace the weakest).
+    pub fn is_full(&self) -> bool {
+        self.heap.len() >= self.k
+    }
+
+    /// The score of the weakest kept hit, if the accumulator is full.
+    pub fn worst_score(&self) -> Option<f64> {
+        if self.is_full() {
+            self.heap.peek().map(|w| w.0.score)
+        } else {
+            None
+        }
+    }
+
+    /// Offers one hit, keeping it only while it belongs to the top `k`.
+    pub fn insert(&mut self, hit: SearchHit) {
+        if self.k == 0 {
+            return;
+        }
+        if self.heap.len() < self.k {
+            self.heap.push(WorstFirst(hit));
+            return;
+        }
+        let worst = self.heap.peek().expect("heap is full, k > 0");
+        if hit_ordering(&hit, &worst.0) == Ordering::Less {
+            self.heap.pop();
+            self.heap.push(WorstFirst(hit));
+        }
+    }
+
+    /// The kept hits, best first.
+    pub fn into_sorted_hits(self) -> Vec<SearchHit> {
+        let mut hits: Vec<SearchHit> = self.heap.into_iter().map(|w| w.0).collect();
+        hits.sort_unstable_by(hit_ordering);
+        hits
+    }
+
+    /// The kept hits in heap order (for merging several accumulators).
+    pub fn into_hits(self) -> Vec<SearchHit> {
+        self.heap.into_iter().map(|w| w.0).collect()
+    }
 }
 
 /// A top-k similarity search engine over one repository.
@@ -69,36 +175,43 @@ where
 
     /// Like [`SearchEngine::top_k`] but scoring workflows on several threads
     /// (std scoped threads, so the similarity closure only needs to be
-    /// `Sync`, not `'static`).
+    /// `Sync`, not `'static`).  Each worker fills a private bounded top-k
+    /// heap over its slice of the corpus; the per-thread winners are merged
+    /// after the workers join — no locks anywhere on the scoring path, and
+    /// the result is identical to the sequential [`SearchEngine::top_k`].
     pub fn top_k_parallel(&self, query: &Workflow, k: usize) -> Vec<SearchHit> {
         let candidates: Vec<&Workflow> = self
             .repository
             .iter()
             .filter(|wf| wf.id != query.id)
             .collect();
-        if candidates.is_empty() {
+        if candidates.is_empty() || k == 0 {
             return Vec::new();
         }
         let threads = self.threads.min(candidates.len());
-        let results: Mutex<Vec<SearchHit>> = Mutex::new(Vec::with_capacity(candidates.len()));
         let chunk_size = candidates.len().div_ceil(threads);
-        std::thread::scope(|scope| {
-            for chunk in candidates.chunks(chunk_size) {
-                let results = &results;
-                let similarity = &self.similarity;
-                scope.spawn(move || {
-                    let local: Vec<SearchHit> = chunk
-                        .iter()
-                        .map(|wf| SearchHit {
-                            id: wf.id.clone(),
-                            score: similarity(query, wf),
-                        })
-                        .collect();
-                    results.lock().extend(local);
-                });
-            }
+        let mut hits: Vec<SearchHit> = std::thread::scope(|scope| {
+            let workers: Vec<_> = candidates
+                .chunks(chunk_size)
+                .map(|chunk| {
+                    let similarity = &self.similarity;
+                    scope.spawn(move || {
+                        let mut local = TopK::new(k);
+                        for wf in chunk {
+                            local.insert(SearchHit {
+                                id: wf.id.clone(),
+                                score: similarity(query, wf),
+                            });
+                        }
+                        local.into_hits()
+                    })
+                })
+                .collect();
+            workers
+                .into_iter()
+                .flat_map(|w| w.join().expect("search worker panicked"))
+                .collect()
         });
-        let mut hits = results.into_inner();
         sort_and_truncate(&mut hits, k);
         hits
     }
@@ -124,16 +237,21 @@ where
     }
 }
 
-fn sort_and_truncate(hits: &mut Vec<SearchHit>, k: usize) {
-    hits.sort_by(|a, b| {
-        b.score
-            .partial_cmp(&a.score)
-            .unwrap_or(std::cmp::Ordering::Equal)
-            .then_with(|| a.id.cmp(&b.id))
-    });
+/// Keeps the best `k` hits of `hits`, sorted best first.
+///
+/// Uses `select_nth_unstable_by` to partition the top `k` in `O(n)` before
+/// sorting only those `k`, so retrieving 10 results from a large corpus
+/// stops paying the full `O(n log n)`.
+pub(crate) fn sort_and_truncate(hits: &mut Vec<SearchHit>, k: usize) {
+    if k == 0 {
+        hits.clear();
+        return;
+    }
     if k < hits.len() {
+        hits.select_nth_unstable_by(k - 1, hit_ordering);
         hits.truncate(k);
     }
+    hits.sort_unstable_by(hit_ordering);
 }
 
 #[cfg(test)]
@@ -205,6 +323,7 @@ mod tests {
         let engine = SearchEngine::new(&repo, label_overlap).with_threads(3);
         let query = repo.get_str("q").unwrap();
         assert_eq!(engine.top_k(query, 10), engine.top_k_parallel(query, 10));
+        assert_eq!(engine.top_k(query, 2), engine.top_k_parallel(query, 2));
     }
 
     #[test]
@@ -245,5 +364,53 @@ mod tests {
         let hits = engine.top_k(query, 10);
         assert_eq!(hits[0].id.as_str(), "a-tied");
         assert_eq!(hits[1].id.as_str(), "z-tied");
+    }
+
+    #[test]
+    fn topk_accumulator_equals_full_sort() {
+        // Scores engineered with duplicates to exercise tie handling.
+        let scores = [0.5, 0.9, 0.5, 0.1, 0.9, 0.3, 0.5, 0.0, 1.0, 0.9];
+        let hits: Vec<SearchHit> = scores
+            .iter()
+            .enumerate()
+            .map(|(i, &s)| SearchHit {
+                id: WorkflowId::new(format!("w{i:02}")),
+                score: s,
+            })
+            .collect();
+        for k in 0..=scores.len() + 1 {
+            let mut acc = TopK::new(k);
+            for h in &hits {
+                acc.insert(h.clone());
+            }
+            let mut expected = hits.clone();
+            sort_and_truncate(&mut expected, k);
+            assert_eq!(acc.into_sorted_hits(), expected, "k = {k}");
+        }
+    }
+
+    #[test]
+    fn partial_sort_matches_full_sort_on_random_scores() {
+        // Deterministic pseudo-random scores via a simple LCG.
+        let mut state = 0x2545_f491_4f6c_dd1du64;
+        let mut hits = Vec::new();
+        for i in 0..200 {
+            state = state
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
+            let score = ((state >> 11) % 1000) as f64 / 1000.0;
+            hits.push(SearchHit {
+                id: WorkflowId::new(format!("w{i:03}")),
+                score,
+            });
+        }
+        for k in [0, 1, 7, 10, 199, 200, 500] {
+            let mut full = hits.clone();
+            full.sort_by(hit_ordering);
+            full.truncate(k);
+            let mut partial = hits.clone();
+            sort_and_truncate(&mut partial, k);
+            assert_eq!(partial, full, "k = {k}");
+        }
     }
 }

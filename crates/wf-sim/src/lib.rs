@@ -47,6 +47,7 @@ pub mod module_cmp;
 pub mod normalize;
 pub mod pipeline;
 pub mod prior_work;
+pub mod profile;
 pub mod stacking;
 
 pub use annotation::{bag_of_tags_similarity, bag_of_words_similarity};
@@ -60,4 +61,5 @@ pub use mapping_step::{module_similarity_matrix, ModuleMappingOutcome};
 pub use module_cmp::{ComparisonMethod, ModuleComparisonScheme};
 pub use pipeline::{SimilarityReport, WorkflowSimilarity};
 pub use prior_work::{prior_approaches, PriorApproach};
+pub use profile::{ModuleProfile, ProfiledMeasure, WorkflowProfile};
 pub use stacking::{learn_weights, weight_grid, LearnedWeights, RankEnsemble};

@@ -1,0 +1,835 @@
+//! Corpus-resident similarity profiles.
+//!
+//! The seed pipeline re-derives everything on every comparison: each call
+//! to [`WorkflowSimilarity::similarity`] re-runs the Importance Projection,
+//! re-lowercases labels, re-tokenizes descriptions and scripts, and
+//! re-counts characters — even though none of those depend on the *pair*,
+//! only on the individual workflow.  At repository scale (top-k retrieval
+//! over the full corpus, O(n²) clustering matrices) that repeated work
+//! dominates the runtime.
+//!
+//! This module precomputes all of it once per corpus:
+//!
+//! * [`ModuleProfile`] — per-module derived features: the lowercased label,
+//!   character counts for every text attribute, interned token-id sets
+//!   (over a corpus-wide [`StringPool`]) for label / description / script,
+//!   the technical [`TypeClass`] and an attribute-presence bitmask.
+//! * [`WorkflowProfile`] — the preprocessed (projected) workflow, its
+//!   module profiles, the Path Sets decomposition and the annotation bags.
+//! * [`ProfiledMeasure`] — an adapter that scores corpus pairs from the
+//!   profiles while reproducing the configured [`WorkflowSimilarity`]
+//!   *bit-identically*: every module comparison scheme (`pw0`, `pw3`,
+//!   `pll`, `plm`, `gw1`, `gll`) and every measure (MS / PS / GE / BW / BT)
+//!   yields exactly the scores of the unprofiled pipeline.
+//!
+//! For the Module Sets measure the adapter additionally provides a cheap
+//! *admissible* upper bound on the pair score (length quotients for edit
+//! distances, size quotients for token sets, exact matches for symbols,
+//! relaxed to a one-to-one assignment cap and pushed through the monotone
+//! Jaccard normalization), which lets the inverted-index search engine in
+//! [`wf_repo::index`] prune most candidates without scoring them.
+
+use std::collections::BTreeMap;
+
+use wf_matching::{map_with, SimilarityMatrix};
+use wf_model::{AttributeKey, Module, ModuleId, Workflow, WorkflowId};
+use wf_repo::{CorpusScorer, PreselectionStrategy, TypeClass};
+use wf_text::levenshtein::{
+    levenshtein_similarity, levenshtein_similarity_ci, levenshtein_similarity_with_lens,
+};
+use wf_text::{jaccard_index, tokenize, CharSignature, StringPool, TokenBag, TokenIdSet};
+
+use crate::config::{MeasureKind, Normalization, SimilarityConfig};
+use crate::decompose::path_set;
+use crate::measures::graph_edit::graph_edit_similarity;
+use crate::measures::module_sets::module_sets_similarity;
+use crate::measures::path_sets::path_sets_similarity;
+use crate::module_cmp::{AttributeRule, ComparisonMethod};
+use crate::normalize::jaccard_normalize;
+use crate::pipeline::WorkflowSimilarity;
+
+/// Derived, comparison-ready features of one module.
+#[derive(Debug, Clone)]
+pub struct ModuleProfile {
+    /// The label lowercased once (Unicode `to_lowercase`, exactly as the
+    /// case-insensitive comparison methods do per call).
+    label_lower: String,
+    /// Scalar-value counts, cached so no comparison ever re-walks a string.
+    label_chars: u32,
+    label_lower_chars: u32,
+    desc_chars: u32,
+    script_chars: u32,
+    /// Interned distinct token ids of `tokenize(label/description/script)`.
+    label_tokens: TokenIdSet,
+    desc_tokens: TokenIdSet,
+    script_tokens: TokenIdSet,
+    /// Character-frequency signatures for the edit-distance upper bounds.
+    label_sig: CharSignature,
+    label_lower_sig: CharSignature,
+    desc_sig: CharSignature,
+    script_sig: CharSignature,
+    /// The technical type equivalence class (for `te` preselection).
+    type_class: TypeClass,
+    /// Bit `i` set iff the module carries `AttributeKey::ALL[i]`.
+    presence: u8,
+}
+
+impl ModuleProfile {
+    fn build(module: &Module, pool: &mut StringPool) -> Self {
+        let label_lower = module.label.to_lowercase();
+        let mut presence = 0u8;
+        for key in AttributeKey::ALL {
+            if module.attribute(key).is_some() {
+                presence |= 1 << key as u8;
+            }
+        }
+        ModuleProfile {
+            label_chars: module.label.chars().count() as u32,
+            label_lower_chars: label_lower.chars().count() as u32,
+            desc_chars: text_chars(module.description.as_deref()),
+            script_chars: text_chars(module.script.as_deref()),
+            label_tokens: pool.intern_set(tokenize(&module.label)),
+            desc_tokens: pool.intern_set(tokenize(module.description.as_deref().unwrap_or(""))),
+            script_tokens: pool.intern_set(tokenize(module.script.as_deref().unwrap_or(""))),
+            label_sig: CharSignature::of(&module.label),
+            label_lower_sig: CharSignature::of(&label_lower),
+            desc_sig: CharSignature::of(module.description.as_deref().unwrap_or("")),
+            script_sig: CharSignature::of(module.script.as_deref().unwrap_or("")),
+            type_class: TypeClass::of(&module.module_type),
+            label_lower,
+            presence,
+        }
+    }
+
+    #[inline]
+    fn has(&self, key: AttributeKey) -> bool {
+        self.presence & (1 << key as u8) != 0
+    }
+}
+
+fn text_chars(text: Option<&str>) -> u32 {
+    text.map_or(0, |t| t.chars().count() as u32)
+}
+
+/// All precomputed state of one corpus workflow.
+#[derive(Debug, Clone)]
+pub struct WorkflowProfile {
+    /// The workflow *after* the configured preprocessing (Importance
+    /// Projection applied once, not once per comparison).
+    workflow: Workflow,
+    modules: Vec<ModuleProfile>,
+    /// Source-to-sink path decomposition (only populated for Path Sets).
+    paths: Vec<Vec<ModuleId>>,
+    /// Distinct interned label tokens over all modules (the indexing key).
+    label_tokens: TokenIdSet,
+    /// Bag of Words bag over title + description of the *original* workflow.
+    word_bag: TokenBag,
+    /// Bag of Tags bag of the original workflow.
+    tag_bag: TokenBag,
+    has_tags: bool,
+}
+
+impl WorkflowProfile {
+    /// The preprocessed workflow the profile scores from.
+    pub fn workflow(&self) -> &Workflow {
+        &self.workflow
+    }
+
+    /// The per-module feature profiles (aligned with the preprocessed
+    /// workflow's module list).
+    pub fn modules(&self) -> &[ModuleProfile] {
+        &self.modules
+    }
+
+    /// The distinct interned label tokens of this workflow.
+    pub fn label_tokens(&self) -> &TokenIdSet {
+        &self.label_tokens
+    }
+}
+
+/// A [`WorkflowSimilarity`] measure bound to a profiled corpus.
+///
+/// Scores pairs of corpus workflows (addressed by index or, through the
+/// [`Measure`](crate::Measure) impl, by workflow id) from precomputed
+/// profiles, producing bit-identical results to the wrapped pipeline.
+pub struct ProfiledMeasure {
+    inner: WorkflowSimilarity,
+    pool: StringPool,
+    ids: Vec<WorkflowId>,
+    id_index: BTreeMap<WorkflowId, usize>,
+    profiles: Vec<WorkflowProfile>,
+}
+
+impl ProfiledMeasure {
+    /// Profiles `workflows` for the measure described by `config`.
+    pub fn new(config: SimilarityConfig, workflows: &[Workflow]) -> Self {
+        ProfiledMeasure::from_measure(WorkflowSimilarity::new(config), workflows)
+    }
+
+    /// Profiles `workflows` for an already constructed measure (e.g. one
+    /// built with [`WorkflowSimilarity::with_usage`]).
+    pub fn from_measure(inner: WorkflowSimilarity, workflows: &[Workflow]) -> Self {
+        let config = inner.config();
+        let structural = config.measure.is_structural();
+        let wants_paths = config.measure == MeasureKind::PathSets;
+        let mut pool = StringPool::new();
+        let mut profiles = Vec::with_capacity(workflows.len());
+        let mut ids = Vec::with_capacity(workflows.len());
+        let mut id_index = BTreeMap::new();
+        for (i, wf) in workflows.iter().enumerate() {
+            let processed = if structural {
+                inner.preprocess(wf).into_owned()
+            } else {
+                wf.clone()
+            };
+            let modules = processed
+                .modules
+                .iter()
+                .map(|m| ModuleProfile::build(m, &mut pool))
+                .collect::<Vec<_>>();
+            let label_tokens = TokenIdSet::from_ids(
+                modules
+                    .iter()
+                    .flat_map(|m| m.label_tokens.ids().iter().copied())
+                    .collect(),
+            );
+            let paths = if wants_paths {
+                path_set(&processed, config.max_paths)
+            } else {
+                Vec::new()
+            };
+            profiles.push(WorkflowProfile {
+                word_bag: TokenBag::from_text(&wf.annotations.title_and_description()),
+                tag_bag: TokenBag::from_tags(&wf.annotations.tags),
+                has_tags: wf.annotations.has_tags(),
+                workflow: processed,
+                modules,
+                paths,
+                label_tokens,
+            });
+            ids.push(wf.id.clone());
+            id_index.insert(wf.id.clone(), i);
+        }
+        ProfiledMeasure {
+            inner,
+            pool,
+            ids,
+            id_index,
+            profiles,
+        }
+    }
+
+    /// The wrapped pipeline measure.
+    pub fn inner(&self) -> &WorkflowSimilarity {
+        &self.inner
+    }
+
+    /// The algorithm name in the paper's notation.
+    pub fn name(&self) -> String {
+        self.inner.name()
+    }
+
+    /// The corpus-wide token pool.
+    pub fn pool(&self) -> &StringPool {
+        &self.pool
+    }
+
+    /// Number of profiled workflows.
+    pub fn len(&self) -> usize {
+        self.profiles.len()
+    }
+
+    /// True when no workflow was profiled.
+    pub fn is_empty(&self) -> bool {
+        self.profiles.is_empty()
+    }
+
+    /// The corpus index of a workflow id.
+    pub fn index_of(&self, id: &WorkflowId) -> Option<usize> {
+        self.id_index.get(id).copied()
+    }
+
+    /// The profile at a corpus index.
+    pub fn profile(&self, index: usize) -> &WorkflowProfile {
+        &self.profiles[index]
+    }
+
+    /// The similarity of two corpus workflows; inapplicable annotation
+    /// pairs score 0 (mirroring [`WorkflowSimilarity::similarity`]).
+    pub fn score_indexed(&self, query: usize, candidate: usize) -> f64 {
+        self.score_opt_indexed(query, candidate).unwrap_or(0.0)
+    }
+
+    /// The similarity of two corpus workflows, `None` when the measure is
+    /// inapplicable (mirroring [`WorkflowSimilarity::similarity_opt`]).
+    pub fn score_opt_indexed(&self, query: usize, candidate: usize) -> Option<f64> {
+        match self.inner.config().measure {
+            MeasureKind::BagOfWords => {
+                let (pa, pb) = (&self.profiles[query], &self.profiles[candidate]);
+                if pa.word_bag.is_empty() && pb.word_bag.is_empty() {
+                    None
+                } else {
+                    Some(pa.word_bag.set_similarity(&pb.word_bag))
+                }
+            }
+            MeasureKind::BagOfTags => {
+                let (pa, pb) = (&self.profiles[query], &self.profiles[candidate]);
+                if !pa.has_tags || !pb.has_tags {
+                    None
+                } else {
+                    Some(pa.tag_bag.set_similarity(&pb.tag_bag))
+                }
+            }
+            MeasureKind::ModuleSets | MeasureKind::PathSets | MeasureKind::GraphEdit => {
+                Some(self.structural_score(query, candidate))
+            }
+        }
+    }
+
+    /// An admissible upper bound on [`ProfiledMeasure::score_indexed`] for
+    /// the Module Sets measure; `None` for measures without a cheap bound
+    /// (Path Sets, Graph Edit, annotations), which then fall back to an
+    /// exhaustive profiled scan in the indexed engine.
+    pub fn upper_bound_indexed(&self, query: usize, candidate: usize) -> Option<f64> {
+        let config = self.inner.config();
+        if config.measure != MeasureKind::ModuleSets {
+            return None;
+        }
+        Some(self.module_sets_upper_bound(query, candidate, config.normalization))
+    }
+
+    /// Mirrors `WorkflowSimilarity::structural_report` from profiles.
+    fn structural_score(&self, query: usize, candidate: usize) -> f64 {
+        let config = self.inner.config();
+        let (mut ia, mut ib) = (query, candidate);
+        if config.measure == MeasureKind::GraphEdit {
+            // Same canonical pair order as the pipeline, computed on the
+            // preprocessed workflows.
+            let key = |p: &WorkflowProfile| {
+                (
+                    p.workflow.module_count(),
+                    p.workflow.link_count(),
+                    p.workflow.id.clone(),
+                )
+            };
+            if key(&self.profiles[ia]) > key(&self.profiles[ib]) {
+                std::mem::swap(&mut ia, &mut ib);
+            }
+        }
+        let (pa, pb) = (&self.profiles[ia], &self.profiles[ib]);
+        let matrix = SimilarityMatrix::from_fn(
+            pa.workflow.module_count(),
+            pb.workflow.module_count(),
+            |i, j| {
+                if self.allows(pa, i, pb, j) {
+                    self.pair_similarity(pa, i, pb, j)
+                } else {
+                    0.0
+                }
+            },
+        );
+        let mapping = map_with(config.mapping, &matrix);
+        match config.measure {
+            MeasureKind::ModuleSets => {
+                module_sets_similarity(&pa.workflow, &pb.workflow, &mapping, config.normalization)
+            }
+            MeasureKind::PathSets => path_sets_similarity(
+                &pa.workflow,
+                &pb.workflow,
+                &matrix,
+                &pa.paths,
+                &pb.paths,
+                config.normalization,
+            ),
+            MeasureKind::GraphEdit => {
+                graph_edit_similarity(
+                    &pa.workflow,
+                    &pb.workflow,
+                    &mapping,
+                    &config.ged_budget,
+                    config.normalization,
+                )
+                .similarity
+            }
+            _ => unreachable!("annotation measures handled by score_opt_indexed"),
+        }
+    }
+
+    /// `PreselectionStrategy::allows`, answered from cached features.
+    #[inline]
+    fn allows(&self, pa: &WorkflowProfile, i: usize, pb: &WorkflowProfile, j: usize) -> bool {
+        match self.inner.config().preselection {
+            PreselectionStrategy::AllPairs => true,
+            PreselectionStrategy::StrictType => {
+                pa.workflow.modules[i].module_type == pb.workflow.modules[j].module_type
+            }
+            PreselectionStrategy::TypeEquivalence => {
+                pa.modules[i].type_class == pb.modules[j].type_class
+            }
+        }
+    }
+
+    /// `ModuleComparisonScheme::module_similarity`, scored from profiles:
+    /// identical rule walk, identical accumulation order, identical
+    /// floating-point results — just without re-deriving any text.
+    fn pair_similarity(
+        &self,
+        pa: &WorkflowProfile,
+        i: usize,
+        pb: &WorkflowProfile,
+        j: usize,
+    ) -> f64 {
+        let scheme = &self.inner.config().module_scheme;
+        let (ma, fa) = (&pa.workflow.modules[i], &pa.modules[i]);
+        let (mb, fb) = (&pb.workflow.modules[j], &pb.modules[j]);
+        let mut weight_sum = 0.0;
+        let mut score_sum = 0.0;
+        for rule in scheme.rules() {
+            match (fa.has(rule.key), fb.has(rule.key)) {
+                (false, false) => continue,
+                (true, false) | (false, true) => weight_sum += rule.weight,
+                (true, true) => {
+                    weight_sum += rule.weight;
+                    score_sum += rule.weight * compare_rule(rule, ma, fa, mb, fb);
+                }
+            }
+        }
+        if weight_sum == 0.0 {
+            0.0
+        } else {
+            (score_sum / weight_sum).clamp(0.0, 1.0)
+        }
+    }
+
+    /// The Module Sets upper bound: per query module, the best cheap pair
+    /// bound over the candidate's (preselection-allowed) modules, summed,
+    /// capped at the one-to-one assignment limit `min(|A|, |B|)`, and
+    /// pushed through the (monotone) normalization.
+    fn module_sets_upper_bound(
+        &self,
+        query: usize,
+        candidate: usize,
+        normalization: Normalization,
+    ) -> f64 {
+        let (pa, pb) = (&self.profiles[query], &self.profiles[candidate]);
+        let (na, nb) = (pa.workflow.module_count(), pb.workflow.module_count());
+        if na == 0 || nb == 0 {
+            // Exact: an empty side forces an empty mapping.
+            return match normalization {
+                Normalization::None => 0.0,
+                Normalization::SizeNormalized => jaccard_normalize(0.0, na, nb),
+            };
+        }
+        // Relax the one-to-one mapping two ways: each mapped pair's weight
+        // is at most its row's best pair bound *and* its column's best pair
+        // bound, and at most min(na, nb) pairs are mapped — so nnsim is at
+        // most the smaller of the two "sum of the top min(na, nb) per-side
+        // maxima" estimates.
+        let rules = self.inner.config().module_scheme.rules();
+        let mut row_best = vec![0.0f64; na];
+        let mut col_best = vec![0.0f64; nb];
+        for (i, row) in row_best.iter_mut().enumerate() {
+            let (ma, fa) = (&pa.workflow.modules[i], &pa.modules[i]);
+            for (j, col) in col_best.iter_mut().enumerate() {
+                if !self.allows(pa, i, pb, j) {
+                    continue;
+                }
+                let ub = pair_upper_bound(rules, ma, fa, &pb.workflow.modules[j], &pb.modules[j]);
+                if ub > *row {
+                    *row = ub;
+                }
+                if ub > *col {
+                    *col = ub;
+                }
+            }
+        }
+        let mapped = na.min(nb);
+        let nnsim_bound = top_m_sum(&mut row_best, mapped)
+            .min(top_m_sum(&mut col_best, mapped))
+            .min(mapped as f64);
+        match normalization {
+            Normalization::None => nnsim_bound,
+            Normalization::SizeNormalized => jaccard_normalize(nnsim_bound, na, nb),
+        }
+    }
+}
+
+/// Sum of the `m` largest values (sorts in place; `m <= values.len()`).
+fn top_m_sum(values: &mut [f64], m: usize) -> f64 {
+    values.sort_unstable_by(|a, b| b.partial_cmp(a).unwrap_or(std::cmp::Ordering::Equal));
+    values[..m.min(values.len())].iter().sum()
+}
+
+/// One rule's exact comparison, reading every derived feature from the
+/// profiles instead of re-deriving it.
+fn compare_rule(
+    rule: &AttributeRule,
+    ma: &Module,
+    fa: &ModuleProfile,
+    mb: &Module,
+    fb: &ModuleProfile,
+) -> f64 {
+    fn value(m: &Module, key: AttributeKey) -> wf_model::AttributeValue<'_> {
+        m.attribute(key)
+            .expect("presence was checked against the same accessor")
+    }
+    match rule.method {
+        ComparisonMethod::Exact => {
+            if value(ma, rule.key).as_str() == value(mb, rule.key).as_str() {
+                1.0
+            } else {
+                0.0
+            }
+        }
+        ComparisonMethod::ExactIgnoreCase => {
+            if value(ma, rule.key)
+                .as_str()
+                .eq_ignore_ascii_case(value(mb, rule.key).as_str())
+            {
+                1.0
+            } else {
+                0.0
+            }
+        }
+        ComparisonMethod::Levenshtein => match rule.key {
+            AttributeKey::Label => levenshtein_similarity_with_lens(
+                &ma.label,
+                fa.label_chars as usize,
+                &mb.label,
+                fb.label_chars as usize,
+            ),
+            AttributeKey::Description => levenshtein_similarity_with_lens(
+                ma.description.as_deref().unwrap_or(""),
+                fa.desc_chars as usize,
+                mb.description.as_deref().unwrap_or(""),
+                fb.desc_chars as usize,
+            ),
+            AttributeKey::Script => levenshtein_similarity_with_lens(
+                ma.script.as_deref().unwrap_or(""),
+                fa.script_chars as usize,
+                mb.script.as_deref().unwrap_or(""),
+                fb.script_chars as usize,
+            ),
+            _ => levenshtein_similarity(value(ma, rule.key).as_str(), value(mb, rule.key).as_str()),
+        },
+        ComparisonMethod::LevenshteinIgnoreCase => match rule.key {
+            AttributeKey::Label => levenshtein_similarity_with_lens(
+                &fa.label_lower,
+                fa.label_lower_chars as usize,
+                &fb.label_lower,
+                fb.label_lower_chars as usize,
+            ),
+            _ => levenshtein_similarity_ci(
+                value(ma, rule.key).as_str(),
+                value(mb, rule.key).as_str(),
+            ),
+        },
+        ComparisonMethod::TokenJaccard => match rule.key {
+            AttributeKey::Label => fa.label_tokens.jaccard(&fb.label_tokens),
+            AttributeKey::Description => fa.desc_tokens.jaccard(&fb.desc_tokens),
+            AttributeKey::Script => fa.script_tokens.jaccard(&fb.script_tokens),
+            _ => jaccard_index(
+                &tokenize(value(ma, rule.key).as_str()),
+                &tokenize(value(mb, rule.key).as_str()),
+            ),
+        },
+    }
+}
+
+/// A cheap admissible upper bound on one module pair's scheme similarity:
+/// the same presence-weighted average, with each rule's comparison replaced
+/// by a dominating constant-time estimate.
+fn pair_upper_bound(
+    rules: &[AttributeRule],
+    ma: &Module,
+    fa: &ModuleProfile,
+    mb: &Module,
+    fb: &ModuleProfile,
+) -> f64 {
+    let mut weight_sum = 0.0;
+    let mut score_sum = 0.0;
+    for rule in rules {
+        match (fa.has(rule.key), fb.has(rule.key)) {
+            (false, false) => continue,
+            (true, false) | (false, true) => weight_sum += rule.weight,
+            (true, true) => {
+                weight_sum += rule.weight;
+                score_sum += rule.weight * rule_upper_bound(rule, ma, fa, mb, fb);
+            }
+        }
+    }
+    if weight_sum == 0.0 {
+        0.0
+    } else {
+        (score_sum / weight_sum).clamp(0.0, 1.0)
+    }
+}
+
+fn rule_upper_bound(
+    rule: &AttributeRule,
+    ma: &Module,
+    fa: &ModuleProfile,
+    mb: &Module,
+    fb: &ModuleProfile,
+) -> f64 {
+    match rule.method {
+        // Exact comparisons *are* cheap: the bound is the exact value.
+        ComparisonMethod::Exact | ComparisonMethod::ExactIgnoreCase => {
+            compare_rule(rule, ma, fa, mb, fb)
+        }
+        // Normalized edit distance is bounded through the character
+        // signatures: `d >= max(|la - lb|, L1(histograms) / 2)`.
+        ComparisonMethod::Levenshtein => match rule.key {
+            AttributeKey::Label => fa.label_sig.similarity_upper_bound(&fb.label_sig),
+            AttributeKey::Description => fa.desc_sig.similarity_upper_bound(&fb.desc_sig),
+            AttributeKey::Script => fa.script_sig.similarity_upper_bound(&fb.script_sig),
+            _ => 1.0,
+        },
+        ComparisonMethod::LevenshteinIgnoreCase => match rule.key {
+            AttributeKey::Label => fa
+                .label_lower_sig
+                .similarity_upper_bound(&fb.label_lower_sig),
+            _ => 1.0,
+        },
+        // The merge over interned id sets is already cheap: the "bound" is
+        // the exact token Jaccard.
+        ComparisonMethod::TokenJaccard => match rule.key {
+            AttributeKey::Label => fa.label_tokens.jaccard(&fb.label_tokens),
+            AttributeKey::Description => fa.desc_tokens.jaccard(&fb.desc_tokens),
+            AttributeKey::Script => fa.script_tokens.jaccard(&fb.script_tokens),
+            _ => 1.0,
+        },
+    }
+}
+
+impl crate::extended::Measure for ProfiledMeasure {
+    fn measure_name(&self) -> String {
+        self.inner.name()
+    }
+
+    /// Scores by corpus index when both ids are profiled; out-of-corpus
+    /// workflows fall back to the unprofiled pipeline, so the adapter is a
+    /// drop-in [`Measure`](crate::Measure) anywhere.
+    fn measure_opt(&self, a: &Workflow, b: &Workflow) -> Option<f64> {
+        match (self.index_of(&a.id), self.index_of(&b.id)) {
+            (Some(i), Some(j)) => self.score_opt_indexed(i, j),
+            _ => self.inner.similarity_opt(a, b),
+        }
+    }
+}
+
+impl CorpusScorer for ProfiledMeasure {
+    fn corpus_len(&self) -> usize {
+        self.profiles.len()
+    }
+
+    fn workflow_id(&self, index: usize) -> &WorkflowId {
+        &self.ids[index]
+    }
+
+    fn score(&self, query: usize, candidate: usize) -> f64 {
+        self.score_indexed(query, candidate)
+    }
+
+    fn upper_bound(&self, query: usize, candidate: usize) -> Option<f64> {
+        self.upper_bound_indexed(query, candidate)
+    }
+
+    fn label_token_ids(&self, index: usize) -> &[u32] {
+        self.profiles[index].label_tokens.ids()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::Preprocessing;
+    use crate::extended::Measure;
+    use crate::module_cmp::ModuleComparisonScheme;
+    use wf_model::{builder::WorkflowBuilder, ModuleType};
+
+    fn corpus() -> Vec<Workflow> {
+        let mut wfs = Vec::new();
+        let blast = |id: &str, render: &str| {
+            WorkflowBuilder::new(id)
+                .title(format!("BLAST search {id}"))
+                .description("protein sequence search")
+                .tag("blast")
+                .tag("protein")
+                .module("fetch_sequence", ModuleType::WsdlService, |m| {
+                    m.service("ebi.ac.uk", "fetch", "http://ebi.ac.uk/fetch")
+                })
+                .module("run_blast", ModuleType::WsdlService, |m| {
+                    m.service("ebi.ac.uk", "blastp", "http://ebi.ac.uk/blast")
+                })
+                .module("split_ids", ModuleType::LocalOperation, |m| m)
+                .module(render, ModuleType::BeanshellScript, |m| {
+                    m.script("plot(hits); export(hits)")
+                })
+                .link("fetch_sequence", "run_blast")
+                .link("run_blast", "split_ids")
+                .link("split_ids", render)
+                .build()
+                .unwrap()
+        };
+        wfs.push(blast("b1", "render_report"));
+        wfs.push(blast("b2", "render_hits"));
+        wfs.push(
+            WorkflowBuilder::new("kegg")
+                .title("KEGG pathway analysis")
+                .tag("kegg")
+                .module("get_pathway", ModuleType::WsdlService, |m| {
+                    m.service("kegg.jp", "get_pathway_by_id", "http://kegg.jp/ws")
+                })
+                .module("extract_genes", ModuleType::BeanshellScript, |m| {
+                    m.script("return pathway.genes;")
+                })
+                .link("get_pathway", "extract_genes")
+                .build()
+                .unwrap(),
+        );
+        wfs.push(WorkflowBuilder::new("empty").build().unwrap());
+        wfs
+    }
+
+    fn all_scheme_configs() -> Vec<SimilarityConfig> {
+        let schemes = [
+            ModuleComparisonScheme::pw0(),
+            ModuleComparisonScheme::pw3(),
+            ModuleComparisonScheme::pll(),
+            ModuleComparisonScheme::plm(),
+            ModuleComparisonScheme::gw1(),
+            ModuleComparisonScheme::gll(),
+        ];
+        let mut configs = Vec::new();
+        for scheme in schemes {
+            configs.push(SimilarityConfig::new(
+                MeasureKind::ModuleSets,
+                scheme.clone(),
+                PreselectionStrategy::AllPairs,
+                Preprocessing::None,
+            ));
+            configs.push(SimilarityConfig::new(
+                MeasureKind::ModuleSets,
+                scheme,
+                PreselectionStrategy::TypeEquivalence,
+                Preprocessing::ImportanceProjection,
+            ));
+        }
+        configs
+    }
+
+    #[test]
+    fn profiled_scores_are_bit_identical_for_every_scheme() {
+        let wfs = corpus();
+        for config in all_scheme_configs() {
+            let name = config.name();
+            let plain = WorkflowSimilarity::new(config.clone());
+            let profiled = ProfiledMeasure::new(config, &wfs);
+            for a in &wfs {
+                for b in &wfs {
+                    let expected = plain.similarity(a, b);
+                    let got = profiled.measure(a, b);
+                    assert_eq!(got, expected, "{name}: {} vs {}", a.id, b.id);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn profiled_scores_match_for_every_measure_kind() {
+        let wfs = corpus();
+        for config in [
+            SimilarityConfig::module_sets_default(),
+            SimilarityConfig::path_sets_default(),
+            SimilarityConfig::graph_edit_default(),
+            SimilarityConfig::best_path_sets(),
+            SimilarityConfig::bag_of_words(),
+            SimilarityConfig::bag_of_tags(),
+        ] {
+            let name = config.name();
+            let plain = WorkflowSimilarity::new(config.clone());
+            let profiled = ProfiledMeasure::new(config, &wfs);
+            for (i, a) in wfs.iter().enumerate() {
+                for (j, b) in wfs.iter().enumerate() {
+                    assert_eq!(
+                        profiled.score_opt_indexed(i, j),
+                        plain.similarity_opt(a, b),
+                        "{name}: {} vs {}",
+                        a.id,
+                        b.id
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn upper_bound_dominates_the_exact_score() {
+        let wfs = corpus();
+        for config in all_scheme_configs() {
+            let name = config.name();
+            let profiled = ProfiledMeasure::new(config, &wfs);
+            for i in 0..wfs.len() {
+                for j in 0..wfs.len() {
+                    let bound = profiled
+                        .upper_bound_indexed(i, j)
+                        .expect("module sets is bounded");
+                    let score = profiled.score_indexed(i, j);
+                    assert!(
+                        bound + 1e-12 >= score,
+                        "{name}: bound {bound} < score {score} for pair ({i},{j})"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn non_module_set_measures_are_unbounded() {
+        let wfs = corpus();
+        let ps = ProfiledMeasure::new(SimilarityConfig::best_path_sets(), &wfs);
+        assert_eq!(ps.upper_bound_indexed(0, 1), None);
+        let bw = ProfiledMeasure::new(SimilarityConfig::bag_of_words(), &wfs);
+        assert_eq!(bw.upper_bound_indexed(0, 1), None);
+    }
+
+    #[test]
+    fn out_of_corpus_workflows_fall_back_to_the_pipeline() {
+        let wfs = corpus();
+        let config = SimilarityConfig::best_module_sets();
+        let plain = WorkflowSimilarity::new(config.clone());
+        let profiled = ProfiledMeasure::new(config, &wfs[..2]);
+        let stranger = &wfs[2];
+        assert_eq!(profiled.index_of(&stranger.id), None);
+        assert_eq!(
+            profiled.measure(&wfs[0], stranger),
+            plain.similarity(&wfs[0], stranger)
+        );
+    }
+
+    #[test]
+    fn corpus_scorer_surface_is_consistent() {
+        let wfs = corpus();
+        let profiled = ProfiledMeasure::new(SimilarityConfig::best_module_sets(), &wfs);
+        assert_eq!(profiled.corpus_len(), wfs.len());
+        assert_eq!(profiled.workflow_id(2).as_str(), "kegg");
+        assert!(!profiled.label_token_ids(0).is_empty());
+        assert!(profiled.label_token_ids(3).is_empty(), "empty workflow");
+        assert!(!profiled.pool().is_empty());
+        assert_eq!(profiled.name(), "MS_ip_te_pll");
+        // Token ids are sorted and distinct.
+        let tokens = profiled.label_token_ids(0);
+        assert!(tokens.windows(2).all(|w| w[0] < w[1]));
+    }
+
+    #[test]
+    fn profiles_expose_the_preprocessed_workflow() {
+        let wfs = corpus();
+        let profiled = ProfiledMeasure::new(SimilarityConfig::best_module_sets(), &wfs);
+        // Importance projection removes the trivial split_ids module once,
+        // at profile-build time.
+        assert_eq!(profiled.profile(0).workflow().module_count(), 3);
+        assert_eq!(profiled.profile(0).modules().len(), 3);
+    }
+}

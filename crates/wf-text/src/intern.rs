@@ -1,0 +1,223 @@
+//! Corpus-wide string interning and interned token sets.
+//!
+//! Repository-scale scoring compares the same texts millions of times; the
+//! profiled engine therefore tokenizes each text once, interns the tokens
+//! in a corpus-wide [`StringPool`], and keeps the distinct token ids as a
+//! sorted [`TokenIdSet`].  Set comparisons then become `O(a + b)` merges
+//! over dense `u32` ids — no hashing, no string comparisons, no
+//! allocation — and produce exactly the same counts (and therefore exactly
+//! the same similarity values) as the string-based [`crate::jaccard_index`].
+
+use std::collections::BTreeMap;
+
+/// A corpus-wide string interner: every distinct token string maps to a
+/// dense `u32` id.
+#[derive(Debug, Clone, Default)]
+pub struct StringPool {
+    ids: BTreeMap<String, u32>,
+    strings: Vec<String>,
+}
+
+impl StringPool {
+    /// Creates an empty pool.
+    pub fn new() -> Self {
+        StringPool::default()
+    }
+
+    /// Interns a token, returning its id (allocating a new id for unseen
+    /// tokens).
+    pub fn intern(&mut self, token: &str) -> u32 {
+        if let Some(&id) = self.ids.get(token) {
+            return id;
+        }
+        let id = self.strings.len() as u32;
+        self.ids.insert(token.to_string(), id);
+        self.strings.push(token.to_string());
+        id
+    }
+
+    /// The id of an already interned token, if any.
+    pub fn lookup(&self, token: &str) -> Option<u32> {
+        self.ids.get(token).copied()
+    }
+
+    /// The token string behind an id.
+    pub fn resolve(&self, id: u32) -> Option<&str> {
+        self.strings.get(id as usize).map(String::as_str)
+    }
+
+    /// Number of distinct interned tokens.
+    pub fn len(&self) -> usize {
+        self.strings.len()
+    }
+
+    /// True when nothing has been interned yet.
+    pub fn is_empty(&self) -> bool {
+        self.strings.is_empty()
+    }
+
+    /// Interns every token of an iterator and returns the *distinct* ids,
+    /// sorted ascending — the canonical [`TokenIdSet`] representation.
+    pub fn intern_set<I, S>(&mut self, tokens: I) -> TokenIdSet
+    where
+        I: IntoIterator<Item = S>,
+        S: AsRef<str>,
+    {
+        let mut ids: Vec<u32> = tokens
+            .into_iter()
+            .map(|t| self.intern(t.as_ref()))
+            .collect();
+        ids.sort_unstable();
+        ids.dedup();
+        TokenIdSet { ids }
+    }
+}
+
+/// A set of interned token ids, stored sorted and deduplicated.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct TokenIdSet {
+    ids: Vec<u32>,
+}
+
+impl TokenIdSet {
+    /// Builds a set from arbitrary ids (sorting and deduplicating).
+    pub fn from_ids(mut ids: Vec<u32>) -> Self {
+        ids.sort_unstable();
+        ids.dedup();
+        TokenIdSet { ids }
+    }
+
+    /// The sorted distinct ids.
+    pub fn ids(&self) -> &[u32] {
+        &self.ids
+    }
+
+    /// Number of distinct tokens.
+    pub fn len(&self) -> usize {
+        self.ids.len()
+    }
+
+    /// True for the empty set.
+    pub fn is_empty(&self) -> bool {
+        self.ids.is_empty()
+    }
+
+    /// Size of the intersection with another set, by sorted merge.
+    pub fn intersection_len(&self, other: &TokenIdSet) -> usize {
+        let (mut i, mut j, mut common) = (0, 0, 0);
+        while i < self.ids.len() && j < other.ids.len() {
+            match self.ids[i].cmp(&other.ids[j]) {
+                std::cmp::Ordering::Less => i += 1,
+                std::cmp::Ordering::Greater => j += 1,
+                std::cmp::Ordering::Equal => {
+                    common += 1;
+                    i += 1;
+                    j += 1;
+                }
+            }
+        }
+        common
+    }
+
+    /// The Jaccard index `|A ∩ B| / |A ∪ B|` in a single `O(a + b)` merge.
+    ///
+    /// Matches [`crate::jaccard_index`] exactly, including the convention
+    /// that two empty sets have similarity 1.
+    pub fn jaccard(&self, other: &TokenIdSet) -> f64 {
+        if self.is_empty() && other.is_empty() {
+            return 1.0;
+        }
+        let intersection = self.intersection_len(other);
+        let union = self.len() + other.len() - intersection;
+        intersection as f64 / union as f64
+    }
+
+    /// An admissible upper bound on [`TokenIdSet::jaccard`] computable from
+    /// the set sizes alone: `min(|A|, |B|) / max(|A|, |B|)`.
+    pub fn jaccard_size_bound(&self, other: &TokenIdSet) -> f64 {
+        let (a, b) = (self.len(), other.len());
+        if a == 0 && b == 0 {
+            return 1.0;
+        }
+        if a == 0 || b == 0 {
+            return 0.0;
+        }
+        a.min(b) as f64 / a.max(b) as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::jaccard_index;
+    use crate::tokenize;
+
+    #[test]
+    fn interning_assigns_stable_dense_ids() {
+        let mut pool = StringPool::new();
+        let a = pool.intern("blast");
+        let b = pool.intern("search");
+        assert_eq!(pool.intern("blast"), a);
+        assert_ne!(a, b);
+        assert_eq!(pool.len(), 2);
+        assert_eq!(pool.lookup("search"), Some(b));
+        assert_eq!(pool.lookup("missing"), None);
+        assert_eq!(pool.resolve(a), Some("blast"));
+        assert!(StringPool::new().is_empty());
+    }
+
+    #[test]
+    fn intern_set_sorts_and_dedups() {
+        let mut pool = StringPool::new();
+        let set = pool.intern_set(["b", "a", "b", "c"]);
+        assert_eq!(set.len(), 3);
+        let ids = set.ids();
+        assert!(ids.windows(2).all(|w| w[0] < w[1]));
+    }
+
+    #[test]
+    fn merge_jaccard_matches_the_string_based_jaccard() {
+        let texts = [
+            ("KEGG pathway analysis", "pathway analysis for genes"),
+            ("", ""),
+            ("blast", ""),
+            ("a b c d", "c d e f g"),
+            ("same same same", "same"),
+        ];
+        let mut pool = StringPool::new();
+        for (ta, tb) in texts {
+            let (toks_a, toks_b) = (tokenize(ta), tokenize(tb));
+            let (sa, sb) = (pool.intern_set(&toks_a), pool.intern_set(&toks_b));
+            assert_eq!(
+                sa.jaccard(&sb),
+                jaccard_index(&toks_a, &toks_b),
+                "{ta:?} vs {tb:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn size_bound_dominates_the_exact_jaccard() {
+        let mut pool = StringPool::new();
+        let cases = [
+            (vec!["a", "b", "c"], vec!["b", "c", "d", "e"]),
+            (vec![], vec![]),
+            (vec!["x"], vec![]),
+            (vec!["x", "y"], vec!["x", "y"]),
+        ];
+        for (ta, tb) in cases {
+            let sa = pool.intern_set(ta.iter());
+            let sb = pool.intern_set(tb.iter());
+            assert!(sa.jaccard_size_bound(&sb) + 1e-12 >= sa.jaccard(&sb));
+        }
+    }
+
+    #[test]
+    fn intersection_len_by_merge() {
+        let a = TokenIdSet::from_ids(vec![5, 1, 3, 3]);
+        let b = TokenIdSet::from_ids(vec![3, 4, 5, 9]);
+        assert_eq!(a.intersection_len(&b), 2);
+        assert_eq!(b.intersection_len(&a), 2);
+        assert_eq!(a.intersection_len(&TokenIdSet::default()), 0);
+    }
+}

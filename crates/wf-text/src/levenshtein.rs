@@ -5,19 +5,229 @@
 //! the distance into a similarity in `[0, 1]` we use the standard
 //! normalization `1 - d / max(|a|, |b|)`, which is 1 for identical strings
 //! and 0 for strings without any common structure.
+//!
+//! The distance itself is computed with Myers' bit-parallel algorithm
+//! (Myers 1999, in the formulation of Hyyrö 2003): the dynamic-programming
+//! column is packed into machine words, so a comparison costs
+//! `O(⌈m/64⌉ · n)` word operations instead of `O(m · n)` cell updates.
+//! Strings that are pure ASCII are compared byte-wise without any
+//! intermediate `Vec<char>` allocation; other strings fall back to Unicode
+//! scalar values, collected exactly once per call.
 
 /// Computes the Levenshtein edit distance between two strings, counted in
 /// Unicode scalar values.
 ///
-/// Uses the classic two-row dynamic program: `O(|a|·|b|)` time,
-/// `O(min(|a|,|b|))` space.
+/// Uses Myers' bit-parallel algorithm: `O(⌈m/64⌉·n)` time after trimming
+/// the common prefix and suffix, where `m` is the length of the shorter
+/// string.
 pub fn levenshtein(a: &str, b: &str) -> usize {
     if a == b {
         return 0;
     }
+    if a.is_ascii() && b.is_ascii() {
+        distance_units(a.as_bytes(), b.as_bytes())
+    } else {
+        let a_chars: Vec<char> = a.chars().collect();
+        let b_chars: Vec<char> = b.chars().collect();
+        distance_units(&a_chars, &b_chars)
+    }
+}
+
+/// [`levenshtein`] with an early-exit length bound: returns `None` as soon
+/// as the distance is guaranteed to exceed `limit` (the lengths alone
+/// already force `d >= ||a| - |b||`), and otherwise `Some(d)` only when
+/// `d <= limit`.
+pub fn levenshtein_bounded(a: &str, b: &str, limit: usize) -> Option<usize> {
+    let (la, lb) = if a.is_ascii() && b.is_ascii() {
+        (a.len(), b.len())
+    } else {
+        (a.chars().count(), b.chars().count())
+    };
+    if la.abs_diff(lb) > limit {
+        return None;
+    }
+    let d = levenshtein(a, b);
+    (d <= limit).then_some(d)
+}
+
+/// Normalized Levenshtein similarity in `[0, 1]`.
+///
+/// `1.0` for identical strings (including two empty strings), `0.0` when the
+/// edit distance equals the length of the longer string.
+pub fn levenshtein_similarity(a: &str, b: &str) -> f64 {
+    if a == b {
+        return 1.0;
+    }
+    if a.is_ascii() && b.is_ascii() {
+        // ASCII: byte count == scalar-value count, no walk needed at all.
+        similarity_from(
+            distance_units(a.as_bytes(), b.as_bytes()),
+            a.len().max(b.len()),
+        )
+    } else {
+        // One pass per string: the collected scalar values provide both the
+        // length and the comparison units.
+        let a_chars: Vec<char> = a.chars().collect();
+        let b_chars: Vec<char> = b.chars().collect();
+        let max_len = a_chars.len().max(b_chars.len());
+        similarity_from(distance_units(&a_chars, &b_chars), max_len)
+    }
+}
+
+/// [`levenshtein_similarity`] with caller-provided scalar-value lengths, for
+/// callers (such as corpus profiles) that already know the character counts
+/// and must not pay for recounting them on every comparison.
+///
+/// `a_chars` / `b_chars` must equal `a.chars().count()` / `b.chars().count()`.
+pub fn levenshtein_similarity_with_lens(a: &str, a_chars: usize, b: &str, b_chars: usize) -> f64 {
+    debug_assert_eq!(a_chars, a.chars().count());
+    debug_assert_eq!(b_chars, b.chars().count());
+    if a == b {
+        return 1.0;
+    }
+    similarity_from(levenshtein(a, b), a_chars.max(b_chars))
+}
+
+fn similarity_from(distance: usize, max_len: usize) -> f64 {
+    if max_len == 0 {
+        return 1.0;
+    }
+    1.0 - distance as f64 / max_len as f64
+}
+
+/// Case-insensitive variant of [`levenshtein_similarity`].
+///
+/// Goderis et al. (reference \[18\] of the paper) report that lowercasing
+/// labels slightly improves ranked retrieval; module comparison schemes can
+/// opt into this variant.
+pub fn levenshtein_similarity_ci(a: &str, b: &str) -> f64 {
+    levenshtein_similarity(&a.to_lowercase(), &b.to_lowercase())
+}
+
+/// The distance between two unit slices (bytes or scalar values).
+///
+/// Trims the common prefix and suffix, picks the shorter remainder as the
+/// Myers pattern, and dispatches to the single-word or the blocked kernel.
+fn distance_units<T: Copy + Ord>(a: &[T], b: &[T]) -> usize {
+    // Trim the common prefix and suffix; both are edit-distance neutral.
+    let prefix = a.iter().zip(b.iter()).take_while(|(x, y)| x == y).count();
+    let (a, b) = (&a[prefix..], &b[prefix..]);
+    let suffix = a
+        .iter()
+        .rev()
+        .zip(b.iter().rev())
+        .take_while(|(x, y)| x == y)
+        .count();
+    let (a, b) = (&a[..a.len() - suffix], &b[..b.len() - suffix]);
+
+    let (pattern, text) = if a.len() <= b.len() { (a, b) } else { (b, a) };
+    if pattern.is_empty() {
+        return text.len();
+    }
+    if pattern.len() <= 64 {
+        myers_single(pattern, text)
+    } else {
+        myers_blocks(pattern, text)
+    }
+}
+
+/// The distinct symbols of the pattern (sorted) and their per-block
+/// position masks, laid out as `masks[symbol * blocks + block]`.
+fn pattern_masks<T: Copy + Ord>(pattern: &[T], blocks: usize) -> (Vec<T>, Vec<u64>) {
+    let mut symbols: Vec<T> = pattern.to_vec();
+    symbols.sort_unstable();
+    symbols.dedup();
+    let mut masks = vec![0u64; symbols.len() * blocks];
+    for (i, unit) in pattern.iter().enumerate() {
+        let s = symbols.binary_search(unit).expect("symbol was collected");
+        masks[s * blocks + i / 64] |= 1u64 << (i % 64);
+    }
+    (symbols, masks)
+}
+
+/// Myers' algorithm for patterns of at most 64 units: one word per column.
+fn myers_single<T: Copy + Ord>(pattern: &[T], text: &[T]) -> usize {
+    let m = pattern.len();
+    let (symbols, masks) = pattern_masks(pattern, 1);
+    let mut pv = !0u64;
+    let mut mv = 0u64;
+    let mut score = m;
+    let last = 1u64 << (m - 1);
+    for unit in text {
+        let eq = match symbols.binary_search(unit) {
+            Ok(s) => masks[s],
+            Err(_) => 0,
+        };
+        let xv = eq | mv;
+        let xh = (((eq & pv).wrapping_add(pv)) ^ pv) | eq;
+        let ph = mv | !(xh | pv);
+        let mh = pv & xh;
+        if ph & last != 0 {
+            score += 1;
+        }
+        if mh & last != 0 {
+            score -= 1;
+        }
+        let ph = (ph << 1) | 1;
+        let mh = mh << 1;
+        pv = mh | !(xv | ph);
+        mv = ph & xv;
+    }
+    score
+}
+
+/// The blocked variant (Hyyrö 2003) for patterns longer than 64 units:
+/// `⌈m/64⌉` words per column, horizontal deltas carried between blocks.
+fn myers_blocks<T: Copy + Ord>(pattern: &[T], text: &[T]) -> usize {
+    let m = pattern.len();
+    let blocks = m.div_ceil(64);
+    let (symbols, masks) = pattern_masks(pattern, blocks);
+    let mut pv = vec![!0u64; blocks];
+    let mut mv = vec![0u64; blocks];
+    let mut score = m;
+    let last = 1u64 << ((m - 1) % 64);
+    for unit in text {
+        let sym = symbols.binary_search(unit).ok();
+        // The first row of the DP table increases by one per text unit, so
+        // block 0 receives a positive horizontal carry.
+        let mut ph_in = 1u64;
+        let mut mh_in = 0u64;
+        for b in 0..blocks {
+            let eq0 = sym.map_or(0, |s| masks[s * blocks + b]);
+            let pvb = pv[b];
+            let mvb = mv[b];
+            let xv = eq0 | mvb;
+            let eq = eq0 | mh_in;
+            let xh = (((eq & pvb).wrapping_add(pvb)) ^ pvb) | eq;
+            let ph = mvb | !(xh | pvb);
+            let mh = pvb & xh;
+            if b == blocks - 1 {
+                if ph & last != 0 {
+                    score += 1;
+                }
+                if mh & last != 0 {
+                    score -= 1;
+                }
+            }
+            let ph_out = ph >> 63;
+            let mh_out = mh >> 63;
+            let ph = (ph << 1) | ph_in;
+            let mh = (mh << 1) | mh_in;
+            pv[b] = mh | !(xv | ph);
+            mv[b] = ph & xv;
+            ph_in = ph_out;
+            mh_in = mh_out;
+        }
+    }
+    score
+}
+
+/// The classic two-row dynamic program, kept as the reference
+/// implementation the bit-parallel kernels are validated against.
+#[cfg(test)]
+pub(crate) fn levenshtein_reference(a: &str, b: &str) -> usize {
     let a_chars: Vec<char> = a.chars().collect();
     let b_chars: Vec<char> = b.chars().collect();
-    // Iterate over the longer string, keep the DP row for the shorter one.
     let (outer, inner) = if a_chars.len() >= b_chars.len() {
         (&a_chars, &b_chars)
     } else {
@@ -32,34 +242,11 @@ pub fn levenshtein(a: &str, b: &str) -> usize {
         curr[0] = i + 1;
         for (j, ic) in inner.iter().enumerate() {
             let cost = usize::from(oc != ic);
-            curr[j + 1] = (prev[j + 1] + 1) // deletion
-                .min(curr[j] + 1) // insertion
-                .min(prev[j] + cost); // substitution
+            curr[j + 1] = (prev[j + 1] + 1).min(curr[j] + 1).min(prev[j] + cost);
         }
         std::mem::swap(&mut prev, &mut curr);
     }
     prev[inner.len()]
-}
-
-/// Normalized Levenshtein similarity in `[0, 1]`.
-///
-/// `1.0` for identical strings (including two empty strings), `0.0` when the
-/// edit distance equals the length of the longer string.
-pub fn levenshtein_similarity(a: &str, b: &str) -> f64 {
-    let max_len = a.chars().count().max(b.chars().count());
-    if max_len == 0 {
-        return 1.0;
-    }
-    1.0 - levenshtein(a, b) as f64 / max_len as f64
-}
-
-/// Case-insensitive variant of [`levenshtein_similarity`].
-///
-/// Goderis et al. (reference \[18\] of the paper) report that lowercasing
-/// labels slightly improves ranked retrieval; module comparison schemes can
-/// opt into this variant.
-pub fn levenshtein_similarity_ci(a: &str, b: &str) -> f64 {
-    levenshtein_similarity(&a.to_lowercase(), &b.to_lowercase())
 }
 
 #[cfg(test)]
@@ -134,6 +321,75 @@ mod tests {
                     );
                 }
             }
+        }
+    }
+
+    #[test]
+    fn bit_parallel_matches_the_reference_dp_on_handpicked_cases() {
+        let words = [
+            "",
+            "a",
+            "ab",
+            "blast",
+            "blast_search_against_uniprot",
+            "the same words in a different order entirely",
+            "αβγδε mixed unicode και ascii",
+            "ααααααααααα",
+        ];
+        for a in words {
+            for b in words {
+                assert_eq!(
+                    levenshtein(a, b),
+                    levenshtein_reference(a, b),
+                    "{a:?} vs {b:?}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn blocked_kernel_handles_patterns_longer_than_64_units() {
+        // Both strings longer than 64 characters exercise myers_blocks.
+        let a = "abcdefghij".repeat(13); // 130 chars
+        let mut b = a.clone();
+        b.replace_range(5..6, "X");
+        b.push_str("tail");
+        assert_eq!(levenshtein(&a, &b), levenshtein_reference(&a, &b));
+        assert_eq!(levenshtein(&a, &a[..100]), 30);
+
+        // Exactly 64 / 65 units around the single-word boundary.
+        let p64: String = "x".repeat(64);
+        let p65: String = "x".repeat(65);
+        assert_eq!(levenshtein(&p64, &p65), 1);
+        assert_eq!(levenshtein(&p64, "x"), 63);
+        let q: String = "xy".repeat(40);
+        assert_eq!(levenshtein(&p65, &q), levenshtein_reference(&p65, &q));
+    }
+
+    #[test]
+    fn bounded_distance_respects_the_limit() {
+        assert_eq!(levenshtein_bounded("kitten", "sitting", 3), Some(3));
+        assert_eq!(levenshtein_bounded("kitten", "sitting", 2), None);
+        assert_eq!(levenshtein_bounded("abc", "abc", 0), Some(0));
+        // Length difference alone exceeds the limit: no DP work needed.
+        assert_eq!(levenshtein_bounded("a", "abcdefgh", 3), None);
+        assert_eq!(levenshtein_bounded("café", "c", 1), None);
+    }
+
+    #[test]
+    fn prelength_variant_agrees_with_the_plain_similarity() {
+        let pairs = [
+            ("blast", "blastp"),
+            ("", ""),
+            ("café", "cafe"),
+            ("get_pathway", "render"),
+        ];
+        for (a, b) in pairs {
+            assert_eq!(
+                levenshtein_similarity_with_lens(a, a.chars().count(), b, b.chars().count()),
+                levenshtein_similarity(a, b),
+                "{a:?} vs {b:?}"
+            );
         }
     }
 }

@@ -19,15 +19,27 @@
 //! * [`jaccard`] — the plain Jaccard index on sets, and the similarity
 //!   quotient `matches / (matches + mismatches)` used by Bag of Words / Bag
 //!   of Tags.
+//! * [`intern`] — corpus-wide string interning and sorted-id token sets
+//!   with `O(a+b)` merge-based Jaccard, the substrate of the corpus-resident
+//!   similarity engine.
+//! * [`signature`] — fixed-size character-frequency signatures giving
+//!   admissible constant-time lower bounds on the Levenshtein distance,
+//!   used by the upper-bound pruning search.
 
 pub mod bag;
+pub mod intern;
 pub mod jaccard;
 pub mod levenshtein;
+pub mod signature;
 pub mod stopwords;
 pub mod tokenize;
 
 pub use bag::TokenBag;
+pub use intern::{StringPool, TokenIdSet};
 pub use jaccard::{jaccard_index, match_mismatch_similarity};
-pub use levenshtein::{levenshtein, levenshtein_similarity};
+pub use levenshtein::{
+    levenshtein, levenshtein_bounded, levenshtein_similarity, levenshtein_similarity_with_lens,
+};
+pub use signature::CharSignature;
 pub use stopwords::is_stopword;
 pub use tokenize::{tokenize, tokenize_filtered};

@@ -1,0 +1,147 @@
+//! Character-frequency signatures: constant-size lower bounds for the
+//! Levenshtein distance.
+//!
+//! Every edit operation changes the character multiset of a string by a
+//! bounded amount: an insertion or deletion shifts one character count by
+//! one, a substitution shifts two.  The L1 distance `D` between the two
+//! character histograms therefore satisfies `d >= ceil(D / 2)`, and the
+//! length difference independently forces `d >= ||a| - |b||`.  Folding the
+//! histogram into a fixed number of bins only ever *shrinks* `D` (clamping
+//! and merging are contractions), so the binned bound stays admissible.
+//!
+//! A [`CharSignature`] is 64 saturating byte counters — cheap to build
+//! once per corpus string and cheap to difference per candidate pair —
+//! giving the upper-bound pruning search a far tighter estimate of label
+//! similarity than lengths alone.
+
+/// Number of histogram bins (characters are folded by code point).
+const BINS: usize = 64;
+
+/// A fixed-size character-frequency signature of a string.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CharSignature {
+    bins: [u8; BINS],
+    chars: u32,
+}
+
+impl Default for CharSignature {
+    fn default() -> Self {
+        CharSignature {
+            bins: [0; BINS],
+            chars: 0,
+        }
+    }
+}
+
+impl CharSignature {
+    /// Builds the signature of a string (one pass, no allocation).
+    pub fn of(text: &str) -> Self {
+        let mut sig = CharSignature::default();
+        for c in text.chars() {
+            let bin = (c as u32 as usize) % BINS;
+            sig.bins[bin] = sig.bins[bin].saturating_add(1);
+            sig.chars += 1;
+        }
+        sig
+    }
+
+    /// The number of scalar values counted into the signature.
+    pub fn char_count(&self) -> usize {
+        self.chars as usize
+    }
+
+    /// A lower bound on `levenshtein(a, b)` from the signatures alone:
+    /// `max(||a| - |b||, ceil(L1(histogram_a, histogram_b) / 2))`.
+    pub fn distance_lower_bound(&self, other: &CharSignature) -> usize {
+        let mut l1 = 0usize;
+        for (a, b) in self.bins.iter().zip(other.bins.iter()) {
+            l1 += usize::from(a.abs_diff(*b));
+        }
+        let length_bound = (self.chars.abs_diff(other.chars)) as usize;
+        length_bound.max(l1.div_ceil(2))
+    }
+
+    /// An admissible upper bound on the *normalized* Levenshtein
+    /// similarity `1 - d / max(|a|, |b|)` of the two underlying strings.
+    pub fn similarity_upper_bound(&self, other: &CharSignature) -> f64 {
+        let max_len = self.chars.max(other.chars);
+        if max_len == 0 {
+            return 1.0;
+        }
+        let bound = 1.0 - self.distance_lower_bound(other) as f64 / f64::from(max_len);
+        bound.max(0.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::levenshtein::{levenshtein, levenshtein_similarity};
+
+    #[test]
+    fn identical_strings_have_zero_lower_bound() {
+        let s = CharSignature::of("blast_search");
+        assert_eq!(s.distance_lower_bound(&s.clone()), 0);
+        assert_eq!(s.similarity_upper_bound(&s.clone()), 1.0);
+        assert_eq!(s.char_count(), 12);
+    }
+
+    #[test]
+    fn empty_strings_are_identical() {
+        let e = CharSignature::of("");
+        assert_eq!(e.similarity_upper_bound(&e.clone()), 1.0);
+        let s = CharSignature::of("abc");
+        assert_eq!(e.distance_lower_bound(&s), 3);
+        assert_eq!(s.similarity_upper_bound(&e), 0.0);
+    }
+
+    #[test]
+    fn lower_bound_never_exceeds_the_true_distance() {
+        let words = [
+            "",
+            "a",
+            "blast",
+            "blastp",
+            "get_pathway",
+            "aggregate_daily_observations",
+            "render_report",
+            "tropical fish",
+            "αβγδ unicode",
+            "ΑΒΓΔ UNICODE",
+        ];
+        for a in words {
+            for b in words {
+                let (sa, sb) = (CharSignature::of(a), CharSignature::of(b));
+                let bound = sa.distance_lower_bound(&sb);
+                let true_d = levenshtein(a, b);
+                assert!(
+                    bound <= true_d,
+                    "{a:?} vs {b:?}: bound {bound} > d {true_d}"
+                );
+                assert!(
+                    sa.similarity_upper_bound(&sb) + 1e-12 >= levenshtein_similarity(a, b),
+                    "{a:?} vs {b:?}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn disjoint_alphabets_give_strong_bounds() {
+        let a = CharSignature::of("aaaa");
+        let b = CharSignature::of("bbbb");
+        // Four substitutions at least: L1 = 8, bound = 4.
+        assert_eq!(a.distance_lower_bound(&b), 4);
+        assert_eq!(a.similarity_upper_bound(&b), 0.0);
+    }
+
+    #[test]
+    fn saturation_keeps_the_bound_admissible() {
+        let long = "x".repeat(1000);
+        let short = "x".repeat(300);
+        let (sl, ss) = (CharSignature::of(&long), CharSignature::of(&short));
+        let bound = sl.distance_lower_bound(&ss);
+        assert!(bound <= levenshtein(&long, &short));
+        assert_eq!(bound, 700, "length bound still applies past saturation");
+    }
+}

@@ -1,0 +1,85 @@
+//! Property tests pitting the Myers bit-parallel Levenshtein kernels
+//! against first principles: metric axioms, the normalized-similarity
+//! bounds, and agreement between the interned merge Jaccard and the
+//! string-based one on randomized token soups.
+
+use proptest::prelude::*;
+use wf_text::levenshtein::{levenshtein, levenshtein_bounded, levenshtein_similarity};
+use wf_text::{jaccard_index, tokenize, StringPool};
+
+/// The classic two-row dynamic program, the oracle for the bit-parallel
+/// kernels (duplicated here because the in-crate reference is test-only).
+fn dp_reference(a: &str, b: &str) -> usize {
+    let a_chars: Vec<char> = a.chars().collect();
+    let b_chars: Vec<char> = b.chars().collect();
+    if b_chars.is_empty() {
+        return a_chars.len();
+    }
+    let mut prev: Vec<usize> = (0..=b_chars.len()).collect();
+    let mut curr = vec![0usize; b_chars.len() + 1];
+    for (i, ac) in a_chars.iter().enumerate() {
+        curr[0] = i + 1;
+        for (j, bc) in b_chars.iter().enumerate() {
+            let cost = usize::from(ac != bc);
+            curr[j + 1] = (prev[j + 1] + 1).min(curr[j] + 1).min(prev[j] + cost);
+        }
+        std::mem::swap(&mut prev, &mut curr);
+    }
+    prev[b_chars.len()]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    #[test]
+    fn myers_equals_the_reference_dp(a in "[a-d_ ]{0,90}", b in "[a-d_ ]{0,90}") {
+        prop_assert_eq!(levenshtein(&a, &b), dp_reference(&a, &b));
+    }
+
+    #[test]
+    fn myers_equals_the_reference_dp_on_wide_alphabets(
+        a in "[a-zA-Z0-9_]{0,70}",
+        b in "[a-zA-Z0-9_]{0,70}",
+    ) {
+        prop_assert_eq!(levenshtein(&a, &b), dp_reference(&a, &b));
+    }
+
+    #[test]
+    fn distance_is_a_metric_sample(a in "[ab]{0,20}", b in "[ab]{0,20}", c in "[ab]{0,20}") {
+        let (ab, ba) = (levenshtein(&a, &b), levenshtein(&b, &a));
+        prop_assert_eq!(ab, ba);
+        prop_assert_eq!(levenshtein(&a, &a), 0);
+        prop_assert!(levenshtein(&a, &c) <= ab + levenshtein(&b, &c));
+    }
+
+    #[test]
+    fn similarity_stays_in_unit_interval(a in "[a-f]{0,40}", b in "[a-f]{0,40}") {
+        let s = levenshtein_similarity(&a, &b);
+        prop_assert!((0.0..=1.0).contains(&s));
+    }
+
+    #[test]
+    fn bounded_agrees_with_unbounded(a in "[a-c]{0,30}", b in "[a-c]{0,30}", limit in 0usize..35) {
+        let d = levenshtein(&a, &b);
+        match levenshtein_bounded(&a, &b, limit) {
+            Some(found) => {
+                prop_assert_eq!(found, d);
+                prop_assert!(found <= limit);
+            }
+            None => prop_assert!(d > limit),
+        }
+    }
+
+    #[test]
+    fn interned_jaccard_matches_string_jaccard(
+        a in "[a-e ]{0,60}",
+        b in "[a-e ]{0,60}",
+    ) {
+        let (ta, tb) = (tokenize(&a), tokenize(&b));
+        let mut pool = StringPool::new();
+        let sa = pool.intern_set(&ta);
+        let sb = pool.intern_set(&tb);
+        prop_assert_eq!(sa.jaccard(&sb), jaccard_index(&ta, &tb));
+        prop_assert!(sa.jaccard_size_bound(&sb) + 1e-12 >= sa.jaccard(&sb));
+    }
+}
