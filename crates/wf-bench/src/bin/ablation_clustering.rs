@@ -19,18 +19,24 @@ use wf_cluster::{
     adjusted_rand_index, duplicate_pairs, hierarchical_clustering, normalized_mutual_information,
     purity, threshold_clustering, Linkage, PairwiseSimilarities,
 };
-use wf_corpus::{generate_taverna_corpus, TavernaCorpusConfig};
 use wf_sim::{
-    LabelVectorSimilarity, McsSimilarity, Measure, SimilarityConfig, WlKernelSimilarity,
-    WorkflowSimilarity,
+    Corpus, LabelVectorSimilarity, McsSimilarity, Measure, SimilarityConfig, WlKernelSimilarity,
 };
+
+/// How one measure's matrix is computed: through a shared profiled
+/// [`Corpus`] (the framework measures) or through the per-pair `Measure`
+/// trait (the extended measures, which have no profiled form).
+enum MatrixSource {
+    Profiled(SimilarityConfig),
+    Legacy(Box<dyn Measure + Sync>),
+}
 
 fn main() {
     let corpus_size = env_param("WFSIM_CORPUS_SIZE", 120);
     let seed = env_param("WFSIM_SEED", 42) as u64;
     let threads = env_param("WFSIM_THREADS", 4);
     println!("Ablation: clustering quality by similarity measure");
-    let (workflows, meta) = generate_taverna_corpus(&TavernaCorpusConfig::small(corpus_size, seed));
+    let (workflows, meta) = wf_bench::demo_workflows_with_meta(corpus_size, seed);
     let truth: Vec<usize> = workflows
         .iter()
         .map(|wf| meta.get(&wf.id).map(|m| m.family).unwrap_or(usize::MAX))
@@ -49,20 +55,26 @@ fn main() {
     );
     println!();
 
-    let measures: Vec<(String, Box<dyn Measure + Sync>)> = vec![
+    let measures: Vec<(String, MatrixSource)> = vec![
         (
             "BW".to_string(),
-            Box::new(WorkflowSimilarity::new(SimilarityConfig::bag_of_words())),
+            MatrixSource::Profiled(SimilarityConfig::bag_of_words()),
         ),
         (
             "MS_ip_te_pll".to_string(),
-            Box::new(WorkflowSimilarity::new(SimilarityConfig::best_module_sets())),
+            MatrixSource::Profiled(SimilarityConfig::best_module_sets()),
         ),
-        ("LV".to_string(), Box::new(LabelVectorSimilarity::new())),
-        ("MCS_pll".to_string(), Box::new(McsSimilarity::default())),
+        (
+            "LV".to_string(),
+            MatrixSource::Legacy(Box::new(LabelVectorSimilarity::new())),
+        ),
+        (
+            "MCS_pll".to_string(),
+            MatrixSource::Legacy(Box::new(McsSimilarity::default())),
+        ),
         (
             "WL_label".to_string(),
-            Box::new(WlKernelSimilarity::label_based()),
+            MatrixSource::Legacy(Box::new(WlKernelSimilarity::label_based())),
         ),
     ];
 
@@ -74,8 +86,16 @@ fn main() {
         "clusters@0.8",
         "duplicate pairs@0.95",
     ]);
-    for (name, measure) in &measures {
-        let matrix = PairwiseSimilarities::compute_parallel(&workflows, measure.as_ref(), threads);
+    for (name, source) in &measures {
+        let matrix = match source {
+            MatrixSource::Profiled(config) => {
+                let corpus = Corpus::build(config.clone(), workflows.clone());
+                PairwiseSimilarities::compute_profiled_parallel(&corpus, threads)
+            }
+            MatrixSource::Legacy(measure) => {
+                PairwiseSimilarities::compute_parallel(&workflows, measure.as_ref(), threads)
+            }
+        };
         let dendrogram = hierarchical_clustering(&matrix, Linkage::Average);
         let clusters = dendrogram.cut_k(family_count);
         let threshold_clusters = threshold_clustering(&matrix, 0.8);

@@ -8,9 +8,7 @@
 //! Environment: `WFSIM_CORPUS_SIZE` (default 1483), `WFSIM_SEED` (default 42).
 
 use wf_bench::{env_param, table::TextTable};
-use wf_corpus::{
-    generate_galaxy_corpus, generate_taverna_corpus, GalaxyCorpusConfig, TavernaCorpusConfig,
-};
+use wf_corpus::{generate_galaxy_corpus, GalaxyCorpusConfig};
 use wf_model::CorpusStats;
 use wf_repo::{importance_projection, ImportanceConfig, ImportanceScorer};
 
@@ -29,7 +27,7 @@ fn main() {
     let size = env_param("WFSIM_CORPUS_SIZE", 1483);
     let seed = env_param("WFSIM_SEED", 42) as u64;
 
-    let (taverna, _) = generate_taverna_corpus(&TavernaCorpusConfig::small(size, seed));
+    let taverna = wf_bench::demo_workflows(size, seed);
     let (galaxy, _) = generate_galaxy_corpus(&GalaxyCorpusConfig::default());
 
     let scorer = ImportanceScorer::new(ImportanceConfig::type_based());

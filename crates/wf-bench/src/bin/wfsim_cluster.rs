@@ -3,44 +3,185 @@
 //! Usage:
 //! ```text
 //! wfsim_cluster <corpus.json | --demo> [k] [algorithm] [duplicate-threshold]
+//!               [--engine legacy|profiled] [--threads N] [--demo-size N]
+//! wfsim_cluster <corpus.json | --demo> --bench-json BENCH_clustering.json
+//!               [--quick] [algorithm]
 //! ```
 //!
 //! * `corpus.json` — a JSON array of workflows (the format written by
 //!   `wf_model::json::corpus_to_json`); pass `--demo` to cluster a freshly
-//!   generated synthetic corpus instead.
+//!   generated synthetic corpus instead (`--demo-size` workflows).
 //! * `k` — number of clusters to cut the dendrogram into (default 10).
 //! * `algorithm` — one of `ms`, `ps`, `bw`, `lv`, `mcs`, `ensemble`
 //!   (default `ms` = MS_ip_te_pll, the paper's best structural setup).
 //! * `duplicate-threshold` — similarity above which a pair is reported as a
 //!   near duplicate (default 0.95).
+//! * `--engine` — `profiled` (default) builds one shared `Corpus` and fills
+//!   the similarity matrix from cached profiles; `legacy` scores through
+//!   the per-pair `Measure` trait (the seed path).  Both produce
+//!   bit-identical matrices; algorithms without a profiled form (`lv`,
+//!   `mcs`, `ensemble`) fall back to `legacy` with a note.
+//! * `--bench-json PATH` — benchmark mode: time the matrix build through
+//!   both engines and write a machine-readable report (the clustering twin
+//!   of `BENCH_retrieval.json`, used by CI to track the perf trajectory);
+//!   `--quick` shrinks the corpus for smoke runs.
 //!
 //! The tool prints every cluster with its medoid (representative workflow)
 //! and members, followed by the near-duplicate report — the two repository
 //! management tasks the paper's introduction motivates.
 
 use std::process::ExitCode;
+use std::time::Instant;
 
 use wf_bench::table::TextTable;
 use wf_cluster::{
     duplicate_pairs, hierarchical_clustering, kmedoids, Linkage, PairwiseSimilarities,
 };
-use wf_corpus::{generate_taverna_corpus, TavernaCorpusConfig};
-use wf_model::{json, Workflow};
+use wf_model::Workflow;
 use wf_sim::{
-    Ensemble, LabelVectorSimilarity, McsSimilarity, Measure, SimilarityConfig, WorkflowSimilarity,
+    Corpus, Ensemble, LabelVectorSimilarity, McsSimilarity, Measure, SimilarityConfig,
+    WorkflowSimilarity,
 };
 
-fn load_corpus(source: &str) -> Result<Vec<Workflow>, String> {
-    if source == "--demo" {
-        let (corpus, _) = generate_taverna_corpus(&TavernaCorpusConfig::small(120, 7));
-        return Ok(corpus);
-    }
-    let text = std::fs::read_to_string(source)
-        .map_err(|e| format!("cannot read corpus file '{source}': {e}"))?;
-    json::corpus_from_json(&text).map_err(|e| format!("cannot parse corpus '{source}': {e}"))
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Engine {
+    Legacy,
+    Profiled,
 }
 
-fn measure(algorithm: &str) -> Result<Box<dyn Measure + Sync>, String> {
+struct Options {
+    source: String,
+    k: usize,
+    algorithm: String,
+    threshold: f64,
+    engine: Engine,
+    threads: usize,
+    demo_size: usize,
+    bench_json: Option<String>,
+    quick: bool,
+}
+
+const USAGE: &str =
+    "usage: wfsim_cluster <corpus.json | --demo> [k] [algorithm] [duplicate-threshold] \
+                      [--engine legacy|profiled] [--threads N] [--demo-size N] \
+                      [--bench-json PATH [--quick]]";
+
+fn flag_value(args: &[String], i: &mut usize, name: &str) -> Result<String, String> {
+    *i += 1;
+    args.get(*i)
+        .cloned()
+        .ok_or_else(|| format!("{name} expects a value"))
+}
+
+fn parse_options(args: &[String]) -> Result<Options, String> {
+    let mut positional: Vec<&str> = Vec::new();
+    let mut engine = Engine::Profiled;
+    let mut threads = 8usize;
+    let mut demo_size = 0usize; // 0 = pick by mode
+    let mut bench_json = None;
+    let mut quick = false;
+    let mut source = None;
+    let mut i = 0;
+    while i < args.len() {
+        let arg = args[i].as_str();
+        match arg {
+            "--demo" => source = Some(wf_bench::corpus::DEMO_SOURCE.to_string()),
+            "--engine" => {
+                engine = match flag_value(args, &mut i, "--engine")?.as_str() {
+                    "legacy" => Engine::Legacy,
+                    "profiled" => Engine::Profiled,
+                    other => return Err(format!("unknown engine '{other}' (legacy | profiled)")),
+                }
+            }
+            "--threads" => {
+                threads = flag_value(args, &mut i, "--threads")?
+                    .parse()
+                    .map_err(|_| "invalid --threads value".to_string())?
+            }
+            "--demo-size" => {
+                demo_size = flag_value(args, &mut i, "--demo-size")?
+                    .parse()
+                    .map_err(|_| "invalid --demo-size value".to_string())?
+            }
+            "--bench-json" => bench_json = Some(flag_value(args, &mut i, "--bench-json")?),
+            "--quick" => quick = true,
+            other if other.starts_with("--") => {
+                return Err(format!("unknown flag '{other}'\n{USAGE}"));
+            }
+            other => positional.push(other),
+        }
+        i += 1;
+    }
+    let mut positional = positional.into_iter();
+    let source = match source {
+        Some(s) => s,
+        None => positional
+            .next()
+            .ok_or_else(|| USAGE.to_string())?
+            .to_string(),
+    };
+    let benchmarking = bench_json.is_some();
+    // Benchmark mode takes only `[algorithm]` (k and the duplicate
+    // threshold play no role in timing the matrix build); interactive mode
+    // takes `[k] [algorithm] [duplicate-threshold]`.
+    let (k, algorithm, threshold) = if benchmarking {
+        let algorithm = positional
+            .next()
+            .map(str::to_string)
+            .unwrap_or_else(|| "ms".to_string());
+        (10, algorithm, 0.95)
+    } else {
+        let k = positional
+            .next()
+            .map(|v| v.parse().map_err(|_| format!("invalid k '{v}'")))
+            .transpose()?
+            .unwrap_or(10);
+        let algorithm = positional
+            .next()
+            .map(str::to_string)
+            .unwrap_or_else(|| "ms".to_string());
+        let threshold: f64 = positional
+            .next()
+            .map(|v| v.parse().map_err(|_| format!("invalid threshold '{v}'")))
+            .transpose()?
+            .unwrap_or(0.95);
+        (k, algorithm, threshold)
+    };
+    if demo_size == 0 {
+        demo_size = match (benchmarking, quick) {
+            (true, true) => 60,
+            (true, false) => 250,
+            _ => 120,
+        };
+    }
+    Ok(Options {
+        source,
+        k,
+        algorithm,
+        threshold,
+        engine,
+        threads: threads.max(1),
+        demo_size,
+        bench_json,
+        quick,
+    })
+}
+
+/// The pipeline configuration behind an algorithm short-hand, when the
+/// algorithm is a single profileable measure.
+fn algorithm_config(algorithm: &str) -> Result<Option<SimilarityConfig>, String> {
+    match algorithm {
+        "ms" => Ok(Some(SimilarityConfig::best_module_sets())),
+        "ps" => Ok(Some(SimilarityConfig::best_path_sets())),
+        "bw" => Ok(Some(SimilarityConfig::bag_of_words())),
+        "lv" | "mcs" | "ensemble" => Ok(None),
+        other => Err(format!(
+            "unknown algorithm '{other}' (expected ms, ps, bw, lv, mcs or ensemble)"
+        )),
+    }
+}
+
+fn legacy_measure(algorithm: &str) -> Result<Box<dyn Measure + Sync>, String> {
     match algorithm {
         "ms" => Ok(Box::new(WorkflowSimilarity::new(
             SimilarityConfig::best_module_sets(),
@@ -60,38 +201,45 @@ fn measure(algorithm: &str) -> Result<Box<dyn Measure + Sync>, String> {
     }
 }
 
-fn run() -> Result<(), String> {
-    let args: Vec<String> = std::env::args().skip(1).collect();
-    if args.is_empty() {
-        return Err(
-            "usage: wfsim_cluster <corpus.json | --demo> [k] [algorithm] [duplicate-threshold]"
-                .to_string(),
-        );
+/// Builds the pairwise matrix through the selected engine, reporting which
+/// engine actually ran (profiled falls back for unprofileable algorithms).
+fn build_matrix(
+    options: &Options,
+    workflows: Vec<Workflow>,
+) -> Result<(PairwiseSimilarities, &'static str), String> {
+    if options.engine == Engine::Profiled {
+        match algorithm_config(&options.algorithm)? {
+            Some(config) => {
+                let corpus = Corpus::build(config, workflows);
+                return Ok((
+                    PairwiseSimilarities::compute_profiled_parallel(&corpus, options.threads),
+                    "profiled",
+                ));
+            }
+            None => println!(
+                "note: '{}' has no profiled form; using the legacy engine",
+                options.algorithm
+            ),
+        }
     }
-    let workflows = load_corpus(&args[0])?;
-    if workflows.is_empty() {
-        return Err("the corpus contains no workflows".to_string());
-    }
-    let k: usize = args
-        .get(1)
-        .map(|v| v.parse().map_err(|_| format!("invalid k '{v}'")))
-        .transpose()?
-        .unwrap_or(10);
-    let algorithm = args.get(2).map(String::as_str).unwrap_or("ms");
-    let threshold: f64 = args
-        .get(3)
-        .map(|v| v.parse().map_err(|_| format!("invalid threshold '{v}'")))
-        .transpose()?
-        .unwrap_or(0.95);
-    let measure = measure(algorithm)?;
+    let measure = legacy_measure(&options.algorithm)?;
+    Ok((
+        PairwiseSimilarities::compute_parallel(&workflows, measure.as_ref(), options.threads),
+        "legacy",
+    ))
+}
 
+fn run_clustering(options: &Options, workflows: Vec<Workflow>) -> Result<(), String> {
     println!(
-        "clustering {} workflows with {algorithm} into {k} clusters (average linkage)",
-        workflows.len()
+        "clustering {} workflows with {} into {} clusters (average linkage)",
+        workflows.len(),
+        options.algorithm,
+        options.k
     );
-    let matrix = PairwiseSimilarities::compute_parallel(&workflows, measure.as_ref(), 8);
-    let clusters = hierarchical_clustering(&matrix, Linkage::Average).cut_k(k);
-    let pam = kmedoids(&matrix, k, 30);
+    let (matrix, engine) = build_matrix(options, workflows)?;
+    println!("similarity matrix built by the {engine} engine");
+    let clusters = hierarchical_clustering(&matrix, Linkage::Average).cut_k(options.k);
+    let pam = kmedoids(&matrix, options.k, 30);
 
     let mut table = TextTable::new(vec!["cluster", "size", "medoid", "members (first 6)"]);
     for (cluster, members) in clusters.groups().iter().enumerate() {
@@ -127,9 +275,10 @@ fn run() -> Result<(), String> {
     );
     println!();
 
-    let duplicates = duplicate_pairs(&matrix, threshold);
+    let duplicates = duplicate_pairs(&matrix, options.threshold);
     println!(
-        "near-duplicate pairs (similarity >= {threshold}): {}",
+        "near-duplicate pairs (similarity >= {}): {}",
+        options.threshold,
         duplicates.len()
     );
     for pair in duplicates.iter().take(15) {
@@ -141,6 +290,86 @@ fn run() -> Result<(), String> {
         );
     }
     Ok(())
+}
+
+fn run_benchmark(options: &Options, workflows: Vec<Workflow>) -> Result<(), String> {
+    let path = options.bench_json.as_deref().expect("benchmark mode");
+    let config = algorithm_config(&options.algorithm)?
+        .ok_or_else(|| "benchmark mode needs a profileable algorithm (ms, ps, bw)".to_string())?;
+    let algorithm_name = config.name();
+    let n = workflows.len();
+    if n == 0 {
+        return Err("benchmark needs a non-empty corpus".to_string());
+    }
+    let comparisons = n * n.saturating_sub(1) / 2;
+
+    // Seed path: every cell re-derives projections, labels and token sets.
+    let plain = WorkflowSimilarity::new(config.clone());
+    let legacy_started = Instant::now();
+    let legacy = PairwiseSimilarities::compute_parallel(&workflows, &plain, options.threads);
+    let legacy_ms = legacy_started.elapsed().as_secs_f64() * 1e3;
+
+    // Corpus-resident path: profile once, fill the matrix from the cache.
+    let build_started = Instant::now();
+    let corpus = Corpus::build(config, workflows);
+    let build_ms = build_started.elapsed().as_secs_f64() * 1e3;
+    let profiled_started = Instant::now();
+    let profiled = PairwiseSimilarities::compute_profiled_parallel(&corpus, options.threads);
+    let profiled_ms = profiled_started.elapsed().as_secs_f64() * 1e3;
+
+    let identical = legacy == profiled;
+    // Keep the report valid JSON: a sub-resolution profiled run must not
+    // format as the literal `inf`.
+    let speedup = legacy_ms / profiled_ms.max(1e-6);
+    let report = format!(
+        "{{\n  \"experiment\": \"clustering_matrix\",\n  \"corpus\": \"{}\",\n  \
+         \"corpus_size\": {},\n  \"matrix_cells\": {},\n  \"threads\": {},\n  \
+         \"algorithm\": \"{}\",\n  \"quick\": {},\n  \"engines\": [\n    \
+         {{\"engine\": \"legacy\", \"wall_ms\": {:.3}, \"comparisons_scored\": {}}},\n    \
+         {{\"engine\": \"profiled\", \"wall_ms\": {:.3}, \"build_ms\": {:.3}, \
+         \"comparisons_scored\": {}}}\n  ],\n  \
+         \"identical_matrix\": {},\n  \"speedup_legacy_over_profiled\": {:.3}\n}}\n",
+        wf_bench::json_escape(&options.source),
+        n,
+        comparisons,
+        options.threads,
+        algorithm_name,
+        options.quick,
+        legacy_ms,
+        comparisons,
+        profiled_ms,
+        build_ms,
+        comparisons,
+        identical,
+        speedup,
+    );
+    std::fs::write(path, &report).map_err(|e| format!("cannot write '{path}': {e}"))?;
+    println!(
+        "clustering-matrix benchmark ({algorithm_name}, {n} workflows, {comparisons} pairs, \
+         {} threads):",
+        options.threads
+    );
+    println!("  legacy   {legacy_ms:>10.1} ms");
+    println!("  profiled {profiled_ms:>10.1} ms  (+{build_ms:.1} ms corpus build)");
+    println!("  speedup  {speedup:>10.1} x  -> {path}");
+    if !identical {
+        return Err("profiled and legacy matrices diverged — this is a bug".to_string());
+    }
+    Ok(())
+}
+
+fn run() -> Result<(), String> {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let options = parse_options(&args)?;
+    let workflows = wf_bench::load_workflows(&options.source, options.demo_size)?;
+    if workflows.is_empty() {
+        return Err("the corpus contains no workflows".to_string());
+    }
+    if options.bench_json.is_some() {
+        run_benchmark(&options, workflows)
+    } else {
+        run_clustering(&options, workflows)
+    }
 }
 
 fn main() -> ExitCode {

@@ -28,10 +28,9 @@ use std::process::ExitCode;
 use std::time::Instant;
 
 use wf_bench::table::TextTable;
-use wf_corpus::{generate_taverna_corpus, TavernaCorpusConfig};
-use wf_model::{json, Workflow, WorkflowId};
-use wf_repo::{IndexedSearchEngine, Repository, SearchEngine, SearchStats};
-use wf_sim::{Ensemble, ProfiledMeasure, SimilarityConfig, WorkflowSimilarity};
+use wf_model::{Workflow, WorkflowId};
+use wf_repo::{Repository, SearchEngine, SearchStats};
+use wf_sim::{Corpus, Ensemble, SimilarityConfig, WorkflowSimilarity};
 
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 enum Engine {
@@ -156,16 +155,6 @@ fn parse_options(args: &[String]) -> Result<Options, String> {
     })
 }
 
-fn load_corpus(source: &str, demo_size: usize) -> Result<Vec<Workflow>, String> {
-    if source == "--demo" {
-        let (corpus, _) = generate_taverna_corpus(&TavernaCorpusConfig::small(demo_size, 7));
-        return Ok(corpus);
-    }
-    let text = std::fs::read_to_string(source)
-        .map_err(|e| format!("cannot read corpus file '{source}': {e}"))?;
-    json::corpus_from_json(&text).map_err(|e| format!("cannot parse corpus '{source}': {e}"))
-}
-
 type Scorer = Box<dyn Fn(&Workflow, &Workflow) -> f64 + Sync>;
 
 /// The pipeline configuration behind an algorithm short-hand, when the
@@ -228,9 +217,9 @@ fn run_search(options: &Options, repository: &Repository) -> Result<(), String> 
     let config = algorithm_config(&options.algorithm)?;
     match (options.engine, config) {
         (Engine::Indexed, Some(config)) => {
-            let profiled = ProfiledMeasure::new(config, repository.workflows());
-            let engine = IndexedSearchEngine::new(&profiled).with_threads(options.threads);
-            let query_index = profiled
+            let corpus = Corpus::build(config, repository.workflows().to_vec());
+            let engine = corpus.search_engine().with_threads(options.threads);
+            let query_index = corpus
                 .index_of(&query_id)
                 .expect("query id resolved against the same corpus");
             let (hits, stats) = if options.threads > 1 {
@@ -275,20 +264,6 @@ fn run_search(options: &Options, repository: &Repository) -> Result<(), String> 
     Ok(())
 }
 
-/// Escapes a string for embedding in a JSON string literal.
-fn json_escape(raw: &str) -> String {
-    let mut out = String::with_capacity(raw.len());
-    for c in raw.chars() {
-        match c {
-            '"' => out.push_str("\\\""),
-            '\\' => out.push_str("\\\\"),
-            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
-            c => out.push(c),
-        }
-    }
-    out
-}
-
 fn run_benchmark(options: &Options, repository: &Repository) -> Result<(), String> {
     let path = options.bench_json.as_deref().expect("benchmark mode");
     let config = algorithm_config(&options.algorithm)?.ok_or_else(|| {
@@ -314,11 +289,12 @@ fn run_benchmark(options: &Options, repository: &Repository) -> Result<(), Strin
     let scan_ms = scan_started.elapsed().as_secs_f64() * 1e3;
     let scan_comparisons = queries.len() * n.saturating_sub(1);
 
-    // Corpus-resident path: profile + index once, prune per query.
+    // Corpus-resident path: one shared Corpus (profiles + index), prune per
+    // query through an engine that borrows the corpus-resident index.
     let build_started = Instant::now();
-    let profiled = ProfiledMeasure::new(config, repository.workflows());
-    let indexed_engine = IndexedSearchEngine::new(&profiled);
+    let corpus = Corpus::build(config, repository.workflows().to_vec());
     let build_ms = build_started.elapsed().as_secs_f64() * 1e3;
+    let indexed_engine = corpus.search_engine();
     let indexed_started = Instant::now();
     let mut stats_total = SearchStats::default();
     let mut indexed_lists = Vec::new();
@@ -347,7 +323,7 @@ fn run_benchmark(options: &Options, repository: &Repository) -> Result<(), Strin
          \"comparisons_scored\": {}, \"comparisons_pruned\": {}, \
          \"zero_bound_shortcuts\": {}, \"shared_token_candidates\": {}}}\n  ],\n  \
          \"identical_hits\": {},\n  \"speedup_scan_over_indexed\": {:.3}\n}}\n",
-        json_escape(&options.source),
+        wf_bench::json_escape(&options.source),
         n,
         queries.len(),
         options.k,
@@ -388,7 +364,7 @@ fn run_benchmark(options: &Options, repository: &Repository) -> Result<(), Strin
 fn run() -> Result<(), String> {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let options = parse_options(&args)?;
-    let corpus = load_corpus(&options.source, options.demo_size)?;
+    let corpus = wf_bench::load_workflows(&options.source, options.demo_size)?;
     let repository = Repository::from_workflows(corpus);
     if options.bench_json.is_some() {
         run_benchmark(&options, &repository)

@@ -1,0 +1,81 @@
+//! Shared corpus construction for the experiment binaries.
+//!
+//! Before the corpus layer, every `wf-bench` binary carried its own copy of
+//! the demo-corpus recipe (`generate_taverna_corpus(&TavernaCorpusConfig::
+//! small(size, seed))`) and of the file-or-`--demo` loader.  This module is
+//! the single implementation: binaries ask for raw workflows (when they
+//! need the latent [`CorpusMeta`] ground truth) or for a fully built
+//! [`Corpus`] (when they score), and both CLIs share one loader.
+
+use wf_corpus::{generate_taverna_corpus, CorpusMeta, TavernaCorpusConfig};
+use wf_model::{json, Workflow};
+use wf_sim::{Corpus, SimilarityConfig};
+
+/// The seed every demo corpus uses unless a binary overrides it — keeps the
+/// `--demo` output of all CLIs and examples comparable run to run.
+pub const DEMO_SEED: u64 = 7;
+
+/// The `--demo` / `corpus.json` source argument shared by the CLIs.
+pub const DEMO_SOURCE: &str = "--demo";
+
+/// A freshly generated myExperiment-like demo corpus of `size` workflows.
+pub fn demo_workflows(size: usize, seed: u64) -> Vec<Workflow> {
+    demo_workflows_with_meta(size, seed).0
+}
+
+/// [`demo_workflows`] plus the latent family/topic ground truth, for
+/// experiments that evaluate against it.
+pub fn demo_workflows_with_meta(size: usize, seed: u64) -> (Vec<Workflow>, CorpusMeta) {
+    generate_taverna_corpus(&TavernaCorpusConfig::small(size, seed))
+}
+
+/// Loads raw workflows from a JSON corpus file, or generates a demo corpus
+/// of `demo_size` workflows when `source` is `--demo`.
+pub fn load_workflows(source: &str, demo_size: usize) -> Result<Vec<Workflow>, String> {
+    if source == DEMO_SOURCE {
+        return Ok(demo_workflows(demo_size, DEMO_SEED));
+    }
+    let text = std::fs::read_to_string(source)
+        .map_err(|e| format!("cannot read corpus file '{source}': {e}"))?;
+    json::corpus_from_json(&text).map_err(|e| format!("cannot parse corpus '{source}': {e}"))
+}
+
+/// [`load_workflows`] followed by one shared [`Corpus::build`] — the
+/// standard way for a binary to obtain its scoring substrate.
+pub fn load_corpus(
+    source: &str,
+    demo_size: usize,
+    config: SimilarityConfig,
+) -> Result<Corpus, String> {
+    Ok(Corpus::build(config, load_workflows(source, demo_size)?))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn demo_corpus_is_deterministic_per_seed() {
+        let a = demo_workflows(12, DEMO_SEED);
+        let b = demo_workflows(12, DEMO_SEED);
+        assert_eq!(a.len(), 12);
+        let ids = |wfs: &[Workflow]| wfs.iter().map(|w| w.id.clone()).collect::<Vec<_>>();
+        assert_eq!(ids(&a), ids(&b));
+        let (c, meta) = demo_workflows_with_meta(12, 99);
+        assert_eq!(c.len(), 12);
+        assert!(meta.get(&c[0].id).is_some(), "ground truth covers corpus");
+    }
+
+    #[test]
+    fn loader_builds_a_ready_corpus_from_the_demo_source() {
+        let corpus = load_corpus(DEMO_SOURCE, 10, SimilarityConfig::best_module_sets()).unwrap();
+        assert_eq!(corpus.len(), 10);
+        assert!(corpus.token_index().token_count() > 0);
+        assert!(load_corpus(
+            "/nonexistent.json",
+            10,
+            SimilarityConfig::best_module_sets()
+        )
+        .is_err());
+    }
+}

@@ -23,11 +23,16 @@
 //!   retrieval over the whole repository, expert ratings of the pooled
 //!   result lists, and precision@k curves.
 //! * [`table`] — plain-text table formatting for the binaries.
+//! * [`corpus`] — shared demo-corpus construction and the file-or-`--demo`
+//!   loader, returning raw workflows or a fully built
+//!   [`wf_sim::Corpus`].
 
+pub mod corpus;
 pub mod ranking;
 pub mod retrieval;
 pub mod table;
 
+pub use corpus::{demo_workflows, demo_workflows_with_meta, load_corpus, load_workflows};
 pub use ranking::{AlgorithmScore, RankingExperiment, RankingExperimentConfig};
 pub use retrieval::{RetrievalExperiment, RetrievalExperimentConfig};
 
@@ -73,6 +78,21 @@ impl<'a> NamedAlgorithm<'a> {
             score: Box::new(score),
         }
     }
+}
+
+/// Escapes a string for embedding in a JSON string literal — shared by the
+/// `--bench-json` report writers of the CLI binaries.
+pub fn json_escape(raw: &str) -> String {
+    let mut out = String::with_capacity(raw.len());
+    for c in raw.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out
 }
 
 /// Reads a `usize` experiment parameter from the environment, falling back

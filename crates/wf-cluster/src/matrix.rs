@@ -9,9 +9,14 @@
 //! via `chunks_mut`, each worker owns an interleaved subset of rows, and a
 //! cheap sequential pass mirrors the upper triangle afterwards — no mutex
 //! anywhere near the `measure` calls.
+//!
+//! The profiled builders ([`PairwiseSimilarities::compute_profiled`] and
+//! its parallel twin) score a prebuilt [`Corpus`] by index from its cached
+//! profiles — no per-pair re-derivation of projections, lowercased labels
+//! or token sets — and are bit-identical to the legacy per-pair path.
 
 use wf_model::{Workflow, WorkflowId};
-use wf_sim::Measure;
+use wf_sim::{Corpus, Measure};
 
 /// A symmetric matrix of pairwise workflow similarities.
 #[derive(Debug, Clone, PartialEq)]
@@ -91,6 +96,73 @@ impl PairwiseSimilarities {
         }
         PairwiseSimilarities {
             ids: workflows.iter().map(|wf| wf.id.clone()).collect(),
+            values,
+        }
+    }
+
+    /// Computes the matrix of a prebuilt [`Corpus`] from its cached
+    /// profiles, addressed by corpus index.
+    ///
+    /// Bit-identical to [`PairwiseSimilarities::compute`] over
+    /// `corpus.workflows()` with the same configured measure — the profiled
+    /// scorer reproduces the per-pair pipeline exactly — but without
+    /// re-deriving any per-workflow feature per pair.
+    pub fn compute_profiled(corpus: &Corpus) -> Self {
+        let n = corpus.len();
+        let scorer = corpus.matrix_scorer();
+        let mut values = vec![0.0; n * n];
+        for i in 0..n {
+            values[i * n + i] = 1.0;
+            for j in (i + 1)..n {
+                let s = scorer.score(i, j);
+                values[i * n + j] = s;
+                values[j * n + i] = s;
+            }
+        }
+        PairwiseSimilarities {
+            ids: corpus.ids().to_vec(),
+            values,
+        }
+    }
+
+    /// [`PairwiseSimilarities::compute_profiled`] on `threads` scoped
+    /// threads, with the same lock-free row-ownership scheme as
+    /// [`PairwiseSimilarities::compute_parallel`].
+    pub fn compute_profiled_parallel(corpus: &Corpus, threads: usize) -> Self {
+        let n = corpus.len();
+        if n == 0 || threads <= 1 {
+            return PairwiseSimilarities::compute_profiled(corpus);
+        }
+        let threads = threads.min(n);
+        let scorer = corpus.matrix_scorer();
+        let mut values = vec![0.0; n * n];
+        {
+            let mut buckets: Vec<Vec<(usize, &mut [f64])>> =
+                (0..threads).map(|_| Vec::new()).collect();
+            for (i, row) in values.chunks_mut(n).enumerate() {
+                buckets[i % threads].push((i, row));
+            }
+            std::thread::scope(|scope| {
+                for bucket in buckets {
+                    let scorer = &scorer;
+                    scope.spawn(move || {
+                        for (i, row) in bucket {
+                            row[i] = 1.0;
+                            for (j, cell) in row.iter_mut().enumerate().skip(i + 1) {
+                                *cell = scorer.score(i, j);
+                            }
+                        }
+                    });
+                }
+            });
+        }
+        for i in 0..n {
+            for j in (i + 1)..n {
+                values[j * n + i] = values[i * n + j];
+            }
+        }
+        PairwiseSimilarities {
+            ids: corpus.ids().to_vec(),
             values,
         }
     }
@@ -226,6 +298,31 @@ mod tests {
                 }
             }
         }
+    }
+
+    #[test]
+    fn profiled_matrix_is_bit_identical_to_the_legacy_path() {
+        let wfs = corpus();
+        let config = SimilarityConfig::best_module_sets();
+        let measure = WorkflowSimilarity::new(config.clone());
+        let legacy = PairwiseSimilarities::compute(&wfs, &measure);
+        let shared = Corpus::build(config, wfs.clone());
+        let profiled = PairwiseSimilarities::compute_profiled(&shared);
+        assert_eq!(profiled, legacy, "sequential profiled != legacy");
+        for threads in [2, 3, 8] {
+            assert_eq!(
+                PairwiseSimilarities::compute_profiled_parallel(&shared, threads),
+                legacy,
+                "parallel profiled != legacy, threads={threads}"
+            );
+        }
+    }
+
+    #[test]
+    fn empty_profiled_corpus_produces_an_empty_matrix() {
+        let shared = Corpus::build(SimilarityConfig::best_module_sets(), Vec::new());
+        assert!(PairwiseSimilarities::compute_profiled(&shared).is_empty());
+        assert!(PairwiseSimilarities::compute_profiled_parallel(&shared, 4).is_empty());
     }
 
     #[test]

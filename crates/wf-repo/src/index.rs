@@ -17,8 +17,10 @@
 //! Measures that cannot provide a bound (`upper_bound` returning `None`)
 //! degrade gracefully to an exhaustive — but still corpus-resident — scan.
 
+use std::borrow::Cow;
 use std::collections::BTreeMap;
 
+use serde::{Deserialize, Serialize};
 use wf_model::WorkflowId;
 
 use crate::search::{hit_ordering, sort_and_truncate, SearchHit, TopK};
@@ -53,7 +55,13 @@ pub trait CorpusScorer: Sync {
 }
 
 /// An inverted index from label-token ids to the workflows containing them.
-#[derive(Debug, Clone, Default)]
+///
+/// Besides the batch [`TokenIndex::build`], the index supports *incremental*
+/// maintenance ([`TokenIndex::add_workflow`] /
+/// [`TokenIndex::remove_workflow`]): a serving process can mutate its corpus
+/// without ever rebuilding the index, and the mutated index is structurally
+/// equal (`==`) to a from-scratch rebuild over the surviving workflows.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
 pub struct TokenIndex {
     postings: BTreeMap<u32, Vec<u32>>,
     workflows: usize,
@@ -103,6 +111,86 @@ impl TokenIndex {
         }
         counts
     }
+
+    /// Registers one new workflow (appended at the end of the corpus) with
+    /// its distinct sorted label-token ids, returning its corpus index.
+    ///
+    /// The new index is the largest so far, so every touched posting list
+    /// stays sorted by a plain push — O(|tokens| · log |vocabulary|).
+    pub fn add_workflow(&mut self, tokens: &[u32]) -> usize {
+        let index = self.workflows;
+        for &token in tokens {
+            self.postings.entry(token).or_default().push(index as u32);
+        }
+        self.workflows += 1;
+        index
+    }
+
+    /// Unregisters the workflow at a corpus index, shifting every later
+    /// workflow down by one — mirroring `Vec::remove` on the corpus itself,
+    /// so the index stays aligned with the surviving corpus order.
+    ///
+    /// Walks every posting list once (O(total postings)); empty lists are
+    /// dropped so the result stays `==` to a from-scratch rebuild.
+    ///
+    /// # Panics
+    /// Panics when `index >= self.workflow_count()`.
+    pub fn remove_workflow(&mut self, index: usize) {
+        assert!(
+            index < self.workflows,
+            "workflow index {index} out of bounds for {} indexed workflows",
+            self.workflows
+        );
+        let removed = index as u32;
+        for list in self.postings.values_mut() {
+            list.retain(|&wf| wf != removed);
+            for wf in list.iter_mut() {
+                if *wf > removed {
+                    *wf -= 1;
+                }
+            }
+        }
+        self.postings.retain(|_, list| !list.is_empty());
+        self.workflows -= 1;
+    }
+}
+
+// `BTreeMap<u32, _>` has no vendored-serde impl (JSON object keys are
+// strings), so the index serializes by hand as parallel token/posting-list
+// arrays plus the workflow count.
+impl Serialize for TokenIndex {
+    fn serialize_value(&self) -> serde::Value {
+        let tokens: Vec<u32> = self.postings.keys().copied().collect();
+        let lists: Vec<&[u32]> = self.postings.values().map(Vec::as_slice).collect();
+        serde::Value::Object(vec![
+            ("tokens".to_string(), tokens.serialize_value()),
+            ("postings".to_string(), lists.serialize_value()),
+            ("workflows".to_string(), self.workflows.serialize_value()),
+        ])
+    }
+}
+
+impl Deserialize for TokenIndex {
+    fn deserialize_value(value: &serde::Value) -> Result<Self, serde::Error> {
+        let field = |name: &str| {
+            value
+                .get_field(name)
+                .ok_or_else(|| serde::Error::missing_field("TokenIndex", name))
+        };
+        let tokens = Vec::<u32>::deserialize_value(field("tokens")?)?;
+        let lists = Vec::<Vec<u32>>::deserialize_value(field("postings")?)?;
+        if tokens.len() != lists.len() {
+            return Err(serde::Error(format!(
+                "token/posting arity mismatch: {} tokens, {} posting lists",
+                tokens.len(),
+                lists.len()
+            )));
+        }
+        Ok(TokenIndex {
+            postings: tokens.into_iter().zip(lists).collect(),
+            workflows: usize::deserialize_value(field("workflows")?)?,
+        })
+    }
 }
 
 /// Instrumentation of one indexed search.
@@ -151,7 +239,7 @@ struct Candidate {
 /// The index-accelerated top-k search engine.
 pub struct IndexedSearchEngine<'s, S: CorpusScorer + ?Sized> {
     scorer: &'s S,
-    index: TokenIndex,
+    index: Cow<'s, TokenIndex>,
     threads: usize,
 }
 
@@ -159,7 +247,26 @@ impl<'s, S: CorpusScorer + ?Sized> IndexedSearchEngine<'s, S> {
     /// Builds the inverted index and wraps the measure.
     pub fn new(scorer: &'s S) -> Self {
         IndexedSearchEngine {
-            index: TokenIndex::build(scorer),
+            index: Cow::Owned(TokenIndex::build(scorer)),
+            scorer,
+            threads: 4,
+        }
+    }
+
+    /// Wraps a measure around an index built (or incrementally maintained)
+    /// elsewhere — e.g. the corpus-resident index of a `Corpus` — making
+    /// engine construction free of any per-query or per-engine index work.
+    ///
+    /// The index must cover exactly the scorer's corpus
+    /// (`index.workflow_count() == scorer.corpus_len()`, asserted).
+    pub fn with_index(scorer: &'s S, index: &'s TokenIndex) -> Self {
+        assert_eq!(
+            index.workflow_count(),
+            scorer.corpus_len(),
+            "index and corpus cover a different number of workflows"
+        );
+        IndexedSearchEngine {
+            index: Cow::Borrowed(index),
             scorer,
             threads: 4,
         }
@@ -487,6 +594,66 @@ mod tests {
         assert_eq!(overlaps[1], 3);
         assert_eq!(overlaps[3], 1);
         assert_eq!(overlaps[4], 0);
+    }
+
+    /// Rebuilds the index over a subset of the toy corpus — the reference
+    /// for the incremental-maintenance equality tests.
+    fn rebuilt(token_sets: &[&[u32]]) -> TokenIndex {
+        TokenIndex::build(&ToyScorer::new(token_sets, true))
+    }
+
+    #[test]
+    fn incremental_add_equals_rebuild() {
+        let sets: Vec<&[u32]> = vec![&[1, 2, 3], &[2, 7], &[], &[4, 5]];
+        let mut index = rebuilt(&sets[..2]);
+        assert_eq!(index.add_workflow(sets[2]), 2);
+        assert_eq!(index.add_workflow(sets[3]), 3);
+        assert_eq!(index, rebuilt(&sets));
+    }
+
+    #[test]
+    fn incremental_remove_equals_rebuild_and_shifts_indices() {
+        let sets: Vec<&[u32]> = vec![&[1, 2, 3], &[2, 7], &[7, 8], &[1, 8]];
+        let mut index = rebuilt(&sets);
+        index.remove_workflow(1);
+        let survivors: Vec<&[u32]> = vec![sets[0], sets[2], sets[3]];
+        assert_eq!(index, rebuilt(&survivors));
+        // Token 7 lost its only other holder's neighbour; postings shifted.
+        assert_eq!(index.postings(7), &[1]);
+        assert_eq!(index.postings(1), &[0, 2]);
+        // Removing the rest empties the index completely.
+        index.remove_workflow(2);
+        index.remove_workflow(0);
+        index.remove_workflow(0);
+        assert_eq!(index, TokenIndex::default());
+        assert_eq!(index.token_count(), 0, "empty posting lists are dropped");
+    }
+
+    #[test]
+    #[should_panic(expected = "out of bounds")]
+    fn incremental_remove_rejects_out_of_range_indices() {
+        let mut index = rebuilt(&[&[1, 2]]);
+        index.remove_workflow(1);
+    }
+
+    #[test]
+    fn engine_with_external_index_matches_engine_with_built_index() {
+        let scorer = corpus();
+        let index = TokenIndex::build(&scorer);
+        let external = IndexedSearchEngine::with_index(&scorer, &index);
+        let built = IndexedSearchEngine::new(&scorer);
+        for query in 0..scorer.corpus_len() {
+            assert_eq!(external.top_k(query, 3), built.top_k(query, 3));
+        }
+    }
+
+    #[test]
+    fn token_index_serde_roundtrip() {
+        let scorer = corpus();
+        let index = TokenIndex::build(&scorer);
+        let value = serde::Serialize::serialize_value(&index);
+        let back: TokenIndex = serde::Deserialize::deserialize_value(&value).unwrap();
+        assert_eq!(back, index);
     }
 
     #[test]

@@ -40,6 +40,21 @@ impl Repository {
         }
     }
 
+    /// Removes a workflow by id, returning it.  Later workflows shift down
+    /// one position (insertion order of the survivors is preserved), exactly
+    /// like the corpus-layer `remove`, so repository and corpus stay
+    /// index-aligned under churn.
+    pub fn remove(&mut self, id: &WorkflowId) -> Option<Workflow> {
+        let pos = self.index.remove(id)?;
+        let removed = self.workflows.remove(pos);
+        for index in self.index.values_mut() {
+            if *index > pos {
+                *index -= 1;
+            }
+        }
+        Some(removed)
+    }
+
     /// Number of stored workflows.
     pub fn len(&self) -> usize {
         self.workflows.len()
@@ -133,6 +148,20 @@ mod tests {
         repo.insert(wf("a", 5));
         assert_eq!(repo.len(), 1);
         assert_eq!(repo.get_str("a").unwrap().module_count(), 5);
+    }
+
+    #[test]
+    fn remove_shifts_later_workflows_down() {
+        let mut repo = Repository::from_workflows(vec![wf("a", 1), wf("b", 2), wf("c", 3)]);
+        let removed = repo.remove(&WorkflowId::new("b")).unwrap();
+        assert_eq!(removed.id.as_str(), "b");
+        assert_eq!(repo.len(), 2);
+        assert!(repo.remove(&WorkflowId::new("b")).is_none());
+        let ids: Vec<&str> = repo.iter().map(|w| w.id.as_str()).collect();
+        assert_eq!(ids, vec!["a", "c"]);
+        // Index lookups still resolve after the shift.
+        assert_eq!(repo.get_str("c").unwrap().module_count(), 3);
+        assert_eq!(repo.get_str("a").unwrap().module_count(), 1);
     }
 
     #[test]

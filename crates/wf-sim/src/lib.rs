@@ -35,9 +35,17 @@
 //! graph kernels, frequent module / tag sets) behind the common [`Measure`]
 //! trait, so they can be benchmarked against the framework measures and used
 //! by the clustering crate.
+//!
+//! For repository-scale work, [`profile`] precomputes corpus-resident
+//! per-workflow features once ([`ProfiledMeasure`], bit-identical to the
+//! pipeline), and [`corpus`] wraps them into the shared [`Corpus`] layer:
+//! build → mutate (incremental `add`/`remove`) → snapshot (versioned,
+//! checksummed persistence) → score (pruned top-k search and profiled
+//! clustering matrices from one instance).
 
 pub mod annotation;
 pub mod config;
+pub mod corpus;
 pub mod decompose;
 pub mod ensemble;
 pub mod extended;
@@ -52,6 +60,7 @@ pub mod stacking;
 
 pub use annotation::{bag_of_tags_similarity, bag_of_words_similarity};
 pub use config::{MeasureKind, Normalization, Preprocessing, SimilarityConfig};
+pub use corpus::{Corpus, CorpusOrigin, SnapshotError};
 pub use ensemble::Ensemble;
 pub use extended::{
     FrequentSetSimilarity, LabelVectorSimilarity, McsConfig, McsSimilarity, Measure,
@@ -61,5 +70,5 @@ pub use mapping_step::{module_similarity_matrix, ModuleMappingOutcome};
 pub use module_cmp::{ComparisonMethod, ModuleComparisonScheme};
 pub use pipeline::{SimilarityReport, WorkflowSimilarity};
 pub use prior_work::{prior_approaches, PriorApproach};
-pub use profile::{ModuleProfile, ProfiledMeasure, WorkflowProfile};
+pub use profile::{ClassPairTable, ModuleProfile, ProfiledMeasure, WorkflowProfile};
 pub use stacking::{learn_weights, weight_grid, LearnedWeights, RankEnsemble};

@@ -31,6 +31,7 @@
 
 use std::collections::BTreeMap;
 
+use serde::{Deserialize, Serialize};
 use wf_matching::{map_with, SimilarityMatrix};
 use wf_model::{AttributeKey, Module, ModuleId, Workflow, WorkflowId};
 use wf_repo::{CorpusScorer, PreselectionStrategy, TypeClass};
@@ -49,7 +50,7 @@ use crate::normalize::jaccard_normalize;
 use crate::pipeline::WorkflowSimilarity;
 
 /// Derived, comparison-ready features of one module.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, Serialize, Deserialize)]
 pub struct ModuleProfile {
     /// The label lowercased once (Unicode `to_lowercase`, exactly as the
     /// case-insensitive comparison methods do per call).
@@ -112,7 +113,7 @@ fn text_chars(text: Option<&str>) -> u32 {
 }
 
 /// All precomputed state of one corpus workflow.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, Serialize, Deserialize)]
 pub struct WorkflowProfile {
     /// The workflow *after* the configured preprocessing (Importance
     /// Projection applied once, not once per comparison).
@@ -158,6 +159,13 @@ pub struct ProfiledMeasure {
     ids: Vec<WorkflowId>,
     id_index: BTreeMap<WorkflowId, usize>,
     profiles: Vec<WorkflowProfile>,
+    /// Module comparison classes: two modules share a class iff every
+    /// compared attribute is identical, so their pair similarity against
+    /// any third module is identical under every scheme.  `module_classes`
+    /// is aligned with each profile's (preprocessed) module list; the
+    /// interner maps the exact attribute key to its dense class id.
+    class_interner: BTreeMap<String, u32>,
+    module_classes: Vec<Vec<u32>>,
 }
 
 impl ProfiledMeasure {
@@ -169,44 +177,19 @@ impl ProfiledMeasure {
     /// Profiles `workflows` for an already constructed measure (e.g. one
     /// built with [`WorkflowSimilarity::with_usage`]).
     pub fn from_measure(inner: WorkflowSimilarity, workflows: &[Workflow]) -> Self {
-        let config = inner.config();
-        let structural = config.measure.is_structural();
-        let wants_paths = config.measure == MeasureKind::PathSets;
         let mut pool = StringPool::new();
         let mut profiles = Vec::with_capacity(workflows.len());
         let mut ids = Vec::with_capacity(workflows.len());
         let mut id_index = BTreeMap::new();
+        let mut class_interner = BTreeMap::new();
+        let mut module_classes = Vec::with_capacity(workflows.len());
         for (i, wf) in workflows.iter().enumerate() {
-            let processed = if structural {
-                inner.preprocess(wf).into_owned()
-            } else {
-                wf.clone()
-            };
-            let modules = processed
-                .modules
-                .iter()
-                .map(|m| ModuleProfile::build(m, &mut pool))
-                .collect::<Vec<_>>();
-            let label_tokens = TokenIdSet::from_ids(
-                modules
-                    .iter()
-                    .flat_map(|m| m.label_tokens.ids().iter().copied())
-                    .collect(),
-            );
-            let paths = if wants_paths {
-                path_set(&processed, config.max_paths)
-            } else {
-                Vec::new()
-            };
-            profiles.push(WorkflowProfile {
-                word_bag: TokenBag::from_text(&wf.annotations.title_and_description()),
-                tag_bag: TokenBag::from_tags(&wf.annotations.tags),
-                has_tags: wf.annotations.has_tags(),
-                workflow: processed,
-                modules,
-                paths,
-                label_tokens,
-            });
+            let profile = profile_workflow(&inner, &mut pool, wf);
+            module_classes.push(intern_module_classes(
+                &mut class_interner,
+                &profile.workflow,
+            ));
+            profiles.push(profile);
             ids.push(wf.id.clone());
             id_index.insert(wf.id.clone(), i);
         }
@@ -216,6 +199,89 @@ impl ProfiledMeasure {
             ids,
             id_index,
             profiles,
+            class_interner,
+            module_classes,
+        }
+    }
+
+    /// Reassembles a measure from precomputed parts — the snapshot-loading
+    /// path: `pool` must be the pool every token id in `profiles` was
+    /// interned into, and `profiles[i]` must be the profile of the workflow
+    /// with id `ids[i]`.
+    ///
+    /// # Panics
+    /// Panics when `ids` and `profiles` disagree in length.
+    pub fn from_parts(
+        inner: WorkflowSimilarity,
+        pool: StringPool,
+        ids: Vec<WorkflowId>,
+        profiles: Vec<WorkflowProfile>,
+    ) -> Self {
+        assert_eq!(
+            ids.len(),
+            profiles.len(),
+            "every profiled workflow needs exactly one id"
+        );
+        let id_index = ids
+            .iter()
+            .enumerate()
+            .map(|(i, id)| (id.clone(), i))
+            .collect();
+        // The class assignment is derived state: rebuild it from the
+        // (preprocessed) profile workflows instead of serializing it.
+        let mut class_interner = BTreeMap::new();
+        let module_classes = profiles
+            .iter()
+            .map(|p| intern_module_classes(&mut class_interner, &p.workflow))
+            .collect();
+        ProfiledMeasure {
+            inner,
+            pool,
+            ids,
+            id_index,
+            profiles,
+            class_interner,
+            module_classes,
+        }
+    }
+
+    /// Profiles one more workflow (appended at the end of the corpus),
+    /// returning its corpus index.  New tokens extend the shared pool;
+    /// existing profiles are untouched, so the result scores exactly like a
+    /// from-scratch rebuild over the extended corpus.
+    ///
+    /// The caller must ensure the id is not already profiled (the corpus
+    /// layer removes an existing workflow with the same id first); a
+    /// duplicate would leave `index_of` pointing at the newest copy only.
+    pub fn add_workflow(&mut self, wf: &Workflow) -> usize {
+        let index = self.profiles.len();
+        let profile = profile_workflow(&self.inner, &mut self.pool, wf);
+        self.module_classes.push(intern_module_classes(
+            &mut self.class_interner,
+            &profile.workflow,
+        ));
+        self.profiles.push(profile);
+        self.ids.push(wf.id.clone());
+        self.id_index.insert(wf.id.clone(), index);
+        index
+    }
+
+    /// Forgets the workflow at a corpus index; later workflows shift down
+    /// one position (mirroring `Vec::remove`).  Pool entries interned for
+    /// the removed workflow are retained — stale ids score nothing because
+    /// no surviving profile references them.
+    ///
+    /// # Panics
+    /// Panics when `index >= self.len()`.
+    pub fn remove_workflow(&mut self, index: usize) {
+        let id = self.ids.remove(index);
+        self.profiles.remove(index);
+        self.module_classes.remove(index);
+        self.id_index.remove(&id);
+        for pos in self.id_index.values_mut() {
+            if *pos > index {
+                *pos -= 1;
+            }
         }
     }
 
@@ -252,6 +318,16 @@ impl ProfiledMeasure {
     /// The profile at a corpus index.
     pub fn profile(&self, index: usize) -> &WorkflowProfile {
         &self.profiles[index]
+    }
+
+    /// All profiles, in corpus order.
+    pub fn profiles(&self) -> &[WorkflowProfile] {
+        &self.profiles
+    }
+
+    /// All workflow ids, in corpus order.
+    pub fn ids(&self) -> &[WorkflowId] {
+        &self.ids
     }
 
     /// The similarity of two corpus workflows; inapplicable annotation
@@ -300,6 +376,18 @@ impl ProfiledMeasure {
 
     /// Mirrors `WorkflowSimilarity::structural_report` from profiles.
     fn structural_score(&self, query: usize, candidate: usize) -> f64 {
+        self.structural_score_with(query, candidate, |wa, i, wb, j| {
+            self.pair_similarity(&self.profiles[wa], i, &self.profiles[wb], j)
+        })
+    }
+
+    /// The structural pipeline with a pluggable module-pair scorer
+    /// (`pair(workflow_a, module_i, workflow_b, module_j)`): the exact
+    /// per-pair path and the class-table lookup path share everything else.
+    fn structural_score_with<F>(&self, query: usize, candidate: usize, pair: F) -> f64
+    where
+        F: Fn(usize, usize, usize, usize) -> f64,
+    {
         let config = self.inner.config();
         let (mut ia, mut ib) = (query, candidate);
         if config.measure == MeasureKind::GraphEdit {
@@ -322,7 +410,7 @@ impl ProfiledMeasure {
             pb.workflow.module_count(),
             |i, j| {
                 if self.allows(pa, i, pb, j) {
-                    self.pair_similarity(pa, i, pb, j)
+                    pair(ia, i, ib, j)
                 } else {
                     0.0
                 }
@@ -401,6 +489,69 @@ impl ProfiledMeasure {
         }
     }
 
+    /// [`ProfiledMeasure::score_indexed`] with module-pair similarities
+    /// answered from a precomputed [`ClassPairTable`] — bit-identical (the
+    /// table holds exactly the values `pair_similarity` would produce) but
+    /// free of per-cell text comparisons, which makes the O(n²) clustering
+    /// matrix mostly table lookups.
+    pub fn score_indexed_cached(
+        &self,
+        table: &ClassPairTable,
+        query: usize,
+        candidate: usize,
+    ) -> f64 {
+        if !self.inner.config().measure.is_structural() {
+            return self.score_indexed(query, candidate);
+        }
+        self.structural_score_with(query, candidate, |wa, i, wb, j| {
+            table.score(self.module_classes[wa][i], self.module_classes[wb][j])
+        })
+    }
+
+    /// Precomputes the similarity of every pair of module comparison
+    /// classes, from one representative module per class.
+    ///
+    /// The corpus-resident observation behind it: real repositories are
+    /// full of re-uploaded variants, so the same (label, script, service)
+    /// module recurs across many workflows — on the 250-workflow demo
+    /// corpus, 1172 modules collapse to ~400 classes.  An O(classes²)
+    /// table therefore replaces the O(Σ |A|·|B|) per-cell text comparisons
+    /// of a full clustering matrix.  Both orientations are computed
+    /// explicitly, so no symmetry assumption enters the bit-exactness
+    /// argument.
+    ///
+    /// The interner assigns ids monotonically (stale ids of removed
+    /// workflows are never reused), so the table first compacts the *live*
+    /// classes into dense slots: under long add/remove churn the O(live²)
+    /// score matrix stays bounded by the current corpus, not by everything
+    /// the corpus has ever seen.
+    pub fn class_pair_table(&self) -> ClassPairTable {
+        let mut remap = vec![u32::MAX; self.class_interner.len()];
+        let mut representatives: Vec<(usize, usize)> = Vec::new();
+        for (wf, classes) in self.module_classes.iter().enumerate() {
+            for (module, &class) in classes.iter().enumerate() {
+                let slot = &mut remap[class as usize];
+                if *slot == u32::MAX {
+                    *slot = representatives.len() as u32;
+                    representatives.push((wf, module));
+                }
+            }
+        }
+        let live = representatives.len();
+        let mut scores = vec![0.0; live * live];
+        for (a, &(wa, ma)) in representatives.iter().enumerate() {
+            for (b, &(wb, mb)) in representatives.iter().enumerate() {
+                scores[a * live + b] =
+                    self.pair_similarity(&self.profiles[wa], ma, &self.profiles[wb], mb);
+            }
+        }
+        ClassPairTable {
+            remap,
+            count: live,
+            scores,
+        }
+    }
+
     /// The Module Sets upper bound: per query module, the best cheap pair
     /// bound over the candidate's (preselection-allowed) modules, summed,
     /// capped at the one-to-one assignment limit `min(|A|, |B|)`, and
@@ -451,6 +602,114 @@ impl ProfiledMeasure {
             Normalization::None => nnsim_bound,
             Normalization::SizeNormalized => jaccard_normalize(nnsim_bound, na, nb),
         }
+    }
+}
+
+/// The dense class-pair similarity table of [`ProfiledMeasure::
+/// class_pair_table`]: `score(a, b)` is exactly the module-pair scheme
+/// similarity of any module of class `a` against any module of class `b`.
+pub struct ClassPairTable {
+    /// Interner class id → dense live slot (`u32::MAX` for stale classes
+    /// no surviving module carries — never looked up).
+    remap: Vec<u32>,
+    /// Number of live classes (the side length of `scores`).
+    count: usize,
+    scores: Vec<f64>,
+}
+
+impl ClassPairTable {
+    /// The cached similarity of two module classes (interner ids).
+    #[inline]
+    pub fn score(&self, a: u32, b: u32) -> f64 {
+        let (a, b) = (self.remap[a as usize], self.remap[b as usize]);
+        self.scores[a as usize * self.count + b as usize]
+    }
+
+    /// Number of distinct live module classes covered.
+    pub fn class_count(&self) -> usize {
+        self.count
+    }
+}
+
+/// The exact comparison identity of a module: its type plus every
+/// attribute's presence and value — the complete input set of
+/// `pair_similarity` (and of the preselection predicates) for any scheme.
+/// Every variable-length field is length-prefixed, so the key is a
+/// prefix-free encoding and distinct attribute splits cannot collide no
+/// matter what bytes the (unvalidated, JSON-loadable) values contain.
+fn module_class_key(module: &Module) -> String {
+    let module_type = format!("{:?}", module.module_type);
+    let mut key = format!("{}:{module_type}", module_type.len());
+    for attr in AttributeKey::ALL {
+        match module.attribute(attr) {
+            Some(value) => {
+                let value = value.as_str();
+                key.push_str(&format!("+{}:", value.len()));
+                key.push_str(value);
+            }
+            None => key.push('-'),
+        }
+    }
+    key
+}
+
+/// Interns the class of every module of a (preprocessed) workflow.
+fn intern_module_classes(interner: &mut BTreeMap<String, u32>, workflow: &Workflow) -> Vec<u32> {
+    workflow
+        .modules
+        .iter()
+        .map(|module| {
+            let key = module_class_key(module);
+            if let Some(&id) = interner.get(&key) {
+                id
+            } else {
+                let id = interner.len() as u32;
+                interner.insert(key, id);
+                id
+            }
+        })
+        .collect()
+}
+
+/// Builds the full profile of one workflow against a measure and a shared
+/// pool — the single profiling code path behind batch construction
+/// ([`ProfiledMeasure::from_measure`]) and incremental insertion
+/// ([`ProfiledMeasure::add_workflow`]).
+fn profile_workflow(
+    inner: &WorkflowSimilarity,
+    pool: &mut StringPool,
+    wf: &Workflow,
+) -> WorkflowProfile {
+    let config = inner.config();
+    let processed = if config.measure.is_structural() {
+        inner.preprocess(wf).into_owned()
+    } else {
+        wf.clone()
+    };
+    let modules = processed
+        .modules
+        .iter()
+        .map(|m| ModuleProfile::build(m, pool))
+        .collect::<Vec<_>>();
+    let label_tokens = TokenIdSet::from_ids(
+        modules
+            .iter()
+            .flat_map(|m| m.label_tokens.ids().iter().copied())
+            .collect(),
+    );
+    let paths = if config.measure == MeasureKind::PathSets {
+        path_set(&processed, config.max_paths)
+    } else {
+        Vec::new()
+    };
+    WorkflowProfile {
+        word_bag: TokenBag::from_text(&wf.annotations.title_and_description()),
+        tag_bag: TokenBag::from_tags(&wf.annotations.tags),
+        has_tags: wf.annotations.has_tags(),
+        workflow: processed,
+        modules,
+        paths,
+        label_tokens,
     }
 }
 

@@ -7,11 +7,13 @@
 
 use std::collections::BTreeMap;
 
+use serde::{Deserialize, Serialize};
+
 use crate::jaccard::{jaccard_index, multiset_jaccard};
 use crate::tokenize::{tokenize, tokenize_filtered};
 
 /// A bag (multiset) of lowercase tokens.
-#[derive(Debug, Clone, Default, PartialEq, Eq)]
+#[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
 pub struct TokenBag {
     counts: BTreeMap<String, usize>,
     total: usize,

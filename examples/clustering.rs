@@ -18,7 +18,7 @@ use wfsim::cluster::{
     normalized_mutual_information, purity, Linkage, PairwiseSimilarities,
 };
 use wfsim::corpus::{generate_taverna_corpus, TavernaCorpusConfig};
-use wfsim::sim::{SimilarityConfig, WorkflowSimilarity};
+use wfsim::sim::{Corpus, SimilarityConfig};
 
 fn main() {
     // A small corpus with known latent families (seed workflows plus
@@ -46,12 +46,14 @@ fn main() {
 
     // The paper's best structural configuration: Module Sets with
     // importance projection, type-equivalence preselection and
-    // label-edit-distance module comparison.
-    let measure = WorkflowSimilarity::new(SimilarityConfig::best_module_sets());
-    println!("measure: {}", measure.name());
+    // label-edit-distance module comparison.  Building a Corpus profiles
+    // every workflow once; the O(n²) matrix is then filled from the cached
+    // profiles instead of re-deriving features per pair.
+    let corpus = Corpus::build(SimilarityConfig::best_module_sets(), workflows);
+    println!("measure: {}", corpus.measure_name());
 
     // O(n²) pairwise comparisons, spread over four threads.
-    let matrix = PairwiseSimilarities::compute_parallel(&workflows, &measure, 4);
+    let matrix = PairwiseSimilarities::compute_profiled_parallel(&corpus, 4);
     println!("mean pairwise similarity: {:.3}", matrix.mean_similarity());
     println!();
 

@@ -7,34 +7,35 @@
 //! cargo run --release --example duplicate_detection
 //! ```
 
+use wfsim::cluster::{duplicate_pairs, PairwiseSimilarities};
 use wfsim::corpus::{generate_taverna_corpus, TavernaCorpusConfig};
-use wfsim::repo::Repository;
-use wfsim::sim::{SimilarityConfig, WorkflowSimilarity};
+use wfsim::sim::{Corpus, SimilarityConfig};
 
 fn main() {
-    // A small myExperiment-like corpus: families of re-uploaded variants.
-    let (corpus, meta) = generate_taverna_corpus(&TavernaCorpusConfig::small(60, 7));
-    let repository = Repository::from_workflows(corpus);
-    let measure = WorkflowSimilarity::new(SimilarityConfig::best_module_sets());
+    // A small myExperiment-like corpus: families of re-uploaded variants,
+    // profiled once into a shared Corpus.
+    let (workflows, meta) = generate_taverna_corpus(&TavernaCorpusConfig::small(60, 7));
+    let corpus = Corpus::build(SimilarityConfig::best_module_sets(), workflows);
 
-    // Compare every pair once and report near-duplicates.
+    // Compare every pair once (from cached profiles) and report
+    // near-duplicates.
     let threshold = 0.85;
-    let workflows: Vec<_> = repository.iter().collect();
-    let mut duplicates = Vec::new();
-    for (i, a) in workflows.iter().enumerate() {
-        for b in workflows.iter().skip(i + 1) {
-            let similarity = measure.similarity(a, b);
-            if similarity >= threshold {
-                duplicates.push((a.id.clone(), b.id.clone(), similarity));
-            }
-        }
-    }
-    duplicates.sort_by(|x, y| y.2.partial_cmp(&x.2).unwrap_or(std::cmp::Ordering::Equal));
+    let matrix = PairwiseSimilarities::compute_profiled_parallel(&corpus, 4);
+    let duplicates: Vec<_> = duplicate_pairs(&matrix, threshold)
+        .into_iter()
+        .map(|pair| {
+            (
+                matrix.id(pair.first).clone(),
+                matrix.id(pair.second).clone(),
+                pair.similarity,
+            )
+        })
+        .collect();
 
     println!(
         "scanned {} workflows with {} — {} candidate duplicate pairs above {:.2}\n",
-        repository.len(),
-        measure.name(),
+        corpus.len(),
+        corpus.measure_name(),
         duplicates.len(),
         threshold
     );

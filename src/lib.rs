@@ -14,7 +14,7 @@
 //! | [`matching`] | greedy / maximum-weight / non-crossing module mapping |
 //! | [`ged`] | label-aware graph edit distance with time budgets |
 //! | [`repo`] | repository storage, repository-derived knowledge, top-k search |
-//! | [`sim`] | the similarity framework: module comparison schemes, topological measures, normalization, ensembles, rank aggregation, extended Table-1 measures |
+//! | [`sim`] | the similarity framework: module comparison schemes, topological measures, normalization, ensembles, rank aggregation, extended Table-1 measures, and the shared [`Corpus`] layer (profiles + inverted index + snapshots) |
 //! | [`cluster`] | workflow clustering: similarity matrices, hierarchical / threshold / k-medoids clustering, duplicate detection, quality metrics |
 //! | [`gold`] | gold-standard machinery: Likert ratings, consensus ranking, evaluation metrics, significance tests |
 //! | [`corpus`] | synthetic Taverna-like / Galaxy-like corpora and the simulated expert panel |
@@ -87,3 +87,8 @@ pub use wf_gold as gold;
 
 /// Synthetic corpora and simulated expert panel (re-export of [`wf_corpus`]).
 pub use wf_corpus as corpus;
+
+/// The shared corpus layer: workflows + profiles + inverted index, built
+/// once and consumed by search, clustering and the experiment binaries,
+/// with incremental `add`/`remove` and snapshot persistence.
+pub use wf_sim::Corpus;

@@ -1,0 +1,35 @@
+//! Facade wiring of the shared corpus layer: `wfsim::Corpus` must be
+//! reachable and interoperate with the re-exported clustering and search
+//! machinery end to end (build → mutate → snapshot → score).
+
+use wfsim::cluster::PairwiseSimilarities;
+use wfsim::corpus::{generate_taverna_corpus, TavernaCorpusConfig};
+use wfsim::sim::SimilarityConfig;
+use wfsim::Corpus;
+
+#[test]
+fn corpus_layer_is_wired_through_the_facade() {
+    let (workflows, _) = generate_taverna_corpus(&TavernaCorpusConfig::small(30, 13));
+    let mut corpus = Corpus::build(SimilarityConfig::best_module_sets(), workflows);
+    assert_eq!(corpus.len(), 30);
+
+    // Search through the corpus-resident index.
+    let query = corpus.ids()[0].clone();
+    let hits = corpus.top_k(&query, 5).expect("query is resident");
+    assert_eq!(hits.len(), 5);
+
+    // Mutate: drop the query workflow, search for something else.
+    assert!(corpus.remove(&query).is_some());
+    assert_eq!(corpus.len(), 29);
+    assert!(corpus.top_k(&query, 5).is_none());
+
+    // Snapshot round-trip preserves matrix results bit-for-bit.
+    let restored = Corpus::from_snapshot_str(
+        &corpus.to_snapshot_string(),
+        SimilarityConfig::best_module_sets(),
+    )
+    .expect("snapshot loads through the facade");
+    let a = PairwiseSimilarities::compute_profiled(&corpus);
+    let b = PairwiseSimilarities::compute_profiled(&restored);
+    assert_eq!(a, b);
+}
