@@ -1,0 +1,357 @@
+//! `wfsim_serve` — the serving benchmark: scatter-gather batch-query
+//! throughput vs shard count, plus query throughput under live churn.
+//!
+//! Usage:
+//! ```text
+//! wfsim_serve [corpus.json | --demo] [--bench-json BENCH_serving.json]
+//!             [--smoke | --quick] [--demo-size N] [--queries N] [--k N]
+//!             [--threads N] [--shards a,b,c] [--churn-ops N]
+//! ```
+//!
+//! * Builds the demo corpus (250 workflows by default, 60 with
+//!   `--smoke`/`--quick`) once, answers a query batch through the
+//!   single-corpus indexed engine as the baseline, then through
+//!   `ShardedCorpus::search_batch` for each shard count, verifying every
+//!   hit list is bit-identical to the baseline.
+//! * Then wraps the largest shard count in a `CorpusService` and measures
+//!   batch-query throughput while a churn thread removes and re-adds
+//!   workflows through the per-shard write locks.
+//! * `--bench-json PATH` writes the machine-readable report CI uploads
+//!   next to the retrieval and clustering benches.
+
+use std::process::ExitCode;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::time::Instant;
+
+use wf_bench::table::TextTable;
+use wf_model::WorkflowId;
+use wf_sim::{Corpus, CorpusService, ShardedCorpus, SimilarityConfig};
+
+struct Options {
+    source: String,
+    demo_size: usize,
+    queries: usize,
+    k: usize,
+    threads: usize,
+    shard_counts: Vec<usize>,
+    churn_ops: usize,
+    bench_json: Option<String>,
+    smoke: bool,
+}
+
+const USAGE: &str = "usage: wfsim_serve [corpus.json | --demo] [--bench-json PATH] \
+                     [--smoke | --quick] [--demo-size N] [--queries N] [--k N] \
+                     [--threads N] [--shards a,b,c] [--churn-ops N]";
+
+fn flag_value(args: &[String], i: &mut usize, name: &str) -> Result<String, String> {
+    *i += 1;
+    args.get(*i)
+        .cloned()
+        .ok_or_else(|| format!("{name} expects a value"))
+}
+
+fn parse_options(args: &[String]) -> Result<Options, String> {
+    let mut source = "--demo".to_string();
+    let mut demo_size = 0usize;
+    let mut queries = 0usize;
+    let mut k = 10usize;
+    let mut threads = 8usize;
+    let mut shard_counts = vec![1, 2, 4, 8];
+    let mut churn_ops = 0usize;
+    let mut bench_json = None;
+    let mut smoke = false;
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--demo" => source = "--demo".to_string(),
+            "--smoke" | "--quick" => smoke = true,
+            "--bench-json" => bench_json = Some(flag_value(args, &mut i, "--bench-json")?),
+            "--demo-size" => {
+                demo_size = flag_value(args, &mut i, "--demo-size")?
+                    .parse()
+                    .map_err(|_| "invalid --demo-size value".to_string())?
+            }
+            "--queries" => {
+                queries = flag_value(args, &mut i, "--queries")?
+                    .parse()
+                    .map_err(|_| "invalid --queries value".to_string())?
+            }
+            "--k" => {
+                k = flag_value(args, &mut i, "--k")?
+                    .parse()
+                    .map_err(|_| "invalid --k value".to_string())?
+            }
+            "--threads" => {
+                threads = flag_value(args, &mut i, "--threads")?
+                    .parse()
+                    .map_err(|_| "invalid --threads value".to_string())?
+            }
+            "--churn-ops" => {
+                churn_ops = flag_value(args, &mut i, "--churn-ops")?
+                    .parse()
+                    .map_err(|_| "invalid --churn-ops value".to_string())?
+            }
+            "--shards" => {
+                shard_counts = flag_value(args, &mut i, "--shards")?
+                    .split(',')
+                    .map(|s| {
+                        s.trim()
+                            .parse::<usize>()
+                            .map_err(|_| format!("invalid shard count '{s}'"))
+                    })
+                    .collect::<Result<Vec<_>, _>>()?;
+                if shard_counts.is_empty() {
+                    return Err("--shards needs at least one count".to_string());
+                }
+            }
+            other if other.starts_with("--") => {
+                return Err(format!("unknown flag '{other}'\n{USAGE}"));
+            }
+            other => source = other.to_string(),
+        }
+        i += 1;
+    }
+    if demo_size == 0 {
+        demo_size = if smoke { 60 } else { 250 };
+    }
+    if queries == 0 {
+        queries = if smoke { 12 } else { 48 };
+    }
+    if churn_ops == 0 {
+        churn_ops = if smoke { 20 } else { 80 };
+    }
+    Ok(Options {
+        source,
+        demo_size,
+        queries,
+        k,
+        threads: threads.max(1),
+        shard_counts,
+        churn_ops,
+        bench_json,
+        smoke,
+    })
+}
+
+struct ShardRun {
+    shards: usize,
+    build_ms: f64,
+    batch_ms: f64,
+    queries_per_s: f64,
+    identical: bool,
+    scored: usize,
+    pruned: usize,
+}
+
+fn run() -> Result<(), String> {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let options = parse_options(&args)?;
+    let config = SimilarityConfig::best_module_sets();
+    let workflows = wf_bench::load_workflows(&options.source, options.demo_size)?;
+    let n = workflows.len();
+    if n < 2 {
+        return Err("serving benchmark needs at least two workflows".to_string());
+    }
+
+    // Baseline: one shared single corpus, indexed engine, sequential batch.
+    let single = Corpus::build(config.clone(), workflows.clone());
+    let engine = single.search_engine();
+    let query_ids: Vec<WorkflowId> = single
+        .ids()
+        .iter()
+        .step_by((n / options.queries.min(n)).max(1))
+        .take(options.queries)
+        .cloned()
+        .collect();
+    let query_indices: Vec<usize> = query_ids
+        .iter()
+        .map(|id| single.index_of(id).expect("query resident"))
+        .collect();
+    let baseline_started = Instant::now();
+    let baseline: Vec<Vec<wf_repo::SearchHit>> = query_indices
+        .iter()
+        .map(|&qi| engine.top_k(qi, options.k))
+        .collect();
+    let baseline_ms = baseline_started.elapsed().as_secs_f64() * 1e3;
+
+    // Scatter-gather throughput per shard count.
+    let mut runs: Vec<ShardRun> = Vec::new();
+    for &shards in &options.shard_counts {
+        let build_started = Instant::now();
+        let sharded = ShardedCorpus::build(config.clone(), shards, workflows.clone());
+        let build_ms = build_started.elapsed().as_secs_f64() * 1e3;
+        let batch_started = Instant::now();
+        let batch = sharded.search_batch(&query_ids, options.k, options.threads);
+        let batch_ms = batch_started.elapsed().as_secs_f64() * 1e3;
+        let identical = batch
+            .iter()
+            .zip(&baseline)
+            .all(|(got, expected)| got.as_deref() == Some(expected.as_slice()));
+        let mut scored = 0usize;
+        let mut pruned = 0usize;
+        for id in &query_ids {
+            let (_, stats) = sharded.search_with_stats(id, options.k).expect("resident");
+            scored += stats.scored;
+            pruned += stats.pruned + stats.zero_bound;
+        }
+        runs.push(ShardRun {
+            shards,
+            build_ms,
+            batch_ms,
+            queries_per_s: query_ids.len() as f64 / (batch_ms / 1e3).max(1e-9),
+            identical,
+            scored,
+            pruned,
+        });
+    }
+
+    // Churn-while-query: the largest shard count behind RwLocks, one churn
+    // thread cycling removals and re-additions while batches run.
+    let max_shards = options.shard_counts.iter().copied().max().unwrap_or(1);
+    let service = CorpusService::new(ShardedCorpus::build(
+        config.clone(),
+        max_shards,
+        workflows.clone(),
+    ))
+    .with_threads(options.threads);
+    let churn_pool: Vec<WorkflowId> = workflows
+        .iter()
+        .map(|w| w.id.clone())
+        .filter(|id| !query_ids.contains(id))
+        .collect();
+    // The query side runs a fixed number of batches; the churn thread
+    // keeps removing and re-adding workflows (through the per-shard write
+    // locks) and stops the moment the batches finish, so every counted
+    // churn op genuinely overlapped the counted queries (`--churn-ops`
+    // only paces how many batches run).
+    let batches = options.churn_ops.div_ceil(10).max(3);
+    let queries_done = AtomicBool::new(false);
+    let churn_started = Instant::now();
+    let (queries_under_churn, churn_ops_done) = std::thread::scope(|scope| {
+        let service = &service;
+        let queries_done = &queries_done;
+        let churner = scope.spawn(|| {
+            let mut done = 0usize;
+            for id in churn_pool.iter().cycle() {
+                if queries_done.load(Ordering::Acquire) {
+                    break;
+                }
+                // Remove and re-add so the corpus size stays stable.
+                if let Some(wf) = service.remove(id) {
+                    done += 1;
+                    service.add(wf);
+                    done += 1;
+                }
+            }
+            done
+        });
+        let mut served = 0usize;
+        for _ in 0..batches {
+            let batch = service.search_batch(&query_ids, options.k);
+            served += batch.iter().filter(|hits| hits.is_some()).count();
+        }
+        queries_done.store(true, Ordering::Release);
+        (served, churner.join().expect("churn thread panicked"))
+    });
+    let churn_ms = churn_started.elapsed().as_secs_f64() * 1e3;
+    let churn_qps = queries_under_churn as f64 / (churn_ms / 1e3).max(1e-9);
+
+    // Human-readable summary.
+    println!(
+        "serving benchmark ({}, {} workflows, {} queries, top-{}, {} threads):",
+        single.measure_name(),
+        n,
+        query_ids.len(),
+        options.k,
+        options.threads
+    );
+    println!("  single-corpus baseline: {baseline_ms:>8.1} ms");
+    let mut table = TextTable::new(vec![
+        "shards",
+        "build ms",
+        "batch ms",
+        "queries/s",
+        "identical",
+        "scored",
+        "pruned",
+    ]);
+    for run in &runs {
+        table.row(vec![
+            run.shards.to_string(),
+            format!("{:.1}", run.build_ms),
+            format!("{:.1}", run.batch_ms),
+            format!("{:.0}", run.queries_per_s),
+            run.identical.to_string(),
+            run.scored.to_string(),
+            run.pruned.to_string(),
+        ]);
+    }
+    println!("{}", table.render());
+    println!(
+        "  churn: {churn_ops_done} ops on {max_shards} shards in {churn_ms:.1} ms, \
+         {queries_under_churn} queries answered concurrently ({churn_qps:.0} queries/s)"
+    );
+
+    if let Some(path) = &options.bench_json {
+        let shard_reports: Vec<String> = runs
+            .iter()
+            .map(|run| {
+                format!(
+                    "    {{\"shards\": {}, \"build_ms\": {:.3}, \"batch_wall_ms\": {:.3}, \
+                     \"queries_per_s\": {:.1}, \"identical_hits\": {}, \
+                     \"comparisons_scored\": {}, \"comparisons_pruned\": {}}}",
+                    run.shards,
+                    run.build_ms,
+                    run.batch_ms,
+                    run.queries_per_s,
+                    run.identical,
+                    run.scored,
+                    run.pruned,
+                )
+            })
+            .collect();
+        let report = format!(
+            "{{\n  \"experiment\": \"serving_scatter_gather\",\n  \"corpus\": \"{}\",\n  \
+             \"corpus_size\": {},\n  \"queries\": {},\n  \"k\": {},\n  \
+             \"algorithm\": \"{}\",\n  \"threads\": {},\n  \"smoke\": {},\n  \
+             \"single_engine_wall_ms\": {:.3},\n  \"shard_counts\": [\n{}\n  ],\n  \
+             \"churn\": {{\"shards\": {}, \"ops\": {}, \"wall_ms\": {:.3}, \
+             \"queries_completed\": {}, \"queries_per_s\": {:.1}, \"final_size\": {}}}\n}}\n",
+            wf_bench::json_escape(&options.source),
+            n,
+            query_ids.len(),
+            options.k,
+            single.measure_name(),
+            options.threads,
+            options.smoke,
+            baseline_ms,
+            shard_reports.join(",\n"),
+            max_shards,
+            churn_ops_done,
+            churn_ms,
+            queries_under_churn,
+            churn_qps,
+            service.len(),
+        );
+        std::fs::write(path, &report).map_err(|e| format!("cannot write '{path}': {e}"))?;
+        println!("  report -> {path}");
+    }
+
+    if let Some(diverged) = runs.iter().find(|run| !run.identical) {
+        return Err(format!(
+            "sharded batch hits diverged from the single-corpus engine at {} shards — this is a bug",
+            diverged.shards
+        ));
+    }
+    Ok(())
+}
+
+fn main() -> ExitCode {
+    match run() {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(message) => {
+            eprintln!("error: {message}");
+            ExitCode::FAILURE
+        }
+    }
+}

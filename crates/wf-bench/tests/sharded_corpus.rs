@@ -1,0 +1,355 @@
+//! The sharded-service equivalence and stress harness.
+//!
+//! A `ShardedCorpus` is only allowed to be *partitioned* and *concurrent*,
+//! never *different*: scatter-gather top-k must be bit-identical — ids,
+//! scores, tie order — to the single-corpus `IndexedSearchEngine` for every
+//! shard count and module comparison scheme; arbitrary `add` / `remove` /
+//! `search` / `search_batch` interleavings must keep answering exactly like
+//! a from-scratch single corpus rebuilt after each step; and a
+//! `CorpusService` racing real churn threads must never surface a workflow
+//! that was removed before the query began.
+
+use std::collections::BTreeSet;
+use std::sync::Mutex;
+
+use proptest::prelude::*;
+use wf_bench::demo_workflows;
+use wf_model::{Workflow, WorkflowId};
+use wf_repo::PreselectionStrategy;
+use wf_sim::config::Preprocessing;
+use wf_sim::{
+    Corpus, CorpusService, MeasureKind, ModuleComparisonScheme, ShardPartition, ShardedCorpus,
+    SimilarityConfig,
+};
+
+fn six_schemes() -> Vec<ModuleComparisonScheme> {
+    vec![
+        ModuleComparisonScheme::pw0(),
+        ModuleComparisonScheme::pw3(),
+        ModuleComparisonScheme::pll(),
+        ModuleComparisonScheme::plm(),
+        ModuleComparisonScheme::gw1(),
+        ModuleComparisonScheme::gll(),
+    ]
+}
+
+fn scheme_config(scheme: ModuleComparisonScheme) -> SimilarityConfig {
+    SimilarityConfig::new(
+        MeasureKind::ModuleSets,
+        scheme,
+        PreselectionStrategy::TypeEquivalence,
+        Preprocessing::ImportanceProjection,
+    )
+}
+
+/// The acceptance-criteria equivalence: sharded scatter-gather top-k over
+/// shard counts {1, 2, 4, 8} is bit-identical to the single-corpus indexed
+/// engine for all six module comparison schemes, tie order included.
+#[test]
+fn sharded_topk_is_bit_identical_for_all_schemes_and_shard_counts() {
+    let workflows = demo_workflows(40, 17);
+    for scheme in six_schemes() {
+        let config = scheme_config(scheme);
+        let name = config.name();
+        let single = Corpus::build(config.clone(), workflows.clone());
+        let engine = single.search_engine();
+        for shards in [1usize, 2, 4, 8] {
+            let sharded = ShardedCorpus::build(config.clone(), shards, workflows.clone());
+            assert_eq!(sharded.shard_count(), shards);
+            for (qi, id) in single.ids().iter().enumerate().step_by(4) {
+                for k in [1usize, 10] {
+                    let expected = engine.top_k(qi, k);
+                    let got = sharded.search(id, k).expect("query is resident");
+                    assert_eq!(got, expected, "{name}: {shards} shards, query {id}, k {k}");
+                }
+            }
+        }
+    }
+}
+
+/// Batched queries are individually bit-identical to single searches — and
+/// therefore to the single-corpus engine — regardless of worker count.
+#[test]
+fn batch_queries_match_single_queries_under_parallel_fanout() {
+    let workflows = demo_workflows(60, 19);
+    let config = SimilarityConfig::best_module_sets();
+    let single = Corpus::build(config.clone(), workflows.clone());
+    let engine = single.search_engine();
+    let sharded = ShardedCorpus::build(config, 4, workflows);
+    let queries: Vec<WorkflowId> = single.ids().to_vec();
+    for threads in [1usize, 4, 9] {
+        let batch = sharded.search_batch(&queries, 10, threads);
+        for (qi, (id, hits)) in queries.iter().zip(&batch).enumerate() {
+            assert_eq!(
+                hits.as_deref().expect("resident"),
+                engine.top_k(qi, 10),
+                "threads {threads}, query {id}"
+            );
+        }
+    }
+}
+
+/// One churn step of the interleaving stress: mirrors the ops the service
+/// will see in production (uploads, deletions, replacements).
+fn apply_op(sharded: &mut ShardedCorpus, op: u8, pick: usize, extra: &[Workflow], step: usize) {
+    match op {
+        0 if !sharded.is_empty() => {
+            let ids = sharded.ids();
+            let id = ids[pick % ids.len()].clone();
+            assert!(sharded.remove(&id).is_some());
+        }
+        1 => {
+            let mut wf = extra[pick % extra.len()].clone();
+            wf.id = format!("churn-{step}").into();
+            sharded.add(wf);
+        }
+        _ if !sharded.is_empty() => {
+            // Replace a resident with a different structure, same id.
+            let ids = sharded.ids();
+            let id = ids[pick % ids.len()].clone();
+            let mut wf = extra[pick % extra.len()].clone();
+            wf.id = id;
+            sharded.add(wf);
+        }
+        _ => {}
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(4))]
+
+    /// Random interleavings of add / remove / search / search_batch: after
+    /// every mutation, the sharded corpus must answer exactly like a
+    /// single corpus rebuilt from scratch over the surviving workflows.
+    #[test]
+    fn churned_sharded_corpus_equals_a_from_scratch_rebuild_after_each_step(
+        size in 12usize..=30,
+        shards in 1usize..=5,
+        seed in 0u64..10_000,
+        ops in proptest::collection::vec((0u8..=3, 0usize..1000), 4..10),
+        k in 1usize..=8,
+    ) {
+        let initial = demo_workflows(size, seed);
+        let extra = demo_workflows(12, seed ^ 0xfeed);
+        let config = SimilarityConfig::best_module_sets();
+        let partition = if seed % 2 == 0 { ShardPartition::HashId } else { ShardPartition::RoundRobin };
+        let mut sharded = ShardedCorpus::build_with(config.clone(), shards, partition, initial);
+        for (step, (op, pick)) in ops.into_iter().enumerate() {
+            let searching = op == 3;
+            if !searching {
+                apply_op(&mut sharded, op, pick, &extra, step);
+            }
+            // Rebuild the reference single corpus from the survivors after
+            // *every* step and compare answers.
+            let survivors: Vec<Workflow> = sharded
+                .ids()
+                .iter()
+                .map(|id| sharded.get(id).unwrap().clone())
+                .collect();
+            let rebuilt = Corpus::build(config.clone(), survivors);
+            prop_assert_eq!(sharded.len(), rebuilt.len());
+            if rebuilt.is_empty() {
+                continue;
+            }
+            if searching {
+                // Exercise the batch path on a slice of resident queries.
+                let queries: Vec<WorkflowId> =
+                    rebuilt.ids().iter().take(3).cloned().collect();
+                let batch = sharded.search_batch(&queries, k, 3);
+                for (id, hits) in queries.iter().zip(&batch) {
+                    let qi = rebuilt.index_of(id).unwrap();
+                    prop_assert_eq!(
+                        hits.as_deref().expect("resident"),
+                        rebuilt.top_k_index(qi, k),
+                        "batch after step {}, query {}", step, id
+                    );
+                }
+            } else {
+                let id = &rebuilt.ids()[pick % rebuilt.len()];
+                let qi = rebuilt.index_of(id).unwrap();
+                prop_assert_eq!(
+                    sharded.search(id, k).expect("resident"),
+                    rebuilt.top_k_index(qi, k),
+                    "search after step {}, query {}", step, id
+                );
+            }
+        }
+    }
+}
+
+/// The multi-threaded smoke test: queries racing live churn through the
+/// `RwLock`-per-shard service.  Invariants checked on every result:
+///
+/// * no returned id was removed *before* the query began (removal
+///   completes under the owning shard's write lock, so later reads must
+///   not see it);
+/// * every returned id is one the corpus has ever known;
+/// * result lists respect `k` and the canonical (score desc, id asc)
+///   ordering.
+#[test]
+fn service_queries_racing_churn_never_surface_stale_workflows_hash() {
+    service_churn_race(ShardPartition::HashId);
+}
+
+/// Round-robin routing adds a shared route table to the picture: the
+/// remove/add interleaving must keep "id resident ⇔ id routed" at every
+/// observable instant, or residents become unreachable orphans.
+#[test]
+fn service_queries_racing_churn_never_surface_stale_workflows_round_robin() {
+    service_churn_race(ShardPartition::RoundRobin);
+}
+
+fn service_churn_race(partition: ShardPartition) {
+    let workflows = demo_workflows(48, 23);
+    let config = SimilarityConfig::best_module_sets();
+    let service = CorpusService::new(ShardedCorpus::build_with(
+        config,
+        4,
+        partition,
+        workflows.clone(),
+    ))
+    .with_threads(4);
+
+    let survivors: Vec<WorkflowId> = workflows.iter().skip(12).map(|w| w.id.clone()).collect();
+    let victims: Vec<WorkflowId> = workflows.iter().take(12).map(|w| w.id.clone()).collect();
+    let mut ever_known: BTreeSet<WorkflowId> = workflows.iter().map(|w| w.id.clone()).collect();
+    let added: Vec<Workflow> = demo_workflows(8, 99)
+        .into_iter()
+        .enumerate()
+        .map(|(i, mut wf)| {
+            wf.id = format!("added-{i}").into();
+            wf
+        })
+        .collect();
+    ever_known.extend(added.iter().map(|w| w.id.clone()));
+
+    // Ids whose removal has *completed*; queries snapshot it before they
+    // start, so anything in the snapshot must be invisible to them.
+    let removed_log: Mutex<BTreeSet<WorkflowId>> = Mutex::new(BTreeSet::new());
+
+    std::thread::scope(|scope| {
+        let service = &service;
+        let removed_log = &removed_log;
+        let (survivors, victims, added, ever_known) = (&survivors, &victims, &added, &ever_known);
+
+        scope.spawn(move || {
+            for (victim, addition) in victims.iter().zip(added.iter().cycle()) {
+                assert!(service.remove(victim).is_some(), "victim {victim} resident");
+                removed_log.lock().unwrap().insert(victim.clone());
+                service.add(addition.clone());
+                std::thread::yield_now();
+            }
+        });
+
+        for worker in 0..2usize {
+            scope.spawn(move || {
+                for round in 0..30usize {
+                    let query = &survivors[(worker * 31 + round * 7) % survivors.len()];
+                    let removed_before: BTreeSet<WorkflowId> = removed_log.lock().unwrap().clone();
+                    let hits = service
+                        .search(query, 10)
+                        .expect("survivor queries stay resident");
+                    assert!(hits.len() <= 10);
+                    for pair in hits.windows(2) {
+                        let ordered = pair[0].score > pair[1].score
+                            || (pair[0].score == pair[1].score && pair[0].id < pair[1].id);
+                        assert!(ordered, "canonical hit ordering violated: {pair:?}");
+                    }
+                    for hit in &hits {
+                        assert!(
+                            ever_known.contains(&hit.id),
+                            "unknown id {} surfaced",
+                            hit.id
+                        );
+                        assert!(
+                            !removed_before.contains(&hit.id),
+                            "{} was removed before the query began",
+                            hit.id
+                        );
+                        assert_ne!(&hit.id, query, "query excluded from its own results");
+                    }
+                    // Exercise the batch path under churn, too.
+                    if round % 10 == 0 {
+                        let batch = service.search_batch(std::slice::from_ref(query), 5);
+                        assert!(batch[0].is_some());
+                    }
+                }
+            });
+        }
+    });
+
+    // After the dust settles: all victims gone, all additions resident
+    // *and routed* (an orphaned resident would be invisible to contains
+    // yet still pollute other queries), and the service still answers
+    // exactly like a from-scratch rebuild.
+    assert_eq!(service.len(), 48 - 12 + 8);
+    for victim in &victims {
+        assert!(!service.contains(victim));
+    }
+    for addition in &added {
+        assert!(service.contains(&addition.id), "{} unrouted", addition.id);
+        assert!(service.search(&addition.id, 3).is_some());
+    }
+    let sharded = service.into_sharded();
+    let survivors_now: Vec<Workflow> = sharded
+        .ids()
+        .iter()
+        .map(|id| sharded.get(id).unwrap().clone())
+        .collect();
+    let rebuilt = Corpus::build(SimilarityConfig::best_module_sets(), survivors_now);
+    for id in sharded.ids().iter().step_by(5) {
+        let qi = rebuilt.index_of(id).unwrap();
+        assert_eq!(
+            sharded.search(id, 10).unwrap(),
+            rebuilt.top_k_index(qi, 10),
+            "post-churn query {id}"
+        );
+    }
+}
+
+/// Sharded snapshot manifest round-trip on a realistic corpus, including a
+/// shard holding zero workflows, plus the corrupt-one-shard fallback.
+#[test]
+fn sharded_snapshot_roundtrip_reproduces_search_results() {
+    let dir = std::env::temp_dir().join("wfsim-bench-shard-snapshot");
+    let _ = std::fs::remove_dir_all(&dir);
+    let workflows = demo_workflows(30, 29);
+    let config = SimilarityConfig::best_module_sets();
+    // 1 spare shard beyond a round-robin of 30: build over 31 shards so
+    // shard 30 is guaranteed empty.
+    let sharded =
+        ShardedCorpus::build_with(config.clone(), 31, ShardPartition::RoundRobin, workflows);
+    assert!(sharded.shards().iter().any(|s| s.is_empty()));
+    sharded.save(&dir).unwrap();
+
+    let restored = ShardedCorpus::load(&dir, config.clone()).unwrap();
+    assert_eq!(restored.ids(), sharded.ids());
+    for id in sharded.ids().iter().step_by(3) {
+        assert_eq!(
+            restored.search(id, 10).unwrap(),
+            sharded.search(id, 10).unwrap(),
+            "restored query {id}"
+        );
+    }
+
+    // Corrupting one shard file yields a typed per-shard error and a clean
+    // fallback rebuild.
+    let victim = dir.join("shard-007.snap");
+    let text = std::fs::read_to_string(&victim).unwrap();
+    std::fs::write(&victim, text.replace("\"id\"", "\"ID\"")).unwrap();
+    match ShardedCorpus::load(&dir, config.clone()) {
+        Err(wf_sim::ShardSnapshotError::Shard { shard: 7, .. }) => {}
+        Err(err) => panic!("unexpected error: {err}"),
+        Ok(_) => panic!("corrupt shard must not load"),
+    }
+    let (rebuilt, origin) = ShardedCorpus::load_or_build(
+        &dir,
+        config,
+        4,
+        ShardPartition::HashId,
+        demo_workflows(30, 29),
+    );
+    assert!(!origin.is_snapshot());
+    assert_eq!(rebuilt.len(), 30);
+    let _ = std::fs::remove_dir_all(&dir);
+}

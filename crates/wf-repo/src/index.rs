@@ -23,7 +23,7 @@ use std::collections::BTreeMap;
 use serde::{Deserialize, Serialize};
 use wf_model::WorkflowId;
 
-use crate::search::{hit_ordering, sort_and_truncate, SearchHit, TopK};
+use crate::search::{hit_ordering, merge_top_k, SearchHit, SearchThreshold, TopK};
 
 /// A corpus-resident similarity measure addressable by corpus index.
 ///
@@ -220,7 +220,9 @@ impl SearchStats {
         }
     }
 
-    fn merge(&mut self, other: &SearchStats) {
+    /// Accumulates another search's counters (fan-out paths aggregate the
+    /// per-branch instrumentation through this).
+    pub fn merge(&mut self, other: &SearchStats) {
         self.candidates += other.candidates;
         self.scored += other.scored;
         self.pruned += other.pruned;
@@ -229,11 +231,92 @@ impl SearchStats {
     }
 }
 
-/// A candidate queued for scoring, ordered best-bound-first.
-struct Candidate {
-    index: usize,
-    bound: f64,
-    overlap: u32,
+/// A candidate of a bound-pruned top-k scan: its corpus index, an
+/// *admissible* upper bound on its score (`f64::INFINITY` when the measure
+/// cannot bound the pair) and its query-token overlap.
+pub struct RankedCandidate {
+    /// Corpus index of the candidate workflow.
+    pub index: usize,
+    /// Admissible upper bound on the candidate's score.
+    pub bound: f64,
+    /// Number of query label tokens the candidate shares.
+    pub overlap: u32,
+}
+
+/// Sorts candidates into the canonical scan order every bound-pruned
+/// search uses: bound descending, then overlap descending, then index
+/// ascending.
+pub fn sort_best_bound_first(candidates: &mut [RankedCandidate]) {
+    candidates.sort_unstable_by(|a, b| {
+        b.bound
+            .partial_cmp(&a.bound)
+            .unwrap_or(std::cmp::Ordering::Equal)
+            .then_with(|| b.overlap.cmp(&a.overlap))
+            .then_with(|| a.index.cmp(&b.index))
+    });
+}
+
+/// The one prune-and-score loop behind every bound-pruned top-k scan — the
+/// sequential indexed engine, each parallel worker's stride, and every
+/// shard of a scatter-gather search all walk their candidates through
+/// here, so the zero-bound short-circuit, the strict-below-floor pruning
+/// and the stats accounting can never drift apart between engines.
+///
+/// `candidates` must arrive in [`sort_best_bound_first`] order (`total` is
+/// its length, needed for prune accounting); `score` computes the exact
+/// score of a candidate index and `id_of` resolves its workflow id.  Each
+/// new worst-of-k is published to `threshold`, and the loop stops as soon
+/// as the best remaining bound falls *strictly* below the threshold floor
+/// — admissible, so the kept hits (returned in heap order; gather them
+/// with [`merge_top_k`]) are exactly the true top-k contributions of this
+/// candidate stream.
+pub fn scan_ranked_candidates<'a, I, F, G>(
+    candidates: I,
+    total: usize,
+    k: usize,
+    threshold: &SearchThreshold,
+    stats: &mut SearchStats,
+    mut score: F,
+    mut id_of: G,
+) -> Vec<SearchHit>
+where
+    I: IntoIterator<Item = &'a RankedCandidate>,
+    F: FnMut(usize) -> f64,
+    G: FnMut(usize) -> WorkflowId,
+{
+    if k == 0 {
+        stats.pruned += total;
+        return Vec::new();
+    }
+    let mut top = TopK::new(k);
+    let mut remaining = total;
+    for candidate in candidates {
+        // Best-bound-first order: once the bound of the next candidate
+        // drops below the floor, no later candidate can displace anything
+        // (score <= bound < floor <= final k-th best), so stop scoring.
+        if candidate.bound < threshold.floor() {
+            stats.pruned += remaining;
+            break;
+        }
+        remaining -= 1;
+        // A zero bound pins the score to exactly 0 by admissibility,
+        // without running the measure.
+        let score = if candidate.bound == 0.0 {
+            stats.zero_bound += 1;
+            0.0
+        } else {
+            stats.scored += 1;
+            score(candidate.index)
+        };
+        top.insert(SearchHit {
+            id: id_of(candidate.index),
+            score,
+        });
+        if let Some(worst) = top.worst_score() {
+            threshold.observe(worst);
+        }
+    }
+    top.into_hits()
 }
 
 /// The index-accelerated top-k search engine.
@@ -293,33 +376,25 @@ impl<'s, S: CorpusScorer + ?Sized> IndexedSearchEngine<'s, S> {
     /// [`IndexedSearchEngine::top_k`] plus pruning instrumentation.
     pub fn top_k_with_stats(&self, query: usize, k: usize) -> (Vec<SearchHit>, SearchStats) {
         let (candidates, mut stats) = self.ranked_candidates(query);
-        if k == 0 || candidates.is_empty() {
-            stats.pruned = candidates.len();
-            return (Vec::new(), stats);
-        }
-        let mut top = TopK::new(k);
-        let mut remaining = candidates.len();
-        for candidate in &candidates {
-            // Best-bound-first order: once the bound of the next candidate
-            // drops below the weakest kept score, no later candidate can
-            // displace anything (score <= bound < worst), so stop scoring.
-            if let Some(worst) = top.worst_score() {
-                if candidate.bound < worst {
-                    stats.pruned += remaining;
-                    break;
-                }
-            }
-            remaining -= 1;
-            top.insert(self.resolve(query, candidate, &mut stats));
-        }
-        (top.into_sorted_hits(), stats)
+        // A fresh threshold makes the shared scan prune exactly on the
+        // running worst-of-k, as a dedicated sequential loop would.
+        let hits = scan_ranked_candidates(
+            candidates.iter(),
+            candidates.len(),
+            k,
+            &SearchThreshold::new(),
+            &mut stats,
+            |i| self.scorer.score(query, i),
+            |i| self.scorer.workflow_id(i).clone(),
+        );
+        (merge_top_k([hits], k), stats)
     }
 
     /// Parallel variant: the bound-ranked candidate list is dealt
     /// round-robin to workers, each keeping a private bounded top-k heap
-    /// (with the same local early-exit), and the per-thread winners are
-    /// merged at join.  Lock-free and bit-identical to the sequential
-    /// search.
+    /// but publishing its worst-of-k to one shared [`SearchThreshold`], so
+    /// every worker prunes against the best floor any of them has found.
+    /// Lock-free and bit-identical to the sequential search.
     pub fn top_k_parallel(&self, query: usize, k: usize) -> Vec<SearchHit> {
         self.top_k_parallel_with_stats(query, k).0
     }
@@ -339,52 +414,46 @@ impl<'s, S: CorpusScorer + ?Sized> IndexedSearchEngine<'s, S> {
         if threads <= 1 {
             return self.top_k_with_stats(query, k);
         }
-        let (mut hits, worker_stats) = std::thread::scope(|scope| {
+        let threshold = SearchThreshold::new();
+        let (hits, worker_stats) = std::thread::scope(|scope| {
             let workers: Vec<_> = (0..threads)
                 .map(|worker| {
-                    let candidates = &candidates;
+                    let (candidates, threshold) = (&candidates, &threshold);
                     scope.spawn(move || {
                         let mut local_stats = SearchStats::default();
-                        let mut top = TopK::new(k);
                         // Round-robin slice, preserving the global
                         // best-bound-first order within the worker.
-                        let mut mine = candidates.iter().skip(worker).step_by(threads);
-                        let mut remaining =
-                            candidates.len().saturating_sub(worker).div_ceil(threads);
-                        for candidate in &mut mine {
-                            if let Some(worst) = top.worst_score() {
-                                if candidate.bound < worst {
-                                    local_stats.pruned += remaining;
-                                    break;
-                                }
-                            }
-                            remaining -= 1;
-                            let hit = self.resolve(query, candidate, &mut local_stats);
-                            top.insert(hit);
-                        }
-                        (top.into_hits(), local_stats)
+                        let hits = scan_ranked_candidates(
+                            candidates.iter().skip(worker).step_by(threads),
+                            candidates.len().saturating_sub(worker).div_ceil(threads),
+                            k,
+                            threshold,
+                            &mut local_stats,
+                            |i| self.scorer.score(query, i),
+                            |i| self.scorer.workflow_id(i).clone(),
+                        );
+                        (hits, local_stats)
                     })
                 })
                 .collect();
-            let mut all = Vec::new();
+            let mut parts = Vec::with_capacity(threads);
             let mut merged = SearchStats::default();
             for w in workers {
                 let (hits, s) = w.join().expect("indexed search worker panicked");
-                all.extend(hits);
+                parts.push(hits);
                 merged.merge(&s);
             }
-            (all, merged)
+            (merge_top_k(parts, k), merged)
         });
         stats.scored = worker_stats.scored;
         stats.pruned = worker_stats.pruned;
         stats.zero_bound = worker_stats.zero_bound;
-        sort_and_truncate(&mut hits, k);
         (hits, stats)
     }
 
     /// All candidates (corpus minus query) with their bounds and token
     /// overlaps, sorted best-bound-first.
-    fn ranked_candidates(&self, query: usize) -> (Vec<Candidate>, SearchStats) {
+    fn ranked_candidates(&self, query: usize) -> (Vec<RankedCandidate>, SearchStats) {
         let n = self.scorer.corpus_len();
         let overlaps = self
             .index
@@ -402,38 +471,15 @@ impl<'s, S: CorpusScorer + ?Sized> IndexedSearchEngine<'s, S> {
             // Unbounded measures sort first (infinite bound) and are always
             // scored: the search degrades to an exhaustive profiled scan.
             let bound = self.scorer.upper_bound(query, i).unwrap_or(f64::INFINITY);
-            candidates.push(Candidate {
+            candidates.push(RankedCandidate {
                 index: i,
                 bound,
                 overlap,
             });
         }
         stats.candidates = candidates.len();
-        candidates.sort_unstable_by(|a, b| {
-            b.bound
-                .partial_cmp(&a.bound)
-                .unwrap_or(std::cmp::Ordering::Equal)
-                .then_with(|| b.overlap.cmp(&a.overlap))
-                .then_with(|| a.index.cmp(&b.index))
-        });
+        sort_best_bound_first(&mut candidates);
         (candidates, stats)
-    }
-
-    /// Scores one candidate — or short-circuits a zero bound, which by
-    /// admissibility pins the score to exactly 0 without running the
-    /// measure.
-    fn resolve(&self, query: usize, candidate: &Candidate, stats: &mut SearchStats) -> SearchHit {
-        let score = if candidate.bound == 0.0 {
-            stats.zero_bound += 1;
-            0.0
-        } else {
-            stats.scored += 1;
-            self.scorer.score(query, candidate.index)
-        };
-        SearchHit {
-            id: self.scorer.workflow_id(candidate.index).clone(),
-            score,
-        }
     }
 }
 

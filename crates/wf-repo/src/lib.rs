@@ -43,13 +43,16 @@ pub mod type_classes;
 pub mod usage;
 
 pub use importance::{ImportanceConfig, ImportanceScorer};
-pub use index::{scan_top_k, CorpusScorer, IndexedSearchEngine, SearchStats, TokenIndex};
+pub use index::{
+    scan_ranked_candidates, scan_top_k, sort_best_bound_first, CorpusScorer, IndexedSearchEngine,
+    RankedCandidate, SearchStats, TokenIndex,
+};
 pub use mining::{mine_repository, mine_transactions, FrequentItemsets, ItemSource, MiningConfig};
 pub use preselect::{
     candidate_pair_iter, candidate_pairs, pair_reduction_factor, PreselectionStrategy,
 };
 pub use projection::importance_projection;
 pub use repository::Repository;
-pub use search::{SearchEngine, SearchHit, TopK};
+pub use search::{merge_top_k, SearchEngine, SearchHit, SearchThreshold, TopK};
 pub use type_classes::TypeClass;
 pub use usage::UsageStatistics;

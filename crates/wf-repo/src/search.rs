@@ -16,6 +16,7 @@
 
 use std::cmp::Ordering;
 use std::collections::BinaryHeap;
+use std::sync::atomic::{AtomicU64, Ordering as AtomicOrdering};
 
 use wf_model::{Workflow, WorkflowId};
 
@@ -127,6 +128,66 @@ impl TopK {
     }
 }
 
+/// Merges several partial hit lists into one global top-k, best first.
+///
+/// This is the single gather step shared by every fan-out search path: the
+/// per-thread winners of the parallel engines and the per-shard winners of
+/// a scatter-gather search both feed their partial lists through here.  The
+/// merge runs every hit through one bounded [`TopK`] heap
+/// (`O(total · log k)` instead of sorting all partials), so it produces
+/// exactly the hits — ids, scores *and* tie order — that a full
+/// [canonical](TopK) sort of the concatenated partials would produce,
+/// regardless of the order in which the partial lists arrive.
+pub fn merge_top_k(parts: impl IntoIterator<Item = Vec<SearchHit>>, k: usize) -> Vec<SearchHit> {
+    let mut top = TopK::new(k);
+    for part in parts {
+        for hit in part {
+            top.insert(hit);
+        }
+    }
+    top.into_sorted_hits()
+}
+
+/// A monotonically rising score floor shared by the branches of one
+/// fan-out top-k search (worker threads, or the shards of a scatter-gather
+/// search).
+///
+/// Every branch publishes the score of its weakest kept hit once its local
+/// [`TopK`] is full; [`SearchThreshold::floor`] is the maximum published so
+/// far.  Because a published floor is the k-th best of `k` *true* scores of
+/// distinct candidates, the final global k-th best score is at least the
+/// floor — so a candidate whose admissible upper bound falls *strictly*
+/// below the floor can never enter the merged top-k (ties at the floor are
+/// still scored), and pruning on it keeps the gathered result bit-identical
+/// under every interleaving.
+///
+/// Lock-free: the floor is an `AtomicU64` holding the score's IEEE-754
+/// bits, which order like the scores themselves for the non-negative values
+/// the [`CorpusScorer`](crate::CorpusScorer) contract guarantees.
+#[derive(Debug, Default)]
+pub struct SearchThreshold(AtomicU64);
+
+impl SearchThreshold {
+    /// A threshold with floor 0 (nothing published yet; with strict-below
+    /// pruning a zero floor prunes nothing, as bounds are non-negative).
+    pub fn new() -> Self {
+        SearchThreshold(AtomicU64::new(0.0f64.to_bits()))
+    }
+
+    /// Publishes a branch's weakest kept score; the floor only ever rises.
+    /// Non-finite or negative scores are ignored.
+    pub fn observe(&self, score: f64) {
+        if score.is_finite() && score >= 0.0 {
+            self.0.fetch_max(score.to_bits(), AtomicOrdering::Relaxed);
+        }
+    }
+
+    /// The highest score floor published so far.
+    pub fn floor(&self) -> f64 {
+        f64::from_bits(self.0.load(AtomicOrdering::Relaxed))
+    }
+}
+
 /// A top-k similarity search engine over one repository.
 pub struct SearchEngine<'r, F> {
     repository: &'r Repository,
@@ -190,7 +251,7 @@ where
         }
         let threads = self.threads.min(candidates.len());
         let chunk_size = candidates.len().div_ceil(threads);
-        let mut hits: Vec<SearchHit> = std::thread::scope(|scope| {
+        std::thread::scope(|scope| {
             let workers: Vec<_> = candidates
                 .chunks(chunk_size)
                 .map(|chunk| {
@@ -207,13 +268,13 @@ where
                     })
                 })
                 .collect();
-            workers
-                .into_iter()
-                .flat_map(|w| w.join().expect("search worker panicked"))
-                .collect()
-        });
-        sort_and_truncate(&mut hits, k);
-        hits
+            merge_top_k(
+                workers
+                    .into_iter()
+                    .map(|w| w.join().expect("search worker panicked")),
+                k,
+            )
+        })
     }
 
     /// Ranks an explicit candidate list (by id) against the query — the
@@ -387,6 +448,78 @@ mod tests {
             sort_and_truncate(&mut expected, k);
             assert_eq!(acc.into_sorted_hits(), expected, "k = {k}");
         }
+    }
+
+    fn hit(id: &str, score: f64) -> SearchHit {
+        SearchHit {
+            id: WorkflowId::new(id),
+            score,
+        }
+    }
+
+    /// The merge contract: for any split of the hits into partial lists,
+    /// merging equals a full canonical sort of the concatenation.
+    #[test]
+    fn merge_top_k_equals_full_sort_for_any_partition() {
+        let hits = vec![
+            hit("w05", 0.5),
+            hit("w01", 0.9),
+            hit("w09", 0.5), // ties with w05 and w03 — id order decides
+            hit("w07", 0.1),
+            hit("w03", 0.5),
+            hit("w02", 0.9), // ties with w01
+            hit("w08", 0.0),
+        ];
+        let splits: Vec<Vec<Vec<SearchHit>>> = vec![
+            vec![hits.clone()],                                   // one part
+            hits.iter().map(|h| vec![h.clone()]).collect(),       // singletons
+            vec![hits[..3].to_vec(), vec![], hits[3..].to_vec()], // empty part
+        ];
+        for k in [0, 1, 3, hits.len(), hits.len() + 5] {
+            let mut expected = hits.clone();
+            sort_and_truncate(&mut expected, k);
+            for (i, parts) in splits.iter().enumerate() {
+                assert_eq!(
+                    merge_top_k(parts.clone(), k),
+                    expected,
+                    "k = {k}, split {i}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn merge_top_k_edge_cases() {
+        // k = 0 and no parts at all.
+        assert!(merge_top_k(vec![vec![hit("a", 1.0)]], 0).is_empty());
+        assert!(merge_top_k(Vec::<Vec<SearchHit>>::new(), 5).is_empty());
+        // k far beyond the corpus returns everything, sorted.
+        let merged = merge_top_k(vec![vec![hit("b", 0.2)], vec![hit("a", 0.8)]], 100);
+        assert_eq!(merged.len(), 2);
+        assert_eq!(merged[0].id.as_str(), "a");
+        // Equal scores everywhere: pure ascending-id order survives.
+        let tied = merge_top_k(
+            vec![vec![hit("z", 0.5), hit("m", 0.5)], vec![hit("a", 0.5)]],
+            2,
+        );
+        assert_eq!(tied[0].id.as_str(), "a");
+        assert_eq!(tied[1].id.as_str(), "m");
+    }
+
+    #[test]
+    fn search_threshold_is_a_monotone_maximum() {
+        let t = SearchThreshold::new();
+        assert_eq!(t.floor(), 0.0);
+        t.observe(0.4);
+        assert_eq!(t.floor(), 0.4);
+        t.observe(0.2); // lower publications never sink the floor
+        assert_eq!(t.floor(), 0.4);
+        t.observe(0.9);
+        assert_eq!(t.floor(), 0.9);
+        t.observe(f64::NAN);
+        t.observe(f64::INFINITY);
+        t.observe(-1.0);
+        assert_eq!(t.floor(), 0.9, "junk observations are ignored");
     }
 
     #[test]

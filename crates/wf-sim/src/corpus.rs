@@ -453,7 +453,7 @@ struct CorpusSnapshot {
 /// mapping, normalization, importance and budget settings, so the
 /// fingerprint spells those out too: loading a snapshot under a config with
 /// any different knob must fall back to a rebuild.
-fn config_fingerprint(config: &SimilarityConfig) -> String {
+pub(crate) fn config_fingerprint(config: &SimilarityConfig) -> String {
     let ged = &config.ged_budget;
     format!(
         "{name}|map={mapping}|norm={norm:?}|paths={paths}|imp={thr:?}+{freq}|ged={nodes}/{exp}/{beam}/{time:?}",
@@ -473,7 +473,7 @@ fn config_fingerprint(config: &SimilarityConfig) -> String {
 
 /// 64-bit FNV-1a — a small, dependency-free integrity hash for snapshot
 /// bodies (corruption detection, not cryptographic authentication).
-fn fnv1a64(bytes: &[u8]) -> u64 {
+pub(crate) fn fnv1a64(bytes: &[u8]) -> u64 {
     let mut hash = 0xcbf2_9ce4_8422_2325u64;
     for &byte in bytes {
         hash ^= u64::from(byte);

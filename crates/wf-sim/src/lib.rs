@@ -41,7 +41,11 @@
 //! pipeline), and [`corpus`] wraps them into the shared [`Corpus`] layer:
 //! build → mutate (incremental `add`/`remove`) → snapshot (versioned,
 //! checksummed persistence) → score (pruned top-k search and profiled
-//! clustering matrices from one instance).
+//! clustering matrices from one instance).  The [`shard`] module scales the
+//! corpus out: [`ShardedCorpus`] partitions workflows across independent
+//! shards with bit-identical scatter-gather top-k (plus per-shard snapshots
+//! behind one manifest), and [`CorpusService`] serves concurrent searches
+//! and batch queries while churn write-locks only the owning shard.
 
 pub mod annotation;
 pub mod config;
@@ -56,6 +60,7 @@ pub mod normalize;
 pub mod pipeline;
 pub mod prior_work;
 pub mod profile;
+pub mod shard;
 pub mod stacking;
 
 pub use annotation::{bag_of_tags_similarity, bag_of_words_similarity};
@@ -70,5 +75,6 @@ pub use mapping_step::{module_similarity_matrix, ModuleMappingOutcome};
 pub use module_cmp::{ComparisonMethod, ModuleComparisonScheme};
 pub use pipeline::{SimilarityReport, WorkflowSimilarity};
 pub use prior_work::{prior_approaches, PriorApproach};
-pub use profile::{ClassPairTable, ModuleProfile, ProfiledMeasure, WorkflowProfile};
+pub use profile::{ClassPairTable, ModuleProfile, ProfiledMeasure, QueryFeatures, WorkflowProfile};
+pub use shard::{CorpusService, ShardOrigin, ShardPartition, ShardSnapshotError, ShardedCorpus};
 pub use stacking::{learn_weights, weight_grid, LearnedWeights, RankEnsemble};

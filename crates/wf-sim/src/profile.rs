@@ -38,7 +38,9 @@ use wf_repo::{CorpusScorer, PreselectionStrategy, TypeClass};
 use wf_text::levenshtein::{
     levenshtein_similarity, levenshtein_similarity_ci, levenshtein_similarity_with_lens,
 };
-use wf_text::{jaccard_index, tokenize, CharSignature, StringPool, TokenBag, TokenIdSet};
+use wf_text::{
+    jaccard_index, tokenize, CharSignature, FrozenInterner, StringPool, TokenBag, TokenIdSet,
+};
 
 use crate::config::{MeasureKind, Normalization, SimilarityConfig};
 use crate::decompose::path_set;
@@ -76,7 +78,36 @@ pub struct ModuleProfile {
 }
 
 impl ModuleProfile {
-    fn build(module: &Module, pool: &mut StringPool) -> Self {
+    #[inline]
+    fn has(&self, key: AttributeKey) -> bool {
+        self.presence & (1 << key as u8) != 0
+    }
+}
+
+/// The pool-independent derived features of one module: everything a
+/// [`ModuleProfile`] holds, with raw token strings in place of the interned
+/// token-id sets.  Extracted once per workflow, then *bound* to a pool —
+/// mutably for corpus residents, frozen for external queries.
+#[derive(Debug, Clone)]
+struct ModuleFeatures {
+    label_lower: String,
+    label_chars: u32,
+    label_lower_chars: u32,
+    desc_chars: u32,
+    script_chars: u32,
+    label_tokens: Vec<String>,
+    desc_tokens: Vec<String>,
+    script_tokens: Vec<String>,
+    label_sig: CharSignature,
+    label_lower_sig: CharSignature,
+    desc_sig: CharSignature,
+    script_sig: CharSignature,
+    type_class: TypeClass,
+    presence: u8,
+}
+
+impl ModuleFeatures {
+    fn extract(module: &Module) -> Self {
         let label_lower = module.label.to_lowercase();
         let mut presence = 0u8;
         for key in AttributeKey::ALL {
@@ -84,14 +115,14 @@ impl ModuleProfile {
                 presence |= 1 << key as u8;
             }
         }
-        ModuleProfile {
+        ModuleFeatures {
             label_chars: module.label.chars().count() as u32,
             label_lower_chars: label_lower.chars().count() as u32,
             desc_chars: text_chars(module.description.as_deref()),
             script_chars: text_chars(module.script.as_deref()),
-            label_tokens: pool.intern_set(tokenize(&module.label)),
-            desc_tokens: pool.intern_set(tokenize(module.description.as_deref().unwrap_or(""))),
-            script_tokens: pool.intern_set(tokenize(module.script.as_deref().unwrap_or(""))),
+            label_tokens: tokenize(&module.label),
+            desc_tokens: tokenize(module.description.as_deref().unwrap_or("")),
+            script_tokens: tokenize(module.script.as_deref().unwrap_or("")),
             label_sig: CharSignature::of(&module.label),
             label_lower_sig: CharSignature::of(&label_lower),
             desc_sig: CharSignature::of(module.description.as_deref().unwrap_or("")),
@@ -102,9 +133,152 @@ impl ModuleProfile {
         }
     }
 
-    #[inline]
-    fn has(&self, key: AttributeKey) -> bool {
-        self.presence & (1 << key as u8) != 0
+    /// Assembles the profile, interning the label, description and script
+    /// token lists through `intern` *in that order* — the pool-id
+    /// assignment order every profile build has always used, so mutable
+    /// binding reproduces the exact pool a pre-refactor build produced.
+    /// Borrows the features: the same extraction binds against any number
+    /// of shard pools without re-cloning the token strings.
+    fn bind_with<F: FnMut(&[String]) -> TokenIdSet>(&self, mut intern: F) -> ModuleProfile {
+        ModuleProfile {
+            label_tokens: intern(&self.label_tokens),
+            desc_tokens: intern(&self.desc_tokens),
+            script_tokens: intern(&self.script_tokens),
+            label_lower: self.label_lower.clone(),
+            label_chars: self.label_chars,
+            label_lower_chars: self.label_lower_chars,
+            desc_chars: self.desc_chars,
+            script_chars: self.script_chars,
+            label_sig: self.label_sig.clone(),
+            label_lower_sig: self.label_lower_sig.clone(),
+            desc_sig: self.desc_sig.clone(),
+            script_sig: self.script_sig.clone(),
+            type_class: self.type_class,
+            presence: self.presence,
+        }
+    }
+}
+
+/// The pool-independent half of one query workflow's profile:
+/// preprocessing, tokenization, signatures, paths and annotation bags —
+/// everything that does *not* depend on which corpus (shard) the query is
+/// scored against.
+///
+/// A scatter-gather search extracts the features once per query
+/// ([`ProfiledMeasure::query_features`]) and then *binds* them per shard
+/// ([`ProfiledMeasure::bind_query`]): binding only resolves the token
+/// strings against the shard's frozen [`StringPool`], so the expensive
+/// per-query work is amortized across shards, and no shard's pool is ever
+/// mutated by a read path.
+#[derive(Debug, Clone)]
+pub struct QueryFeatures {
+    processed: Workflow,
+    modules: Vec<ModuleFeatures>,
+    paths: Vec<Vec<ModuleId>>,
+    word_bag: TokenBag,
+    tag_bag: TokenBag,
+    has_tags: bool,
+}
+
+impl QueryFeatures {
+    /// Extracts every pool-independent feature of `wf` under the measure's
+    /// configuration — the first half of [`profile_workflow`].
+    fn extract(inner: &WorkflowSimilarity, wf: &Workflow) -> Self {
+        let config = inner.config();
+        let processed = if config.measure.is_structural() {
+            inner.preprocess(wf).into_owned()
+        } else {
+            wf.clone()
+        };
+        let modules = processed
+            .modules
+            .iter()
+            .map(ModuleFeatures::extract)
+            .collect();
+        let paths = if config.measure == MeasureKind::PathSets {
+            path_set(&processed, config.max_paths)
+        } else {
+            Vec::new()
+        };
+        QueryFeatures {
+            word_bag: TokenBag::from_text(&wf.annotations.title_and_description()),
+            tag_bag: TokenBag::from_tags(&wf.annotations.tags),
+            has_tags: wf.annotations.has_tags(),
+            processed,
+            modules,
+            paths,
+        }
+    }
+
+    /// The id of the (preprocessed) query workflow.
+    pub fn id(&self) -> &WorkflowId {
+        &self.processed.id
+    }
+
+    /// Binds the features against a *frozen* pool: known tokens resolve to
+    /// their pool ids, unknown tokens get non-colliding ephemeral ids, so
+    /// every set comparison against residents of that pool is bit-identical
+    /// to what mutable interning would have produced.
+    fn bind(&self, pool: &StringPool) -> WorkflowProfile {
+        let mut interner = FrozenInterner::new(pool);
+        let modules: Vec<ModuleProfile> = self
+            .modules
+            .iter()
+            .map(|m| m.bind_with(|tokens| interner.resolve_set(tokens)))
+            .collect();
+        assemble_profile(
+            self.processed.clone(),
+            modules,
+            self.paths.clone(),
+            self.word_bag.clone(),
+            self.tag_bag.clone(),
+            self.has_tags,
+        )
+    }
+
+    /// Binds the features by interning into a mutable pool — the
+    /// resident-profiling path of [`ProfiledMeasure`].
+    fn bind_into(self, pool: &mut StringPool) -> WorkflowProfile {
+        let modules: Vec<ModuleProfile> = self
+            .modules
+            .iter()
+            .map(|m| m.bind_with(|tokens| pool.intern_set(tokens)))
+            .collect();
+        assemble_profile(
+            self.processed,
+            modules,
+            self.paths,
+            self.word_bag,
+            self.tag_bag,
+            self.has_tags,
+        )
+    }
+}
+
+/// Joins bound module profiles with the remaining query features into the
+/// final [`WorkflowProfile`].
+fn assemble_profile(
+    workflow: Workflow,
+    modules: Vec<ModuleProfile>,
+    paths: Vec<Vec<ModuleId>>,
+    word_bag: TokenBag,
+    tag_bag: TokenBag,
+    has_tags: bool,
+) -> WorkflowProfile {
+    let label_tokens = TokenIdSet::from_ids(
+        modules
+            .iter()
+            .flat_map(|m| m.label_tokens.ids().iter().copied())
+            .collect(),
+    );
+    WorkflowProfile {
+        workflow,
+        modules,
+        paths,
+        label_tokens,
+        word_bag,
+        tag_bag,
+        has_tags,
     }
 }
 
@@ -339,9 +513,41 @@ impl ProfiledMeasure {
     /// The similarity of two corpus workflows, `None` when the measure is
     /// inapplicable (mirroring [`WorkflowSimilarity::similarity_opt`]).
     pub fn score_opt_indexed(&self, query: usize, candidate: usize) -> Option<f64> {
+        self.score_opt_profiles(&self.profiles[query], &self.profiles[candidate])
+    }
+
+    /// Extracts the pool-independent features of an external query — done
+    /// once per query, then bound per corpus with
+    /// [`ProfiledMeasure::bind_query`].
+    pub fn query_features(&self, wf: &Workflow) -> QueryFeatures {
+        QueryFeatures::extract(&self.inner, wf)
+    }
+
+    /// Binds query features against this corpus's pool *without mutating
+    /// it*, producing a profile that scores against every resident exactly
+    /// as a resident profile of the same workflow would.
+    pub fn bind_query(&self, features: &QueryFeatures) -> WorkflowProfile {
+        features.bind(&self.pool)
+    }
+
+    /// The similarity of an externally profiled query (a
+    /// [`ProfiledMeasure::bind_query`] result) and a corpus workflow;
+    /// inapplicable annotation pairs score 0.
+    pub fn score_profile(&self, query: &WorkflowProfile, candidate: usize) -> f64 {
+        self.score_opt_profile(query, candidate).unwrap_or(0.0)
+    }
+
+    /// [`ProfiledMeasure::score_profile`] with the inapplicable case kept
+    /// as `None`.
+    pub fn score_opt_profile(&self, query: &WorkflowProfile, candidate: usize) -> Option<f64> {
+        self.score_opt_profiles(query, &self.profiles[candidate])
+    }
+
+    /// The one scoring path behind every by-index and by-profile entry
+    /// point: both sides are just profiles.
+    fn score_opt_profiles(&self, pa: &WorkflowProfile, pb: &WorkflowProfile) -> Option<f64> {
         match self.inner.config().measure {
             MeasureKind::BagOfWords => {
-                let (pa, pb) = (&self.profiles[query], &self.profiles[candidate]);
                 if pa.word_bag.is_empty() && pb.word_bag.is_empty() {
                     None
                 } else {
@@ -349,7 +555,6 @@ impl ProfiledMeasure {
                 }
             }
             MeasureKind::BagOfTags => {
-                let (pa, pb) = (&self.profiles[query], &self.profiles[candidate]);
                 if !pa.has_tags || !pb.has_tags {
                     None
                 } else {
@@ -357,7 +562,8 @@ impl ProfiledMeasure {
                 }
             }
             MeasureKind::ModuleSets | MeasureKind::PathSets | MeasureKind::GraphEdit => {
-                Some(self.structural_score(query, candidate))
+                let (pa, pb) = self.canonical_order(pa, pb);
+                Some(self.structural_score_pair(pa, pb, |i, j| self.pair_similarity(pa, i, pb, j)))
             }
         }
     }
@@ -371,46 +577,65 @@ impl ProfiledMeasure {
         if config.measure != MeasureKind::ModuleSets {
             return None;
         }
-        Some(self.module_sets_upper_bound(query, candidate, config.normalization))
+        Some(self.module_sets_upper_bound(
+            &self.profiles[query],
+            &self.profiles[candidate],
+            config.normalization,
+        ))
     }
 
-    /// Mirrors `WorkflowSimilarity::structural_report` from profiles.
-    fn structural_score(&self, query: usize, candidate: usize) -> f64 {
-        self.structural_score_with(query, candidate, |wa, i, wb, j| {
-            self.pair_similarity(&self.profiles[wa], i, &self.profiles[wb], j)
-        })
+    /// [`ProfiledMeasure::upper_bound_indexed`] for an externally profiled
+    /// query — the same bound computation, so it dominates
+    /// [`ProfiledMeasure::score_profile`] whenever it dominates the
+    /// by-index score.
+    pub fn upper_bound_profile(&self, query: &WorkflowProfile, candidate: usize) -> Option<f64> {
+        let config = self.inner.config();
+        if config.measure != MeasureKind::ModuleSets {
+            return None;
+        }
+        Some(self.module_sets_upper_bound(query, &self.profiles[candidate], config.normalization))
     }
 
-    /// The structural pipeline with a pluggable module-pair scorer
-    /// (`pair(workflow_a, module_i, workflow_b, module_j)`): the exact
-    /// per-pair path and the class-table lookup path share everything else.
-    fn structural_score_with<F>(&self, query: usize, candidate: usize, pair: F) -> f64
+    /// The one canonical-pair-order rule of the pipeline: Graph Edit puts
+    /// the smaller preprocessed workflow first, every other measure keeps
+    /// the given order.  Both the profile path ([`canonical_order`]) and
+    /// the class-table index path share this predicate — the bit-exactness
+    /// of the two paths depends on them never diverging.
+    ///
+    /// [`canonical_order`]: ProfiledMeasure::canonical_order
+    fn swaps_canonically(&self, pa: &WorkflowProfile, pb: &WorkflowProfile) -> bool {
+        self.inner.config().measure == MeasureKind::GraphEdit && ged_key(pa) > ged_key(pb)
+    }
+
+    /// [`ProfiledMeasure::swaps_canonically`] applied to profile
+    /// references.
+    fn canonical_order<'a>(
+        &self,
+        pa: &'a WorkflowProfile,
+        pb: &'a WorkflowProfile,
+    ) -> (&'a WorkflowProfile, &'a WorkflowProfile) {
+        if self.swaps_canonically(pa, pb) {
+            (pb, pa)
+        } else {
+            (pa, pb)
+        }
+    }
+
+    /// The structural pipeline over two (canonically ordered) profiles with
+    /// a pluggable module-pair scorer `pair(i, j)` (module `i` of `pa` vs
+    /// module `j` of `pb`): the exact per-pair path and the class-table
+    /// lookup path share everything else.
+    fn structural_score_pair<F>(&self, pa: &WorkflowProfile, pb: &WorkflowProfile, pair: F) -> f64
     where
-        F: Fn(usize, usize, usize, usize) -> f64,
+        F: Fn(usize, usize) -> f64,
     {
         let config = self.inner.config();
-        let (mut ia, mut ib) = (query, candidate);
-        if config.measure == MeasureKind::GraphEdit {
-            // Same canonical pair order as the pipeline, computed on the
-            // preprocessed workflows.
-            let key = |p: &WorkflowProfile| {
-                (
-                    p.workflow.module_count(),
-                    p.workflow.link_count(),
-                    p.workflow.id.clone(),
-                )
-            };
-            if key(&self.profiles[ia]) > key(&self.profiles[ib]) {
-                std::mem::swap(&mut ia, &mut ib);
-            }
-        }
-        let (pa, pb) = (&self.profiles[ia], &self.profiles[ib]);
         let matrix = SimilarityMatrix::from_fn(
             pa.workflow.module_count(),
             pb.workflow.module_count(),
             |i, j| {
                 if self.allows(pa, i, pb, j) {
-                    pair(ia, i, ib, j)
+                    pair(i, j)
                 } else {
                     0.0
                 }
@@ -439,7 +664,7 @@ impl ProfiledMeasure {
                 )
                 .similarity
             }
-            _ => unreachable!("annotation measures handled by score_opt_indexed"),
+            _ => unreachable!("annotation measures handled by score_opt_profiles"),
         }
     }
 
@@ -503,8 +728,12 @@ impl ProfiledMeasure {
         if !self.inner.config().measure.is_structural() {
             return self.score_indexed(query, candidate);
         }
-        self.structural_score_with(query, candidate, |wa, i, wb, j| {
-            table.score(self.module_classes[wa][i], self.module_classes[wb][j])
+        let (mut ia, mut ib) = (query, candidate);
+        if self.swaps_canonically(&self.profiles[ia], &self.profiles[ib]) {
+            std::mem::swap(&mut ia, &mut ib);
+        }
+        self.structural_score_pair(&self.profiles[ia], &self.profiles[ib], |i, j| {
+            table.score(self.module_classes[ia][i], self.module_classes[ib][j])
         })
     }
 
@@ -558,11 +787,10 @@ impl ProfiledMeasure {
     /// pushed through the (monotone) normalization.
     fn module_sets_upper_bound(
         &self,
-        query: usize,
-        candidate: usize,
+        pa: &WorkflowProfile,
+        pb: &WorkflowProfile,
         normalization: Normalization,
     ) -> f64 {
-        let (pa, pb) = (&self.profiles[query], &self.profiles[candidate]);
         let (na, nb) = (pa.workflow.module_count(), pb.workflow.module_count());
         if na == 0 || nb == 0 {
             // Exact: an empty side forces an empty mapping.
@@ -673,44 +901,25 @@ fn intern_module_classes(interner: &mut BTreeMap<String, u32>, workflow: &Workfl
 
 /// Builds the full profile of one workflow against a measure and a shared
 /// pool — the single profiling code path behind batch construction
-/// ([`ProfiledMeasure::from_measure`]) and incremental insertion
-/// ([`ProfiledMeasure::add_workflow`]).
+/// ([`ProfiledMeasure::from_measure`]), incremental insertion
+/// ([`ProfiledMeasure::add_workflow`]) and (via the frozen
+/// [`QueryFeatures::bind`] half) external query profiling.
 fn profile_workflow(
     inner: &WorkflowSimilarity,
     pool: &mut StringPool,
     wf: &Workflow,
 ) -> WorkflowProfile {
-    let config = inner.config();
-    let processed = if config.measure.is_structural() {
-        inner.preprocess(wf).into_owned()
-    } else {
-        wf.clone()
-    };
-    let modules = processed
-        .modules
-        .iter()
-        .map(|m| ModuleProfile::build(m, pool))
-        .collect::<Vec<_>>();
-    let label_tokens = TokenIdSet::from_ids(
-        modules
-            .iter()
-            .flat_map(|m| m.label_tokens.ids().iter().copied())
-            .collect(),
-    );
-    let paths = if config.measure == MeasureKind::PathSets {
-        path_set(&processed, config.max_paths)
-    } else {
-        Vec::new()
-    };
-    WorkflowProfile {
-        word_bag: TokenBag::from_text(&wf.annotations.title_and_description()),
-        tag_bag: TokenBag::from_tags(&wf.annotations.tags),
-        has_tags: wf.annotations.has_tags(),
-        workflow: processed,
-        modules,
-        paths,
-        label_tokens,
-    }
+    QueryFeatures::extract(inner, wf).bind_into(pool)
+}
+
+/// The canonical Graph Edit ordering key of the pipeline, computed on the
+/// preprocessed profile workflow.
+fn ged_key(p: &WorkflowProfile) -> (usize, usize, &WorkflowId) {
+    (
+        p.workflow.module_count(),
+        p.workflow.link_count(),
+        &p.workflow.id,
+    )
 }
 
 /// Sum of the `m` largest values (sorts in place; `m <= values.len()`).
@@ -1051,6 +1260,73 @@ mod tests {
         assert_eq!(ps.upper_bound_indexed(0, 1), None);
         let bw = ProfiledMeasure::new(SimilarityConfig::bag_of_words(), &wfs);
         assert_eq!(bw.upper_bound_indexed(0, 1), None);
+    }
+
+    /// The sharded-search contract: an external query profile, bound
+    /// against the corpus pool *without interning*, scores and bounds
+    /// bit-identically to the same workflow profiled as a resident.
+    #[test]
+    fn externally_bound_queries_score_bit_identically() {
+        let wfs = corpus();
+        for config in [
+            SimilarityConfig::best_module_sets(),
+            SimilarityConfig::best_path_sets(),
+            SimilarityConfig::graph_edit_default(),
+            SimilarityConfig::bag_of_words(),
+            SimilarityConfig::bag_of_tags(),
+        ] {
+            let name = config.name();
+            let profiled = ProfiledMeasure::new(config, &wfs);
+            let pool_before = profiled.pool().len();
+            for (qi, query_wf) in wfs.iter().enumerate() {
+                let features = profiled.query_features(query_wf);
+                let bound_query = profiled.bind_query(&features);
+                for candidate in 0..wfs.len() {
+                    assert_eq!(
+                        profiled.score_opt_profile(&bound_query, candidate),
+                        profiled.score_opt_indexed(qi, candidate),
+                        "{name}: score, query {qi} vs {candidate}"
+                    );
+                    assert_eq!(
+                        profiled.upper_bound_profile(&bound_query, candidate),
+                        profiled.upper_bound_indexed(qi, candidate),
+                        "{name}: bound, query {qi} vs {candidate}"
+                    );
+                }
+            }
+            assert_eq!(
+                profiled.pool().len(),
+                pool_before,
+                "{name}: binding a query must never intern into the pool"
+            );
+        }
+    }
+
+    /// A query with tokens the corpus has never seen must still bind (fresh
+    /// ids collide with nothing) and score like the unprofiled pipeline.
+    #[test]
+    fn externally_bound_unseen_tokens_match_the_pipeline() {
+        let wfs = corpus();
+        let config = SimilarityConfig::best_module_sets();
+        let plain = WorkflowSimilarity::new(config.clone());
+        let profiled = ProfiledMeasure::new(config, &wfs[..2]);
+        let stranger = WorkflowBuilder::new("stranger")
+            .module("totally unseen tokens", ModuleType::WsdlService, |m| m)
+            .module("run_blast", ModuleType::WsdlService, |m| {
+                m.service("ebi.ac.uk", "blastp", "http://ebi.ac.uk/blast")
+            })
+            .link("totally unseen tokens", "run_blast")
+            .build()
+            .unwrap();
+        let bound = profiled.bind_query(&profiled.query_features(&stranger));
+        for (i, resident) in wfs[..2].iter().enumerate() {
+            assert_eq!(
+                profiled.score_profile(&bound, i),
+                plain.similarity(&stranger, resident),
+                "stranger vs {}",
+                resident.id
+            );
+        }
     }
 
     #[test]

@@ -1,0 +1,1284 @@
+//! The sharded corpus service layer: scatter-gather top-k over
+//! independently owned corpus shards, safe to query while the corpus
+//! churns.
+//!
+//! The paper scores a static repository offline; the ROADMAP north-star is
+//! a serving system answering heavy query traffic *while* workflows are
+//! uploaded and deleted — the repository-scale setting Davidson et al.
+//! describe for myExperiment-style search.  One [`Corpus`](crate::Corpus)
+//! cannot get there alone: a single `&mut` mutation path stalls every
+//! reader, one `StringPool` and one inverted index serialize all profiling,
+//! and a single snapshot file is rewritten wholesale on every save.  This
+//! module partitions the corpus instead:
+//!
+//! * [`ShardedCorpus`] — N shards, each a complete [`Corpus`] owning its
+//!   own pool, profiles and token index; workflows are routed to shards by
+//!   id ([`ShardPartition`]), and top-k queries **scatter** to every shard
+//!   and **gather** through the shared
+//!   [`merge_top_k`](wf_repo::merge_top_k) heap merge, with one
+//!   [`SearchThreshold`] shared across shards so each shard's admissible
+//!   bound pruning benefits from the best-k scores every other shard has
+//!   already found.
+//! * [`CorpusService`] — the concurrent wrapper: one `RwLock` per shard,
+//!   so searches proceed on all shards concurrently with churn that only
+//!   write-locks the single owning shard, plus a parallel batch-query API.
+//!
+//! ## Why sharded search stays bit-identical
+//!
+//! Every shard scores the query with exactly the shared
+//! [`ProfiledMeasure`] code path: the query's pool-independent features are
+//! extracted once ([`QueryFeatures`]) and bound per shard against a
+//! *frozen* pool ([`wf_text::FrozenInterner`]), which reproduces every
+//! token-set comparison bit-for-bit without mutating the shard.  Pruning
+//! only ever skips a candidate whose admissible upper bound falls
+//! *strictly* below the shared threshold floor — and the floor is always a
+//! true k-th best score of `k` distinct candidates, so no pruned candidate
+//! can enter the merged top-k, under any shard visit order or thread
+//! interleaving.  The gather step sorts by the canonical `(score desc, id
+//! asc)` hit ordering, so ids, scores *and* tie order equal the
+//! single-corpus [`IndexedSearchEngine`](wf_repo::IndexedSearchEngine).
+
+use std::collections::BTreeMap;
+use std::error::Error;
+use std::fmt;
+use std::io;
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::{Mutex, RwLock, RwLockReadGuard};
+
+use wf_model::{Workflow, WorkflowId};
+use wf_repo::{
+    merge_top_k, scan_ranked_candidates, sort_best_bound_first, RankedCandidate, SearchHit,
+    SearchStats, SearchThreshold,
+};
+
+use crate::config::SimilarityConfig;
+use crate::corpus::{config_fingerprint, fnv1a64, Corpus, SnapshotError};
+use crate::profile::{ProfiledMeasure, QueryFeatures, WorkflowProfile};
+
+/// First token of a shard-manifest header line.
+pub const SHARD_MANIFEST_MAGIC: &str = "wfsim-shard-manifest";
+
+/// Version of the shard-manifest layout.
+pub const SHARD_MANIFEST_VERSION: u32 = 1;
+
+/// The file a [`ShardedCorpus::save`] directory's manifest is written to.
+pub const SHARD_MANIFEST_FILE: &str = "manifest";
+
+/// How workflows are assigned to shards.
+///
+/// Both partitions are *stable*: a workflow id always routes to the shard
+/// that currently holds it, so `add` with an existing id replaces in place
+/// and never duplicates an id across shards — the invariant scatter-gather
+/// relies on to never return the same workflow twice.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ShardPartition {
+    /// Stateless FNV-1a hash of the workflow id, modulo the shard count.
+    /// Routing needs no lookup table and survives snapshot round-trips by
+    /// construction.
+    HashId,
+    /// New ids are dealt to shards in rotation, keeping shard sizes within
+    /// one of each other; the id → shard assignment is remembered so
+    /// replacements and removals route to the owning shard.
+    RoundRobin,
+}
+
+impl fmt::Display for ShardPartition {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(match self {
+            ShardPartition::HashId => "hash",
+            ShardPartition::RoundRobin => "round-robin",
+        })
+    }
+}
+
+impl ShardPartition {
+    fn parse(token: &str) -> Option<Self> {
+        match token {
+            "hash" => Some(ShardPartition::HashId),
+            "round-robin" => Some(ShardPartition::RoundRobin),
+            _ => None,
+        }
+    }
+}
+
+fn hash_route(id: &WorkflowId, shards: usize) -> usize {
+    (fnv1a64(id.as_str().as_bytes()) % shards as u64) as usize
+}
+
+fn shard_file_name(shard: usize) -> String {
+    format!("shard-{shard:03}.snap")
+}
+
+/// The one manifest header both save paths write and
+/// [`ShardedCorpus::load`] parses — any new field must be added here and
+/// in the parser, never in a per-caller copy.
+fn manifest_line(
+    shards: usize,
+    partition: ShardPartition,
+    next_rr: usize,
+    config: &SimilarityConfig,
+) -> String {
+    format!(
+        "{SHARD_MANIFEST_MAGIC} v{SHARD_MANIFEST_VERSION} shards={shards} partition={partition} next={next_rr} config={}\n",
+        config_fingerprint(config),
+    )
+}
+
+/// A corpus partitioned across N independent shards with scatter-gather
+/// top-k search.
+///
+/// # Invariants
+///
+/// * every shard is a complete [`Corpus`] for the same
+///   [`SimilarityConfig`]; shards share nothing (pool, profiles, index are
+///   per shard);
+/// * a workflow id lives in at most one shard, and always in the shard its
+///   partition routes it to ([`ShardedCorpus::add`] replaces through the
+///   owning shard, never across shards);
+/// * [`ShardedCorpus::search`] results — ids, scores, tie order — are
+///   bit-identical to a single-corpus
+///   [`IndexedSearchEngine`](wf_repo::IndexedSearchEngine) over the union
+///   of all shards, for every shard count and partition.
+///
+/// ```
+/// use wf_model::{builder::WorkflowBuilder, ModuleType};
+/// use wf_sim::{ShardedCorpus, SimilarityConfig};
+///
+/// let wf = |id: &str, label: &str| {
+///     WorkflowBuilder::new(id)
+///         .module(label, ModuleType::WsdlService, |m| m)
+///         .build()
+///         .unwrap()
+/// };
+/// let mut sharded = ShardedCorpus::build(
+///     SimilarityConfig::best_module_sets(),
+///     4,
+///     vec![wf("a", "blast search"), wf("b", "blast align"), wf("c", "plot")],
+/// );
+/// let hits = sharded.search(&"a".into(), 2).unwrap();
+/// assert_eq!(hits[0].id.as_str(), "b");
+/// sharded.remove(&"b".into());
+/// assert_eq!(sharded.len(), 2);
+/// ```
+pub struct ShardedCorpus {
+    config: SimilarityConfig,
+    partition: ShardPartition,
+    shards: Vec<Corpus>,
+    /// Id → owning shard; maintained only for [`ShardPartition::RoundRobin`]
+    /// (hash routing is stateless).
+    routes: BTreeMap<WorkflowId, u32>,
+    /// Next rotation slot for new round-robin ids.
+    next_rr: usize,
+}
+
+impl ShardedCorpus {
+    /// Builds a hash-partitioned corpus of `shard_count` shards (clamped to
+    /// at least 1).  Duplicate ids replace earlier occurrences, exactly
+    /// like [`Corpus::build`].
+    pub fn build(
+        config: SimilarityConfig,
+        shard_count: usize,
+        workflows: impl IntoIterator<Item = Workflow>,
+    ) -> Self {
+        ShardedCorpus::build_with(config, shard_count, ShardPartition::HashId, workflows)
+    }
+
+    /// [`ShardedCorpus::build`] with an explicit partition strategy.
+    pub fn build_with(
+        config: SimilarityConfig,
+        shard_count: usize,
+        partition: ShardPartition,
+        workflows: impl IntoIterator<Item = Workflow>,
+    ) -> Self {
+        let shard_count = shard_count.max(1);
+        // Last-upload-wins dedup in arrival order, as in `Corpus::build`.
+        let mut deduped: Vec<Workflow> = Vec::new();
+        let mut seen: BTreeMap<WorkflowId, usize> = BTreeMap::new();
+        for wf in workflows {
+            match seen.get(&wf.id) {
+                Some(&pos) => deduped[pos] = wf,
+                None => {
+                    seen.insert(wf.id.clone(), deduped.len());
+                    deduped.push(wf);
+                }
+            }
+        }
+        let mut buckets: Vec<Vec<Workflow>> = (0..shard_count).map(|_| Vec::new()).collect();
+        let mut routes = BTreeMap::new();
+        let mut next_rr = 0usize;
+        for wf in deduped {
+            let shard = match partition {
+                ShardPartition::HashId => hash_route(&wf.id, shard_count),
+                ShardPartition::RoundRobin => {
+                    let shard = next_rr % shard_count;
+                    next_rr += 1;
+                    routes.insert(wf.id.clone(), shard as u32);
+                    shard
+                }
+            };
+            buckets[shard].push(wf);
+        }
+        let shards = buckets
+            .into_iter()
+            .map(|bucket| Corpus::build(config.clone(), bucket))
+            .collect();
+        ShardedCorpus {
+            config,
+            partition,
+            shards,
+            routes,
+            next_rr,
+        }
+    }
+
+    /// The configured similarity algorithm (shared by every shard).
+    pub fn config(&self) -> &SimilarityConfig {
+        &self.config
+    }
+
+    /// The algorithm name in the paper's notation.
+    pub fn measure_name(&self) -> String {
+        self.shards[0].measure_name()
+    }
+
+    /// The partition strategy routing ids to shards.
+    pub fn partition(&self) -> ShardPartition {
+        self.partition
+    }
+
+    /// Number of shards (at least 1).
+    pub fn shard_count(&self) -> usize {
+        self.shards.len()
+    }
+
+    /// The shards, in shard order.
+    pub fn shards(&self) -> &[Corpus] {
+        &self.shards
+    }
+
+    /// Total number of workflows across all shards.
+    pub fn len(&self) -> usize {
+        self.shards.iter().map(Corpus::len).sum()
+    }
+
+    /// True when no shard holds a workflow.
+    pub fn is_empty(&self) -> bool {
+        self.shards.iter().all(Corpus::is_empty)
+    }
+
+    /// All workflow ids, shard-major (shard 0's corpus order, then shard
+    /// 1's, …).
+    pub fn ids(&self) -> Vec<WorkflowId> {
+        self.shards
+            .iter()
+            .flat_map(|s| s.ids().iter().cloned())
+            .collect()
+    }
+
+    /// The shard currently holding a workflow id, if resident.
+    pub fn shard_of(&self, id: &WorkflowId) -> Option<usize> {
+        match self.partition {
+            ShardPartition::HashId => {
+                let shard = hash_route(id, self.shards.len());
+                self.shards[shard].index_of(id).map(|_| shard)
+            }
+            ShardPartition::RoundRobin => self.routes.get(id).map(|&s| s as usize),
+        }
+    }
+
+    /// True when the id is resident in some shard.
+    pub fn contains(&self, id: &WorkflowId) -> bool {
+        self.shard_of(id).is_some()
+    }
+
+    /// The original workflow with a given id.
+    pub fn get(&self, id: &WorkflowId) -> Option<&Workflow> {
+        self.shards[self.shard_of(id)?].get(id)
+    }
+
+    /// Inserts a workflow into its owning shard (replacing any resident
+    /// with the same id in place), returning the shard index.  Only that
+    /// shard's pool, profiles and index are touched.
+    pub fn add(&mut self, wf: Workflow) -> usize {
+        let shard = match self.partition {
+            ShardPartition::HashId => hash_route(&wf.id, self.shards.len()),
+            ShardPartition::RoundRobin => match self.routes.get(&wf.id) {
+                Some(&s) => s as usize,
+                None => {
+                    let s = self.next_rr % self.shards.len();
+                    self.next_rr += 1;
+                    self.routes.insert(wf.id.clone(), s as u32);
+                    s
+                }
+            },
+        };
+        self.shards[shard].add(wf);
+        shard
+    }
+
+    /// Removes a workflow from its owning shard, returning it (or `None`
+    /// for an unknown id).
+    pub fn remove(&mut self, id: &WorkflowId) -> Option<Workflow> {
+        let shard = self.shard_of(id)?;
+        let removed = self.shards[shard].remove(id);
+        if removed.is_some() && self.partition == ShardPartition::RoundRobin {
+            self.routes.remove(id);
+        }
+        removed
+    }
+
+    /// The `k` workflows most similar to the resident workflow with id
+    /// `query` (itself excluded), best first; `None` for an unknown id.
+    /// Bit-identical to the single-corpus indexed engine.
+    pub fn search(&self, query: &WorkflowId, k: usize) -> Option<Vec<SearchHit>> {
+        Some(self.search_with_stats(query, k)?.0)
+    }
+
+    /// [`ShardedCorpus::search`] plus pruning instrumentation aggregated
+    /// over all shards.
+    pub fn search_with_stats(
+        &self,
+        query: &WorkflowId,
+        k: usize,
+    ) -> Option<(Vec<SearchHit>, SearchStats)> {
+        let wf = self.get(query)?;
+        let features = self.query_features(wf);
+        Some(self.scatter(&features, query, k))
+    }
+
+    /// Query by example: the `k` workflows most similar to an arbitrary
+    /// (not necessarily resident) workflow.  Residents sharing the query's
+    /// id are excluded, mirroring the single-corpus engines.
+    pub fn search_workflow(&self, wf: &Workflow, k: usize) -> Vec<SearchHit> {
+        let features = self.query_features(wf);
+        self.scatter(&features, &wf.id, k).0
+    }
+
+    /// Answers a batch of queries on `threads` worker threads, fanning the
+    /// per-query scatter out across every (query, shard) pair.  Query
+    /// profiling is amortized: each query's pool-independent features are
+    /// extracted once and only *bound* per shard.  Unknown ids yield
+    /// `None`; results align with `queries` and are individually
+    /// bit-identical to [`ShardedCorpus::search`].
+    pub fn search_batch(
+        &self,
+        queries: &[WorkflowId],
+        k: usize,
+        threads: usize,
+    ) -> Vec<Option<Vec<SearchHit>>> {
+        let prepared: Vec<Option<(QueryFeatures, SearchThreshold)>> = queries
+            .iter()
+            .map(|id| {
+                self.get(id)
+                    .map(|wf| (self.query_features(wf), SearchThreshold::new()))
+            })
+            .collect();
+        let shard_count = self.shards.len();
+        let tasks = queries.len() * shard_count;
+        let workers = threads.max(1).min(tasks);
+        if tasks == 0 {
+            return queries.iter().map(|_| None).collect();
+        }
+        let cursor = AtomicUsize::new(0);
+        let mut parts: Vec<Vec<Vec<SearchHit>>> = (0..queries.len()).map(|_| Vec::new()).collect();
+        let gathered = std::thread::scope(|scope| {
+            let handles: Vec<_> = (0..workers)
+                .map(|_| {
+                    let (cursor, prepared) = (&cursor, &prepared);
+                    scope.spawn(move || {
+                        let mut out: Vec<(usize, Vec<SearchHit>)> = Vec::new();
+                        loop {
+                            let task = cursor.fetch_add(1, Ordering::Relaxed);
+                            if task >= tasks {
+                                return out;
+                            }
+                            let (qi, shard) = (task / shard_count, task % shard_count);
+                            let Some((features, threshold)) = &prepared[qi] else {
+                                continue;
+                            };
+                            let (hits, _) = shard_top_k(
+                                &self.shards[shard],
+                                features,
+                                &queries[qi],
+                                k,
+                                threshold,
+                            );
+                            out.push((qi, hits));
+                        }
+                    })
+                })
+                .collect();
+            handles
+                .into_iter()
+                .flat_map(|h| h.join().expect("batch search worker panicked"))
+                .collect::<Vec<_>>()
+        });
+        for (qi, hits) in gathered {
+            parts[qi].push(hits);
+        }
+        prepared
+            .iter()
+            .zip(parts)
+            .map(|(ready, parts)| ready.as_ref().map(|_| merge_top_k(parts, k)))
+            .collect()
+    }
+
+    /// Extracts the pool-independent query features once (any shard's
+    /// measure works: all shards share one configuration).
+    fn query_features(&self, wf: &Workflow) -> QueryFeatures {
+        self.shards[0].measure().query_features(wf)
+    }
+
+    /// Sequential scatter-gather: shards are visited in order, each seeded
+    /// with the best-k threshold the previous shards established.
+    fn scatter(
+        &self,
+        features: &QueryFeatures,
+        exclude: &WorkflowId,
+        k: usize,
+    ) -> (Vec<SearchHit>, SearchStats) {
+        scatter_gather(self.shards.len(), |i| &self.shards[i], features, exclude, k)
+    }
+
+    /// Writes one snapshot file per shard plus a manifest into `dir`
+    /// (created if absent).  Shard snapshots are the versioned, checksummed
+    /// [`Corpus::save`] format; the manifest records shard count, partition
+    /// and config fingerprint.
+    pub fn save(&self, dir: impl AsRef<Path>) -> io::Result<()> {
+        let dir = dir.as_ref();
+        std::fs::create_dir_all(dir)?;
+        let manifest = manifest_line(
+            self.shards.len(),
+            self.partition,
+            self.next_rr,
+            &self.config,
+        );
+        std::fs::write(dir.join(SHARD_MANIFEST_FILE), manifest)?;
+        for (i, shard) in self.shards.iter().enumerate() {
+            shard.save(dir.join(shard_file_name(i)))?;
+        }
+        Ok(())
+    }
+
+    /// Restores a sharded corpus saved by [`ShardedCorpus::save`].  The
+    /// manifest must carry the current layout version and the fingerprint
+    /// of exactly `config`; every shard snapshot must load intact (each is
+    /// version- and checksum-validated individually), and every restored
+    /// workflow must route to the shard it was found in.  Any violation is
+    /// a typed [`ShardSnapshotError`].
+    pub fn load(
+        dir: impl AsRef<Path>,
+        config: SimilarityConfig,
+    ) -> Result<Self, ShardSnapshotError> {
+        let dir = dir.as_ref();
+        let text = std::fs::read_to_string(dir.join(SHARD_MANIFEST_FILE))
+            .map_err(ShardSnapshotError::Io)?;
+        let header = text.lines().next().unwrap_or_default();
+        let mut parts = header.split(' ');
+        if parts.next() != Some(SHARD_MANIFEST_MAGIC) {
+            return Err(ShardSnapshotError::Manifest(format!(
+                "not a shard manifest: {header:?}"
+            )));
+        }
+        let version = parts.next().unwrap_or_default();
+        if version != format!("v{SHARD_MANIFEST_VERSION}") {
+            return Err(ShardSnapshotError::Manifest(format!(
+                "manifest version {version} != supported v{SHARD_MANIFEST_VERSION}"
+            )));
+        }
+        let mut field = |name: &str| {
+            parts
+                .next()
+                .and_then(|f| f.strip_prefix(name).map(str::to_string))
+                .ok_or_else(|| ShardSnapshotError::Manifest(format!("missing {name}<value>")))
+        };
+        let shard_count: usize = field("shards=")?
+            .parse()
+            .map_err(|_| ShardSnapshotError::Manifest("malformed shard count".to_string()))?;
+        if shard_count == 0 {
+            return Err(ShardSnapshotError::Manifest(
+                "manifest declares zero shards".to_string(),
+            ));
+        }
+        let partition = ShardPartition::parse(&field("partition=")?).ok_or_else(|| {
+            ShardSnapshotError::Manifest("unknown partition strategy".to_string())
+        })?;
+        let next_rr: usize = field("next=")?
+            .parse()
+            .map_err(|_| ShardSnapshotError::Manifest("malformed rotation cursor".to_string()))?;
+        let fingerprint = field("config=")?;
+        let expected = config_fingerprint(&config);
+        if fingerprint != expected {
+            return Err(ShardSnapshotError::ConfigMismatch {
+                expected,
+                found: fingerprint,
+            });
+        }
+        let mut shards = Vec::with_capacity(shard_count);
+        for i in 0..shard_count {
+            shards.push(
+                Corpus::load(dir.join(shard_file_name(i)), config.clone())
+                    .map_err(|error| ShardSnapshotError::Shard { shard: i, error })?,
+            );
+        }
+        let mut routes = BTreeMap::new();
+        for (i, shard) in shards.iter().enumerate() {
+            for id in shard.ids() {
+                match partition {
+                    ShardPartition::HashId => {
+                        let expected = hash_route(id, shard_count);
+                        if expected != i {
+                            return Err(ShardSnapshotError::Manifest(format!(
+                                "workflow {id} found in shard {i} but hashes to shard {expected}"
+                            )));
+                        }
+                    }
+                    ShardPartition::RoundRobin => {
+                        if let Some(previous) = routes.insert(id.clone(), i as u32) {
+                            return Err(ShardSnapshotError::Manifest(format!(
+                                "workflow {id} found in both shard {previous} and shard {i}"
+                            )));
+                        }
+                    }
+                }
+            }
+        }
+        Ok(ShardedCorpus {
+            config,
+            partition,
+            shards,
+            routes,
+            next_rr,
+        })
+    }
+
+    /// Loads the sharded snapshot in `dir` if it is present, intact and
+    /// matches `config`; otherwise builds a fresh sharded corpus from
+    /// `workflows`.  The origin says which happened (and why a rebuild was
+    /// needed), so servers can log and re-save.
+    pub fn load_or_build(
+        dir: impl AsRef<Path>,
+        config: SimilarityConfig,
+        shard_count: usize,
+        partition: ShardPartition,
+        workflows: impl IntoIterator<Item = Workflow>,
+    ) -> (Self, ShardOrigin) {
+        match ShardedCorpus::load(dir, config.clone()) {
+            Ok(sharded) => (sharded, ShardOrigin::Snapshot),
+            Err(reason) => (
+                ShardedCorpus::build_with(config, shard_count, partition, workflows),
+                ShardOrigin::Rebuilt(reason),
+            ),
+        }
+    }
+}
+
+/// How [`ShardedCorpus::load_or_build`] obtained its corpus.
+#[derive(Debug)]
+pub enum ShardOrigin {
+    /// Every shard was deserialized from an intact, matching snapshot.
+    Snapshot,
+    /// Rebuilt from the workflows because the sharded snapshot was
+    /// unusable.
+    Rebuilt(ShardSnapshotError),
+}
+
+impl ShardOrigin {
+    /// True when the corpus came out of a snapshot.
+    pub fn is_snapshot(&self) -> bool {
+        matches!(self, ShardOrigin::Snapshot)
+    }
+}
+
+/// Why a sharded snapshot could not be loaded.
+#[derive(Debug)]
+pub enum ShardSnapshotError {
+    /// The manifest file could not be read.
+    Io(io::Error),
+    /// The manifest is malformed, has the wrong version, or contradicts
+    /// the shard files (e.g. a workflow filed in a shard it does not route
+    /// to).
+    Manifest(String),
+    /// The manifest was written for a different similarity configuration.
+    ConfigMismatch {
+        /// Fingerprint of the requested configuration.
+        expected: String,
+        /// Fingerprint recorded in the manifest.
+        found: String,
+    },
+    /// One shard snapshot failed to load.
+    Shard {
+        /// Index of the failing shard.
+        shard: usize,
+        /// Why its snapshot was rejected.
+        error: SnapshotError,
+    },
+}
+
+impl fmt::Display for ShardSnapshotError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ShardSnapshotError::Io(e) => write!(f, "cannot read shard manifest: {e}"),
+            ShardSnapshotError::Manifest(why) => write!(f, "malformed shard manifest: {why}"),
+            ShardSnapshotError::ConfigMismatch { expected, found } => {
+                write!(
+                    f,
+                    "sharded snapshot built for {found}, requested {expected}"
+                )
+            }
+            ShardSnapshotError::Shard { shard, error } => {
+                write!(f, "shard {shard}: {error}")
+            }
+        }
+    }
+}
+
+impl Error for ShardSnapshotError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            ShardSnapshotError::Shard { error, .. } => Some(error),
+            ShardSnapshotError::Io(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+/// The per-shard half of a scatter-gather search: bind the query features
+/// to this shard's pool, rank this shard's candidates best-bound-first, and
+/// score them until the shared threshold proves the rest irrelevant.
+///
+/// Exactness mirrors [`wf_repo::IndexedSearchEngine`]: bounds are
+/// admissible, pruning is strictly-below-the-floor only, and a zero bound
+/// pins the score to exactly 0 without running the measure.
+fn shard_top_k(
+    shard: &Corpus,
+    features: &QueryFeatures,
+    exclude: &WorkflowId,
+    k: usize,
+    threshold: &SearchThreshold,
+) -> (Vec<SearchHit>, SearchStats) {
+    let measure: &ProfiledMeasure = shard.measure();
+    let query: WorkflowProfile = measure.bind_query(features);
+    let overlaps = shard
+        .token_index()
+        .overlap_counts(query.label_tokens().ids());
+    let mut stats = SearchStats::default();
+    let mut candidates: Vec<RankedCandidate> = Vec::with_capacity(measure.len());
+    for (index, &overlap) in overlaps.iter().enumerate() {
+        if measure.ids()[index] == *exclude {
+            continue;
+        }
+        if overlap > 0 {
+            stats.shared_token_candidates += 1;
+        }
+        let bound = measure
+            .upper_bound_profile(&query, index)
+            .unwrap_or(f64::INFINITY);
+        candidates.push(RankedCandidate {
+            index,
+            bound,
+            overlap,
+        });
+    }
+    stats.candidates = candidates.len();
+    sort_best_bound_first(&mut candidates);
+    let hits = scan_ranked_candidates(
+        candidates.iter(),
+        candidates.len(),
+        k,
+        threshold,
+        &mut stats,
+        |i| measure.score_profile(&query, i),
+        |i| measure.ids()[i].clone(),
+    );
+    (hits, stats)
+}
+
+/// The one scatter-gather loop every search entry point uses: visit each
+/// shard (however the caller materializes it — owned slice or per-shard
+/// read lock), scan it against the shared threshold, and gather the
+/// per-shard winners through [`merge_top_k`].
+fn scatter_gather<R: std::ops::Deref<Target = Corpus>>(
+    shard_count: usize,
+    mut shard_at: impl FnMut(usize) -> R,
+    features: &QueryFeatures,
+    exclude: &WorkflowId,
+    k: usize,
+) -> (Vec<SearchHit>, SearchStats) {
+    let threshold = SearchThreshold::new();
+    let mut stats = SearchStats::default();
+    let mut parts = Vec::with_capacity(shard_count);
+    for shard in 0..shard_count {
+        let shard = shard_at(shard);
+        let (hits, shard_stats) = shard_top_k(&shard, features, exclude, k, &threshold);
+        stats.merge(&shard_stats);
+        parts.push(hits);
+    }
+    (merge_top_k(parts, k), stats)
+}
+
+/// A concurrent serving wrapper around a [`ShardedCorpus`]: one `RwLock`
+/// per shard, so any number of searches proceed in parallel and churn
+/// (`add` / `remove`) only write-locks the single shard owning the id.
+///
+/// # Invariants and consistency model
+///
+/// * Routing is fixed at construction (partition + shard count); churn
+///   never migrates a workflow between shards, so an id has exactly one
+///   owner lock.
+/// * Locks are held briefly and per shard: a search read-locks the owner
+///   to extract query features, then read-locks each shard only while that
+///   shard is scanned.  A search concurrent with churn therefore sees each
+///   shard **as of the instant that shard is visited**: every returned id
+///   was resident at that instant, and a workflow removed (or added)
+///   *before* the search started is guaranteed excluded (or visible) — the
+///   churn invariant the stress tests assert.
+/// * On a quiescent corpus, results are bit-identical to
+///   [`ShardedCorpus::search`] and hence to the single-corpus engine.
+pub struct CorpusService {
+    config: SimilarityConfig,
+    partition: ShardPartition,
+    shards: Vec<RwLock<Corpus>>,
+    /// Round-robin routing state: id → shard plus the rotation cursor
+    /// (unused, but kept consistent, for hash partitions).
+    routes: Mutex<(BTreeMap<WorkflowId, u32>, usize)>,
+    threads: usize,
+}
+
+impl CorpusService {
+    /// Wraps a built sharded corpus for concurrent serving.
+    pub fn new(sharded: ShardedCorpus) -> Self {
+        CorpusService {
+            config: sharded.config,
+            partition: sharded.partition,
+            shards: sharded.shards.into_iter().map(RwLock::new).collect(),
+            routes: Mutex::new((sharded.routes, sharded.next_rr)),
+            threads: 4,
+        }
+    }
+
+    /// Sets the number of worker threads for
+    /// [`CorpusService::search_batch`] (at least 1).
+    pub fn with_threads(mut self, threads: usize) -> Self {
+        self.threads = threads.max(1);
+        self
+    }
+
+    /// Unwraps the service back into the single-owner [`ShardedCorpus`].
+    pub fn into_sharded(self) -> ShardedCorpus {
+        let (routes, next_rr) = self.routes.into_inner().expect("route state poisoned");
+        ShardedCorpus {
+            config: self.config,
+            partition: self.partition,
+            shards: self
+                .shards
+                .into_iter()
+                .map(|lock| lock.into_inner().expect("shard lock poisoned"))
+                .collect(),
+            routes,
+            next_rr,
+        }
+    }
+
+    /// The configured similarity algorithm.
+    pub fn config(&self) -> &SimilarityConfig {
+        &self.config
+    }
+
+    /// Number of shards.
+    pub fn shard_count(&self) -> usize {
+        self.shards.len()
+    }
+
+    /// Total workflows across shards (each shard counted at the instant
+    /// its lock is taken).
+    pub fn len(&self) -> usize {
+        self.shards.iter().map(|s| self.read(s).len()).sum()
+    }
+
+    /// True when every shard is empty.
+    pub fn is_empty(&self) -> bool {
+        self.shards.iter().all(|s| self.read(s).is_empty())
+    }
+
+    /// True when the id is resident.
+    pub fn contains(&self, id: &WorkflowId) -> bool {
+        match self.owner_of(id) {
+            Some(shard) => self.read(&self.shards[shard]).index_of(id).is_some(),
+            None => false,
+        }
+    }
+
+    fn read<'a>(&self, lock: &'a RwLock<Corpus>) -> RwLockReadGuard<'a, Corpus> {
+        lock.read().expect("shard lock poisoned")
+    }
+
+    /// The shard an id routes to (`None` only for round-robin ids never
+    /// seen).
+    fn owner_of(&self, id: &WorkflowId) -> Option<usize> {
+        match self.partition {
+            ShardPartition::HashId => Some(hash_route(id, self.shards.len())),
+            ShardPartition::RoundRobin => {
+                let routes = self.routes.lock().expect("route state poisoned");
+                routes.0.get(id).map(|&s| s as usize)
+            }
+        }
+    }
+
+    /// Inserts (or replaces) a workflow, write-locking only the owning
+    /// shard.  Returns the shard index.
+    ///
+    /// Round-robin routing holds the route lock *across* the shard write
+    /// (lock order: routes, then shard — the same as
+    /// [`CorpusService::remove`]): releasing it between assignment and
+    /// insertion would let a concurrent remove of the same id observe the
+    /// route before the workflow exists, or delete the route while the
+    /// insertion is in flight, stranding a resident without a route.
+    pub fn add(&self, wf: Workflow) -> usize {
+        match self.partition {
+            ShardPartition::HashId => {
+                let shard = hash_route(&wf.id, self.shards.len());
+                self.shards[shard]
+                    .write()
+                    .expect("shard lock poisoned")
+                    .add(wf);
+                shard
+            }
+            ShardPartition::RoundRobin => {
+                let mut routes = self.routes.lock().expect("route state poisoned");
+                let shard = match routes.0.get(&wf.id) {
+                    Some(&s) => s as usize,
+                    None => {
+                        let s = routes.1 % self.shards.len();
+                        routes.1 += 1;
+                        routes.0.insert(wf.id.clone(), s as u32);
+                        s
+                    }
+                };
+                self.shards[shard]
+                    .write()
+                    .expect("shard lock poisoned")
+                    .add(wf);
+                shard
+            }
+        }
+    }
+
+    /// Removes a workflow by id, write-locking only the owning shard.
+    ///
+    /// Round-robin routing mutates the route map and the shard under one
+    /// route lock (routes, then shard — matching [`CorpusService::add`]),
+    /// so the "id resident ⇔ id routed" invariant holds at every instant
+    /// another thread can observe.
+    pub fn remove(&self, id: &WorkflowId) -> Option<Workflow> {
+        match self.partition {
+            ShardPartition::HashId => {
+                let shard = hash_route(id, self.shards.len());
+                self.shards[shard]
+                    .write()
+                    .expect("shard lock poisoned")
+                    .remove(id)
+            }
+            ShardPartition::RoundRobin => {
+                let mut routes = self.routes.lock().expect("route state poisoned");
+                let shard = *routes.0.get(id)? as usize;
+                let removed = self.shards[shard]
+                    .write()
+                    .expect("shard lock poisoned")
+                    .remove(id);
+                if removed.is_some() {
+                    routes.0.remove(id);
+                }
+                removed
+            }
+        }
+    }
+
+    /// Scatter-gather top-k for a resident query id; `None` when the id is
+    /// not resident at the time the owning shard is read.  Proceeds
+    /// concurrently with searches on every shard and with churn on other
+    /// shards.
+    pub fn search(&self, query: &WorkflowId, k: usize) -> Option<Vec<SearchHit>> {
+        let owner = self.owner_of(query)?;
+        let features = {
+            let shard = self.read(&self.shards[owner]);
+            let wf = shard.get(query)?;
+            shard.measure().query_features(wf)
+        };
+        let (hits, _) = scatter_gather(
+            self.shards.len(),
+            |i| self.read(&self.shards[i]),
+            &features,
+            query,
+            k,
+        );
+        Some(hits)
+    }
+
+    /// Query by example over the live corpus (residents sharing the
+    /// query's id are excluded).
+    pub fn search_workflow(&self, wf: &Workflow, k: usize) -> Vec<SearchHit> {
+        let features = self.read(&self.shards[0]).measure().query_features(wf);
+        scatter_gather(
+            self.shards.len(),
+            |i| self.read(&self.shards[i]),
+            &features,
+            &wf.id,
+            k,
+        )
+        .0
+    }
+
+    /// Answers a batch of queries on the service's worker threads, each
+    /// query running a full scatter-gather concurrently with the others
+    /// (and with any churn).  Results align with `queries`.
+    pub fn search_batch(&self, queries: &[WorkflowId], k: usize) -> Vec<Option<Vec<SearchHit>>> {
+        if queries.is_empty() {
+            return Vec::new();
+        }
+        let workers = self.threads.min(queries.len());
+        let cursor = AtomicUsize::new(0);
+        let mut results: Vec<Option<Vec<SearchHit>>> = vec![None; queries.len()];
+        let gathered = std::thread::scope(|scope| {
+            let handles: Vec<_> = (0..workers)
+                .map(|_| {
+                    let cursor = &cursor;
+                    scope.spawn(move || {
+                        let mut out = Vec::new();
+                        loop {
+                            let qi = cursor.fetch_add(1, Ordering::Relaxed);
+                            if qi >= queries.len() {
+                                return out;
+                            }
+                            out.push((qi, self.search(&queries[qi], k)));
+                        }
+                    })
+                })
+                .collect();
+            handles
+                .into_iter()
+                .flat_map(|h| h.join().expect("batch search worker panicked"))
+                .collect::<Vec<_>>()
+        });
+        for (qi, hits) in gathered {
+            results[qi] = hits;
+        }
+        results
+    }
+
+    /// Persists the live corpus as a sharded snapshot: the manifest plus
+    /// one snapshot per shard, each shard serialized under its read lock
+    /// (a save concurrent with churn is per-shard consistent).
+    pub fn save(&self, dir: impl AsRef<Path>) -> io::Result<()> {
+        let dir: PathBuf = dir.as_ref().to_path_buf();
+        std::fs::create_dir_all(&dir)?;
+        let next_rr = self.routes.lock().expect("route state poisoned").1;
+        let manifest = manifest_line(self.shards.len(), self.partition, next_rr, &self.config);
+        std::fs::write(dir.join(SHARD_MANIFEST_FILE), manifest)?;
+        for (i, lock) in self.shards.iter().enumerate() {
+            self.read(lock).save(dir.join(shard_file_name(i)))?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use wf_model::{builder::WorkflowBuilder, ModuleType};
+
+    fn wf(id: &str, labels: &[&str]) -> Workflow {
+        let mut b = WorkflowBuilder::new(id)
+            .title(format!("workflow {id}"))
+            .tag("test");
+        for l in labels {
+            b = b.module(*l, ModuleType::WsdlService, |m| m);
+        }
+        for pair in labels.windows(2) {
+            b = b.link(pair[0], pair[1]);
+        }
+        b.build().unwrap()
+    }
+
+    fn sample() -> Vec<Workflow> {
+        vec![
+            wf("a", &["fetch sequence", "run blast", "render report"]),
+            wf("b", &["fetch sequence", "run blast", "plot hits"]),
+            wf("c", &["parse tree", "cluster genes"]),
+            wf("d", &["parse tree", "cluster genes", "plot hits"]),
+            wf("e", &[]),
+            wf("f", &["run blast"]),
+        ]
+    }
+
+    fn config() -> SimilarityConfig {
+        SimilarityConfig::best_module_sets()
+    }
+
+    fn assert_matches_single(sharded: &ShardedCorpus, what: &str) {
+        let single = Corpus::build(config(), sharded_workflows(sharded));
+        for id in sharded.ids() {
+            for k in [0, 2, 10] {
+                let expected = single.top_k(&id, k).expect("resident in single corpus");
+                assert_eq!(
+                    sharded.search(&id, k).expect("resident in shards"),
+                    expected,
+                    "{what}: query {id}, k {k}"
+                );
+            }
+        }
+    }
+
+    fn sharded_workflows(sharded: &ShardedCorpus) -> Vec<Workflow> {
+        sharded
+            .ids()
+            .iter()
+            .map(|id| sharded.get(id).unwrap().clone())
+            .collect()
+    }
+
+    #[test]
+    fn build_routes_every_workflow_to_exactly_one_shard() {
+        for partition in [ShardPartition::HashId, ShardPartition::RoundRobin] {
+            let sharded = ShardedCorpus::build_with(config(), 3, partition, sample());
+            assert_eq!(sharded.len(), 6, "{partition}");
+            assert_eq!(sharded.shard_count(), 3);
+            for id in sharded.ids() {
+                let owner = sharded.shard_of(&id).expect("resident");
+                let holders = sharded
+                    .shards()
+                    .iter()
+                    .filter(|s| s.index_of(&id).is_some())
+                    .count();
+                assert_eq!(holders, 1, "{partition}: {id}");
+                assert!(sharded.shards()[owner].index_of(&id).is_some());
+            }
+            assert!(sharded.contains(&"a".into()));
+            assert!(!sharded.contains(&"zzz".into()));
+            assert_eq!(sharded.get(&"c".into()).unwrap().module_count(), 2);
+        }
+    }
+
+    #[test]
+    fn round_robin_keeps_shards_balanced() {
+        let sharded = ShardedCorpus::build_with(config(), 4, ShardPartition::RoundRobin, sample());
+        let sizes: Vec<usize> = sharded.shards().iter().map(Corpus::len).collect();
+        assert_eq!(sizes.iter().sum::<usize>(), 6);
+        assert!(sizes.iter().all(|&s| s == 1 || s == 2), "{sizes:?}");
+    }
+
+    #[test]
+    fn zero_shard_count_is_clamped_to_one() {
+        let sharded = ShardedCorpus::build(config(), 0, sample());
+        assert_eq!(sharded.shard_count(), 1);
+        assert_eq!(sharded.len(), 6);
+    }
+
+    #[test]
+    fn duplicate_build_ids_replace_like_a_single_corpus() {
+        let mut workflows = sample();
+        workflows.push(wf("b", &["totally different"]));
+        let sharded = ShardedCorpus::build(config(), 3, workflows);
+        assert_eq!(sharded.len(), 6);
+        assert_eq!(sharded.get(&"b".into()).unwrap().module_count(), 1);
+    }
+
+    #[test]
+    fn search_matches_the_single_corpus_engine_for_every_partition() {
+        for shards in [1, 2, 4, 8] {
+            for partition in [ShardPartition::HashId, ShardPartition::RoundRobin] {
+                let sharded = ShardedCorpus::build_with(config(), shards, partition, sample());
+                assert_matches_single(&sharded, &format!("{shards} shards, {partition}"));
+            }
+        }
+    }
+
+    #[test]
+    fn unknown_query_ids_are_none_and_k0_is_empty() {
+        let sharded = ShardedCorpus::build(config(), 2, sample());
+        assert!(sharded.search(&"zzz".into(), 3).is_none());
+        assert_eq!(sharded.search(&"a".into(), 0).unwrap(), Vec::new());
+        let (_, stats) = sharded.search_with_stats(&"a".into(), 3).unwrap();
+        assert_eq!(stats.candidates, 5, "all non-query residents considered");
+    }
+
+    #[test]
+    fn churn_routes_through_owning_shards() {
+        for partition in [ShardPartition::HashId, ShardPartition::RoundRobin] {
+            let mut sharded = ShardedCorpus::build_with(config(), 3, partition, sample());
+            assert!(sharded.remove(&"b".into()).is_some());
+            assert!(sharded.remove(&"b".into()).is_none());
+            assert_eq!(sharded.len(), 5);
+            let shard = sharded.add(wf("g", &["run blast", "plot hits"]));
+            assert_eq!(sharded.shard_of(&"g".into()), Some(shard));
+            // Replacement stays in the owning shard.
+            let again = sharded.add(wf("g", &["parse tree"]));
+            assert_eq!(shard, again, "{partition}");
+            assert_eq!(sharded.len(), 6);
+            assert_eq!(sharded.get(&"g".into()).unwrap().module_count(), 1);
+            assert_matches_single(&sharded, &format!("churned, {partition}"));
+        }
+    }
+
+    #[test]
+    fn search_workflow_answers_external_queries() {
+        let sharded = ShardedCorpus::build(config(), 3, sample());
+        // A non-resident query scores against everything...
+        let external = wf("external", &["run blast", "render report"]);
+        let hits = sharded.search_workflow(&external, sharded.len());
+        assert_eq!(hits.len(), 6);
+        assert!(hits.iter().all(|h| h.id.as_str() != "external"));
+        // ... and a resident's workflow reproduces the by-id search.
+        let resident = sharded.get(&"a".into()).unwrap().clone();
+        assert_eq!(
+            sharded.search_workflow(&resident, 3),
+            sharded.search(&"a".into(), 3).unwrap()
+        );
+    }
+
+    #[test]
+    fn search_batch_matches_sequential_search() {
+        let sharded = ShardedCorpus::build(config(), 4, sample());
+        let mut queries: Vec<WorkflowId> = sharded.ids();
+        queries.push("zzz".into());
+        for threads in [1, 3, 16] {
+            let batch = sharded.search_batch(&queries, 3, threads);
+            assert_eq!(batch.len(), queries.len());
+            for (query, hits) in queries.iter().zip(&batch) {
+                assert_eq!(
+                    hits.as_ref(),
+                    sharded.search(query, 3).as_ref(),
+                    "threads {threads}, query {query}"
+                );
+            }
+        }
+        assert!(sharded.search_batch(&[], 3, 4).is_empty());
+    }
+
+    #[test]
+    fn sharded_snapshot_roundtrips_including_empty_shards() {
+        let dir = std::env::temp_dir().join("wfsim-shard-snapshot-test");
+        let _ = std::fs::remove_dir_all(&dir);
+        // Round-robin over more shards than workflows forces empty shards.
+        let sharded = ShardedCorpus::build_with(
+            config(),
+            5,
+            ShardPartition::RoundRobin,
+            sample().into_iter().take(3),
+        );
+        assert!(sharded.shards().iter().any(Corpus::is_empty));
+        sharded.save(&dir).unwrap();
+        let restored = ShardedCorpus::load(&dir, config()).unwrap();
+        assert_eq!(restored.shard_count(), 5);
+        assert_eq!(restored.partition(), ShardPartition::RoundRobin);
+        assert_eq!(restored.ids(), sharded.ids());
+        for id in sharded.ids() {
+            assert_eq!(
+                restored.search(&id, 3).unwrap(),
+                sharded.search(&id, 3).unwrap(),
+                "query {id}"
+            );
+        }
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn sharded_snapshot_rejects_mismatches_with_typed_errors() {
+        let dir = std::env::temp_dir().join("wfsim-shard-snapshot-errors");
+        let _ = std::fs::remove_dir_all(&dir);
+        let sharded = ShardedCorpus::build(config(), 2, sample());
+        sharded.save(&dir).unwrap();
+
+        assert!(matches!(
+            ShardedCorpus::load(&dir, SimilarityConfig::bag_of_words()),
+            Err(ShardSnapshotError::ConfigMismatch { .. })
+        ));
+
+        // Corrupt one shard body: the per-shard checksum catches it.
+        let shard_path = dir.join(shard_file_name(1));
+        let text = std::fs::read_to_string(&shard_path).unwrap();
+        std::fs::write(&shard_path, text.replace("\"id\"", "\"ID\"")).unwrap();
+        assert!(matches!(
+            ShardedCorpus::load(&dir, config()),
+            Err(ShardSnapshotError::Shard {
+                shard: 1,
+                error: SnapshotError::ChecksumMismatch
+            })
+        ));
+
+        // load_or_build falls back to a clean rebuild.
+        let (rebuilt, origin) =
+            ShardedCorpus::load_or_build(&dir, config(), 2, ShardPartition::HashId, sample());
+        assert!(matches!(origin, ShardOrigin::Rebuilt(_)));
+        assert!(!origin.is_snapshot());
+        assert_eq!(rebuilt.len(), 6);
+
+        // A missing manifest and a garbage manifest are typed, too.
+        std::fs::write(dir.join(SHARD_MANIFEST_FILE), "junk manifest\n").unwrap();
+        assert!(matches!(
+            ShardedCorpus::load(&dir, config()),
+            Err(ShardSnapshotError::Manifest(_))
+        ));
+        let _ = std::fs::remove_dir_all(&dir);
+        assert!(matches!(
+            ShardedCorpus::load(&dir, config()),
+            Err(ShardSnapshotError::Io(_))
+        ));
+    }
+
+    #[test]
+    fn service_serves_searches_and_churn_through_locks() {
+        let service =
+            CorpusService::new(ShardedCorpus::build(config(), 3, sample())).with_threads(4);
+        assert_eq!(service.shard_count(), 3);
+        assert_eq!(service.len(), 6);
+        assert!(!service.is_empty());
+        assert!(service.contains(&"a".into()));
+
+        let sharded_ref = ShardedCorpus::build(config(), 3, sample());
+        for id in sharded_ref.ids() {
+            assert_eq!(
+                service.search(&id, 4).unwrap(),
+                sharded_ref.search(&id, 4).unwrap(),
+                "quiescent service must equal the sharded corpus"
+            );
+        }
+        let queries: Vec<WorkflowId> = sharded_ref.ids();
+        let batch = service.search_batch(&queries, 4);
+        for (query, hits) in queries.iter().zip(&batch) {
+            assert_eq!(hits.as_ref(), sharded_ref.search(query, 4).as_ref());
+        }
+
+        service.remove(&"b".into());
+        assert!(!service.contains(&"b".into()));
+        assert!(service.search(&"b".into(), 2).is_none());
+        service.add(wf("g", &["run blast"]));
+        assert_eq!(service.len(), 6);
+        let external = service.search_workflow(&wf("probe", &["run blast"]), 2);
+        assert_eq!(external.len(), 2);
+
+        // Round-trip service → sharded keeps contents.
+        let back = service.into_sharded();
+        assert_eq!(back.len(), 6);
+        assert!(back.contains(&"g".into()));
+    }
+
+    #[test]
+    fn service_save_writes_a_loadable_sharded_snapshot() {
+        let dir = std::env::temp_dir().join("wfsim-service-snapshot-test");
+        let _ = std::fs::remove_dir_all(&dir);
+        let service = CorpusService::new(ShardedCorpus::build_with(
+            config(),
+            2,
+            ShardPartition::RoundRobin,
+            sample(),
+        ));
+        service.add(wf("g", &["run blast"]));
+        service.save(&dir).unwrap();
+        let restored = ShardedCorpus::load(&dir, config()).unwrap();
+        assert_eq!(restored.len(), 7);
+        assert!(restored.contains(&"g".into()));
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}

@@ -94,6 +94,67 @@ impl StringPool {
     }
 }
 
+/// Resolves tokens against a *frozen* [`StringPool`] without mutating it.
+///
+/// Known tokens map to their interned pool ids; unknown tokens are assigned
+/// fresh ephemeral ids past the end of the pool (`pool.len() + i`, in
+/// first-occurrence order), shared across every `resolve_set` call on the
+/// same interner.  The resulting [`TokenIdSet`]s compare against any set
+/// interned in the pool exactly as if the tokens had been interned mutably:
+/// equal strings share an id, distinct strings never collide — so
+/// intersection counts, set sizes, and therefore every Jaccard value are
+/// bit-identical.  This is the query-side interning of a sharded corpus: a
+/// search must profile its query against each shard's pool while concurrent
+/// readers share that pool immutably.
+pub struct FrozenInterner<'p> {
+    pool: &'p StringPool,
+    fresh: BTreeMap<String, u32>,
+}
+
+impl<'p> FrozenInterner<'p> {
+    /// A resolver over a frozen pool.
+    pub fn new(pool: &'p StringPool) -> Self {
+        FrozenInterner {
+            pool,
+            fresh: BTreeMap::new(),
+        }
+    }
+
+    /// The id of a token: its pool id if interned, otherwise a stable
+    /// ephemeral id shared by every later occurrence on this interner.
+    pub fn resolve(&mut self, token: &str) -> u32 {
+        if let Some(id) = self.pool.lookup(token) {
+            return id;
+        }
+        if let Some(&id) = self.fresh.get(token) {
+            return id;
+        }
+        let id = (self.pool.len() + self.fresh.len()) as u32;
+        self.fresh.insert(token.to_string(), id);
+        id
+    }
+
+    /// [`StringPool::intern_set`] against the frozen pool: the distinct
+    /// resolved ids, sorted ascending.
+    pub fn resolve_set<I, S>(&mut self, tokens: I) -> TokenIdSet
+    where
+        I: IntoIterator<Item = S>,
+        S: AsRef<str>,
+    {
+        TokenIdSet::from_ids(
+            tokens
+                .into_iter()
+                .map(|t| self.resolve(t.as_ref()))
+                .collect(),
+        )
+    }
+
+    /// Number of tokens not found in the underlying pool so far.
+    pub fn fresh_count(&self) -> usize {
+        self.fresh.len()
+    }
+}
+
 /// A set of interned token ids, stored sorted and deduplicated.
 ///
 /// The serde representation is the sorted id vector itself; deserialization
@@ -247,6 +308,37 @@ mod tests {
             let sb = pool.intern_set(tb.iter());
             assert!(sa.jaccard_size_bound(&sb) + 1e-12 >= sa.jaccard(&sb));
         }
+    }
+
+    #[test]
+    fn frozen_interner_matches_mutable_interning_without_touching_the_pool() {
+        let mut pool = StringPool::new();
+        let resident = pool.intern_set(["blast", "search", "protein"]);
+        let pool_len = pool.len();
+
+        // A mutable clone is the reference for what interning *would* do.
+        let mut reference_pool = pool.clone();
+        let reference = reference_pool.intern_set(["blast", "kegg", "pathway", "kegg"]);
+
+        let mut frozen = FrozenInterner::new(&pool);
+        let resolved = frozen.resolve_set(["blast", "kegg", "pathway", "kegg"]);
+        assert_eq!(pool.len(), pool_len, "frozen resolution must not intern");
+        assert_eq!(frozen.fresh_count(), 2);
+        assert_eq!(resolved.len(), reference.len());
+        assert_eq!(
+            resolved.intersection_len(&resident),
+            reference.intersection_len(&resident)
+        );
+        assert_eq!(resolved.jaccard(&resident), reference.jaccard(&resident));
+
+        // Fresh ids are stable across later calls on the same interner.
+        let again = frozen.resolve_set(["kegg"]);
+        assert_eq!(again.intersection_len(&resolved), 1);
+        // ... and never collide with pool ids.
+        assert!(resolved
+            .ids()
+            .iter()
+            .all(|&id| { pool.resolve(id).is_some() || id as usize >= pool_len }));
     }
 
     #[test]

@@ -92,3 +92,9 @@ pub use wf_corpus as corpus;
 /// once and consumed by search, clustering and the experiment binaries,
 /// with incremental `add`/`remove` and snapshot persistence.
 pub use wf_sim::Corpus;
+
+/// The sharded serving layer: a corpus partitioned across independent
+/// shards with bit-identical scatter-gather top-k, per-shard snapshots
+/// behind one manifest, and a `RwLock`-per-shard concurrent service
+/// ([`CorpusService`]) with batch queries.
+pub use wf_sim::{CorpusService, ShardPartition, ShardedCorpus};

@@ -5,7 +5,7 @@
 use wfsim::cluster::PairwiseSimilarities;
 use wfsim::corpus::{generate_taverna_corpus, TavernaCorpusConfig};
 use wfsim::sim::SimilarityConfig;
-use wfsim::Corpus;
+use wfsim::{Corpus, CorpusService, ShardedCorpus};
 
 #[test]
 fn corpus_layer_is_wired_through_the_facade() {
@@ -32,4 +32,27 @@ fn corpus_layer_is_wired_through_the_facade() {
     let a = PairwiseSimilarities::compute_profiled(&corpus);
     let b = PairwiseSimilarities::compute_profiled(&restored);
     assert_eq!(a, b);
+}
+
+#[test]
+fn sharded_service_is_wired_through_the_facade() {
+    let (workflows, _) = generate_taverna_corpus(&TavernaCorpusConfig::small(30, 13));
+    let single = Corpus::build(SimilarityConfig::best_module_sets(), workflows.clone());
+    let sharded = ShardedCorpus::build(SimilarityConfig::best_module_sets(), 4, workflows);
+    assert_eq!(sharded.len(), 30);
+
+    // Scatter-gather equals the single-corpus engine through the facade.
+    let query = single.ids()[7].clone();
+    let expected = single.top_k(&query, 5).expect("resident");
+    assert_eq!(sharded.search(&query, 5).expect("resident"), expected);
+
+    // The concurrent service answers the same and takes churn.
+    let service = CorpusService::new(sharded).with_threads(2);
+    assert_eq!(service.search(&query, 5).expect("resident"), expected);
+    let victim = single.ids()[0].clone();
+    assert!(service.remove(&victim).is_some());
+    assert_eq!(service.len(), 29);
+    let batch = service.search_batch(&[query.clone(), victim.clone()], 5);
+    assert!(batch[0].is_some());
+    assert!(batch[1].is_none(), "removed ids stop resolving");
 }
