@@ -1,0 +1,64 @@
+//! The workspace lint pass, as a CI-runnable binary.
+//!
+//! ```text
+//! cargo run -p wf-analyze --bin wfsim_lint [--rules] [root]
+//! ```
+//!
+//! Walks `src/` and every `crates/*/src/` under `root` (default: the
+//! current directory, so `cargo run` from the workspace root just works),
+//! prints one `file:line: rule: message` diagnostic per violation, and
+//! exits non-zero if there were any.  `--rules` prints the rule table
+//! instead.
+
+#![deny(unsafe_code)]
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+use wf_analyze::{lint_workspace, RULES};
+
+fn main() -> ExitCode {
+    let mut root: Option<PathBuf> = None;
+    for arg in std::env::args().skip(1) {
+        match arg.as_str() {
+            "--rules" => {
+                for rule in RULES {
+                    println!("{:<18} {}", rule.id, rule.summary);
+                }
+                return ExitCode::SUCCESS;
+            }
+            "--help" | "-h" => {
+                println!("usage: wfsim_lint [--rules] [workspace-root]");
+                return ExitCode::SUCCESS;
+            }
+            other => root = Some(PathBuf::from(other)),
+        }
+    }
+    let root = root.unwrap_or_else(|| PathBuf::from("."));
+    if !root.is_dir() {
+        // A stray file path would walk nothing and report a bogus
+        // "clean" — refuse it instead.
+        eprintln!(
+            "wfsim_lint: {} is not a directory (pass a workspace root)",
+            root.display()
+        );
+        return ExitCode::FAILURE;
+    }
+    match lint_workspace(&root) {
+        Ok(diagnostics) if diagnostics.is_empty() => {
+            println!("wfsim_lint: clean");
+            ExitCode::SUCCESS
+        }
+        Ok(diagnostics) => {
+            for diagnostic in &diagnostics {
+                println!("{diagnostic}");
+            }
+            println!("wfsim_lint: {} violation(s)", diagnostics.len());
+            ExitCode::FAILURE
+        }
+        Err(error) => {
+            eprintln!("wfsim_lint: i/o error: {error}");
+            ExitCode::FAILURE
+        }
+    }
+}

@@ -1,0 +1,316 @@
+//! A line-oriented Rust source scanner: the foundation of `wfsim_lint`.
+//!
+//! The lint rules are token-level, not AST-level, so all they need from a
+//! source file is an accurate split of every line into its *code* part and
+//! its *comment* part, with string/char literal contents neutralized so a
+//! pattern like `".unwrap()"` inside a string can never trip a rule.  The
+//! scanner is a character state machine that understands:
+//!
+//! * line comments (`//`, including doc `///` and `//!`),
+//! * nested block comments (`/* /* */ */`),
+//! * string literals with escapes, including multi-line strings,
+//! * raw (and byte/raw-byte) strings `r#"…"#` with any hash count,
+//! * char literals versus lifetimes (`'x'` / `'\n'` versus `'a`).
+//!
+//! Literal contents are replaced by `_` per character (quotes kept), so
+//! downstream rules can still distinguish `.expect("reason")` from
+//! `.expect("")` by emptiness while being immune to the contents.
+
+/// One source line, split into code and comment channels.
+#[derive(Debug, Clone, Default)]
+pub struct ScannedLine {
+    /// The line's code with string/char contents blanked to `_`.
+    pub code: String,
+    /// The text of every comment on the line, concatenated, without the
+    /// `//`, `/*`, `*/` markers.
+    pub comment: String,
+}
+
+impl ScannedLine {
+    /// True when the line holds comment text but no code tokens.
+    pub fn is_comment_only(&self) -> bool {
+        self.code.trim().is_empty() && !self.comment.trim().is_empty()
+    }
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum State {
+    Code,
+    LineComment,
+    BlockComment(u32),
+    Str,
+    RawStr(u32),
+}
+
+/// Scans `source` into per-line code/comment channels.
+pub fn scan(source: &str) -> Vec<ScannedLine> {
+    let bytes = source.as_bytes();
+    let mut lines: Vec<ScannedLine> = vec![ScannedLine::default()];
+    let mut state = State::Code;
+    let mut i = 0usize;
+
+    // The scanner works on bytes: every construct it recognizes is ASCII,
+    // and non-ASCII bytes pass through to whichever channel is active.
+    while i < bytes.len() {
+        let b = bytes[i];
+        if b == b'\n' {
+            if state == State::LineComment {
+                state = State::Code;
+            }
+            lines.push(ScannedLine::default());
+            i += 1;
+            continue;
+        }
+        let line = lines.last_mut().expect("scanner always has a current line");
+        match state {
+            State::Code => match b {
+                b'/' if bytes.get(i + 1) == Some(&b'/') => {
+                    state = State::LineComment;
+                    i += 2;
+                    // Skip doc-comment thirds (`///`, `//!`) so the
+                    // comment channel starts at the text.
+                    while matches!(bytes.get(i), Some(b'/') | Some(b'!')) {
+                        i += 1;
+                    }
+                }
+                b'/' if bytes.get(i + 1) == Some(&b'*') => {
+                    state = State::BlockComment(1);
+                    i += 2;
+                }
+                b'"' => {
+                    line.code.push('"');
+                    state = State::Str;
+                    i += 1;
+                }
+                b'r' | b'b' => {
+                    // Raw / byte / raw-byte string openers; a lone `r` or
+                    // `b` that opens nothing is ordinary code.
+                    if let Some((hashes, consumed)) = raw_string_opener(&bytes[i..]) {
+                        for _ in 0..consumed {
+                            line.code.push('_');
+                        }
+                        line.code.push('"');
+                        state = State::RawStr(hashes);
+                        i += consumed + 1;
+                    } else if b == b'b' && bytes.get(i + 1) == Some(&b'"') {
+                        line.code.push('_');
+                        line.code.push('"');
+                        state = State::Str;
+                        i += 2;
+                    } else {
+                        line.code.push(b as char);
+                        i += 1;
+                    }
+                }
+                b'\'' => {
+                    if let Some(consumed) = char_literal_len(&bytes[i..]) {
+                        line.code.push('\'');
+                        for _ in 0..consumed.saturating_sub(2) {
+                            line.code.push('_');
+                        }
+                        line.code.push('\'');
+                        i += consumed;
+                    } else {
+                        // A lifetime; keep the tick as code.
+                        line.code.push('\'');
+                        i += 1;
+                    }
+                }
+                _ => {
+                    line.code.push(b as char);
+                    i += 1;
+                }
+            },
+            State::LineComment => {
+                line.comment.push(b as char);
+                i += 1;
+            }
+            State::BlockComment(depth) => {
+                if b == b'/' && bytes.get(i + 1) == Some(&b'*') {
+                    state = State::BlockComment(depth + 1);
+                    i += 2;
+                } else if b == b'*' && bytes.get(i + 1) == Some(&b'/') {
+                    state = if depth == 1 {
+                        State::Code
+                    } else {
+                        State::BlockComment(depth - 1)
+                    };
+                    i += 2;
+                } else {
+                    line.comment.push(b as char);
+                    i += 1;
+                }
+            }
+            State::Str => match b {
+                b'\\' => {
+                    line.code.push('_');
+                    if bytes.get(i + 1).is_some_and(|n| *n != b'\n') {
+                        line.code.push('_');
+                        i += 2;
+                    } else {
+                        i += 1;
+                    }
+                }
+                b'"' => {
+                    line.code.push('"');
+                    state = State::Code;
+                    i += 1;
+                }
+                _ => {
+                    line.code.push('_');
+                    i += 1;
+                }
+            },
+            State::RawStr(hashes) => {
+                if b == b'"' && closes_raw(&bytes[i + 1..], hashes) {
+                    line.code.push('"');
+                    for _ in 0..hashes {
+                        line.code.push('_');
+                    }
+                    state = State::Code;
+                    i += 1 + hashes as usize;
+                } else {
+                    line.code.push('_');
+                    i += 1;
+                }
+            }
+        }
+    }
+    lines
+}
+
+/// Recognizes `r"`, `r#"`, `br"`, `br##"` … at the start of `rest`;
+/// returns `(hash_count, bytes before the opening quote)`.
+fn raw_string_opener(rest: &[u8]) -> Option<(u32, usize)> {
+    let mut j = 0usize;
+    if rest.first() == Some(&b'b') {
+        j += 1;
+    }
+    if rest.get(j) != Some(&b'r') {
+        return None;
+    }
+    j += 1;
+    let mut hashes = 0u32;
+    while rest.get(j) == Some(&b'#') {
+        hashes += 1;
+        j += 1;
+    }
+    if rest.get(j) == Some(&b'"') {
+        Some((hashes, j))
+    } else {
+        None
+    }
+}
+
+/// True when `rest` (the bytes after a `"`) starts with `hashes` hashes.
+fn closes_raw(rest: &[u8], hashes: u32) -> bool {
+    (0..hashes as usize).all(|k| rest.get(k) == Some(&b'#'))
+}
+
+/// Length in bytes of a char literal starting at `rest[0] == b'\''`, or
+/// `None` when the tick starts a lifetime instead.
+fn char_literal_len(rest: &[u8]) -> Option<usize> {
+    match rest.get(1)? {
+        b'\\' => {
+            // Escaped char literal: scan to the closing tick.
+            let mut j = 2usize;
+            while j < rest.len() {
+                if rest[j] == b'\'' {
+                    return Some(j + 1);
+                }
+                if rest[j] == b'\n' {
+                    return None;
+                }
+                j += 1;
+            }
+            None
+        }
+        _ => {
+            // `'x'` is a char literal; `'a` (no closing tick after one
+            // character) is a lifetime.  Multi-byte UTF-8 scalars are
+            // covered by scanning to the tick within a short window.
+            let mut j = 2usize;
+            while j < rest.len().min(6) {
+                if rest[j] == b'\'' {
+                    return Some(j + 1);
+                }
+                if !is_continuation(rest[j]) {
+                    return None;
+                }
+                j += 1;
+            }
+            None
+        }
+    }
+}
+
+fn is_continuation(b: u8) -> bool {
+    (b & 0xC0) == 0x80
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn splits_code_and_line_comment() {
+        let lines = scan("let x = 1; // ordering: Relaxed is fine\n");
+        assert_eq!(lines[0].code.trim_end(), "let x = 1;");
+        assert!(lines[0].comment.contains("ordering: Relaxed"));
+    }
+
+    #[test]
+    fn blanks_string_contents() {
+        let lines = scan("let s = \".unwrap()\";\n");
+        assert!(!lines[0].code.contains(".unwrap()"));
+        assert!(lines[0].code.contains('"'));
+    }
+
+    #[test]
+    fn preserves_string_emptiness() {
+        let nonempty = scan("x.expect(\"reason\");\n");
+        assert!(nonempty[0].code.contains("x.expect(\"_"));
+        let empty = scan("x.expect(\"\");\n");
+        assert!(empty[0].code.contains("x.expect(\"\")"));
+    }
+
+    #[test]
+    fn nested_block_comments_span_lines() {
+        let lines = scan("a /* one /* two */ still */ b\nc\n");
+        assert!(lines[0].code.contains('a'));
+        assert!(lines[0].code.contains('b'));
+        assert!(lines[0].comment.contains("two"));
+        assert_eq!(lines[1].code.trim(), "c");
+    }
+
+    #[test]
+    fn raw_strings_and_hashes() {
+        let lines = scan("let r = r#\"has \".unwrap()\" inside\"#;\n");
+        assert!(!lines[0].code.contains(".unwrap()"));
+        assert!(lines[0].code.ends_with(';'));
+    }
+
+    #[test]
+    fn char_literal_versus_lifetime() {
+        let lines = scan("fn f<'a>(x: &'a str) { let c = '\\''; let d = 'y'; }\n");
+        let code = &lines[0].code;
+        assert!(code.contains("fn f<'a>(x: &'a str)"));
+        assert!(!code.contains('y'));
+    }
+
+    #[test]
+    fn doc_comments_go_to_the_comment_channel() {
+        let lines = scan("/// calls .unwrap() in prose\nfn f() {}\n");
+        assert!(lines[0].code.trim().is_empty());
+        assert!(lines[0].comment.contains(".unwrap()"));
+        assert!(lines[0].is_comment_only());
+        assert_eq!(lines[1].code.trim(), "fn f() {}");
+    }
+
+    #[test]
+    fn multiline_strings_stay_blanked() {
+        let lines = scan("let s = \"line one\nline .unwrap() two\";\nlet y = 1;\n");
+        assert!(!lines[1].code.contains(".unwrap()"));
+        assert!(lines[2].code.contains("let y = 1;"));
+    }
+}

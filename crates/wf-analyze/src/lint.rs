@@ -1,0 +1,548 @@
+//! `wfsim_lint` — the repo-invariant lint pass.
+//!
+//! Every rule here encodes a convention this workspace's correctness
+//! story depends on but `rustc`/`clippy` cannot check, because the
+//! conventions are *about this repo*: which crates form the library core,
+//! which functions are hot loops, which files are read paths of the
+//! interner.  Rules are deny-by-default; an intentional exception is
+//! suppressed with an allow comment on (or directly above) the offending
+//! line — the marker `lint:allow`, the rule id in parentheses, then a
+//! mandatory free-text reason (exact syntax in the README's
+//! "Correctness tooling" section).  The reason is required, so every
+//! suppression documents itself.
+//!
+//! The engine is token-level on purpose.  A full AST would be sharper,
+//! but the invariants below are all expressible over the code/comment
+//! channels of [`crate::lexer`], and a dependency-free scanner keeps the
+//! lint runnable in CI with nothing but `cargo run -p wf-analyze`.
+
+use std::collections::HashMap;
+use std::fmt;
+use std::path::{Path, PathBuf};
+
+use crate::lexer::{scan, ScannedLine};
+
+/// Identifier and one-line summary of a lint rule, for `--rules` output
+/// and the README table.
+pub struct RuleInfo {
+    /// Stable rule id, used in diagnostics and allow comments.
+    pub id: &'static str,
+    /// One-line description of the invariant the rule enforces.
+    pub summary: &'static str,
+}
+
+/// Every rule the pass knows, in reporting order.
+pub const RULES: &[RuleInfo] = &[
+    RuleInfo {
+        id: "no-unwrap",
+        summary: "library code must not call .unwrap() or undocumented .expect(); \
+                  every expect needs a non-empty reason string",
+    },
+    RuleInfo {
+        id: "ordering-comment",
+        summary: "every explicit atomic memory ordering needs an adjacent \
+                  `// ordering:` comment justifying it",
+    },
+    RuleInfo {
+        id: "hot-no-lock",
+        summary: "functions marked `// lint:hot` must not acquire Mutex/RwLock",
+    },
+    RuleInfo {
+        id: "hot-no-alloc",
+        summary: "functions marked `// lint:hot` must not heap-allocate \
+                  (vec!/with_capacity/format!/collect/Box::new/...)",
+    },
+    RuleInfo {
+        id: "frozen-pool",
+        summary: "interner read paths must not mutate a StringPool \
+                  (intern/intern_set); use the FrozenInterner snapshot",
+    },
+    RuleInfo {
+        id: "deny-unsafe",
+        summary: "every crate root must carry #![deny(unsafe_code)]",
+    },
+    RuleInfo {
+        id: "no-unsafe",
+        summary: "no unsafe blocks or functions anywhere in the workspace",
+    },
+    RuleInfo {
+        id: "no-debug-macro",
+        summary: "no dbg!/todo!/unimplemented! anywhere (including tests)",
+    },
+    RuleInfo {
+        id: "allow-syntax",
+        summary: "lint:allow must name a known rule and give a non-empty reason",
+    },
+];
+
+/// One lint finding.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Diagnostic {
+    /// Workspace-relative path of the offending file.
+    pub file: String,
+    /// 1-based line number.
+    pub line: usize,
+    /// Id of the violated rule (one of [`RULES`]).
+    pub rule: &'static str,
+    /// Human-readable explanation.
+    pub message: String,
+}
+
+impl fmt::Display for Diagnostic {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{}:{}: {}: {}",
+            self.file, self.line, self.rule, self.message
+        )
+    }
+}
+
+/// Which rule sets apply to one file; derived from its workspace-relative
+/// path by [`config_for_path`].
+#[derive(Debug, Clone, Default)]
+pub struct LintConfig {
+    /// `no-unwrap` applies (library-core crates).
+    pub no_unwrap: bool,
+    /// `frozen-pool` applies (files on the interner's read path).
+    pub read_path: bool,
+    /// `deny-unsafe` applies (crate roots).
+    pub require_deny_unsafe: bool,
+}
+
+/// Crates whose non-test code forms the library core: panicking there
+/// takes down a caller, so `no-unwrap` is enforced.
+const LIBRARY_CORE: &[&str] = &[
+    "crates/wf-repo/src/",
+    "crates/wf-sim/src/",
+    "crates/wf-text/src/",
+    "crates/wf-analyze/src/",
+];
+
+/// Files on the interner read path: search-time code that must resolve
+/// through a frozen snapshot, never grow the pool.
+const READ_PATHS: &[&str] = &[
+    "crates/wf-repo/src/search.rs",
+    "crates/wf-repo/src/index.rs",
+    "crates/wf-sim/src/shard.rs",
+];
+
+/// The repo's lint policy for a workspace-relative path.
+pub fn config_for_path(rel: &str) -> LintConfig {
+    let rel = rel.replace('\\', "/");
+    LintConfig {
+        no_unwrap: LIBRARY_CORE.iter().any(|p| rel.starts_with(p)),
+        read_path: READ_PATHS.contains(&rel.as_str()),
+        require_deny_unsafe: rel.ends_with("src/lib.rs"),
+    }
+}
+
+/// Lints one file's source text; `rel` is used only for diagnostics.
+pub fn lint_source(rel: &str, source: &str, config: &LintConfig) -> Vec<Diagnostic> {
+    let lines = scan(source);
+    let in_test = test_regions(&lines);
+    let in_hot = hot_regions(&lines);
+    let (allows, mut diagnostics) = collect_allows(rel, &lines);
+
+    let push = |diags: &mut Vec<Diagnostic>, line: usize, rule: &'static str, message: String| {
+        let suppressed = allows.get(&line).is_some_and(|rules| rules.contains(&rule));
+        if !suppressed {
+            diags.push(Diagnostic {
+                file: rel.to_string(),
+                line: line + 1,
+                rule,
+                message,
+            });
+        }
+    };
+
+    for (idx, line) in lines.iter().enumerate() {
+        let code = line.code.as_str();
+        if code.trim().is_empty() {
+            continue;
+        }
+
+        if config.no_unwrap && !in_test[idx] {
+            if code.contains(".unwrap()") {
+                push(
+                    &mut diagnostics,
+                    idx,
+                    "no-unwrap",
+                    "library code must not .unwrap(); return an error or use \
+                     .expect(\"reason\") with a documented invariant"
+                        .to_string(),
+                );
+            }
+            for col in find_all(code, ".expect(") {
+                if !expect_has_reason(&code[col + ".expect(".len()..]) {
+                    push(
+                        &mut diagnostics,
+                        idx,
+                        "no-unwrap",
+                        ".expect() needs a non-empty string literal naming the \
+                         invariant that makes it unreachable"
+                            .to_string(),
+                    );
+                }
+            }
+        }
+
+        if !in_test[idx] && mentions_atomic_ordering(code) && !has_ordering_comment(&lines, idx) {
+            push(
+                &mut diagnostics,
+                idx,
+                "ordering-comment",
+                "explicit atomic ordering without an adjacent `// ordering:` \
+                 comment justifying why it is sufficient"
+                    .to_string(),
+            );
+        }
+
+        if in_hot[idx] {
+            for pattern in LOCK_PATTERNS {
+                if code.contains(pattern) {
+                    push(
+                        &mut diagnostics,
+                        idx,
+                        "hot-no-lock",
+                        format!(
+                            "`{pattern}` inside a `lint:hot` function; hot loops \
+                                 must stay lock-free"
+                        ),
+                    );
+                }
+            }
+            for pattern in ALLOC_PATTERNS {
+                if code.contains(pattern) {
+                    push(
+                        &mut diagnostics,
+                        idx,
+                        "hot-no-alloc",
+                        format!(
+                            "`{pattern}` inside a `lint:hot` function; hot loops \
+                                 must not heap-allocate"
+                        ),
+                    );
+                }
+            }
+        }
+
+        if config.read_path {
+            for pattern in POOL_MUTATION_PATTERNS {
+                if code.contains(pattern) {
+                    push(
+                        &mut diagnostics,
+                        idx,
+                        "frozen-pool",
+                        format!(
+                            "`{pattern}` on an interner read path; search-time \
+                                 code must resolve through FrozenInterner, not grow \
+                                 the StringPool"
+                        ),
+                    );
+                }
+            }
+        }
+
+        for occurrence in word_occurrences(code, "unsafe") {
+            let _ = occurrence;
+            push(
+                &mut diagnostics,
+                idx,
+                "no-unsafe",
+                "unsafe code is banned workspace-wide (crate roots carry \
+                 #![deny(unsafe_code)])"
+                    .to_string(),
+            );
+        }
+
+        for pattern in DEBUG_MACROS {
+            if code.contains(pattern) {
+                push(
+                    &mut diagnostics,
+                    idx,
+                    "no-debug-macro",
+                    format!("`{pattern}..)` must not be committed"),
+                );
+            }
+        }
+    }
+
+    if config.require_deny_unsafe
+        && !lines
+            .iter()
+            .any(|l| l.code.contains("#![deny(unsafe_code)]"))
+    {
+        push(
+            &mut diagnostics,
+            0,
+            "deny-unsafe",
+            "crate root is missing #![deny(unsafe_code)]".to_string(),
+        );
+    }
+
+    diagnostics.sort_by(|a, b| (a.line, a.rule).cmp(&(b.line, b.rule)));
+    diagnostics
+}
+
+/// Lints every `.rs` file of the workspace rooted at `root`: the facade's
+/// `src/` plus each `crates/*/src/` tree.  `vendor/` is infrastructure
+/// (API stand-ins for crates.io) and exempt by design.
+pub fn lint_workspace(root: &Path) -> std::io::Result<Vec<Diagnostic>> {
+    let mut files: Vec<PathBuf> = Vec::new();
+    collect_rust_files(&root.join("src"), &mut files)?;
+    let crates_dir = root.join("crates");
+    if crates_dir.is_dir() {
+        for entry in std::fs::read_dir(&crates_dir)? {
+            collect_rust_files(&entry?.path().join("src"), &mut files)?;
+        }
+    }
+    files.sort();
+    let mut diagnostics = Vec::new();
+    for file in files {
+        let source = std::fs::read_to_string(&file)?;
+        let rel = file
+            .strip_prefix(root)
+            .unwrap_or(&file)
+            .to_string_lossy()
+            .replace('\\', "/");
+        let config = config_for_path(&rel);
+        diagnostics.extend(lint_source(&rel, &source, &config));
+    }
+    Ok(diagnostics)
+}
+
+fn collect_rust_files(dir: &Path, out: &mut Vec<PathBuf>) -> std::io::Result<()> {
+    if !dir.is_dir() {
+        return Ok(());
+    }
+    for entry in std::fs::read_dir(dir)? {
+        let path = entry?.path();
+        if path.is_dir() {
+            collect_rust_files(&path, out)?;
+        } else if path.extension().is_some_and(|e| e == "rs") {
+            out.push(path);
+        }
+    }
+    Ok(())
+}
+
+const LOCK_PATTERNS: &[&str] = &[
+    ".lock()",
+    ".read()",
+    ".write()",
+    "Mutex::new",
+    "RwLock::new",
+];
+
+const ALLOC_PATTERNS: &[&str] = &[
+    "vec!",
+    "with_capacity(",
+    "Box::new(",
+    "format!",
+    ".to_string()",
+    ".to_owned()",
+    ".to_vec()",
+    "String::from(",
+    ".collect()",
+];
+
+const POOL_MUTATION_PATTERNS: &[&str] = &[".intern(", ".intern_set(", "StringPool::new("];
+
+const DEBUG_MACROS: &[&str] = &["dbg!(", "todo!(", "unimplemented!("];
+
+const ORDERINGS: &[&str] = &[
+    "Ordering::Relaxed",
+    "Ordering::Acquire",
+    "Ordering::Release",
+    "Ordering::AcqRel",
+    "Ordering::SeqCst",
+];
+
+fn mentions_atomic_ordering(code: &str) -> bool {
+    ORDERINGS.iter().any(|o| code.contains(o))
+}
+
+/// True when line `idx` carries (or sits directly under comment lines
+/// carrying) an `ordering:` justification.
+fn has_ordering_comment(lines: &[ScannedLine], idx: usize) -> bool {
+    if lines[idx].comment.contains("ordering:") {
+        return true;
+    }
+    let mut above = idx;
+    while above > 0 && lines[above - 1].is_comment_only() {
+        above -= 1;
+        if lines[above].comment.contains("ordering:") {
+            return true;
+        }
+    }
+    false
+}
+
+/// `.expect(` must be followed by a non-empty string literal.
+fn expect_has_reason(after_paren: &str) -> bool {
+    let rest = after_paren.trim_start();
+    let Some(stripped) = rest.strip_prefix('"') else {
+        return false;
+    };
+    !stripped.starts_with('"')
+}
+
+fn find_all(haystack: &str, needle: &str) -> Vec<usize> {
+    let mut out = Vec::new();
+    let mut from = 0usize;
+    while let Some(pos) = haystack[from..].find(needle) {
+        out.push(from + pos);
+        from += pos + needle.len();
+    }
+    out
+}
+
+fn is_ident_char(c: u8) -> bool {
+    c.is_ascii_alphanumeric() || c == b'_'
+}
+
+/// Byte offsets where `word` occurs as a whole identifier in `code`.
+fn word_occurrences(code: &str, word: &str) -> Vec<usize> {
+    let bytes = code.as_bytes();
+    find_all(code, word)
+        .into_iter()
+        .filter(|&pos| {
+            let before_ok = pos == 0 || !is_ident_char(bytes[pos - 1]);
+            let end = pos + word.len();
+            let after_ok = end >= bytes.len() || !is_ident_char(bytes[end]);
+            before_ok && after_ok
+        })
+        .collect()
+}
+
+/// Per-line flag: inside a `#[cfg(test)]`-guarded item (attribute line
+/// through the item's closing brace).
+fn test_regions(lines: &[ScannedLine]) -> Vec<bool> {
+    let mut flags = vec![false; lines.len()];
+    let mut idx = 0usize;
+    while idx < lines.len() {
+        if lines[idx].code.contains("cfg(test)") {
+            let end = brace_region_end(lines, idx);
+            for flag in flags.iter_mut().take(end + 1).skip(idx) {
+                *flag = true;
+            }
+            idx = end + 1;
+        } else {
+            idx += 1;
+        }
+    }
+    flags
+}
+
+/// Per-line flag: inside a function carrying the hot marker comment (the
+/// marker applies to the next `fn` and its brace-matched body).
+fn hot_regions(lines: &[ScannedLine]) -> Vec<bool> {
+    let mut flags = vec![false; lines.len()];
+    let mut idx = 0usize;
+    while idx < lines.len() {
+        if lines[idx].comment.contains("lint:hot") {
+            let mut fn_line = idx;
+            while fn_line < lines.len() && !lines[fn_line].code.contains("fn ") {
+                fn_line += 1;
+            }
+            if fn_line < lines.len() {
+                let end = brace_region_end(lines, fn_line);
+                for flag in flags.iter_mut().take(end + 1).skip(fn_line) {
+                    *flag = true;
+                }
+                idx = end + 1;
+                continue;
+            }
+        }
+        idx += 1;
+    }
+    flags
+}
+
+/// Line index of the `}` that closes the first `{` at or after
+/// `start` (the last line when the region never closes).
+fn brace_region_end(lines: &[ScannedLine], start: usize) -> usize {
+    let mut depth = 0i64;
+    let mut started = false;
+    for (idx, line) in lines.iter().enumerate().skip(start) {
+        for c in line.code.bytes() {
+            match c {
+                b'{' => {
+                    depth += 1;
+                    started = true;
+                }
+                b'}' => depth -= 1,
+                _ => {}
+            }
+        }
+        if started && depth <= 0 {
+            return idx;
+        }
+    }
+    lines.len().saturating_sub(1)
+}
+
+/// Parses every allow comment (`lint:allow` + parenthesized rule +
+/// reason).  Returns the map of suppressed rules per line (the allow's
+/// own line plus, for a comment-only allow, the next line that has code)
+/// and the diagnostics for malformed allows.
+#[allow(clippy::type_complexity)]
+fn collect_allows(
+    rel: &str,
+    lines: &[ScannedLine],
+) -> (HashMap<usize, Vec<&'static str>>, Vec<Diagnostic>) {
+    let mut allows: HashMap<usize, Vec<&'static str>> = HashMap::new();
+    let mut diagnostics = Vec::new();
+    for (idx, line) in lines.iter().enumerate() {
+        let comment = line.comment.as_str();
+        let Some(open) = comment.find("lint:allow(") else {
+            continue;
+        };
+        let after = &comment[open + "lint:allow(".len()..];
+        let Some(close) = after.find(')') else {
+            diagnostics.push(Diagnostic {
+                file: rel.to_string(),
+                line: idx + 1,
+                rule: "allow-syntax",
+                message: "unterminated lint:allow(...)".to_string(),
+            });
+            continue;
+        };
+        let name = after[..close].trim();
+        let reason = after[close + 1..].trim();
+        let Some(rule) = RULES.iter().find(|r| r.id == name) else {
+            diagnostics.push(Diagnostic {
+                file: rel.to_string(),
+                line: idx + 1,
+                rule: "allow-syntax",
+                message: format!("lint:allow names unknown rule `{name}`"),
+            });
+            continue;
+        };
+        if reason.is_empty() {
+            diagnostics.push(Diagnostic {
+                file: rel.to_string(),
+                line: idx + 1,
+                rule: "allow-syntax",
+                message: format!("lint:allow({name}) needs a reason after the closing paren"),
+            });
+            continue;
+        }
+        let mut target = idx;
+        if line.is_comment_only() {
+            // A standalone allow comment covers the next line with code.
+            let mut next = idx + 1;
+            while next < lines.len() && lines[next].code.trim().is_empty() {
+                next += 1;
+            }
+            if next < lines.len() {
+                target = next;
+            }
+        }
+        allows.entry(target).or_default().push(rule.id);
+        // Also cover the allow's own line: inline allows live with code.
+        allows.entry(idx).or_default().push(rule.id);
+    }
+    (allows, diagnostics)
+}

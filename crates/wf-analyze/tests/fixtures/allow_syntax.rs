@@ -1,0 +1,7 @@
+//! Fixture: an allow comment with no reason.
+
+pub fn first_len(items: &[String]) -> usize {
+    // lint:allow(no-unwrap)
+    let first = items.first().unwrap();
+    first.len()
+}

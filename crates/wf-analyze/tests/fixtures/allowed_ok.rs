@@ -1,0 +1,7 @@
+//! Fixture: a violation correctly suppressed with a reasoned allow.
+
+pub fn first_len(items: &[String]) -> usize {
+    // lint:allow(no-unwrap) fixture demonstrating a documented exception
+    let first = items.first().unwrap();
+    first.len()
+}

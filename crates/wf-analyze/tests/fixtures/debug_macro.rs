@@ -1,0 +1,5 @@
+//! Fixture: a committed `dbg!`.
+
+pub fn traced(x: u32) -> u32 {
+    dbg!(x + 1)
+}

@@ -1,0 +1,5 @@
+//! Fixture: a crate root that forgot `#![deny(unsafe_code)]`.
+
+pub fn answer() -> u32 {
+    42
+}

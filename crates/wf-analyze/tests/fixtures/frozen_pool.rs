@@ -1,0 +1,5 @@
+//! Fixture: interning on a read path.
+
+pub fn resolve_or_add(pool: &mut StringPool, token: &str) -> u32 {
+    pool.intern(token)
+}

@@ -1,0 +1,10 @@
+//! Fixture: a hot-marked function allocating per call.
+
+// lint:hot the innermost scoring loop of the fixture
+pub fn squares(n: usize) -> Vec<usize> {
+    let mut out = vec![0usize; n];
+    for (i, slot) in out.iter_mut().enumerate() {
+        *slot = i * i;
+    }
+    out
+}

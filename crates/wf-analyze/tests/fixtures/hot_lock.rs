@@ -1,0 +1,8 @@
+//! Fixture: a hot-marked function acquiring a lock.
+
+use std::sync::Mutex;
+
+// lint:hot the innermost scoring loop of the fixture
+pub fn scored(total: &Mutex<u64>) -> u64 {
+    *total.lock().expect("fixture lock is never poisoned")
+}

@@ -1,0 +1,5 @@
+//! Fixture: an unsafe block.
+
+pub fn transmuted(x: u32) -> i32 {
+    unsafe { std::mem::transmute(x) }
+}

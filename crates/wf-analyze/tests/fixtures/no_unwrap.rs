@@ -1,0 +1,6 @@
+//! Fixture: a bare `.unwrap()` in library code.
+
+pub fn first_len(items: &[String]) -> usize {
+    let first = items.first().unwrap();
+    first.len()
+}

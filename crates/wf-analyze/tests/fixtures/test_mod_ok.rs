@@ -1,0 +1,16 @@
+//! Fixture: unwraps inside `#[cfg(test)]` are fine.
+
+pub fn double(x: u32) -> u32 {
+    x * 2
+}
+
+#[cfg(test)]
+mod tests {
+    use super::double;
+
+    #[test]
+    fn doubles() {
+        let parsed: u32 = "21".parse().unwrap();
+        assert_eq!(double(parsed), 42);
+    }
+}

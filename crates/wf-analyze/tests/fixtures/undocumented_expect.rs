@@ -1,0 +1,6 @@
+//! Fixture: an `.expect()` whose reason is an empty string.
+
+pub fn first_len(items: &[String]) -> usize {
+    let first = items.first().expect("");
+    first.len()
+}

@@ -1,0 +1,219 @@
+//! Fixture tests for the `wfsim_lint` engine: each fixture under
+//! `tests/fixtures/` violates exactly one rule, and the engine must
+//! report exactly that rule at exactly that line.  Two counter-fixtures
+//! (a reasoned allow, a `#[cfg(test)]` module) must come back clean.
+//!
+//! The final test lints the actual workspace tree, which keeps the
+//! "repo lints clean" invariant inside plain `cargo test` as well as in
+//! the dedicated CI job.
+
+#![deny(unsafe_code)]
+
+use wf_analyze::{config_for_path, lint_source, lint_workspace, LintConfig};
+
+/// Library-core policy: the strictest per-file configuration.
+fn library_config() -> LintConfig {
+    LintConfig {
+        no_unwrap: true,
+        read_path: false,
+        require_deny_unsafe: false,
+    }
+}
+
+fn basic_config() -> LintConfig {
+    LintConfig::default()
+}
+
+/// Asserts the fixture yields exactly one diagnostic: `rule` at `line`.
+fn assert_single(fixture: &str, source: &str, config: &LintConfig, rule: &str, line: usize) {
+    let diagnostics = lint_source(fixture, source, config);
+    assert_eq!(
+        diagnostics.len(),
+        1,
+        "{fixture}: expected exactly one diagnostic, got {diagnostics:#?}"
+    );
+    assert_eq!(diagnostics[0].rule, rule, "{fixture}: wrong rule");
+    assert_eq!(diagnostics[0].line, line, "{fixture}: wrong line");
+}
+
+#[test]
+fn bare_unwrap_is_flagged() {
+    assert_single(
+        "no_unwrap.rs",
+        include_str!("fixtures/no_unwrap.rs"),
+        &library_config(),
+        "no-unwrap",
+        4,
+    );
+}
+
+#[test]
+fn undocumented_expect_is_flagged() {
+    assert_single(
+        "undocumented_expect.rs",
+        include_str!("fixtures/undocumented_expect.rs"),
+        &library_config(),
+        "no-unwrap",
+        4,
+    );
+}
+
+#[test]
+fn unjustified_ordering_is_flagged() {
+    assert_single(
+        "ordering_comment.rs",
+        include_str!("fixtures/ordering_comment.rs"),
+        &basic_config(),
+        "ordering-comment",
+        6,
+    );
+}
+
+#[test]
+fn lock_in_hot_function_is_flagged() {
+    assert_single(
+        "hot_lock.rs",
+        include_str!("fixtures/hot_lock.rs"),
+        &basic_config(),
+        "hot-no-lock",
+        7,
+    );
+}
+
+#[test]
+fn allocation_in_hot_function_is_flagged() {
+    assert_single(
+        "hot_alloc.rs",
+        include_str!("fixtures/hot_alloc.rs"),
+        &basic_config(),
+        "hot-no-alloc",
+        5,
+    );
+}
+
+#[test]
+fn pool_mutation_on_read_path_is_flagged() {
+    let config = LintConfig {
+        read_path: true,
+        ..basic_config()
+    };
+    assert_single(
+        "frozen_pool.rs",
+        include_str!("fixtures/frozen_pool.rs"),
+        &config,
+        "frozen-pool",
+        4,
+    );
+}
+
+#[test]
+fn missing_deny_unsafe_is_flagged() {
+    let config = LintConfig {
+        require_deny_unsafe: true,
+        ..basic_config()
+    };
+    assert_single(
+        "deny_unsafe.rs",
+        include_str!("fixtures/deny_unsafe.rs"),
+        &config,
+        "deny-unsafe",
+        1,
+    );
+}
+
+#[test]
+fn unsafe_block_is_flagged() {
+    assert_single(
+        "no_unsafe.rs",
+        include_str!("fixtures/no_unsafe.rs"),
+        &basic_config(),
+        "no-unsafe",
+        4,
+    );
+}
+
+#[test]
+fn debug_macro_is_flagged() {
+    assert_single(
+        "debug_macro.rs",
+        include_str!("fixtures/debug_macro.rs"),
+        &basic_config(),
+        "no-debug-macro",
+        4,
+    );
+}
+
+#[test]
+fn reasonless_allow_is_flagged() {
+    assert_single(
+        "allow_syntax.rs",
+        include_str!("fixtures/allow_syntax.rs"),
+        &basic_config(),
+        "allow-syntax",
+        4,
+    );
+}
+
+#[test]
+fn reasoned_allow_suppresses_the_violation() {
+    let diagnostics = lint_source(
+        "allowed_ok.rs",
+        include_str!("fixtures/allowed_ok.rs"),
+        &library_config(),
+    );
+    assert!(diagnostics.is_empty(), "unexpected: {diagnostics:#?}");
+}
+
+#[test]
+fn cfg_test_regions_are_exempt() {
+    let diagnostics = lint_source(
+        "test_mod_ok.rs",
+        include_str!("fixtures/test_mod_ok.rs"),
+        &library_config(),
+    );
+    assert!(diagnostics.is_empty(), "unexpected: {diagnostics:#?}");
+}
+
+#[test]
+fn ordering_comment_is_accepted_inline_and_above() {
+    let config = basic_config();
+    let inline = "use std::sync::atomic::{AtomicU64, Ordering};\n\
+                  pub fn f(c: &AtomicU64) -> u64 {\n\
+                  \tc.load(Ordering::Relaxed) // ordering: monotone counter, staleness is fine\n\
+                  }\n";
+    assert!(lint_source("inline.rs", inline, &config).is_empty());
+    let above = "use std::sync::atomic::{AtomicU64, Ordering};\n\
+                 pub fn f(c: &AtomicU64) -> u64 {\n\
+                 \t// ordering: monotone counter, a stale read only under-reports,\n\
+                 \t// which every caller tolerates.\n\
+                 \tc.load(Ordering::Relaxed)\n\
+                 }\n";
+    assert!(lint_source("above.rs", above, &config).is_empty());
+}
+
+#[test]
+fn repo_policy_assigns_configs_by_path() {
+    assert!(config_for_path("crates/wf-repo/src/search.rs").no_unwrap);
+    assert!(config_for_path("crates/wf-repo/src/search.rs").read_path);
+    assert!(!config_for_path("crates/wf-bench/src/lib.rs").no_unwrap);
+    assert!(config_for_path("crates/wf-bench/src/lib.rs").require_deny_unsafe);
+    assert!(config_for_path("src/lib.rs").require_deny_unsafe);
+    assert!(!config_for_path("crates/wf-sim/src/measures.rs").read_path);
+}
+
+#[test]
+fn the_workspace_tree_lints_clean() {
+    let root = std::path::Path::new(env!("CARGO_MANIFEST_DIR"))
+        .join("..")
+        .join("..");
+    let diagnostics = lint_workspace(&root).expect("workspace sources are readable");
+    assert!(
+        diagnostics.is_empty(),
+        "the tree must lint clean; found:\n{}",
+        diagnostics
+            .iter()
+            .map(|d| d.to_string())
+            .collect::<Vec<_>>()
+            .join("\n")
+    );
+}

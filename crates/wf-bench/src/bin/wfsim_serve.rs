@@ -233,6 +233,10 @@ fn run() -> Result<(), String> {
         let churner = scope.spawn(|| {
             let mut done = 0usize;
             for id in churn_pool.iter().cycle() {
+                // ordering: Acquire — pairs with the Release store below
+                // so the churner's final op count happens-after every
+                // counted query batch; Relaxed could let the loop observe
+                // the flag late and overshoot the measured window.
                 if queries_done.load(Ordering::Acquire) {
                     break;
                 }
@@ -250,6 +254,8 @@ fn run() -> Result<(), String> {
             let batch = service.search_batch(&query_ids, options.k);
             served += batch.iter().filter(|hits| hits.is_some()).count();
         }
+        // ordering: Release — publishes "all counted batches issued" to
+        // the churner's Acquire load above, closing the measured window.
         queries_done.store(true, Ordering::Release);
         (served, churner.join().expect("churn thread panicked"))
     });

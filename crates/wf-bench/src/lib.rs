@@ -27,6 +27,8 @@
 //!   loader, returning raw workflows or a fully built
 //!   [`wf_sim::Corpus`].
 
+#![deny(unsafe_code)]
+
 pub mod corpus;
 pub mod ranking;
 pub mod retrieval;

@@ -60,6 +60,8 @@
 //! assert!(!clusters.same_cluster(0, 2));
 //! ```
 
+#![deny(unsafe_code)]
+
 pub mod clustering;
 pub mod hierarchical;
 pub mod kmedoids;

@@ -25,6 +25,8 @@
 //!   (24 queries × 10 candidates drawn from top / middle / bottom strata,
 //!   as in Section 4.2 of the paper).
 
+#![deny(unsafe_code)]
+
 pub mod experts;
 pub mod families;
 pub mod galaxy;

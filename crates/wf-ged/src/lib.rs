@@ -26,6 +26,8 @@
 //!
 //! [`compute_ged`] combines them under a [`budget::GedBudget`].
 
+#![deny(unsafe_code)]
+
 pub mod astar;
 pub mod beam;
 pub mod budget;

@@ -28,6 +28,8 @@
 //!   (paired t-test, Wilcoxon signed-rank), the machinery behind the paper's
 //!   "significant (p<0.05, paired ttest)" statements.
 
+#![deny(unsafe_code)]
+
 pub mod bioconsert;
 pub mod graded;
 pub mod kendall;

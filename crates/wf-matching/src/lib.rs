@@ -18,6 +18,8 @@
 //! [`Mapping`] — a set of `(left, right, weight)` pairs in which each left
 //! and each right index appears at most once.
 
+#![deny(unsafe_code)]
+
 pub mod greedy;
 pub mod hungarian;
 pub mod mapping;

@@ -55,6 +55,8 @@
 //! assert_eq!(wf.graph().sources().len(), 1);
 //! ```
 
+#![deny(unsafe_code)]
+
 pub mod attribute;
 pub mod builder;
 pub mod datalink;

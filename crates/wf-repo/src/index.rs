@@ -270,6 +270,8 @@ pub fn sort_best_bound_first(candidates: &mut [RankedCandidate]) {
 /// — admissible, so the kept hits (returned in heap order; gather them
 /// with [`merge_top_k`]) are exactly the true top-k contributions of this
 /// candidate stream.
+// lint:hot this loop runs once per candidate of every indexed search;
+// wfsim_lint forbids lock acquisition and heap allocation inside it.
 pub fn scan_ranked_candidates<'a, I, F, G>(
     candidates: I,
     total: usize,

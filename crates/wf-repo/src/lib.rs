@@ -32,6 +32,8 @@
 //!   the repository-level ingredient of the *frequent module / tag set*
 //!   similarity of Stoyanovich et al. \[36\].
 
+#![deny(unsafe_code)]
+
 pub mod importance;
 pub mod index;
 pub mod mining;

@@ -16,7 +16,12 @@
 
 use std::cmp::Ordering;
 use std::collections::BinaryHeap;
-use std::sync::atomic::{AtomicU64, Ordering as AtomicOrdering};
+use std::sync::atomic::Ordering as AtomicOrdering;
+
+// The model-checkable atomic shim: `std::sync::atomic::AtomicU64` outside
+// a model run, a deterministic scheduling point inside one (see
+// `vendor/shuttle-mini` and `wf-analyze`'s model-check suite).
+use shuttle_mini::sync::atomic::AtomicU64;
 
 use wf_model::{Workflow, WorkflowId};
 
@@ -178,12 +183,19 @@ impl SearchThreshold {
     /// Non-finite or negative scores are ignored.
     pub fn observe(&self, score: f64) {
         if score.is_finite() && score >= 0.0 {
+            // ordering: Relaxed — the floor is a monotone pruning hint, not
+            // a synchronization edge.  fetch_max keeps the cell itself
+            // consistent; a reader that misses this publication merely
+            // prunes less and still produces the exact top-k.
             self.0.fetch_max(score.to_bits(), AtomicOrdering::Relaxed);
         }
     }
 
     /// The highest score floor published so far.
     pub fn floor(&self) -> f64 {
+        // ordering: Relaxed — a stale floor is always a *lower* floor
+        // (the cell only rises), and a lower floor is admissible: it can
+        // only under-prune, never skip a true top-k candidate.
         f64::from_bits(self.0.load(AtomicOrdering::Relaxed))
     }
 }

@@ -47,6 +47,8 @@
 //! behind one manifest), and [`CorpusService`] serves concurrent searches
 //! and batch queries while churn write-locks only the owning shard.
 
+#![deny(unsafe_code)]
+
 pub mod annotation;
 pub mod config;
 pub mod corpus;

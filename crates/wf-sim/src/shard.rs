@@ -44,7 +44,12 @@ use std::fmt;
 use std::io;
 use std::path::{Path, PathBuf};
 use std::sync::atomic::{AtomicUsize, Ordering};
-use std::sync::{Mutex, RwLock, RwLockReadGuard};
+
+// Model-checkable lock shims: plain `std::sync` locks outside a model run,
+// deterministic scheduling points inside one (see `vendor/shuttle-mini`
+// and the `wf-analyze` model-check suite, which races `CorpusService`
+// searches against live churn under a controlled scheduler).
+use shuttle_mini::sync::{Mutex, RwLock, RwLockReadGuard};
 
 use wf_model::{Workflow, WorkflowId};
 use wf_repo::{
@@ -389,6 +394,11 @@ impl ShardedCorpus {
                     scope.spawn(move || {
                         let mut out: Vec<(usize, Vec<SearchHit>)> = Vec::new();
                         loop {
+                            // ordering: Relaxed — a pure work-stealing
+                            // ticket: fetch_add's atomicity hands each task
+                            // index to exactly one worker, and the scope
+                            // join below is the synchronization edge for
+                            // the results.
                             let task = cursor.fetch_add(1, Ordering::Relaxed);
                             if task >= tasks {
                                 return out;
@@ -947,6 +957,10 @@ impl CorpusService {
                     scope.spawn(move || {
                         let mut out = Vec::new();
                         loop {
+                            // ordering: Relaxed — work-stealing ticket, as
+                            // in `ShardedCorpus::search_batch`: uniqueness
+                            // comes from fetch_add's atomicity, publication
+                            // of results from the scope join.
                             let qi = cursor.fetch_add(1, Ordering::Relaxed);
                             if qi >= queries.len() {
                                 return out;

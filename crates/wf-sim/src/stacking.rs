@@ -77,10 +77,11 @@ impl RankEnsemble {
             // Sort candidate indices by descending score; inapplicable
             // candidates are excluded from this member's vote.
             let mut order: Vec<usize> = (0..n).filter(|i| scores[*i].is_some()).collect();
+            let score_of =
+                |i: usize| scores[i].expect("order only holds indices whose score is Some");
             order.sort_by(|&i, &j| {
-                scores[j]
-                    .unwrap()
-                    .partial_cmp(&scores[i].unwrap())
+                score_of(j)
+                    .partial_cmp(&score_of(i))
                     .expect("similarity scores are not NaN")
             });
             // Assign Borda points n - position, averaging over ties.
@@ -88,7 +89,7 @@ impl RankEnsemble {
             while pos < order.len() {
                 let mut end = pos;
                 while end + 1 < order.len()
-                    && (scores[order[end + 1]].unwrap() - scores[order[pos]].unwrap()).abs() < 1e-12
+                    && (score_of(order[end + 1]) - score_of(order[pos])).abs() < 1e-12
                 {
                     end += 1;
                 }

@@ -201,6 +201,8 @@ impl TokenIdSet {
     }
 
     /// Size of the intersection with another set, by sorted merge.
+    // lint:hot the innermost comparison of every token-set similarity;
+    // wfsim_lint forbids lock acquisition and heap allocation here.
     pub fn intersection_len(&self, other: &TokenIdSet) -> usize {
         let (mut i, mut j, mut common) = (0, 0, 0);
         while i < self.ids.len() && j < other.ids.len() {
@@ -221,6 +223,8 @@ impl TokenIdSet {
     ///
     /// Matches [`crate::jaccard_index`] exactly, including the convention
     /// that two empty sets have similarity 1.
+    // lint:hot called once per scored candidate pair on module-similarity
+    // paths; must stay allocation- and lock-free.
     pub fn jaccard(&self, other: &TokenIdSet) -> f64 {
         if self.is_empty() && other.is_empty() {
             return 1.0;

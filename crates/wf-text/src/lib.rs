@@ -26,6 +26,8 @@
 //!   admissible constant-time lower bounds on the Levenshtein distance,
 //!   used by the upper-bound pruning search.
 
+#![deny(unsafe_code)]
+
 pub mod bag;
 pub mod intern;
 pub mod jaccard;

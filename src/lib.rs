@@ -61,6 +61,8 @@
 //! assert!(sim > 0.3 && sim <= 1.0);
 //! ```
 
+#![deny(unsafe_code)]
+
 /// The workflow data model (re-export of [`wf_model`]).
 pub use wf_model as model;
 

@@ -1,0 +1,375 @@
+//! The deterministic scheduler behind every model run.
+//!
+//! Model threads are ordinary OS threads coordinated through one mutex +
+//! condvar pair: exactly one thread holds the *run token* at any time.
+//! At every scheduling point the running thread calls back into
+//! [`Execution::schedule`], which picks the next runnable thread
+//! according to the execution's [`Policy`] (a replayed DFS prefix or a
+//! seeded RNG), records the pick in the schedule trace, and parks the
+//! caller until the token comes back.  Serializing all instrumented
+//! operations this way makes every execution a pure function of its
+//! schedule, which is what lets failures replay exactly.
+
+use std::cell::RefCell;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::{Arc, Condvar, Mutex};
+
+/// Marker payload for the panic that unwinds bystander threads once an
+/// execution has failed; the wrapper swallows it.
+pub(crate) struct Abort;
+
+/// What a parked thread is waiting for.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) enum Block {
+    /// Waiting for the thread with this id to finish.
+    Join(usize),
+    /// Waiting for the lock with this id to become available.
+    Lock(u64),
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Status {
+    /// Schedulable (the running thread also has this status; `running`
+    /// says who actually holds the token).
+    Ready,
+    Blocked(Block),
+    Finished,
+}
+
+/// How the scheduler picks among runnable threads.
+pub(crate) enum Policy {
+    /// Replay `prefix` (ranks into the sorted runnable set), then always
+    /// pick rank 0 — the backbone of the DFS explorer.
+    Replay { prefix: Vec<usize>, position: usize },
+    /// Draw ranks from a SplitMix64 stream.
+    Random { state: u64 },
+}
+
+impl Policy {
+    pub(crate) fn replay(prefix: Vec<usize>) -> Self {
+        Policy::Replay {
+            prefix,
+            position: 0,
+        }
+    }
+
+    pub(crate) fn random(state: u64) -> Self {
+        Policy::Random { state }
+    }
+
+    fn next_rank(&mut self, alternatives: usize) -> usize {
+        match self {
+            Policy::Replay { prefix, position } => {
+                let rank = prefix.get(*position).copied().unwrap_or(0);
+                *position += 1;
+                // A replayed prefix always matches the tree shape; min
+                // guards the impossible case instead of indexing out.
+                rank.min(alternatives - 1)
+            }
+            Policy::Random { state } => {
+                *state = (*state ^ (*state >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+                *state = (*state ^ (*state >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+                *state ^= *state >> 31;
+                (*state % alternatives as u64) as usize
+            }
+        }
+    }
+}
+
+struct ExecState {
+    threads: Vec<Status>,
+    /// The thread currently holding the run token.
+    running: Option<usize>,
+    policy: Policy,
+    /// Thread id chosen at every scheduling point.
+    trace: Vec<usize>,
+    /// `(rank chosen, runnable alternatives)` per scheduling point — the
+    /// DFS explorer backtracks over this.
+    branch_log: Vec<(usize, usize)>,
+    failure: Option<String>,
+    abort: bool,
+    steps: usize,
+    max_steps: usize,
+    /// OS handles of spawned model threads, joined at teardown.
+    os_handles: Vec<std::thread::JoinHandle<()>>,
+}
+
+/// One model-checked execution: the scheduler state shared by all of the
+/// execution's threads.
+pub(crate) struct Execution {
+    state: Mutex<ExecState>,
+    turn: Condvar,
+}
+
+/// The calling thread's identity inside a model run, if any.
+#[derive(Clone)]
+pub(crate) struct Ctx {
+    pub(crate) exec: Arc<Execution>,
+    pub(crate) id: usize,
+}
+
+thread_local! {
+    static CURRENT: RefCell<Option<Ctx>> = const { RefCell::new(None) };
+}
+
+/// The current thread's model context (`None` on ordinary threads — the
+/// shims pass through to `std` in that case).
+pub(crate) fn current() -> Option<Ctx> {
+    CURRENT.with(|c| c.borrow().clone())
+}
+
+/// Result of one execution, consumed by the explorers in `lib.rs`.
+pub(crate) struct Outcome {
+    pub(crate) trace: Vec<usize>,
+    pub(crate) branch_log: Vec<(usize, usize)>,
+    pub(crate) failure: Option<String>,
+}
+
+impl Execution {
+    /// Runs `f` as model thread 0 under `policy` and waits for every
+    /// thread of the execution to finish.
+    pub(crate) fn run(policy: Policy, max_steps: usize, f: Arc<dyn Fn() + Send + Sync>) -> Outcome {
+        install_quiet_panic_hook();
+        let exec = Arc::new(Execution {
+            state: Mutex::new(ExecState {
+                threads: vec![Status::Ready],
+                running: None,
+                policy,
+                trace: Vec::new(),
+                branch_log: Vec::new(),
+                failure: None,
+                abort: false,
+                steps: 0,
+                max_steps,
+                os_handles: Vec::new(),
+            }),
+            turn: Condvar::new(),
+        });
+        let root_exec = Arc::clone(&exec);
+        let root = std::thread::spawn(move || {
+            run_model_thread(root_exec, 0, move || {
+                f();
+            });
+        });
+        // Hand the token to thread 0 (the only runnable thread; still a
+        // recorded choice so traces cover the whole execution).
+        {
+            let mut state = exec.state.lock().expect("scheduler state poisoned");
+            exec.pick_next(&mut state);
+        }
+        exec.turn.notify_all();
+        // Wait for the execution to drain, then join the OS threads.
+        let spawned = {
+            let mut state = exec.state.lock().expect("scheduler state poisoned");
+            while !state.threads.iter().all(|t| *t == Status::Finished) {
+                state = exec.turn.wait(state).expect("scheduler state poisoned");
+            }
+            std::mem::take(&mut state.os_handles)
+        };
+        let _ = root.join();
+        for handle in spawned {
+            let _ = handle.join();
+        }
+        let mut state = exec.state.lock().expect("scheduler state poisoned");
+        Outcome {
+            trace: std::mem::take(&mut state.trace),
+            branch_log: std::mem::take(&mut state.branch_log),
+            failure: state.failure.take(),
+        }
+    }
+
+    /// Registers a freshly spawned model thread and returns its id.
+    pub(crate) fn register_thread(&self) -> usize {
+        let mut state = self.state.lock().expect("scheduler state poisoned");
+        state.threads.push(Status::Ready);
+        state.threads.len() - 1
+    }
+
+    /// Keeps the OS handle of a spawned model thread for teardown.
+    pub(crate) fn adopt_os_handle(&self, handle: std::thread::JoinHandle<()>) {
+        let mut state = self.state.lock().expect("scheduler state poisoned");
+        state.os_handles.push(handle);
+    }
+
+    /// The universal scheduling point: parks the caller (Ready to
+    /// context-switch, or Blocked until woken) and returns once the
+    /// scheduler hands the token back.  Panics with [`Abort`] if the
+    /// execution failed in the meantime.
+    pub(crate) fn schedule(&self, me: usize, block: Option<Block>) {
+        {
+            let mut state = self.state.lock().expect("scheduler state poisoned");
+            state.threads[me] = match block {
+                None => Status::Ready,
+                Some(b) => Status::Blocked(b),
+            };
+            state.running = None;
+            self.pick_next(&mut state);
+        }
+        self.turn.notify_all();
+        self.wait_for_turn(me);
+    }
+
+    /// Marks a finished thread, wakes its joiners, records any failure,
+    /// and passes the token on.
+    pub(crate) fn thread_finished(&self, me: usize, panic_message: Option<String>) {
+        {
+            let mut state = self.state.lock().expect("scheduler state poisoned");
+            if let Some(message) = panic_message {
+                fail(&mut state, message);
+            }
+            state.threads[me] = Status::Finished;
+            for status in state.threads.iter_mut() {
+                if *status == Status::Blocked(Block::Join(me)) {
+                    *status = Status::Ready;
+                }
+            }
+            if state.running == Some(me) {
+                state.running = None;
+            }
+            self.pick_next(&mut state);
+        }
+        self.turn.notify_all();
+    }
+
+    /// True once the thread with `id` has finished (join polling).
+    pub(crate) fn is_finished(&self, id: usize) -> bool {
+        let state = self.state.lock().expect("scheduler state poisoned");
+        state.threads[id] == Status::Finished
+    }
+
+    /// Wakes every thread parked on lock `lock_id` (they re-attempt the
+    /// acquisition when next scheduled).
+    pub(crate) fn unblock_lock_waiters(&self, lock_id: u64) {
+        let mut state = self.state.lock().expect("scheduler state poisoned");
+        for status in state.threads.iter_mut() {
+            if *status == Status::Blocked(Block::Lock(lock_id)) {
+                *status = Status::Ready;
+            }
+        }
+    }
+
+    /// Picks the next runnable thread per policy; flags deadlock or a
+    /// runaway schedule as execution failures.
+    fn pick_next(&self, state: &mut ExecState) {
+        if state.abort {
+            return;
+        }
+        let runnable: Vec<usize> = state
+            .threads
+            .iter()
+            .enumerate()
+            .filter(|(_, s)| **s == Status::Ready)
+            .map(|(i, _)| i)
+            .collect();
+        if runnable.is_empty() {
+            if state.threads.iter().all(|t| *t == Status::Finished) {
+                return; // Execution drained cleanly.
+            }
+            let stuck: Vec<String> = state
+                .threads
+                .iter()
+                .enumerate()
+                .filter_map(|(i, s)| match s {
+                    Status::Blocked(b) => Some(format!("thread {i} on {b:?}")),
+                    _ => None,
+                })
+                .collect();
+            fail(state, format!("deadlock: {}", stuck.join(", ")));
+            return;
+        }
+        state.steps += 1;
+        if state.steps > state.max_steps {
+            fail(
+                state,
+                format!("schedule exceeded {} scheduling points", state.max_steps),
+            );
+            return;
+        }
+        let rank = state.policy.next_rank(runnable.len());
+        let chosen = runnable[rank];
+        state.branch_log.push((rank, runnable.len()));
+        state.trace.push(chosen);
+        state.running = Some(chosen);
+    }
+
+    /// Parks until the scheduler hands this thread the token; unwinds
+    /// with [`Abort`] when the execution has failed.
+    pub(crate) fn wait_for_turn(&self, me: usize) {
+        let mut state = self.state.lock().expect("scheduler state poisoned");
+        loop {
+            if state.abort {
+                drop(state);
+                std::panic::panic_any(Abort);
+            }
+            if state.running == Some(me) {
+                return;
+            }
+            state = self.turn.wait(state).expect("scheduler state poisoned");
+        }
+    }
+}
+
+/// Records the first failure and switches the execution into abort mode
+/// (every parked thread unwinds at its next wakeup).
+fn fail(state: &mut ExecState, message: String) {
+    if state.failure.is_none() {
+        state.failure = Some(message);
+    }
+    state.abort = true;
+}
+
+/// Body shared by the root thread and every spawned model thread: set the
+/// thread-local context, wait for the first turn, run, clean up.
+pub(crate) fn run_model_thread<F: FnOnce()>(exec: Arc<Execution>, id: usize, f: F) {
+    CURRENT.with(|c| {
+        *c.borrow_mut() = Some(Ctx {
+            exec: Arc::clone(&exec),
+            id,
+        });
+    });
+    exec.wait_for_turn(id);
+    let result = catch_unwind(AssertUnwindSafe(f));
+    let panic_message = match result {
+        Ok(()) => None,
+        Err(payload) => {
+            if payload.downcast_ref::<Abort>().is_some() {
+                None // Bystander unwound by a failure elsewhere.
+            } else {
+                // `as_ref` matters: `&payload` would coerce the Box
+                // itself into `dyn Any` and every downcast would miss.
+                Some(payload_message(payload.as_ref()))
+            }
+        }
+    };
+    CURRENT.with(|c| {
+        *c.borrow_mut() = None;
+    });
+    exec.thread_finished(id, panic_message);
+}
+
+fn payload_message(payload: &(dyn std::any::Any + Send)) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "model thread panicked".to_string()
+    }
+}
+
+/// Suppresses panic-hook output for model threads: expected failures
+/// (mutation tests, deadlock probes) would otherwise spray backtraces
+/// over the test log.  Ordinary threads keep the previous hook.
+fn install_quiet_panic_hook() {
+    use std::sync::Once;
+    static INSTALL: Once = Once::new();
+    INSTALL.call_once(|| {
+        let previous = std::panic::take_hook();
+        std::panic::set_hook(Box::new(move |info| {
+            if current().is_some() {
+                return;
+            }
+            previous(info);
+        }));
+    });
+}

@@ -1,0 +1,397 @@
+//! A miniature deterministic concurrency model checker, in the spirit of
+//! AWS's *shuttle* and tokio's *loom*, vendored because the build
+//! environment has no access to crates.io.
+//!
+//! The workspace's lock-free search core (the shared
+//! `SearchThreshold` best-k floor, the `RwLock`-per-shard
+//! `CorpusService`) is exercised by stress tests, but stress tests only
+//! sample a handful of interleavings per run.  This crate makes the
+//! interleavings themselves the test input:
+//!
+//! * **Instrumented shims** — [`sync::atomic::AtomicU64`],
+//!   [`sync::Mutex`], [`sync::RwLock`] and [`thread::spawn`] mirror the
+//!   `std::sync` API exactly.  Outside a model run they are zero-cost
+//!   pass-throughs to `std` (one thread-local probe per operation), so
+//!   production code can use them unconditionally.  Inside a model run
+//!   every operation becomes a *scheduling point*.
+//! * **A deterministic scheduler** — model threads are real OS threads,
+//!   but only one ever runs at a time: at each scheduling point the
+//!   running thread hands a token to the scheduler, which picks the next
+//!   runnable thread.  The sequence of picks is the *schedule*.
+//! * **Two explorers** — [`check_exhaustive`] walks the schedule tree
+//!   depth-first (complete for small state spaces, bounded by a schedule
+//!   cap), and [`check_random`] samples schedules from a seeded RNG, so a
+//!   failure reproduces from `(seed, iteration)` alone.
+//!
+//! A failing execution yields a [`Failure`] carrying the exact schedule
+//! trace (the sequence of thread ids chosen at every scheduling point),
+//! which is stable across runs: same seed, same schedule, same failure.
+//!
+//! ## What the model does and does not check
+//!
+//! The scheduler serializes instrumented operations, so it explores all
+//! *interleavings* under sequentially consistent semantics.  It does not
+//! model weak-memory reorderings (neither does shuttle); `Relaxed` versus
+//! `Acquire`/`Release` bugs need the justification comments the
+//! `wfsim_lint` `ordering-comment` rule enforces.
+//!
+//! ## Rules for code under test
+//!
+//! * Create all shared state *inside* the closure passed to a checker, so
+//!   every execution starts fresh.
+//! * Only touch instrumented shims from model threads (the closure's
+//!   thread and [`thread::spawn`]ed threads).  Code that internally
+//!   spawns plain `std::thread` workers (e.g. batch APIs) must not run
+//!   inside a model run: those workers would interleave uncontrolled.
+//! * Executions must be deterministic apart from the schedule: no time,
+//!   no I/O, no ambient randomness.
+//!
+//! ```
+//! use shuttle_mini::{check_exhaustive, sync::atomic::AtomicU64, thread};
+//! use std::sync::atomic::Ordering;
+//! use std::sync::Arc;
+//!
+//! let report = check_exhaustive(1_000, || {
+//!     let n = Arc::new(AtomicU64::new(0));
+//!     let a = Arc::clone(&n);
+//!     let t = thread::spawn(move || a.fetch_add(1, Ordering::Relaxed));
+//!     n.fetch_add(1, Ordering::Relaxed);
+//!     t.join().unwrap();
+//!     assert_eq!(n.load(Ordering::Relaxed), 2);
+//! });
+//! report.assert_ok();
+//! assert!(report.complete, "fetch_add tree is tiny: fully explored");
+//! ```
+
+mod exec;
+pub mod sync;
+pub mod thread;
+
+/// The issue-facing name for the spawn/join module: model-checked threads.
+pub use thread as model_thread;
+
+use std::sync::Arc;
+
+use exec::{Execution, Policy};
+
+/// Hard cap on scheduling points in one execution; beyond it the
+/// execution fails (runaway loop under test).
+const MAX_STEPS: usize = 200_000;
+
+/// Where a failing schedule came from, so it can be replayed exactly.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ScheduleSource {
+    /// The `index`-th schedule visited by [`check_exhaustive`]'s
+    /// deterministic depth-first walk.
+    Exhaustive {
+        /// 0-based index in DFS visit order.
+        index: usize,
+    },
+    /// The `iteration`-th schedule drawn by [`check_random`] from `seed`.
+    Random {
+        /// The seed passed to [`check_random`].
+        seed: u64,
+        /// 0-based iteration that failed.
+        iteration: usize,
+    },
+}
+
+/// One failing execution: what went wrong and the exact schedule that
+/// made it go wrong.
+#[derive(Debug, Clone)]
+pub struct Failure {
+    /// The panic / assertion / deadlock message.
+    pub message: String,
+    /// Thread id chosen at every scheduling point, in order — the full
+    /// deterministic schedule of the failing execution.
+    pub trace: Vec<usize>,
+    /// How to reproduce the schedule.
+    pub source: ScheduleSource,
+}
+
+impl Failure {
+    /// The schedule trace as a compact printable string.
+    pub fn trace_string(&self) -> String {
+        let picks: Vec<String> = self.trace.iter().map(|t| t.to_string()).collect();
+        let source = match &self.source {
+            ScheduleSource::Exhaustive { index } => format!("exhaustive schedule #{index}"),
+            ScheduleSource::Random { seed, iteration } => {
+                format!("seed {seed}, iteration {iteration}")
+            }
+        };
+        format!("{source}; thread picks [{}]", picks.join(" "))
+    }
+}
+
+impl std::fmt::Display for Failure {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}\n  schedule: {}", self.message, self.trace_string())
+    }
+}
+
+/// The outcome of a model-checking run.
+#[derive(Debug)]
+pub struct Report {
+    /// Number of schedules executed.
+    pub schedules: usize,
+    /// True when an exhaustive walk covered the whole schedule tree
+    /// within its cap (always false for [`check_random`]).
+    pub complete: bool,
+    /// The first failing execution, if any (exploration stops at the
+    /// first failure so the reported schedule is minimal in visit order).
+    pub failure: Option<Failure>,
+}
+
+impl Report {
+    /// Panics with the failure message and schedule trace if any
+    /// explored schedule failed.
+    pub fn assert_ok(&self) {
+        if let Some(failure) = &self.failure {
+            panic!(
+                "model check failed after {} schedule(s):\n{failure}",
+                self.schedules
+            );
+        }
+    }
+}
+
+/// Explores schedules depth-first until the tree is exhausted or
+/// `max_schedules` executions have run, whichever comes first.
+///
+/// The walk order is deterministic, so the first failing schedule — and
+/// its [`Failure::trace`] — is identical on every run.
+pub fn check_exhaustive<F>(max_schedules: usize, f: F) -> Report
+where
+    F: Fn() + Send + Sync + 'static,
+{
+    let f: Arc<dyn Fn() + Send + Sync> = Arc::new(f);
+    let mut prefix: Vec<usize> = Vec::new();
+    let mut schedules = 0usize;
+    loop {
+        let outcome = Execution::run(Policy::replay(prefix.clone()), MAX_STEPS, Arc::clone(&f));
+        schedules += 1;
+        if let Some(message) = outcome.failure {
+            return Report {
+                schedules,
+                complete: false,
+                failure: Some(Failure {
+                    message,
+                    trace: outcome.trace,
+                    source: ScheduleSource::Exhaustive {
+                        index: schedules - 1,
+                    },
+                }),
+            };
+        }
+        // Backtrack: advance the deepest choice point that still has an
+        // untried alternative; drop exhausted suffixes.
+        let mut log = outcome.branch_log;
+        let mut complete = false;
+        loop {
+            match log.pop() {
+                None => {
+                    complete = true;
+                    break;
+                }
+                Some((rank, alternatives)) if rank + 1 < alternatives => {
+                    log.push((rank + 1, alternatives));
+                    break;
+                }
+                Some(_) => {}
+            }
+        }
+        if complete {
+            return Report {
+                schedules,
+                complete: true,
+                failure: None,
+            };
+        }
+        if schedules >= max_schedules {
+            return Report {
+                schedules,
+                complete: false,
+                failure: None,
+            };
+        }
+        prefix = log.into_iter().map(|(rank, _)| rank).collect();
+    }
+}
+
+/// Runs `iterations` executions whose schedules are drawn from a
+/// SplitMix64 stream seeded with `(seed, iteration)` — fully reproducible
+/// from the seed alone, across processes and platforms.
+pub fn check_random<F>(seed: u64, iterations: usize, f: F) -> Report
+where
+    F: Fn() + Send + Sync + 'static,
+{
+    let f: Arc<dyn Fn() + Send + Sync> = Arc::new(f);
+    for iteration in 0..iterations {
+        let outcome = Execution::run(
+            Policy::random(mix_seed(seed, iteration as u64)),
+            MAX_STEPS,
+            Arc::clone(&f),
+        );
+        if let Some(message) = outcome.failure {
+            return Report {
+                schedules: iteration + 1,
+                complete: false,
+                failure: Some(Failure {
+                    message,
+                    trace: outcome.trace,
+                    source: ScheduleSource::Random { seed, iteration },
+                }),
+            };
+        }
+    }
+    Report {
+        schedules: iterations,
+        complete: false,
+        failure: None,
+    }
+}
+
+/// Derives the per-iteration RNG state from the user seed.
+fn mix_seed(seed: u64, iteration: u64) -> u64 {
+    // SplitMix64 finalizer over the (seed, iteration) pair.
+    let mut z = seed.wrapping_add(0x9e37_79b9_7f4a_7c15u64.wrapping_mul(iteration.wrapping_add(1)));
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    z ^ (z >> 31)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::Ordering;
+    use std::sync::Arc;
+
+    /// A deliberately racy counter: load + store instead of fetch_add.
+    fn racy_increment(n: &sync::atomic::AtomicU64) {
+        let v = n.load(Ordering::Relaxed);
+        n.store(v + 1, Ordering::Relaxed);
+    }
+
+    fn racy_counter_check() -> impl Fn() + Send + Sync + 'static {
+        || {
+            let n = Arc::new(sync::atomic::AtomicU64::new(0));
+            let a = Arc::clone(&n);
+            let t = thread::spawn(move || racy_increment(&a));
+            racy_increment(&n);
+            t.join().unwrap();
+            assert_eq!(n.load(Ordering::Relaxed), 2, "lost update");
+        }
+    }
+
+    #[test]
+    fn exhaustive_finds_the_lost_update() {
+        let report = check_exhaustive(10_000, racy_counter_check());
+        let failure = report.failure.expect("the racy counter must fail");
+        assert!(failure.message.contains("lost update"), "{failure}");
+        assert!(!failure.trace.is_empty());
+        // Deterministic: the same DFS finds the same first failing
+        // schedule, trace and all.
+        let again = check_exhaustive(10_000, racy_counter_check())
+            .failure
+            .expect("same DFS, same failure");
+        assert_eq!(failure.trace, again.trace);
+        assert_eq!(failure.source, again.source);
+    }
+
+    #[test]
+    fn random_failures_reproduce_from_the_seed() {
+        let a = check_random(42, 500, racy_counter_check());
+        let b = check_random(42, 500, racy_counter_check());
+        let (fa, fb) = (a.failure.expect("racy"), b.failure.expect("racy"));
+        assert_eq!(fa.trace, fb.trace);
+        assert_eq!(fa.source, fb.source);
+        assert_eq!(fa.trace_string(), fb.trace_string());
+    }
+
+    #[test]
+    fn fetch_add_counter_is_exhaustively_correct() {
+        let report = check_exhaustive(10_000, || {
+            let n = Arc::new(sync::atomic::AtomicU64::new(0));
+            let a = Arc::clone(&n);
+            let t = thread::spawn(move || {
+                a.fetch_add(1, Ordering::Relaxed);
+            });
+            n.fetch_add(1, Ordering::Relaxed);
+            t.join().unwrap();
+            assert_eq!(n.load(Ordering::Relaxed), 2);
+        });
+        report.assert_ok();
+        assert!(report.complete, "small tree must be fully explored");
+        assert!(report.schedules > 1, "more than one interleaving exists");
+    }
+
+    #[test]
+    fn abba_lock_order_deadlock_is_detected() {
+        let report = check_exhaustive(10_000, || {
+            let a = Arc::new(sync::Mutex::new(0u32));
+            let b = Arc::new(sync::Mutex::new(0u32));
+            let (a2, b2) = (Arc::clone(&a), Arc::clone(&b));
+            let t = thread::spawn(move || {
+                let _ga = a2.lock().unwrap();
+                let _gb = b2.lock().unwrap();
+            });
+            let _gb = b.lock().unwrap();
+            let _ga = a.lock().unwrap();
+            drop((_ga, _gb));
+            t.join().unwrap();
+        });
+        let failure = report.failure.expect("ABBA must deadlock somewhere");
+        assert!(failure.message.contains("deadlock"), "{failure}");
+    }
+
+    #[test]
+    fn rwlock_writer_excludes_readers() {
+        // Writer makes the pair temporarily inconsistent; readers must
+        // never observe the intermediate state, under any schedule.
+        let report = check_exhaustive(20_000, || {
+            let pair = Arc::new(sync::RwLock::new((0u64, 0u64)));
+            let w = Arc::clone(&pair);
+            let t = thread::spawn(move || {
+                let mut g = w.write().unwrap();
+                g.0 += 1;
+                g.1 += 1;
+            });
+            let (x, y) = *pair.read().unwrap();
+            assert_eq!(x, y, "reader saw a half-applied write");
+            t.join().unwrap();
+        });
+        report.assert_ok();
+        assert!(report.complete);
+    }
+
+    #[test]
+    fn shims_pass_through_outside_a_model_run() {
+        let n = sync::atomic::AtomicU64::new(7);
+        assert_eq!(n.fetch_add(1, Ordering::Relaxed), 7);
+        assert_eq!(n.load(Ordering::Relaxed), 8);
+        let m = sync::Mutex::new(5u32);
+        *m.lock().unwrap() += 1;
+        assert_eq!(m.into_inner().unwrap(), 6);
+        let rw = sync::RwLock::new(String::from("x"));
+        rw.write().unwrap().push('y');
+        assert_eq!(rw.read().unwrap().as_str(), "xy");
+        let t = thread::spawn(|| 41 + 1);
+        assert_eq!(t.join().unwrap(), 42);
+    }
+
+    #[test]
+    fn join_observes_everything_the_joined_thread_wrote() {
+        let report = check_exhaustive(10_000, || {
+            let n = Arc::new(sync::atomic::AtomicU64::new(0));
+            let a = Arc::clone(&n);
+            let t = thread::spawn(move || {
+                a.store(3, Ordering::Relaxed);
+                9
+            });
+            assert_eq!(t.join().unwrap(), 9);
+            assert_eq!(n.load(Ordering::Relaxed), 3);
+        });
+        report.assert_ok();
+        assert!(report.complete);
+    }
+}

@@ -1,0 +1,391 @@
+//! Instrumented drop-in replacements for `std::sync` primitives.
+//!
+//! Each type wraps the `std` primitive it mirrors and adds exactly one
+//! behavior: when the calling thread belongs to a model run, every
+//! operation first passes through a scheduling point, and blocking
+//! acquisitions park in the model scheduler (via `try_*`) instead of the
+//! OS so the explorer keeps control of the interleaving.  On ordinary
+//! threads every method is a direct delegation — same semantics, same
+//! `LockResult` poisoning behavior — at the cost of one thread-local
+//! probe.
+
+use std::sync::atomic::Ordering;
+use std::sync::{LockResult, PoisonError, TryLockError};
+
+use crate::exec::{current, Block};
+
+/// One scheduling point, if the caller is a model thread.
+fn maybe_yield() {
+    if let Some(ctx) = current() {
+        ctx.exec.schedule(ctx.id, None);
+    }
+}
+
+/// Next id for lock identity (which waiters to wake on release).
+fn next_lock_id() -> u64 {
+    use std::sync::atomic::AtomicU64 as StdAtomicU64;
+    static NEXT: StdAtomicU64 = StdAtomicU64::new(1);
+    // ordering: Relaxed — a unique id is all that is needed; no other
+    // memory depends on the counter.
+    NEXT.fetch_add(1, Ordering::Relaxed)
+}
+
+/// Wakes model threads parked on `lock_id`; called from guard drops.
+/// Skips the voluntary context switch during unwinding: a panicking
+/// thread must not re-enter the scheduler (it could be told to abort,
+/// and a panic-inside-panic aborts the process).
+fn on_lock_release(lock_id: u64) {
+    if let Some(ctx) = current() {
+        ctx.exec.unblock_lock_waiters(lock_id);
+        if !std::thread::panicking() {
+            ctx.exec.schedule(ctx.id, None);
+        }
+    }
+}
+
+pub mod atomic {
+    //! Model-aware atomics (the `std::sync::atomic` mirror).
+
+    use super::maybe_yield;
+    use std::sync::atomic::Ordering;
+
+    macro_rules! model_atomic {
+        ($name:ident, $std:ty, $value:ty) => {
+            /// A model-aware atomic: identical to its `std` counterpart,
+            /// plus a scheduling point before every operation inside a
+            /// model run.
+            #[derive(Debug, Default)]
+            pub struct $name {
+                inner: $std,
+            }
+
+            impl $name {
+                /// Creates the atomic (const, like `std`).
+                pub const fn new(value: $value) -> Self {
+                    Self {
+                        inner: <$std>::new(value),
+                    }
+                }
+
+                /// Loads the value.
+                pub fn load(&self, order: Ordering) -> $value {
+                    maybe_yield();
+                    self.inner.load(order)
+                }
+
+                /// Stores a value.
+                pub fn store(&self, value: $value, order: Ordering) {
+                    maybe_yield();
+                    self.inner.store(value, order);
+                }
+
+                /// Swaps the value, returning the previous one.
+                pub fn swap(&self, value: $value, order: Ordering) -> $value {
+                    maybe_yield();
+                    self.inner.swap(value, order)
+                }
+
+                /// Adds, returning the previous value.
+                pub fn fetch_add(&self, value: $value, order: Ordering) -> $value {
+                    maybe_yield();
+                    self.inner.fetch_add(value, order)
+                }
+
+                /// Subtracts, returning the previous value.
+                pub fn fetch_sub(&self, value: $value, order: Ordering) -> $value {
+                    maybe_yield();
+                    self.inner.fetch_sub(value, order)
+                }
+
+                /// Maximum, returning the previous value.
+                pub fn fetch_max(&self, value: $value, order: Ordering) -> $value {
+                    maybe_yield();
+                    self.inner.fetch_max(value, order)
+                }
+
+                /// Minimum, returning the previous value.
+                pub fn fetch_min(&self, value: $value, order: Ordering) -> $value {
+                    maybe_yield();
+                    self.inner.fetch_min(value, order)
+                }
+
+                /// Compare-and-exchange with `std` semantics.
+                pub fn compare_exchange(
+                    &self,
+                    expected: $value,
+                    new: $value,
+                    success: Ordering,
+                    failure: Ordering,
+                ) -> Result<$value, $value> {
+                    maybe_yield();
+                    self.inner.compare_exchange(expected, new, success, failure)
+                }
+
+                /// Consumes the atomic, returning the value.
+                pub fn into_inner(self) -> $value {
+                    self.inner.into_inner()
+                }
+            }
+        };
+    }
+
+    model_atomic!(AtomicU64, std::sync::atomic::AtomicU64, u64);
+    model_atomic!(AtomicUsize, std::sync::atomic::AtomicUsize, usize);
+
+    /// A model-aware `AtomicBool` (separate: no fetch_add/min/max).
+    #[derive(Debug, Default)]
+    pub struct AtomicBool {
+        inner: std::sync::atomic::AtomicBool,
+    }
+
+    impl AtomicBool {
+        /// Creates the atomic (const, like `std`).
+        pub const fn new(value: bool) -> Self {
+            AtomicBool {
+                inner: std::sync::atomic::AtomicBool::new(value),
+            }
+        }
+
+        /// Loads the value.
+        pub fn load(&self, order: Ordering) -> bool {
+            maybe_yield();
+            self.inner.load(order)
+        }
+
+        /// Stores a value.
+        pub fn store(&self, value: bool, order: Ordering) {
+            maybe_yield();
+            self.inner.store(value, order);
+        }
+
+        /// Swaps the value, returning the previous one.
+        pub fn swap(&self, value: bool, order: Ordering) -> bool {
+            maybe_yield();
+            self.inner.swap(value, order)
+        }
+    }
+}
+
+/// A model-aware mutual-exclusion lock mirroring `std::sync::Mutex`.
+#[derive(Debug)]
+pub struct Mutex<T: ?Sized> {
+    id: u64,
+    inner: std::sync::Mutex<T>,
+}
+
+/// Guard for a [`Mutex`]; releasing it wakes model waiters.
+pub struct MutexGuard<'a, T: ?Sized> {
+    // Option so Drop can release the std guard *before* waking waiters.
+    inner: Option<std::sync::MutexGuard<'a, T>>,
+    lock_id: u64,
+}
+
+impl<T> Mutex<T> {
+    /// Creates the lock.
+    pub fn new(value: T) -> Self {
+        Mutex {
+            id: next_lock_id(),
+            inner: std::sync::Mutex::new(value),
+        }
+    }
+
+    /// Acquires the lock, parking in the model scheduler inside a model
+    /// run (so the explorer controls who waits) and in the OS otherwise.
+    pub fn lock(&self) -> LockResult<MutexGuard<'_, T>> {
+        let Some(ctx) = current() else {
+            return wrap_lock(self.inner.lock(), self.id);
+        };
+        loop {
+            ctx.exec.schedule(ctx.id, None);
+            match self.inner.try_lock() {
+                Ok(guard) => return Ok(guard_of(guard, self.id)),
+                Err(TryLockError::Poisoned(poisoned)) => {
+                    return Err(PoisonError::new(guard_of(poisoned.into_inner(), self.id)));
+                }
+                Err(TryLockError::WouldBlock) => {
+                    ctx.exec.schedule(ctx.id, Some(Block::Lock(self.id)));
+                }
+            }
+        }
+    }
+
+    /// Consumes the lock, returning the value.
+    pub fn into_inner(self) -> LockResult<T> {
+        self.inner.into_inner()
+    }
+}
+
+fn guard_of<T: ?Sized>(inner: std::sync::MutexGuard<'_, T>, lock_id: u64) -> MutexGuard<'_, T> {
+    MutexGuard {
+        inner: Some(inner),
+        lock_id,
+    }
+}
+
+fn wrap_lock<'a, T: ?Sized>(
+    result: LockResult<std::sync::MutexGuard<'a, T>>,
+    lock_id: u64,
+) -> LockResult<MutexGuard<'a, T>> {
+    match result {
+        Ok(guard) => Ok(guard_of(guard, lock_id)),
+        Err(poisoned) => Err(PoisonError::new(guard_of(poisoned.into_inner(), lock_id))),
+    }
+}
+
+impl<T: ?Sized> std::ops::Deref for MutexGuard<'_, T> {
+    type Target = T;
+    fn deref(&self) -> &T {
+        self.inner.as_ref().expect("guard accessed after release")
+    }
+}
+
+impl<T: ?Sized> std::ops::DerefMut for MutexGuard<'_, T> {
+    fn deref_mut(&mut self) -> &mut T {
+        self.inner.as_mut().expect("guard accessed after release")
+    }
+}
+
+impl<T: ?Sized> Drop for MutexGuard<'_, T> {
+    fn drop(&mut self) {
+        drop(self.inner.take()); // Release before waking waiters.
+        on_lock_release(self.lock_id);
+    }
+}
+
+/// A model-aware reader-writer lock mirroring `std::sync::RwLock`.
+#[derive(Debug)]
+pub struct RwLock<T: ?Sized> {
+    id: u64,
+    inner: std::sync::RwLock<T>,
+}
+
+/// Shared guard for an [`RwLock`].
+pub struct RwLockReadGuard<'a, T: ?Sized> {
+    inner: Option<std::sync::RwLockReadGuard<'a, T>>,
+    lock_id: u64,
+}
+
+/// Exclusive guard for an [`RwLock`].
+pub struct RwLockWriteGuard<'a, T: ?Sized> {
+    inner: Option<std::sync::RwLockWriteGuard<'a, T>>,
+    lock_id: u64,
+}
+
+impl<T> RwLock<T> {
+    /// Creates the lock.
+    pub fn new(value: T) -> Self {
+        RwLock {
+            id: next_lock_id(),
+            inner: std::sync::RwLock::new(value),
+        }
+    }
+
+    /// Acquires shared access (model-scheduler parking inside a run).
+    pub fn read(&self) -> LockResult<RwLockReadGuard<'_, T>> {
+        let Some(ctx) = current() else {
+            return match self.inner.read() {
+                Ok(guard) => Ok(read_guard(guard, self.id)),
+                Err(poisoned) => Err(PoisonError::new(read_guard(poisoned.into_inner(), self.id))),
+            };
+        };
+        loop {
+            ctx.exec.schedule(ctx.id, None);
+            match self.inner.try_read() {
+                Ok(guard) => return Ok(read_guard(guard, self.id)),
+                Err(TryLockError::Poisoned(poisoned)) => {
+                    return Err(PoisonError::new(read_guard(poisoned.into_inner(), self.id)));
+                }
+                Err(TryLockError::WouldBlock) => {
+                    ctx.exec.schedule(ctx.id, Some(Block::Lock(self.id)));
+                }
+            }
+        }
+    }
+
+    /// Acquires exclusive access (model-scheduler parking inside a run).
+    pub fn write(&self) -> LockResult<RwLockWriteGuard<'_, T>> {
+        let Some(ctx) = current() else {
+            return match self.inner.write() {
+                Ok(guard) => Ok(write_guard(guard, self.id)),
+                Err(poisoned) => Err(PoisonError::new(write_guard(
+                    poisoned.into_inner(),
+                    self.id,
+                ))),
+            };
+        };
+        loop {
+            ctx.exec.schedule(ctx.id, None);
+            match self.inner.try_write() {
+                Ok(guard) => return Ok(write_guard(guard, self.id)),
+                Err(TryLockError::Poisoned(poisoned)) => {
+                    return Err(PoisonError::new(write_guard(
+                        poisoned.into_inner(),
+                        self.id,
+                    )));
+                }
+                Err(TryLockError::WouldBlock) => {
+                    ctx.exec.schedule(ctx.id, Some(Block::Lock(self.id)));
+                }
+            }
+        }
+    }
+
+    /// Consumes the lock, returning the value.
+    pub fn into_inner(self) -> LockResult<T> {
+        self.inner.into_inner()
+    }
+}
+
+fn read_guard<T: ?Sized>(
+    inner: std::sync::RwLockReadGuard<'_, T>,
+    lock_id: u64,
+) -> RwLockReadGuard<'_, T> {
+    RwLockReadGuard {
+        inner: Some(inner),
+        lock_id,
+    }
+}
+
+fn write_guard<T: ?Sized>(
+    inner: std::sync::RwLockWriteGuard<'_, T>,
+    lock_id: u64,
+) -> RwLockWriteGuard<'_, T> {
+    RwLockWriteGuard {
+        inner: Some(inner),
+        lock_id,
+    }
+}
+
+impl<T: ?Sized> std::ops::Deref for RwLockReadGuard<'_, T> {
+    type Target = T;
+    fn deref(&self) -> &T {
+        self.inner.as_ref().expect("guard accessed after release")
+    }
+}
+
+impl<T: ?Sized> Drop for RwLockReadGuard<'_, T> {
+    fn drop(&mut self) {
+        drop(self.inner.take());
+        on_lock_release(self.lock_id);
+    }
+}
+
+impl<T: ?Sized> std::ops::Deref for RwLockWriteGuard<'_, T> {
+    type Target = T;
+    fn deref(&self) -> &T {
+        self.inner.as_ref().expect("guard accessed after release")
+    }
+}
+
+impl<T: ?Sized> std::ops::DerefMut for RwLockWriteGuard<'_, T> {
+    fn deref_mut(&mut self) -> &mut T {
+        self.inner.as_mut().expect("guard accessed after release")
+    }
+}
+
+impl<T: ?Sized> Drop for RwLockWriteGuard<'_, T> {
+    fn drop(&mut self) {
+        drop(self.inner.take());
+        on_lock_release(self.lock_id);
+    }
+}

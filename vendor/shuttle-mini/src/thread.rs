@@ -1,0 +1,83 @@
+//! Model-aware thread spawning (`model_thread` in the issue's naming).
+//!
+//! [`spawn`] called from inside a model run registers the new thread
+//! with the execution's scheduler, so every one of its instrumented
+//! operations becomes part of the explored schedule; called from an
+//! ordinary thread it is `std::thread::spawn` with the same API shape.
+
+use std::sync::{Arc, Mutex};
+
+use crate::exec::{current, run_model_thread, Block};
+
+enum Inner<T> {
+    Std(std::thread::JoinHandle<T>),
+    Model {
+        exec: Arc<crate::exec::Execution>,
+        id: usize,
+        result: Arc<Mutex<Option<T>>>,
+    },
+}
+
+/// Handle to a spawned thread; mirrors `std::thread::JoinHandle`.
+pub struct JoinHandle<T> {
+    inner: Inner<T>,
+}
+
+/// Spawns a thread.  Inside a model run the thread is scheduled
+/// deterministically with every other model thread; outside it is a
+/// plain `std` thread.
+pub fn spawn<F, T>(f: F) -> JoinHandle<T>
+where
+    F: FnOnce() -> T + Send + 'static,
+    T: Send + 'static,
+{
+    let Some(ctx) = current() else {
+        return JoinHandle {
+            inner: Inner::Std(std::thread::spawn(f)),
+        };
+    };
+    let id = ctx.exec.register_thread();
+    let result = Arc::new(Mutex::new(None));
+    let slot = Arc::clone(&result);
+    let exec = Arc::clone(&ctx.exec);
+    let os_handle = std::thread::spawn(move || {
+        let exec_for_body = Arc::clone(&exec);
+        run_model_thread(exec, id, move || {
+            let value = f();
+            *slot.lock().expect("thread result slot poisoned") = Some(value);
+            let _ = exec_for_body; // Keeps the execution alive for the body.
+        });
+    });
+    ctx.exec.adopt_os_handle(os_handle);
+    // Spawning is itself a scheduling point: the child may run first.
+    ctx.exec.schedule(ctx.id, None);
+    JoinHandle {
+        inner: Inner::Model {
+            exec: ctx.exec,
+            id,
+            result,
+        },
+    }
+}
+
+impl<T> JoinHandle<T> {
+    /// Waits for the thread to finish and returns its value, `Err` if it
+    /// panicked — the `std::thread::Result` contract.
+    pub fn join(self) -> std::thread::Result<T> {
+        match self.inner {
+            Inner::Std(handle) => handle.join(),
+            Inner::Model { exec, id, result } => {
+                let me = current().expect("model JoinHandle joined outside its run");
+                while !exec.is_finished(id) {
+                    me.exec.schedule(me.id, Some(Block::Join(id)));
+                }
+                // One more scheduling point so join itself interleaves.
+                me.exec.schedule(me.id, None);
+                match result.lock().expect("thread result slot poisoned").take() {
+                    Some(value) => Ok(value),
+                    None => Err(Box::new("model thread panicked".to_string())),
+                }
+            }
+        }
+    }
+}
