@@ -73,6 +73,11 @@ pub const RULES: &[RuleInfo] = &[
         id: "allow-syntax",
         summary: "lint:allow must name a known rule and give a non-empty reason",
     },
+    RuleInfo {
+        id: "error-display",
+        summary: "every pub error enum (name ending in `Error`) in an error-API \
+                  crate must impl Display and std::error::Error in its file",
+    },
 ];
 
 /// One lint finding.
@@ -108,6 +113,9 @@ pub struct LintConfig {
     pub read_path: bool,
     /// `deny-unsafe` applies (crate roots).
     pub require_deny_unsafe: bool,
+    /// `error-display` applies (crates whose typed errors cross an API or
+    /// wire boundary).
+    pub error_display: bool,
 }
 
 /// Crates whose non-test code forms the library core: panicking there
@@ -117,6 +125,16 @@ const LIBRARY_CORE: &[&str] = &[
     "crates/wf-sim/src/",
     "crates/wf-text/src/",
     "crates/wf-analyze/src/",
+    "crates/wf-serve/src/",
+];
+
+/// Crates whose typed errors are an API surface (the serving wire
+/// protocol forwards them verbatim): every pub `*Error` enum there must
+/// be a real `std::error::Error`, so callers can `?` and log them.
+const ERROR_API_CRATES: &[&str] = &[
+    "crates/wf-serve/src/",
+    "crates/wf-sim/src/",
+    "crates/wf-repo/src/",
 ];
 
 /// Files on the interner read path: search-time code that must resolve
@@ -134,6 +152,7 @@ pub fn config_for_path(rel: &str) -> LintConfig {
         no_unwrap: LIBRARY_CORE.iter().any(|p| rel.starts_with(p)),
         read_path: READ_PATHS.contains(&rel.as_str()),
         require_deny_unsafe: rel.ends_with("src/lib.rs"),
+        error_display: ERROR_API_CRATES.iter().any(|p| rel.starts_with(p)),
     }
 }
 
@@ -264,6 +283,30 @@ pub fn lint_source(rel: &str, source: &str, config: &LintConfig) -> Vec<Diagnost
                     "no-debug-macro",
                     format!("`{pattern}..)` must not be committed"),
                 );
+            }
+        }
+    }
+
+    if config.error_display {
+        for (idx, name) in pub_error_enums(&lines, &in_test) {
+            for (trait_name, must_contain) in [
+                ("Display", format!("Display for {name}")),
+                ("std::error::Error", format!("Error for {name}")),
+            ] {
+                let implemented = lines
+                    .iter()
+                    .any(|l| contains_impl_target(&l.code, &must_contain));
+                if !implemented {
+                    push(
+                        &mut diagnostics,
+                        idx,
+                        "error-display",
+                        format!(
+                            "pub error enum `{name}` has no `impl {trait_name}` in \
+                             this file; typed errors must be loggable and `?`-able"
+                        ),
+                    );
+                }
             }
         }
     }
@@ -414,6 +457,40 @@ fn word_occurrences(code: &str, word: &str) -> Vec<usize> {
             before_ok && after_ok
         })
         .collect()
+}
+
+/// Every `pub enum *Error` declared outside test regions: (line index,
+/// enum name).
+fn pub_error_enums(lines: &[ScannedLine], in_test: &[bool]) -> Vec<(usize, String)> {
+    let mut out = Vec::new();
+    for (idx, line) in lines.iter().enumerate() {
+        if in_test[idx] {
+            continue;
+        }
+        let code = line.code.as_str();
+        let Some(pos) = code.find("pub enum ") else {
+            continue;
+        };
+        let rest = &code[pos + "pub enum ".len()..];
+        let name: String = rest
+            .chars()
+            .take_while(|c| c.is_ascii_alphanumeric() || *c == '_')
+            .collect();
+        if name.len() > "Error".len() && name.ends_with("Error") {
+            out.push((idx, name));
+        }
+    }
+    out
+}
+
+/// True when `code` contains `pattern` ending exactly at an identifier
+/// boundary — so `Error for Wire` does not match `Error for WireError`.
+fn contains_impl_target(code: &str, pattern: &str) -> bool {
+    let bytes = code.as_bytes();
+    find_all(code, pattern).into_iter().any(|pos| {
+        let end = pos + pattern.len();
+        end >= bytes.len() || !is_ident_char(bytes[end])
+    })
 }
 
 /// Per-line flag: inside a `#[cfg(test)]`-guarded item (attribute line

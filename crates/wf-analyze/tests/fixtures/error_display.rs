@@ -1,0 +1,12 @@
+//! Fixture: a pub error enum with a Display impl but no
+//! `std::error::Error` impl in the file.
+
+pub enum SnapshotReadError {
+    Missing,
+}
+
+impl std::fmt::Display for SnapshotReadError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str("snapshot missing")
+    }
+}

@@ -17,6 +17,7 @@ fn library_config() -> LintConfig {
         no_unwrap: true,
         read_path: false,
         require_deny_unsafe: false,
+        error_display: false,
     }
 }
 
@@ -192,6 +193,47 @@ fn ordering_comment_is_accepted_inline_and_above() {
 }
 
 #[test]
+fn missing_error_impl_is_flagged() {
+    let config = LintConfig {
+        error_display: true,
+        ..basic_config()
+    };
+    assert_single(
+        "error_display.rs",
+        include_str!("fixtures/error_display.rs"),
+        &config,
+        "error-display",
+        4,
+    );
+}
+
+#[test]
+fn complete_error_enum_passes_and_name_matching_is_exact() {
+    let config = LintConfig {
+        error_display: true,
+        ..basic_config()
+    };
+    // Both impls present → clean, even with a second enum whose name is a
+    // prefix of the first (boundary matching must not cross-credit).
+    let complete = "pub enum WireError { Bad }\n\
+                    impl std::fmt::Display for WireError {\n\
+                    \tfn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result { f.write_str(\"bad\") }\n\
+                    }\n\
+                    impl std::error::Error for WireError {}\n";
+    assert!(lint_source("ok.rs", complete, &config).is_empty());
+
+    // `impl ... for WireError` must not satisfy a distinct `Wire` enum.
+    let prefixed = format!("pub enum Wire {{ X }}\n{complete}");
+    assert!(lint_source("prefix.rs", &prefixed, &config).is_empty());
+    let missing = format!("pub enum WireFrameError {{ X }}\n{complete}");
+    let diagnostics = lint_source("missing.rs", &missing, &config);
+    assert_eq!(diagnostics.len(), 2, "{diagnostics:#?}");
+    assert!(diagnostics
+        .iter()
+        .all(|d| d.rule == "error-display" && d.line == 1));
+}
+
+#[test]
 fn repo_policy_assigns_configs_by_path() {
     assert!(config_for_path("crates/wf-repo/src/search.rs").no_unwrap);
     assert!(config_for_path("crates/wf-repo/src/search.rs").read_path);
@@ -199,6 +241,11 @@ fn repo_policy_assigns_configs_by_path() {
     assert!(config_for_path("crates/wf-bench/src/lib.rs").require_deny_unsafe);
     assert!(config_for_path("src/lib.rs").require_deny_unsafe);
     assert!(!config_for_path("crates/wf-sim/src/measures.rs").read_path);
+    assert!(config_for_path("crates/wf-serve/src/server.rs").no_unwrap);
+    assert!(config_for_path("crates/wf-serve/src/protocol.rs").error_display);
+    assert!(config_for_path("crates/wf-sim/src/shard.rs").error_display);
+    assert!(config_for_path("crates/wf-repo/src/store.rs").error_display);
+    assert!(!config_for_path("crates/wf-bench/src/lib.rs").error_display);
 }
 
 #[test]

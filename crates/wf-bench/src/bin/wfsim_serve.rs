@@ -1,11 +1,13 @@
 //! `wfsim_serve` — the serving benchmark: scatter-gather batch-query
-//! throughput vs shard count, plus query throughput under live churn.
+//! throughput vs shard count, query latency quantiles under live churn,
+//! and end-to-end throughput over real loopback sockets through the
+//! `wf-serve` network front end.
 //!
 //! Usage:
 //! ```text
 //! wfsim_serve [corpus.json | --demo] [--bench-json BENCH_serving.json]
 //!             [--smoke | --quick] [--demo-size N] [--queries N] [--k N]
-//!             [--threads N] [--shards a,b,c] [--churn-ops N]
+//!             [--threads N] [--shards a,b,c] [--churn-ops N] [--clients N]
 //! ```
 //!
 //! * Builds the demo corpus (250 workflows by default, 60 with
@@ -14,17 +16,23 @@
 //!   `ShardedCorpus::search_batch` for each shard count, verifying every
 //!   hit list is bit-identical to the baseline.
 //! * Then wraps the largest shard count in a `CorpusService` and measures
-//!   batch-query throughput while a churn thread removes and re-adds
-//!   workflows through the per-shard write locks.
+//!   per-query latency quantiles (p50/p95/p99) while a churn thread
+//!   removes and re-adds workflows through the per-shard write locks.
+//! * Finally starts a `wf-serve` TCP server on loopback and drives it with
+//!   `--clients` concurrent retrying clients (default 32) — most querying,
+//!   a few churning over the wire — reporting client-observed quantiles
+//!   and saturation queries/s for the `network_serving` report section.
 //! * `--bench-json PATH` writes the machine-readable report CI uploads
 //!   next to the retrieval and clustering benches.
 
 use std::process::ExitCode;
-use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::Arc;
 use std::time::Instant;
 
 use wf_bench::table::TextTable;
-use wf_model::WorkflowId;
+use wf_model::{Workflow, WorkflowId};
+use wf_serve::{Client, ClientConfig, LatencyHistogram, Server, ServerConfig, StatsSnapshot};
 use wf_sim::{Corpus, CorpusService, ShardedCorpus, SimilarityConfig};
 
 struct Options {
@@ -35,13 +43,14 @@ struct Options {
     threads: usize,
     shard_counts: Vec<usize>,
     churn_ops: usize,
+    clients: usize,
     bench_json: Option<String>,
     smoke: bool,
 }
 
 const USAGE: &str = "usage: wfsim_serve [corpus.json | --demo] [--bench-json PATH] \
                      [--smoke | --quick] [--demo-size N] [--queries N] [--k N] \
-                     [--threads N] [--shards a,b,c] [--churn-ops N]";
+                     [--threads N] [--shards a,b,c] [--churn-ops N] [--clients N]";
 
 fn flag_value(args: &[String], i: &mut usize, name: &str) -> Result<String, String> {
     *i += 1;
@@ -58,6 +67,7 @@ fn parse_options(args: &[String]) -> Result<Options, String> {
     let mut threads = 8usize;
     let mut shard_counts = vec![1, 2, 4, 8];
     let mut churn_ops = 0usize;
+    let mut clients = 32usize;
     let mut bench_json = None;
     let mut smoke = false;
     let mut i = 0;
@@ -90,6 +100,11 @@ fn parse_options(args: &[String]) -> Result<Options, String> {
                 churn_ops = flag_value(args, &mut i, "--churn-ops")?
                     .parse()
                     .map_err(|_| "invalid --churn-ops value".to_string())?
+            }
+            "--clients" => {
+                clients = flag_value(args, &mut i, "--clients")?
+                    .parse()
+                    .map_err(|_| "invalid --clients value".to_string())?
             }
             "--shards" => {
                 shard_counts = flag_value(args, &mut i, "--shards")?
@@ -128,6 +143,7 @@ fn parse_options(args: &[String]) -> Result<Options, String> {
         threads: threads.max(1),
         shard_counts,
         churn_ops,
+        clients: clients.max(2),
         bench_json,
         smoke,
     })
@@ -206,37 +222,45 @@ fn run() -> Result<(), String> {
     }
 
     // Churn-while-query: the largest shard count behind RwLocks, one churn
-    // thread cycling removals and re-additions while batches run.
+    // thread cycling removals and re-additions while query workers run.
     let max_shards = options.shard_counts.iter().copied().max().unwrap_or(1);
-    let service = CorpusService::new(ShardedCorpus::build(
-        config.clone(),
-        max_shards,
-        workflows.clone(),
-    ))
-    .with_threads(options.threads);
+    let service = Arc::new(
+        CorpusService::new(ShardedCorpus::build(
+            config.clone(),
+            max_shards,
+            workflows.clone(),
+        ))
+        .with_threads(options.threads),
+    );
     let churn_pool: Vec<WorkflowId> = workflows
         .iter()
         .map(|w| w.id.clone())
         .filter(|id| !query_ids.contains(id))
         .collect();
-    // The query side runs a fixed number of batches; the churn thread
-    // keeps removing and re-adding workflows (through the per-shard write
-    // locks) and stops the moment the batches finish, so every counted
-    // churn op genuinely overlapped the counted queries (`--churn-ops`
-    // only paces how many batches run).
-    let batches = options.churn_ops.div_ceil(10).max(3);
+    // The query side answers a fixed number of individually-timed queries
+    // (so the phase can report true per-query p50/p95/p99, not per-batch
+    // walls); the churn thread keeps removing and re-adding workflows
+    // (through the per-shard write locks) and stops the moment the query
+    // workers finish, so every counted churn op genuinely overlapped the
+    // counted queries (`--churn-ops` only paces how many queries run).
+    let total_churn_queries = options.churn_ops.div_ceil(10).max(3) * query_ids.len();
+    let churn_latency = LatencyHistogram::new();
     let queries_done = AtomicBool::new(false);
+    let query_cursor = AtomicUsize::new(0);
     let churn_started = Instant::now();
     let (queries_under_churn, churn_ops_done) = std::thread::scope(|scope| {
         let service = &service;
         let queries_done = &queries_done;
+        let query_cursor = &query_cursor;
+        let churn_latency = &churn_latency;
+        let query_ids = &query_ids;
         let churner = scope.spawn(|| {
             let mut done = 0usize;
             for id in churn_pool.iter().cycle() {
                 // ordering: Acquire — pairs with the Release store below
                 // so the churner's final op count happens-after every
-                // counted query batch; Relaxed could let the loop observe
-                // the flag late and overshoot the measured window.
+                // counted query; Relaxed could let the loop observe the
+                // flag late and overshoot the measured window.
                 if queries_done.load(Ordering::Acquire) {
                     break;
                 }
@@ -249,18 +273,132 @@ fn run() -> Result<(), String> {
             }
             done
         });
-        let mut served = 0usize;
-        for _ in 0..batches {
-            let batch = service.search_batch(&query_ids, options.k);
-            served += batch.iter().filter(|hits| hits.is_some()).count();
-        }
-        // ordering: Release — publishes "all counted batches issued" to
+        let workers: Vec<_> = (0..options.threads)
+            .map(|_| {
+                scope.spawn(move || {
+                    let mut served = 0usize;
+                    loop {
+                        // ordering: Relaxed — the cursor is a work ticket
+                        // dispenser; fetch_add is already atomic and no
+                        // other memory is published through it.
+                        let i = query_cursor.fetch_add(1, Ordering::Relaxed);
+                        if i >= total_churn_queries {
+                            break;
+                        }
+                        let id = &query_ids[i % query_ids.len()];
+                        let started = Instant::now();
+                        if service.search(id, options.k).is_some() {
+                            churn_latency.record(started.elapsed());
+                            served += 1;
+                        }
+                    }
+                    served
+                })
+            })
+            .collect();
+        let served: usize = workers
+            .into_iter()
+            .map(|w| w.join().expect("query worker panicked"))
+            .sum();
+        // ordering: Release — publishes "all counted queries issued" to
         // the churner's Acquire load above, closing the measured window.
         queries_done.store(true, Ordering::Release);
         (served, churner.join().expect("churn thread panicked"))
     });
     let churn_ms = churn_started.elapsed().as_secs_f64() * 1e3;
     let churn_qps = queries_under_churn as f64 / (churn_ms / 1e3).max(1e-9);
+    let churn_lat = churn_latency.snapshot();
+
+    // Network serving: the same service behind the wf-serve TCP front end,
+    // hammered by concurrent retrying clients over real loopback sockets.
+    // Most clients query; every eighth churns over the wire, so the
+    // measured quantiles include add/remove write-lock interference plus
+    // framing, syscalls and client retries.
+    let server = Server::start(
+        Arc::clone(&service),
+        ServerConfig {
+            workers: options.threads,
+            ..ServerConfig::default()
+        },
+        None,
+    )
+    .map_err(|e| format!("cannot start loopback server: {e}"))?;
+    let addr = server.addr();
+    let workflow_by_id: std::collections::BTreeMap<WorkflowId, Workflow> = workflows
+        .iter()
+        .map(|w| (w.id.clone(), w.clone()))
+        .collect();
+    let net_queries_per_client = if options.smoke { 6 } else { 40 };
+    let net_started = Instant::now();
+    let (net_ok, net_degraded, net_errors, net_churn_ops, net_retries, net_latency) =
+        std::thread::scope(|scope| {
+            let query_ids = &query_ids;
+            let churn_pool = &churn_pool;
+            let workflow_by_id = &workflow_by_id;
+            let net_latency = Arc::new(LatencyHistogram::new());
+            let handles: Vec<_> = (0..options.clients)
+                .map(|c| {
+                    let latency = Arc::clone(&net_latency);
+                    scope.spawn(move || {
+                        let mut client = Client::new(
+                            addr,
+                            ClientConfig {
+                                seed: 0xC0FFEE + c as u64,
+                                ..ClientConfig::default()
+                            },
+                        );
+                        let (mut ok, mut degraded, mut errors, mut churned) =
+                            (0u64, 0u64, 0u64, 0u64);
+                        if c % 8 == 7 && !churn_pool.is_empty() {
+                            // Wire churner: remove and re-add its slice of
+                            // the pool through the framed protocol.
+                            for step in 0..net_queries_per_client {
+                                let id =
+                                    &churn_pool[(c + step * options.clients) % churn_pool.len()];
+                                let wf = &workflow_by_id[id];
+                                match (client.remove(id.as_str()), client.add(wf)) {
+                                    (Ok(true), Ok(_)) => churned += 2,
+                                    (Ok(false), Ok(_)) => churned += 1,
+                                    _ => errors += 1,
+                                }
+                            }
+                        } else {
+                            for step in 0..net_queries_per_client {
+                                let id = &query_ids[(c + step * options.clients) % query_ids.len()];
+                                let started = Instant::now();
+                                match client.search(id.as_str(), options.k as u32, 0) {
+                                    Ok(outcome) => {
+                                        latency.record(started.elapsed());
+                                        ok += 1;
+                                        if outcome.degraded {
+                                            degraded += 1;
+                                        }
+                                    }
+                                    Err(_) => errors += 1,
+                                }
+                            }
+                        }
+                        (ok, degraded, errors, churned, client.retries())
+                    })
+                })
+                .collect();
+            let mut totals = (0u64, 0u64, 0u64, 0u64, 0u64);
+            for handle in handles {
+                let (ok, degraded, errors, churned, retries) =
+                    handle.join().expect("network client panicked");
+                totals.0 += ok;
+                totals.1 += degraded;
+                totals.2 += errors;
+                totals.3 += churned;
+                totals.4 += retries;
+            }
+            let lat = net_latency.snapshot();
+            (totals.0, totals.1, totals.2, totals.3, totals.4, lat)
+        });
+    let net_ms = net_started.elapsed().as_secs_f64() * 1e3;
+    let net_qps = net_ok as f64 / (net_ms / 1e3).max(1e-9);
+    let server_stats: StatsSnapshot = server.metrics();
+    server.shutdown();
 
     // Human-readable summary.
     println!(
@@ -295,7 +433,23 @@ fn run() -> Result<(), String> {
     println!("{}", table.render());
     println!(
         "  churn: {churn_ops_done} ops on {max_shards} shards in {churn_ms:.1} ms, \
-         {queries_under_churn} queries answered concurrently ({churn_qps:.0} queries/s)"
+         {queries_under_churn} queries answered concurrently ({churn_qps:.0} queries/s, \
+         p50 {} us, p95 {} us, p99 {} us)",
+        churn_lat.quantile_us(0.50),
+        churn_lat.quantile_us(0.95),
+        churn_lat.quantile_us(0.99),
+    );
+    println!(
+        "  network: {} clients on {addr} — {net_ok} queries ok ({net_degraded} degraded, \
+         {net_errors} errors, {net_churn_ops} wire churn ops, {net_retries} retries) in \
+         {net_ms:.1} ms = {net_qps:.0} queries/s; client p50 {} us, p95 {} us, p99 {} us; \
+         server shed {} of {} requests",
+        options.clients,
+        net_latency.quantile_us(0.50),
+        net_latency.quantile_us(0.95),
+        net_latency.quantile_us(0.99),
+        server_stats.shed,
+        server_stats.requests,
     );
 
     if let Some(path) = &options.bench_json {
@@ -322,7 +476,15 @@ fn run() -> Result<(), String> {
              \"algorithm\": \"{}\",\n  \"threads\": {},\n  \"smoke\": {},\n  \
              \"single_engine_wall_ms\": {:.3},\n  \"shard_counts\": [\n{}\n  ],\n  \
              \"churn\": {{\"shards\": {}, \"ops\": {}, \"wall_ms\": {:.3}, \
-             \"queries_completed\": {}, \"queries_per_s\": {:.1}, \"final_size\": {}}}\n}}\n",
+             \"queries_completed\": {}, \"queries_per_s\": {:.1}, \"final_size\": {}, \
+             \"p50_us\": {}, \"p95_us\": {}, \"p99_us\": {}}},\n  \
+             \"network_serving\": {{\"clients\": {}, \"queries_per_client\": {}, \
+             \"queries_ok\": {}, \"degraded\": {}, \"errors\": {}, \
+             \"wire_churn_ops\": {}, \"client_retries\": {}, \"wall_ms\": {:.3}, \
+             \"queries_per_s\": {:.1}, \"p50_us\": {}, \"p95_us\": {}, \"p99_us\": {}, \
+             \"server\": {{\"requests\": {}, \"responses_ok\": {}, \"shed\": {}, \
+             \"degraded\": {}, \"bad_frames\": {}, \"search_p50_us\": {}, \
+             \"search_p95_us\": {}, \"search_p99_us\": {}}}}}\n}}\n",
             wf_bench::json_escape(&options.source),
             n,
             query_ids.len(),
@@ -338,6 +500,29 @@ fn run() -> Result<(), String> {
             queries_under_churn,
             churn_qps,
             service.len(),
+            churn_lat.quantile_us(0.50),
+            churn_lat.quantile_us(0.95),
+            churn_lat.quantile_us(0.99),
+            options.clients,
+            net_queries_per_client,
+            net_ok,
+            net_degraded,
+            net_errors,
+            net_churn_ops,
+            net_retries,
+            net_ms,
+            net_qps,
+            net_latency.quantile_us(0.50),
+            net_latency.quantile_us(0.95),
+            net_latency.quantile_us(0.99),
+            server_stats.requests,
+            server_stats.responses_ok,
+            server_stats.shed,
+            server_stats.degraded,
+            server_stats.bad_frames,
+            server_stats.search_p50_us,
+            server_stats.search_p95_us,
+            server_stats.search_p99_us,
         );
         std::fs::write(path, &report).map_err(|e| format!("cannot write '{path}': {e}"))?;
         println!("  report -> {path}");

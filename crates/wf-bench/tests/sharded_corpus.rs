@@ -353,3 +353,56 @@ fn sharded_snapshot_roundtrip_reproduces_search_results() {
     assert_eq!(rebuilt.len(), 30);
     let _ = std::fs::remove_dir_all(&dir);
 }
+
+/// Fault injection on the persistence layer: a shard snapshot cut off
+/// mid-file (a crashed writer, a torn copy) must surface as a typed
+/// per-shard error naming the exact shard, and `load_or_build` must
+/// recover with a rebuild whose search results are bit-identical to the
+/// corpus the snapshot was taken from.
+#[test]
+fn truncated_shard_snapshot_is_typed_and_recovery_is_equivalent() {
+    let dir = std::env::temp_dir().join("wfsim-bench-shard-truncation");
+    let _ = std::fs::remove_dir_all(&dir);
+    let workflows = demo_workflows(24, 77);
+    let config = SimilarityConfig::best_module_sets();
+    let original =
+        ShardedCorpus::build_with(config.clone(), 5, ShardPartition::HashId, workflows.clone());
+    original.save(&dir).unwrap();
+
+    // Truncate shard 3 mid-file: keep a strict prefix so the header may
+    // even parse but the payload (and checksum) cannot.
+    let victim = dir.join("shard-003.snap");
+    let bytes = std::fs::read(&victim).unwrap();
+    assert!(bytes.len() > 64, "fixture shard file is implausibly small");
+    std::fs::write(&victim, &bytes[..bytes.len() / 2]).unwrap();
+
+    match ShardedCorpus::load(&dir, config.clone()) {
+        Err(wf_sim::ShardSnapshotError::Shard { shard: 3, .. }) => {}
+        Err(err) => panic!("truncation must be a typed shard-3 error, got: {err}"),
+        Ok(_) => panic!("a truncated shard must not load"),
+    }
+
+    let (rebuilt, origin) =
+        ShardedCorpus::load_or_build(&dir, config.clone(), 5, ShardPartition::HashId, workflows);
+    assert!(!origin.is_snapshot());
+    assert_eq!(
+        origin.failed_shard(),
+        Some(3),
+        "rebuild reason names the shard"
+    );
+    assert_eq!(rebuilt.ids(), original.ids());
+    for id in original.ids() {
+        assert_eq!(
+            rebuilt.search(&id, 10).unwrap(),
+            original.search(&id, 10).unwrap(),
+            "post-recovery query {id}"
+        );
+    }
+
+    // The recovered corpus can re-save over the damaged snapshot and the
+    // new snapshot round-trips cleanly.
+    rebuilt.save(&dir).unwrap();
+    let restored = ShardedCorpus::load(&dir, config).unwrap();
+    assert_eq!(restored.ids(), original.ids());
+    let _ = std::fs::remove_dir_all(&dir);
+}

@@ -208,6 +208,14 @@ pub struct SearchStats {
     pub zero_bound: usize,
     /// Candidates sharing at least one label token with the query.
     pub shared_token_candidates: usize,
+    /// Candidates left unexamined because the search was cancelled (by a
+    /// deadline or an explicit [`CancelToken`](crate::search::CancelToken)
+    /// trip) before the scan reached them.
+    pub abandoned: usize,
+    /// True when cancellation cut this scan short: the hits are a correct
+    /// but possibly incomplete prefix of the candidate stream's true
+    /// contribution, and callers must surface the result as degraded.
+    pub cancelled: bool,
 }
 
 impl SearchStats {
@@ -228,6 +236,8 @@ impl SearchStats {
         self.pruned += other.pruned;
         self.zero_bound += other.zero_bound;
         self.shared_token_candidates += other.shared_token_candidates;
+        self.abandoned += other.abandoned;
+        self.cancelled |= other.cancelled;
     }
 }
 
@@ -270,13 +280,22 @@ pub fn sort_best_bound_first(candidates: &mut [RankedCandidate]) {
 /// — admissible, so the kept hits (returned in heap order; gather them
 /// with [`merge_top_k`]) are exactly the true top-k contributions of this
 /// candidate stream.
+///
+/// `cancel` is polled between candidates: once it fires, the remaining
+/// stream is abandoned (`stats.abandoned`, `stats.cancelled`) and the hits
+/// gathered so far are returned — each still an exact score, so a
+/// deadline-bound caller can serve them as an honest *partial* result.
+/// Non-deadline callers pass [`CancelToken::never`], which reduces the
+/// poll to one relaxed load.
 // lint:hot this loop runs once per candidate of every indexed search;
 // wfsim_lint forbids lock acquisition and heap allocation inside it.
+#[allow(clippy::too_many_arguments)] // the scan's full contract: stream + budget + cancellation
 pub fn scan_ranked_candidates<'a, I, F, G>(
     candidates: I,
     total: usize,
     k: usize,
     threshold: &SearchThreshold,
+    cancel: &crate::search::CancelToken,
     stats: &mut SearchStats,
     mut score: F,
     mut id_of: G,
@@ -293,6 +312,14 @@ where
     let mut top = TopK::new(k);
     let mut remaining = total;
     for candidate in candidates {
+        // A fired deadline abandons the rest of the stream: everything
+        // already kept is exact, so the caller can mark the merged result
+        // degraded instead of blocking past its SLO.
+        if cancel.is_cancelled() {
+            stats.abandoned += remaining;
+            stats.cancelled = true;
+            break;
+        }
         // Best-bound-first order: once the bound of the next candidate
         // drops below the floor, no later candidate can displace anything
         // (score <= bound < floor <= final k-th best), so stop scoring.
@@ -385,6 +412,7 @@ impl<'s, S: CorpusScorer + ?Sized> IndexedSearchEngine<'s, S> {
             candidates.len(),
             k,
             &SearchThreshold::new(),
+            &crate::search::CancelToken::never(),
             &mut stats,
             |i| self.scorer.score(query, i),
             |i| self.scorer.workflow_id(i).clone(),
@@ -430,6 +458,7 @@ impl<'s, S: CorpusScorer + ?Sized> IndexedSearchEngine<'s, S> {
                             candidates.len().saturating_sub(worker).div_ceil(threads),
                             k,
                             threshold,
+                            &crate::search::CancelToken::never(),
                             &mut local_stats,
                             |i| self.scorer.score(query, i),
                             |i| self.scorer.workflow_id(i).clone(),
@@ -712,8 +741,70 @@ mod tests {
             pruned: 5,
             zero_bound: 1,
             shared_token_candidates: 3,
+            abandoned: 0,
+            cancelled: false,
         };
         assert!((stats.pruned_fraction() - 0.6).abs() < 1e-12);
         assert_eq!(SearchStats::default().pruned_fraction(), 0.0);
+    }
+
+    #[test]
+    fn pre_fired_token_abandons_the_whole_stream() {
+        let scorer = corpus();
+        let mut candidates = Vec::new();
+        for i in 1..scorer.corpus_len() {
+            candidates.push(RankedCandidate {
+                index: i,
+                bound: scorer.upper_bound(0, i).unwrap_or(1.0),
+                overlap: 1,
+            });
+        }
+        sort_best_bound_first(&mut candidates);
+        let token = crate::search::CancelToken::never();
+        token.cancel();
+        let mut stats = SearchStats::default();
+        let hits = scan_ranked_candidates(
+            candidates.iter(),
+            candidates.len(),
+            3,
+            &SearchThreshold::new(),
+            &token,
+            &mut stats,
+            |i| scorer.score(0, i),
+            |i| scorer.workflow_id(i).clone(),
+        );
+        assert!(hits.is_empty(), "nothing was scored before the token fired");
+        assert!(stats.cancelled);
+        assert_eq!(stats.abandoned, candidates.len());
+        assert_eq!(stats.scored, 0);
+    }
+
+    #[test]
+    fn never_token_scan_is_identical_to_uncancelled_scan() {
+        let scorer = corpus();
+        let engine = IndexedSearchEngine::new(&scorer);
+        for query in 0..scorer.corpus_len() {
+            let (hits, stats) = engine.top_k_with_stats(query, 3);
+            assert!(!stats.cancelled, "the never token must not fire");
+            assert_eq!(stats.abandoned, 0);
+            assert_eq!(hits, engine.top_k(query, 3));
+        }
+    }
+
+    #[test]
+    fn merged_stats_propagate_cancellation() {
+        let mut a = SearchStats {
+            abandoned: 3,
+            cancelled: true,
+            ..SearchStats::default()
+        };
+        let b = SearchStats {
+            abandoned: 2,
+            cancelled: false,
+            ..SearchStats::default()
+        };
+        a.merge(&b);
+        assert_eq!(a.abandoned, 5);
+        assert!(a.cancelled, "cancellation is sticky under merge");
     }
 }

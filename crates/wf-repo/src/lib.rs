@@ -55,6 +55,6 @@ pub use preselect::{
 };
 pub use projection::importance_projection;
 pub use repository::Repository;
-pub use search::{merge_top_k, SearchEngine, SearchHit, SearchThreshold, TopK};
+pub use search::{merge_top_k, CancelToken, SearchEngine, SearchHit, SearchThreshold, TopK};
 pub use type_classes::TypeClass;
 pub use usage::UsageStatistics;

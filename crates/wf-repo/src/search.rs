@@ -200,6 +200,90 @@ impl SearchThreshold {
     }
 }
 
+/// A cooperative cancellation token with an optional deadline, shared by
+/// every branch of one search (the shards of a scatter-gather, the workers
+/// of a parallel scan).
+///
+/// Serving a query under a latency SLO means the search must be able to
+/// *stop* — not block past its deadline — and return whatever it has
+/// proven so far.  The token carries that decision: branches poll
+/// [`CancelToken::is_cancelled`] between candidates and abandon the rest
+/// of their stream once it fires, flagging the abandonment in their
+/// [`SearchStats`](crate::SearchStats) so callers can mark the merged
+/// result `degraded` instead of presenting a partial answer as complete.
+///
+/// Cancellation fires when the deadline passes *or* when a caller flips
+/// the flag explicitly ([`CancelToken::cancel`]); once fired it never
+/// resets.  Every score a cancelled search returns is still a true score —
+/// cancellation only truncates the candidate stream, it never corrupts it.
+#[derive(Debug)]
+pub struct CancelToken {
+    cancelled: std::sync::atomic::AtomicBool,
+    deadline: Option<std::time::Instant>,
+}
+
+impl CancelToken {
+    /// A token that never fires on its own (no deadline); only an explicit
+    /// [`CancelToken::cancel`] can trip it.  This is the token every
+    /// non-deadline search path uses — checking it costs one relaxed load.
+    pub fn never() -> Self {
+        CancelToken {
+            cancelled: std::sync::atomic::AtomicBool::new(false),
+            deadline: None,
+        }
+    }
+
+    /// A token that fires at `deadline`.
+    pub fn at(deadline: std::time::Instant) -> Self {
+        CancelToken {
+            cancelled: std::sync::atomic::AtomicBool::new(false),
+            deadline: Some(deadline),
+        }
+    }
+
+    /// A token that fires `budget` from now.
+    pub fn after(budget: std::time::Duration) -> Self {
+        CancelToken::at(std::time::Instant::now() + budget)
+    }
+
+    /// Trips the token immediately (idempotent; never un-trips).
+    pub fn cancel(&self) {
+        // ordering: Relaxed — the flag is a monotone one-way latch carrying
+        // no payload: a branch that observes it late merely scores a few
+        // more candidates, and every candidate it scores is still exact.
+        self.cancelled.store(true, AtomicOrdering::Relaxed);
+    }
+
+    /// True once the token has fired (explicitly or by deadline).  A
+    /// deadline expiry is latched into the flag so later polls skip the
+    /// clock read.
+    pub fn is_cancelled(&self) -> bool {
+        // ordering: Relaxed — see `cancel`: a stale read only delays the
+        // stop by one poll interval and never affects result exactness.
+        if self.cancelled.load(AtomicOrdering::Relaxed) {
+            return true;
+        }
+        match self.deadline {
+            Some(deadline) if std::time::Instant::now() >= deadline => {
+                self.cancel();
+                true
+            }
+            _ => false,
+        }
+    }
+
+    /// Time left until the deadline (`None` without a deadline, zero once
+    /// passed or cancelled).
+    pub fn remaining(&self) -> Option<std::time::Duration> {
+        let deadline = self.deadline?;
+        // ordering: Relaxed — same one-way latch as `is_cancelled`.
+        if self.cancelled.load(AtomicOrdering::Relaxed) {
+            return Some(std::time::Duration::ZERO);
+        }
+        Some(deadline.saturating_duration_since(std::time::Instant::now()))
+    }
+}
+
 /// A top-k similarity search engine over one repository.
 pub struct SearchEngine<'r, F> {
     repository: &'r Repository,
@@ -557,5 +641,41 @@ mod tests {
             sort_and_truncate(&mut partial, k);
             assert_eq!(partial, full, "k = {k}");
         }
+    }
+
+    #[test]
+    fn cancel_token_never_never_fires() {
+        let token = CancelToken::never();
+        assert!(!token.is_cancelled());
+        assert_eq!(token.remaining(), None);
+        token.cancel();
+        assert!(token.is_cancelled(), "explicit cancel always latches");
+    }
+
+    #[test]
+    fn cancel_token_deadline_latches_once_elapsed() {
+        let token = CancelToken::after(std::time::Duration::from_millis(5));
+        assert!(token.remaining().is_some());
+        let started = std::time::Instant::now();
+        while !token.is_cancelled() {
+            assert!(
+                started.elapsed() < std::time::Duration::from_secs(2),
+                "a 5ms deadline must fire"
+            );
+            std::thread::yield_now();
+        }
+        // Once fired the token stays fired, even though the deadline
+        // instant itself never changes.
+        assert!(token.is_cancelled());
+        assert_eq!(token.remaining(), Some(std::time::Duration::ZERO));
+    }
+
+    #[test]
+    fn cancel_token_is_shareable_across_threads() {
+        let token = CancelToken::never();
+        std::thread::scope(|scope| {
+            scope.spawn(|| token.cancel());
+        });
+        assert!(token.is_cancelled());
     }
 }

@@ -1,0 +1,410 @@
+//! A retrying client for the serving protocol.
+//!
+//! The client distinguishes **retryable** failures — connection refused or
+//! reset, truncated replies, read timeouts, and typed
+//! [`ServeError::Overloaded`] sheds — from **non-retryable** typed errors
+//! (bad request, not found), and retries the former with jittered
+//! exponential backoff on a *fresh connection*, reusing the *same request
+//! id* so the caller can account for every logical query exactly once.
+//! All protocol operations are idempotent, which is what makes blind
+//! resending safe.
+
+use std::net::{SocketAddr, TcpStream};
+use std::time::Duration;
+
+use wf_model::Workflow;
+
+use crate::metrics::StatsSnapshot;
+use crate::protocol::{
+    decode_response, encode_request, read_frame, FrameError, Hit, Request, Response, ServeError,
+    WireError, DEFAULT_MAX_FRAME_LEN,
+};
+
+/// Client tuning knobs.
+#[derive(Debug, Clone)]
+pub struct ClientConfig {
+    /// Budget for one attempt's reply (connect + write + read).
+    pub request_timeout: Duration,
+    /// Retryable failures tolerated before giving up (total attempts is
+    /// `max_retries + 1`).
+    pub max_retries: u32,
+    /// First backoff delay; doubles per retry.
+    pub backoff_base: Duration,
+    /// Backoff ceiling.
+    pub backoff_cap: Duration,
+    /// Seed for deterministic backoff jitter.
+    pub seed: u64,
+}
+
+impl Default for ClientConfig {
+    fn default() -> Self {
+        ClientConfig {
+            request_timeout: Duration::from_secs(2),
+            max_retries: 5,
+            backoff_base: Duration::from_millis(10),
+            backoff_cap: Duration::from_millis(500),
+            seed: 0x5EED,
+        }
+    }
+}
+
+/// Why a request ultimately failed.
+#[derive(Debug)]
+pub enum ClientError {
+    /// The server answered with a non-retryable typed error.
+    Rejected(ServeError),
+    /// Every attempt failed retryably; `last` describes the final one.
+    Exhausted { attempts: u32, last: String },
+    /// The server's reply decoded but did not match the request (wrong
+    /// request id or variant) — a protocol violation, not retryable.
+    Protocol(String),
+}
+
+impl std::fmt::Display for ClientError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ClientError::Rejected(err) => write!(f, "request rejected: {err}"),
+            ClientError::Exhausted { attempts, last } => {
+                write!(f, "request failed after {attempts} attempts: {last}")
+            }
+            ClientError::Protocol(detail) => write!(f, "protocol violation: {detail}"),
+        }
+    }
+}
+
+impl std::error::Error for ClientError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            ClientError::Rejected(err) => Some(err),
+            _ => None,
+        }
+    }
+}
+
+/// A search outcome with its degradation flags.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SearchOutcome {
+    pub request_id: u64,
+    pub hits: Vec<Hit>,
+    pub degraded: bool,
+    pub answered: Vec<bool>,
+}
+
+/// How one attempt failed (internal): socket-level failures — refused,
+/// reset, timed out, truncated frame — all retryable on a fresh
+/// connection.
+struct AttemptError {
+    detail: String,
+}
+
+fn transport(detail: impl Into<String>) -> AttemptError {
+    AttemptError {
+        detail: detail.into(),
+    }
+}
+
+/// A blocking protocol client with automatic retry.
+pub struct Client {
+    addr: SocketAddr,
+    config: ClientConfig,
+    stream: Option<TcpStream>,
+    next_request_id: u64,
+    rng: u64,
+    retries: u64,
+}
+
+impl Client {
+    pub fn new(addr: SocketAddr, config: ClientConfig) -> Self {
+        // xorshift needs a non-zero state; fold the address port in so
+        // concurrently-seeded clients still jitter apart.
+        let rng = (config.seed ^ (u64::from(addr.port()) << 17)) | 1;
+        Client {
+            addr,
+            config,
+            stream: None,
+            next_request_id: 1,
+            rng,
+            retries: 0,
+        }
+    }
+
+    pub fn connect(addr: SocketAddr) -> Self {
+        Client::new(addr, ClientConfig::default())
+    }
+
+    /// Retries (re-sent attempts) performed over this client's lifetime.
+    pub fn retries(&self) -> u64 {
+        self.retries
+    }
+
+    /// Sends a request, retrying retryable failures, and returns the
+    /// matched `(request_id, response)` pair.
+    pub fn request(&mut self, request: &Request) -> Result<(u64, Response), ClientError> {
+        let request_id = self.next_request_id;
+        self.next_request_id += 1;
+        let frame = encode_request(request_id, request);
+        let mut attempt = 0u32;
+        loop {
+            attempt += 1;
+            match self.attempt(request_id, &frame) {
+                Ok(Response::Error(err)) if !err.is_retryable() => {
+                    return Err(ClientError::Rejected(err));
+                }
+                Ok(Response::Error(ServeError::Overloaded { retry_after_ms })) => {
+                    if attempt > self.config.max_retries {
+                        return Err(ClientError::Exhausted {
+                            attempts: attempt,
+                            last: format!("still overloaded (hint {retry_after_ms}ms)"),
+                        });
+                    }
+                    self.retries += 1;
+                    std::thread::sleep(self.backoff(attempt, Some(retry_after_ms)));
+                }
+                Ok(response) => return Ok((request_id, response)),
+                Err(AttemptError { detail }) => {
+                    // The connection is suspect: drop it so the next
+                    // attempt reconnects and no stale reply can desync us.
+                    self.stream = None;
+                    if attempt > self.config.max_retries {
+                        return Err(ClientError::Exhausted {
+                            attempts: attempt,
+                            last: detail,
+                        });
+                    }
+                    self.retries += 1;
+                    std::thread::sleep(self.backoff(attempt, None));
+                }
+            }
+        }
+    }
+
+    /// One send/receive attempt over the (re)used connection.
+    fn attempt(&mut self, request_id: u64, frame: &[u8]) -> Result<Response, AttemptError> {
+        use std::io::Write;
+        let timeout = self.config.request_timeout;
+        if self.stream.is_none() {
+            let stream = TcpStream::connect_timeout(&self.addr, timeout)
+                .and_then(|s| s.set_read_timeout(Some(timeout)).map(|()| s))
+                .and_then(|s| s.set_write_timeout(Some(timeout)).map(|()| s))
+                .and_then(|s| s.set_nodelay(true).map(|()| s))
+                .map_err(|e| transport(format!("connect: {e}")))?;
+            self.stream = Some(stream);
+        }
+        let stream = match self.stream.as_mut() {
+            Some(stream) => stream,
+            None => return Err(transport("no connection")),
+        };
+        stream
+            .write_all(frame)
+            .map_err(|e| transport(format!("send: {e}")))?;
+        let payload = match read_frame(stream, DEFAULT_MAX_FRAME_LEN, timeout) {
+            Ok(Some(payload)) => payload,
+            // The read timeout elapsed with no reply byte: a slow or dead
+            // server — retryable.
+            Ok(None) => return Err(transport("reply timed out")),
+            Err(FrameError::Closed) => return Err(transport("connection closed")),
+            Err(FrameError::Io(e)) => return Err(transport(format!("recv: {e}"))),
+            Err(FrameError::Wire(e)) => {
+                // Garbled framing on the reply path (e.g. a drop fault
+                // severed mid-frame): retryable on a fresh connection.
+                return Err(transport(format!("reply framing: {e}")));
+            }
+        };
+        match decode_response(&payload) {
+            Ok((rid, response)) if rid == request_id => Ok(response),
+            Ok((rid, _)) => Err(transport(format!(
+                "reply for request {rid}, expected {request_id} — resyncing"
+            ))),
+            Err(WireError::Truncated { .. }) => Err(transport("truncated reply")),
+            Err(e) => Err(transport(format!("reply decode: {e}"))),
+        }
+    }
+
+    /// Jittered exponential backoff: `base * 2^(attempt-1)` capped, half
+    /// fixed and half jittered, never below the server's retry hint.
+    fn backoff(&mut self, attempt: u32, hint_ms: Option<u32>) -> Duration {
+        let shift = (attempt - 1).min(16);
+        let exp = self
+            .config
+            .backoff_base
+            .saturating_mul(1u32 << shift)
+            .min(self.config.backoff_cap);
+        let exp_us = exp.as_micros().min(u128::from(u64::MAX)) as u64;
+        let jitter = if exp_us > 1 {
+            self.next_rand() % (exp_us / 2 + 1)
+        } else {
+            0
+        };
+        let delay = Duration::from_micros(exp_us / 2 + jitter);
+        match hint_ms {
+            Some(hint) => delay.max(Duration::from_millis(u64::from(hint))),
+            None => delay,
+        }
+    }
+
+    /// xorshift64 — deterministic per seed, good enough for jitter.
+    fn next_rand(&mut self) -> u64 {
+        let mut x = self.rng;
+        x ^= x << 13;
+        x ^= x >> 7;
+        x ^= x << 17;
+        self.rng = x;
+        x
+    }
+
+    // -- Convenience wrappers -------------------------------------------
+
+    pub fn ping(&mut self) -> Result<u64, ClientError> {
+        match self.request(&Request::Ping)? {
+            (rid, Response::Pong) => Ok(rid),
+            (_, other) => Err(ClientError::Protocol(format!(
+                "expected Pong, got {other:?}"
+            ))),
+        }
+    }
+
+    /// Top-k search with an optional per-request deadline (0 = server
+    /// default).
+    pub fn search(
+        &mut self,
+        query: &str,
+        k: u32,
+        deadline_ms: u32,
+    ) -> Result<SearchOutcome, ClientError> {
+        let request = Request::Search {
+            query: query.to_owned(),
+            k,
+            deadline_ms,
+        };
+        match self.request(&request)? {
+            (
+                request_id,
+                Response::Hits {
+                    degraded,
+                    answered,
+                    hits,
+                },
+            ) => Ok(SearchOutcome {
+                request_id,
+                hits,
+                degraded,
+                answered,
+            }),
+            (_, other) => Err(ClientError::Protocol(format!(
+                "expected Hits, got {other:?}"
+            ))),
+        }
+    }
+
+    /// Ships a workflow to the server; returns the shard it landed on.
+    pub fn add(&mut self, workflow: &Workflow) -> Result<u32, ClientError> {
+        let workflow_json = serde_json::to_string(workflow)
+            .map_err(|e| ClientError::Protocol(format!("encode workflow: {e}")))?;
+        match self.request(&Request::Add { workflow_json })? {
+            (_, Response::Added { shard }) => Ok(shard),
+            (_, other) => Err(ClientError::Protocol(format!(
+                "expected Added, got {other:?}"
+            ))),
+        }
+    }
+
+    pub fn remove(&mut self, id: &str) -> Result<bool, ClientError> {
+        match self.request(&Request::Remove { id: id.to_owned() })? {
+            (_, Response::Removed { existed }) => Ok(existed),
+            (_, other) => Err(ClientError::Protocol(format!(
+                "expected Removed, got {other:?}"
+            ))),
+        }
+    }
+
+    pub fn stats(&mut self) -> Result<StatsSnapshot, ClientError> {
+        match self.request(&Request::Stats)? {
+            (_, Response::Stats(snapshot)) => Ok(snapshot),
+            (_, other) => Err(ClientError::Protocol(format!(
+                "expected Stats, got {other:?}"
+            ))),
+        }
+    }
+
+    // A remote corpus size has no cheap `is_empty` twin: every probe is a
+    // round trip, so one fallible accessor is the whole surface.
+    #[allow(clippy::len_without_is_empty)]
+    pub fn len(&mut self) -> Result<u64, ClientError> {
+        match self.request(&Request::Len)? {
+            (_, Response::Len { len }) => Ok(len),
+            (_, other) => Err(ClientError::Protocol(format!(
+                "expected Len, got {other:?}"
+            ))),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn backoff_grows_and_respects_hint() {
+        let addr: SocketAddr = match "127.0.0.1:9".parse() {
+            Ok(a) => a,
+            Err(_) => unreachable!("literal address parses"),
+        };
+        let mut client = Client::new(addr, ClientConfig::default());
+        let first = client.backoff(1, None);
+        let fifth = client.backoff(5, None);
+        assert!(fifth >= first);
+        assert!(fifth <= client.config.backoff_cap + client.config.backoff_cap / 2);
+        let hinted = client.backoff(1, Some(400));
+        assert!(hinted >= Duration::from_millis(400));
+    }
+
+    #[test]
+    fn jitter_is_deterministic_per_seed() {
+        let addr: SocketAddr = match "127.0.0.1:9".parse() {
+            Ok(a) => a,
+            Err(_) => unreachable!("literal address parses"),
+        };
+        let mut a = Client::new(
+            addr,
+            ClientConfig {
+                seed: 11,
+                ..ClientConfig::default()
+            },
+        );
+        let mut b = Client::new(
+            addr,
+            ClientConfig {
+                seed: 11,
+                ..ClientConfig::default()
+            },
+        );
+        let da: Vec<_> = (1..6).map(|i| a.backoff(i, None)).collect();
+        let db: Vec<_> = (1..6).map(|i| b.backoff(i, None)).collect();
+        assert_eq!(da, db);
+    }
+
+    #[test]
+    fn connect_failure_exhausts_with_transport_error() {
+        // Port 1 on loopback is almost certainly closed; connection is
+        // refused immediately, so retries stay fast.
+        let addr: SocketAddr = match "127.0.0.1:1".parse() {
+            Ok(a) => a,
+            Err(_) => unreachable!("literal address parses"),
+        };
+        let mut client = Client::new(
+            addr,
+            ClientConfig {
+                max_retries: 1,
+                backoff_base: Duration::from_millis(1),
+                backoff_cap: Duration::from_millis(2),
+                request_timeout: Duration::from_millis(200),
+                ..ClientConfig::default()
+            },
+        );
+        match client.ping() {
+            Err(ClientError::Exhausted { attempts: 2, .. }) => {}
+            other => panic!("expected Exhausted after 2 attempts, got {other:?}"),
+        }
+        assert_eq!(client.retries(), 1);
+    }
+}

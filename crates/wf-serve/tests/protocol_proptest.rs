@@ -1,0 +1,253 @@
+//! Property tests for the wire codec: every variant roundtrips
+//! bit-exactly, and truncated / corrupted / random-byte frames always
+//! decode to a *typed* [`WireError`] — never a panic and never an
+//! allocation beyond the frame the decoder was handed.
+
+use proptest::prelude::*;
+use wf_serve::{
+    decode_request, decode_response, encode_request, encode_response, Hit, Request, Response,
+    ServeError, StatsSnapshot, WireError, PROTOCOL_VERSION,
+};
+
+fn requests_from(s: String, k: u32, deadline_ms: u32) -> Vec<Request> {
+    vec![
+        Request::Ping,
+        Request::Search {
+            query: s.clone(),
+            k,
+            deadline_ms,
+        },
+        Request::Add {
+            workflow_json: s.clone(),
+        },
+        Request::Remove { id: s },
+        Request::Stats,
+        Request::Len,
+    ]
+}
+
+fn responses_from(
+    s: String,
+    flags: Vec<bool>,
+    hits: Vec<(String, u64)>,
+    nums: (u32, u64),
+) -> Vec<Response> {
+    let (small, big) = nums;
+    let mut stats_fields = [0u64; StatsSnapshot::FIELD_COUNT];
+    for (i, slot) in stats_fields.iter_mut().enumerate() {
+        *slot = big.wrapping_add(i as u64);
+    }
+    vec![
+        Response::Pong,
+        Response::Hits {
+            degraded: flags.first().copied().unwrap_or(false),
+            answered: flags,
+            hits: hits
+                .into_iter()
+                .map(|(id, bits)| Hit {
+                    id,
+                    score: f64::from_bits(bits),
+                })
+                .collect(),
+        },
+        Response::Added { shard: small },
+        Response::Removed {
+            existed: big % 2 == 0,
+        },
+        Response::Stats(StatsSnapshot::from_fields(&stats_fields)),
+        Response::Len { len: big },
+        Response::Error(ServeError::NotFound { id: s.clone() }),
+        Response::Error(ServeError::Overloaded {
+            retry_after_ms: small,
+        }),
+        Response::Error(ServeError::BadRequest { detail: s.clone() }),
+        Response::Error(ServeError::Internal { detail: s }),
+    ]
+}
+
+/// NaN-aware score equality: the codec must preserve the exact bit
+/// pattern, which `PartialEq` on f64 cannot observe through NaN.
+fn responses_bit_equal(a: &Response, b: &Response) -> bool {
+    match (a, b) {
+        (
+            Response::Hits {
+                degraded: da,
+                answered: aa,
+                hits: ha,
+            },
+            Response::Hits {
+                degraded: db,
+                answered: ab,
+                hits: hb,
+            },
+        ) => {
+            da == db
+                && aa == ab
+                && ha.len() == hb.len()
+                && ha
+                    .iter()
+                    .zip(hb)
+                    .all(|(x, y)| x.id == y.id && x.score.to_bits() == y.score.to_bits())
+        }
+        _ => a == b,
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Every request variant roundtrips through the codec bit-exactly,
+    /// for arbitrary strings (including empty) and field values.
+    #[test]
+    fn every_request_variant_roundtrips(
+        rid in 0u64..=u64::MAX,
+        s in "[a-zA-Z0-9_ ]{0,60}",
+        k in 0u32..=u32::MAX,
+        deadline_ms in 0u32..=u32::MAX,
+    ) {
+        for req in requests_from(s.clone(), k, deadline_ms) {
+            let frame = encode_request(rid, &req);
+            let declared = u32::from_be_bytes([frame[0], frame[1], frame[2], frame[3]]) as usize;
+            prop_assert_eq!(declared, frame.len() - 4);
+            let (got_rid, got) = decode_request(&frame[4..]).expect("valid frame decodes");
+            prop_assert_eq!(got_rid, rid);
+            prop_assert_eq!(got, req);
+        }
+    }
+
+    /// Every response variant — including every typed error — roundtrips
+    /// bit-exactly, scores included (even NaN bit patterns).
+    #[test]
+    fn every_response_variant_roundtrips(
+        rid in 0u64..=u64::MAX,
+        s in "[a-zA-Z0-9_ ]{0,40}",
+        flags in proptest::collection::vec(0u8..=1, 0..12),
+        hits in proptest::collection::vec(("[a-z0-9]{1,20}", 0u64..=u64::MAX), 0..8),
+        small in 0u32..=u32::MAX,
+        big in 0u64..=u64::MAX,
+    ) {
+        let flags: Vec<bool> = flags.into_iter().map(|b| b == 1).collect();
+        for resp in responses_from(s.clone(), flags, hits.clone(), (small, big)) {
+            let frame = encode_response(rid, &resp);
+            let (got_rid, got) = decode_response(&frame[4..]).expect("valid frame decodes");
+            prop_assert_eq!(got_rid, rid);
+            prop_assert!(
+                responses_bit_equal(&got, &resp),
+                "response did not roundtrip: {:?} vs {:?}", got, resp
+            );
+        }
+    }
+
+    /// Every strict prefix of a valid frame decodes to a typed error —
+    /// never a panic, never a spurious success.
+    #[test]
+    fn truncated_frames_yield_typed_errors(
+        rid in 0u64..=u64::MAX,
+        s in "[a-z0-9 ]{0,40}",
+        k in 0u32..=1000,
+        cut in 0usize..=1000,
+    ) {
+        for req in requests_from(s.clone(), k, 0) {
+            let frame = encode_request(rid, &req);
+            let payload = &frame[4..];
+            let cut = cut % payload.len();
+            prop_assert!(
+                decode_request(&payload[..cut]).is_err(),
+                "a {cut}-byte prefix of a {}-byte payload decoded", payload.len()
+            );
+        }
+        for resp in responses_from(s.clone(), vec![true, false], Vec::new(), (k, 9)) {
+            let frame = encode_response(rid, &resp);
+            let payload = &frame[4..];
+            let cut = cut % payload.len();
+            prop_assert!(decode_response(&payload[..cut]).is_err());
+        }
+    }
+
+    /// A wrong version byte is rejected as `BadVersion` before the body is
+    /// interpreted.
+    #[test]
+    fn wrong_version_is_rejected(
+        rid in 0u64..=u64::MAX,
+        s in "[a-z]{0,20}",
+        version in 2u8..=u8::MAX,
+    ) {
+        // PROTOCOL_VERSION is 1; cover 0 explicitly and 2..=255 randomly.
+        prop_assert_eq!(PROTOCOL_VERSION, 1);
+        for bad in [0u8, version] {
+            for req in requests_from(s.clone(), 3, 0) {
+                let mut frame = encode_request(rid, &req);
+                frame[4] = bad;
+                prop_assert_eq!(
+                    decode_request(&frame[4..]),
+                    Err(WireError::BadVersion { found: bad })
+                );
+            }
+        }
+    }
+
+    /// Appending junk to a valid body is caught as `TrailingBytes`.
+    #[test]
+    fn trailing_bytes_are_rejected(
+        rid in 0u64..=u64::MAX,
+        s in "[a-z]{0,20}",
+        junk in proptest::collection::vec(0u8..=255, 1..16),
+    ) {
+        for req in requests_from(s.clone(), 3, 0) {
+            let mut frame = encode_request(rid, &req);
+            frame.extend_from_slice(&junk);
+            match decode_request(&frame[4..]) {
+                Err(WireError::TrailingBytes { extra }) => prop_assert_eq!(extra, junk.len()),
+                // A junk first byte of a string length field can also read
+                // as a truncation — typed either way.
+                Err(_) => {}
+                Ok(got) => prop_assert!(false, "junk-suffixed frame decoded: {:?}", got),
+            }
+        }
+    }
+
+    /// Fully random byte payloads never panic the decoders: they either
+    /// decode (a coincidence the framing allows) or yield a typed error.
+    #[test]
+    fn random_bytes_never_panic(
+        payload in proptest::collection::vec(0u8..=255, 0..200),
+    ) {
+        let _ = decode_request(&payload);
+        let _ = decode_response(&payload);
+    }
+
+    /// A hostile declared element count (hit count or shard count far
+    /// beyond the actual bytes) is rejected by the pre-allocation bound
+    /// check — typed `Truncated`, no outsized `Vec`.
+    #[test]
+    fn hostile_counts_are_rejected_before_allocation(
+        rid in 0u64..=u64::MAX,
+        hit_count in 1_000u32..=u32::MAX,
+        shard_count in 1_000u16..=u16::MAX,
+    ) {
+        // Hand-build a Hits payload: header, degraded=0, huge shard
+        // count, no flag bytes.
+        let mut payload = vec![PROTOCOL_VERSION];
+        payload.extend_from_slice(&rid.to_be_bytes());
+        payload.push(0x82);
+        payload.push(0);
+        payload.extend_from_slice(&shard_count.to_be_bytes());
+        match decode_response(&payload) {
+            Err(WireError::Truncated { .. }) => {}
+            other => prop_assert!(false, "hostile shard count: {:?}", other),
+        }
+
+        // Same with a plausible shard section but a huge hit count.
+        let mut payload = vec![PROTOCOL_VERSION];
+        payload.extend_from_slice(&rid.to_be_bytes());
+        payload.push(0x82);
+        payload.push(0);
+        payload.extend_from_slice(&1u16.to_be_bytes());
+        payload.push(1);
+        payload.extend_from_slice(&hit_count.to_be_bytes());
+        match decode_response(&payload) {
+            Err(WireError::Truncated { .. }) => {}
+            other => prop_assert!(false, "hostile hit count: {:?}", other),
+        }
+    }
+}

@@ -78,5 +78,7 @@ pub use module_cmp::{ComparisonMethod, ModuleComparisonScheme};
 pub use pipeline::{SimilarityReport, WorkflowSimilarity};
 pub use prior_work::{prior_approaches, PriorApproach};
 pub use profile::{ClassPairTable, ModuleProfile, ProfiledMeasure, QueryFeatures, WorkflowProfile};
-pub use shard::{CorpusService, ShardOrigin, ShardPartition, ShardSnapshotError, ShardedCorpus};
+pub use shard::{
+    CorpusService, DegradedSearch, ShardOrigin, ShardPartition, ShardSnapshotError, ShardedCorpus,
+};
 pub use stacking::{learn_weights, weight_grid, LearnedWeights, RankEnsemble};

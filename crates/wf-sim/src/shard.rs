@@ -53,8 +53,8 @@ use shuttle_mini::sync::{Mutex, RwLock, RwLockReadGuard};
 
 use wf_model::{Workflow, WorkflowId};
 use wf_repo::{
-    merge_top_k, scan_ranked_candidates, sort_best_bound_first, RankedCandidate, SearchHit,
-    SearchStats, SearchThreshold,
+    merge_top_k, scan_ranked_candidates, sort_best_bound_first, CancelToken, RankedCandidate,
+    SearchHit, SearchStats, SearchThreshold,
 };
 
 use crate::config::SimilarityConfig;
@@ -413,6 +413,7 @@ impl ShardedCorpus {
                                 &queries[qi],
                                 k,
                                 threshold,
+                                &CancelToken::never(),
                             );
                             out.push((qi, hits));
                         }
@@ -449,6 +450,32 @@ impl ShardedCorpus {
         k: usize,
     ) -> (Vec<SearchHit>, SearchStats) {
         scatter_gather(self.shards.len(), |i| &self.shards[i], features, exclude, k)
+    }
+
+    /// Deadline-bound scatter-gather: like [`ShardedCorpus::search`], but
+    /// the scan polls `cancel` between candidates and between shards, so a
+    /// fired deadline returns the exact partial top-k proven so far
+    /// (flagged [`degraded`](DegradedSearch::degraded), with the shards
+    /// that answered completely recorded) instead of blocking past the
+    /// SLO.  With a never-firing token the result equals
+    /// [`ShardedCorpus::search`] and is not degraded.
+    pub fn search_deadline(
+        &self,
+        query: &WorkflowId,
+        k: usize,
+        cancel: &CancelToken,
+    ) -> Option<DegradedSearch> {
+        let wf = self.get(query)?;
+        let features = self.query_features(wf);
+        Some(scatter_gather_deadline(
+            self.shards.len(),
+            |i| &self.shards[i],
+            &features,
+            query,
+            k,
+            cancel,
+            |_| true,
+        ))
     }
 
     /// Writes one snapshot file per shard plus a manifest into `dir`
@@ -567,6 +594,11 @@ impl ShardedCorpus {
     /// matches `config`; otherwise builds a fresh sharded corpus from
     /// `workflows`.  The origin says which happened (and why a rebuild was
     /// needed), so servers can log and re-save.
+    ///
+    /// A fallback is never silent: the rejected snapshot — including
+    /// *which* shard file failed, when one did — is reported on stderr, so
+    /// an operator can tell a routine cold start from a corrupted shard
+    /// that quietly cost a full rebuild.
     pub fn load_or_build(
         dir: impl AsRef<Path>,
         config: SimilarityConfig,
@@ -574,12 +606,27 @@ impl ShardedCorpus {
         partition: ShardPartition,
         workflows: impl IntoIterator<Item = Workflow>,
     ) -> (Self, ShardOrigin) {
+        let dir = dir.as_ref();
         match ShardedCorpus::load(dir, config.clone()) {
             Ok(sharded) => (sharded, ShardOrigin::Snapshot),
-            Err(reason) => (
-                ShardedCorpus::build_with(config, shard_count, partition, workflows),
-                ShardOrigin::Rebuilt(reason),
-            ),
+            Err(reason) => {
+                match reason.failed_shard() {
+                    Some(shard) => eprintln!(
+                        "wfsim: sharded snapshot {}: shard {shard} ({}) rejected — {reason}; \
+                         rebuilding every shard from source workflows",
+                        dir.display(),
+                        shard_file_name(shard),
+                    ),
+                    None => eprintln!(
+                        "wfsim: sharded snapshot {}: {reason}; rebuilding from source workflows",
+                        dir.display(),
+                    ),
+                }
+                (
+                    ShardedCorpus::build_with(config, shard_count, partition, workflows),
+                    ShardOrigin::Rebuilt(reason),
+                )
+            }
         }
     }
 }
@@ -598,6 +645,16 @@ impl ShardOrigin {
     /// True when the corpus came out of a snapshot.
     pub fn is_snapshot(&self) -> bool {
         matches!(self, ShardOrigin::Snapshot)
+    }
+
+    /// The index of the shard whose snapshot forced a rebuild, when the
+    /// failure was shard-local (`None` for snapshot-wide failures and for
+    /// [`ShardOrigin::Snapshot`]).
+    pub fn failed_shard(&self) -> Option<usize> {
+        match self {
+            ShardOrigin::Snapshot => None,
+            ShardOrigin::Rebuilt(reason) => reason.failed_shard(),
+        }
     }
 }
 
@@ -624,6 +681,16 @@ pub enum ShardSnapshotError {
         /// Why its snapshot was rejected.
         error: SnapshotError,
     },
+}
+
+impl ShardSnapshotError {
+    /// The shard whose snapshot failed, for shard-local failures.
+    pub fn failed_shard(&self) -> Option<usize> {
+        match self {
+            ShardSnapshotError::Shard { shard, .. } => Some(*shard),
+            _ => None,
+        }
+    }
 }
 
 impl fmt::Display for ShardSnapshotError {
@@ -667,6 +734,7 @@ fn shard_top_k(
     exclude: &WorkflowId,
     k: usize,
     threshold: &SearchThreshold,
+    cancel: &CancelToken,
 ) -> (Vec<SearchHit>, SearchStats) {
     let measure: &ProfiledMeasure = shard.measure();
     let query: WorkflowProfile = measure.bind_query(features);
@@ -698,11 +766,89 @@ fn shard_top_k(
         candidates.len(),
         k,
         threshold,
+        cancel,
         &mut stats,
         |i| measure.score_profile(&query, i),
         |i| measure.ids()[i].clone(),
     );
     (hits, stats)
+}
+
+/// The outcome of a deadline-bound scatter-gather search.
+///
+/// The hits are always *true* scores in the canonical order; what a fired
+/// deadline (or an injected shard fault) costs is **coverage**, never
+/// correctness: shards that did not finish simply contribute fewer (or no)
+/// candidates, and the result says so instead of passing a partial answer
+/// off as complete.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DegradedSearch {
+    /// The merged top-k over every candidate that was actually scored.
+    pub hits: Vec<SearchHit>,
+    /// Per shard: true when that shard's scan ran to completion.  A shard
+    /// cut short mid-scan still contributes the exact hits it had proven,
+    /// but is reported unanswered.
+    pub answered: Vec<bool>,
+    /// True when any shard did not answer completely — the signal a
+    /// serving layer forwards so clients can tell a full top-k from a
+    /// best-effort one.
+    pub degraded: bool,
+    /// Pruning / cancellation instrumentation aggregated over the shards
+    /// that were visited.
+    pub stats: SearchStats,
+}
+
+impl DegradedSearch {
+    /// Number of shards that answered completely.
+    pub fn answered_count(&self) -> usize {
+        self.answered.iter().filter(|&&a| a).count()
+    }
+}
+
+/// The deadline-aware scatter-gather loop behind every cancellable search
+/// entry point: visit each shard unless the token has fired, let
+/// `shard_gate` veto (or delay — the serving layer's fault-injection hook
+/// sleeps in it) each visit, scan against the shared threshold with the
+/// token plumbed into the candidate loop, and gather whatever completed
+/// through [`merge_top_k`].
+fn scatter_gather_deadline<R: std::ops::Deref<Target = Corpus>>(
+    shard_count: usize,
+    mut shard_at: impl FnMut(usize) -> R,
+    features: &QueryFeatures,
+    exclude: &WorkflowId,
+    k: usize,
+    cancel: &CancelToken,
+    mut shard_gate: impl FnMut(usize) -> bool,
+) -> DegradedSearch {
+    let threshold = SearchThreshold::new();
+    let mut stats = SearchStats::default();
+    let mut parts = Vec::with_capacity(shard_count);
+    let mut answered = vec![false; shard_count];
+    for (shard, answered_slot) in answered.iter_mut().enumerate() {
+        // A fired deadline skips every remaining shard outright; they are
+        // reported unanswered.
+        if cancel.is_cancelled() {
+            stats.cancelled = true;
+            break;
+        }
+        // A vetoed shard (injected fault) is skipped but the scatter
+        // continues: one bad shard degrades coverage, not availability.
+        if !shard_gate(shard) {
+            continue;
+        }
+        let guard = shard_at(shard);
+        let (hits, shard_stats) = shard_top_k(&guard, features, exclude, k, &threshold, cancel);
+        *answered_slot = !shard_stats.cancelled;
+        stats.merge(&shard_stats);
+        parts.push(hits);
+    }
+    let degraded = answered.iter().any(|&a| !a);
+    DegradedSearch {
+        hits: merge_top_k(parts, k),
+        answered,
+        degraded,
+        stats,
+    }
 }
 
 /// The one scatter-gather loop every search entry point uses: visit each
@@ -711,21 +857,22 @@ fn shard_top_k(
 /// per-shard winners through [`merge_top_k`].
 fn scatter_gather<R: std::ops::Deref<Target = Corpus>>(
     shard_count: usize,
-    mut shard_at: impl FnMut(usize) -> R,
+    shard_at: impl FnMut(usize) -> R,
     features: &QueryFeatures,
     exclude: &WorkflowId,
     k: usize,
 ) -> (Vec<SearchHit>, SearchStats) {
-    let threshold = SearchThreshold::new();
-    let mut stats = SearchStats::default();
-    let mut parts = Vec::with_capacity(shard_count);
-    for shard in 0..shard_count {
-        let shard = shard_at(shard);
-        let (hits, shard_stats) = shard_top_k(&shard, features, exclude, k, &threshold);
-        stats.merge(&shard_stats);
-        parts.push(hits);
-    }
-    (merge_top_k(parts, k), stats)
+    let result = scatter_gather_deadline(
+        shard_count,
+        shard_at,
+        features,
+        exclude,
+        k,
+        &CancelToken::never(),
+        |_| true,
+    );
+    debug_assert!(!result.degraded, "never-token scatter cannot degrade");
+    (result.hits, result.stats)
 }
 
 /// A concurrent serving wrapper around a [`ShardedCorpus`]: one `RwLock`
@@ -924,6 +1071,50 @@ impl CorpusService {
             k,
         );
         Some(hits)
+    }
+
+    /// Deadline-bound scatter-gather over the live corpus: polls `cancel`
+    /// between candidates and shards, returning the exact partial top-k
+    /// flagged [`degraded`](DegradedSearch::degraded) when the deadline
+    /// fires mid-search.  `None` when the query id is not resident at the
+    /// time the owning shard is read.
+    pub fn search_deadline(
+        &self,
+        query: &WorkflowId,
+        k: usize,
+        cancel: &CancelToken,
+    ) -> Option<DegradedSearch> {
+        self.search_deadline_with(query, k, cancel, |_| true)
+    }
+
+    /// [`CorpusService::search_deadline`] with a per-shard gate: the gate
+    /// runs *before* each shard's read lock is taken and may veto the
+    /// visit (returning `false` marks the shard unanswered and the result
+    /// degraded) or stall inside it — the hook the serving layer's
+    /// fault-injection plan uses to delay or fail individual shards
+    /// deterministically.
+    pub fn search_deadline_with(
+        &self,
+        query: &WorkflowId,
+        k: usize,
+        cancel: &CancelToken,
+        shard_gate: impl FnMut(usize) -> bool,
+    ) -> Option<DegradedSearch> {
+        let owner = self.owner_of(query)?;
+        let features = {
+            let shard = self.read(&self.shards[owner]);
+            let wf = shard.get(query)?;
+            shard.measure().query_features(wf)
+        };
+        Some(scatter_gather_deadline(
+            self.shards.len(),
+            |i| self.read(&self.shards[i]),
+            &features,
+            query,
+            k,
+            cancel,
+            shard_gate,
+        ))
     }
 
     /// Query by example over the live corpus (residents sharing the
@@ -1294,5 +1485,87 @@ mod tests {
         assert_eq!(restored.len(), 7);
         assert!(restored.contains(&"g".into()));
         let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn never_token_deadline_search_equals_plain_search() {
+        let sharded = ShardedCorpus::build_with(config(), 3, ShardPartition::RoundRobin, sample());
+        for id in sharded.ids() {
+            let plain = sharded.search(&id, 3).expect("resident");
+            let result = sharded
+                .search_deadline(&id, 3, &CancelToken::never())
+                .expect("resident");
+            assert!(!result.degraded, "a never token cannot degrade");
+            assert!(result.answered.iter().all(|&a| a));
+            assert_eq!(result.answered_count(), 3);
+            assert_eq!(result.hits, plain, "query {id}");
+        }
+    }
+
+    #[test]
+    fn pre_fired_deadline_returns_empty_fully_degraded_result() {
+        let sharded = ShardedCorpus::build_with(config(), 2, ShardPartition::RoundRobin, sample());
+        let token = CancelToken::never();
+        token.cancel();
+        let result = sharded
+            .search_deadline(&"a".into(), 3, &token)
+            .expect("residency is checked before the deadline");
+        assert!(result.degraded);
+        assert_eq!(result.answered, vec![false, false]);
+        assert!(result.hits.is_empty());
+        assert!(result.stats.cancelled);
+        assert_eq!(result.stats.scored, 0);
+    }
+
+    #[test]
+    fn vetoed_shard_degrades_coverage_not_correctness() {
+        let service = CorpusService::new(ShardedCorpus::build_with(
+            config(),
+            3,
+            ShardPartition::RoundRobin,
+            sample(),
+        ));
+        let query: WorkflowId = "a".into();
+        let full = service.search(&query, 10).expect("resident");
+        for vetoed in 0..3 {
+            let result = service
+                .search_deadline_with(&query, 10, &CancelToken::never(), |s| s != vetoed)
+                .expect("resident");
+            assert!(result.degraded, "vetoing shard {vetoed} must degrade");
+            for (shard, &answered) in result.answered.iter().enumerate() {
+                assert_eq!(answered, shard != vetoed, "shard {shard}");
+            }
+            assert_eq!(result.answered_count(), 2);
+            // Coverage shrinks — correctness does not: every surviving hit
+            // carries the exact score the full search proved for that id.
+            assert!(result.hits.len() <= full.len());
+            for hit in &result.hits {
+                let reference = full
+                    .iter()
+                    .find(|h| h.id == hit.id)
+                    .expect("degraded hit exists in the full result");
+                assert_eq!(hit.score.to_bits(), reference.score.to_bits());
+            }
+        }
+    }
+
+    #[test]
+    fn service_deadline_search_with_open_gate_is_not_degraded() {
+        let service = CorpusService::new(ShardedCorpus::build_with(
+            config(),
+            2,
+            ShardPartition::HashId,
+            sample(),
+        ));
+        let query: WorkflowId = "b".into();
+        let full = service.search(&query, 4).expect("resident");
+        let result = service
+            .search_deadline(&query, 4, &CancelToken::never())
+            .expect("resident");
+        assert!(!result.degraded);
+        assert_eq!(result.hits, full);
+        assert!(service
+            .search_deadline(&"nope".into(), 4, &CancelToken::never())
+            .is_none());
     }
 }

@@ -90,6 +90,12 @@ pub use wf_gold as gold;
 /// Synthetic corpora and simulated expert panel (re-export of [`wf_corpus`]).
 pub use wf_corpus as corpus;
 
+/// The fault-tolerant network serving front end (re-export of
+/// [`wf_serve`]): framed binary protocol, per-request deadlines with
+/// degraded partial results, admission control with load shedding, a
+/// retrying client, and a deterministic fault-injection harness.
+pub use wf_serve as serve;
+
 /// The shared corpus layer: workflows + profiles + inverted index, built
 /// once and consumed by search, clustering and the experiment binaries,
 /// with incremental `add`/`remove` and snapshot persistence.
