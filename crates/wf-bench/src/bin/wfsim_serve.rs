@@ -8,13 +8,22 @@
 //! wfsim_serve [corpus.json | --demo] [--bench-json BENCH_serving.json]
 //!             [--smoke | --quick] [--demo-size N] [--queries N] [--k N]
 //!             [--threads N] [--shards a,b,c] [--churn-ops N] [--clients N]
+//!             [--corpus-size 250,2k,10k] [--reps N] [--assert-scaling]
 //! ```
 //!
 //! * Builds the demo corpus (250 workflows by default, 60 with
 //!   `--smoke`/`--quick`) once, answers a query batch through the
 //!   single-corpus indexed engine as the baseline, then through
 //!   `ShardedCorpus::search_batch` for each shard count, verifying every
-//!   hit list is bit-identical to the baseline.
+//!   hit list is bit-identical to the baseline.  `--corpus-size` repeats
+//!   the whole q/s × shard-count sweep for each listed demo-corpus size
+//!   (`2k` = 2000), each timed as the median of `--reps` batches (default
+//!   3), producing one scaling curve per size in the JSON report.
+//!   `--assert-scaling` then fails the run if, on the largest corpus,
+//!   batch q/s at the highest shard count falls more than 15% below the
+//!   lowest — a regression guard pinning down the global-frontier
+//!   scheduling guarantee (the old per-shard-heap design lost >4× here;
+//!   the allowance absorbs scheduler/allocator noise on one-core runners).
 //! * Then wraps the largest shard count in a `CorpusService` and measures
 //!   per-query latency quantiles (p50/p95/p99) while a churn thread
 //!   removes and re-adds workflows through the per-shard write locks.
@@ -46,11 +55,30 @@ struct Options {
     clients: usize,
     bench_json: Option<String>,
     smoke: bool,
+    corpus_sizes: Vec<usize>,
+    reps: usize,
+    assert_scaling: bool,
 }
 
 const USAGE: &str = "usage: wfsim_serve [corpus.json | --demo] [--bench-json PATH] \
                      [--smoke | --quick] [--demo-size N] [--queries N] [--k N] \
-                     [--threads N] [--shards a,b,c] [--churn-ops N] [--clients N]";
+                     [--threads N] [--shards a,b,c] [--churn-ops N] [--clients N] \
+                     [--corpus-size 250,2k,10k] [--reps N] [--assert-scaling]";
+
+/// Parses a corpus size that may carry a `k`/`K` thousands suffix.
+fn parse_size(raw: &str) -> Result<usize, String> {
+    let trimmed = raw.trim();
+    let (digits, scale) = match trimmed.strip_suffix(['k', 'K']) {
+        Some(head) => (head, 1000usize),
+        None => (trimmed, 1),
+    };
+    digits
+        .parse::<usize>()
+        .ok()
+        .and_then(|n| n.checked_mul(scale))
+        .filter(|&n| n >= 2)
+        .ok_or_else(|| format!("invalid corpus size '{raw}'"))
+}
 
 fn flag_value(args: &[String], i: &mut usize, name: &str) -> Result<String, String> {
     *i += 1;
@@ -70,6 +98,9 @@ fn parse_options(args: &[String]) -> Result<Options, String> {
     let mut clients = 32usize;
     let mut bench_json = None;
     let mut smoke = false;
+    let mut corpus_sizes = Vec::new();
+    let mut reps = 3usize;
+    let mut assert_scaling = false;
     let mut i = 0;
     while i < args.len() {
         match args[i].as_str() {
@@ -106,6 +137,21 @@ fn parse_options(args: &[String]) -> Result<Options, String> {
                     .parse()
                     .map_err(|_| "invalid --clients value".to_string())?
             }
+            "--corpus-size" | "--corpus-sizes" => {
+                corpus_sizes = flag_value(args, &mut i, "--corpus-size")?
+                    .split(',')
+                    .map(parse_size)
+                    .collect::<Result<Vec<_>, _>>()?;
+                if corpus_sizes.is_empty() {
+                    return Err("--corpus-size needs at least one size".to_string());
+                }
+            }
+            "--reps" => {
+                reps = flag_value(args, &mut i, "--reps")?
+                    .parse()
+                    .map_err(|_| "invalid --reps value".to_string())?
+            }
+            "--assert-scaling" => assert_scaling = true,
             "--shards" => {
                 shard_counts = flag_value(args, &mut i, "--shards")?
                     .split(',')
@@ -135,6 +181,9 @@ fn parse_options(args: &[String]) -> Result<Options, String> {
     if churn_ops == 0 {
         churn_ops = if smoke { 20 } else { 80 };
     }
+    if !corpus_sizes.is_empty() && source != "--demo" {
+        return Err("--corpus-size sweeps the seeded demo corpus; it cannot resize a file".into());
+    }
     Ok(Options {
         source,
         demo_size,
@@ -146,6 +195,9 @@ fn parse_options(args: &[String]) -> Result<Options, String> {
         clients: clients.max(2),
         bench_json,
         smoke,
+        corpus_sizes,
+        reps: reps.max(1),
+        assert_scaling,
     })
 }
 
@@ -159,18 +211,24 @@ struct ShardRun {
     pruned: usize,
 }
 
-fn run() -> Result<(), String> {
-    let args: Vec<String> = std::env::args().skip(1).collect();
-    let options = parse_options(&args)?;
-    let config = SimilarityConfig::best_module_sets();
-    let workflows = wf_bench::load_workflows(&options.source, options.demo_size)?;
-    let n = workflows.len();
-    if n < 2 {
-        return Err("serving benchmark needs at least two workflows".to_string());
-    }
+/// One corpus size's q/s × shard-count scaling curve.
+struct SizeCurve {
+    corpus_size: usize,
+    queries: usize,
+    algorithm: String,
+    baseline_ms: f64,
+    runs: Vec<ShardRun>,
+}
 
-    // Baseline: one shared single corpus, indexed engine, sequential batch.
-    let single = Corpus::build(config.clone(), workflows.clone());
+/// Runs the shard-count sweep for one workflow set: a single-corpus
+/// indexed-engine baseline, then `ShardedCorpus::search_batch_with_stats`
+/// per shard count — batch wall time the median of `reps`, pruning stats
+/// folded from the workers of the final rep, and every hit list checked
+/// bit-identical against the baseline.
+fn sweep_shard_counts(workflows: &[Workflow], options: &Options) -> SizeCurve {
+    let config = SimilarityConfig::best_module_sets();
+    let n = workflows.len();
+    let single = Corpus::build(config.clone(), workflows.to_vec());
     let engine = single.search_engine();
     let query_ids: Vec<WorkflowId> = single
         .ids()
@@ -190,36 +248,101 @@ fn run() -> Result<(), String> {
         .collect();
     let baseline_ms = baseline_started.elapsed().as_secs_f64() * 1e3;
 
-    // Scatter-gather throughput per shard count.
+    // Build every shard count up front, then time them in interleaved
+    // rounds (one rep of each count per round) and take the per-count
+    // median.  Timing each count's reps back-to-back instead would bias
+    // the comparison: allocator and page-cache state drift over the
+    // process lifetime, so whichever count runs first measures fastest —
+    // an ordering artifact the round-robin spreads evenly.  The median
+    // (not best-of) keeps one lucky scheduler slice from minting a ~5%
+    // outlier on a curve whose truth is flat.
+    let built: Vec<(usize, f64, ShardedCorpus)> = options
+        .shard_counts
+        .iter()
+        .map(|&shards| {
+            let build_started = Instant::now();
+            let sharded = ShardedCorpus::build(config.clone(), shards, workflows.to_vec());
+            (shards, build_started.elapsed().as_secs_f64() * 1e3, sharded)
+        })
+        .collect();
+    let mut rep_ms: Vec<Vec<f64>> = vec![Vec::with_capacity(options.reps); built.len()];
+    let mut outcomes = Vec::new();
+    for rep in 0..options.reps {
+        for (slot, (_, _, sharded)) in built.iter().enumerate() {
+            let batch_started = Instant::now();
+            let (batch, stats) =
+                sharded.search_batch_with_stats(&query_ids, options.k, options.threads);
+            rep_ms[slot].push(batch_started.elapsed().as_secs_f64() * 1e3);
+            if rep == 0 {
+                outcomes.push((batch, stats));
+            }
+        }
+    }
     let mut runs: Vec<ShardRun> = Vec::new();
-    for &shards in &options.shard_counts {
-        let build_started = Instant::now();
-        let sharded = ShardedCorpus::build(config.clone(), shards, workflows.clone());
-        let build_ms = build_started.elapsed().as_secs_f64() * 1e3;
-        let batch_started = Instant::now();
-        let batch = sharded.search_batch(&query_ids, options.k, options.threads);
-        let batch_ms = batch_started.elapsed().as_secs_f64() * 1e3;
+    for (slot, (shards, build_ms, _)) in built.iter().enumerate() {
+        let times = &mut rep_ms[slot];
+        times.sort_by(|a, b| a.partial_cmp(b).expect("batch timings are finite"));
+        let median_ms = times[times.len() / 2];
+        let (batch, stats) = &outcomes[slot];
         let identical = batch
             .iter()
             .zip(&baseline)
             .all(|(got, expected)| got.as_deref() == Some(expected.as_slice()));
-        let mut scored = 0usize;
-        let mut pruned = 0usize;
-        for id in &query_ids {
-            let (_, stats) = sharded.search_with_stats(id, options.k).expect("resident");
-            scored += stats.scored;
-            pruned += stats.pruned + stats.zero_bound;
-        }
         runs.push(ShardRun {
-            shards,
-            build_ms,
-            batch_ms,
-            queries_per_s: query_ids.len() as f64 / (batch_ms / 1e3).max(1e-9),
+            shards: *shards,
+            build_ms: *build_ms,
+            batch_ms: median_ms,
+            queries_per_s: query_ids.len() as f64 / (median_ms / 1e3).max(1e-9),
             identical,
-            scored,
-            pruned,
+            scored: stats.scored,
+            pruned: stats.pruned + stats.zero_bound,
         });
     }
+    SizeCurve {
+        corpus_size: n,
+        queries: query_ids.len(),
+        algorithm: single.measure_name(),
+        baseline_ms,
+        runs,
+    }
+}
+
+fn run() -> Result<(), String> {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let options = parse_options(&args)?;
+    let config = SimilarityConfig::best_module_sets();
+    let workflows = wf_bench::load_workflows(&options.source, options.demo_size)?;
+    let n = workflows.len();
+    if n < 2 {
+        return Err("serving benchmark needs at least two workflows".to_string());
+    }
+
+    // Scaling curves: the loaded corpus alone, or one seeded demo corpus
+    // per `--corpus-size` entry, each swept across every shard count.
+    let mut curves: Vec<SizeCurve> = Vec::new();
+    if options.corpus_sizes.is_empty() {
+        curves.push(sweep_shard_counts(&workflows, &options));
+    } else {
+        for &size in &options.corpus_sizes {
+            let sized = if size == n {
+                workflows.clone()
+            } else {
+                wf_bench::demo_workflows(size, wf_bench::corpus::DEMO_SEED)
+            };
+            curves.push(sweep_shard_counts(&sized, &options));
+        }
+    }
+    // The largest corpus carries the headline scaling claim.
+    let headline = curves
+        .iter()
+        .max_by_key(|c| c.corpus_size)
+        .expect("at least one curve");
+    let query_ids: Vec<WorkflowId> = workflows
+        .iter()
+        .map(|w| w.id.clone())
+        .step_by((n / options.queries.min(n)).max(1))
+        .take(options.queries)
+        .collect();
 
     // Churn-while-query: the largest shard count behind RwLocks, one churn
     // thread cycling removals and re-additions while query workers run.
@@ -402,15 +525,11 @@ fn run() -> Result<(), String> {
 
     // Human-readable summary.
     println!(
-        "serving benchmark ({}, {} workflows, {} queries, top-{}, {} threads):",
-        single.measure_name(),
-        n,
-        query_ids.len(),
-        options.k,
-        options.threads
+        "serving benchmark ({}, top-{}, {} threads, median of {} reps):",
+        headline.algorithm, options.k, options.threads, options.reps
     );
-    println!("  single-corpus baseline: {baseline_ms:>8.1} ms");
     let mut table = TextTable::new(vec![
+        "corpus",
         "shards",
         "build ms",
         "batch ms",
@@ -419,16 +538,23 @@ fn run() -> Result<(), String> {
         "scored",
         "pruned",
     ]);
-    for run in &runs {
-        table.row(vec![
-            run.shards.to_string(),
-            format!("{:.1}", run.build_ms),
-            format!("{:.1}", run.batch_ms),
-            format!("{:.0}", run.queries_per_s),
-            run.identical.to_string(),
-            run.scored.to_string(),
-            run.pruned.to_string(),
-        ]);
+    for curve in &curves {
+        println!(
+            "  corpus {}: {} queries, single-corpus baseline {:>8.1} ms",
+            curve.corpus_size, curve.queries, curve.baseline_ms
+        );
+        for run in &curve.runs {
+            table.row(vec![
+                curve.corpus_size.to_string(),
+                run.shards.to_string(),
+                format!("{:.1}", run.build_ms),
+                format!("{:.1}", run.batch_ms),
+                format!("{:.0}", run.queries_per_s),
+                run.identical.to_string(),
+                run.scored.to_string(),
+                run.pruned.to_string(),
+            ]);
+        }
     }
     println!("{}", table.render());
     println!(
@@ -453,20 +579,35 @@ fn run() -> Result<(), String> {
     );
 
     if let Some(path) = &options.bench_json {
-        let shard_reports: Vec<String> = runs
+        let shard_reports = |runs: &[ShardRun], indent: &str| -> String {
+            runs.iter()
+                .map(|run| {
+                    format!(
+                        "{indent}{{\"shards\": {}, \"build_ms\": {:.3}, \"batch_wall_ms\": {:.3}, \
+                         \"queries_per_s\": {:.1}, \"identical_hits\": {}, \
+                         \"comparisons_scored\": {}, \"comparisons_pruned\": {}}}",
+                        run.shards,
+                        run.build_ms,
+                        run.batch_ms,
+                        run.queries_per_s,
+                        run.identical,
+                        run.scored,
+                        run.pruned,
+                    )
+                })
+                .collect::<Vec<_>>()
+                .join(",\n")
+        };
+        let scale_curves: Vec<String> = curves
             .iter()
-            .map(|run| {
+            .map(|curve| {
                 format!(
-                    "    {{\"shards\": {}, \"build_ms\": {:.3}, \"batch_wall_ms\": {:.3}, \
-                     \"queries_per_s\": {:.1}, \"identical_hits\": {}, \
-                     \"comparisons_scored\": {}, \"comparisons_pruned\": {}}}",
-                    run.shards,
-                    run.build_ms,
-                    run.batch_ms,
-                    run.queries_per_s,
-                    run.identical,
-                    run.scored,
-                    run.pruned,
+                    "    {{\"corpus_size\": {}, \"queries\": {}, \
+                     \"single_engine_wall_ms\": {:.3}, \"shard_counts\": [\n{}\n    ]}}",
+                    curve.corpus_size,
+                    curve.queries,
+                    curve.baseline_ms,
+                    shard_reports(&curve.runs, "      "),
                 )
             })
             .collect();
@@ -474,7 +615,9 @@ fn run() -> Result<(), String> {
             "{{\n  \"experiment\": \"serving_scatter_gather\",\n  \"corpus\": \"{}\",\n  \
              \"corpus_size\": {},\n  \"queries\": {},\n  \"k\": {},\n  \
              \"algorithm\": \"{}\",\n  \"threads\": {},\n  \"smoke\": {},\n  \
+             \"reps\": {},\n  \
              \"single_engine_wall_ms\": {:.3},\n  \"shard_counts\": [\n{}\n  ],\n  \
+             \"scale_curves\": [\n{}\n  ],\n  \
              \"churn\": {{\"shards\": {}, \"ops\": {}, \"wall_ms\": {:.3}, \
              \"queries_completed\": {}, \"queries_per_s\": {:.1}, \"final_size\": {}, \
              \"p50_us\": {}, \"p95_us\": {}, \"p99_us\": {}}},\n  \
@@ -486,14 +629,16 @@ fn run() -> Result<(), String> {
              \"degraded\": {}, \"bad_frames\": {}, \"search_p50_us\": {}, \
              \"search_p95_us\": {}, \"search_p99_us\": {}}}}}\n}}\n",
             wf_bench::json_escape(&options.source),
-            n,
-            query_ids.len(),
+            headline.corpus_size,
+            headline.queries,
             options.k,
-            single.measure_name(),
+            headline.algorithm,
             options.threads,
             options.smoke,
-            baseline_ms,
-            shard_reports.join(",\n"),
+            options.reps,
+            headline.baseline_ms,
+            shard_reports(&headline.runs, "    "),
+            scale_curves.join(",\n"),
             max_shards,
             churn_ops_done,
             churn_ms,
@@ -528,11 +673,40 @@ fn run() -> Result<(), String> {
         println!("  report -> {path}");
     }
 
-    if let Some(diverged) = runs.iter().find(|run| !run.identical) {
-        return Err(format!(
-            "sharded batch hits diverged from the single-corpus engine at {} shards — this is a bug",
-            diverged.shards
-        ));
+    for curve in &curves {
+        if let Some(diverged) = curve.runs.iter().find(|run| !run.identical) {
+            return Err(format!(
+                "sharded batch hits diverged from the single-corpus engine at {} shards \
+                 (corpus {}) — this is a bug",
+                diverged.shards, curve.corpus_size
+            ));
+        }
+    }
+    if options.assert_scaling {
+        let (first, last) = (
+            headline.runs.first().expect("non-empty shard list"),
+            headline.runs.last().expect("non-empty shard list"),
+        );
+        // Regression guard, not a speed-up claim: with the global frontier
+        // the per-query scan work is identical at every shard count, so the
+        // truthful batch-throughput curve is flat.  The guard fails only on
+        // a real degradation (the old per-shard-heap design lost >4× here),
+        // with a 15% allowance for scheduler/allocator noise — on a
+        // one-core runner the multi-shard walk pays a few percent of
+        // memory-locality tax that parallel hardware hides, and run-to-run
+        // jitter on shared runners spans ±10% on its own.
+        if last.queries_per_s < first.queries_per_s * 0.85 {
+            return Err(format!(
+                "scaling regression on the {}-workflow corpus: {} shards answered \
+                 {:.0} queries/s but {} shards only {:.0} — the global frontier must \
+                 keep batch throughput from degrading as shards grow",
+                headline.corpus_size,
+                first.shards,
+                first.queries_per_s,
+                last.shards,
+                last.queries_per_s
+            ));
+        }
     }
     Ok(())
 }

@@ -67,6 +67,36 @@ fn sharded_topk_is_bit_identical_for_all_schemes_and_shard_counts() {
     }
 }
 
+/// The global-frontier guarantee behind the scaling curve: splitting the
+/// corpus must not multiply scoring work.  One shared best-bound frontier
+/// scores (nearly) the same candidate set at 8 shards as at 1 — only
+/// cross-shard bound ties may reorder, so the budget is a tight 1.2×.
+#[test]
+fn sharding_does_not_inflate_scored_comparisons() {
+    let workflows = demo_workflows(200, 23);
+    let config = SimilarityConfig::best_module_sets();
+    let queries: Vec<WorkflowId> = workflows.iter().map(|w| w.id.clone()).step_by(7).collect();
+    let scored_at = |shards: usize| -> u64 {
+        let sharded = ShardedCorpus::build(config.clone(), shards, workflows.clone());
+        queries
+            .iter()
+            .map(|id| {
+                let (_, stats) = sharded.search_with_stats(id, 10).expect("resident");
+                stats.scored as u64
+            })
+            .sum()
+    };
+    let baseline = scored_at(1);
+    assert!(baseline > 0, "queries must do real scoring work");
+    for shards in [2usize, 4, 8] {
+        let scored = scored_at(shards);
+        assert!(
+            scored as f64 <= 1.2 * baseline as f64,
+            "{shards} shards scored {scored} candidates vs {baseline} at 1 shard"
+        );
+    }
+}
+
 /// Batched queries are individually bit-identical to single searches — and
 /// therefore to the single-corpus engine — regardless of worker count.
 #[test]

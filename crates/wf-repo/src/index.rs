@@ -18,6 +18,7 @@
 //! degrade gracefully to an exhaustive — but still corpus-resident — scan.
 
 use std::borrow::Cow;
+use std::cell::Cell;
 use std::collections::BTreeMap;
 
 use serde::{Deserialize, Serialize};
@@ -346,6 +347,109 @@ where
         }
     }
     top.into_hits()
+}
+
+/// A pull-based merge of several [`sort_best_bound_first`]-ordered
+/// candidate lists into one global best-bound-first stream.
+///
+/// This is the scheduling core of the sharded scatter-gather search: each
+/// shard contributes its ranked candidate list as a *cursor*, and the
+/// frontier always yields the globally best-bound head across all cursors
+/// — so a single [`scan_ranked_candidates`] over the frontier prunes with
+/// the same power as one engine over the whole corpus, independent of how
+/// the candidates are partitioned.
+///
+/// Cursor positions live in [`Cell`]s: the iterator advances them through
+/// a shared reference, and after a (possibly cancelled) scan the caller
+/// reads [`RankedFrontier::exhausted`] per cursor to report which shards
+/// were fully covered.
+///
+/// Ties (equal bound and overlap) resolve to the earliest cursor — a
+/// deterministic order; the final top-k content is insertion-order
+/// independent anyway (every non-pruned candidate is scored exactly, and
+/// [`TopK`] keeps the k best under the canonical score-then-id order).
+pub struct RankedFrontier<'a> {
+    lists: Vec<&'a [RankedCandidate]>,
+    positions: Vec<Cell<usize>>,
+}
+
+impl<'a> RankedFrontier<'a> {
+    /// A frontier over per-cursor candidate lists, each already in
+    /// [`sort_best_bound_first`] order.
+    pub fn new(lists: Vec<&'a [RankedCandidate]>) -> Self {
+        let positions = lists.iter().map(|_| Cell::new(0)).collect();
+        RankedFrontier { lists, positions }
+    }
+
+    /// Total candidates across all cursors.
+    pub fn total(&self) -> usize {
+        self.lists.iter().map(|l| l.len()).sum()
+    }
+
+    /// Number of cursors.
+    pub fn cursors(&self) -> usize {
+        self.lists.len()
+    }
+
+    /// How many candidates of cursor `list` have been yielded so far.
+    pub fn position(&self, list: usize) -> usize {
+        self.positions[list].get()
+    }
+
+    /// True when cursor `list` has been fully drained.
+    pub fn exhausted(&self, list: usize) -> bool {
+        self.positions[list].get() >= self.lists[list].len()
+    }
+
+    /// The merged best-bound-first stream (advances cursor positions as
+    /// it is consumed).
+    pub fn iter(&self) -> RankedFrontierIter<'_, 'a> {
+        RankedFrontierIter { frontier: self }
+    }
+}
+
+impl<'f, 'a> IntoIterator for &'f RankedFrontier<'a> {
+    type Item = &'a RankedCandidate;
+    type IntoIter = RankedFrontierIter<'f, 'a>;
+    fn into_iter(self) -> Self::IntoIter {
+        self.iter()
+    }
+}
+
+/// Iterator of [`RankedFrontier::iter`].
+pub struct RankedFrontierIter<'f, 'a> {
+    frontier: &'f RankedFrontier<'a>,
+}
+
+impl<'f, 'a> Iterator for RankedFrontierIter<'f, 'a> {
+    type Item = &'a RankedCandidate;
+
+    /// Pops the globally best-bound candidate across all cursor heads
+    /// (bound descending, then overlap descending, then earliest cursor).
+    // lint:hot runs once per candidate of every sharded search; wfsim_lint
+    // forbids lock acquisition and heap allocation here.
+    fn next(&mut self) -> Option<&'a RankedCandidate> {
+        let mut best: Option<(usize, &'a RankedCandidate)> = None;
+        for (list, slice) in self.frontier.lists.iter().enumerate() {
+            let pos = self.frontier.positions[list].get();
+            let Some(head) = slice.get(pos) else {
+                continue;
+            };
+            let better = match best {
+                None => true,
+                Some((_, leader)) => {
+                    head.bound > leader.bound
+                        || (head.bound == leader.bound && head.overlap > leader.overlap)
+                }
+            };
+            if better {
+                best = Some((list, head));
+            }
+        }
+        let (list, head) = best?;
+        self.frontier.positions[list].set(self.frontier.positions[list].get() + 1);
+        Some(head)
+    }
 }
 
 /// The index-accelerated top-k search engine.
@@ -789,6 +893,103 @@ mod tests {
             assert_eq!(stats.abandoned, 0);
             assert_eq!(hits, engine.top_k(query, 3));
         }
+    }
+
+    #[test]
+    fn mid_frontier_cancellation_keeps_exactly_the_scored_prefix() {
+        // A token fired *during* the merged scan must yield precisely the
+        // candidates scored before it fired — exact scores, nothing
+        // half-done — and report the rest abandoned.
+        let rc = |index, bound| RankedCandidate {
+            index,
+            bound,
+            overlap: 1,
+        };
+        let a = vec![rc(0, 0.9), rc(2, 0.5)];
+        let b = vec![rc(1, 0.8), rc(3, 0.4)];
+        let frontier = RankedFrontier::new(vec![&a, &b]);
+        let bounds = [0.9, 0.8, 0.5, 0.4];
+        let token = crate::search::CancelToken::never();
+        let scored = std::cell::Cell::new(0usize);
+        let mut stats = SearchStats::default();
+        let hits = scan_ranked_candidates(
+            &frontier,
+            frontier.total(),
+            4,
+            &SearchThreshold::new(),
+            &token,
+            &mut stats,
+            |i| {
+                scored.set(scored.get() + 1);
+                if scored.get() == 3 {
+                    token.cancel();
+                }
+                bounds[i]
+            },
+            |i| WorkflowId::from(format!("w{i}")),
+        );
+        // The third score trips the token; the poll before the fourth
+        // candidate sees it, so the global best-bound prefix 0, 1, 2 is
+        // scored and candidate 3 is abandoned un-scored.
+        assert!(stats.cancelled);
+        assert_eq!(stats.scored, 3);
+        assert_eq!(stats.abandoned, 1);
+        let mut hits = crate::search::merge_top_k(vec![hits], 4);
+        hits.sort_by(|x, y| x.id.cmp(&y.id));
+        let got: Vec<(String, u64)> = hits
+            .iter()
+            .map(|h| (h.id.to_string(), h.score.to_bits()))
+            .collect();
+        let want: Vec<(String, u64)> = (0..3)
+            .map(|i| (format!("w{i}"), bounds[i].to_bits()))
+            .collect();
+        assert_eq!(got, want, "partial hits are exact and complete");
+    }
+
+    #[test]
+    fn frontier_merges_cursors_into_global_best_bound_order() {
+        let rc = |index, bound, overlap| RankedCandidate {
+            index,
+            bound,
+            overlap,
+        };
+        // Two sorted cursors with interleaved bounds, plus an empty one.
+        let a = vec![rc(0, 0.9, 2), rc(1, 0.5, 1), rc(2, 0.1, 0)];
+        let b = vec![rc(3, 0.7, 3), rc(4, 0.5, 4), rc(5, 0.5, 1)];
+        let frontier = RankedFrontier::new(vec![&a, &[], &b]);
+        assert_eq!(frontier.total(), 6);
+        assert_eq!(frontier.cursors(), 3);
+        assert!(frontier.exhausted(1), "the empty cursor starts exhausted");
+
+        let order: Vec<usize> = frontier.iter().map(|c| c.index).collect();
+        // 0.9 → 0.7 → the 0.5 tie resolves by overlap desc (4), then the
+        // overlap-1 tie by earliest cursor (cursor 0's index 1 before
+        // cursor 2's index 5) → 0.1.
+        assert_eq!(order, vec![0, 3, 4, 1, 5, 2]);
+        let bounds: Vec<f64> = frontier.iter().map(|c| c.bound).collect();
+        assert!(bounds.is_empty(), "a drained frontier yields nothing more");
+        assert!((0..3).all(|c| frontier.exhausted(c)));
+        assert_eq!(frontier.position(0), 3);
+        assert_eq!(frontier.position(2), 3);
+    }
+
+    #[test]
+    fn partially_consumed_frontier_reports_cursor_positions() {
+        let rc = |index, bound| RankedCandidate {
+            index,
+            bound,
+            overlap: 0,
+        };
+        let a = vec![rc(0, 0.9), rc(1, 0.2)];
+        let b = vec![rc(2, 0.8), rc(3, 0.7)];
+        let frontier = RankedFrontier::new(vec![&a, &b]);
+        let mut iter = frontier.iter();
+        assert_eq!(iter.next().map(|c| c.index), Some(0));
+        assert_eq!(iter.next().map(|c| c.index), Some(2));
+        assert_eq!(iter.next().map(|c| c.index), Some(3));
+        assert_eq!(frontier.position(0), 1);
+        assert!(!frontier.exhausted(0));
+        assert!(frontier.exhausted(1));
     }
 
     #[test]

@@ -47,7 +47,7 @@ pub mod usage;
 pub use importance::{ImportanceConfig, ImportanceScorer};
 pub use index::{
     scan_ranked_candidates, scan_top_k, sort_best_bound_first, CorpusScorer, IndexedSearchEngine,
-    RankedCandidate, SearchStats, TokenIndex,
+    RankedCandidate, RankedFrontier, SearchStats, TokenIndex,
 };
 pub use mining::{mine_repository, mine_transactions, FrequentItemsets, ItemSource, MiningConfig};
 pub use preselect::{

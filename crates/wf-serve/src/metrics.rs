@@ -98,10 +98,17 @@ pub struct HistogramSnapshot {
 }
 
 impl HistogramSnapshot {
-    /// The quantile in microseconds: the upper edge of the first bucket
-    /// whose cumulative count reaches rank `ceil(q * count)`.  Returns 0
-    /// for an empty histogram.  The answer is exact to within the bucket's
-    /// power-of-two resolution — plenty for p50/p95/p99 SLO reporting.
+    /// The quantile in microseconds: locate the bucket holding rank
+    /// `ceil(q * count)` and interpolate linearly *within* it by the
+    /// rank's position among the bucket's samples.  Returns 0 for an
+    /// empty histogram.
+    ///
+    /// The interpolation matters at power-of-two bucket edges: reporting
+    /// every in-bucket rank as the bucket's upper edge collapses p50, p95
+    /// and p99 to one value whenever the bulk of samples shares a bucket,
+    /// which is the common case for a tight latency distribution.  Spread
+    /// uniformly across the bucket instead, the quantiles stay distinct
+    /// and each is still within the bucket that truly contains its rank.
     pub fn quantile_us(&self, q: f64) -> u64 {
         if self.count == 0 {
             return 0;
@@ -110,11 +117,25 @@ impl HistogramSnapshot {
         let rank = ((clamped * self.count as f64).ceil() as u64).max(1);
         let mut seen = 0u64;
         for (i, &n) in self.buckets.iter().enumerate() {
-            seen += n;
-            if seen >= rank {
-                // Upper edge of bucket i = 2^(i+1) - 1 µs.
-                return (1u64 << (i + 1)) - 1;
+            if n == 0 {
+                continue;
             }
+            if seen + n >= rank {
+                // Bucket 0 spans [0, 2) µs; bucket i ≥ 1 spans
+                // [2^i, 2^(i+1)) µs — lower edge `lower`, width `width`.
+                let (lower, width) = if i == 0 {
+                    (0, 2)
+                } else {
+                    (1u64 << i, 1u64 << i)
+                };
+                // 1-based position of the rank among this bucket's n
+                // samples, spread uniformly over the width and clamped to
+                // stay inside the bucket.
+                let in_rank = rank - seen;
+                let offset = (u128::from(in_rank) * u128::from(width) / u128::from(n)) as u64;
+                return (lower + offset).min(lower + width - 1);
+            }
+            seen += n;
         }
         (1u64 << HISTOGRAM_BUCKETS) - 1
     }
@@ -255,11 +276,45 @@ mod tests {
         }
         let snap = h.snapshot();
         assert_eq!(snap.count, 5);
-        // p50 over {100,200,300,400,50_000}: rank 3 → 300µs bucket [256,512).
-        assert_eq!(snap.quantile_us(0.50), 511);
-        // p99 lands in the 50ms sample's bucket [32768, 65536).
+        // p50 over {100,200,300,400,50_000}: rank 3 → 300µs bucket
+        // [256,512), first of that bucket's two samples → 256 + 256/2.
+        assert_eq!(snap.quantile_us(0.50), 384);
+        // p99 lands in the 50ms sample's bucket [32768, 65536); the sole
+        // sample interpolates to the bucket's clamped upper edge.
         assert_eq!(snap.quantile_us(0.99), 65_535);
         assert!(snap.mean_us() > 0.0);
+    }
+
+    #[test]
+    fn quantiles_within_one_bucket_stay_distinct() {
+        // 100 samples, all in bucket [1024, 2048).  Reporting the bucket's
+        // upper edge for every rank would collapse p50 = p95 = p99 = 2047;
+        // within-bucket interpolation keeps them distinct and ordered.
+        let h = LatencyHistogram::new();
+        for _ in 0..100 {
+            h.record_us(1500);
+        }
+        let snap = h.snapshot();
+        assert_eq!(snap.quantile_us(0.50), 1024 + 50 * 1024 / 100);
+        assert_eq!(snap.quantile_us(0.95), 1024 + 95 * 1024 / 100);
+        assert_eq!(snap.quantile_us(0.99), 1024 + 99 * 1024 / 100);
+        let (p50, p95, p99) = (
+            snap.quantile_us(0.50),
+            snap.quantile_us(0.95),
+            snap.quantile_us(0.99),
+        );
+        assert!(p50 < p95 && p95 < p99 && p99 < 2048);
+    }
+
+    #[test]
+    fn zero_microsecond_samples_interpolate_inside_bucket_zero() {
+        let h = LatencyHistogram::new();
+        for us in [0u64, 0, 1, 1] {
+            h.record_us(us);
+        }
+        let snap = h.snapshot();
+        // Bucket 0 spans [0, 2): every quantile stays below 2µs.
+        assert!(snap.quantile_us(0.99) <= 1);
     }
 
     #[test]

@@ -30,6 +30,7 @@
 //! [`wf_repo::index`] prune most candidates without scoring them.
 
 use std::collections::BTreeMap;
+use std::sync::Arc;
 
 use serde::{Deserialize, Serialize};
 use wf_matching::{map_with, SimilarityMatrix};
@@ -39,7 +40,8 @@ use wf_text::levenshtein::{
     levenshtein_similarity, levenshtein_similarity_ci, levenshtein_similarity_with_lens,
 };
 use wf_text::{
-    jaccard_index, tokenize, CharSignature, FrozenInterner, StringPool, TokenBag, TokenIdSet,
+    jaccard_index, jaccard_sorted, tokenize, CharSignature, FrozenInterner, StringPool, TokenBag,
+    TokenIdSet,
 };
 
 use crate::config::{MeasureKind, Normalization, SimilarityConfig};
@@ -80,8 +82,16 @@ pub struct ModuleProfile {
 impl ModuleProfile {
     #[inline]
     fn has(&self, key: AttributeKey) -> bool {
-        self.presence & (1 << key as u8) != 0
+        presence_has(self.presence, key)
     }
+}
+
+/// The one presence-bitmask predicate shared by the profile (AoS) and the
+/// bound-column (SoA) candidate paths — bit `i` set iff the module carries
+/// `AttributeKey::ALL[i]`.
+#[inline]
+fn presence_has(presence: u8, key: AttributeKey) -> bool {
+    presence & (1 << key as u8) != 0
 }
 
 /// The pool-independent derived features of one module: everything a
@@ -172,7 +182,7 @@ impl ModuleFeatures {
 /// mutated by a read path.
 #[derive(Debug, Clone)]
 pub struct QueryFeatures {
-    processed: Workflow,
+    processed: Arc<Workflow>,
     modules: Vec<ModuleFeatures>,
     paths: Vec<Vec<ModuleId>>,
     word_bag: TokenBag,
@@ -204,7 +214,7 @@ impl QueryFeatures {
             word_bag: TokenBag::from_text(&wf.annotations.title_and_description()),
             tag_bag: TokenBag::from_tags(&wf.annotations.tags),
             has_tags: wf.annotations.has_tags(),
-            processed,
+            processed: Arc::new(processed),
             modules,
             paths,
         }
@@ -258,7 +268,7 @@ impl QueryFeatures {
 /// Joins bound module profiles with the remaining query features into the
 /// final [`WorkflowProfile`].
 fn assemble_profile(
-    workflow: Workflow,
+    workflow: Arc<Workflow>,
     modules: Vec<ModuleProfile>,
     paths: Vec<Vec<ModuleId>>,
     word_bag: TokenBag,
@@ -290,8 +300,12 @@ fn text_chars(text: Option<&str>) -> u32 {
 #[derive(Debug, Clone, Serialize, Deserialize)]
 pub struct WorkflowProfile {
     /// The workflow *after* the configured preprocessing (Importance
-    /// Projection applied once, not once per comparison).
-    workflow: Workflow,
+    /// Projection applied once, not once per comparison).  Shared, not
+    /// owned: binding one query against every shard of a sharded corpus
+    /// produces one profile per shard, and the `Arc` keeps those binds
+    /// from deep-cloning the workflow (modules, labels, annotations) once
+    /// per shard — only the pool-dependent token ids are rebuilt.
+    workflow: Arc<Workflow>,
     modules: Vec<ModuleProfile>,
     /// Source-to-sink path decomposition (only populated for Path Sets).
     paths: Vec<Vec<ModuleId>>,
@@ -322,6 +336,95 @@ impl WorkflowProfile {
     }
 }
 
+/// Structure-of-arrays candidate-side bound features.
+///
+/// The best-bound-first scan evaluates [`pair_upper_bound`] against every
+/// module of every candidate; with the per-module features boxed inside
+/// each [`WorkflowProfile`] those reads hop through a `Workflow` and a
+/// `Vec<ModuleProfile>` per candidate.  `BoundColumns` flattens exactly
+/// the fields the bound computation touches into corpus-order columns
+/// (CSR-style: workflow `w`'s modules occupy slots
+/// `starts[w]..starts[w + 1]`), so a candidate scan walks contiguous
+/// memory.  Derived state: rebuilt from the profiles on snapshot load,
+/// never serialized, and byte-for-byte copies of the profile fields — so
+/// every column read is bit-identical to the AoS read it replaces.
+///
+/// Symbol-equality rules (`Exact*`) and strict-type preselection still
+/// read the candidate [`Module`] itself; everything on the hot bound path
+/// (presence masks, type classes, char signatures, token-id sets) comes
+/// from the columns.
+#[derive(Debug, Clone, Default)]
+struct BoundColumns {
+    /// Module-slot ranges: workflow `w` owns slots `starts[w]..starts[w+1]`.
+    starts: Vec<u32>,
+    presence: Vec<u8>,
+    type_class: Vec<TypeClass>,
+    label_sig: Vec<CharSignature>,
+    label_lower_sig: Vec<CharSignature>,
+    desc_sig: Vec<CharSignature>,
+    script_sig: Vec<CharSignature>,
+    /// All token ids of all modules, flattened; the `*_tokens` ranges
+    /// below are `(start, len)` windows into this buffer.
+    token_ids: Vec<u32>,
+    label_tokens: Vec<(u32, u32)>,
+    desc_tokens: Vec<(u32, u32)>,
+    script_tokens: Vec<(u32, u32)>,
+}
+
+impl BoundColumns {
+    fn new() -> Self {
+        BoundColumns {
+            starts: vec![0],
+            ..BoundColumns::default()
+        }
+    }
+
+    /// Appends one workflow's modules (column values copied verbatim from
+    /// the already-built profile, so no re-derivation can diverge).
+    fn push_workflow(&mut self, profile: &WorkflowProfile) {
+        for m in &profile.modules {
+            self.presence.push(m.presence);
+            self.type_class.push(m.type_class);
+            self.label_sig.push(m.label_sig.clone());
+            self.label_lower_sig.push(m.label_lower_sig.clone());
+            self.desc_sig.push(m.desc_sig.clone());
+            self.script_sig.push(m.script_sig.clone());
+            for (range, set) in [
+                (&mut self.label_tokens, &m.label_tokens),
+                (&mut self.desc_tokens, &m.desc_tokens),
+                (&mut self.script_tokens, &m.script_tokens),
+            ] {
+                range.push((self.token_ids.len() as u32, set.len() as u32));
+                self.token_ids.extend_from_slice(set.ids());
+            }
+        }
+        self.starts.push(self.presence.len() as u32);
+    }
+
+    /// Rebuilds the columns from scratch — the snapshot-load and
+    /// workflow-removal path (removal shifts every later slot, so a
+    /// rebuild is as cheap as compaction and has only one code path).
+    fn rebuild(profiles: &[WorkflowProfile]) -> Self {
+        let mut columns = BoundColumns::new();
+        for profile in profiles {
+            columns.push_workflow(profile);
+        }
+        columns
+    }
+
+    /// The module-slot range of a workflow.
+    #[inline]
+    fn slots(&self, workflow: usize) -> std::ops::Range<usize> {
+        self.starts[workflow] as usize..self.starts[workflow + 1] as usize
+    }
+
+    /// The sorted token ids behind a `(start, len)` window.
+    #[inline]
+    fn ids(&self, range: (u32, u32)) -> &[u32] {
+        &self.token_ids[range.0 as usize..(range.0 + range.1) as usize]
+    }
+}
+
 /// A [`WorkflowSimilarity`] measure bound to a profiled corpus.
 ///
 /// Scores pairs of corpus workflows (addressed by index or, through the
@@ -340,6 +443,9 @@ pub struct ProfiledMeasure {
     /// interner maps the exact attribute key to its dense class id.
     class_interner: BTreeMap<String, u32>,
     module_classes: Vec<Vec<u32>>,
+    /// Candidate-side bound features in structure-of-arrays layout
+    /// (derived from `profiles`, kept in sync by every mutation).
+    bounds: BoundColumns,
 }
 
 impl ProfiledMeasure {
@@ -357,12 +463,14 @@ impl ProfiledMeasure {
         let mut id_index = BTreeMap::new();
         let mut class_interner = BTreeMap::new();
         let mut module_classes = Vec::with_capacity(workflows.len());
+        let mut bounds = BoundColumns::new();
         for (i, wf) in workflows.iter().enumerate() {
             let profile = profile_workflow(&inner, &mut pool, wf);
             module_classes.push(intern_module_classes(
                 &mut class_interner,
                 &profile.workflow,
             ));
+            bounds.push_workflow(&profile);
             profiles.push(profile);
             ids.push(wf.id.clone());
             id_index.insert(wf.id.clone(), i);
@@ -375,6 +483,7 @@ impl ProfiledMeasure {
             profiles,
             class_interner,
             module_classes,
+            bounds,
         }
     }
 
@@ -408,6 +517,7 @@ impl ProfiledMeasure {
             .iter()
             .map(|p| intern_module_classes(&mut class_interner, &p.workflow))
             .collect();
+        let bounds = BoundColumns::rebuild(&profiles);
         ProfiledMeasure {
             inner,
             pool,
@@ -416,6 +526,7 @@ impl ProfiledMeasure {
             profiles,
             class_interner,
             module_classes,
+            bounds,
         }
     }
 
@@ -434,6 +545,7 @@ impl ProfiledMeasure {
             &mut self.class_interner,
             &profile.workflow,
         ));
+        self.bounds.push_workflow(&profile);
         self.profiles.push(profile);
         self.ids.push(wf.id.clone());
         self.id_index.insert(wf.id.clone(), index);
@@ -457,6 +569,9 @@ impl ProfiledMeasure {
                 *pos -= 1;
             }
         }
+        // Every later slot shifts, so compacting in place costs the same
+        // as rebuilding — keep the one construction code path.
+        self.bounds = BoundColumns::rebuild(&self.profiles);
     }
 
     /// The wrapped pipeline measure.
@@ -577,11 +692,7 @@ impl ProfiledMeasure {
         if config.measure != MeasureKind::ModuleSets {
             return None;
         }
-        Some(self.module_sets_upper_bound(
-            &self.profiles[query],
-            &self.profiles[candidate],
-            config.normalization,
-        ))
+        Some(self.module_sets_upper_bound(&self.profiles[query], candidate, config.normalization))
     }
 
     /// [`ProfiledMeasure::upper_bound_indexed`] for an externally profiled
@@ -593,7 +704,7 @@ impl ProfiledMeasure {
         if config.measure != MeasureKind::ModuleSets {
             return None;
         }
-        Some(self.module_sets_upper_bound(query, &self.profiles[candidate], config.normalization))
+        Some(self.module_sets_upper_bound(query, candidate, config.normalization))
     }
 
     /// The one canonical-pair-order rule of the pipeline: Graph Edit puts
@@ -785,13 +896,28 @@ impl ProfiledMeasure {
     /// bound over the candidate's (preselection-allowed) modules, summed,
     /// capped at the one-to-one assignment limit `min(|A|, |B|)`, and
     /// pushed through the (monotone) normalization.
+    ///
+    /// The candidate side reads the structure-of-arrays [`BoundColumns`]
+    /// (contiguous per-module features in corpus order); the per-side
+    /// maxima live in stack buffers up to [`STACK_MODULES`] modules, so
+    /// the common case is allocation-free.  The returned bound carries an
+    /// m²·ε admissibility slack so it dominates the exact score *in
+    /// floating point*, not just mathematically — the best-bound-first
+    /// scans prune on the raw bound, and a 1-ulp shortfall (different
+    /// summation order than the mapping's) would silently drop an exact
+    /// top-k member.
+    // lint:hot evaluated once per (query, candidate) pair in every
+    // best-bound-first scan; stack buffers keep the common case
+    // allocation-free (the >STACK_MODULES fallback may allocate).
     fn module_sets_upper_bound(
         &self,
         pa: &WorkflowProfile,
-        pb: &WorkflowProfile,
+        candidate: usize,
         normalization: Normalization,
     ) -> f64 {
-        let (na, nb) = (pa.workflow.module_count(), pb.workflow.module_count());
+        let slots = self.bounds.slots(candidate);
+        let candidate_modules = &self.profiles[candidate].workflow.modules;
+        let (na, nb) = (pa.workflow.module_count(), slots.len());
         if na == 0 || nb == 0 {
             // Exact: an empty side forces an empty mapping.
             return match normalization {
@@ -805,15 +931,39 @@ impl ProfiledMeasure {
         // most the smaller of the two "sum of the top min(na, nb) per-side
         // maxima" estimates.
         let rules = self.inner.config().module_scheme.rules();
-        let mut row_best = vec![0.0f64; na];
-        let mut col_best = vec![0.0f64; nb];
+        let preselection = self.inner.config().preselection;
+        let mut row_stack = [0.0f64; STACK_MODULES];
+        let mut col_stack = [0.0f64; STACK_MODULES];
+        let mut row_heap = Vec::new();
+        let mut col_heap = Vec::new();
+        let row_best: &mut [f64] = if na <= STACK_MODULES {
+            &mut row_stack[..na]
+        } else {
+            row_heap.resize(na, 0.0);
+            &mut row_heap
+        };
+        let col_best: &mut [f64] = if nb <= STACK_MODULES {
+            &mut col_stack[..nb]
+        } else {
+            col_heap.resize(nb, 0.0);
+            &mut col_heap
+        };
         for (i, row) in row_best.iter_mut().enumerate() {
             let (ma, fa) = (&pa.workflow.modules[i], &pa.modules[i]);
             for (j, col) in col_best.iter_mut().enumerate() {
-                if !self.allows(pa, i, pb, j) {
+                let slot = slots.start + j;
+                let mb = &candidate_modules[j];
+                let allowed = match preselection {
+                    PreselectionStrategy::AllPairs => true,
+                    PreselectionStrategy::StrictType => ma.module_type == mb.module_type,
+                    PreselectionStrategy::TypeEquivalence => {
+                        fa.type_class == self.bounds.type_class[slot]
+                    }
+                };
+                if !allowed {
                     continue;
                 }
-                let ub = pair_upper_bound(rules, ma, fa, &pb.workflow.modules[j], &pb.modules[j]);
+                let ub = pair_upper_bound(rules, ma, fa, mb, &self.bounds, slot);
                 if ub > *row {
                     *row = ub;
                 }
@@ -823,15 +973,28 @@ impl ProfiledMeasure {
             }
         }
         let mapped = na.min(nb);
-        let nnsim_bound = top_m_sum(&mut row_best, mapped)
-            .min(top_m_sum(&mut col_best, mapped))
-            .min(mapped as f64);
+        // Admissibility slack: the bound and the exact score sum the same
+        // per-pair values in different orders (top-m of per-side maxima vs
+        // the mapping's pair order), so when they are mathematically equal
+        // the bound can round up to m·m ulps below the score and an exact
+        // top-k member would be pruned.  m²·ε of absolute slack on a sum of
+        // m unit-bounded terms dominates both the reordering error and
+        // per-pair rounding noise; `jaccard_normalize` is monotone in
+        // `nnsim` under IEEE rounding, so pre-normalization slack suffices.
+        let slack = (mapped * mapped) as f64 * f64::EPSILON;
+        let nnsim_bound = (top_m_sum(row_best, mapped).min(top_m_sum(col_best, mapped)) + slack)
+            .min(mapped as f64 + slack);
         match normalization {
             Normalization::None => nnsim_bound,
             Normalization::SizeNormalized => jaccard_normalize(nnsim_bound, na, nb),
         }
     }
 }
+
+/// Per-side maxima of [`ProfiledMeasure::module_sets_upper_bound`] stay
+/// on the stack up to this many modules (the demo corpora top out well
+/// below it; larger workflows fall back to a heap buffer).
+const STACK_MODULES: usize = 64;
 
 /// The dense class-pair similarity table of [`ProfiledMeasure::
 /// class_pair_table`]: `score(a, b)` is exactly the module-pair scheme
@@ -942,23 +1105,7 @@ fn compare_rule(
             .expect("presence was checked against the same accessor")
     }
     match rule.method {
-        ComparisonMethod::Exact => {
-            if value(ma, rule.key).as_str() == value(mb, rule.key).as_str() {
-                1.0
-            } else {
-                0.0
-            }
-        }
-        ComparisonMethod::ExactIgnoreCase => {
-            if value(ma, rule.key)
-                .as_str()
-                .eq_ignore_ascii_case(value(mb, rule.key).as_str())
-            {
-                1.0
-            } else {
-                0.0
-            }
-        }
+        ComparisonMethod::Exact | ComparisonMethod::ExactIgnoreCase => exact_rule(rule, ma, mb),
         ComparisonMethod::Levenshtein => match rule.key {
             AttributeKey::Label => levenshtein_similarity_with_lens(
                 &ma.label,
@@ -1004,25 +1151,52 @@ fn compare_rule(
     }
 }
 
+/// The `Exact` / `ExactIgnoreCase` comparison of one rule — shared by the
+/// exact scorer ([`compare_rule`]) and the bound ([`rule_upper_bound`]),
+/// which uses the exact value as its (tight) bound.
+fn exact_rule(rule: &AttributeRule, ma: &Module, mb: &Module) -> f64 {
+    fn value(m: &Module, key: AttributeKey) -> wf_model::AttributeValue<'_> {
+        m.attribute(key)
+            .expect("presence was checked against the same accessor")
+    }
+    let (a, b) = (value(ma, rule.key), value(mb, rule.key));
+    let equal = match rule.method {
+        ComparisonMethod::Exact => a.as_str() == b.as_str(),
+        ComparisonMethod::ExactIgnoreCase => a.as_str().eq_ignore_ascii_case(b.as_str()),
+        _ => unreachable!("exact_rule only handles the Exact methods"),
+    };
+    if equal {
+        1.0
+    } else {
+        0.0
+    }
+}
+
 /// A cheap admissible upper bound on one module pair's scheme similarity:
 /// the same presence-weighted average, with each rule's comparison replaced
-/// by a dominating constant-time estimate.
+/// by a dominating constant-time estimate.  The candidate side reads the
+/// structure-of-arrays [`BoundColumns`] at `slot` (its corpus-order module
+/// slot); the raw [`Module`] is only touched for `Exact*` rules.
+// lint:hot inner loop of module_sets_upper_bound; wfsim_lint forbids lock
+// acquisition and heap allocation here.
 fn pair_upper_bound(
     rules: &[AttributeRule],
     ma: &Module,
     fa: &ModuleProfile,
     mb: &Module,
-    fb: &ModuleProfile,
+    cols: &BoundColumns,
+    slot: usize,
 ) -> f64 {
+    let presence_b = cols.presence[slot];
     let mut weight_sum = 0.0;
     let mut score_sum = 0.0;
     for rule in rules {
-        match (fa.has(rule.key), fb.has(rule.key)) {
+        match (fa.has(rule.key), presence_has(presence_b, rule.key)) {
             (false, false) => continue,
             (true, false) | (false, true) => weight_sum += rule.weight,
             (true, true) => {
                 weight_sum += rule.weight;
-                score_sum += rule.weight * rule_upper_bound(rule, ma, fa, mb, fb);
+                score_sum += rule.weight * rule_upper_bound(rule, ma, fa, mb, cols, slot);
             }
         }
     }
@@ -1033,38 +1207,47 @@ fn pair_upper_bound(
     }
 }
 
+/// One rule's dominating estimate, candidate side answered from the bound
+/// columns.  Each arm reads exactly the values the profile (AoS) variant
+/// read — the columns are verbatim copies — so the bound is bit-identical.
+// lint:hot per-rule body of pair_upper_bound; alloc/lock-free.
 fn rule_upper_bound(
     rule: &AttributeRule,
     ma: &Module,
     fa: &ModuleProfile,
     mb: &Module,
-    fb: &ModuleProfile,
+    cols: &BoundColumns,
+    slot: usize,
 ) -> f64 {
     match rule.method {
         // Exact comparisons *are* cheap: the bound is the exact value.
-        ComparisonMethod::Exact | ComparisonMethod::ExactIgnoreCase => {
-            compare_rule(rule, ma, fa, mb, fb)
-        }
+        ComparisonMethod::Exact | ComparisonMethod::ExactIgnoreCase => exact_rule(rule, ma, mb),
         // Normalized edit distance is bounded through the character
         // signatures: `d >= max(|la - lb|, L1(histograms) / 2)`.
         ComparisonMethod::Levenshtein => match rule.key {
-            AttributeKey::Label => fa.label_sig.similarity_upper_bound(&fb.label_sig),
-            AttributeKey::Description => fa.desc_sig.similarity_upper_bound(&fb.desc_sig),
-            AttributeKey::Script => fa.script_sig.similarity_upper_bound(&fb.script_sig),
+            AttributeKey::Label => fa.label_sig.similarity_upper_bound(&cols.label_sig[slot]),
+            AttributeKey::Description => fa.desc_sig.similarity_upper_bound(&cols.desc_sig[slot]),
+            AttributeKey::Script => fa.script_sig.similarity_upper_bound(&cols.script_sig[slot]),
             _ => 1.0,
         },
         ComparisonMethod::LevenshteinIgnoreCase => match rule.key {
             AttributeKey::Label => fa
                 .label_lower_sig
-                .similarity_upper_bound(&fb.label_lower_sig),
+                .similarity_upper_bound(&cols.label_lower_sig[slot]),
             _ => 1.0,
         },
         // The merge over interned id sets is already cheap: the "bound" is
-        // the exact token Jaccard.
+        // the exact token Jaccard (same kernel TokenIdSet::jaccard uses).
         ComparisonMethod::TokenJaccard => match rule.key {
-            AttributeKey::Label => fa.label_tokens.jaccard(&fb.label_tokens),
-            AttributeKey::Description => fa.desc_tokens.jaccard(&fb.desc_tokens),
-            AttributeKey::Script => fa.script_tokens.jaccard(&fb.script_tokens),
+            AttributeKey::Label => {
+                jaccard_sorted(fa.label_tokens.ids(), cols.ids(cols.label_tokens[slot]))
+            }
+            AttributeKey::Description => {
+                jaccard_sorted(fa.desc_tokens.ids(), cols.ids(cols.desc_tokens[slot]))
+            }
+            AttributeKey::Script => {
+                jaccard_sorted(fa.script_tokens.ids(), cols.ids(cols.script_tokens[slot]))
+            }
             _ => 1.0,
         },
     }
@@ -1244,8 +1427,11 @@ mod tests {
                         .upper_bound_indexed(i, j)
                         .expect("module sets is bounded");
                     let score = profiled.score_indexed(i, j);
+                    // Strict float domination: the best-bound-first scans
+                    // prune with the raw bound, so even a 1-ulp shortfall
+                    // makes the search drop an exact top-k member.
                     assert!(
-                        bound + 1e-12 >= score,
+                        bound >= score,
                         "{name}: bound {bound} < score {score} for pair ({i},{j})"
                     );
                 }

@@ -13,12 +13,16 @@
 //!
 //! * [`ShardedCorpus`] — N shards, each a complete [`Corpus`] owning its
 //!   own pool, profiles and token index; workflows are routed to shards by
-//!   id ([`ShardPartition`]), and top-k queries **scatter** to every shard
-//!   and **gather** through the shared
-//!   [`merge_top_k`](wf_repo::merge_top_k) heap merge, with one
-//!   [`SearchThreshold`] shared across shards so each shard's admissible
-//!   bound pruning benefits from the best-k scores every other shard has
-//!   already found.
+//!   id ([`ShardPartition`]).  A top-k query **scatters** by building one
+//!   ranked candidate *cursor* per shard (the shard's candidates in the
+//!   engine's canonical best-bound-first order, nothing scored yet), then
+//!   runs **one global best-bound-first scan** over the cursors merged by
+//!   a [`RankedFrontier`](wf_repo::RankedFrontier): the scan always scores
+//!   the globally best-bound candidate and tightens a single shared
+//!   [`SearchThreshold`], so the pruning power of the admissible-bound
+//!   search is independent of how many shards the corpus is split into.
+//!   The **gather** is the shared [`merge_top_k`](wf_repo::merge_top_k)
+//!   canonicalization of the one scan's hits.
 //! * [`CorpusService`] — the concurrent wrapper: one `RwLock` per shard,
 //!   so searches proceed on all shards concurrently with churn that only
 //!   write-locks the single owning shard, plus a parallel batch-query API.
@@ -33,7 +37,7 @@
 //! only ever skips a candidate whose admissible upper bound falls
 //! *strictly* below the shared threshold floor — and the floor is always a
 //! true k-th best score of `k` distinct candidates, so no pruned candidate
-//! can enter the merged top-k, under any shard visit order or thread
+//! can enter the merged top-k, under any cursor merge order or thread
 //! interleaving.  The gather step sorts by the canonical `(score desc, id
 //! asc)` hit ordering, so ids, scores *and* tie order equal the
 //! single-corpus [`IndexedSearchEngine`](wf_repo::IndexedSearchEngine).
@@ -54,7 +58,7 @@ use shuttle_mini::sync::{Mutex, RwLock, RwLockReadGuard};
 use wf_model::{Workflow, WorkflowId};
 use wf_repo::{
     merge_top_k, scan_ranked_candidates, sort_best_bound_first, CancelToken, RankedCandidate,
-    SearchHit, SearchStats, SearchThreshold,
+    RankedFrontier, SearchHit, SearchStats, SearchThreshold,
 };
 
 use crate::config::SimilarityConfig;
@@ -360,61 +364,66 @@ impl ShardedCorpus {
         self.scatter(&features, &wf.id, k).0
     }
 
-    /// Answers a batch of queries on `threads` worker threads, fanning the
-    /// per-query scatter out across every (query, shard) pair.  Query
-    /// profiling is amortized: each query's pool-independent features are
-    /// extracted once and only *bound* per shard.  Unknown ids yield
-    /// `None`; results align with `queries` and are individually
-    /// bit-identical to [`ShardedCorpus::search`].
+    /// Answers a batch of queries on `threads` worker threads, one global
+    /// best-bound-first frontier per query (queries are the work-stealing
+    /// unit, so every query keeps the full pruning power of
+    /// [`ShardedCorpus::search`]).  Query profiling is amortized: each
+    /// query's pool-independent features are extracted once and only
+    /// *bound* per shard.  Unknown ids yield `None`; results align with
+    /// `queries` and are individually bit-identical to
+    /// [`ShardedCorpus::search`].
     pub fn search_batch(
         &self,
         queries: &[WorkflowId],
         k: usize,
         threads: usize,
     ) -> Vec<Option<Vec<SearchHit>>> {
-        let prepared: Vec<Option<(QueryFeatures, SearchThreshold)>> = queries
-            .iter()
-            .map(|id| {
-                self.get(id)
-                    .map(|wf| (self.query_features(wf), SearchThreshold::new()))
-            })
-            .collect();
-        let shard_count = self.shards.len();
-        let tasks = queries.len() * shard_count;
-        let workers = threads.max(1).min(tasks);
-        if tasks == 0 {
-            return queries.iter().map(|_| None).collect();
+        self.search_batch_with_stats(queries, k, threads).0
+    }
+
+    /// [`ShardedCorpus::search_batch`] plus the pruning instrumentation
+    /// aggregated over every answered query — what the serving benchmark
+    /// reads to compare scored/pruned work across shard counts without a
+    /// second (untimed) pass.
+    pub fn search_batch_with_stats(
+        &self,
+        queries: &[WorkflowId],
+        k: usize,
+        threads: usize,
+    ) -> (Vec<Option<Vec<SearchHit>>>, SearchStats) {
+        if queries.is_empty() {
+            return (Vec::new(), SearchStats::default());
         }
+        let prepared: Vec<Option<QueryFeatures>> = queries
+            .iter()
+            .map(|id| self.get(id).map(|wf| self.query_features(wf)))
+            .collect();
+        let workers = threads.max(1).min(queries.len());
         let cursor = AtomicUsize::new(0);
-        let mut parts: Vec<Vec<Vec<SearchHit>>> = (0..queries.len()).map(|_| Vec::new()).collect();
+        let mut results: Vec<Option<Vec<SearchHit>>> = vec![None; queries.len()];
+        let mut stats = SearchStats::default();
         let gathered = std::thread::scope(|scope| {
             let handles: Vec<_> = (0..workers)
                 .map(|_| {
                     let (cursor, prepared) = (&cursor, &prepared);
                     scope.spawn(move || {
                         let mut out: Vec<(usize, Vec<SearchHit>)> = Vec::new();
+                        let mut worker_stats = SearchStats::default();
                         loop {
                             // ordering: Relaxed — a pure work-stealing
-                            // ticket: fetch_add's atomicity hands each task
-                            // index to exactly one worker, and the scope
-                            // join below is the synchronization edge for
-                            // the results.
-                            let task = cursor.fetch_add(1, Ordering::Relaxed);
-                            if task >= tasks {
-                                return out;
+                            // ticket: fetch_add's atomicity hands each
+                            // query index to exactly one worker, and the
+                            // scope join below is the synchronization edge
+                            // for the results.
+                            let qi = cursor.fetch_add(1, Ordering::Relaxed);
+                            if qi >= queries.len() {
+                                return (out, worker_stats);
                             }
-                            let (qi, shard) = (task / shard_count, task % shard_count);
-                            let Some((features, threshold)) = &prepared[qi] else {
+                            let Some(features) = &prepared[qi] else {
                                 continue;
                             };
-                            let (hits, _) = shard_top_k(
-                                &self.shards[shard],
-                                features,
-                                &queries[qi],
-                                k,
-                                threshold,
-                                &CancelToken::never(),
-                            );
+                            let (hits, query_stats) = self.scatter(features, &queries[qi], k);
+                            worker_stats.merge(&query_stats);
                             out.push((qi, hits));
                         }
                     })
@@ -422,17 +431,16 @@ impl ShardedCorpus {
                 .collect();
             handles
                 .into_iter()
-                .flat_map(|h| h.join().expect("batch search worker panicked"))
+                .map(|h| h.join().expect("batch search worker panicked"))
                 .collect::<Vec<_>>()
         });
-        for (qi, hits) in gathered {
-            parts[qi].push(hits);
+        for (worker_hits, worker_stats) in gathered {
+            stats.merge(&worker_stats);
+            for (qi, hits) in worker_hits {
+                results[qi] = Some(hits);
+            }
         }
-        prepared
-            .iter()
-            .zip(parts)
-            .map(|(ready, parts)| ready.as_ref().map(|_| merge_top_k(parts, k)))
-            .collect()
+        (results, stats)
     }
 
     /// Extracts the pool-independent query features once (any shard's
@@ -721,27 +729,42 @@ impl Error for ShardSnapshotError {
     }
 }
 
-/// The per-shard half of a scatter-gather search: bind the query features
-/// to this shard's pool, rank this shard's candidates best-bound-first, and
-/// score them until the shared threshold proves the rest irrelevant.
+/// One shard's *cursor* of a global best-bound-first search: the query
+/// bound to this shard's pool plus the shard's candidates ranked exactly
+/// as [`wf_repo::IndexedSearchEngine`] would rank them — but *not* yet
+/// scored.  The scatter loop merges these cursors through a
+/// [`RankedFrontier`] and runs one global scan over the merged stream.
 ///
-/// Exactness mirrors [`wf_repo::IndexedSearchEngine`]: bounds are
-/// admissible, pruning is strictly-below-the-floor only, and a zero bound
-/// pins the score to exactly 0 without running the measure.
-fn shard_top_k(
-    shard: &Corpus,
+/// Candidate indices are pre-encoded for the frontier: a local corpus
+/// index `local` of cursor `front` (of `num_fronts` total) is stored as
+/// `local * num_fronts + front`, which keeps the encoding monotone in
+/// `local` — so the per-cursor [`sort_best_bound_first`] tie order is the
+/// same order the un-encoded local indices would produce.
+struct ShardCursor {
+    /// The query profile bound against this shard's pool.
+    query: WorkflowProfile,
+    /// The shard's candidates in best-bound-first order, frontier-encoded.
+    candidates: Vec<RankedCandidate>,
+}
+
+/// Builds one shard's ranked cursor: bind the query, count label-token
+/// overlaps through the inverted index, bound every candidate (admissible,
+/// `INFINITY` when unboundable) and sort best-bound-first.  Enumeration
+/// and bounds are exactly those of the single-corpus engine's
+/// `ranked_candidates`.
+fn shard_cursor(
+    corpus: &Corpus,
     features: &QueryFeatures,
     exclude: &WorkflowId,
-    k: usize,
-    threshold: &SearchThreshold,
-    cancel: &CancelToken,
-) -> (Vec<SearchHit>, SearchStats) {
-    let measure: &ProfiledMeasure = shard.measure();
+    front: usize,
+    num_fronts: usize,
+    stats: &mut SearchStats,
+) -> ShardCursor {
+    let measure: &ProfiledMeasure = corpus.measure();
     let query: WorkflowProfile = measure.bind_query(features);
-    let overlaps = shard
+    let overlaps = corpus
         .token_index()
         .overlap_counts(query.label_tokens().ids());
-    let mut stats = SearchStats::default();
     let mut candidates: Vec<RankedCandidate> = Vec::with_capacity(measure.len());
     for (index, &overlap) in overlaps.iter().enumerate() {
         if measure.ids()[index] == *exclude {
@@ -754,24 +777,14 @@ fn shard_top_k(
             .upper_bound_profile(&query, index)
             .unwrap_or(f64::INFINITY);
         candidates.push(RankedCandidate {
-            index,
+            index: index * num_fronts + front,
             bound,
             overlap,
         });
     }
-    stats.candidates = candidates.len();
+    stats.candidates += candidates.len();
     sort_best_bound_first(&mut candidates);
-    let hits = scan_ranked_candidates(
-        candidates.iter(),
-        candidates.len(),
-        k,
-        threshold,
-        cancel,
-        &mut stats,
-        |i| measure.score_profile(&query, i),
-        |i| measure.ids()[i].clone(),
-    );
-    (hits, stats)
+    ShardCursor { query, candidates }
 }
 
 /// The outcome of a deadline-bound scatter-gather search.
@@ -805,12 +818,78 @@ impl DegradedSearch {
     }
 }
 
-/// The deadline-aware scatter-gather loop behind every cancellable search
-/// entry point: visit each shard unless the token has fired, let
-/// `shard_gate` veto (or delay — the serving layer's fault-injection hook
-/// sleeps in it) each visit, scan against the shared threshold with the
-/// token plumbed into the candidate loop, and gather whatever completed
-/// through [`merge_top_k`].
+/// The frontier core: build one ranked cursor per listed corpus and run
+/// **one** [`scan_ranked_candidates`] over the cursors merged by a
+/// [`RankedFrontier`].  The scan always scores the globally best-bound
+/// candidate across every cursor, tightens the caller's shared threshold,
+/// and stops when the best remaining bound *anywhere* falls below the
+/// floor — so pruning power is that of the single-corpus engine,
+/// independent of how many fronts the corpus is split into.
+///
+/// Returns the scan's heap-order hits (callers canonicalize through
+/// [`merge_top_k`]).  A fired `cancel` abandons the merged stream
+/// mid-scan; the hits proven up to that point are exact (the frontier
+/// only reorders *scoring*, and top-k content is insertion-order
+/// independent).
+fn frontier_scan(
+    fronts: &[&Corpus],
+    features: &QueryFeatures,
+    exclude: &WorkflowId,
+    k: usize,
+    threshold: &SearchThreshold,
+    cancel: &CancelToken,
+    stats: &mut SearchStats,
+) -> Vec<SearchHit> {
+    let num_fronts = fronts.len();
+    let mut cursors: Vec<ShardCursor> = Vec::with_capacity(num_fronts);
+    let mut measures: Vec<&ProfiledMeasure> = Vec::with_capacity(num_fronts);
+    for (front, corpus) in fronts.iter().enumerate() {
+        cursors.push(shard_cursor(
+            corpus, features, exclude, front, num_fronts, stats,
+        ));
+        measures.push(corpus.measure());
+    }
+    // Every candidate index was encoded as `local * num_fronts + front`
+    // by `shard_cursor`, monotone in `local` for a fixed front, so each
+    // cursor's canonical tie order survives the merge.
+    let frontier = RankedFrontier::new(cursors.iter().map(|c| c.candidates.as_slice()).collect());
+    let total = frontier.total();
+    scan_ranked_candidates(
+        &frontier,
+        total,
+        k,
+        threshold,
+        cancel,
+        stats,
+        |encoded| {
+            let (front, local) = (encoded % num_fronts, encoded / num_fronts);
+            measures[front].score_profile(&cursors[front].query, local)
+        },
+        |encoded| {
+            let (front, local) = (encoded % num_fronts, encoded / num_fronts);
+            measures[front].ids()[local].clone()
+        },
+    )
+}
+
+/// The deadline-aware scatter-gather loop behind the serving layer's
+/// cancellable search entry points.
+///
+/// Shards are *admitted* one at a time in ascending order — gate, read
+/// guard, then an immediate [`frontier_scan`] drain of that shard's
+/// cursor against the shared threshold — rather than waiting to merge
+/// every cursor first.  The eager drain is deliberate: the `shard_gate`
+/// (the serving layer's fault-injection hook) may stall for the rest of
+/// the deadline, and work completed *before* a stall must survive it.  A
+/// shard that stalls or vetoes therefore costs only its own coverage;
+/// every previously admitted shard still reports answered with its exact
+/// hits.  The throughput path ([`scatter_gather`]), which has no gates
+/// and no deadline, merges all cursors into one global frontier instead.
+///
+/// Guards accumulate (ascending — the lock-order contract of
+/// [`CorpusService`]: readers ascend, writers hold routes then a single
+/// shard) and are held until the gather, so the search sees each shard
+/// as of its admission instant and the set stays consistent to the end.
 fn scatter_gather_deadline<R: std::ops::Deref<Target = Corpus>>(
     shard_count: usize,
     mut shard_at: impl FnMut(usize) -> R,
@@ -822,8 +901,9 @@ fn scatter_gather_deadline<R: std::ops::Deref<Target = Corpus>>(
 ) -> DegradedSearch {
     let threshold = SearchThreshold::new();
     let mut stats = SearchStats::default();
-    let mut parts = Vec::with_capacity(shard_count);
     let mut answered = vec![false; shard_count];
+    let mut guards: Vec<R> = Vec::with_capacity(shard_count);
+    let mut parts = Vec::with_capacity(shard_count);
     for (shard, answered_slot) in answered.iter_mut().enumerate() {
         // A fired deadline skips every remaining shard outright; they are
         // reported unanswered.
@@ -836,10 +916,20 @@ fn scatter_gather_deadline<R: std::ops::Deref<Target = Corpus>>(
         if !shard_gate(shard) {
             continue;
         }
-        let guard = shard_at(shard);
-        let (hits, shard_stats) = shard_top_k(&guard, features, exclude, k, &threshold, cancel);
-        *answered_slot = !shard_stats.cancelled;
-        stats.merge(&shard_stats);
+        guards.push(shard_at(shard));
+        let corpus: &Corpus = guards.last().expect("guard just pushed");
+        let mut drain_stats = SearchStats::default();
+        let hits = frontier_scan(
+            &[corpus],
+            features,
+            exclude,
+            k,
+            &threshold,
+            cancel,
+            &mut drain_stats,
+        );
+        *answered_slot = !drain_stats.cancelled;
+        stats.merge(&drain_stats);
         parts.push(hits);
     }
     let degraded = answered.iter().any(|&a| !a);
@@ -851,28 +941,35 @@ fn scatter_gather_deadline<R: std::ops::Deref<Target = Corpus>>(
     }
 }
 
-/// The one scatter-gather loop every search entry point uses: visit each
-/// shard (however the caller materializes it — owned slice or per-shard
-/// read lock), scan it against the shared threshold, and gather the
-/// per-shard winners through [`merge_top_k`].
+/// The scatter-gather loop behind every non-deadline search entry point:
+/// acquire **all** shards (however the caller materializes them — owned
+/// slice or per-shard read lock, always in ascending order), merge their
+/// ranked cursors into one global best-bound-first frontier, and run a
+/// single shared-threshold scan over it ([`frontier_scan`]).  Scoring
+/// order — hence pruning power — is exactly the single-corpus engine's,
+/// independent of shard count, and holding every guard for the whole scan
+/// gives the search one consistent cut of a live corpus.
 fn scatter_gather<R: std::ops::Deref<Target = Corpus>>(
     shard_count: usize,
-    shard_at: impl FnMut(usize) -> R,
+    mut shard_at: impl FnMut(usize) -> R,
     features: &QueryFeatures,
     exclude: &WorkflowId,
     k: usize,
 ) -> (Vec<SearchHit>, SearchStats) {
-    let result = scatter_gather_deadline(
-        shard_count,
-        shard_at,
+    let mut stats = SearchStats::default();
+    let guards: Vec<R> = (0..shard_count).map(&mut shard_at).collect();
+    let fronts: Vec<&Corpus> = guards.iter().map(|guard| &**guard).collect();
+    let hits = frontier_scan(
+        &fronts,
         features,
         exclude,
         k,
+        &SearchThreshold::new(),
         &CancelToken::never(),
-        |_| true,
+        &mut stats,
     );
-    debug_assert!(!result.degraded, "never-token scatter cannot degrade");
-    (result.hits, result.stats)
+    debug_assert!(!stats.cancelled, "never-token scatter cannot cancel");
+    (merge_top_k(vec![hits], k), stats)
 }
 
 /// A concurrent serving wrapper around a [`ShardedCorpus`]: one `RwLock`
@@ -884,13 +981,17 @@ fn scatter_gather<R: std::ops::Deref<Target = Corpus>>(
 /// * Routing is fixed at construction (partition + shard count); churn
 ///   never migrates a workflow between shards, so an id has exactly one
 ///   owner lock.
-/// * Locks are held briefly and per shard: a search read-locks the owner
-///   to extract query features, then read-locks each shard only while that
-///   shard is scanned.  A search concurrent with churn therefore sees each
-///   shard **as of the instant that shard is visited**: every returned id
-///   was resident at that instant, and a workflow removed (or added)
-///   *before* the search started is guaranteed excluded (or visible) — the
-///   churn invariant the stress tests assert.
+/// * A search read-locks the owner shard to extract query features, then
+///   acquires shard read locks in ascending index order and holds them to
+///   the end: a plain search takes **all** of them up front (one
+///   consistent cut, scanned as a single global frontier), a deadline
+///   search accumulates them as shards are admitted (each shard seen as
+///   of its admission instant).  Either way a workflow removed (or added)
+///   *before* the search started is guaranteed excluded (or visible) —
+///   the churn invariant the stress tests assert.  Deadlock freedom:
+///   every multi-lock path takes the routes mutex first (and releases it
+///   before shard locks) and orders shard locks ascending; writers hold
+///   routes, then exactly one shard write lock.
 /// * On a quiescent corpus, results are bit-identical to
 ///   [`ShardedCorpus::search`] and hence to the single-corpus engine.
 pub struct CorpusService {
@@ -1074,7 +1175,8 @@ impl CorpusService {
     }
 
     /// Deadline-bound scatter-gather over the live corpus: polls `cancel`
-    /// between candidates and shards, returning the exact partial top-k
+    /// between shard lock acquisitions and between candidates of the
+    /// global frontier scan, returning the exact partial top-k
     /// flagged [`degraded`](DegradedSearch::degraded) when the deadline
     /// fires mid-search.  `None` when the query id is not resident at the
     /// time the owning shard is read.
@@ -1547,6 +1649,41 @@ mod tests {
                 assert_eq!(hit.score.to_bits(), reference.score.to_bits());
             }
         }
+    }
+
+    #[test]
+    fn deadline_firing_mid_scatter_keeps_admitted_shards_exact() {
+        // The deadline fires while shard 2 is being admitted: shards 0 and
+        // 1 were already drained, so the partial result must be *exactly*
+        // the full ranking restricted to their residents — work completed
+        // before the deadline survives it, nothing else leaks in.
+        let sharded = ShardedCorpus::build_with(config(), 4, ShardPartition::RoundRobin, sample());
+        let admitted: Vec<WorkflowId> = sharded.shards()[..2]
+            .iter()
+            .flat_map(|shard| shard.ids().to_vec())
+            .collect();
+        let service = CorpusService::new(sharded);
+        let query: WorkflowId = "a".into();
+        let full = service.search(&query, 10).expect("resident");
+        let token = CancelToken::never();
+        let result = service
+            .search_deadline_with(&query, 10, &token, |shard| {
+                if shard == 2 {
+                    token.cancel();
+                }
+                true
+            })
+            .expect("resident");
+        assert!(result.degraded);
+        assert!(result.stats.cancelled);
+        assert_eq!(result.answered, vec![true, true, false, false]);
+        let expected: Vec<SearchHit> = full
+            .iter()
+            .filter(|hit| admitted.contains(&hit.id))
+            .cloned()
+            .collect();
+        assert_eq!(result.hits, expected, "admitted shards answer exactly");
+        assert!(result.hits.len() < full.len(), "coverage genuinely shrank");
     }
 
     #[test]

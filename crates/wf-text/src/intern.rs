@@ -200,23 +200,12 @@ impl TokenIdSet {
         self.ids.is_empty()
     }
 
-    /// Size of the intersection with another set, by sorted merge.
+    /// Size of the intersection with another set, by word-batched sorted
+    /// merge ([`intersect_sorted`]).
     // lint:hot the innermost comparison of every token-set similarity;
     // wfsim_lint forbids lock acquisition and heap allocation here.
     pub fn intersection_len(&self, other: &TokenIdSet) -> usize {
-        let (mut i, mut j, mut common) = (0, 0, 0);
-        while i < self.ids.len() && j < other.ids.len() {
-            match self.ids[i].cmp(&other.ids[j]) {
-                std::cmp::Ordering::Less => i += 1,
-                std::cmp::Ordering::Greater => j += 1,
-                std::cmp::Ordering::Equal => {
-                    common += 1;
-                    i += 1;
-                    j += 1;
-                }
-            }
-        }
-        common
+        intersect_sorted(&self.ids, &other.ids)
     }
 
     /// The Jaccard index `|A ∩ B| / |A ∪ B|` in a single `O(a + b)` merge.
@@ -226,12 +215,7 @@ impl TokenIdSet {
     // lint:hot called once per scored candidate pair on module-similarity
     // paths; must stay allocation- and lock-free.
     pub fn jaccard(&self, other: &TokenIdSet) -> f64 {
-        if self.is_empty() && other.is_empty() {
-            return 1.0;
-        }
-        let intersection = self.intersection_len(other);
-        let union = self.len() + other.len() - intersection;
-        intersection as f64 / union as f64
+        jaccard_sorted(&self.ids, &other.ids)
     }
 
     /// An admissible upper bound on [`TokenIdSet::jaccard`] computable from
@@ -246,6 +230,134 @@ impl TokenIdSet {
         }
         a.min(b) as f64 / a.max(b) as f64
     }
+}
+
+/// When one set is at least this many times larger than the other, the
+/// merge switches from the word-batched linear path to galloping search
+/// over the larger set.
+const GALLOP_RATIO: usize = 16;
+
+/// Intersection size of two sorted, deduplicated `u32` slices.
+///
+/// The workhorse behind [`TokenIdSet::intersection_len`]: a `u64`
+/// word-batched merge for similar sizes and a galloping (exponential
+/// probe + binary search) path when one side is ≥ [`GALLOP_RATIO`]×
+/// larger.  Exactly equivalent to the classic three-way scalar merge
+/// ([`intersect_sorted_scalar`]) for every valid input.
+// lint:hot innermost loop of every token-set comparison; wfsim_lint
+// forbids lock acquisition and heap allocation here.
+pub fn intersect_sorted(a: &[u32], b: &[u32]) -> usize {
+    let (small, large) = if a.len() <= b.len() { (a, b) } else { (b, a) };
+    if small.is_empty() {
+        return 0;
+    }
+    // Range-disjoint sets short-circuit without touching either body.
+    // `small` is non-empty, so both first/last lookups are safe.
+    let (s_first, s_last) = (small[0], small[small.len() - 1]);
+    let (l_first, l_last) = (large[0], large[large.len() - 1]);
+    if s_last < l_first || l_last < s_first {
+        return 0;
+    }
+    if large.len() >= GALLOP_RATIO * small.len() {
+        intersect_gallop(small, large)
+    } else {
+        intersect_words(small, large)
+    }
+}
+
+/// Word-batched linear merge: packs adjacent pairs of `u32` ids into a
+/// `u64` so one comparison can skip two elements at a time, falling back
+/// to a branchless single-element step when the word ranges overlap.
+// lint:hot body of intersect_sorted's balanced path; alloc/lock-free.
+fn intersect_words(a: &[u32], b: &[u32]) -> usize {
+    const LO: u64 = 0xFFFF_FFFF;
+    let (mut i, mut j, mut common) = (0usize, 0usize, 0usize);
+    while i + 1 < a.len() && j + 1 < b.len() {
+        // wa = a[i] | a[i+1] << 32: the lane order makes a word compare
+        // equivalent to comparing the *upper* (later, larger) element
+        // first.  wa < (wb & LO) << 32  ⟺  a[i+1] < b[j], i.e. both of
+        // a's packed elements sit strictly below b's window — skip both.
+        let wa = u64::from(a[i]) | (u64::from(a[i + 1]) << 32);
+        let wb = u64::from(b[j]) | (u64::from(b[j + 1]) << 32);
+        if wa < (wb & LO) << 32 {
+            i += 2;
+        } else if wb < (wa & LO) << 32 {
+            j += 2;
+        } else {
+            // Windows overlap: take one branchless merge step.
+            let (x, y) = (a[i], b[j]);
+            common += usize::from(x == y);
+            i += usize::from(x <= y);
+            j += usize::from(y <= x);
+        }
+    }
+    // Branchless scalar tail (at most one element left on one side).
+    while i < a.len() && j < b.len() {
+        let (x, y) = (a[i], b[j]);
+        common += usize::from(x == y);
+        i += usize::from(x <= y);
+        j += usize::from(y <= x);
+    }
+    common
+}
+
+/// Galloping merge for skewed sizes: for each element of the small set,
+/// exponentially probe forward in the large set, then binary-search the
+/// bracketed range.  `O(|small| · log |large|)`.
+// lint:hot body of intersect_sorted's skewed path; alloc/lock-free.
+fn intersect_gallop(small: &[u32], large: &[u32]) -> usize {
+    let mut lo = 0usize;
+    let mut common = 0usize;
+    for &x in small {
+        // Exponential probe: find a window [lo, lo + step) with
+        // large[lo - 1] < x (everything before lo is < x).
+        let mut step = 1usize;
+        while lo + step <= large.len() && large[lo + step - 1] < x {
+            lo += step;
+            step <<= 1;
+        }
+        let hi = large.len().min(lo + step);
+        lo += large[lo..hi].partition_point(|&v| v < x);
+        if lo < large.len() && large[lo] == x {
+            common += 1;
+            lo += 1;
+        } else if lo == large.len() {
+            break;
+        }
+    }
+    common
+}
+
+/// Reference scalar three-way merge, kept as the equivalence oracle for
+/// property tests and the microbenchmark baseline.  Not used on hot
+/// paths.
+#[doc(hidden)]
+pub fn intersect_sorted_scalar(a: &[u32], b: &[u32]) -> usize {
+    let (mut i, mut j, mut common) = (0, 0, 0);
+    while i < a.len() && j < b.len() {
+        match a[i].cmp(&b[j]) {
+            std::cmp::Ordering::Less => i += 1,
+            std::cmp::Ordering::Greater => j += 1,
+            std::cmp::Ordering::Equal => {
+                common += 1;
+                i += 1;
+                j += 1;
+            }
+        }
+    }
+    common
+}
+
+/// Jaccard index of two sorted, deduplicated `u32` slices, with the
+/// empty-vs-empty = 1.0 convention of [`crate::jaccard_index`].
+// lint:hot called once per scored candidate pair; alloc/lock-free.
+pub fn jaccard_sorted(a: &[u32], b: &[u32]) -> f64 {
+    if a.is_empty() && b.is_empty() {
+        return 1.0;
+    }
+    let intersection = intersect_sorted(a, b);
+    let union = a.len() + b.len() - intersection;
+    intersection as f64 / union as f64
 }
 
 #[cfg(test)]
@@ -352,5 +464,62 @@ mod tests {
         assert_eq!(a.intersection_len(&b), 2);
         assert_eq!(b.intersection_len(&a), 2);
         assert_eq!(a.intersection_len(&TokenIdSet::default()), 0);
+    }
+
+    /// Deterministic pseudo-random sorted set (xorshift) for kernel tests.
+    fn pseudo_set(seed: u64, len: usize, universe: u32) -> Vec<u32> {
+        let mut state = seed | 1;
+        let mut ids: Vec<u32> = (0..len)
+            .map(|_| {
+                state ^= state << 13;
+                state ^= state >> 7;
+                state ^= state << 17;
+                (state % u64::from(universe.max(1))) as u32
+            })
+            .collect();
+        ids.sort_unstable();
+        ids.dedup();
+        ids
+    }
+
+    #[test]
+    fn word_batched_and_galloping_paths_match_the_scalar_merge() {
+        // Sweep size skews so both the word path and the gallop path run,
+        // plus boundary shapes (empty, disjoint ranges, identical sets).
+        let shapes: &[(usize, usize, u32)] = &[
+            (0, 0, 10),
+            (0, 40, 10),
+            (1, 1, 4),
+            (3, 400, 1000),   // gallop: 400 ≥ 16 × 3
+            (5, 64, 200),     // words: below the gallop ratio
+            (33, 47, 90),     // dense overlap, odd lengths
+            (64, 64, 70),     // near-identical sets, even lengths
+            (2, 1000, 5000),  // deep gallop
+            (128, 129, 4000), // sparse overlap
+        ];
+        for (case, &(la, lb, universe)) in shapes.iter().enumerate() {
+            let a = pseudo_set(0x9E37 + case as u64, la, universe);
+            let b = pseudo_set(0x85EB + 3 * case as u64, lb, universe);
+            let reference = intersect_sorted_scalar(&a, &b);
+            assert_eq!(intersect_sorted(&a, &b), reference, "case {case} a∩b");
+            assert_eq!(intersect_sorted(&b, &a), reference, "case {case} b∩a");
+            assert_eq!(intersect_words(&a, &b), reference, "case {case} words");
+            let (small, large) = if la <= lb { (&a, &b) } else { (&b, &a) };
+            assert_eq!(
+                intersect_gallop(small, large),
+                reference,
+                "case {case} gallop"
+            );
+        }
+        // Range-disjoint short circuit.
+        assert_eq!(intersect_sorted(&[1, 2, 3], &[10, 20]), 0);
+        assert_eq!(intersect_sorted(&[10, 20], &[1, 2, 3]), 0);
+    }
+
+    #[test]
+    fn jaccard_sorted_keeps_the_empty_empty_convention() {
+        assert_eq!(jaccard_sorted(&[], &[]), 1.0);
+        assert_eq!(jaccard_sorted(&[1], &[]), 0.0);
+        assert_eq!(jaccard_sorted(&[1, 2], &[2, 3]), 1.0 / 3.0);
     }
 }

@@ -37,7 +37,10 @@ pub mod stopwords;
 pub mod tokenize;
 
 pub use bag::TokenBag;
-pub use intern::{FrozenInterner, StringPool, TokenIdSet};
+pub use intern::{
+    intersect_sorted, intersect_sorted_scalar, jaccard_sorted, FrozenInterner, StringPool,
+    TokenIdSet,
+};
 pub use jaccard::{jaccard_index, match_mismatch_similarity};
 pub use levenshtein::{
     levenshtein, levenshtein_bounded, levenshtein_similarity, levenshtein_similarity_with_lens,

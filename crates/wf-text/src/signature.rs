@@ -82,13 +82,21 @@ impl CharSignature {
 
     /// A lower bound on `levenshtein(a, b)` from the signatures alone:
     /// `max(||a| - |b||, ceil(L1(histogram_a, histogram_b) / 2))`.
+    ///
+    /// The L1 loop is deliberately the plainest possible per-bin form:
+    /// over a fixed-size `[u8; 64]` pair LLVM auto-vectorizes it into
+    /// packed absolute-difference + horizontal-sum SIMD, which measured
+    /// ~2× faster than a hand-written SWAR (u64-lane) variant in
+    /// `wfsim_kernels` — keep it simple so the vectorizer keeps firing.
+    // lint:hot evaluated once per candidate pair per Levenshtein-rule
+    // bound; wfsim_lint forbids lock acquisition and heap allocation.
     pub fn distance_lower_bound(&self, other: &CharSignature) -> usize {
-        let mut l1 = 0usize;
-        for (a, b) in self.bins.iter().zip(other.bins.iter()) {
-            l1 += usize::from(a.abs_diff(*b));
+        let mut l1 = 0u32;
+        for (x, y) in self.bins.iter().zip(other.bins.iter()) {
+            l1 += u32::from(x.abs_diff(*y));
         }
-        let length_bound = (self.chars.abs_diff(other.chars)) as usize;
-        length_bound.max(l1.div_ceil(2))
+        let length_bound = self.chars.abs_diff(other.chars);
+        length_bound.max(l1.div_ceil(2)) as usize
     }
 
     /// An admissible upper bound on the *normalized* Levenshtein

@@ -1,0 +1,117 @@
+//! Property tests for the hot-path kernels: the `u64` word-batched
+//! intersection merge (with its galloping skewed-size path) against the
+//! scalar three-way merge, and the char-signature distance bound against
+//! an independently written per-bin histogram reference.
+
+use proptest::collection::vec;
+use proptest::prelude::*;
+use wf_text::signature::CharSignature;
+use wf_text::{intersect_sorted, intersect_sorted_scalar, jaccard_sorted, TokenIdSet};
+
+/// Sorted-deduped id slice from arbitrary raw ids.
+fn normalize(mut ids: Vec<u32>) -> Vec<u32> {
+    ids.sort_unstable();
+    ids.dedup();
+    ids
+}
+
+/// Jaccard recomputed from the scalar merge, the oracle for
+/// [`jaccard_sorted`].
+fn scalar_jaccard(a: &[u32], b: &[u32]) -> f64 {
+    if a.is_empty() && b.is_empty() {
+        return 1.0;
+    }
+    let inter = intersect_sorted_scalar(a, b);
+    inter as f64 / (a.len() + b.len() - inter) as f64
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(192))]
+
+    #[test]
+    fn word_batched_intersection_matches_the_scalar_merge(
+        a in vec(0u32..400, 0..120),
+        b in vec(0u32..400, 0..120),
+    ) {
+        let (a, b) = (normalize(a), normalize(b));
+        prop_assert_eq!(intersect_sorted(&a, &b), intersect_sorted_scalar(&a, &b));
+        prop_assert_eq!(intersect_sorted(&b, &a), intersect_sorted_scalar(&a, &b));
+    }
+
+    #[test]
+    fn skewed_sizes_exercise_the_galloping_path(
+        small in vec(0u32..100_000, 0..6),
+        large in vec(0u32..100_000, 200..400),
+    ) {
+        // |large| >= 16 × |small| after dedup is overwhelmingly likely;
+        // either way the dispatcher must agree with the scalar merge.
+        let (small, large) = (normalize(small), normalize(large));
+        prop_assert_eq!(
+            intersect_sorted(&small, &large),
+            intersect_sorted_scalar(&small, &large)
+        );
+    }
+
+    #[test]
+    fn jaccard_sorted_matches_the_scalar_formula(
+        a in vec(0u32..200, 0..80),
+        b in vec(0u32..200, 0..80),
+    ) {
+        let (a, b) = (normalize(a), normalize(b));
+        let got = jaccard_sorted(&a, &b);
+        let want = scalar_jaccard(&a, &b);
+        prop_assert_eq!(got.to_bits(), want.to_bits(), "{} vs {}", got, want);
+        // And the TokenIdSet wrappers delegate to the same kernels.
+        let (sa, sb) = (TokenIdSet::from_ids(a.clone()), TokenIdSet::from_ids(b.clone()));
+        prop_assert_eq!(sa.jaccard(&sb).to_bits(), want.to_bits());
+        prop_assert_eq!(sa.intersection_len(&sb), intersect_sorted_scalar(&a, &b));
+    }
+
+    #[test]
+    fn signature_bound_matches_a_scalar_histogram_reference(
+        a in "[a-p_ 0-9]{0,120}",
+        b in "[a-p_ 0-9]{0,120}",
+    ) {
+        // Scalar reference: fold characters into 64 saturating bins by
+        // code point, mirroring CharSignature::of, then take
+        // max(length gap, ceil(L1/2)) directly.
+        fn reference_bound(a: &str, b: &str) -> usize {
+            let histo = |s: &str| {
+                let mut bins = [0u8; 64];
+                let mut chars = 0u32;
+                for c in s.chars() {
+                    let bin = (c as u32 as usize) % 64;
+                    bins[bin] = bins[bin].saturating_add(1);
+                    chars += 1;
+                }
+                (bins, chars)
+            };
+            let ((ba, ca), (bb, cb)) = (histo(a), histo(b));
+            let l1: usize = ba
+                .iter()
+                .zip(bb.iter())
+                .map(|(x, y)| usize::from(x.abs_diff(*y)))
+                .sum();
+            (ca.abs_diff(cb) as usize).max(l1.div_ceil(2))
+        }
+        let (sa, sb) = (CharSignature::of(&a), CharSignature::of(&b));
+        prop_assert_eq!(sa.distance_lower_bound(&sb), reference_bound(&a, &b));
+        prop_assert_eq!(sb.distance_lower_bound(&sa), reference_bound(&a, &b));
+    }
+
+    #[test]
+    fn signature_bound_survives_saturated_bins(
+        reps in 200usize..600,
+        tail in "[a-h]{0,40}",
+    ) {
+        // Long runs of one character saturate its bin at 255; the
+        // saturating counters must stay symmetric and admissible
+        // against the length bound.
+        let a = format!("{}{}", "z".repeat(reps), tail);
+        let b = "z".repeat(reps / 2);
+        let (sa, sb) = (CharSignature::of(&a), CharSignature::of(&b));
+        let bound = sa.distance_lower_bound(&sb);
+        prop_assert!(bound >= (a.chars().count() - b.chars().count()));
+        prop_assert_eq!(bound, sb.distance_lower_bound(&sa));
+    }
+}
