@@ -15,11 +15,11 @@ use std::sync::Mutex;
 use proptest::prelude::*;
 use wf_bench::demo_workflows;
 use wf_model::{Workflow, WorkflowId};
-use wf_repo::PreselectionStrategy;
+use wf_repo::{CancelToken, PreselectionStrategy};
 use wf_sim::config::Preprocessing;
 use wf_sim::{
-    Corpus, CorpusService, MeasureKind, ModuleComparisonScheme, ShardPartition, ShardedCorpus,
-    SimilarityConfig,
+    Corpus, CorpusService, MeasureKind, ModuleComparisonScheme, SearchParallelism, ShardPartition,
+    ShardedCorpus, SimilarityConfig,
 };
 
 fn six_schemes() -> Vec<ModuleComparisonScheme> {
@@ -61,6 +61,42 @@ fn sharded_topk_is_bit_identical_for_all_schemes_and_shard_counts() {
                     let expected = engine.top_k(qi, k);
                     let got = sharded.search(id, k).expect("query is resident");
                     assert_eq!(got, expected, "{name}: {shards} shards, query {id}, k {k}");
+                }
+            }
+        }
+    }
+}
+
+/// The same acceptance criterion for the *racing* scatter-gather: shard
+/// workers draining their cursors in parallel against the shared
+/// threshold must stay bit-identical to the single-corpus indexed engine
+/// — ids, scores, tie order — for every shard count and scheme.  Pruning
+/// is strictly below a floor that is always a true worst-of-k, so thread
+/// interleaving can change work done, never results.
+#[test]
+fn racing_topk_is_bit_identical_for_all_schemes_and_shard_counts() {
+    let workflows = demo_workflows(40, 17);
+    for scheme in six_schemes() {
+        let config = scheme_config(scheme);
+        let name = config.name();
+        let single = Corpus::build(config.clone(), workflows.clone());
+        let engine = single.search_engine();
+        for shards in [1usize, 2, 4, 8] {
+            let racing = ShardedCorpus::build(config.clone(), shards, workflows.clone())
+                .with_parallelism(SearchParallelism::racing_per_shard());
+            for (qi, id) in single.ids().iter().enumerate().step_by(4) {
+                for k in [1usize, 10] {
+                    let expected = engine.top_k(qi, k);
+                    let got = racing.search(id, k).expect("query is resident");
+                    assert_eq!(
+                        got.len(),
+                        expected.len(),
+                        "{name}: {shards} shards racing, query {id}, k {k}"
+                    );
+                    for (g, e) in got.iter().zip(&expected) {
+                        assert_eq!(g.id, e.id, "{name}: {shards} shards racing, query {id}");
+                        assert_eq!(g.score.to_bits(), e.score.to_bits());
+                    }
                 }
             }
         }
@@ -202,6 +238,91 @@ proptest! {
                     rebuilt.top_k_index(qi, k),
                     "search after step {}, query {}", step, id
                 );
+            }
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(6))]
+
+    /// Degraded partials under a deadline that fires at a random point of
+    /// the scatter, sequential and racing paths alike.  Whatever the
+    /// trigger shard and interleaving:
+    ///
+    /// * `answered` has exactly one bit per shard;
+    /// * every surviving hit carries the *exact* score the full ranking
+    ///   proves for that id (never-return-a-pruned-winner: pruning only
+    ///   drops candidates, it cannot fabricate or perturb survivors);
+    /// * hits keep the canonical (score desc, id asc) order and respect k;
+    /// * an undegraded result is the plain search answer, bit for bit;
+    /// * a trigger past the last shard (deadline never fires) cannot
+    ///   degrade either path.
+    #[test]
+    fn cancelled_scatter_yields_exact_partials_in_both_modes(
+        shard_pow in 0u32..=3,
+        trigger_pick in 0usize..1000,
+        seed in 0u64..10_000,
+        k in 1usize..=8,
+    ) {
+        let shards = 1usize << shard_pow;
+        let trigger = trigger_pick % (shards + 1);
+        let workflows = demo_workflows(24, seed);
+        let config = SimilarityConfig::best_module_sets();
+        for parallelism in [SearchParallelism::Sequential, SearchParallelism::racing_per_shard()] {
+            let service = CorpusService::new(
+                ShardedCorpus::build(config.clone(), shards, workflows.clone())
+                    .with_parallelism(parallelism),
+            );
+            let query = workflows[seed as usize % workflows.len()].id.clone();
+            let full = service
+                .search(&query, service.len())
+                .expect("query is resident");
+            let plain = service.search(&query, k).expect("query is resident");
+            let token = CancelToken::never();
+            let result = service
+                .search_deadline_with(&query, k, &token, |shard| {
+                    if shard == trigger {
+                        token.cancel();
+                    }
+                    true
+                })
+                .expect("query is resident");
+            prop_assert_eq!(result.answered.len(), shards, "{}", parallelism);
+            prop_assert!(result.hits.len() <= k);
+            for pair in result.hits.windows(2) {
+                let ordered = pair[0].score > pair[1].score
+                    || (pair[0].score == pair[1].score && pair[0].id < pair[1].id);
+                prop_assert!(ordered, "{}: hit order violated: {:?}", parallelism, pair);
+            }
+            for hit in &result.hits {
+                let reference = full.iter().find(|h| h.id == hit.id);
+                prop_assert!(
+                    reference.is_some(),
+                    "{}: hit {} not in the full ranking",
+                    parallelism,
+                    &hit.id
+                );
+                let reference = reference.expect("asserted above");
+                prop_assert_eq!(
+                    hit.score.to_bits(),
+                    reference.score.to_bits(),
+                    "{}: partial hit {} must keep its exact score",
+                    parallelism,
+                    &hit.id
+                );
+            }
+            if result.degraded {
+                prop_assert!(result.answered.iter().any(|&a| !a), "{}", parallelism);
+            } else {
+                prop_assert!(result.answered.iter().all(|&a| a), "{}", parallelism);
+                prop_assert_eq!(&result.hits, &plain, "{}", parallelism);
+            }
+            if trigger == shards {
+                // The gate never matches a real shard, so the deadline
+                // never fires and both paths must answer in full.
+                prop_assert!(!result.degraded, "{}", parallelism);
+                prop_assert_eq!(&result.hits, &plain, "{}", parallelism);
             }
         }
     }

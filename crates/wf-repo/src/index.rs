@@ -349,6 +349,86 @@ where
     top.into_hits()
 }
 
+/// Parallel variant of [`scan_ranked_candidates`]: the bound-ranked list
+/// is dealt round-robin to `threads` racing workers, each walking its
+/// stride through the sequential scan loop — private [`TopK`] heap, the
+/// one shared `threshold` published via its lock-free `fetch_max`, the
+/// `cancel` token polled per worker between candidates — and the workers'
+/// heaps gathered through [`merge_top_k`] into the canonical order.
+///
+/// Bit-identical to the sequential scan over the same list, under every
+/// interleaving: each stride preserves the global best-bound-first order
+/// within the worker, and any floor a worker prunes against is a true
+/// worst-of-k of `k` distinct exactly-scored candidates, so the final
+/// k-th best is at least the floor and no pruned candidate could have
+/// entered the merged top-k.  Racing changes how much work each worker
+/// prunes — never the result.  Unlike the sequential scan (which returns
+/// heap order for the caller to merge), this returns the merged, sorted
+/// top-k.  Worker counters are accumulated into `stats`.
+#[allow(clippy::too_many_arguments)] // the scan's full contract, plus the worker count
+pub fn scan_ranked_candidates_parallel<F, G>(
+    candidates: &[RankedCandidate],
+    k: usize,
+    threads: usize,
+    threshold: &SearchThreshold,
+    cancel: &crate::search::CancelToken,
+    stats: &mut SearchStats,
+    score: F,
+    id_of: G,
+) -> Vec<SearchHit>
+where
+    F: Fn(usize) -> f64 + Sync,
+    G: Fn(usize) -> WorkflowId + Sync,
+{
+    let threads = threads.max(1).min(candidates.len().max(1));
+    if threads <= 1 {
+        let hits = scan_ranked_candidates(
+            candidates.iter(),
+            candidates.len(),
+            k,
+            threshold,
+            cancel,
+            stats,
+            &score,
+            &id_of,
+        );
+        return merge_top_k([hits], k);
+    }
+    let (parts, worker_stats) = std::thread::scope(|scope| {
+        let workers: Vec<_> = (0..threads)
+            .map(|worker| {
+                let (score, id_of) = (&score, &id_of);
+                scope.spawn(move || {
+                    let mut local = SearchStats::default();
+                    // Round-robin stride, preserving the global
+                    // best-bound-first order within the worker.
+                    let hits = scan_ranked_candidates(
+                        candidates.iter().skip(worker).step_by(threads),
+                        candidates.len().saturating_sub(worker).div_ceil(threads),
+                        k,
+                        threshold,
+                        cancel,
+                        &mut local,
+                        score,
+                        id_of,
+                    );
+                    (hits, local)
+                })
+            })
+            .collect();
+        let mut parts = Vec::with_capacity(threads);
+        let mut merged = SearchStats::default();
+        for w in workers {
+            let (hits, s) = w.join().expect("parallel scan worker panicked");
+            parts.push(hits);
+            merged.merge(&s);
+        }
+        (merge_top_k(parts, k), merged)
+    });
+    stats.merge(&worker_stats);
+    parts
+}
+
 /// A pull-based merge of several [`sort_best_bound_first`]-ordered
 /// candidate lists into one global best-bound-first stream.
 ///
@@ -544,45 +624,19 @@ impl<'s, S: CorpusScorer + ?Sized> IndexedSearchEngine<'s, S> {
             stats.pruned = candidates.len();
             return (Vec::new(), stats);
         }
-        let threads = self.threads.min(candidates.len());
-        if threads <= 1 {
+        if self.threads.min(candidates.len()) <= 1 {
             return self.top_k_with_stats(query, k);
         }
-        let threshold = SearchThreshold::new();
-        let (hits, worker_stats) = std::thread::scope(|scope| {
-            let workers: Vec<_> = (0..threads)
-                .map(|worker| {
-                    let (candidates, threshold) = (&candidates, &threshold);
-                    scope.spawn(move || {
-                        let mut local_stats = SearchStats::default();
-                        // Round-robin slice, preserving the global
-                        // best-bound-first order within the worker.
-                        let hits = scan_ranked_candidates(
-                            candidates.iter().skip(worker).step_by(threads),
-                            candidates.len().saturating_sub(worker).div_ceil(threads),
-                            k,
-                            threshold,
-                            &crate::search::CancelToken::never(),
-                            &mut local_stats,
-                            |i| self.scorer.score(query, i),
-                            |i| self.scorer.workflow_id(i).clone(),
-                        );
-                        (hits, local_stats)
-                    })
-                })
-                .collect();
-            let mut parts = Vec::with_capacity(threads);
-            let mut merged = SearchStats::default();
-            for w in workers {
-                let (hits, s) = w.join().expect("indexed search worker panicked");
-                parts.push(hits);
-                merged.merge(&s);
-            }
-            (merge_top_k(parts, k), merged)
-        });
-        stats.scored = worker_stats.scored;
-        stats.pruned = worker_stats.pruned;
-        stats.zero_bound = worker_stats.zero_bound;
+        let hits = scan_ranked_candidates_parallel(
+            &candidates,
+            k,
+            self.threads,
+            &SearchThreshold::new(),
+            &crate::search::CancelToken::never(),
+            &mut stats,
+            |i| self.scorer.score(query, i),
+            |i| self.scorer.workflow_id(i).clone(),
+        );
         (hits, stats)
     }
 

@@ -222,6 +222,13 @@ impl Client {
 
     /// Jittered exponential backoff: `base * 2^(attempt-1)` capped, half
     /// fixed and half jittered, never below the server's retry hint.
+    ///
+    /// A hinted retry keeps its own jitter: the server hands the *same*
+    /// `retry_after_ms` to every client it sheds in one overload wave, so
+    /// flooring at the bare hint would march the whole wave back in
+    /// lockstep and re-shed it (thundering herd).  When the hint exceeds
+    /// the computed delay, the retry is spread uniformly over
+    /// `[hint, hint + base)` instead.
     fn backoff(&mut self, attempt: u32, hint_ms: Option<u32>) -> Duration {
         let shift = (attempt - 1).min(16);
         let exp = self
@@ -236,10 +243,24 @@ impl Client {
             0
         };
         let delay = Duration::from_micros(exp_us / 2 + jitter);
-        match hint_ms {
-            Some(hint) => delay.max(Duration::from_millis(u64::from(hint))),
-            None => delay,
+        let hint = match hint_ms {
+            Some(hint) => Duration::from_millis(u64::from(hint)),
+            None => return delay,
+        };
+        if delay >= hint {
+            return delay;
         }
+        let base_us = self
+            .config
+            .backoff_base
+            .as_micros()
+            .min(u128::from(u64::MAX)) as u64;
+        let spread = if base_us > 0 {
+            self.next_rand() % base_us
+        } else {
+            0
+        };
+        hint + Duration::from_micros(spread)
     }
 
     /// xorshift64 — deterministic per seed, good enough for jitter.
@@ -356,6 +377,43 @@ mod tests {
         assert!(fifth <= client.config.backoff_cap + client.config.backoff_cap / 2);
         let hinted = client.backoff(1, Some(400));
         assert!(hinted >= Duration::from_millis(400));
+        assert!(hinted < Duration::from_millis(400) + client.config.backoff_base);
+    }
+
+    #[test]
+    fn hinted_backoff_spreads_a_shed_wave() {
+        // Sixteen clients shed in the same overload wave all receive the
+        // same retry_after hint.  Their retry instants must spread over
+        // [hint, hint + base), not collapse onto the bare hint.
+        let addr: SocketAddr = match "127.0.0.1:9".parse() {
+            Ok(a) => a,
+            Err(_) => unreachable!("literal address parses"),
+        };
+        let hint = Duration::from_millis(400);
+        let delays: std::collections::BTreeSet<Duration> = (0..16u64)
+            .map(|c| {
+                let mut client = Client::new(
+                    addr,
+                    ClientConfig {
+                        seed: 0x5EED + c,
+                        ..ClientConfig::default()
+                    },
+                );
+                client.backoff(1, Some(400))
+            })
+            .collect();
+        for &delay in &delays {
+            assert!(delay >= hint, "retry below the server hint: {delay:?}");
+            assert!(
+                delay < hint + Duration::from_millis(10),
+                "retry past the jitter window: {delay:?}"
+            );
+        }
+        assert!(
+            delays.len() >= 8,
+            "retry instants collapsed to {} distinct values (thundering herd)",
+            delays.len()
+        );
     }
 
     #[test]

@@ -186,16 +186,29 @@ impl FaultState {
 /// returning early (false) the moment the token fires.  Injected shard
 /// delays stall through this so a delayed shard degrades the search
 /// instead of holding the worker past the request's deadline.
+///
+/// When the token carries a deadline, each nap is additionally clamped to
+/// the token's time remaining, so the wake-up lands *at* the deadline
+/// rather than up to one full slice past it — at a 2 ms slice the
+/// overshoot was half the budget of a tight 4 ms SLO.
 pub fn cooperative_sleep(cancel: &CancelToken, total: Duration) -> bool {
-    const SLICE: Duration = Duration::from_millis(2);
+    cooperative_sleep_sliced(cancel, total, Duration::from_millis(2))
+}
+
+fn cooperative_sleep_sliced(cancel: &CancelToken, total: Duration, slice: Duration) -> bool {
     let mut remaining = total;
     while !remaining.is_zero() {
         if cancel.is_cancelled() {
             return false;
         }
-        let nap = remaining.min(SLICE);
+        let mut nap = remaining.min(slice);
+        if let Some(left) = cancel.remaining() {
+            // A zero `left` means the token fired between the check above
+            // and here; skip the nap and let the next check latch it.
+            nap = nap.min(left);
+        }
         std::thread::sleep(nap);
-        remaining = remaining.saturating_sub(nap);
+        remaining = remaining.saturating_sub(nap.max(Duration::from_micros(1)));
     }
     !cancel.is_cancelled()
 }
@@ -253,6 +266,31 @@ mod tests {
         let completed = cooperative_sleep(&cancel, Duration::from_millis(500));
         assert!(!completed);
         assert!(started.elapsed() < Duration::from_millis(200));
+    }
+
+    #[test]
+    fn cooperative_sleep_wakes_at_the_deadline_not_a_slice_past_it() {
+        // A coarse 80 ms slice against a 10 ms deadline: without the
+        // time-remaining clamp the first nap sleeps the full slice and
+        // wakes ~70 ms after the deadline fired; with it, the nap is cut
+        // to the deadline and the wake-up lands within scheduler noise.
+        let cancel = CancelToken::after(Duration::from_millis(10));
+        let started = std::time::Instant::now();
+        let completed = cooperative_sleep_sliced(
+            &cancel,
+            Duration::from_millis(500),
+            Duration::from_millis(80),
+        );
+        assert!(!completed);
+        let elapsed = started.elapsed();
+        assert!(
+            elapsed >= Duration::from_millis(8),
+            "woke before the deadline: {elapsed:?}"
+        );
+        assert!(
+            elapsed < Duration::from_millis(60),
+            "overshot the deadline by most of a slice: {elapsed:?}"
+        );
     }
 
     #[test]

@@ -129,10 +129,14 @@ impl HistogramSnapshot {
                     (1u64 << i, 1u64 << i)
                 };
                 // 1-based position of the rank among this bucket's n
-                // samples, spread uniformly over the width and clamped to
-                // stay inside the bucket.
+                // samples, placed at the *midpoint* of its 1/n-wide slot:
+                // (2·in_rank − 1)·width / (2n).  Upper-edge placement
+                // (in_rank·width/n) reports a lone sample at the bucket's
+                // top — overstating p50 by up to ~2× for a one-sample
+                // bucket — while midpoints stay unbiased for any count.
                 let in_rank = rank - seen;
-                let offset = (u128::from(in_rank) * u128::from(width) / u128::from(n)) as u64;
+                let offset = ((2 * u128::from(in_rank) - 1) * u128::from(width)
+                    / (2 * u128::from(n))) as u64;
                 return (lower + offset).min(lower + width - 1);
             }
             seen += n;
@@ -277,11 +281,12 @@ mod tests {
         let snap = h.snapshot();
         assert_eq!(snap.count, 5);
         // p50 over {100,200,300,400,50_000}: rank 3 → 300µs bucket
-        // [256,512), first of that bucket's two samples → 256 + 256/2.
-        assert_eq!(snap.quantile_us(0.50), 384);
+        // [256,512), first of that bucket's two samples sits at the
+        // midpoint of the lower half → 256 + 256/4.
+        assert_eq!(snap.quantile_us(0.50), 320);
         // p99 lands in the 50ms sample's bucket [32768, 65536); the sole
-        // sample interpolates to the bucket's clamped upper edge.
-        assert_eq!(snap.quantile_us(0.99), 65_535);
+        // sample interpolates to the bucket midpoint, not the upper edge.
+        assert_eq!(snap.quantile_us(0.99), 32_768 + 16_384);
         assert!(snap.mean_us() > 0.0);
     }
 
@@ -295,15 +300,42 @@ mod tests {
             h.record_us(1500);
         }
         let snap = h.snapshot();
-        assert_eq!(snap.quantile_us(0.50), 1024 + 50 * 1024 / 100);
-        assert_eq!(snap.quantile_us(0.95), 1024 + 95 * 1024 / 100);
-        assert_eq!(snap.quantile_us(0.99), 1024 + 99 * 1024 / 100);
+        assert_eq!(snap.quantile_us(0.50), 1024 + (2 * 50 - 1) * 1024 / 200);
+        assert_eq!(snap.quantile_us(0.95), 1024 + (2 * 95 - 1) * 1024 / 200);
+        assert_eq!(snap.quantile_us(0.99), 1024 + (2 * 99 - 1) * 1024 / 200);
         let (p50, p95, p99) = (
             snap.quantile_us(0.50),
             snap.quantile_us(0.95),
             snap.quantile_us(0.99),
         );
         assert!(p50 < p95 && p95 < p99 && p99 < 2048);
+    }
+
+    #[test]
+    fn single_sample_reports_its_bucket_midpoint() {
+        // Rank 1-of-1 used to interpolate to `width` — the bucket's upper
+        // edge — so a lone 1500µs sample reported p50 = 2047µs, ~2× the
+        // bucket's lower edge.  The midpoint rule pins it to 1536µs.
+        let h = LatencyHistogram::new();
+        h.record_us(1500);
+        let snap = h.snapshot();
+        assert_eq!(snap.count, 1);
+        for q in [0.01, 0.50, 0.99] {
+            assert_eq!(snap.quantile_us(q), 1024 + 512);
+        }
+    }
+
+    #[test]
+    fn two_samples_split_the_bucket_into_quarters() {
+        // Two samples in [1024, 2048): midpoints of the two half-slots
+        // land at the bucket's first and third quartile.
+        let h = LatencyHistogram::new();
+        h.record_us(1100);
+        h.record_us(1900);
+        let snap = h.snapshot();
+        assert_eq!(snap.count, 2);
+        assert_eq!(snap.quantile_us(0.50), 1024 + 256);
+        assert_eq!(snap.quantile_us(0.99), 1024 + 768);
     }
 
     #[test]

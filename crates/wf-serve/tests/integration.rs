@@ -26,7 +26,7 @@ use wf_serve::{
     Client, ClientConfig, ClientError, FaultPlan, Request, Response, ServeError, Server,
     ServerConfig,
 };
-use wf_sim::{CorpusService, ShardedCorpus, SimilarityConfig};
+use wf_sim::{CorpusService, SearchParallelism, ShardedCorpus, SimilarityConfig};
 
 /// The one replay seed these tests inject faults from.  Printed in every
 /// assertion context so a failure names the seed that reproduces it.
@@ -125,6 +125,81 @@ fn deadline_returns_partial_degraded_result_within_slo() {
         stats.faults_injected >= 1,
         "the shard delay fault must have fired"
     );
+    server.shutdown();
+}
+
+/// The racing scatter-gather serves the same degradation contract over
+/// the wire: with intra-query shard workers racing the shared threshold,
+/// a deadlined query against a stalled shard still returns a flagged
+/// degraded partial with honest per-shard answered bits and exact scores
+/// — and, because each stalled shard only costs its *own* worker, the
+/// undelayed shards all answer.
+#[test]
+fn racing_deadline_returns_partial_degraded_result_within_slo() {
+    let (service, ids) = {
+        let workflows = generate_taverna_corpus(&TavernaCorpusConfig::small(40, 21)).0;
+        let ids: Vec<String> = workflows.iter().map(|w| w.id.0.clone()).collect();
+        let service = Arc::new(CorpusService::new(
+            ShardedCorpus::build(SimilarityConfig::best_module_sets(), 4, workflows)
+                .with_parallelism(SearchParallelism::racing_per_shard()),
+        ));
+        (service, ids)
+    };
+    let plan = FaultPlan::new(FAULT_SEED).delay_shards(&[2], Duration::from_millis(400));
+    let server = Server::start(
+        Arc::clone(&service),
+        ServerConfig {
+            workers: 2,
+            ..ServerConfig::default()
+        },
+        Some(plan),
+    )
+    .expect("server starts");
+
+    let mut client = fast_client(server.addr(), 7);
+    let query = &ids[0];
+    let started = Instant::now();
+    let outcome = client
+        .search(query, 10, 80)
+        .expect("deadlined racing search still answers");
+    let elapsed = started.elapsed();
+    assert!(
+        elapsed < Duration::from_millis(300),
+        "racing deadline blew the SLO: took {elapsed:?} (seed {FAULT_SEED:#x})"
+    );
+    assert!(
+        outcome.degraded,
+        "the stalled shard must degrade the result"
+    );
+    assert_eq!(outcome.answered.len(), 4, "one answer flag per shard");
+    assert!(
+        !outcome.answered[2],
+        "a 400ms-delayed shard cannot answer inside an 80ms deadline"
+    );
+    // The stall pins one worker; every other shard has its own and
+    // finishes well inside the deadline.
+    for shard in [0usize, 1, 3] {
+        assert!(
+            outcome.answered[shard],
+            "undelayed shard {shard} must answer under racing workers"
+        );
+    }
+
+    let full = service
+        .search(&WorkflowId::new(query.clone()), ids.len())
+        .expect("query resident");
+    let reference: HashMap<&str, f64> = full.iter().map(|h| (h.id.0.as_str(), h.score)).collect();
+    for hit in &outcome.hits {
+        let expected = reference
+            .get(hit.id.as_str())
+            .unwrap_or_else(|| panic!("degraded hit {} not in reference", hit.id));
+        assert_eq!(
+            hit.score.to_bits(),
+            expected.to_bits(),
+            "degraded racing score for {} must be exact",
+            hit.id
+        );
+    }
     server.shutdown();
 }
 
